@@ -1,0 +1,94 @@
+//! Datapath blocks of the VRL-DRAM controller logic (Algorithm 1).
+//!
+//! Per refreshed row the controller needs: an `rcount` counter
+//! (`nbits`-wide, incrementing), an `mprsf` holding register, an equality
+//! comparator, and a small scheduling FSM selecting `τ_full` vs
+//! `τ_partial`. The counters are time-multiplexed across rows (the
+//! per-row values live in the controller's existing row-state SRAM), so
+//! the synthesized logic is one instance of each block.
+
+use crate::gates::{Gate, GateCount};
+
+/// An `nbits` up-counter with synchronous reset: one DFF and one
+/// half-adder stage per bit.
+pub fn counter(nbits: u32) -> GateCount {
+    let mut c = GateCount::new();
+    c.add(Gate::Dff, nbits as usize);
+    c.add(Gate::HalfAdder, nbits as usize);
+    c
+}
+
+/// An `nbits` holding register (the row's MPRSF value staged for
+/// comparison).
+pub fn register(nbits: u32) -> GateCount {
+    let mut c = GateCount::new();
+    c.add(Gate::Dff, nbits as usize);
+    c
+}
+
+/// An `nbits` equality comparator: XNOR per bit plus an AND reduction.
+pub fn comparator(nbits: u32) -> GateCount {
+    let mut c = GateCount::new();
+    c.add(Gate::Xnor2, nbits as usize);
+    if nbits > 1 {
+        c.add(Gate::And2, nbits as usize - 1);
+    }
+    c
+}
+
+/// The latency-select FSM: a 2:1 mux on the refresh-latency setting plus
+/// reset glue.
+pub fn control_fsm() -> GateCount {
+    let mut c = GateCount::new();
+    c.add(Gate::Mux2, 1);
+    c.add(Gate::Inv, 1);
+    c.add(Gate::Nand2, 1);
+    c
+}
+
+/// The complete VRL-DRAM logic block for an `nbits` counter width.
+///
+/// # Panics
+///
+/// Panics if `nbits` is zero.
+pub fn vrl_logic(nbits: u32) -> GateCount {
+    assert!(nbits > 0, "counter must have at least one bit");
+    let mut c = GateCount::new();
+    c.extend_from(&counter(nbits));
+    c.extend_from(&register(nbits));
+    c.extend_from(&comparator(nbits));
+    c.extend_from(&control_fsm());
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logic_grows_with_nbits() {
+        let a = vrl_logic(2).nand2_total();
+        let b = vrl_logic(3).nand2_total();
+        let c = vrl_logic(4).nand2_total();
+        assert!(a < b && b < c);
+        // Growth is linear: equal increments per added bit.
+        assert!(((b - a) - (c - b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comparator_of_one_bit_has_no_reduction() {
+        let c = comparator(1);
+        assert!((c.nand2_total() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fsm_is_small() {
+        assert!(control_fsm().nand2_total() < 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_bits_panics() {
+        let _ = vrl_logic(0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Standard cells with NAND2-equivalent weights.
+
+use serde::{Deserialize, Serialize};
+
+/// A standard-cell kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Gate {
+    /// 2-input NAND (the unit cell).
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// Inverter.
+    Inv,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2-input AND.
+    And2,
+    /// 2:1 multiplexer.
+    Mux2,
+    /// Half adder.
+    HalfAdder,
+    /// D flip-flop with enable.
+    Dff,
+}
+
+impl Gate {
+    /// NAND2-equivalent area weight of the cell (standard-cell library
+    /// ratios).
+    pub fn nand2_equivalents(self) -> f64 {
+        match self {
+            Gate::Nand2 => 1.0,
+            Gate::Nor2 => 1.0,
+            Gate::Inv => 0.67,
+            Gate::Xor2 => 2.0,
+            Gate::Xnor2 => 2.0,
+            Gate::And2 => 1.33,
+            Gate::Mux2 => 2.0,
+            Gate::HalfAdder => 2.5,
+            Gate::Dff => 6.0,
+        }
+    }
+}
+
+/// A bill of gates: counts per kind.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GateCount {
+    entries: Vec<(Gate, usize)>,
+}
+
+impl GateCount {
+    /// An empty bill.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `count` cells of `gate`.
+    pub fn add(&mut self, gate: Gate, count: usize) {
+        self.entries.push((gate, count));
+    }
+
+    /// Merges another bill into this one.
+    pub fn extend_from(&mut self, other: &GateCount) {
+        self.entries.extend_from_slice(&other.entries);
+    }
+
+    /// Total NAND2 equivalents.
+    pub fn nand2_total(&self) -> f64 {
+        self.entries.iter().map(|(g, n)| g.nand2_equivalents() * *n as f64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dff_is_biggest_simple_cell() {
+        for g in [Gate::Nand2, Gate::Inv, Gate::Xor2, Gate::Mux2, Gate::HalfAdder] {
+            assert!(Gate::Dff.nand2_equivalents() > g.nand2_equivalents());
+        }
+    }
+
+    #[test]
+    fn gate_count_accumulates() {
+        let mut c = GateCount::new();
+        c.add(Gate::Nand2, 3);
+        c.add(Gate::Dff, 2);
+        assert!((c.nand2_total() - (3.0 + 12.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_totals() {
+        let mut a = GateCount::new();
+        a.add(Gate::Inv, 3);
+        let mut b = GateCount::new();
+        b.add(Gate::Xor2, 1);
+        a.extend_from(&b);
+        assert!((a.nand2_total() - (2.01 + 2.0)).abs() < 1e-12);
+    }
+}

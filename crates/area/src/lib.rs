@@ -1,0 +1,29 @@
+//! # vrl-area — gate-level area model at the 90 nm node
+//!
+//! Reproduces the paper's Table 2: the area overhead of the VRL-DRAM
+//! controller logic (per-row `rcount`/`mprsf` counters, comparator, and
+//! scheduling FSM) synthesized at 90 nm, as a percentage of a DRAM bank.
+//!
+//! * [`gates`] — standard cells with NAND2-equivalent weights,
+//! * [`components`] — the datapath blocks of Algorithm 1,
+//! * [`model`] — the area model with the 90 nm calibration.
+//!
+//! # Example
+//!
+//! ```
+//! use vrl_area::model::AreaModel;
+//!
+//! let model = AreaModel::n90();
+//! let report = model.vrl_overhead(2, 8192, 32);
+//! assert!(report.logic_area_um2 > 50.0 && report.logic_area_um2 < 200.0);
+//! assert!(report.percent_of_bank < 2.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod components;
+pub mod gates;
+pub mod model;
+
+pub use model::{AreaModel, OverheadReport};

@@ -1,0 +1,106 @@
+//! The area model with the 90 nm calibration (Table 2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::components::vrl_logic;
+
+/// Area model at a technology node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    /// Area of one NAND2-equivalent (µm²).
+    pub nand2_um2: f64,
+    /// Effective area per DRAM cell including array overheads (µm²).
+    pub cell_um2: f64,
+}
+
+/// The result of an overhead evaluation (one Table 2 row).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverheadReport {
+    /// Counter width evaluated.
+    pub nbits: u32,
+    /// Synthesized logic area (µm²).
+    pub logic_area_um2: f64,
+    /// DRAM bank area (µm²).
+    pub bank_area_um2: f64,
+    /// Logic area as a percentage of the bank.
+    pub percent_of_bank: f64,
+}
+
+impl AreaModel {
+    /// The 90 nm calibration \[37\]: a NAND2 of ~2.72 µm² and an effective
+    /// 0.0413 µm² per cell (≈5.1 F², cell + array overheads).
+    pub fn n90() -> Self {
+        AreaModel { nand2_um2: 2.72, cell_um2: 0.0413 }
+    }
+
+    /// Area of the VRL logic block for a counter width (µm²).
+    pub fn vrl_logic_area(&self, nbits: u32) -> f64 {
+        vrl_logic(nbits).nand2_total() * self.nand2_um2
+    }
+
+    /// Area of a `rows × cols` DRAM bank (µm²).
+    pub fn bank_area(&self, rows: usize, cols: usize) -> f64 {
+        rows as f64 * cols as f64 * self.cell_um2
+    }
+
+    /// Full overhead evaluation: one Table 2 row.
+    pub fn vrl_overhead(&self, nbits: u32, rows: usize, cols: usize) -> OverheadReport {
+        let logic_area_um2 = self.vrl_logic_area(nbits);
+        let bank_area_um2 = self.bank_area(rows, cols);
+        OverheadReport {
+            nbits,
+            logic_area_um2,
+            bank_area_um2,
+            percent_of_bank: 100.0 * logic_area_um2 / bank_area_um2,
+        }
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self::n90()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values_reproduce() {
+        // Paper Table 2 at 8192×32: 105 / 152 / 200 µm², 0.97 / 1.4 /
+        // 1.85 % of the bank.
+        let m = AreaModel::n90();
+        let expected = [(2u32, 105.0, 0.97), (3, 152.0, 1.4), (4, 200.0, 1.85)];
+        for (nbits, area, pct) in expected {
+            let r = m.vrl_overhead(nbits, 8192, 32);
+            assert!(
+                (r.logic_area_um2 - area).abs() / area < 0.05,
+                "nbits={nbits}: {} vs {area}",
+                r.logic_area_um2
+            );
+            assert!(
+                (r.percent_of_bank - pct).abs() / pct < 0.06,
+                "nbits={nbits}: {}% vs {pct}%",
+                r.percent_of_bank
+            );
+        }
+    }
+
+    #[test]
+    fn overhead_stays_under_two_percent() {
+        let m = AreaModel::n90();
+        for nbits in 2..=4 {
+            assert!(m.vrl_overhead(nbits, 8192, 32).percent_of_bank < 2.0);
+        }
+    }
+
+    #[test]
+    fn bigger_bank_smaller_relative_overhead() {
+        let m = AreaModel::n90();
+        let small = m.vrl_overhead(2, 8192, 32);
+        let large = m.vrl_overhead(2, 16384, 128);
+        assert!(large.percent_of_bank < small.percent_of_bank);
+        assert_eq!(large.logic_area_um2, small.logic_area_um2);
+    }
+}

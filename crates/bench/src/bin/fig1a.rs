@@ -1,0 +1,70 @@
+//! Figure 1a: the charge restoration status of a DRAM cell during a
+//! refresh operation.
+//!
+//! Paper reading: ~60 % of tRFC restores the first 95 % of the charge;
+//! the remaining ~40 % injects the last 5 %.
+
+use serde::Serialize;
+
+use vrl_circuit::model::AnalyticalModel;
+use vrl_circuit::tech::{BankGeometry, Technology};
+use vrl_spice::circuits::{sense_restore_circuit, SenseTiming};
+use vrl_spice::waveform::CrossingDirection;
+use vrl_spice::TransientSpec;
+
+#[derive(Serialize)]
+struct Fig1a {
+    curve: Vec<(f64, f64)>,
+    time_fraction_to_95: f64,
+    time_fraction_to_99: f64,
+    transient_time_fraction_to_95: f64,
+}
+
+/// Transient ("SPICE") reference: the full sense-and-restore circuit,
+/// with the cell's charge read over one 19-cycle tRFC window.
+fn transient_t95(tech: &Technology) -> f64 {
+    let trfc_seconds = 19.0 * tech.tck;
+    let params = tech.to_spice_params(BankGeometry::operational_segment());
+    let timing = SenseTiming { wl_at: 0.5e-9, sa_at: 3.0e-9 };
+    let (ckt, nodes) = sense_restore_circuit(&params, 0.5, timing);
+    let res = ckt
+        .run_transient(TransientSpec::new(10e-12, trfc_seconds))
+        .expect("transient simulation");
+    let wf = res.waveform(nodes.cell);
+    let v_end = wf.last_value();
+    let t95 = wf
+        .first_crossing(0.95 * v_end, CrossingDirection::Rising)
+        .unwrap_or(trfc_seconds);
+    t95 / trfc_seconds
+}
+
+fn main() {
+    vrl_bench::section("Figure 1a — charge restoration during a refresh operation");
+    let model = AnalyticalModel::new(Technology::n90());
+    let curve = model.charge_restoration_curve(100);
+
+    println!("{:>12} {:>12}", "% of tRFC", "% of charge");
+    for (t, q) in curve.iter().step_by(5) {
+        println!("{:>11.1}% {:>11.1}%", t * 100.0, q * 100.0);
+    }
+    let t95 = model.time_fraction_to_charge_fraction(0.95);
+    let t99 = model.time_fraction_to_charge_fraction(0.99);
+    let t95_transient = transient_t95(model.technology());
+    println!("\nfraction of tRFC to reach 95% of charge: {:.1}%  (paper: ~60%)", t95 * 100.0);
+    println!("  transient reference:                   {:.1}%", t95_transient * 100.0);
+    println!("fraction of tRFC to reach 99% of charge: {:.1}%", t99 * 100.0);
+    println!(
+        "last 5% of charge takes {:.1}% of tRFC  (paper: ~40%)",
+        (1.0 - t95) * 100.0
+    );
+
+    vrl_bench::write_json(
+        "fig1a",
+        &Fig1a {
+            curve,
+            time_fraction_to_95: t95,
+            time_fraction_to_99: t99,
+            transient_time_fraction_to_95: t95_transient,
+        },
+    );
+}

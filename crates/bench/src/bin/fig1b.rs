@@ -1,0 +1,94 @@
+//! Figure 1b: refreshing a DRAM cell with full vs partial refresh
+//! operations over three 64 ms refresh periods.
+//!
+//! Paper reading: a cell with retention above the refresh period retains
+//! its data when a full refresh is followed by a partial refresh, but two
+//! back-to-back partial refreshes drop it below the sensing threshold.
+
+use serde::Serialize;
+
+use vrl_circuit::model::AnalyticalModel;
+use vrl_circuit::tech::Technology;
+use vrl_circuit::trfc::RefreshKind;
+use vrl_retention::leakage::LeakageModel;
+
+/// The example cell's retention (ms); above the 64 ms refresh period but
+/// weak enough that sustained partials fail.
+const RETENTION_MS: f64 = 170.0;
+/// Refresh period (ms).
+const PERIOD_MS: f64 = 64.0;
+/// Simulated span (ms) — three refresh periods, as in the paper.
+const SPAN_MS: f64 = 192.0;
+
+#[derive(Serialize)]
+struct Fig1b {
+    retention_ms: f64,
+    threshold: f64,
+    /// (time ms, charge %) with full refreshes at every period.
+    full_series: Vec<(f64, f64)>,
+    /// (time ms, charge %) with partial refreshes after the initial full.
+    partial_series: Vec<(f64, f64)>,
+    partial_crosses_threshold: bool,
+}
+
+fn trajectory(
+    model: &AnalyticalModel,
+    leakage: &LeakageModel,
+    kind: RefreshKind,
+) -> Vec<(f64, f64)> {
+    let mut series = Vec::new();
+    let mut charge = model.full_charge_fraction();
+    let mut t = 0.0;
+    let step = 1.0; // ms
+    while t <= SPAN_MS + 1e-9 {
+        // Refresh at every period boundary after t = 0.
+        if t > 0.0 && (t / PERIOD_MS).fract().abs() < 1e-9 {
+            charge = model.fraction_after_refresh(kind, charge);
+        }
+        series.push((t, charge * 100.0));
+        charge = leakage.charge_after(charge, step, RETENTION_MS);
+        t += step;
+    }
+    series
+}
+
+fn main() {
+    vrl_bench::section("Figure 1b — full vs partial refresh of an example cell");
+    let model = AnalyticalModel::new(Technology::n90());
+    let threshold = model.sense_threshold();
+    let leakage = LeakageModel::new(model.full_charge_fraction(), threshold);
+
+    let full_series = trajectory(&model, &leakage, RefreshKind::Full);
+    let partial_series = trajectory(&model, &leakage, RefreshKind::Partial);
+
+    println!("cell retention: {RETENTION_MS} ms, refresh period: {PERIOD_MS} ms");
+    println!("data-loss threshold: {:.1}% of Vdd\n", threshold * 100.0);
+    println!("{:>8} {:>12} {:>14}", "t (ms)", "full (%)", "partial (%)");
+    for i in (0..full_series.len()).step_by(8) {
+        println!(
+            "{:>8.0} {:>12.1} {:>14.1}",
+            full_series[i].0, full_series[i].1, partial_series[i].1
+        );
+    }
+
+    let full_min = full_series.iter().map(|(_, q)| *q).fold(f64::INFINITY, f64::min);
+    let partial_min = partial_series.iter().map(|(_, q)| *q).fold(f64::INFINITY, f64::min);
+    let crosses = partial_min < threshold * 100.0;
+    println!("\nminimum charge with full refreshes:    {full_min:.1}%  (never loses data)");
+    println!("minimum charge with partial refreshes: {partial_min:.1}%");
+    println!(
+        "back-to-back partial refreshes cross the threshold: {} (paper: yes)",
+        if crosses { "yes" } else { "no" }
+    );
+
+    vrl_bench::write_json(
+        "fig1b",
+        &Fig1b {
+            retention_ms: RETENTION_MS,
+            threshold,
+            full_series,
+            partial_series,
+            partial_crosses_threshold: crosses,
+        },
+    );
+}

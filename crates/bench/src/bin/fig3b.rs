@@ -1,0 +1,38 @@
+//! Figure 3b: refresh rates after binning of rows in a DRAM bank.
+//!
+//! Paper values (8192-row bank): 64 ms → 68 rows, 128 ms → 101,
+//! 192 ms → 145, 256 ms → 7878.
+
+use serde::Serialize;
+
+use vrl_retention::binning::{BinningTable, RefreshBin};
+use vrl_retention::distribution::RetentionDistribution;
+use vrl_retention::profile::BankProfile;
+
+#[derive(Serialize)]
+struct Fig3b {
+    rows: Vec<(f64, usize, usize)>,
+}
+
+fn main() {
+    vrl_bench::section("Figure 3b — refresh-period binning of an 8192-row bank");
+    let dist = RetentionDistribution::liu_et_al();
+    let profile = BankProfile::generate(&dist, 8192, 32, 42);
+    let table = BinningTable::from_profile(&profile);
+
+    let paper = [(RefreshBin::Ms64, 68), (RefreshBin::Ms128, 101), (RefreshBin::Ms192, 145), (RefreshBin::Ms256, 7878)];
+    println!("{:>18} {:>12} {:>12}", "refresh period", "ours", "paper");
+    let mut rows = Vec::new();
+    for (bin, expected) in paper {
+        let count = table.count(bin);
+        println!("{:>18} {:>12} {:>12}", bin.to_string(), count, expected);
+        rows.push((bin.period_ms(), count, expected));
+    }
+    println!(
+        "\nRAIDR refreshes per 256 ms window: {:.0} (vs {} under fixed 64 ms refresh)",
+        table.refreshes_per_window(256.0),
+        8192 * 4
+    );
+
+    vrl_bench::write_json("fig3b", &Fig3b { rows });
+}

@@ -1,0 +1,69 @@
+//! Figure 5: bitline voltage response during the equalization stage —
+//! our two-phase model vs the single-cell model of Li et al. vs the
+//! transient ("SPICE") reference.
+//!
+//! Paper reading: all three agree on the complementary bitline; on `Bi`
+//! the two-phase model tracks the reference markedly better than the
+//! single-cell model.
+
+use serde::Serialize;
+
+use vrl_circuit::tech::Technology;
+use vrl_circuit::validation::compare_equalization;
+
+#[derive(Serialize)]
+struct Fig5 {
+    times_ns: Vec<f64>,
+    spice_bl: Vec<f64>,
+    two_phase_bl: Vec<f64>,
+    single_cell_bl: Vec<f64>,
+    spice_blb: Vec<f64>,
+    two_phase_blb: Vec<f64>,
+    two_phase_rms_mv: f64,
+    single_cell_rms_mv: f64,
+}
+
+fn main() {
+    vrl_bench::section("Figure 5 — voltage response during equalization");
+    let tech = Technology::n90();
+    let cmp = compare_equalization(&tech, 1.0e-9, 100).expect("transient simulation");
+
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} | {:>10} {:>10}",
+        "t (ns)", "SPICE Bi", "2-phase", "Li et al.", "SPICE B̄i", "2-phase"
+    );
+    for i in (0..cmp.times.len()).step_by(10) {
+        println!(
+            "{:>8.2} {:>10.3} {:>10.3} {:>10.3} | {:>10.3} {:>10.3}",
+            cmp.times[i] * 1e9,
+            cmp.spice_bl[i],
+            cmp.two_phase_bl[i],
+            cmp.single_cell_bl[i],
+            cmp.spice_blb[i],
+            cmp.two_phase_blb[i],
+        );
+    }
+    let two_rms = cmp.two_phase_rms() * 1e3;
+    let single_rms = cmp.single_cell_rms() * 1e3;
+    println!("\nRMS error vs transient reference on Bi:");
+    println!("  our two-phase model: {two_rms:.1} mV");
+    println!("  Li et al. single-cell model: {single_rms:.1} mV");
+    println!(
+        "our model is {:.1}x closer to the reference  (paper: visibly closer)",
+        single_rms / two_rms
+    );
+
+    vrl_bench::write_json(
+        "fig5",
+        &Fig5 {
+            times_ns: cmp.times.iter().map(|t| t * 1e9).collect(),
+            spice_bl: cmp.spice_bl,
+            two_phase_bl: cmp.two_phase_bl,
+            single_cell_bl: cmp.single_cell_bl,
+            spice_blb: cmp.spice_blb,
+            two_phase_blb: cmp.two_phase_blb,
+            two_phase_rms_mv: two_rms,
+            single_cell_rms_mv: single_rms,
+        },
+    );
+}

@@ -1,0 +1,29 @@
+//! Table 2: area overhead of VRL-DRAM at 90 nm.
+//!
+//! Paper values (8192×32 bank): nbits 2 → 105 µm² (0.97 %), 3 → 152 µm²
+//! (1.4 %), 4 → 200 µm² (1.85 %).
+
+use vrl_area::model::{AreaModel, OverheadReport};
+
+fn main() {
+    vrl_bench::section("Table 2 — area overhead of VRL-DRAM at 90 nm");
+    let model = AreaModel::n90();
+    let paper = [(2u32, 105.0, 0.97), (3, 152.0, 1.4), (4, 200.0, 1.85)];
+
+    println!(
+        "{:>6} {:>16} {:>14} {:>16} {:>14}",
+        "nbits", "logic (µm²)", "paper (µm²)", "% of bank", "paper (%)"
+    );
+    let mut rows: Vec<OverheadReport> = Vec::new();
+    for (nbits, paper_area, paper_pct) in paper {
+        let r = model.vrl_overhead(nbits, 8192, 32);
+        println!(
+            "{:>6} {:>16.1} {:>14.0} {:>15.2}% {:>13.2}%",
+            nbits, r.logic_area_um2, paper_area, r.percent_of_bank, paper_pct
+        );
+        rows.push(r);
+    }
+    println!("\nbank area: {:.0} µm² (8192 × 32 cells at 90 nm)", model.bank_area(8192, 32));
+
+    vrl_bench::write_json("table2", &rows);
+}

@@ -1,0 +1,73 @@
+//! Section 3.1: selecting τ_partial.
+//!
+//! Sweeps the post-sensing cycle budget and reports the refresh-overhead
+//! trade-off; the paper settles on τ_partial = 11 cycles
+//! (τeq=1, τpre=2, τpost=4, τfixed=4) against τ_full = 19.
+
+use serde::Serialize;
+
+use vrl_circuit::model::AnalyticalModel;
+use vrl_circuit::tech::Technology;
+use vrl_dram::tau::{select_tau_partial, TauCandidate};
+use vrl_retention::distribution::RetentionDistribution;
+use vrl_retention::profile::BankProfile;
+
+#[derive(Serialize)]
+struct TauSelect {
+    candidates: Vec<Candidate>,
+    best_total_cycles: u32,
+}
+
+#[derive(Serialize)]
+struct Candidate {
+    post_cycles: u32,
+    total_cycles: u32,
+    mean_refresh_cycles: f64,
+    normalized_overhead: f64,
+}
+
+impl From<TauCandidate> for Candidate {
+    fn from(c: TauCandidate) -> Self {
+        Candidate {
+            post_cycles: c.post_cycles,
+            total_cycles: c.total_cycles,
+            mean_refresh_cycles: c.mean_refresh_cycles,
+            normalized_overhead: c.normalized_overhead,
+        }
+    }
+}
+
+fn main() {
+    vrl_bench::section("Section 3.1 — τ_partial selection sweep");
+    let model = AnalyticalModel::new(Technology::n90());
+    let profile = BankProfile::generate(&RetentionDistribution::liu_et_al(), 8192, 32, 42);
+    let sweep = select_tau_partial(&model, &profile, 2, 0.0);
+
+    println!(
+        "{:>8} {:>12} {:>16} {:>14}",
+        "τpost", "τ_partial", "mean cycles/ref", "vs RAIDR"
+    );
+    for c in &sweep.candidates {
+        let marker = if c.total_cycles == sweep.best_candidate().total_cycles { " <- best" } else { "" };
+        println!(
+            "{:>8} {:>12} {:>16.2} {:>13.1}%{marker}",
+            c.post_cycles,
+            c.total_cycles,
+            c.mean_refresh_cycles,
+            (1.0 - c.normalized_overhead) * -100.0
+        );
+    }
+    let best = sweep.best_candidate();
+    println!(
+        "\nselected τ_partial = {} cycles (paper: 11 cycles, τ_full = 19)",
+        best.total_cycles
+    );
+
+    vrl_bench::write_json(
+        "tau_select",
+        &TauSelect {
+            candidates: sweep.candidates.iter().copied().map(Candidate::from).collect(),
+            best_total_cycles: best.total_cycles,
+        },
+    );
+}

@@ -1,0 +1,82 @@
+//! # vrl-bench — the benchmark harness
+//!
+//! One binary per figure and table of the paper's evaluation, plus
+//! ablation studies. Every binary prints the paper's rows/series to
+//! stdout and writes a JSON artifact under `target/experiments/`.
+//!
+//! | target | reproduces |
+//! |--------|------------|
+//! | `fig1a` | Figure 1a — charge restoration vs fraction of tRFC |
+//! | `fig1b` | Figure 1b — full vs partial refresh trajectories |
+//! | `fig3a` | Figure 3a — retention-time histogram |
+//! | `fig3b` | Figure 3b — refresh-period binning counts |
+//! | `fig4`  | Figure 4 — normalized refresh overhead per benchmark |
+//! | `fig5`  | Figure 5 — equalization voltage: model vs SPICE vs Li et al. |
+//! | `table1`| Table 1 — pre-sensing delay accuracy/runtime trade-off |
+//! | `table2`| Table 2 — VRL logic area at 90 nm |
+//! | `tau_select` | Section 3.1 — τ_partial selection sweep |
+//! | `power` | Section 4.1 — refresh power vs RAIDR |
+//! | `ablation_margin` | guard-band ablation |
+//! | `ablation_nbits`  | counter-width ablation |
+//! | `ablation_locality` | trace-locality sensitivity of VRL-Access |
+//!
+//! Criterion benches (`cargo bench`) time the underlying machinery:
+//! `fig1_charge`, `fig4_policies`, `table1_presensing`, `model_vs_spice`.
+
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// Directory where experiment artifacts are written
+/// (`target/experiments/`), created on demand.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/experiments");
+    fs::create_dir_all(&dir).expect("create experiments dir");
+    dir
+}
+
+/// Writes a JSON artifact and reports the path.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = experiments_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serializable");
+    fs::write(&path, json).expect("write artifact");
+    println!("\n[artifact] {}", path.display());
+}
+
+/// Prints a separator-framed section header.
+pub fn section(title: &str) {
+    println!("\n{}", "=".repeat(72));
+    println!("{title}");
+    println!("{}", "=".repeat(72));
+}
+
+/// Parses a `--duration-ms <f64>` style flag from `std::env::args`,
+/// falling back to `default`.
+pub fn arg_f64(flag: &str, default: f64) -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiments_dir_is_creatable() {
+        let d = experiments_dir();
+        assert!(d.exists());
+    }
+
+    #[test]
+    fn arg_f64_falls_back() {
+        assert_eq!(arg_f64("--nonexistent-flag", 7.5), 7.5);
+    }
+}

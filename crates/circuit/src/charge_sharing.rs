@@ -1,0 +1,213 @@
+//! Pre-sensing charge-sharing model (paper Section 2.2, Equations 3–5).
+//!
+//! After wordline activation the cell shares charge with its bitline. The
+//! paper models the bitline swing as
+//!
+//! ```text
+//! ΔVbl(t) = Vsense · (1 − U(t)),
+//! U(t)    = [Cs·e^(−(t−τeq)/(Rpre·Cbl)) + Cbl·e^(−(t−τeq)/(Rpre·Cs))] / (Cs+Cbl)
+//! ```
+//!
+//! with `Rpre = r_on1 + Rbl`.
+//!
+//! The lumped two-capacitor/one-resistor system actually has a *single*
+//! nonzero pole, `τ₁ = Rpre·(Cs‖Cbl)` (the common mode is conserved); the
+//! paper's two-exponential form over-weights a spurious slow mode on short
+//! bitlines. Our extended settling function therefore uses the exact
+//! single pole plus two effects the lumped view misses (both validated
+//! against the [`vrl_spice`] transient reference and absent from the
+//! Li-et-al. baseline):
+//!
+//! * a **distributed-bitline diffusion mode**: the first mode of the RC
+//!   line (`τ_dist ≈ 0.405·Rbl·Cbl`, weight `Rbl/(Rbl + r_on1)`), which
+//!   dominates far-end settling on long bitlines,
+//! * the **wordline rise time**, which delays the onset of sharing and
+//!   grows with the number of columns.
+
+use crate::tech::{BankGeometry, Technology};
+
+/// Charge-sharing model for one cell/bitline pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChargeSharingModel {
+    cs: f64,
+    cbl: f64,
+    r_pre: f64,
+    tau_dist: f64,
+    dist_weight: f64,
+    wl_rise: f64,
+}
+
+impl ChargeSharingModel {
+    /// Builds the model for a technology and geometry.
+    pub fn new(tech: &Technology, geometry: BankGeometry) -> Self {
+        let cbl = tech.cbl(geometry);
+        let rbl = tech.rbl(geometry);
+        let ron = tech.ron_access(tech.veq());
+        ChargeSharingModel {
+            cs: tech.cs,
+            cbl,
+            r_pre: tech.r_pre(geometry),
+            // First diffusion mode of a distributed RC line: 4RC/π².
+            tau_dist: 0.405 * rbl * cbl,
+            // The line mode matters in proportion to how much of the total
+            // series resistance the line itself contributes.
+            dist_weight: rbl / (rbl + ron),
+            wl_rise: tech.wl_rise(geometry),
+        }
+    }
+
+    /// The capacitive-divider gain `Cs / (Cs + Cbl)` — the fraction of the
+    /// cell/bitline voltage difference that appears on the bitline as
+    /// `t → ∞` (Equation 4).
+    pub fn divider_gain(&self) -> f64 {
+        self.cs / (self.cs + self.cbl)
+    }
+
+    /// The paper's settling function `U(t)` (Equation 3), with `t` measured
+    /// from the start of charge sharing. `U(0) = 1`, `U(∞) = 0`.
+    pub fn u_lumped(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 1.0;
+        }
+        let ctot = self.cs + self.cbl;
+        (self.cs * (-t / (self.r_pre * self.cbl)).exp()
+            + self.cbl * (-t / (self.r_pre * self.cs)).exp())
+            / ctot
+    }
+
+    /// The exact single pole of the lumped system:
+    /// `τ₁ = Rpre·(Cs·Cbl/(Cs+Cbl))`.
+    pub fn tau1(&self) -> f64 {
+        self.r_pre * (self.cs * self.cbl / (self.cs + self.cbl))
+    }
+
+    /// Extended settling function: exact lumped pole blended with the
+    /// distributed-bitline diffusion mode, after the wordline-rise delay.
+    pub fn u_extended(&self, t: f64) -> f64 {
+        let t = t - self.wl_rise;
+        if t <= 0.0 {
+            return 1.0;
+        }
+        let w = self.dist_weight;
+        let dist = if self.tau_dist > 0.0 { (-t / self.tau_dist).exp() } else { 0.0 };
+        (1.0 - w) * (-t / self.tau1()).exp() + w * dist
+    }
+
+    /// Bitline swing at time `t` for a cell/bitline difference `lself`
+    /// volts (Equation 5): `ΔVbl(t) = divider·lself·(1 − U(t))`.
+    pub fn delta_vbl(&self, lself: f64, t: f64) -> f64 {
+        self.divider_gain() * lself * (1.0 - self.u_extended(t))
+    }
+
+    /// Time (seconds, from wordline assertion) for the bitline swing to
+    /// reach `fraction` of its final value, i.e. the first `t` with
+    /// `U(t) ≤ 1 − fraction`. Solved by bisection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not within `(0, 1)`.
+    pub fn settling_time(&self, fraction: f64) -> f64 {
+        assert!(fraction > 0.0 && fraction < 1.0, "fraction must be in (0,1)");
+        let target = 1.0 - fraction;
+        // Bracket: U is monotone decreasing; find an upper bound first.
+        let mut hi = self.wl_rise + self.r_pre * (self.cs + self.cbl);
+        let mut guard = 0;
+        while self.u_extended(hi) > target {
+            hi *= 2.0;
+            guard += 1;
+            assert!(guard < 200, "settling bracket failed");
+        }
+        let mut lo = 0.0;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.u_extended(mid) > target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Pre-sensing delay `τ_pre` in cycles of the array clock: the
+    /// settling time to 95 % of the final swing, rounded up (the Table 1
+    /// measurement).
+    pub fn presensing_cycles(&self, tech: &Technology) -> usize {
+        (self.settling_time(0.95) / tech.tck_presense).ceil() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ChargeSharingModel {
+        ChargeSharingModel::new(&Technology::n90(), BankGeometry::paper_default())
+    }
+
+    #[test]
+    fn u_starts_at_one_and_decays() {
+        let m = model();
+        assert_eq!(m.u_lumped(0.0), 1.0);
+        assert!(m.u_lumped(1e-9) < 1.0);
+        assert!(m.u_lumped(500e-9) < 1e-3);
+        assert!(m.u_extended(0.0) >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn u_is_monotone_decreasing() {
+        let m = model();
+        let mut prev = f64::INFINITY;
+        for i in 0..100 {
+            let u = m.u_extended(i as f64 * 50e-12);
+            assert!(u <= prev + 1e-12);
+            prev = u;
+        }
+    }
+
+    #[test]
+    fn divider_gain_matches_cap_ratio() {
+        let t = Technology::n90();
+        let g = BankGeometry::paper_default();
+        let m = ChargeSharingModel::new(&t, g);
+        let expected = t.cs / (t.cs + t.cbl(g));
+        assert!((m.divider_gain() - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn delta_vbl_approaches_divider_limit() {
+        let m = model();
+        let lself = 0.6;
+        let final_swing = m.delta_vbl(lself, 1e-6);
+        assert!((final_swing - m.divider_gain() * lself).abs() < 1e-6);
+    }
+
+    #[test]
+    fn settling_time_is_consistent_with_u() {
+        let m = model();
+        let t95 = m.settling_time(0.95);
+        assert!((m.u_extended(t95) - 0.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn settling_slows_with_bank_size() {
+        let t = Technology::n90();
+        let small = ChargeSharingModel::new(&t, BankGeometry::new(2048, 32));
+        let large = ChargeSharingModel::new(&t, BankGeometry::new(16384, 32));
+        assert!(large.settling_time(0.95) > small.settling_time(0.95));
+    }
+
+    #[test]
+    fn settling_slows_with_wordline_length() {
+        let t = Technology::n90();
+        let narrow = ChargeSharingModel::new(&t, BankGeometry::new(8192, 32));
+        let wide = ChargeSharingModel::new(&t, BankGeometry::new(8192, 128));
+        assert!(wide.settling_time(0.95) > narrow.settling_time(0.95));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in (0,1)")]
+    fn bad_fraction_panics() {
+        let _ = model().settling_time(1.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Coupled-bitline sense-margin model (paper Section 2.2, Equations 6–8).
+//!
+//! The paper's modeling contribution: the maximum voltage change on a
+//! bitline depends cyclically on its neighbors through the
+//! bitline-to-bitline parasitic `Cbb`:
+//!
+//! ```text
+//! Vsense_i = K1·Lself_i + K2·Vsense_{i−1} + K2·Vsense_{i+1}
+//! K1 = Cs / (Cs + Cbl + 2Cbb + Cbw),   K2 = Cbb / (Cs + Cbl + 2Cbb + Cbw)
+//! ```
+//!
+//! and the closed-form solution is `Vsense = K1·K⁻¹·Lself` with `K`
+//! tridiagonal (Equation 8). Because `K` is tridiagonal, we solve it in
+//! O(N) with the Thomas algorithm rather than forming a dense inverse.
+//!
+//! One deliberate refinement over the paper's presentation: we keep
+//! `Lself` *signed* (positive for a stored 1, negative for a stored 0), so
+//! opposite-data neighbors reduce the victim's margin — the physical
+//! data-pattern dependence the paper motivates, and the behaviour our
+//! transient reference exhibits.
+
+use crate::data_pattern::DataPattern;
+use crate::tech::{BankGeometry, Technology};
+use vrl_spice::linalg::solve_tridiagonal;
+
+/// Coupled sense-margin solver for the `N` bitlines of one wordline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CouplingModel {
+    k1: f64,
+    k2: f64,
+    vdd: f64,
+    cols: usize,
+}
+
+impl CouplingModel {
+    /// Builds the model for a technology and geometry.
+    pub fn new(tech: &Technology, geometry: BankGeometry) -> Self {
+        let ctot = tech.cs + tech.cbl(geometry) + 2.0 * tech.cbb(geometry) + tech.cbw;
+        CouplingModel {
+            k1: tech.cs / ctot,
+            k2: tech.cbb(geometry) / ctot,
+            vdd: tech.vdd,
+            cols: geometry.cols,
+        }
+    }
+
+    /// The paper's `K1` coefficient.
+    pub fn k1(&self) -> f64 {
+        self.k1
+    }
+
+    /// The paper's `K2` coefficient.
+    pub fn k2(&self) -> f64 {
+        self.k2
+    }
+
+    /// Signed self-term `Lself_i = Vs_i(τeq) − Vbl_i(τeq)` for a cell with
+    /// stored bit `bit` at charge fraction `charge` (1.0 = fully
+    /// refreshed, 0.5 = at the sensing threshold).
+    pub fn lself(&self, bit: bool, charge: f64) -> f64 {
+        let magnitude = self.vdd * (charge - 0.5);
+        if bit {
+            magnitude
+        } else {
+            -magnitude
+        }
+    }
+
+    /// Solves Equation 8 for the signed sense voltages of all bitlines,
+    /// given per-column stored bits and charge fractions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` and `charges` differ in length or are empty.
+    pub fn vsense(&self, bits: &[bool], charges: &[f64]) -> Vec<f64> {
+        assert_eq!(bits.len(), charges.len(), "bits/charges length mismatch");
+        assert!(!bits.is_empty(), "at least one column required");
+        let n = bits.len();
+        let rhs: Vec<f64> =
+            bits.iter().zip(charges).map(|(&b, &q)| self.k1 * self.lself(b, q)).collect();
+        let lower = vec![-self.k2; n - 1];
+        let upper = vec![-self.k2; n - 1];
+        let diag = vec![1.0; n];
+        solve_tridiagonal(&lower, &diag, &upper, &rhs)
+            .expect("K is strictly diagonally dominant for physical K2 < 1/2")
+    }
+
+    /// Sense voltages for a uniform charge level under a data pattern.
+    pub fn vsense_pattern(&self, pattern: DataPattern, charge: f64) -> Vec<f64> {
+        let bits = pattern.bits(self.cols);
+        let charges = vec![charge; self.cols];
+        self.vsense(&bits, &charges)
+    }
+
+    /// The worst-case (smallest-magnitude) sense voltage across all
+    /// columns for a pattern at a uniform charge level.
+    pub fn worst_case_margin(&self, pattern: DataPattern, charge: f64) -> f64 {
+        self.vsense_pattern(pattern, charge)
+            .iter()
+            .map(|v| v.abs())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The worst margin across the paper's four characterization patterns.
+    pub fn worst_pattern_margin(&self, charge: f64) -> f64 {
+        DataPattern::characterization_set()
+            .iter()
+            .map(|p| self.worst_case_margin(*p, charge))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Closed-form interior solution for an infinite uniform array:
+    /// `v = K1·L / (1 − 2K2)` (all cells same data) — the consistency
+    /// anchor for the tridiagonal solve.
+    pub fn vsense_uniform_limit(&self, lself: f64) -> f64 {
+        self.k1 * lself / (1.0 - 2.0 * self.k2)
+    }
+
+    /// Closed-form interior solution for an infinite alternating array:
+    /// `v = K1·L / (1 + 2K2)`.
+    pub fn vsense_alternating_limit(&self, lself: f64) -> f64 {
+        self.k1 * lself / (1.0 + 2.0 * self.k2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CouplingModel {
+        CouplingModel::new(&Technology::n90(), BankGeometry::paper_default())
+    }
+
+    #[test]
+    fn k_coefficients_are_physical() {
+        let m = model();
+        assert!(m.k1() > 0.0 && m.k1() < 1.0);
+        assert!(m.k2() > 0.0 && m.k2() < 0.5, "K2 must keep K diagonally dominant");
+        assert!(m.k1() > m.k2(), "cell term dominates coupling term");
+    }
+
+    #[test]
+    fn uniform_pattern_boosts_interior_margin() {
+        let m = model();
+        let v = m.vsense_pattern(DataPattern::AllOnes, 1.0);
+        let interior = v[v.len() / 2];
+        // Same-direction neighbors reinforce: interior exceeds K1·L.
+        let solo = m.k1() * m.lself(true, 1.0);
+        assert!(interior > solo);
+        // And matches the infinite-array closed form.
+        let limit = m.vsense_uniform_limit(m.lself(true, 1.0));
+        assert!((interior - limit).abs() / limit < 1e-6);
+    }
+
+    #[test]
+    fn alternating_pattern_reduces_margin() {
+        let m = model();
+        let uniform = m.worst_case_margin(DataPattern::AllOnes, 1.0);
+        let alternating = m.worst_case_margin(DataPattern::Alternating, 1.0);
+        assert!(
+            alternating < uniform,
+            "opposite-data neighbors must reduce margin: {alternating} vs {uniform}"
+        );
+        let limit = m.vsense_alternating_limit(m.lself(true, 1.0).abs());
+        let v = m.vsense_pattern(DataPattern::Alternating, 1.0);
+        let interior = v[v.len() / 2].abs();
+        assert!((interior - limit).abs() / limit < 1e-6);
+    }
+
+    #[test]
+    fn margin_scales_with_charge() {
+        let m = model();
+        let full = m.worst_case_margin(DataPattern::Alternating, 1.0);
+        let half = m.worst_case_margin(DataPattern::Alternating, 0.75);
+        assert!((half - full / 2.0).abs() < 1e-9, "linear in (charge − 0.5)");
+    }
+
+    #[test]
+    fn threshold_charge_has_zero_margin() {
+        let m = model();
+        assert!(m.worst_case_margin(DataPattern::AllOnes, 0.5) < 1e-12);
+    }
+
+    #[test]
+    fn signs_follow_stored_bits() {
+        let m = model();
+        let v = m.vsense(&[true, false, true], &[1.0, 1.0, 1.0]);
+        assert!(v[0] > 0.0 && v[1] < 0.0 && v[2] > 0.0);
+    }
+
+    #[test]
+    fn worst_pattern_margin_is_at_most_alternating() {
+        // Alternating is the uniformly-bad pattern, but a random pattern
+        // can be locally worse: a victim flanked by opposite-data
+        // neighbors whose own swings are reinforced by *their* neighbors
+        // couples even more strongly. The sweep must capture the minimum.
+        let m = model();
+        let worst = m.worst_pattern_margin(1.0);
+        let alt = m.worst_case_margin(DataPattern::Alternating, 1.0);
+        assert!(worst <= alt + 1e-15, "worst {worst} vs alternating {alt}");
+        assert!(worst > 0.5 * alt, "but within the same ballpark");
+    }
+
+    #[test]
+    fn single_column_has_no_coupling() {
+        let m = CouplingModel::new(&Technology::n90(), BankGeometry::new(8192, 1));
+        let v = m.vsense(&[true], &[1.0]);
+        assert!((v[0] - m.k1() * m.lself(true, 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_inputs_panic() {
+        let _ = model().vsense(&[true, false], &[1.0]);
+    }
+}

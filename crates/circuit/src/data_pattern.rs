@@ -1,0 +1,105 @@
+//! Data patterns used for worst-case refresh-latency characterization.
+//!
+//! Section 3.1: the paper sweeps four data patterns — all 0s, all 1s,
+//! alternating, and random — because bitline coupling makes the required
+//! refresh latency data-dependent.
+
+/// A data pattern across the cells of one wordline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataPattern {
+    /// Every cell stores 0.
+    AllZeros,
+    /// Every cell stores 1.
+    AllOnes,
+    /// Cells alternate 0/1 along the wordline — the worst case for
+    /// bitline-to-bitline coupling (neighbors swing in opposite
+    /// directions).
+    Alternating,
+    /// Pseudo-random data with the given seed (deterministic).
+    Random(u64),
+}
+
+impl DataPattern {
+    /// The four patterns of Section 3.1 (random seeded at 1).
+    pub fn characterization_set() -> [DataPattern; 4] {
+        [
+            DataPattern::AllZeros,
+            DataPattern::AllOnes,
+            DataPattern::Alternating,
+            DataPattern::Random(1),
+        ]
+    }
+
+    /// Expands the pattern to `n` stored bits.
+    pub fn bits(&self, n: usize) -> Vec<bool> {
+        match self {
+            DataPattern::AllZeros => vec![false; n],
+            DataPattern::AllOnes => vec![true; n],
+            DataPattern::Alternating => (0..n).map(|i| i % 2 == 1).collect(),
+            DataPattern::Random(seed) => {
+                // SplitMix64: small, deterministic, dependency-free.
+                let mut state = *seed;
+                (0..n)
+                    .map(|_| {
+                        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                        let mut z = state;
+                        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                        z = z ^ (z >> 31);
+                        z & 1 == 1
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Human-readable label used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DataPattern::AllZeros => "all-0",
+            DataPattern::AllOnes => "all-1",
+            DataPattern::Alternating => "alt-01",
+            DataPattern::Random(_) => "random",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_patterns_have_requested_length() {
+        for p in DataPattern::characterization_set() {
+            assert_eq!(p.bits(37).len(), 37);
+        }
+    }
+
+    #[test]
+    fn alternating_really_alternates() {
+        let bits = DataPattern::Alternating.bits(6);
+        assert_eq!(bits, vec![false, true, false, true, false, true]);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        assert_eq!(DataPattern::Random(7).bits(64), DataPattern::Random(7).bits(64));
+        assert_ne!(DataPattern::Random(7).bits(64), DataPattern::Random(8).bits(64));
+    }
+
+    #[test]
+    fn random_is_roughly_balanced() {
+        let bits = DataPattern::Random(42).bits(4096);
+        let ones = bits.iter().filter(|&&b| b).count();
+        assert!((1600..=2500).contains(&ones), "got {ones} ones of 4096");
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<&str> =
+            DataPattern::characterization_set().iter().map(|p| p.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.dedup();
+        assert_eq!(labels.len(), dedup.len());
+    }
+}

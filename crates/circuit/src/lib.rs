@@ -1,0 +1,62 @@
+//! # vrl-circuit — the VRL-DRAM analytical refresh model
+//!
+//! A faithful implementation of Section 2 of *VRL-DRAM: Improving DRAM
+//! Performance via Variable Refresh Latency* (Das, Hassan, Mutlu — DAC
+//! 2018): a closed-form, circuit-level model of the three phases of a DRAM
+//! refresh operation.
+//!
+//! * [`equalization`] — the two-phase bitline equalization model
+//!   (Equations 1–2): a saturation-current phase followed by an exponential
+//!   linear-region phase.
+//! * [`charge_sharing`] — cell-to-bitline charge sharing (Equations 3–5).
+//! * [`coupling`] — the paper's headline modeling contribution: the
+//!   closed-form solution of the cyclically-coupled bitline system
+//!   (Equations 6–8), a tridiagonal solve over all `N` bitlines including
+//!   bitline-to-bitline (`Cbb`) and bitline-to-wordline (`Cbw`) parasitics.
+//! * [`sense_amp`] — the four sub-phases of the latch-based voltage sense
+//!   amplifier (Equations 9–11).
+//! * [`restore`] — post-sensing charge restoration (Equation 12), from
+//!   which partial-refresh restore levels are derived.
+//! * [`trfc`] — composition of the refresh cycle time (Equation 13) into
+//!   the cycle budgets of Section 3.1 (`τ_partial` = 11 cycles, `τ_full` =
+//!   19 cycles).
+//! * [`single_cell`] — the single-cell capacitor model of Li et al. \[26\],
+//!   the accuracy baseline of Figure 5 and Table 1.
+//! * [`model`] — the [`model::AnalyticalModel`] facade tying the phases
+//!   together.
+//!
+//! # Example
+//!
+//! ```
+//! use vrl_circuit::model::AnalyticalModel;
+//! use vrl_circuit::tech::Technology;
+//!
+//! let model = AnalyticalModel::new(Technology::n90());
+//! // ~60% of tRFC restores the first 95% of the cell's charge (Fig. 1a).
+//! let frac = model.time_fraction_to_charge_fraction(0.95);
+//! assert!(frac > 0.5 && frac < 0.75, "got {frac}");
+//! // A partial refresh closes only part of the charge deficit.
+//! let g = model.gap_closure_partial();
+//! assert!(g > 0.2 && g < 0.8, "got {g}");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod charge_sharing;
+pub mod coupling;
+pub mod data_pattern;
+pub mod equalization;
+pub mod model;
+pub mod restore;
+pub mod scaling;
+pub mod sense_amp;
+pub mod single_cell;
+pub mod tech;
+pub mod trfc;
+pub mod validation;
+
+pub use data_pattern::DataPattern;
+pub use model::AnalyticalModel;
+pub use tech::{BankGeometry, Technology};
+pub use trfc::{CycleBudget, RefreshKind};

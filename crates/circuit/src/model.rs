@@ -1,0 +1,374 @@
+//! The [`AnalyticalModel`] facade: the end-to-end refresh-latency model.
+//!
+//! This is the public entry point the rest of the workspace consumes. It
+//! composes the per-phase models on the *operational* electrical segment
+//! (512 cells per bitline — see
+//! [`BankGeometry::operational_segment`]) and exposes:
+//!
+//! * the **refresh transfer function** — what charge level a cell ends at
+//!   after a full or partial refresh, starting from its current level
+//!   ([`AnalyticalModel::fraction_after_refresh`]); the key input to MPRSF
+//!   computation,
+//! * the **sense threshold** `θ` — the minimum charge fraction at which a
+//!   cell can still be sensed reliably under the worst-case data pattern
+//!   ([`AnalyticalModel::sense_threshold`]),
+//! * the **charge restoration curve** of Figure 1a,
+//! * the geometry-scaled **pre-sensing delay** of Table 1.
+
+use crate::charge_sharing::ChargeSharingModel;
+use crate::coupling::CouplingModel;
+use crate::equalization::EqualizationModel;
+use crate::restore::RestoreModel;
+use crate::sense_amp::SenseAmpModel;
+use crate::tech::{BankGeometry, Technology};
+use crate::trfc::{CycleBudget, RefreshKind};
+
+/// The composed analytical refresh model (operational segment).
+#[derive(Debug, Clone)]
+pub struct AnalyticalModel {
+    tech: Technology,
+    equalization: EqualizationModel,
+    charge_sharing: ChargeSharingModel,
+    coupling: CouplingModel,
+    sense_amp: SenseAmpModel,
+    restore: RestoreModel,
+}
+
+impl AnalyticalModel {
+    /// Builds the model for a technology.
+    pub fn new(tech: Technology) -> Self {
+        let seg = BankGeometry::operational_segment();
+        let equalization = EqualizationModel::new(&tech, seg);
+        let charge_sharing = ChargeSharingModel::new(&tech, seg);
+        let coupling = CouplingModel::new(&tech, seg);
+        let sense_amp = SenseAmpModel::new(&tech, seg);
+        let restore = RestoreModel::new(&tech, sense_amp.r_post());
+        AnalyticalModel { tech, equalization, charge_sharing, coupling, sense_amp, restore }
+    }
+
+    /// The underlying technology.
+    pub fn technology(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// The equalization-phase sub-model.
+    pub fn equalization(&self) -> &EqualizationModel {
+        &self.equalization
+    }
+
+    /// The charge-sharing sub-model (operational segment).
+    pub fn charge_sharing(&self) -> &ChargeSharingModel {
+        &self.charge_sharing
+    }
+
+    /// The coupled-bitline sense-margin sub-model.
+    pub fn coupling(&self) -> &CouplingModel {
+        &self.coupling
+    }
+
+    /// The sense-amplifier sub-model.
+    pub fn sense_amp(&self) -> &SenseAmpModel {
+        &self.sense_amp
+    }
+
+    /// The charge-restoration sub-model.
+    pub fn restore(&self) -> &RestoreModel {
+        &self.restore
+    }
+
+    /// Settled fraction of the final bitline swing at the end of the
+    /// `τpre` budget — the `1 − U(τpre)` factor of Equation 5.
+    pub fn presense_settled_fraction(&self) -> f64 {
+        let tau_pre = CycleBudget::FULL.pre as f64 * self.tech.tck;
+        1.0 - self.charge_sharing.u_extended(tau_pre)
+    }
+
+    /// Sensing sub-phase budget `t1 + t2 + t3` in whole cycles, evaluated
+    /// at the full-charge bitline swing and clamped so at least one restore
+    /// cycle remains inside the partial budget.
+    pub fn sensing_cycles(&self) -> u32 {
+        let swing = self.bitline_swing(1.0);
+        let cycles = (self.sense_amp.sensing_delay(swing) / self.tech.tck).ceil() as u32;
+        cycles.min(CycleBudget::PARTIAL.post - 1)
+    }
+
+    /// The bitline swing seen by the sense amplifier for a cell at charge
+    /// fraction `charge` (worst-case data pattern, Equation 5).
+    pub fn bitline_swing(&self, charge: f64) -> f64 {
+        self.coupling.worst_pattern_margin(charge) * self.presense_settled_fraction()
+    }
+
+    /// Restore window (seconds) inside the post-sensing budget of a
+    /// refresh kind: `(τpost − sensing) · tck`.
+    pub fn restore_window(&self, kind: RefreshKind) -> f64 {
+        let budget = CycleBudget::for_kind(kind);
+        let restore_cycles = budget.post.saturating_sub(self.sensing_cycles());
+        restore_cycles as f64 * self.tech.tck
+    }
+
+    /// Restore window for an arbitrary post-sensing budget (the τ_partial
+    /// selection sweep of Section 3.1).
+    pub fn restore_window_for_post(&self, post_cycles: u32) -> f64 {
+        post_cycles.saturating_sub(self.sensing_cycles()) as f64 * self.tech.tck
+    }
+
+    /// Cell voltage right after charge sharing, for a cell at `v` volts:
+    /// the cell loses part of its signal into the bitline before the
+    /// restore phase begins (Equation 12 restores from `Vs(τpre)`).
+    pub fn post_share_voltage(&self, v: f64) -> f64 {
+        let veq = self.tech.veq();
+        let loss =
+            self.presense_settled_fraction() * (1.0 - self.charge_sharing.divider_gain());
+        v - loss * (v - veq)
+    }
+
+    /// The refresh transfer function: charge fraction (of `Vdd`) after a
+    /// refresh of the given kind, starting from `start_fraction`.
+    ///
+    /// The cell first shares charge with the bitline, then the sense
+    /// amplifier restores it for the kind's restore window.
+    pub fn fraction_after_refresh(&self, kind: RefreshKind, start_fraction: f64) -> f64 {
+        self.fraction_after_window(self.restore_window(kind), start_fraction)
+    }
+
+    /// Like [`Self::fraction_after_refresh`] with an explicit restore
+    /// window (seconds).
+    pub fn fraction_after_window(&self, window: f64, start_fraction: f64) -> f64 {
+        let v_shared = self.post_share_voltage(start_fraction * self.tech.vdd);
+        self.restore.voltage_after(v_shared, window) / self.tech.vdd
+    }
+
+    /// The *guaranteed* full charge fraction: what a full refresh
+    /// restores starting from the worst legal sensing charge (the sense
+    /// threshold).
+    ///
+    /// Because the refresh transfer function is monotone in its starting
+    /// charge, every full refresh in a legal schedule ends at or above
+    /// this level — which makes it the safe anchor for the retention-time
+    /// definition (a profiler measures decay from the steady refresh
+    /// level, not from a one-off deep restore).
+    pub fn full_charge_fraction(&self) -> f64 {
+        self.fraction_after_refresh(RefreshKind::Full, self.sense_threshold())
+    }
+
+    /// Charge level reached by a single partial refresh of a cell at the
+    /// full charge level.
+    pub fn partial_charge_fraction(&self) -> f64 {
+        self.fraction_after_refresh(RefreshKind::Partial, self.full_charge_fraction())
+    }
+
+    /// Effective partial-refresh gap closure: the fraction of the charge
+    /// deficit (relative to full) remaining after one partial refresh from
+    /// the sensing threshold.
+    pub fn gap_closure_partial(&self) -> f64 {
+        let full = self.full_charge_fraction();
+        let after = self.fraction_after_refresh(RefreshKind::Partial, 0.5);
+        ((full - after) / (full - 0.5)).clamp(0.0, 1.0)
+    }
+
+    /// The sense threshold `θ`: the minimum charge fraction at which the
+    /// worst-case-pattern bitline swing still exceeds the sense-amp offset.
+    ///
+    /// A cell below `θ` at refresh time is considered to have lost its
+    /// data; VRL-DRAM's MPRSF is the number of partial refreshes a cell
+    /// sustains while staying above `θ` at every sensing instant.
+    pub fn sense_threshold(&self) -> f64 {
+        // Swing is linear in (charge − 0.5): swing(q) = s1 · (q − 0.5) where
+        // s1 = swing at full charge per unit of (q − 0.5).
+        let s1 = self.bitline_swing(1.0) / 0.5;
+        0.5 + self.tech.sa_offset / s1
+    }
+
+    /// The sense threshold under a *specific* data pattern (the default
+    /// [`Self::sense_threshold`] assumes the worst pattern). Friendly
+    /// patterns (all-same data) sense at lower charge because neighbor
+    /// coupling reinforces the swing.
+    pub fn sense_threshold_for_pattern(&self, pattern: crate::data_pattern::DataPattern) -> f64 {
+        let margin = self.coupling.worst_case_margin(pattern, 1.0);
+        let s1 = margin * self.presense_settled_fraction() / 0.5;
+        0.5 + self.tech.sa_offset / s1
+    }
+
+    /// The Figure 1a curve: `(fraction of tRFC, fraction of final charge)`
+    /// samples across one full refresh operation.
+    ///
+    /// The refresh timeline is: wordline assert (`τfixed/2`), equalization,
+    /// pre-sensing, the sensing sub-phases, the restore window, wordline
+    /// deassert (`τfixed/2`).
+    pub fn charge_restoration_curve(&self, points: usize) -> Vec<(f64, f64)> {
+        let budget = CycleBudget::FULL;
+        let total = budget.total() as f64;
+        let restore_start =
+            (budget.fixed / 2 + budget.eq + budget.pre + self.sensing_cycles()) as f64;
+        let restore_end = restore_start + (budget.post - self.sensing_cycles()) as f64;
+        let v_start = self.post_share_voltage(0.5 * self.tech.vdd);
+        let v_end = self.restore.voltage_after(v_start, (restore_end - restore_start) * self.tech.tck);
+        (0..=points)
+            .map(|i| {
+                let cycles = total * i as f64 / points as f64;
+                let v = if cycles <= restore_start {
+                    // Sharing slightly perturbs the cell; plot the post-
+                    // share level during the sensing phases.
+                    if cycles < (budget.fixed / 2 + budget.eq + budget.pre) as f64 {
+                        0.5 * self.tech.vdd
+                    } else {
+                        v_start
+                    }
+                } else {
+                    let w = (cycles.min(restore_end) - restore_start) * self.tech.tck;
+                    self.restore.voltage_after(v_start, w)
+                };
+                (cycles / total, v / v_end)
+            })
+            .collect()
+    }
+
+    /// Fraction of tRFC needed to restore a cell to `charge_fraction` of
+    /// its final charge (the Figure 1a reading: ~60 % of tRFC for the
+    /// first 95 %).
+    pub fn time_fraction_to_charge_fraction(&self, charge_fraction: f64) -> f64 {
+        let curve = self.charge_restoration_curve(2000);
+        for (t, q) in &curve {
+            if *q >= charge_fraction {
+                return *t;
+            }
+        }
+        1.0
+    }
+
+    /// Our model's pre-sensing delay (array-clock cycles) for a scaled
+    /// bank geometry — the Table 1 "Our Model" column.
+    pub fn presensing_cycles(&self, geometry: BankGeometry) -> usize {
+        ChargeSharingModel::new(&self.tech, geometry).presensing_cycles(&self.tech)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> AnalyticalModel {
+        AnalyticalModel::new(Technology::n90())
+    }
+
+    #[test]
+    fn full_refresh_restores_high_charge() {
+        let m = model();
+        let full = m.full_charge_fraction();
+        assert!(full > 0.9, "full refresh should exceed 90% of Vdd, got {full}");
+        assert!(full <= 1.0);
+    }
+
+    #[test]
+    fn partial_refresh_restores_less_than_full() {
+        let m = model();
+        assert!(m.partial_charge_fraction() < m.full_charge_fraction());
+        // But still above the raw threshold.
+        assert!(m.partial_charge_fraction() > 0.6);
+    }
+
+    #[test]
+    fn sense_threshold_is_above_half_with_margin() {
+        let m = model();
+        let theta = m.sense_threshold();
+        assert!(theta > 0.55 && theta < 0.75, "θ = {theta}");
+    }
+
+    #[test]
+    fn per_pattern_thresholds_order_correctly() {
+        use crate::data_pattern::DataPattern;
+        let m = model();
+        let friendly = m.sense_threshold_for_pattern(DataPattern::AllOnes);
+        let hostile = m.sense_threshold_for_pattern(DataPattern::Alternating);
+        assert!(
+            friendly < hostile,
+            "same-data neighbors must allow sensing at lower charge: {friendly} vs {hostile}"
+        );
+        // The default threshold is at least as conservative as any single
+        // pattern of the characterization set.
+        let default = m.sense_threshold();
+        for p in DataPattern::characterization_set() {
+            assert!(default + 1e-12 >= m.sense_threshold_for_pattern(p));
+        }
+    }
+
+    #[test]
+    fn restoration_curve_is_monotone_and_normalized() {
+        let m = model();
+        let curve = m.charge_restoration_curve(200);
+        assert_eq!(curve.len(), 201);
+        let mut prev = 0.0;
+        for (t, q) in &curve {
+            assert!(*t >= prev - 1e-12);
+            prev = *t;
+            assert!(*q > 0.0 && *q <= 1.0 + 1e-9);
+        }
+        // Ends at 100% of the restored level.
+        assert!((curve.last().expect("non-empty").1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observation1_most_time_for_last_charge() {
+        // The headline Figure 1a observation: a large share of tRFC goes
+        // to the last few percent of charge.
+        let m = model();
+        let t95 = m.time_fraction_to_charge_fraction(0.95);
+        assert!(t95 > 0.45 && t95 < 0.85, "t95 = {t95}");
+        let t995 = m.time_fraction_to_charge_fraction(0.995);
+        assert!(t995 - t95 > 0.08, "last 4.5% takes a while: {} vs {}", t995, t95);
+    }
+
+    #[test]
+    fn refresh_transfer_function_is_monotone_in_start() {
+        let m = model();
+        let lo = m.fraction_after_refresh(RefreshKind::Partial, 0.55);
+        let hi = m.fraction_after_refresh(RefreshKind::Partial, 0.8);
+        assert!(hi >= lo);
+    }
+
+    #[test]
+    fn partial_window_is_shorter_than_full() {
+        let m = model();
+        assert!(m.restore_window(RefreshKind::Partial) < m.restore_window(RefreshKind::Full));
+        assert!(m.restore_window(RefreshKind::Partial) > 0.0);
+    }
+
+    #[test]
+    fn sensing_cycles_fit_partial_budget() {
+        let m = model();
+        assert!(m.sensing_cycles() < CycleBudget::PARTIAL.post);
+        assert!(m.sensing_cycles() >= 1);
+    }
+
+    #[test]
+    fn post_share_voltage_moves_toward_veq() {
+        let m = model();
+        let v = m.post_share_voltage(1.14);
+        assert!(v < 1.14 && v > 0.6);
+        // A cell at Veq is unaffected.
+        assert!((m.post_share_voltage(0.6) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn successive_partials_decline_toward_fixed_point() {
+        // Figure 1b dynamics: repeated partial refreshes yield declining
+        // peaks converging to a fixed point.
+        let m = model();
+        let mut v = m.full_charge_fraction();
+        let mut prev = v;
+        for i in 0..12 {
+            v = m.fraction_after_refresh(RefreshKind::Partial, v * 0.9); // mild decay
+            assert!(v <= prev + 1e-9, "peak {i} should not grow");
+            prev = v;
+        }
+        assert!(v > 0.5, "fixed point stays above threshold for mild decay");
+    }
+
+    #[test]
+    fn presensing_cycles_grow_with_geometry() {
+        let m = model();
+        let small = m.presensing_cycles(BankGeometry::new(2048, 32));
+        let large = m.presensing_cycles(BankGeometry::new(16384, 128));
+        assert!(large > small);
+    }
+}

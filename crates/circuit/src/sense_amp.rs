@@ -1,0 +1,156 @@
+//! Post-sensing delay sub-phases (paper Section 2.3, Equations 9–11).
+//!
+//! The latch-based voltage sense amplifier resolves the bitline swing in
+//! four sub-phases; the first three are modeled here:
+//!
+//! * `t1` — output nodes discharge at the input pair's saturation current
+//!   until one drops by `Vtp` and a PMOS turns on (Equation 9),
+//! * `t2` — regenerative amplification with effective transconductance
+//!   `gme` (Equation 10),
+//! * `t3` — the outputs are driven to the rails (Equation 11).
+//!
+//! Phase 4 (charge restoration into the cell) lives in [`crate::restore`].
+
+use crate::tech::{BankGeometry, Technology};
+
+/// Sense-amplifier delay model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SenseAmpModel {
+    vdd: f64,
+    veq: f64,
+    vth_n: f64,
+    vth_p: f64,
+    beta_n: f64,
+    cbl: f64,
+    r_post: f64,
+    v_residue: f64,
+    gme: f64,
+}
+
+impl SenseAmpModel {
+    /// Builds the model for a technology and geometry.
+    pub fn new(tech: &Technology, geometry: BankGeometry) -> Self {
+        let veq = tech.veq();
+        // Effective transconductance of the cross-coupled inverter pair at
+        // the metastable point: both devices biased near Veq.
+        let gme = (tech.beta_sa_n + tech.beta_sa_p) * (veq - tech.vth_n).max(0.05);
+        // R_post = Rbl + r_on of the (strongly-driven) latch device.
+        let ron_latch = 1.0 / (tech.beta_sa_n * (tech.vdd - tech.vth_n));
+        SenseAmpModel {
+            vdd: tech.vdd,
+            veq,
+            vth_n: tech.vth_n,
+            vth_p: tech.vth_p,
+            beta_n: tech.beta_sa_n,
+            cbl: tech.cbl(geometry),
+            r_post: tech.rbl(geometry) + ron_latch,
+            v_residue: tech.v_residue,
+            gme,
+        }
+    }
+
+    /// The input pair's saturation current `Idsat10` (Equation 9's
+    /// long-channel expression).
+    pub fn idsat10(&self) -> f64 {
+        let vov = self.veq - self.vth_n;
+        let ratio = 1.0 + (self.vdd - self.vth_n) / vov;
+        let factor = 1.0 - 0.75 / ratio;
+        self.beta_n * vov * vov * factor * factor
+    }
+
+    /// Phase-1 delay `t1 = Cbl·Vtp / Idsat10` (Equation 9), seconds.
+    pub fn t1(&self) -> f64 {
+        self.cbl * self.vth_p / self.idsat10()
+    }
+
+    /// Phase-2 (regeneration) delay (Equation 10), seconds, for an initial
+    /// differential input `delta_vbl` volts.
+    ///
+    /// Smaller input swings take exponentially longer to regenerate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta_vbl` is not positive.
+    pub fn t2(&self, delta_vbl: f64) -> f64 {
+        assert!(delta_vbl > 0.0, "sense input must be positive");
+        let arg = 2.0 * (self.idsat10() / self.beta_n).sqrt() * (self.vdd - self.vth_p - self.veq)
+            / (self.vth_p * delta_vbl);
+        // For very large inputs the latch is already resolved; clamp at 0.
+        (self.cbl / self.gme) * arg.ln().max(0.0)
+    }
+
+    /// Phase-3 (rail drive) delay `t3 ≈ Rpost·Cbl·ln(Veq/Vresidue)`
+    /// (Equation 11), seconds.
+    pub fn t3(&self) -> f64 {
+        self.r_post * self.cbl * (self.veq / self.v_residue).ln()
+    }
+
+    /// Total sensing delay `t1 + t2 + t3` for an input swing `delta_vbl`.
+    pub fn sensing_delay(&self, delta_vbl: f64) -> f64 {
+        self.t1() + self.t2(delta_vbl) + self.t3()
+    }
+
+    /// The post-sensing drive resistance `R_post` (Ω).
+    pub fn r_post(&self) -> f64 {
+        self.r_post
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> SenseAmpModel {
+        SenseAmpModel::new(&Technology::n90(), BankGeometry::operational_segment())
+    }
+
+    #[test]
+    fn delays_are_positive() {
+        let m = model();
+        assert!(m.t1() > 0.0);
+        assert!(m.t2(0.1) > 0.0);
+        assert!(m.t3() > 0.0);
+    }
+
+    #[test]
+    fn smaller_swing_senses_slower() {
+        let m = model();
+        assert!(m.t2(0.02) > m.t2(0.1));
+    }
+
+    #[test]
+    fn t2_clamps_for_huge_inputs() {
+        let m = model();
+        assert_eq!(m.t2(1e3), 0.0);
+    }
+
+    #[test]
+    fn sensing_delay_is_sum_of_phases() {
+        let m = model();
+        let d = 0.08;
+        assert!((m.sensing_delay(d) - (m.t1() + m.t2(d) + m.t3())).abs() < 1e-18);
+    }
+
+    #[test]
+    fn bigger_bitline_senses_slower() {
+        let t = Technology::n90();
+        let small = SenseAmpModel::new(&t, BankGeometry::new(2048, 32));
+        let large = SenseAmpModel::new(&t, BankGeometry::new(16384, 32));
+        assert!(large.sensing_delay(0.1) > small.sensing_delay(0.1));
+    }
+
+    #[test]
+    fn sensing_is_nanosecond_scale() {
+        // Sanity: total sensing for a healthy swing should be O(ns), not
+        // ps or µs, so the cycle budgets of Section 3.1 make sense.
+        let m = model();
+        let d = m.sensing_delay(0.1);
+        assert!(d > 0.05e-9 && d < 20e-9, "sensing delay {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sense input must be positive")]
+    fn zero_swing_panics() {
+        let _ = model().t2(0.0);
+    }
+}

@@ -1,0 +1,297 @@
+//! Technology parameters (90 nm point) and bank geometry scaling.
+
+use serde::{Deserialize, Serialize};
+
+/// Bank geometry: rows × columns, as in the paper's Table 1 configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BankGeometry {
+    /// Number of rows (cells per bitline in the paper's flat-array model).
+    pub rows: usize,
+    /// Number of columns (bitlines crossed by one wordline).
+    pub cols: usize,
+}
+
+impl BankGeometry {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "bank dimensions must be nonzero");
+        BankGeometry { rows, cols }
+    }
+
+    /// The paper's evaluation bank: 8192 × 32.
+    pub fn paper_default() -> Self {
+        BankGeometry { rows: 8192, cols: 32 }
+    }
+
+    /// The *operational* electrical segment: commodity DRAM subdivides a
+    /// bank into subarrays of ~512 cells per bitline, so the refresh-latency
+    /// model (sense margins, restore windows, MPRSF) is evaluated on this
+    /// segment. The flat multi-thousand-row geometries of Table 1 are the
+    /// paper's modeling-accuracy study, not the operational point.
+    pub fn operational_segment() -> Self {
+        BankGeometry { rows: 512, cols: 32 }
+    }
+
+    /// The six Table 1 configurations, in the paper's order.
+    pub fn table1_configs() -> [BankGeometry; 6] {
+        [
+            BankGeometry { rows: 2048, cols: 32 },
+            BankGeometry { rows: 2048, cols: 128 },
+            BankGeometry { rows: 8192, cols: 32 },
+            BankGeometry { rows: 8192, cols: 128 },
+            BankGeometry { rows: 16384, cols: 32 },
+            BankGeometry { rows: 16384, cols: 128 },
+        ]
+    }
+
+    /// Total number of cells.
+    pub fn cells(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+impl std::fmt::Display for BankGeometry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+/// The full parameter set of the analytical model.
+///
+/// All electrical values are SI units. The canonical instance is
+/// [`Technology::n90`], the 90 nm point the paper evaluates \[37\]; the
+/// per-cell scaling constants let the same technology describe the six
+/// Table 1 bank geometries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Technology {
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// NMOS threshold voltage (V).
+    pub vth_n: f64,
+    /// PMOS threshold voltage magnitude (V).
+    pub vth_p: f64,
+    /// Boosted wordline level `Vpp` (V).
+    pub vpp: f64,
+
+    /// Cell storage capacitance `Cs` (F).
+    pub cs: f64,
+    /// Fixed part of the bitline capacitance (sense-amp junctions etc.) (F).
+    pub cbl_fixed: f64,
+    /// Per-cell bitline capacitance contribution (F/cell).
+    pub cbl_per_cell: f64,
+    /// Per-cell bitline resistance contribution (Ω/cell).
+    pub rbl_per_cell: f64,
+    /// Fixed part of the bitline resistance (Ω).
+    pub rbl_fixed: f64,
+    /// Bitline-to-bitline coupling as a fraction of `Cbl`.
+    pub cbb_fraction: f64,
+    /// Bitline-to-wordline coupling capacitance `Cbw` (F).
+    pub cbw: f64,
+
+    /// Access transistor transconductance parameter `β` (A/V²).
+    pub beta_access: f64,
+    /// Access transistor threshold (V).
+    pub vth_access: f64,
+    /// Equalizer transconductance parameter `β_n2` (A/V²).
+    pub beta_eq: f64,
+    /// Sense-amp NMOS transconductance parameter (A/V²).
+    pub beta_sa_n: f64,
+    /// Sense-amp PMOS transconductance parameter (A/V²).
+    pub beta_sa_p: f64,
+    /// Sense-amp input-referred offset the bitline swing must exceed (V).
+    pub sa_offset: f64,
+
+    /// Memory cycle time used for the tRFC cycle budgets (s).
+    pub tck: f64,
+    /// Finer clock used for the Table 1 pre-sensing measurements (s); the
+    /// paper quotes pre-sensing in sub-cycles of an internal array clock.
+    pub tck_presense: f64,
+    /// Wordline rise time for a 32-column array (s); scales with √cols.
+    pub wl_rise_base: f64,
+    /// Residual voltage difference `V_residue` used in Equation 11 (V).
+    pub v_residue: f64,
+}
+
+impl Technology {
+    /// The 90 nm technology point \[37\] used throughout the paper.
+    pub fn n90() -> Self {
+        Technology {
+            vdd: 1.2,
+            vth_n: 0.40,
+            vth_p: 0.40,
+            vpp: 2.1,
+            cs: 25e-15,
+            cbl_fixed: 60e-15,
+            cbl_per_cell: 0.05e-15,
+            rbl_per_cell: 1.0,
+            rbl_fixed: 300.0,
+            cbb_fraction: 0.05,
+            cbw: 1.5e-15,
+            // A commodity DRAM access transistor is minimum-size and weak;
+            // its current collapses as the cell approaches full charge,
+            // which is what makes the last 5% of restoration slow (Fig 1a).
+            beta_access: 12e-6,
+            vth_access: 0.45,
+            beta_eq: 4e-3,
+            beta_sa_n: 600e-6,
+            beta_sa_p: 300e-6,
+            sa_offset: 16e-3,
+            tck: 1.0e-9,
+            tck_presense: 0.85e-9,
+            wl_rise_base: 0.5e-9,
+            v_residue: 50e-3,
+        }
+    }
+
+    /// Equalization target voltage `Veq = Vdd / 2`.
+    pub fn veq(&self) -> f64 {
+        self.vdd / 2.0
+    }
+
+    /// Bitline capacitance for a geometry: fixed + per-cell × rows.
+    pub fn cbl(&self, geometry: BankGeometry) -> f64 {
+        self.cbl_fixed + self.cbl_per_cell * geometry.rows as f64
+    }
+
+    /// Bitline resistance for a geometry.
+    pub fn rbl(&self, geometry: BankGeometry) -> f64 {
+        self.rbl_fixed + self.rbl_per_cell * geometry.rows as f64
+    }
+
+    /// Bitline-to-bitline coupling capacitance (scales with bitline
+    /// length, i.e. with `Cbl`).
+    pub fn cbb(&self, geometry: BankGeometry) -> f64 {
+        self.cbb_fraction * self.cbl(geometry)
+    }
+
+    /// Wordline rise time; grows with wordline length as `√(cols/32)`.
+    pub fn wl_rise(&self, geometry: BankGeometry) -> f64 {
+        self.wl_rise_base * (geometry.cols as f64 / 32.0).sqrt()
+    }
+
+    /// Access transistor ON resistance `r_on1 = 1/(β(Vpp − Vsrc − Vth))`
+    /// evaluated at a source voltage `vsrc` (paper Equation 3's `R_pre`
+    /// component).
+    pub fn ron_access(&self, vsrc: f64) -> f64 {
+        let vov = self.vpp - vsrc - self.vth_access;
+        assert!(vov > 0.0, "access transistor must be on (vov = {vov})");
+        1.0 / (self.beta_access * vov)
+    }
+
+    /// Pre-sensing series resistance `R_pre = r_on1 + R_bl` at the nominal
+    /// charge-sharing operating point (source near `Veq`).
+    pub fn r_pre(&self, geometry: BankGeometry) -> f64 {
+        self.ron_access(self.veq()) + self.rbl(geometry)
+    }
+
+    /// Equalizer ON resistance `r_on2 = 1/(β_n2 (Vg − Veq − Vtn2))`
+    /// (paper Equation 2), with the gate at `Vdd`.
+    pub fn ron_eq(&self) -> f64 {
+        let vov = self.vdd - self.veq() - self.vth_n;
+        assert!(vov > 0.0, "equalizer must be on");
+        1.0 / (self.beta_eq * vov)
+    }
+
+    /// Total capacitance seen during post-sensing restore:
+    /// `C_post = Cs + Cbl + 2·Cbb + Cbw` (paper Equation 12).
+    pub fn c_post(&self, geometry: BankGeometry) -> f64 {
+        self.cs + self.cbl(geometry) + 2.0 * self.cbb(geometry) + self.cbw
+    }
+
+    /// Converts this technology to the equivalent transient-simulator
+    /// parameter set for a geometry (shared physics for validation).
+    pub fn to_spice_params(&self, geometry: BankGeometry) -> vrl_spice::circuits::DramCircuitParams {
+        use vrl_spice::MosParams;
+        vrl_spice::circuits::DramCircuitParams {
+            vdd: self.vdd,
+            cs: self.cs,
+            cbl: self.cbl(geometry),
+            rbl: self.rbl(geometry),
+            cbb: self.cbb(geometry),
+            cbw: self.cbw,
+            access: MosParams::nmos(self.vth_access, self.beta_access),
+            eq_nmos: MosParams::nmos(self.vth_n, self.beta_eq),
+            sa_nmos: MosParams::nmos(self.vth_n, self.beta_sa_n),
+            sa_pmos: MosParams::pmos(self.vth_p, self.beta_sa_p),
+            wl_rise: self.wl_rise(geometry),
+        }
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Self::n90()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn n90_is_physical() {
+        let t = Technology::n90();
+        assert!(t.vdd > 0.0);
+        assert_eq!(t.veq(), 0.6);
+        assert!(t.ron_eq() > 0.0);
+        assert!(t.ron_access(t.veq()) > 0.0);
+    }
+
+    #[test]
+    fn cbl_scales_with_rows() {
+        let t = Technology::n90();
+        let small = t.cbl(BankGeometry::new(2048, 32));
+        let large = t.cbl(BankGeometry::new(16384, 32));
+        assert!(large > 2.0 * small);
+    }
+
+    #[test]
+    fn rbl_scales_with_rows() {
+        let t = Technology::n90();
+        assert!(t.rbl(BankGeometry::new(16384, 32)) > t.rbl(BankGeometry::new(2048, 32)));
+    }
+
+    #[test]
+    fn wl_rise_scales_with_cols() {
+        let t = Technology::n90();
+        let narrow = t.wl_rise(BankGeometry::new(8192, 32));
+        let wide = t.wl_rise(BankGeometry::new(8192, 128));
+        assert!((wide / narrow - 2.0).abs() < 1e-9, "sqrt(128/32) = 2");
+    }
+
+    #[test]
+    fn c_post_includes_all_parasitics() {
+        let t = Technology::n90();
+        let g = BankGeometry::paper_default();
+        let c = t.c_post(g);
+        assert!(c > t.cs + t.cbl(g));
+    }
+
+    #[test]
+    fn table1_configs_are_the_papers_six() {
+        let cfgs = BankGeometry::table1_configs();
+        assert_eq!(cfgs.len(), 6);
+        assert_eq!(cfgs[0].to_string(), "2048x32");
+        assert_eq!(cfgs[5].to_string(), "16384x128");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be nonzero")]
+    fn zero_geometry_panics() {
+        let _ = BankGeometry::new(0, 32);
+    }
+
+    #[test]
+    fn spice_params_mirror_technology() {
+        let t = Technology::n90();
+        let g = BankGeometry::paper_default();
+        let p = t.to_spice_params(g);
+        assert_eq!(p.vdd, t.vdd);
+        assert_eq!(p.cbl, t.cbl(g));
+        assert_eq!(p.cs, t.cs);
+    }
+}

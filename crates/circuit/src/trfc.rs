@@ -1,0 +1,108 @@
+//! Refresh cycle time composition (paper Equation 13 and Section 3.1).
+//!
+//! `tRFC = τeq + τpre + τpost + τfixed`. Section 3.1 fixes the cycle
+//! budgets the paper evaluates with:
+//!
+//! ```text
+//! τ_partial = tRFC | τeq=1, τpre=2, τpost=4,  τfixed=4  = 11 cycles
+//! τ_full    = tRFC | τeq=1, τpre=2, τpost=12, τfixed=4  = 19 cycles
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// Whether a refresh fully restores the row or truncates the restore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RefreshKind {
+    /// Long-latency refresh restoring full charge (`τ_full`).
+    Full,
+    /// Low-latency refresh truncating the restore phase (`τ_partial`).
+    Partial,
+}
+
+/// Per-phase cycle budget of one refresh operation (Equation 13 in memory
+/// cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CycleBudget {
+    /// Equalization cycles `τeq`.
+    pub eq: u32,
+    /// Pre-sensing cycles `τpre`.
+    pub pre: u32,
+    /// Post-sensing cycles `τpost` (sensing sub-phases + restore window).
+    pub post: u32,
+    /// Fixed overhead cycles `τfixed` (wordline assert/deassert etc.).
+    pub fixed: u32,
+}
+
+impl CycleBudget {
+    /// The paper's full-refresh budget: 1 + 2 + 12 + 4 = 19 cycles.
+    pub const FULL: CycleBudget = CycleBudget { eq: 1, pre: 2, post: 12, fixed: 4 };
+    /// The paper's partial-refresh budget: 1 + 2 + 4 + 4 = 11 cycles.
+    pub const PARTIAL: CycleBudget = CycleBudget { eq: 1, pre: 2, post: 4, fixed: 4 };
+
+    /// The budget for a refresh kind.
+    pub fn for_kind(kind: RefreshKind) -> CycleBudget {
+        match kind {
+            RefreshKind::Full => Self::FULL,
+            RefreshKind::Partial => Self::PARTIAL,
+        }
+    }
+
+    /// A budget with a custom post-sensing allocation (used by the
+    /// `τ_partial` selection sweep of Section 3.1).
+    pub fn with_post(post: u32) -> CycleBudget {
+        CycleBudget { post, ..Self::FULL }
+    }
+
+    /// Total refresh cycle time in cycles (Equation 13).
+    pub fn total(&self) -> u32 {
+        self.eq + self.pre + self.post + self.fixed
+    }
+
+    /// Total refresh cycle time in seconds for a cycle time `tck`.
+    pub fn total_seconds(&self, tck: f64) -> f64 {
+        self.total() as f64 * tck
+    }
+}
+
+impl RefreshKind {
+    /// Total latency of this refresh kind in cycles (19 or 11).
+    pub fn cycles(self) -> u32 {
+        CycleBudget::for_kind(self).total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_budgets_total_19_and_11() {
+        assert_eq!(CycleBudget::FULL.total(), 19);
+        assert_eq!(CycleBudget::PARTIAL.total(), 11);
+        assert_eq!(RefreshKind::Full.cycles(), 19);
+        assert_eq!(RefreshKind::Partial.cycles(), 11);
+    }
+
+    #[test]
+    fn partial_saves_42_percent() {
+        let saving = 1.0 - RefreshKind::Partial.cycles() as f64 / RefreshKind::Full.cycles() as f64;
+        assert!((saving - 8.0 / 19.0).abs() < 1e-12);
+        // The paper motivates "up to ~40%" savings from truncation.
+        assert!(saving > 0.35 && saving < 0.45);
+    }
+
+    #[test]
+    fn with_post_keeps_other_phases() {
+        let b = CycleBudget::with_post(7);
+        assert_eq!(b.eq, 1);
+        assert_eq!(b.pre, 2);
+        assert_eq!(b.fixed, 4);
+        assert_eq!(b.total(), 14);
+    }
+
+    #[test]
+    fn seconds_scale_with_tck() {
+        let b = CycleBudget::FULL;
+        assert!((b.total_seconds(1e-9) - 19e-9).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,197 @@
+//! `vrl` — command-line front end to the VRL-DRAM model and simulator.
+//!
+//! ```text
+//! vrl model                         # technology + refresh-latency summary
+//! vrl mprsf <retention_ms> [period_ms]
+//! vrl plan [--rows N] [--seed S] [--nbits B]
+//! vrl simulate <benchmark> [--rows N] [--duration-ms D] [--policy P]
+//! vrl netlist <equalization|charge-sharing|sense-restore>
+//! ```
+
+use std::process::ExitCode;
+
+use vrl_circuit::model::AnalyticalModel;
+use vrl_circuit::tech::{BankGeometry, Technology};
+use vrl_circuit::trfc::{CycleBudget, RefreshKind};
+use vrl_dram::experiment::{Experiment, ExperimentConfig, PolicyKind};
+use vrl_dram::mprsf::{Mprsf, MprsfCalculator};
+use vrl_dram::plan::RefreshPlan;
+use vrl_retention::binning::RefreshBin;
+use vrl_retention::distribution::RetentionDistribution;
+use vrl_retention::profile::BankProfile;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn flag_parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    flag_value(args, flag).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn cmd_model() -> ExitCode {
+    let tech = Technology::n90();
+    let model = AnalyticalModel::new(tech);
+    println!("technology: 90 nm (Vdd = {} V)", model.technology().vdd);
+    println!("τ_full    = {} cycles", CycleBudget::FULL.total());
+    println!("τ_partial = {} cycles", CycleBudget::PARTIAL.total());
+    println!("sensing sub-phases: {} cycles", model.sensing_cycles());
+    println!("full-refresh charge level: {:.1}% of Vdd", model.full_charge_fraction() * 100.0);
+    println!(
+        "partial-refresh charge level (from full): {:.1}% of Vdd",
+        model.partial_charge_fraction() * 100.0
+    );
+    println!("sense threshold θ: {:.1}% of Vdd", model.sense_threshold() * 100.0);
+    println!(
+        "95% of charge restored by {:.1}% of tRFC",
+        model.time_fraction_to_charge_fraction(0.95) * 100.0
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_mprsf(args: &[String]) -> ExitCode {
+    let Some(retention): Option<f64> = args.first().and_then(|v| v.parse().ok()) else {
+        eprintln!("usage: vrl mprsf <retention_ms> [period_ms]");
+        return ExitCode::FAILURE;
+    };
+    let model = AnalyticalModel::new(Technology::n90());
+    let calc = MprsfCalculator::new(&model, 0.0);
+    let period = args
+        .get(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| RefreshBin::for_retention(retention).period_ms());
+    if period > retention {
+        eprintln!("error: refresh period {period} ms exceeds retention {retention} ms");
+        return ExitCode::FAILURE;
+    }
+    match calc.mprsf(retention, period) {
+        Mprsf::Finite(m) => println!(
+            "retention {retention} ms @ {period} ms period: MPRSF = {m} \
+             (schedule: full + {m} partial refreshes)"
+        ),
+        Mprsf::Unbounded => println!(
+            "retention {retention} ms @ {period} ms period: MPRSF unbounded \
+             (saturates at the counter width)"
+        ),
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_plan(args: &[String]) -> ExitCode {
+    let rows: usize = flag_parse(args, "--rows", 8192);
+    let seed: u64 = flag_parse(args, "--seed", 42);
+    let nbits: u32 = flag_parse(args, "--nbits", 2);
+    let model = AnalyticalModel::new(Technology::n90());
+    let profile = BankProfile::generate(&RetentionDistribution::liu_et_al(), rows, 32, seed);
+    let plan = RefreshPlan::build(&model, &profile, nbits, 0.0);
+    println!("bank: {rows} rows, seed {seed}, nbits {nbits}");
+    for bin in RefreshBin::ALL {
+        println!("  {bin}: {} rows", plan.bins().count(bin));
+    }
+    println!("MPRSF histogram: {:?}", plan.mprsf_histogram());
+    println!(
+        "mean refresh latency: {:.2} cycles (RAIDR: {})",
+        plan.mean_refresh_cycles(
+            RefreshKind::Full.cycles() as u64,
+            RefreshKind::Partial.cycles() as u64
+        ),
+        RefreshKind::Full.cycles()
+    );
+    println!(
+        "analytic VRL overhead vs RAIDR: {:.1}%",
+        (vrl_dram::overhead::vrl_normalized(&plan, 19, 11) - 1.0) * 100.0
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_simulate(args: &[String]) -> ExitCode {
+    let Some(benchmark) = args.first().filter(|a| !a.starts_with("--")).cloned() else {
+        eprintln!("usage: vrl simulate <benchmark> [--rows N] [--duration-ms D] [--policy P]");
+        eprintln!("benchmarks: {}", vrl_trace::WorkloadSpec::BENCHMARKS.join(", "));
+        return ExitCode::FAILURE;
+    };
+    let rows: u32 = flag_parse(args, "--rows", 8192);
+    let duration_ms: f64 = flag_parse(args, "--duration-ms", 512.0);
+    let policy_name = flag_value(args, "--policy").unwrap_or_else(|| "all".to_owned());
+    let experiment =
+        Experiment::new(ExperimentConfig { rows, duration_ms, ..Default::default() });
+    let kinds: Vec<PolicyKind> = match policy_name.as_str() {
+        "all" => PolicyKind::ALL.to_vec(),
+        name => match PolicyKind::ALL.iter().find(|k| k.name() == name) {
+            Some(k) => vec![*k],
+            None => {
+                eprintln!("unknown policy '{name}' (auto, raidr, vrl, vrl-access, all)");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    for kind in kinds {
+        match experiment.run_policy(kind, &benchmark) {
+            Some(stats) => println!(
+                "{:>10}: {:>10} refresh-busy cycles, {:>8} full, {:>8} partial, \
+                 {:>10} stall cycles",
+                kind.name(),
+                stats.refresh_busy_cycles,
+                stats.full_refreshes,
+                stats.partial_refreshes,
+                stats.stall_cycles
+            ),
+            None => {
+                eprintln!("unknown benchmark '{benchmark}'");
+                eprintln!("benchmarks: {}", vrl_trace::WorkloadSpec::BENCHMARKS.join(", "));
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_netlist(args: &[String]) -> ExitCode {
+    let which = args.first().map(String::as_str).unwrap_or("equalization");
+    let params = Technology::n90().to_spice_params(BankGeometry::operational_segment());
+    let deck = match which {
+        "equalization" => {
+            let (ckt, _) = vrl_spice::circuits::equalization_circuit(&params, 1e-12);
+            vrl_spice::netlist_io::to_netlist_string(&ckt, "Figure 2a — equalization")
+        }
+        "charge-sharing" => {
+            let (ckt, _) =
+                vrl_spice::circuits::charge_sharing_array(&params, &[false, true, false], 1e-12);
+            vrl_spice::netlist_io::to_netlist_string(&ckt, "Figures 2b/2c — coupled charge sharing")
+        }
+        "sense-restore" => {
+            let (ckt, _) = vrl_spice::circuits::sense_restore_circuit(
+                &params,
+                0.55,
+                vrl_spice::circuits::SenseTiming::default(),
+            );
+            vrl_spice::netlist_io::to_netlist_string(&ckt, "Figure 2d — sense and restore")
+        }
+        other => {
+            eprintln!("unknown circuit '{other}' (equalization, charge-sharing, sense-restore)");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{deck}");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("model") => cmd_model(),
+        Some("mprsf") => cmd_mprsf(&args[1..]),
+        Some("plan") => cmd_plan(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("netlist") => cmd_netlist(&args[1..]),
+        _ => {
+            eprintln!("vrl — the VRL-DRAM analytical model and simulator\n");
+            eprintln!("usage:");
+            eprintln!("  vrl model");
+            eprintln!("  vrl mprsf <retention_ms> [period_ms]");
+            eprintln!("  vrl plan [--rows N] [--seed S] [--nbits B]");
+            eprintln!("  vrl simulate <benchmark> [--rows N] [--duration-ms D] [--policy P]");
+            eprintln!("  vrl netlist <equalization|charge-sharing|sense-restore>");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! The end-to-end experiment harness (the machinery behind Figure 4).
+
+use serde::{Deserialize, Serialize};
+
+use vrl_circuit::model::AnalyticalModel;
+use vrl_circuit::tech::Technology;
+use vrl_dram_sim::integrity::IntegrityChecker;
+use vrl_dram_sim::sim::{NullObserver, SimConfig, SimObserver, Simulator};
+use vrl_dram_sim::{AutoRefresh, SimStats};
+use vrl_power::model::{PowerBreakdown, PowerModel};
+use vrl_retention::distribution::RetentionDistribution;
+use vrl_retention::profile::BankProfile;
+use vrl_trace::{TraceRecord, Workload, WorkloadSpec};
+
+use crate::physics::ModelPhysics;
+use crate::plan::RefreshPlan;
+
+/// Which refresh policy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Fixed 64 ms auto-refresh.
+    Auto,
+    /// RAIDR binned refresh.
+    Raidr,
+    /// VRL (Algorithm 1).
+    Vrl,
+    /// VRL-Access (Algorithm 1 + activation resets).
+    VrlAccess,
+}
+
+impl PolicyKind {
+    /// All policies in evaluation order.
+    pub const ALL: [PolicyKind; 4] =
+        [PolicyKind::Auto, PolicyKind::Raidr, PolicyKind::Vrl, PolicyKind::VrlAccess];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Auto => "auto",
+            PolicyKind::Raidr => "raidr",
+            PolicyKind::Vrl => "vrl",
+            PolicyKind::VrlAccess => "vrl-access",
+        }
+    }
+}
+
+/// Experiment configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Rows in the bank (paper: 8192).
+    pub rows: u32,
+    /// Cells per row (paper: 32).
+    pub cells_per_row: u32,
+    /// Profile / trace seed.
+    pub seed: u64,
+    /// Simulated wall time per run (ms).
+    pub duration_ms: f64,
+    /// MPRSF counter width (paper evaluates 2).
+    pub nbits: u32,
+    /// MPRSF guard band (charge fraction).
+    pub guard_band: f64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            rows: 8192,
+            cells_per_row: 32,
+            seed: 42,
+            duration_ms: 512.0,
+            nbits: 2,
+            guard_band: 0.0,
+        }
+    }
+}
+
+/// One Figure 4 comparison row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// RAIDR refresh-busy cycles.
+    pub raidr_cycles: u64,
+    /// VRL refresh-busy cycles.
+    pub vrl_cycles: u64,
+    /// VRL-Access refresh-busy cycles.
+    pub vrl_access_cycles: u64,
+    /// VRL normalized to RAIDR.
+    pub vrl_normalized: f64,
+    /// VRL-Access normalized to RAIDR.
+    pub vrl_access_normalized: f64,
+    /// RAIDR refresh power (mW).
+    pub raidr_refresh_mw: f64,
+    /// VRL-Access refresh power (mW).
+    pub vrl_access_refresh_mw: f64,
+}
+
+/// The end-to-end experiment: model + profile + plan + simulator glue.
+#[derive(Debug)]
+pub struct Experiment {
+    config: ExperimentConfig,
+    model: AnalyticalModel,
+    profile: BankProfile,
+    plan: RefreshPlan,
+    power: PowerModel,
+}
+
+impl Experiment {
+    /// Builds the experiment: generates the retention profile, bins it,
+    /// and computes the MPRSF table from the analytical model.
+    pub fn new(config: ExperimentConfig) -> Self {
+        let model = AnalyticalModel::new(Technology::n90());
+        let profile = BankProfile::generate(
+            &RetentionDistribution::liu_et_al(),
+            config.rows as usize,
+            config.cells_per_row,
+            config.seed,
+        );
+        let plan = RefreshPlan::build(&model, &profile, config.nbits, config.guard_band);
+        Experiment { config, model, profile, plan, power: PowerModel::paper_default() }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// The analytical model.
+    pub fn model(&self) -> &AnalyticalModel {
+        &self.model
+    }
+
+    /// The retention profile.
+    pub fn profile(&self) -> &BankProfile {
+        &self.profile
+    }
+
+    /// The refresh plan (binning + MPRSF).
+    pub fn plan(&self) -> &RefreshPlan {
+        &self.plan
+    }
+
+    /// The power model.
+    pub fn power(&self) -> &PowerModel {
+        &self.power
+    }
+
+    fn trace(&self, benchmark: &str) -> Option<vrl_trace::gen::Records> {
+        let spec = WorkloadSpec::parsec(benchmark)?;
+        let workload = Workload::new(spec, self.config.rows, self.config.seed);
+        Some(workload.records(self.config.duration_ms))
+    }
+
+    /// Runs one policy against one benchmark's trace (streamed — traces
+    /// are regenerated deterministically per run).
+    ///
+    /// Returns `None` for an unknown benchmark name.
+    pub fn run_policy(&self, kind: PolicyKind, benchmark: &str) -> Option<SimStats> {
+        let trace = self.trace(benchmark)?;
+        Some(self.run_policy_with(kind, trace, &mut NullObserver))
+    }
+
+    /// Runs one policy over an explicit trace, reporting events to an
+    /// observer.
+    pub fn run_policy_with<I, O>(&self, kind: PolicyKind, trace: I, observer: &mut O) -> SimStats
+    where
+        I: Iterator<Item = TraceRecord>,
+        O: SimObserver,
+    {
+        let sim_config = SimConfig::with_rows(self.config.rows);
+        let d = self.config.duration_ms;
+        match kind {
+            PolicyKind::Auto => Simulator::new(sim_config, AutoRefresh::new(64.0))
+                .run_observed(trace, d, observer),
+            PolicyKind::Raidr => {
+                Simulator::new(sim_config, self.plan.raidr()).run_observed(trace, d, observer)
+            }
+            PolicyKind::Vrl => {
+                Simulator::new(sim_config, self.plan.vrl()).run_observed(trace, d, observer)
+            }
+            PolicyKind::VrlAccess => {
+                Simulator::new(sim_config, self.plan.vrl_access()).run_observed(trace, d, observer)
+            }
+        }
+    }
+
+    /// Runs a policy under the integrity checker; returns the stats and
+    /// the number of charge violations (must be 0 for a sound plan).
+    pub fn run_checked(&self, kind: PolicyKind, benchmark: &str) -> Option<(SimStats, usize)> {
+        let trace = self.trace(benchmark)?;
+        let physics = ModelPhysics::new(&self.model);
+        let retention: Vec<f64> = self.profile.iter().map(|r| r.weakest_ms).collect();
+        let mut checker = IntegrityChecker::new(
+            physics,
+            vrl_dram_sim::TimingParams::paper_default(),
+            retention,
+        );
+        let stats = self.run_policy_with(kind, trace, &mut checker);
+        Some((stats, checker.violations().len()))
+    }
+
+    /// The Figure 4 comparison for one benchmark.
+    pub fn compare(&self, benchmark: &str) -> Option<ComparisonRow> {
+        let raidr = self.run_policy(PolicyKind::Raidr, benchmark)?;
+        let vrl = self.run_policy(PolicyKind::Vrl, benchmark)?;
+        let vrl_access = self.run_policy(PolicyKind::VrlAccess, benchmark)?;
+        let raidr_power: PowerBreakdown = self.power.breakdown(&raidr);
+        let va_power: PowerBreakdown = self.power.breakdown(&vrl_access);
+        Some(ComparisonRow {
+            benchmark: benchmark.to_owned(),
+            raidr_cycles: raidr.refresh_busy_cycles,
+            vrl_cycles: vrl.refresh_busy_cycles,
+            vrl_access_cycles: vrl_access.refresh_busy_cycles,
+            vrl_normalized: vrl.refresh_busy_cycles as f64 / raidr.refresh_busy_cycles as f64,
+            vrl_access_normalized: vrl_access.refresh_busy_cycles as f64
+                / raidr.refresh_busy_cycles as f64,
+            raidr_refresh_mw: raidr_power.refresh_mw,
+            vrl_access_refresh_mw: va_power.refresh_mw,
+        })
+    }
+
+    /// The full Figure 4: every benchmark.
+    pub fn figure4(&self) -> Vec<ComparisonRow> {
+        WorkloadSpec::BENCHMARKS
+            .iter()
+            .filter_map(|name| self.compare(name))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Experiment {
+        Experiment::new(ExperimentConfig {
+            rows: 512,
+            duration_ms: 512.0,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn vrl_beats_raidr_beats_auto() {
+        let e = small();
+        let auto = e.run_policy(PolicyKind::Auto, "ferret").expect("known");
+        let raidr = e.run_policy(PolicyKind::Raidr, "ferret").expect("known");
+        let vrl = e.run_policy(PolicyKind::Vrl, "ferret").expect("known");
+        assert!(raidr.refresh_busy_cycles < auto.refresh_busy_cycles);
+        assert!(vrl.refresh_busy_cycles < raidr.refresh_busy_cycles);
+    }
+
+    #[test]
+    fn vrl_access_beats_vrl_on_covering_workloads() {
+        let e = small();
+        let row = e.compare("bgsave").expect("known");
+        assert!(
+            row.vrl_access_cycles < row.vrl_cycles,
+            "bgsave touches every row: {row:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_benchmark_is_none() {
+        let e = small();
+        assert!(e.run_policy(PolicyKind::Vrl, "nope").is_none());
+        assert!(e.compare("nope").is_none());
+    }
+
+    #[test]
+    fn vrl_plan_is_integrity_safe() {
+        let e = small();
+        let (_, violations) = e.run_checked(PolicyKind::Vrl, "swaptions").expect("known");
+        assert_eq!(violations, 0, "the computed MPRSF must never lose data");
+    }
+
+    #[test]
+    fn vrl_access_plan_is_integrity_safe() {
+        let e = small();
+        let (_, violations) = e.run_checked(PolicyKind::VrlAccess, "bgsave").expect("known");
+        assert_eq!(violations, 0);
+    }
+
+    #[test]
+    fn normalized_values_are_consistent() {
+        let e = small();
+        let row = e.compare("vips").expect("known");
+        assert!(row.vrl_normalized > 0.5 && row.vrl_normalized < 1.0);
+        assert!(row.vrl_access_normalized <= row.vrl_normalized + 1e-9);
+        assert!(row.vrl_access_refresh_mw < row.raidr_refresh_mw);
+    }
+}

@@ -1,0 +1,56 @@
+//! # vrl-dram — Variable Refresh Latency DRAM
+//!
+//! The primary contribution of *VRL-DRAM: Improving DRAM Performance via
+//! Variable Refresh Latency* (Das, Hassan, Mutlu — DAC 2018), built on
+//! the substrate crates of this workspace:
+//!
+//! * [`mprsf`] — computing each row's **mean partial refreshes to sensing
+//!   failure** from the analytical circuit model and the retention
+//!   profile (Section 3.1),
+//! * [`tau`] — selecting the partial-refresh latency `τ_partial` by
+//!   sweeping the restore budget across data patterns (Section 3.1),
+//! * [`plan`] — turning a profile into the controller state of
+//!   Algorithm 1 (binning + saturated MPRSF counters) and into the
+//!   simulator's VRL / VRL-Access policies (Section 3.2),
+//! * [`physics`] — the charge physics adapter that lets the simulator's
+//!   integrity checker verify a plan against the circuit model,
+//! * [`overhead`] — closed-form refresh-overhead accounting,
+//! * [`experiment`] — the end-to-end harness behind the paper's Figure 4
+//!   (trace → simulator → policy → statistics → power).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vrl_dram::experiment::{Experiment, ExperimentConfig};
+//!
+//! // A small bank keeps the doctest fast; the paper uses 8192 rows.
+//! let config = ExperimentConfig { rows: 256, duration_ms: 256.0, ..Default::default() };
+//! let experiment = Experiment::new(config);
+//! let row = experiment.compare("swaptions").expect("known benchmark");
+//! assert!(row.vrl_cycles < row.raidr_cycles, "VRL must beat RAIDR");
+//! assert!(row.vrl_access_cycles <= row.vrl_cycles);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiment;
+pub mod mprsf;
+pub mod overhead;
+pub mod physics;
+pub mod plan;
+pub mod tau;
+pub mod vrt_adapt;
+
+pub use experiment::{Experiment, ExperimentConfig, PolicyKind};
+pub use mprsf::{Mprsf, MprsfCalculator};
+pub use plan::RefreshPlan;
+
+// Re-export the substrate crates so downstream users need one dependency.
+pub use vrl_area as area;
+pub use vrl_circuit as circuit;
+pub use vrl_dram_sim as dram_sim;
+pub use vrl_power as power;
+pub use vrl_retention as retention;
+pub use vrl_spice as spice;
+pub use vrl_trace as trace;

@@ -1,0 +1,309 @@
+//! MPRSF: mean partial refreshes to sensing failure (Section 3.1).
+//!
+//! For a cell with retention `T` refreshed every `P` milliseconds, the
+//! MPRSF is the largest `m` such that the schedule
+//! `full, partial×m, full, partial×m, …` keeps the cell's charge at or
+//! above the sensing threshold at *every* sensing instant. It is found
+//! by iterating the refresh transfer function of the analytical model
+//! against the leakage law:
+//!
+//! ```text
+//! v₀ = full-refresh level
+//! vₖ = partial(vₖ₋₁ · d),   d = decay over P for retention T
+//! ```
+//!
+//! The sequence `vₖ` decreases monotonically toward a fixed point; if the
+//! fixed point still senses safely the cell sustains partial refreshes
+//! indefinitely ([`Mprsf::Unbounded`]), otherwise the first failing
+//! sensing instant bounds `m`.
+
+use vrl_circuit::model::AnalyticalModel;
+use vrl_circuit::trfc::RefreshKind;
+use vrl_retention::binning::BinningTable;
+use vrl_retention::leakage::LeakageModel;
+use vrl_retention::profile::BankProfile;
+
+/// A row's MPRSF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mprsf {
+    /// The row sustains exactly this many partial refreshes between
+    /// fulls.
+    Finite(u32),
+    /// The partial-refresh fixed point is safe: unlimited partials.
+    Unbounded,
+}
+
+impl Mprsf {
+    /// Saturates to an `nbits`-wide counter (`2^nbits − 1`), the hardware
+    /// representation of Section 3.2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nbits` is 0 or exceeds 8.
+    pub fn saturate(self, nbits: u32) -> u8 {
+        assert!((1..=8).contains(&nbits), "counter width must be 1..=8 bits");
+        let cap = ((1u16 << nbits) - 1) as u32;
+        match self {
+            Mprsf::Finite(m) => m.min(cap) as u8,
+            Mprsf::Unbounded => cap as u8,
+        }
+    }
+}
+
+/// MPRSF calculator bound to an analytical model.
+///
+/// # Example
+///
+/// ```
+/// use vrl_circuit::model::AnalyticalModel;
+/// use vrl_circuit::tech::Technology;
+/// use vrl_dram::mprsf::{Mprsf, MprsfCalculator};
+///
+/// let model = AnalyticalModel::new(Technology::n90());
+/// let calc = MprsfCalculator::new(&model, 0.0);
+/// // A cell at the bin boundary sustains no partial refreshes...
+/// assert_eq!(calc.mprsf(256.0, 256.0), Mprsf::Finite(0));
+/// // ...while a very strong cell sustains them indefinitely.
+/// assert_eq!(calc.mprsf(60_000.0, 256.0), Mprsf::Unbounded);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MprsfCalculator {
+    full_level: f64,
+    threshold: f64,
+    leakage: LeakageModel,
+    /// Partial-refresh transfer function sampled on a charge grid (for
+    /// speed: the nonlinear restore integration is ~400 steps per call).
+    partial_lut: Vec<f64>,
+    lut_lo: f64,
+    lut_hi: f64,
+    /// Additional charge margin required at every sensing instant.
+    guard_band: f64,
+    /// Iteration cap: sequences that survive this long without reaching
+    /// a fixed point are treated as unbounded (far beyond any counter).
+    max_iterations: u32,
+}
+
+/// Grid size of the partial-transfer lookup table.
+const LUT_POINTS: usize = 512;
+
+impl MprsfCalculator {
+    /// Builds a calculator from the analytical model with a charge guard
+    /// band (fraction of `Vdd`; 0 disables it), using the standard
+    /// `τ_partial` restore window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `guard_band` is negative or implausibly large (≥ 0.2).
+    pub fn new(model: &AnalyticalModel, guard_band: f64) -> Self {
+        Self::with_partial_window(model, guard_band, model.restore_window(RefreshKind::Partial))
+    }
+
+    /// Like [`MprsfCalculator::new`] with an explicit partial-refresh
+    /// restore window (seconds) — the knob the `τ_partial` selection
+    /// sweep of Section 3.1 turns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `guard_band` is out of range or the window is negative.
+    pub fn with_partial_window(model: &AnalyticalModel, guard_band: f64, window: f64) -> Self {
+        assert!((0.0..0.2).contains(&guard_band), "guard band out of range");
+        assert!(window >= 0.0, "restore window must be non-negative");
+        let full_level = model.full_charge_fraction();
+        let threshold = model.sense_threshold();
+        let leakage = LeakageModel::new(full_level, threshold);
+        let lut_lo = threshold * 0.5;
+        let lut_hi = 1.0;
+        let partial_lut = (0..LUT_POINTS)
+            .map(|i| {
+                let q = lut_lo + (lut_hi - lut_lo) * i as f64 / (LUT_POINTS - 1) as f64;
+                model.fraction_after_window(window, q)
+            })
+            .collect();
+        MprsfCalculator {
+            full_level,
+            threshold,
+            leakage,
+            partial_lut,
+            lut_lo,
+            lut_hi,
+            guard_band,
+            max_iterations: 128,
+        }
+    }
+
+    /// The full-refresh charge level in use.
+    pub fn full_level(&self) -> f64 {
+        self.full_level
+    }
+
+    /// The sensing threshold in use (before the guard band).
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Partial-refresh transfer function (interpolated).
+    pub fn partial_transfer(&self, start: f64) -> f64 {
+        let x = (start.clamp(self.lut_lo, self.lut_hi) - self.lut_lo)
+            / (self.lut_hi - self.lut_lo)
+            * (LUT_POINTS - 1) as f64;
+        let i = (x as usize).min(LUT_POINTS - 2);
+        let frac = x - i as f64;
+        self.partial_lut[i] * (1.0 - frac) + self.partial_lut[i + 1] * frac
+    }
+
+    /// MPRSF of a cell with `retention_ms` refreshed every `period_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period exceeds the retention (the binning must
+    /// guarantee `period ≤ retention`).
+    pub fn mprsf(&self, retention_ms: f64, period_ms: f64) -> Mprsf {
+        assert!(
+            period_ms <= retention_ms,
+            "refresh period {period_ms} exceeds retention {retention_ms}"
+        );
+        let d = self.leakage.decay_factor(period_ms, retention_ms);
+        let floor = self.threshold + self.guard_band;
+        let mut v = self.full_level;
+        for k in 1..=self.max_iterations {
+            let v_pre = v * d;
+            if v_pre < floor {
+                // Sensing instant k fails: the (k−1)-th refresh must have
+                // been the full one, so m = k − 2 partials are safe.
+                return Mprsf::Finite(k.saturating_sub(2));
+            }
+            let v_next = self.partial_transfer(v_pre);
+            if (v_next - v).abs() < 1e-9 {
+                return Mprsf::Unbounded;
+            }
+            v = v_next;
+        }
+        Mprsf::Unbounded
+    }
+
+    /// Per-row MPRSF table, saturated to `nbits`, for a profile under a
+    /// binning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile and binning disagree on the row count.
+    pub fn mprsf_table(&self, profile: &BankProfile, bins: &BinningTable, nbits: u32) -> Vec<u8> {
+        assert_eq!(profile.row_count(), bins.total_rows(), "profile/bins mismatch");
+        profile
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                self.mprsf(row.weakest_ms, bins.bin_of(i).period_ms()).saturate(nbits)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrl_circuit::tech::Technology;
+
+    fn calc() -> MprsfCalculator {
+        MprsfCalculator::new(&AnalyticalModel::new(Technology::n90()), 0.0)
+    }
+
+    #[test]
+    fn boundary_retention_has_zero_mprsf() {
+        // A row whose retention exactly equals its period decays to the
+        // threshold right at each sensing: no partial can be inserted.
+        let c = calc();
+        match c.mprsf(256.0, 256.0) {
+            Mprsf::Finite(m) => assert_eq!(m, 0),
+            Mprsf::Unbounded => panic!("boundary row cannot sustain unlimited partials"),
+        }
+    }
+
+    #[test]
+    fn mprsf_is_monotone_in_retention() {
+        let c = calc();
+        let value = |t: f64| match c.mprsf(t, 256.0) {
+            Mprsf::Finite(m) => m,
+            Mprsf::Unbounded => u32::MAX,
+        };
+        let mut prev = 0;
+        for t in [256.0, 320.0, 512.0, 768.0, 1024.0, 2048.0, 8192.0] {
+            let m = value(t);
+            assert!(m >= prev, "mprsf({t}) = {m} < {prev}");
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn very_strong_rows_are_unbounded() {
+        let c = calc();
+        assert_eq!(c.mprsf(50_000.0, 256.0), Mprsf::Unbounded);
+    }
+
+    #[test]
+    fn intermediate_rows_have_finite_nonzero_mprsf() {
+        // The interesting design space: some retention between the
+        // boundary and "effectively infinite" must yield 1..=10 partials.
+        let c = calc();
+        let mut saw_intermediate = false;
+        for t in (300..4000).step_by(50) {
+            if let Mprsf::Finite(m) = c.mprsf(t as f64, 256.0) {
+                if (1..=10).contains(&m) {
+                    saw_intermediate = true;
+                }
+            }
+        }
+        assert!(saw_intermediate, "no intermediate MPRSF values found");
+    }
+
+    #[test]
+    fn guard_band_reduces_mprsf() {
+        let model = AnalyticalModel::new(Technology::n90());
+        let relaxed = MprsfCalculator::new(&model, 0.0);
+        let strict = MprsfCalculator::new(&model, 0.05);
+        let as_num = |m: Mprsf| match m {
+            Mprsf::Finite(v) => v as u64,
+            Mprsf::Unbounded => u64::MAX,
+        };
+        for t in [400.0, 800.0, 1600.0, 6400.0] {
+            assert!(
+                as_num(strict.mprsf(t, 256.0)) <= as_num(relaxed.mprsf(t, 256.0)),
+                "guard band must not increase MPRSF at T={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn saturation_caps_at_counter_width() {
+        assert_eq!(Mprsf::Finite(1).saturate(2), 1);
+        assert_eq!(Mprsf::Finite(9).saturate(2), 3);
+        assert_eq!(Mprsf::Unbounded.saturate(2), 3);
+        assert_eq!(Mprsf::Unbounded.saturate(4), 15);
+    }
+
+    #[test]
+    fn partial_transfer_interpolates_smoothly() {
+        let c = calc();
+        let a = c.partial_transfer(0.70);
+        let b = c.partial_transfer(0.700001);
+        assert!((a - b).abs() < 1e-4);
+        // Transfer must add charge.
+        assert!(a > 0.70);
+    }
+
+    #[test]
+    fn table_has_one_entry_per_row() {
+        use vrl_retention::distribution::RetentionDistribution;
+        let profile = BankProfile::generate(&RetentionDistribution::liu_et_al(), 512, 32, 3);
+        let bins = BinningTable::from_profile(&profile);
+        let table = calc().mprsf_table(&profile, &bins, 2);
+        assert_eq!(table.len(), 512);
+        assert!(table.iter().all(|&m| m <= 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds retention")]
+    fn period_above_retention_panics() {
+        let _ = calc().mprsf(100.0, 256.0);
+    }
+}

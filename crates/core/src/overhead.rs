@@ -1,0 +1,100 @@
+//! Closed-form refresh-overhead accounting.
+//!
+//! For trace-independent policies (AutoRefresh, RAIDR, VRL) the
+//! refresh-busy cycles over a time window follow directly from the plan;
+//! this module computes them without simulation. The simulator remains
+//! the ground truth (and the only way to evaluate VRL-Access), and the
+//! test suite cross-checks the two.
+
+use vrl_retention::binning::RefreshBin;
+
+use crate::plan::RefreshPlan;
+
+/// Refresh-busy cycles per `window_ms` under RAIDR (all refreshes full).
+pub fn raidr_cycles(plan: &RefreshPlan, window_ms: f64, tau_full: u64) -> f64 {
+    RefreshBin::ALL
+        .iter()
+        .map(|bin| {
+            plan.bins().count(*bin) as f64 * (window_ms / bin.period_ms()) * tau_full as f64
+        })
+        .sum()
+}
+
+/// Refresh-busy cycles per `window_ms` under VRL: each row amortizes
+/// `m` partials per full refresh.
+pub fn vrl_cycles(plan: &RefreshPlan, window_ms: f64, tau_full: u64, tau_partial: u64) -> f64 {
+    plan.mprsf()
+        .iter()
+        .enumerate()
+        .map(|(row, &m)| {
+            let period = plan.bins().bin_of(row).period_ms();
+            let refreshes = window_ms / period;
+            let m = m as f64;
+            refreshes * (tau_full as f64 + m * tau_partial as f64) / (m + 1.0)
+        })
+        .sum()
+}
+
+/// Refresh-busy cycles per `window_ms` under fixed-period auto-refresh.
+pub fn auto_cycles(rows: usize, window_ms: f64, period_ms: f64, tau_full: u64) -> f64 {
+    rows as f64 * (window_ms / period_ms) * tau_full as f64
+}
+
+/// VRL's normalized overhead relative to RAIDR (the Figure 4 bar for
+/// plain VRL — application-independent).
+pub fn vrl_normalized(plan: &RefreshPlan, tau_full: u64, tau_partial: u64) -> f64 {
+    let window = 256.0;
+    vrl_cycles(plan, window, tau_full, tau_partial) / raidr_cycles(plan, window, tau_full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrl_circuit::model::AnalyticalModel;
+    use vrl_circuit::tech::Technology;
+    use vrl_retention::distribution::RetentionDistribution;
+    use vrl_retention::profile::BankProfile;
+
+    fn plan() -> RefreshPlan {
+        let model = AnalyticalModel::new(Technology::n90());
+        let profile = BankProfile::generate(&RetentionDistribution::liu_et_al(), 2048, 32, 5);
+        RefreshPlan::build(&model, &profile, 2, 0.0)
+    }
+
+    #[test]
+    fn raidr_beats_auto() {
+        let p = plan();
+        let auto = auto_cycles(2048, 256.0, 64.0, 19);
+        let raidr = raidr_cycles(&p, 256.0, 19);
+        assert!(raidr < auto, "binning must reduce refreshes: {raidr} vs {auto}");
+    }
+
+    #[test]
+    fn vrl_beats_raidr() {
+        let p = plan();
+        let ratio = vrl_normalized(&p, 19, 11);
+        assert!(ratio < 1.0, "VRL must reduce overhead, ratio = {ratio}");
+        // And can never beat the all-partial bound 11/19.
+        assert!(ratio > 11.0 / 19.0);
+    }
+
+    #[test]
+    fn window_scales_linearly() {
+        let p = plan();
+        let one = raidr_cycles(&p, 256.0, 19);
+        let two = raidr_cycles(&p, 512.0, 19);
+        assert!((two - 2.0 * one).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_all_zero_mprsf_equals_raidr() {
+        // If every row has MPRSF 0, VRL degenerates to RAIDR exactly.
+        let model = AnalyticalModel::new(Technology::n90());
+        // All rows at the bin boundary → MPRSF 0.
+        let profile = BankProfile::from_rows(vec![256.0; 64], 32);
+        let p = RefreshPlan::build(&model, &profile, 2, 0.0);
+        assert!(p.mprsf().iter().all(|&m| m == 0));
+        let ratio = vrl_normalized(&p, 19, 11);
+        assert!((ratio - 1.0).abs() < 1e-12);
+    }
+}

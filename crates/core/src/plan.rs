@@ -1,0 +1,152 @@
+//! Refresh planning: from a retention profile to Algorithm 1 state.
+
+use vrl_circuit::model::AnalyticalModel;
+use vrl_dram_sim::policy::{Raidr, Vrl, VrlAccess};
+use vrl_retention::binning::BinningTable;
+use vrl_retention::profile::BankProfile;
+
+use crate::mprsf::MprsfCalculator;
+
+/// A complete refresh plan for one bank: the binning (refresh periods)
+/// plus the per-row saturated MPRSF values.
+///
+/// # Example
+///
+/// ```
+/// use vrl_circuit::model::AnalyticalModel;
+/// use vrl_circuit::tech::Technology;
+/// use vrl_dram::plan::RefreshPlan;
+/// use vrl_retention::profile::BankProfile;
+///
+/// let model = AnalyticalModel::new(Technology::n90());
+/// // Two strong rows and one near the bin boundary.
+/// let profile = BankProfile::from_rows(vec![2000.0, 1500.0, 260.0], 32);
+/// let plan = RefreshPlan::build(&model, &profile, 2, 0.0);
+/// assert_eq!(plan.mprsf().len(), 3);
+/// // The boundary row cannot sustain partial refreshes.
+/// assert_eq!(plan.mprsf()[2], 0);
+/// // The plan instantiates the simulator policies directly.
+/// let _policy = plan.vrl_access();
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefreshPlan {
+    bins: BinningTable,
+    mprsf: Vec<u8>,
+    nbits: u32,
+}
+
+impl RefreshPlan {
+    /// Builds a plan from a profile using the analytical model.
+    pub fn build(
+        model: &AnalyticalModel,
+        profile: &BankProfile,
+        nbits: u32,
+        guard_band: f64,
+    ) -> Self {
+        let bins = BinningTable::from_profile(profile);
+        let calc = MprsfCalculator::new(model, guard_band);
+        let mprsf = calc.mprsf_table(profile, &bins, nbits);
+        RefreshPlan { bins, mprsf, nbits }
+    }
+
+    /// The binning table.
+    pub fn bins(&self) -> &BinningTable {
+        &self.bins
+    }
+
+    /// Per-row saturated MPRSF values.
+    pub fn mprsf(&self) -> &[u8] {
+        &self.mprsf
+    }
+
+    /// Counter width.
+    pub fn nbits(&self) -> u32 {
+        self.nbits
+    }
+
+    /// Histogram of MPRSF values (index = MPRSF, value = row count).
+    pub fn mprsf_histogram(&self) -> Vec<usize> {
+        let cap = ((1u16 << self.nbits) - 1) as usize;
+        let mut hist = vec![0usize; cap + 1];
+        for &m in &self.mprsf {
+            hist[m as usize] += 1;
+        }
+        hist
+    }
+
+    /// Mean refresh latency per refresh operation under this plan
+    /// (cycles), amortizing `m` partials per full: `(τf + m·τp)/(m+1)`.
+    pub fn mean_refresh_cycles(&self, tau_full: u64, tau_partial: u64) -> f64 {
+        let total: f64 = self
+            .mprsf
+            .iter()
+            .map(|&m| {
+                let m = m as f64;
+                (tau_full as f64 + m * tau_partial as f64) / (m + 1.0)
+            })
+            .sum();
+        total / self.mprsf.len() as f64
+    }
+
+    /// Instantiates the RAIDR baseline policy over the same binning.
+    pub fn raidr(&self) -> Raidr {
+        Raidr::new(self.bins.clone())
+    }
+
+    /// Instantiates the VRL policy.
+    pub fn vrl(&self) -> Vrl {
+        Vrl::new(self.bins.clone(), self.mprsf.clone())
+    }
+
+    /// Instantiates the VRL-Access policy.
+    pub fn vrl_access(&self) -> VrlAccess {
+        VrlAccess::new(self.bins.clone(), self.mprsf.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrl_circuit::tech::Technology;
+    use vrl_retention::distribution::RetentionDistribution;
+
+    fn plan() -> RefreshPlan {
+        let model = AnalyticalModel::new(Technology::n90());
+        let profile = BankProfile::generate(&RetentionDistribution::liu_et_al(), 1024, 32, 7);
+        RefreshPlan::build(&model, &profile, 2, 0.0)
+    }
+
+    #[test]
+    fn plan_has_row_counts_consistent() {
+        let p = plan();
+        assert_eq!(p.mprsf().len(), 1024);
+        assert_eq!(p.bins().total_rows(), 1024);
+        assert_eq!(p.mprsf_histogram().iter().sum::<usize>(), 1024);
+    }
+
+    #[test]
+    fn histogram_is_spread_not_degenerate() {
+        // The retention heterogeneity must produce a *mix* of MPRSF
+        // values — that is the paper's whole premise.
+        let hist = plan().mprsf_histogram();
+        let nonzero = hist.iter().filter(|&&c| c > 0).count();
+        assert!(nonzero >= 2, "MPRSF histogram is degenerate: {hist:?}");
+    }
+
+    #[test]
+    fn mean_refresh_cycles_between_partial_and_full() {
+        let mean = plan().mean_refresh_cycles(19, 11);
+        assert!(mean > 11.0 && mean < 19.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn policies_share_binning() {
+        let p = plan();
+        let raidr = p.raidr();
+        use vrl_dram_sim::policy::RefreshPolicy;
+        let vrl = p.vrl();
+        for row in [0u32, 100, 1023] {
+            assert_eq!(raidr.period_ms(row), vrl.period_ms(row));
+        }
+    }
+}

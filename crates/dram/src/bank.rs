@@ -1,0 +1,101 @@
+//! Bank state machine.
+
+use serde::{Deserialize, Serialize};
+
+/// State of a single DRAM bank: which row (if any) is open, and until
+/// when the bank is busy with the current operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankState {
+    open_row: Option<u32>,
+    busy_until: u64,
+}
+
+impl BankState {
+    /// A precharged, idle bank.
+    pub fn new() -> Self {
+        BankState { open_row: None, busy_until: 0 }
+    }
+
+    /// The currently open row, if any.
+    pub fn open_row(&self) -> Option<u32> {
+        self.open_row
+    }
+
+    /// The cycle at which the bank becomes free.
+    pub fn busy_until(&self) -> u64 {
+        self.busy_until
+    }
+
+    /// The first cycle at or after `now` when the bank can accept a new
+    /// operation.
+    pub fn ready_at(&self, now: u64) -> u64 {
+        now.max(self.busy_until)
+    }
+
+    /// Occupies the bank from `start` for `duration` cycles; returns the
+    /// completion cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank is still busy at `start` (callers must sequence
+    /// through [`BankState::ready_at`]).
+    pub fn occupy(&mut self, start: u64, duration: u64) -> u64 {
+        assert!(start >= self.busy_until, "bank is busy until {}", self.busy_until);
+        self.busy_until = start + duration;
+        self.busy_until
+    }
+
+    /// Records a row activation.
+    pub fn set_open_row(&mut self, row: u32) {
+        self.open_row = Some(row);
+    }
+
+    /// Records a precharge (row closed).
+    pub fn precharge(&mut self) {
+        self.open_row = None;
+    }
+}
+
+impl Default for BankState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_bank_is_idle_and_closed() {
+        let b = BankState::new();
+        assert_eq!(b.open_row(), None);
+        assert_eq!(b.ready_at(100), 100);
+    }
+
+    #[test]
+    fn occupation_advances_busy_window() {
+        let mut b = BankState::new();
+        let done = b.occupy(10, 19);
+        assert_eq!(done, 29);
+        assert_eq!(b.ready_at(5), 29);
+        assert_eq!(b.ready_at(40), 40);
+    }
+
+    #[test]
+    fn open_close_cycle() {
+        let mut b = BankState::new();
+        b.set_open_row(42);
+        assert_eq!(b.open_row(), Some(42));
+        b.precharge();
+        assert_eq!(b.open_row(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "bank is busy")]
+    fn overlapping_occupation_panics() {
+        let mut b = BankState::new();
+        b.occupy(0, 10);
+        b.occupy(5, 10);
+    }
+}

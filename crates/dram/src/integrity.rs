@@ -1,0 +1,242 @@
+//! Data-integrity checking: does a policy ever let a row's charge fall
+//! below the sensing threshold?
+//!
+//! The checker tracks every row's charge fraction through leakage,
+//! refreshes, and activations, using a [`ChargePhysics`] supplied by the
+//! caller (the core crate wires in the analytical circuit model). It is
+//! the failure-injection harness of the test suite: give VRL an MPRSF
+//! that is too optimistic and the checker reports the violation.
+
+use vrl_retention::leakage::LeakageModel;
+
+use crate::sim::SimObserver;
+use crate::timing::{RefreshLatency, TimingParams};
+
+/// The charge physics a policy is checked against.
+pub trait ChargePhysics {
+    /// Charge fraction right after a refresh of `kind` for a cell
+    /// currently at `start` (post-leakage) charge.
+    fn after_refresh(&self, kind: RefreshLatency, start: f64) -> f64;
+    /// Charge fraction after an activation (full restore).
+    fn full_level(&self) -> f64;
+    /// The sensing threshold below which data is lost.
+    fn threshold(&self) -> f64;
+}
+
+/// A simple linear physics for tests: full restore to `full`, partial
+/// closes `partial_gain` of the deficit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearPhysics {
+    /// Full-refresh charge level.
+    pub full: f64,
+    /// Fraction of the deficit a partial refresh closes.
+    pub partial_gain: f64,
+    /// Sensing threshold.
+    pub threshold: f64,
+}
+
+impl ChargePhysics for LinearPhysics {
+    fn after_refresh(&self, kind: RefreshLatency, start: f64) -> f64 {
+        match kind {
+            RefreshLatency::Full => self.full,
+            RefreshLatency::Partial => start + self.partial_gain * (self.full - start),
+        }
+    }
+
+    fn full_level(&self) -> f64 {
+        self.full
+    }
+
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+/// A recorded integrity violation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Violation {
+    /// The row that lost data.
+    pub row: u32,
+    /// Cycle of the refresh/activation that found the row below
+    /// threshold.
+    pub cycle: u64,
+    /// The charge fraction observed.
+    pub charge: f64,
+}
+
+/// Charge-tracking integrity checker (a [`SimObserver`]).
+#[derive(Debug, Clone)]
+pub struct IntegrityChecker<C: ChargePhysics> {
+    physics: C,
+    leakage: LeakageModel,
+    timing: TimingParams,
+    /// Per-row retention (ms).
+    retention_ms: Vec<f64>,
+    /// Per-row charge fraction at `last_cycle`.
+    charge: Vec<f64>,
+    last_cycle: Vec<u64>,
+    violations: Vec<Violation>,
+}
+
+impl<C: ChargePhysics> IntegrityChecker<C> {
+    /// Creates a checker; all rows start fully refreshed at cycle 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retention_ms` is empty.
+    pub fn new(physics: C, timing: TimingParams, retention_ms: Vec<f64>) -> Self {
+        assert!(!retention_ms.is_empty(), "at least one row required");
+        let full = physics.full_level();
+        let rows = retention_ms.len();
+        let leakage = LeakageModel::new(full, physics.threshold());
+        IntegrityChecker {
+            physics,
+            leakage,
+            timing,
+            retention_ms,
+            charge: vec![full; rows],
+            last_cycle: vec![0; rows],
+            violations: Vec::new(),
+        }
+    }
+
+    /// The violations recorded so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Current charge of a row (as of its last event).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn charge_of(&self, row: u32) -> f64 {
+        self.charge[row as usize]
+    }
+
+    /// Changes a row's retention time mid-run (a VRT state toggle): the
+    /// row's charge is first settled to `cycle` under the old retention,
+    /// then the new value takes effect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds or `retention_ms` is not
+    /// positive.
+    pub fn update_retention(&mut self, row: u32, retention_ms: f64, cycle: u64) {
+        assert!(retention_ms > 0.0, "retention must be positive");
+        self.leak_to(row, cycle);
+        self.retention_ms[row as usize] = retention_ms;
+    }
+
+    /// Leaks row `row` forward to `cycle` and checks the threshold.
+    fn leak_to(&mut self, row: u32, cycle: u64) -> f64 {
+        let r = row as usize;
+        let elapsed_ms = self.timing.cycles_to_ms(cycle.saturating_sub(self.last_cycle[r]));
+        let q = self.leakage.charge_after(self.charge[r], elapsed_ms, self.retention_ms[r]);
+        self.charge[r] = q;
+        self.last_cycle[r] = cycle;
+        // Strict violation with a small tolerance: a row whose retention
+        // exactly equals its refresh period sits *at* the threshold at
+        // the refresh instant, which is safe by definition.
+        if q < self.physics.threshold() - 1e-9 {
+            self.violations.push(Violation { row, cycle, charge: q });
+        }
+        q
+    }
+}
+
+impl<C: ChargePhysics> SimObserver for IntegrityChecker<C> {
+    fn on_refresh(&mut self, row: u32, kind: RefreshLatency, cycle: u64) {
+        let q = self.leak_to(row, cycle);
+        self.charge[row as usize] = self.physics.after_refresh(kind, q);
+    }
+
+    fn on_activate(&mut self, row: u32, cycle: u64) {
+        self.leak_to(row, cycle);
+        self.charge[row as usize] = self.physics.full_level();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Raidr, Vrl};
+    use crate::sim::{SimConfig, Simulator};
+    use vrl_retention::binning::BinningTable;
+    use vrl_retention::profile::BankProfile;
+
+    fn physics() -> LinearPhysics {
+        LinearPhysics { full: 0.95, partial_gain: 0.4, threshold: 0.62 }
+    }
+
+    fn setup(retention_ms: f64, rows: usize) -> (BinningTable, Vec<f64>) {
+        let profile =
+            BankProfile::from_rows(std::iter::repeat_n(retention_ms, rows), 32);
+        (BinningTable::from_profile(&profile), vec![retention_ms; rows])
+    }
+
+    #[test]
+    fn raidr_never_violates() {
+        let (bins, retention) = setup(300.0, 16);
+        let mut checker = IntegrityChecker::new(physics(), TimingParams::paper_default(), retention);
+        let mut sim = Simulator::new(SimConfig::with_rows(16), Raidr::new(bins));
+        sim.run_observed(std::iter::empty(), 2048.0, &mut checker);
+        assert!(checker.violations().is_empty(), "{:?}", checker.violations());
+    }
+
+    #[test]
+    fn conservative_vrl_never_violates() {
+        // Retention 1500 ms in the 256 ms bin: d per period ≈ 0.90; with
+        // partial_gain 0.4 the fixed point stays well above threshold.
+        let (bins, retention) = setup(1500.0, 16);
+        let mut checker = IntegrityChecker::new(physics(), TimingParams::paper_default(), retention);
+        let mut sim = Simulator::new(SimConfig::with_rows(16), Vrl::new(bins, vec![3; 16]));
+        sim.run_observed(std::iter::empty(), 4096.0, &mut checker);
+        assert!(checker.violations().is_empty(), "{:?}", checker.violations());
+    }
+
+    #[test]
+    fn reckless_mprsf_is_caught() {
+        // Retention barely above the bin period: sustained partials must
+        // cross the threshold — the checker has to catch it.
+        let (bins, retention) = setup(280.0, 4);
+        let mut checker = IntegrityChecker::new(physics(), TimingParams::paper_default(), retention);
+        let mut sim = Simulator::new(SimConfig::with_rows(4), Vrl::new(bins, vec![3; 4]));
+        sim.run_observed(std::iter::empty(), 4096.0, &mut checker);
+        assert!(!checker.violations().is_empty(), "expected violations");
+    }
+
+    #[test]
+    fn charges_decay_between_events() {
+        let (_, retention) = setup(256.0, 1);
+        let timing = TimingParams::paper_default();
+        let mut checker = IntegrityChecker::new(physics(), timing, retention);
+        // Leak a full period: full (0.95) decays to exactly the loss
+        // threshold at retention = period.
+        checker.on_refresh(0, RefreshLatency::Full, 0);
+        let q = checker.leak_to(0, timing.ms_to_cycles(256.0));
+        assert!((q - 0.62).abs() < 1e-9, "q = {q}");
+    }
+
+    #[test]
+    fn activation_fully_restores() {
+        let (_, retention) = setup(300.0, 1);
+        let timing = TimingParams::paper_default();
+        let mut checker = IntegrityChecker::new(physics(), timing, retention);
+        checker.on_activate(0, timing.ms_to_cycles(100.0));
+        assert_eq!(checker.charge_of(0), 0.95);
+    }
+
+    #[test]
+    fn violation_records_details() {
+        let (_, retention) = setup(100.0, 1);
+        let timing = TimingParams::paper_default();
+        let mut checker = IntegrityChecker::new(physics(), timing, retention);
+        // Leak for 400 ms without refresh: guaranteed below threshold.
+        let q = checker.leak_to(0, timing.ms_to_cycles(400.0));
+        assert!(q < 0.62);
+        let v = checker.violations()[0];
+        assert_eq!(v.row, 0);
+        assert!(v.charge < 0.62);
+    }
+}

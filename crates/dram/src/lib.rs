@@ -1,0 +1,47 @@
+//! # vrl-dram-sim — cycle-level DRAM bank simulator
+//!
+//! The in-house simulator the paper evaluates with (Section 4.1): a
+//! single-bank, event-driven, cycle-accurate model of a memory controller
+//! servicing a trace while scheduling per-row refreshes under a pluggable
+//! policy.
+//!
+//! * [`timing`] — DDR3-style timing parameters and refresh latencies,
+//! * [`bank`] — the bank state machine (open row, busy window),
+//! * [`policy`] — the refresh policies: fixed-period auto-refresh,
+//!   RAIDR \[27\] retention-aware binning, and the paper's VRL /
+//!   VRL-Access (Algorithm 1),
+//! * [`sim`] — the event-driven simulator,
+//! * [`stats`] — counters (refresh-busy cycles, stalls, hits/misses),
+//! * [`integrity`] — a charge-tracking checker that verifies no row ever
+//!   drops below the sensing threshold under a policy (failure
+//!   injection for the test suite).
+//!
+//! # Example
+//!
+//! ```
+//! use vrl_dram_sim::policy::AutoRefresh;
+//! use vrl_dram_sim::sim::{SimConfig, Simulator};
+//! use vrl_trace::{Op, TraceRecord};
+//!
+//! let trace = vec![TraceRecord::new(100, Op::Read, 7)];
+//! let mut sim = Simulator::new(SimConfig::paper_default(), AutoRefresh::new(64.0));
+//! let stats = sim.run(trace.into_iter(), 1.0 /* ms */);
+//! assert!(stats.refresh_busy_cycles > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bank;
+pub mod controller;
+pub mod integrity;
+pub mod policy;
+pub mod rank;
+pub mod sim;
+pub mod stats;
+pub mod timing;
+
+pub use policy::{AutoRefresh, Raidr, RefreshPolicy, Vrl, VrlAccess};
+pub use sim::{SimConfig, Simulator};
+pub use stats::SimStats;
+pub use timing::{RefreshLatency, TimingParams};

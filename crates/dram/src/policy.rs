@@ -1,0 +1,271 @@
+//! Refresh policies: AutoRefresh, RAIDR, VRL, and VRL-Access.
+//!
+//! A [`RefreshPolicy`] answers three questions for the controller:
+//! at what period must each row be refreshed, with what latency should
+//! the next refresh of a row be issued (the paper's Algorithm 1), and
+//! what should happen when an access activates a row.
+
+use vrl_retention::binning::BinningTable;
+
+use crate::timing::RefreshLatency;
+
+/// A refresh scheduling policy (the paper's Algorithm 1 generalized).
+pub trait RefreshPolicy {
+    /// Human-readable policy name (used in experiment output).
+    fn name(&self) -> &'static str;
+
+    /// The refresh period of `row` in milliseconds.
+    fn period_ms(&self, row: u32) -> f64;
+
+    /// Decides the latency of the refresh being issued to `row` right
+    /// now, updating internal counters (Algorithm 1 lines 2–8).
+    fn refresh_kind(&mut self, row: u32) -> RefreshLatency;
+
+    /// Notification that `row` was activated by a read or write access
+    /// (an activation fully restores the row's charge).
+    fn on_activate(&mut self, row: u32) {
+        let _ = row;
+    }
+}
+
+/// Fixed-period refresh of every row (the JEDEC baseline): every row is
+/// fully refreshed every `period_ms` (typically 64 ms).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoRefresh {
+    period_ms: f64,
+}
+
+impl AutoRefresh {
+    /// Creates the baseline policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is not positive.
+    pub fn new(period_ms: f64) -> Self {
+        assert!(period_ms > 0.0, "period must be positive");
+        AutoRefresh { period_ms }
+    }
+}
+
+impl RefreshPolicy for AutoRefresh {
+    fn name(&self) -> &'static str {
+        "auto"
+    }
+
+    fn period_ms(&self, _row: u32) -> f64 {
+        self.period_ms
+    }
+
+    fn refresh_kind(&mut self, _row: u32) -> RefreshLatency {
+        RefreshLatency::Full
+    }
+}
+
+/// RAIDR \[27\]: per-row refresh period from retention binning; every
+/// refresh is a full refresh.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Raidr {
+    bins: BinningTable,
+}
+
+impl Raidr {
+    /// Creates RAIDR over a binning table.
+    pub fn new(bins: BinningTable) -> Self {
+        Raidr { bins }
+    }
+
+    /// The binning table in use.
+    pub fn bins(&self) -> &BinningTable {
+        &self.bins
+    }
+}
+
+impl RefreshPolicy for Raidr {
+    fn name(&self) -> &'static str {
+        "raidr"
+    }
+
+    fn period_ms(&self, row: u32) -> f64 {
+        self.bins.bin_of(row as usize).period_ms()
+    }
+
+    fn refresh_kind(&mut self, _row: u32) -> RefreshLatency {
+        RefreshLatency::Full
+    }
+}
+
+/// VRL-DRAM (Algorithm 1): RAIDR's per-row periods, plus per-row MPRSF
+/// counters choosing between full and partial refreshes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vrl {
+    bins: BinningTable,
+    /// Per-row MPRSF, already saturated to `2^nbits − 1`.
+    mprsf: Vec<u8>,
+    /// Per-row count of partial refreshes since the last full refresh.
+    rcount: Vec<u8>,
+}
+
+impl Vrl {
+    /// Creates VRL from a binning table and per-row MPRSF values
+    /// (`mprsf[row]`, saturated to the counter width by the caller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mprsf.len()` differs from the table's row count.
+    pub fn new(bins: BinningTable, mprsf: Vec<u8>) -> Self {
+        assert_eq!(mprsf.len(), bins.total_rows(), "one MPRSF per row");
+        let rcount = vec![0; mprsf.len()];
+        Vrl { bins, mprsf, rcount }
+    }
+
+    /// The MPRSF of a row.
+    pub fn mprsf(&self, row: u32) -> u8 {
+        self.mprsf[row as usize]
+    }
+
+    /// The current partial-refresh count of a row.
+    pub fn rcount(&self, row: u32) -> u8 {
+        self.rcount[row as usize]
+    }
+
+    /// Algorithm 1 lines 2–8, shared by VRL and VRL-Access.
+    fn schedule(&mut self, row: u32) -> RefreshLatency {
+        let r = row as usize;
+        if self.rcount[r] >= self.mprsf[r] {
+            self.rcount[r] = 0;
+            RefreshLatency::Full
+        } else {
+            self.rcount[r] += 1;
+            RefreshLatency::Partial
+        }
+    }
+}
+
+impl RefreshPolicy for Vrl {
+    fn name(&self) -> &'static str {
+        "vrl"
+    }
+
+    fn period_ms(&self, row: u32) -> f64 {
+        self.bins.bin_of(row as usize).period_ms()
+    }
+
+    fn refresh_kind(&mut self, row: u32) -> RefreshLatency {
+        self.schedule(row)
+    }
+}
+
+/// VRL-Access: VRL plus the access optimization — a read/write activation
+/// fully restores the row, so `rcount` is reset to 0 (Section 3.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VrlAccess {
+    inner: Vrl,
+}
+
+impl VrlAccess {
+    /// Creates VRL-Access (see [`Vrl::new`]).
+    pub fn new(bins: BinningTable, mprsf: Vec<u8>) -> Self {
+        VrlAccess { inner: Vrl::new(bins, mprsf) }
+    }
+
+    /// The current partial-refresh count of a row.
+    pub fn rcount(&self, row: u32) -> u8 {
+        self.inner.rcount(row)
+    }
+}
+
+impl RefreshPolicy for VrlAccess {
+    fn name(&self) -> &'static str {
+        "vrl-access"
+    }
+
+    fn period_ms(&self, row: u32) -> f64 {
+        self.inner.period_ms(row)
+    }
+
+    fn refresh_kind(&mut self, row: u32) -> RefreshLatency {
+        self.inner.schedule(row)
+    }
+
+    fn on_activate(&mut self, row: u32) {
+        self.inner.rcount[row as usize] = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrl_retention::profile::BankProfile;
+
+    fn bins(rows: usize) -> BinningTable {
+        let profile = BankProfile::from_rows((0..rows).map(|i| 100.0 + i as f64 * 60.0), 32);
+        BinningTable::from_profile(&profile)
+    }
+
+    #[test]
+    fn auto_refresh_is_always_full() {
+        let mut p = AutoRefresh::new(64.0);
+        assert_eq!(p.period_ms(0), 64.0);
+        assert_eq!(p.refresh_kind(0), RefreshLatency::Full);
+        assert_eq!(p.refresh_kind(0), RefreshLatency::Full);
+    }
+
+    #[test]
+    fn raidr_uses_bin_periods_full_only() {
+        let mut p = Raidr::new(bins(4));
+        // Row 0: 100 ms → 64 bin; row 3: 280 ms → 256 bin.
+        assert_eq!(p.period_ms(0), 64.0);
+        assert_eq!(p.period_ms(3), 256.0);
+        assert_eq!(p.refresh_kind(2), RefreshLatency::Full);
+    }
+
+    #[test]
+    fn vrl_follows_algorithm_1() {
+        // mprsf = 2: pattern per row must be P P F P P F ...
+        let mut p = Vrl::new(bins(1), vec![2]);
+        let seq: Vec<RefreshLatency> = (0..6).map(|_| p.refresh_kind(0)).collect();
+        use RefreshLatency::{Full, Partial};
+        assert_eq!(seq, vec![Partial, Partial, Full, Partial, Partial, Full]);
+    }
+
+    #[test]
+    fn vrl_mprsf_zero_is_raidr() {
+        let mut p = Vrl::new(bins(1), vec![0]);
+        for _ in 0..4 {
+            assert_eq!(p.refresh_kind(0), RefreshLatency::Full);
+        }
+    }
+
+    #[test]
+    fn vrl_ignores_activations() {
+        let mut p = Vrl::new(bins(1), vec![3]);
+        assert_eq!(p.refresh_kind(0), RefreshLatency::Partial);
+        p.on_activate(0);
+        assert_eq!(p.rcount(0), 1, "plain VRL must not reset on access");
+    }
+
+    #[test]
+    fn vrl_access_resets_on_activation() {
+        let mut p = VrlAccess::new(bins(1), vec![1]);
+        assert_eq!(p.refresh_kind(0), RefreshLatency::Partial);
+        // Next would be Full (rcount == mprsf), but an access intervenes.
+        p.on_activate(0);
+        assert_eq!(p.rcount(0), 0);
+        assert_eq!(p.refresh_kind(0), RefreshLatency::Partial);
+    }
+
+    #[test]
+    fn rows_have_independent_counters() {
+        let mut p = Vrl::new(bins(2), vec![1, 1]);
+        assert_eq!(p.refresh_kind(0), RefreshLatency::Partial);
+        assert_eq!(p.refresh_kind(0), RefreshLatency::Full);
+        // Row 1 is unaffected by row 0's counter.
+        assert_eq!(p.refresh_kind(1), RefreshLatency::Partial);
+    }
+
+    #[test]
+    #[should_panic(expected = "one MPRSF per row")]
+    fn mismatched_mprsf_panics() {
+        let _ = Vrl::new(bins(4), vec![1, 2]);
+    }
+}

@@ -1,0 +1,518 @@
+//! The event-driven bank simulator.
+//!
+//! Accesses from the trace and per-row refresh deadlines are merged in
+//! time order onto a single bank. Refreshes take priority (a due refresh
+//! runs before a later-arriving access), accesses stall while the bank is
+//! busy, and every event is reported to an optional observer (used by the
+//! integrity checker).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use vrl_trace::TraceRecord;
+
+use crate::bank::BankState;
+use crate::policy::RefreshPolicy;
+use crate::stats::SimStats;
+use crate::timing::{RefreshLatency, TimingParams};
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Timing parameters.
+    pub timing: TimingParams,
+    /// Rows in the simulated bank.
+    pub rows: u32,
+    /// Maximum refresh postponement slack in cycles (0 disables it).
+    ///
+    /// DDR4-style demand-first refreshing: a due refresh that would
+    /// collide with an imminent access yields and is re-queued, as long
+    /// as it stays within this slack of its original deadline. The slack
+    /// must be far below the retention guard (DDR4 allows ~62 µs against
+    /// 64 ms retention); the integrity checker verifies this.
+    pub postpone_slack: u64,
+    /// Whether initial refresh deadlines are staggered across each row's
+    /// period (distributed refresh, the default) or aligned so all rows
+    /// come due together at period boundaries (JEDEC-style burst
+    /// refresh). Burst refresh blocks the bank for long contiguous
+    /// windows and inflates worst-case access stalls.
+    pub staggered: bool,
+    /// Row-buffer management policy.
+    pub page_policy: PagePolicy,
+}
+
+/// Row-buffer management policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PagePolicy {
+    /// Keep the row open after an access (exploits locality; conflicts
+    /// pay an extra precharge).
+    #[default]
+    Open,
+    /// Precharge immediately after every access (no hits, but no
+    /// conflict precharge and refreshes never find an open row).
+    Closed,
+}
+
+impl SimConfig {
+    /// The paper's evaluation bank: 8192 rows at the default timings.
+    pub fn paper_default() -> Self {
+        SimConfig {
+            timing: TimingParams::paper_default(),
+            rows: 8192,
+            postpone_slack: 0,
+            staggered: true,
+            page_policy: PagePolicy::Open,
+        }
+    }
+
+    /// A configuration with a custom row count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is zero.
+    pub fn with_rows(rows: u32) -> Self {
+        assert!(rows > 0, "bank must have rows");
+        SimConfig { rows, ..Self::paper_default() }
+    }
+
+    /// Enables demand-first refresh postponement with the given slack.
+    #[must_use]
+    pub fn with_postpone_slack(mut self, slack_cycles: u64) -> Self {
+        self.postpone_slack = slack_cycles;
+        self
+    }
+
+    /// Switches to JEDEC-style burst refresh (all rows due together).
+    #[must_use]
+    pub fn with_burst_refresh(mut self) -> Self {
+        self.staggered = false;
+        self
+    }
+
+    /// Selects the row-buffer management policy.
+    #[must_use]
+    pub fn with_page_policy(mut self, policy: PagePolicy) -> Self {
+        self.page_policy = policy;
+        self
+    }
+}
+
+/// Observer of simulation events (integrity checking, logging).
+pub trait SimObserver {
+    /// A refresh of `row` with the given latency class completed at
+    /// `cycle`.
+    fn on_refresh(&mut self, row: u32, kind: RefreshLatency, cycle: u64);
+    /// An activation of `row` (row-miss access) happened at `cycle`.
+    fn on_activate(&mut self, row: u32, cycle: u64);
+}
+
+/// A no-op observer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl SimObserver for NullObserver {
+    fn on_refresh(&mut self, _row: u32, _kind: RefreshLatency, _cycle: u64) {}
+    fn on_activate(&mut self, _row: u32, _cycle: u64) {}
+}
+
+/// The event-driven single-bank simulator.
+///
+/// # Example
+///
+/// ```
+/// use vrl_dram_sim::policy::AutoRefresh;
+/// use vrl_dram_sim::sim::{SimConfig, Simulator};
+///
+/// let mut sim = Simulator::new(SimConfig::with_rows(64), AutoRefresh::new(64.0));
+/// let stats = sim.run(std::iter::empty(), 64.0);
+/// // Every row refreshed exactly once per 64 ms at τ_full = 19 cycles.
+/// assert_eq!(stats.refresh_busy_cycles, 64 * 19);
+/// ```
+#[derive(Debug)]
+pub struct Simulator<P: RefreshPolicy> {
+    config: SimConfig,
+    policy: P,
+    bank: BankState,
+    /// Min-heap of (due_cycle, row, original_due_cycle).
+    refresh_queue: BinaryHeap<Reverse<(u64, u32, u64)>>,
+    stats: SimStats,
+}
+
+impl<P: RefreshPolicy> Simulator<P> {
+    /// Creates a simulator; initial refresh deadlines are staggered
+    /// across each row's period (as a real controller's tREFI pacing
+    /// does), deterministically by row index.
+    pub fn new(config: SimConfig, policy: P) -> Self {
+        let mut refresh_queue = BinaryHeap::with_capacity(config.rows as usize);
+        for row in 0..config.rows {
+            let period = config.timing.ms_to_cycles(policy.period_ms(row));
+            let offset = if config.staggered {
+                (row as u64).wrapping_mul(2654435761) % period.max(1)
+            } else {
+                0
+            };
+            refresh_queue.push(Reverse((offset, row, offset)));
+        }
+        Simulator { config, policy, bank: BankState::new(), refresh_queue, stats: SimStats::default() }
+    }
+
+    /// The policy, for inspection.
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Runs the trace for `duration_ms`, returning the statistics.
+    pub fn run<I: Iterator<Item = TraceRecord>>(&mut self, trace: I, duration_ms: f64) -> SimStats {
+        self.run_observed(trace, duration_ms, &mut NullObserver)
+    }
+
+    /// Runs with an observer receiving every refresh/activate event.
+    pub fn run_observed<I, O>(&mut self, trace: I, duration_ms: f64, observer: &mut O) -> SimStats
+    where
+        I: Iterator<Item = TraceRecord>,
+        O: SimObserver,
+    {
+        let end = self.config.timing.ms_to_cycles(duration_ms);
+        for record in trace {
+            if record.cycle >= end {
+                break;
+            }
+            self.drain_refreshes(record.cycle, Some(record.cycle), observer);
+            self.service_access(record, observer);
+        }
+        self.drain_refreshes(end, None, observer);
+        self.stats.total_cycles = end.max(self.bank.busy_until());
+        self.stats.clone()
+    }
+
+    /// Executes all refreshes due strictly before `horizon`; with
+    /// postponement enabled, refreshes that would collide with the next
+    /// access at `next_access` yield while slack remains.
+    fn drain_refreshes<O: SimObserver>(
+        &mut self,
+        horizon: u64,
+        next_access: Option<u64>,
+        observer: &mut O,
+    ) {
+        while let Some(&Reverse((due, row, original_due))) = self.refresh_queue.peek() {
+            if due >= horizon {
+                break;
+            }
+            self.refresh_queue.pop();
+            let start = self.bank.ready_at(due);
+            // Demand-first postponement: if executing now would push into
+            // the imminent access and the deadline slack allows, yield.
+            if self.config.postpone_slack > 0 {
+                if let Some(access_at) = next_access {
+                    let worst_duration =
+                        self.config.timing.trp + self.config.timing.tau_full;
+                    let would_collide = start + worst_duration > access_at;
+                    let deferred_due = access_at + 1;
+                    let within_slack =
+                        deferred_due <= original_due + self.config.postpone_slack;
+                    if would_collide && within_slack && deferred_due > due {
+                        self.stats.postponed_refreshes += 1;
+                        self.refresh_queue.push(Reverse((deferred_due, row, original_due)));
+                        continue;
+                    }
+                }
+            }
+            // A refresh needs a precharged bank; closing an open row costs
+            // tRP of bank occupancy, but only the refresh cycle time
+            // itself counts as refresh-busy (the paper's Figure 4 metric
+            // is tRFC cycles).
+            let mut duration = 0;
+            if self.bank.open_row().is_some() {
+                self.bank.precharge();
+                duration += self.config.timing.trp;
+            }
+            let kind = self.policy.refresh_kind(row);
+            let refresh_cycles = self.config.timing.refresh_cycles(kind);
+            duration += refresh_cycles;
+            let done = self.bank.occupy(start, duration);
+            self.stats.refresh_busy_cycles += refresh_cycles;
+            match kind {
+                RefreshLatency::Full => self.stats.full_refreshes += 1,
+                RefreshLatency::Partial => self.stats.partial_refreshes += 1,
+            }
+            observer.on_refresh(row, kind, done);
+            // The next deadline advances from the *original* deadline so
+            // postponement never drifts the schedule.
+            let period = self.config.timing.ms_to_cycles(self.policy.period_ms(row));
+            let next = original_due + period.max(1);
+            self.refresh_queue.push(Reverse((next, row, next)));
+        }
+    }
+
+    /// Services one trace access.
+    fn service_access<O: SimObserver>(&mut self, record: TraceRecord, observer: &mut O) {
+        let row = record.row % self.config.rows;
+        let start = self.bank.ready_at(record.cycle);
+        self.stats.stall_cycles += start - record.cycle;
+        self.stats.accesses += 1;
+        let hit = self.bank.open_row() == Some(row);
+        let latency = if hit {
+            self.stats.row_hits += 1;
+            self.config.timing.hit_latency()
+        } else {
+            self.stats.row_misses += 1;
+            if self.bank.open_row().is_some() {
+                self.config.timing.miss_latency()
+            } else {
+                self.config.timing.trcd + self.config.timing.tcl
+            }
+        };
+        self.bank.occupy(start, latency);
+        if !hit {
+            self.bank.set_open_row(row);
+            self.policy.on_activate(row);
+            observer.on_activate(row, start);
+        }
+        if self.config.page_policy == PagePolicy::Closed {
+            // Auto-precharge: the row closes with the access (tRP is
+            // folded into the next operation's activate path).
+            self.bank.precharge();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{AutoRefresh, Raidr, Vrl, VrlAccess};
+    use vrl_retention::binning::BinningTable;
+    use vrl_retention::profile::BankProfile;
+    use vrl_trace::{Op, TraceRecord};
+
+    fn small_config(rows: u32) -> SimConfig {
+        SimConfig::with_rows(rows)
+    }
+
+    fn bins_all(retention_ms: f64, rows: usize) -> BinningTable {
+        BinningTable::from_profile(&BankProfile::from_rows(
+            std::iter::repeat_n(retention_ms, rows),
+            32,
+        ))
+    }
+
+    #[test]
+    fn auto_refresh_cycle_count_matches_formula() {
+        // 64 rows, 64 ms period, 10 ms run: each row refreshes
+        // floor-ish(10/64 · …) times; total = rows × refreshes × 19.
+        let mut sim = Simulator::new(small_config(64), AutoRefresh::new(64.0));
+        let stats = sim.run(std::iter::empty(), 64.0);
+        // Every row refreshed exactly once per 64 ms window.
+        assert_eq!(stats.total_refreshes(), 64);
+        assert_eq!(stats.refresh_busy_cycles, 64 * 19);
+    }
+
+    #[test]
+    fn raidr_refreshes_strong_rows_less() {
+        let strong = bins_all(300.0, 64); // 256 ms bin
+        let weak = bins_all(100.0, 64); // 64 ms bin
+        let mut sim_s = Simulator::new(small_config(64), Raidr::new(strong));
+        let mut sim_w = Simulator::new(small_config(64), Raidr::new(weak));
+        let s = sim_s.run(std::iter::empty(), 256.0);
+        let w = sim_w.run(std::iter::empty(), 256.0);
+        assert_eq!(s.total_refreshes(), 64);
+        assert_eq!(w.total_refreshes(), 64 * 4);
+    }
+
+    #[test]
+    fn vrl_reduces_refresh_busy_cycles_vs_raidr() {
+        let bins = bins_all(300.0, 64);
+        let mut raidr = Simulator::new(small_config(64), Raidr::new(bins.clone()));
+        let mut vrl = Simulator::new(small_config(64), Vrl::new(bins, vec![3; 64]));
+        let r = raidr.run(std::iter::empty(), 1024.0);
+        let v = vrl.run(std::iter::empty(), 1024.0);
+        assert_eq!(r.total_refreshes(), v.total_refreshes());
+        assert!(v.refresh_busy_cycles < r.refresh_busy_cycles);
+        // mprsf = 3 ⇒ 3 of 4 refreshes are partial.
+        assert_eq!(v.partial_refreshes, 3 * v.full_refreshes);
+    }
+
+    #[test]
+    fn accesses_are_serviced_and_stalls_counted() {
+        let trace = vec![
+            TraceRecord::new(100, Op::Read, 1),
+            TraceRecord::new(101, Op::Read, 1), // same row: hit, stalls
+            TraceRecord::new(500, Op::Write, 2),
+        ];
+        let mut sim = Simulator::new(small_config(8), AutoRefresh::new(64.0));
+        let stats = sim.run(trace.into_iter(), 1.0);
+        assert_eq!(stats.accesses, 3);
+        assert_eq!(stats.row_hits, 1);
+        assert_eq!(stats.row_misses, 2);
+        assert!(stats.stall_cycles > 0);
+    }
+
+    #[test]
+    fn vrl_access_emits_fewer_fulls_under_traffic() {
+        let bins = bins_all(300.0, 16);
+        let mprsf = vec![2u8; 16];
+        // Heavy traffic touching every row repeatedly across the whole
+        // 2048 ms run (2.048e9 cycles).
+        let trace: Vec<TraceRecord> = (0..20_000u64)
+            .map(|i| TraceRecord::new(i * 100_000, Op::Read, (i % 16) as u32))
+            .collect();
+        let mut vrl = Simulator::new(small_config(16), Vrl::new(bins.clone(), mprsf.clone()));
+        let mut vrla = Simulator::new(small_config(16), VrlAccess::new(bins, mprsf));
+        let v = vrl.run(trace.clone().into_iter(), 2048.0);
+        let va = vrla.run(trace.into_iter(), 2048.0);
+        assert!(
+            va.full_refreshes < v.full_refreshes,
+            "access resets must avoid full refreshes: {} vs {}",
+            va.full_refreshes,
+            v.full_refreshes
+        );
+        assert!(va.refresh_busy_cycles < v.refresh_busy_cycles);
+    }
+
+    #[test]
+    fn refresh_periods_are_respected_per_row() {
+        // One weak row among strong ones.
+        let mut retentions = vec![300.0; 8];
+        retentions[3] = 80.0;
+        let bins = BinningTable::from_profile(&BankProfile::from_rows(retentions, 32));
+        struct Counter {
+            per_row: Vec<u64>,
+        }
+        impl SimObserver for Counter {
+            fn on_refresh(&mut self, row: u32, _k: RefreshLatency, _c: u64) {
+                self.per_row[row as usize] += 1;
+            }
+            fn on_activate(&mut self, _row: u32, _c: u64) {}
+        }
+        let mut obs = Counter { per_row: vec![0; 8] };
+        let mut sim = Simulator::new(small_config(8), Raidr::new(bins));
+        sim.run_observed(std::iter::empty(), 512.0, &mut obs);
+        assert_eq!(obs.per_row[3], 8, "64 ms row refreshes 8× in 512 ms");
+        assert_eq!(obs.per_row[0], 2, "256 ms row refreshes 2×");
+    }
+
+    #[test]
+    fn postponement_reduces_stalls_without_changing_refresh_work() {
+        // A dense periodic access stream over a many-row bank: plenty of
+        // refreshes land right in front of an access.
+        let trace: Vec<TraceRecord> = (0..100_000u64)
+            .map(|i| TraceRecord::new(i * 160, Op::Read, (i % 1024) as u32))
+            .collect();
+        let base = small_config(1024);
+        let slack = base.with_postpone_slack(64_000); // 64 µs, DDR4-like
+        let mut plain = Simulator::new(base, AutoRefresh::new(64.0));
+        let mut demand_first = Simulator::new(slack, AutoRefresh::new(64.0));
+        let p = plain.run(trace.clone().into_iter(), 64.0);
+        let d = demand_first.run(trace.into_iter(), 64.0);
+        assert_eq!(p.total_refreshes(), d.total_refreshes(), "same refresh work");
+        assert!(d.postponed_refreshes > 0, "some refreshes must yield");
+        assert!(
+            d.stall_cycles < p.stall_cycles,
+            "postponement must cut stalls: {} vs {}",
+            d.stall_cycles,
+            p.stall_cycles
+        );
+    }
+
+    #[test]
+    fn successive_runs_continue_the_schedule() {
+        // Running 64 ms twice equals running 128 ms once: the refresh
+        // queue and statistics persist across calls.
+        let mut split = Simulator::new(small_config(32), AutoRefresh::new(64.0));
+        split.run(std::iter::empty(), 64.0);
+        let split_stats = split.run(std::iter::empty(), 128.0);
+        let mut whole = Simulator::new(small_config(32), AutoRefresh::new(64.0));
+        let whole_stats = whole.run(std::iter::empty(), 128.0);
+        assert_eq!(split_stats.total_refreshes(), whole_stats.total_refreshes());
+        assert_eq!(split_stats.refresh_busy_cycles, whole_stats.refresh_busy_cycles);
+    }
+
+    #[test]
+    fn policy_accessor_exposes_counters() {
+        let bins = bins_all(300.0, 4);
+        let mut sim = Simulator::new(small_config(4), Vrl::new(bins, vec![2; 4]));
+        sim.run(std::iter::empty(), 300.0);
+        // Every row has refreshed at least once (staggered starts mean
+        // some rows fit a second refresh into 300 ms), so all counters
+        // have advanced but none wrapped past mprsf = 2.
+        for row in 0..4 {
+            let rcount = sim.policy().rcount(row);
+            assert!((1..=2).contains(&rcount), "row {row}: rcount = {rcount}");
+        }
+    }
+
+    #[test]
+    fn closed_page_policy_never_hits() {
+        let trace: Vec<TraceRecord> = (0..1000u64)
+            .map(|i| TraceRecord::new(i * 100, Op::Read, 3)) // same row!
+            .collect();
+        let open = small_config(8);
+        let closed = open.with_page_policy(PagePolicy::Closed);
+        let mut sim_open = Simulator::new(open, AutoRefresh::new(64.0));
+        let mut sim_closed = Simulator::new(closed, AutoRefresh::new(64.0));
+        let o = sim_open.run(trace.clone().into_iter(), 1.0);
+        let c = sim_closed.run(trace.into_iter(), 1.0);
+        assert!(o.row_hits > 900, "open page exploits the locality: {}", o.row_hits);
+        assert_eq!(c.row_hits, 0, "closed page never hits");
+        assert_eq!(c.row_misses, c.accesses);
+        // But closed page still notifies the policy about every activate,
+        // so VRL-Access would see every access.
+    }
+
+    #[test]
+    fn burst_refresh_inflates_stalls() {
+        // Same refresh work, but all rows come due together: accesses
+        // landing behind the burst wait far longer.
+        let trace: Vec<TraceRecord> = (0..20_000u64)
+            .map(|i| TraceRecord::new(i * 3200, Op::Read, (i % 512) as u32))
+            .collect();
+        let mut staggered = Simulator::new(small_config(512), AutoRefresh::new(64.0));
+        let mut burst =
+            Simulator::new(small_config(512).with_burst_refresh(), AutoRefresh::new(64.0));
+        let s = staggered.run(trace.clone().into_iter(), 64.0);
+        let b = burst.run(trace.into_iter(), 64.0);
+        assert_eq!(s.total_refreshes(), b.total_refreshes());
+        assert!(
+            b.stall_cycles > 2 * s.stall_cycles,
+            "burst must stall much more: {} vs {}",
+            b.stall_cycles,
+            s.stall_cycles
+        );
+    }
+
+    #[test]
+    fn postponement_respects_the_slack_bound() {
+        // With zero slack the behaviour is bit-identical to the default.
+        let trace: Vec<TraceRecord> =
+            (0..10_000u64).map(|i| TraceRecord::new(i * 640, Op::Read, 1)).collect();
+        let mut plain = Simulator::new(small_config(16), AutoRefresh::new(64.0));
+        let mut zero_slack =
+            Simulator::new(small_config(16).with_postpone_slack(0), AutoRefresh::new(64.0));
+        let p = plain.run(trace.clone().into_iter(), 16.0);
+        let z = zero_slack.run(trace.into_iter(), 16.0);
+        assert_eq!(p, z);
+    }
+
+    #[test]
+    fn postponement_does_not_drift_the_schedule() {
+        // Deadlines advance from the original due time, so the number of
+        // refreshes over a long window is unchanged even under constant
+        // postponement pressure.
+        let trace: Vec<TraceRecord> = (0..200_000u64)
+            .map(|i| TraceRecord::new(i * 320, Op::Read, (i % 8) as u32))
+            .collect();
+        let cfg = small_config(8).with_postpone_slack(100_000);
+        let mut sim = Simulator::new(cfg, AutoRefresh::new(64.0));
+        let s = sim.run(trace.into_iter(), 64.0);
+        assert_eq!(s.total_refreshes(), 8, "one refresh per row per 64 ms");
+    }
+
+    #[test]
+    fn initial_deadlines_are_staggered() {
+        let mut sim = Simulator::new(small_config(1024), AutoRefresh::new(64.0));
+        // In the first 1 ms (1/64 of the period) only ~1/64 of rows are
+        // due; without staggering all 1024 would fire at once.
+        let stats = sim.run(std::iter::empty(), 1.0);
+        assert!(stats.total_refreshes() < 64, "got {}", stats.total_refreshes());
+        assert!(stats.total_refreshes() > 2);
+    }
+}

@@ -1,0 +1,82 @@
+//! Simulation statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters collected over one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Total simulated cycles.
+    pub total_cycles: u64,
+    /// Cycles the bank spent executing refresh operations — the paper's
+    /// Figure 4 metric.
+    pub refresh_busy_cycles: u64,
+    /// Full refresh operations issued.
+    pub full_refreshes: u64,
+    /// Partial refresh operations issued.
+    pub partial_refreshes: u64,
+    /// Accesses serviced.
+    pub accesses: u64,
+    /// Accesses that hit the open row.
+    pub row_hits: u64,
+    /// Accesses that required an activate.
+    pub row_misses: u64,
+    /// Cycles accesses spent waiting for a busy bank.
+    pub stall_cycles: u64,
+    /// Refreshes postponed (re-queued) in favor of demand accesses.
+    pub postponed_refreshes: u64,
+}
+
+impl SimStats {
+    /// Refresh overhead: fraction of all cycles spent refreshing.
+    pub fn refresh_overhead(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.refresh_busy_cycles as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// Total refresh operations.
+    pub fn total_refreshes(&self) -> u64 {
+        self.full_refreshes + self.partial_refreshes
+    }
+
+    /// Row-buffer hit rate over all accesses.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let s = SimStats {
+            total_cycles: 1000,
+            refresh_busy_cycles: 100,
+            full_refreshes: 3,
+            partial_refreshes: 7,
+            accesses: 10,
+            row_hits: 4,
+            row_misses: 6,
+            stall_cycles: 12,
+            postponed_refreshes: 0,
+        };
+        assert!((s.refresh_overhead() - 0.1).abs() < 1e-12);
+        assert_eq!(s.total_refreshes(), 10);
+        assert!((s.hit_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = SimStats::default();
+        assert_eq!(s.refresh_overhead(), 0.0);
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+}

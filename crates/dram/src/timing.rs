@@ -1,0 +1,111 @@
+//! Timing parameters.
+//!
+//! All values are in memory-controller cycles (1 ns at the 1 GHz clock
+//! the circuit model assumes). The per-row refresh latencies are the
+//! paper's Section 3.1 cycle budgets: `τ_full = 19`, `τ_partial = 11`.
+
+use serde::{Deserialize, Serialize};
+
+/// Whether a refresh operation is full or partial, with its latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RefreshLatency {
+    /// Full refresh: `τ_full` cycles.
+    Full,
+    /// Partial refresh: `τ_partial` cycles.
+    Partial,
+}
+
+/// DDR3-style timing parameters (cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingParams {
+    /// Cycles per microsecond (clock frequency in MHz / 1000 · 1000).
+    pub cycles_per_us: u64,
+    /// Row activate-to-read delay `tRCD`.
+    pub trcd: u64,
+    /// Precharge delay `tRP`.
+    pub trp: u64,
+    /// Read (CAS) latency `tCL`.
+    pub tcl: u64,
+    /// Write recovery `tWR`.
+    pub twr: u64,
+    /// Full-refresh latency `τ_full` per row.
+    pub tau_full: u64,
+    /// Partial-refresh latency `τ_partial` per row.
+    pub tau_partial: u64,
+}
+
+impl TimingParams {
+    /// The paper's evaluation point: 1 GHz controller, DDR3-like core
+    /// timings, `τ_full` = 19, `τ_partial` = 11.
+    pub fn paper_default() -> Self {
+        TimingParams {
+            cycles_per_us: 1000,
+            trcd: 5,
+            trp: 5,
+            tcl: 5,
+            twr: 6,
+            tau_full: 19,
+            tau_partial: 11,
+        }
+    }
+
+    /// Latency of a refresh kind (cycles).
+    pub fn refresh_cycles(&self, kind: RefreshLatency) -> u64 {
+        match kind {
+            RefreshLatency::Full => self.tau_full,
+            RefreshLatency::Partial => self.tau_partial,
+        }
+    }
+
+    /// Converts milliseconds to cycles.
+    pub fn ms_to_cycles(&self, ms: f64) -> u64 {
+        (ms * 1000.0 * self.cycles_per_us as f64).round() as u64
+    }
+
+    /// Converts cycles to milliseconds.
+    pub fn cycles_to_ms(&self, cycles: u64) -> f64 {
+        cycles as f64 / (1000.0 * self.cycles_per_us as f64)
+    }
+
+    /// Row-hit access latency (CAS only).
+    pub fn hit_latency(&self) -> u64 {
+        self.tcl
+    }
+
+    /// Row-miss access latency (precharge + activate + CAS).
+    pub fn miss_latency(&self) -> u64 {
+        self.trp + self.trcd + self.tcl
+    }
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_latencies() {
+        let t = TimingParams::paper_default();
+        assert_eq!(t.refresh_cycles(RefreshLatency::Full), 19);
+        assert_eq!(t.refresh_cycles(RefreshLatency::Partial), 11);
+    }
+
+    #[test]
+    fn ms_round_trip() {
+        let t = TimingParams::paper_default();
+        let c = t.ms_to_cycles(64.0);
+        assert_eq!(c, 64_000_000);
+        assert!((t.cycles_to_ms(c) - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn miss_slower_than_hit() {
+        let t = TimingParams::paper_default();
+        assert!(t.miss_latency() > t.hit_latency());
+    }
+}

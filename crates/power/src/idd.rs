@@ -1,0 +1,57 @@
+//! Datasheet IDD current values.
+
+use serde::{Deserialize, Serialize};
+
+/// DDR3-style IDD currents (mA) and supply voltage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IddValues {
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// One-bank activate-precharge current `IDD0` (mA).
+    pub idd0: f64,
+    /// Precharge standby current `IDD2N` (mA).
+    pub idd2n: f64,
+    /// Active standby current `IDD3N` (mA).
+    pub idd3n: f64,
+    /// Read burst current `IDD4R` (mA).
+    pub idd4r: f64,
+    /// Write burst current `IDD4W` (mA).
+    pub idd4w: f64,
+    /// Burst refresh current `IDD5B` (mA).
+    pub idd5b: f64,
+}
+
+impl IddValues {
+    /// Typical DDR3-1600 x8 datasheet values.
+    pub fn ddr3_1600() -> Self {
+        IddValues {
+            vdd: 1.5,
+            idd0: 55.0,
+            idd2n: 32.0,
+            idd3n: 38.0,
+            idd4r: 140.0,
+            idd4w: 145.0,
+            idd5b: 170.0,
+        }
+    }
+}
+
+impl Default for IddValues {
+    fn default() -> Self {
+        Self::ddr3_1600()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn currents_are_ordered_sanely() {
+        let i = IddValues::ddr3_1600();
+        assert!(i.idd2n < i.idd3n);
+        assert!(i.idd3n < i.idd0);
+        assert!(i.idd0 < i.idd4r);
+        assert!(i.idd5b > i.idd0, "refresh bursts draw the most current");
+    }
+}

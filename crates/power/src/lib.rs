@@ -1,0 +1,28 @@
+//! # vrl-power — IDD-based DRAM energy model
+//!
+//! A DRAMPower-style \[3\] energy model: per-command energies derived from
+//! datasheet IDD currents, used to evaluate the paper's refresh-power
+//! claim (Section 4.1: VRL-DRAM reduces refresh power by ~12 % over
+//! RAIDR).
+//!
+//! The key physical point: a partial refresh saves *time* (the rails are
+//! held for fewer cycles) but moves almost the same charge (the row is
+//! still activated and the cells still replenished), so refresh *energy*
+//! shrinks much less than refresh *latency* — a 42 % shorter refresh
+//! saves only ~15 % of its energy. That is why the paper's 34 %
+//! performance gain becomes a 12 % power gain.
+//!
+//! * [`idd`] — datasheet current values,
+//! * [`energy`] — per-event energies,
+//! * [`model`] — aggregation over simulation statistics.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod energy;
+pub mod idd;
+pub mod model;
+
+pub use energy::EnergyParams;
+pub use idd::IddValues;
+pub use model::{PowerBreakdown, PowerModel};

@@ -1,0 +1,132 @@
+//! Aggregating energies over a simulation run.
+
+use serde::{Deserialize, Serialize};
+
+use vrl_dram_sim::{SimStats, TimingParams};
+
+use crate::energy::EnergyParams;
+
+/// Energy breakdown of one simulation run (all values picojoules, power
+/// in milliwatts).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// Refresh energy (pJ).
+    pub refresh_pj: f64,
+    /// Access energy: activations + bursts (pJ).
+    pub access_pj: f64,
+    /// Background energy (pJ).
+    pub background_pj: f64,
+    /// Average refresh power (mW).
+    pub refresh_mw: f64,
+    /// Average total power (mW).
+    pub total_mw: f64,
+}
+
+impl PowerBreakdown {
+    /// Total energy (pJ).
+    pub fn total_pj(&self) -> f64 {
+        self.refresh_pj + self.access_pj + self.background_pj
+    }
+}
+
+/// The energy model bound to timing parameters.
+///
+/// # Example
+///
+/// ```
+/// use vrl_power::model::PowerModel;
+/// use vrl_dram_sim::SimStats;
+///
+/// let model = PowerModel::paper_default();
+/// let stats = SimStats { total_cycles: 1_000_000, full_refreshes: 100, ..Default::default() };
+/// let breakdown = model.breakdown(&stats);
+/// assert!(breakdown.refresh_mw > 0.0);
+/// assert!(breakdown.total_mw >= breakdown.refresh_mw);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    energy: EnergyParams,
+    timing: TimingParams,
+}
+
+impl PowerModel {
+    /// Creates the model.
+    pub fn new(energy: EnergyParams, timing: TimingParams) -> Self {
+        PowerModel { energy, timing }
+    }
+
+    /// The default model at the paper's timing point.
+    pub fn paper_default() -> Self {
+        PowerModel::new(EnergyParams::default(), TimingParams::paper_default())
+    }
+
+    /// Computes the breakdown for a run's statistics.
+    pub fn breakdown(&self, stats: &SimStats) -> PowerBreakdown {
+        let refresh_pj = stats.full_refreshes as f64
+            * self.energy.refresh_energy(self.timing.tau_full)
+            + stats.partial_refreshes as f64 * self.energy.refresh_energy(self.timing.tau_partial);
+        // Row misses pay an activation; every access pays a burst. Reads
+        // and writes are not distinguished in SimStats, so use the mean
+        // burst energy (they differ by ~3 %).
+        let burst_pj = 0.5 * (self.energy.read_pj + self.energy.write_pj);
+        let access_pj = stats.row_misses as f64 * self.energy.activate_pj
+            + stats.accesses as f64 * burst_pj;
+        let background_pj = stats.total_cycles as f64 * self.energy.background_per_cycle_pj;
+        let seconds = stats.total_cycles as f64 * 1e-9; // 1 ns cycles
+        let to_mw = |pj: f64| if seconds > 0.0 { pj * 1e-12 / seconds * 1e3 } else { 0.0 };
+        PowerBreakdown {
+            refresh_pj,
+            access_pj,
+            background_pj,
+            refresh_mw: to_mw(refresh_pj),
+            total_mw: to_mw(refresh_pj + access_pj + background_pj),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(full: u64, partial: u64) -> SimStats {
+        SimStats {
+            total_cycles: 64_000_000,
+            refresh_busy_cycles: full * 19 + partial * 11,
+            full_refreshes: full,
+            partial_refreshes: partial,
+            accesses: 1000,
+            row_hits: 400,
+            row_misses: 600,
+            stall_cycles: 0,
+            postponed_refreshes: 0,
+        }
+    }
+
+    #[test]
+    fn more_partials_less_refresh_energy() {
+        let m = PowerModel::paper_default();
+        let all_full = m.breakdown(&stats(8192, 0));
+        let mostly_partial = m.breakdown(&stats(2048, 6144));
+        assert!(mostly_partial.refresh_pj < all_full.refresh_pj);
+        // The energy saving tracks the fixed/variable split, not the
+        // latency saving: 3/4 partials ⇒ ~10% refresh-energy saving.
+        let saving = 1.0 - mostly_partial.refresh_pj / all_full.refresh_pj;
+        assert!(saving > 0.05 && saving < 0.2, "saving = {saving}");
+    }
+
+    #[test]
+    fn breakdown_totals_add_up() {
+        let m = PowerModel::paper_default();
+        let b = m.breakdown(&stats(100, 50));
+        assert!((b.total_pj() - (b.refresh_pj + b.access_pj + b.background_pj)).abs() < 1e-9);
+        assert!(b.total_mw > b.refresh_mw);
+    }
+
+    #[test]
+    fn zero_cycles_zero_power() {
+        let m = PowerModel::paper_default();
+        let b = m.breakdown(&SimStats::default());
+        assert_eq!(b.refresh_mw, 0.0);
+        assert_eq!(b.total_mw, 0.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! RAIDR-style refresh-period binning (paper Figure 3b).
+//!
+//! Rows are binned by their weakest cell's retention time into one of four
+//! refresh periods: 64, 128, 192, or 256 ms. A row is refreshed at the
+//! largest period that its weakest cell can sustain.
+
+use serde::{Deserialize, Serialize};
+
+use crate::profile::BankProfile;
+
+/// The four refresh-period bins of Figure 3b.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RefreshBin {
+    /// Refresh every 64 ms (the worst-case bin).
+    Ms64,
+    /// Refresh every 128 ms.
+    Ms128,
+    /// Refresh every 192 ms.
+    Ms192,
+    /// Refresh every 256 ms (the default bin for strong rows).
+    Ms256,
+}
+
+impl RefreshBin {
+    /// All bins, weakest first.
+    pub const ALL: [RefreshBin; 4] =
+        [RefreshBin::Ms64, RefreshBin::Ms128, RefreshBin::Ms192, RefreshBin::Ms256];
+
+    /// The bin's refresh period in milliseconds.
+    pub fn period_ms(self) -> f64 {
+        match self {
+            RefreshBin::Ms64 => 64.0,
+            RefreshBin::Ms128 => 128.0,
+            RefreshBin::Ms192 => 192.0,
+            RefreshBin::Ms256 => 256.0,
+        }
+    }
+
+    /// The largest bin whose period does not exceed `retention_ms`
+    /// (weakest-first safety: a 130 ms row lands in the 128 ms bin).
+    pub fn for_retention(retention_ms: f64) -> RefreshBin {
+        if retention_ms >= 256.0 {
+            RefreshBin::Ms256
+        } else if retention_ms >= 192.0 {
+            RefreshBin::Ms192
+        } else if retention_ms >= 128.0 {
+            RefreshBin::Ms128
+        } else {
+            RefreshBin::Ms64
+        }
+    }
+}
+
+impl std::fmt::Display for RefreshBin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ms", self.period_ms())
+    }
+}
+
+/// Per-bin row counts for a bank (the Figure 3b table).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinningTable {
+    counts: [usize; 4],
+    /// Bin of each row, by row index.
+    assignments: Vec<RefreshBin>,
+}
+
+impl BinningTable {
+    /// Bins every row of a profile.
+    pub fn from_profile(profile: &BankProfile) -> Self {
+        let assignments: Vec<RefreshBin> =
+            profile.iter().map(|r| RefreshBin::for_retention(r.weakest_ms)).collect();
+        let mut counts = [0usize; 4];
+        for bin in &assignments {
+            counts[Self::index(*bin)] += 1;
+        }
+        BinningTable { counts, assignments }
+    }
+
+    fn index(bin: RefreshBin) -> usize {
+        match bin {
+            RefreshBin::Ms64 => 0,
+            RefreshBin::Ms128 => 1,
+            RefreshBin::Ms192 => 2,
+            RefreshBin::Ms256 => 3,
+        }
+    }
+
+    /// Number of rows in a bin.
+    pub fn count(&self, bin: RefreshBin) -> usize {
+        self.counts[Self::index(bin)]
+    }
+
+    /// The bin assigned to a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn bin_of(&self, row: usize) -> RefreshBin {
+        self.assignments[row]
+    }
+
+    /// Total number of rows.
+    pub fn total_rows(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Refresh operations per `window_ms` of wall time under RAIDR binning
+    /// (each row refreshed once per its bin period).
+    pub fn refreshes_per_window(&self, window_ms: f64) -> f64 {
+        RefreshBin::ALL
+            .iter()
+            .map(|b| self.count(*b) as f64 * window_ms / b.period_ms())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::RetentionDistribution;
+
+    #[test]
+    fn bin_boundaries_are_safe() {
+        assert_eq!(RefreshBin::for_retention(64.0), RefreshBin::Ms64);
+        assert_eq!(RefreshBin::for_retention(127.9), RefreshBin::Ms64);
+        assert_eq!(RefreshBin::for_retention(128.0), RefreshBin::Ms128);
+        assert_eq!(RefreshBin::for_retention(191.9), RefreshBin::Ms128);
+        assert_eq!(RefreshBin::for_retention(192.0), RefreshBin::Ms192);
+        assert_eq!(RefreshBin::for_retention(256.0), RefreshBin::Ms256);
+        assert_eq!(RefreshBin::for_retention(5000.0), RefreshBin::Ms256);
+    }
+
+    #[test]
+    fn every_bin_period_covers_its_rows() {
+        // Safety invariant: a row's bin period never exceeds its weakest
+        // retention.
+        let d = RetentionDistribution::liu_et_al();
+        let p = BankProfile::generate(&d, 2048, 32, 11);
+        let t = BinningTable::from_profile(&p);
+        for (i, row) in p.iter().enumerate() {
+            assert!(t.bin_of(i).period_ms() <= row.weakest_ms);
+        }
+    }
+
+    #[test]
+    fn fig3b_counts_reproduce_within_sampling_noise() {
+        let d = RetentionDistribution::liu_et_al();
+        let p = BankProfile::generate(&d, 8192, 32, 42);
+        let t = BinningTable::from_profile(&p);
+        // Expected: 68 / 101 / 145 / 7878 (paper Figure 3b); allow ±40%
+        // sampling noise on the small bins.
+        let b64 = t.count(RefreshBin::Ms64);
+        let b128 = t.count(RefreshBin::Ms128);
+        let b192 = t.count(RefreshBin::Ms192);
+        let b256 = t.count(RefreshBin::Ms256);
+        assert!((40..=100).contains(&b64), "bin64 = {b64}");
+        assert!((60..=145).contains(&b128), "bin128 = {b128}");
+        assert!((100..=200).contains(&b192), "bin192 = {b192}");
+        assert!(b256 > 7700, "bin256 = {b256}");
+        assert_eq!(b64 + b128 + b192 + b256, 8192);
+    }
+
+    #[test]
+    fn refresh_rate_accounts_bin_periods() {
+        let p = BankProfile::from_rows(vec![100.0, 300.0], 32);
+        let t = BinningTable::from_profile(&p);
+        // Row 0 → 64 ms bin (4 refreshes per 256 ms), row 1 → 256 ms bin
+        // (1 refresh per 256 ms).
+        assert!((t.refreshes_per_window(256.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats_period() {
+        assert_eq!(RefreshBin::Ms192.to_string(), "192 ms");
+    }
+}

@@ -1,0 +1,253 @@
+//! Retention-time distribution calibrated to Liu et al. \[27\] / Figure 3a.
+//!
+//! Per-cell retention times follow a lognormal distribution, truncated
+//! below the worst-case refresh period (a shipped chip has no cell weaker
+//! than 64 ms). The parameters are fitted so that per-row weakest-of-32
+//! binning reproduces the paper's Figure 3b counts on an 8192-row bank:
+//!
+//! | bin (ms) | paper rows | expected rows (this fit) |
+//! |----------|-----------:|-------------------------:|
+//! | 64       | 68         | 67.6                     |
+//! | 128      | 101        | 102.3                    |
+//! | 192      | 145        | 143.4                    |
+//! | 256      | 7878       | 7878.7                   |
+
+use rand::Rng;
+use rand_distr::{Distribution as _, LogNormal};
+use serde::{Deserialize, Serialize};
+
+/// A truncated lognormal retention-time distribution, in milliseconds.
+///
+/// # Example
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use vrl_retention::distribution::RetentionDistribution;
+///
+/// let dist = RetentionDistribution::liu_et_al();
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let t = dist.sample(&mut rng);
+/// assert!(t >= 64.0, "no shipped cell is weaker than the refresh period");
+/// // Weak cells are rare: fewer than 0.2% fall below 256 ms.
+/// assert!(dist.cdf(256.0) < 0.002);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetentionDistribution {
+    /// Lognormal location parameter (of ln(ms)).
+    pub mu: f64,
+    /// Lognormal scale parameter.
+    pub sigma: f64,
+    /// Lower truncation point (ms); samples below are rejected.
+    pub min_ms: f64,
+}
+
+impl RetentionDistribution {
+    /// The calibrated Liu-et-al.-shaped distribution (see module docs).
+    pub fn liu_et_al() -> Self {
+        RetentionDistribution { mu: 10.32, sigma: 1.575, min_ms: 64.0 }
+    }
+
+    /// Creates a distribution with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` or `min_ms` is not positive.
+    pub fn new(mu: f64, sigma: f64, min_ms: f64) -> Self {
+        assert!(sigma > 0.0, "sigma must be positive");
+        assert!(min_ms > 0.0, "min_ms must be positive");
+        RetentionDistribution { mu, sigma, min_ms }
+    }
+
+    /// Draws one retention time (ms).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let dist = LogNormal::new(self.mu, self.sigma).expect("validated sigma");
+        loop {
+            let v = dist.sample(rng);
+            if v >= self.min_ms {
+                return v;
+            }
+        }
+    }
+
+    /// CDF of the *untruncated* lognormal at `t_ms` (the truncated mass is
+    /// negligible for the calibrated parameters: ~5e-5).
+    pub fn cdf(&self, t_ms: f64) -> f64 {
+        if t_ms <= 0.0 {
+            return 0.0;
+        }
+        let z = (t_ms.ln() - self.mu) / self.sigma;
+        normal_cdf(z)
+    }
+
+    /// Probability that the weakest of `cells` independent cells retains
+    /// for less than `t_ms`.
+    pub fn row_weakest_cdf(&self, t_ms: f64, cells: u32) -> f64 {
+        1.0 - (1.0 - self.cdf(t_ms)).powi(cells as i32)
+    }
+
+    /// The retention time (ms) below which a fraction `p` of cells fall
+    /// (inverse CDF, bisection on the monotone [`Self::cdf`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 1`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "probability must be in (0,1)");
+        let (mut lo, mut hi): (f64, f64) = (1e-3, 1e12);
+        for _ in 0..200 {
+            let mid = (lo * hi).sqrt(); // geometric bisection for a log-scale law
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        (lo * hi).sqrt()
+    }
+
+    /// Histogram of `samples` over `buckets` equal-width buckets spanning
+    /// `[lo_ms, hi_ms)` — the Figure 3a presentation. Values outside the
+    /// span are clamped into the edge buckets.
+    pub fn histogram<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        samples: usize,
+        lo_ms: f64,
+        hi_ms: f64,
+        buckets: usize,
+    ) -> Vec<(f64, usize)> {
+        assert!(buckets > 0 && hi_ms > lo_ms, "invalid histogram spec");
+        let width = (hi_ms - lo_ms) / buckets as f64;
+        let mut counts = vec![0usize; buckets];
+        for _ in 0..samples {
+            let v = self.sample(rng);
+            let idx = (((v - lo_ms) / width) as isize).clamp(0, buckets as isize - 1) as usize;
+            counts[idx] += 1;
+        }
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (lo_ms + (i as f64 + 0.5) * width, c))
+            .collect()
+    }
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (maximum absolute error ~1.5e-7, ample for binning probabilities).
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_respect_truncation() {
+        let d = RetentionDistribution::liu_et_al();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 64.0);
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let d = RetentionDistribution::liu_et_al();
+        let mut prev = 0.0;
+        for t in [1.0, 64.0, 128.0, 256.0, 1000.0, 10_000.0, 1e6] {
+            let c = d.cdf(t);
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert_eq!(d.cdf(0.0), 0.0);
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn calibration_matches_fig3b_expectations() {
+        // Expected per-row (weakest of 32) bin probabilities must match
+        // the paper's counts on 8192 rows within a few rows.
+        let d = RetentionDistribution::liu_et_al();
+        let rows = 8192.0;
+        let p128 = d.row_weakest_cdf(128.0, 32);
+        let p192 = d.row_weakest_cdf(192.0, 32);
+        let p256 = d.row_weakest_cdf(256.0, 32);
+        let bin64 = rows * p128;
+        let bin128 = rows * (p192 - p128);
+        let bin192 = rows * (p256 - p192);
+        let bin256 = rows * (1.0 - p256);
+        assert!((bin64 - 68.0).abs() < 8.0, "bin64 = {bin64}");
+        assert!((bin128 - 101.0).abs() < 8.0, "bin128 = {bin128}");
+        assert!((bin192 - 145.0).abs() < 8.0, "bin192 = {bin192}");
+        assert!((bin256 - 7878.0).abs() < 12.0, "bin256 = {bin256}");
+    }
+
+    #[test]
+    fn histogram_covers_all_samples() {
+        let d = RetentionDistribution::liu_et_al();
+        let mut rng = StdRng::seed_from_u64(7);
+        let h = d.histogram(&mut rng, 5000, 65.0, 4681.0, 21);
+        let total: usize = h.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 5000);
+        assert_eq!(h.len(), 21);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = RetentionDistribution::liu_et_al();
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(3);
+            (0..10).map(|_| d.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(3);
+            (0..10).map(|_| d.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn invalid_sigma_panics() {
+        let _ = RetentionDistribution::new(10.0, 0.0, 64.0);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let d = RetentionDistribution::liu_et_al();
+        for p in [0.001, 0.01, 0.5, 0.99] {
+            let t = d.quantile(p);
+            assert!((d.cdf(t) - p).abs() < 1e-6, "p = {p}: cdf({t}) = {}", d.cdf(t));
+        }
+    }
+
+    #[test]
+    fn median_is_lognormal_median() {
+        let d = RetentionDistribution::liu_et_al();
+        let median = d.quantile(0.5);
+        assert!((median - d.mu.exp()).abs() / d.mu.exp() < 1e-3);
+    }
+}

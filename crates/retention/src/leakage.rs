@@ -1,0 +1,138 @@
+//! Charge-leakage law shared between the retention profile and the
+//! circuit model.
+//!
+//! A cell's *retention time* `T` is defined operationally — it is what a
+//! profiler measures: the time for a fully-refreshed cell (charge
+//! fraction `full_level`) to decay to the point where its data is
+//! actually lost (`loss_level`, the sensing threshold of the surrounding
+//! circuit). Leakage is exponential in the stored charge (sub-threshold
+//! conduction dominates):
+//!
+//! ```text
+//! q(t) = q₀ · e^(−k·t/T),   k = ln(full_level / loss_level)
+//! ```
+//!
+//! so that `q(T) = loss_level` exactly when `q₀ = full_level`. Anchoring
+//! the law to the same threshold the refresh policies are checked against
+//! makes RAIDR safe *by construction* (its bins never exceed a row's
+//! retention), which matches how retention profiling works on real chips.
+
+use serde::{Deserialize, Serialize};
+
+/// Exponential charge-leakage model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeakageModel {
+    /// The charge fraction a full refresh restores (from the circuit
+    /// model; ~0.95–0.97).
+    pub full_level: f64,
+    /// The charge fraction at which data is lost (the circuit model's
+    /// sense threshold; ~0.55–0.65).
+    pub loss_level: f64,
+}
+
+impl LeakageModel {
+    /// Builds the law for a full-refresh level and a data-loss threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < loss_level < full_level <= 1`.
+    pub fn new(full_level: f64, loss_level: f64) -> Self {
+        assert!(
+            loss_level > 0.0 && full_level > loss_level && full_level <= 1.0,
+            "need 0 < loss < full <= 1 (got full={full_level}, loss={loss_level})"
+        );
+        LeakageModel { full_level, loss_level }
+    }
+
+    /// The decay-rate constant `k = ln(full_level / loss_level)`.
+    pub fn rate_constant(&self) -> f64 {
+        (self.full_level / self.loss_level).ln()
+    }
+
+    /// Multiplicative decay factor over `elapsed_ms` for a cell with
+    /// retention `retention_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retention_ms` is not positive.
+    pub fn decay_factor(&self, elapsed_ms: f64, retention_ms: f64) -> f64 {
+        assert!(retention_ms > 0.0, "retention must be positive");
+        (-self.rate_constant() * elapsed_ms / retention_ms).exp()
+    }
+
+    /// Charge fraction after `elapsed_ms` of leakage from `start`.
+    pub fn charge_after(&self, start: f64, elapsed_ms: f64, retention_ms: f64) -> f64 {
+        start * self.decay_factor(elapsed_ms, retention_ms)
+    }
+
+    /// Time (ms) for a cell at `start` charge to decay to `target`, or
+    /// `None` if `target >= start` or `target <= 0`.
+    pub fn time_to_decay(&self, start: f64, target: f64, retention_ms: f64) -> Option<f64> {
+        if target >= start || target <= 0.0 {
+            return None;
+        }
+        Some(retention_ms * (start / target).ln() / self.rate_constant())
+    }
+}
+
+impl Default for LeakageModel {
+    fn default() -> Self {
+        LeakageModel::new(0.95, 0.6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_cell_reaches_loss_level_at_exactly_retention() {
+        let l = LeakageModel::new(0.95, 0.62);
+        let q = l.charge_after(0.95, 200.0, 200.0);
+        assert!((q - 0.62).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decay_is_multiplicative_over_time() {
+        let l = LeakageModel::default();
+        let two_steps = l.charge_after(l.charge_after(0.9, 50.0, 300.0), 50.0, 300.0);
+        let one_step = l.charge_after(0.9, 100.0, 300.0);
+        assert!((two_steps - one_step).abs() < 1e-12);
+    }
+
+    #[test]
+    fn longer_retention_leaks_slower() {
+        let l = LeakageModel::default();
+        assert!(l.decay_factor(64.0, 1000.0) > l.decay_factor(64.0, 100.0));
+    }
+
+    #[test]
+    fn time_to_decay_inverts_charge_after() {
+        let l = LeakageModel::default();
+        let t = l.time_to_decay(0.95, 0.7, 400.0).expect("decays");
+        let q = l.charge_after(0.95, t, 400.0);
+        assert!((q - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_to_decay_rejects_non_decay() {
+        let l = LeakageModel::default();
+        assert!(l.time_to_decay(0.6, 0.7, 400.0).is_none());
+        assert!(l.time_to_decay(0.6, 0.0, 400.0).is_none());
+    }
+
+    #[test]
+    fn tighter_threshold_means_faster_effective_decay() {
+        // With the same physical cell (same T measured at loss 0.6), the
+        // rate constant is fixed by the anchors.
+        let loose = LeakageModel::new(0.95, 0.55);
+        let tight = LeakageModel::new(0.95, 0.65);
+        assert!(loose.rate_constant() > tight.rate_constant());
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < loss < full")]
+    fn inverted_anchors_panic() {
+        let _ = LeakageModel::new(0.5, 0.6);
+    }
+}

@@ -1,0 +1,227 @@
+//! Per-cell and per-row retention profiles.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::distribution::RetentionDistribution;
+
+/// Retention profile of one DRAM row: the retention times of its two
+/// weakest cells.
+///
+/// Plain RAIDR/VRL scheduling only needs `weakest_ms`; the
+/// second-weakest value enables ECC-aware planning (with SECDED, one
+/// failing cell per word is correctable, so the *second*-weakest cell
+/// bounds the row — the insight behind AVATAR-style schemes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RowProfile {
+    /// Weakest-cell retention time, milliseconds.
+    pub weakest_ms: f64,
+    /// Second-weakest-cell retention time, milliseconds
+    /// (`>= weakest_ms`).
+    pub second_weakest_ms: f64,
+}
+
+/// Retention profile of a DRAM bank.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BankProfile {
+    rows: Vec<RowProfile>,
+    cells_per_row: u32,
+}
+
+impl BankProfile {
+    /// Generates a deterministic profile: `rows` rows of `cells_per_row`
+    /// cells each, retention times drawn from `distribution` with the
+    /// given `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cells_per_row` is zero.
+    pub fn generate(
+        distribution: &RetentionDistribution,
+        rows: usize,
+        cells_per_row: u32,
+        seed: u64,
+    ) -> Self {
+        assert!(rows > 0 && cells_per_row > 0, "bank must be non-empty");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows = (0..rows)
+            .map(|_| {
+                let (mut first, mut second) = (f64::INFINITY, f64::INFINITY);
+                for _ in 0..cells_per_row {
+                    let v = distribution.sample(&mut rng);
+                    if v < first {
+                        second = first;
+                        first = v;
+                    } else if v < second {
+                        second = v;
+                    }
+                }
+                RowProfile { weakest_ms: first, second_weakest_ms: second }
+            })
+            .collect();
+        BankProfile { rows, cells_per_row }
+    }
+
+    /// Builds a profile from explicit per-row weakest retention times
+    /// (the second-weakest value is set equal — no ECC headroom).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weakest_ms` is empty or contains a non-positive value.
+    pub fn from_rows<I: IntoIterator<Item = f64>>(weakest_ms: I, cells_per_row: u32) -> Self {
+        let rows: Vec<RowProfile> = weakest_ms
+            .into_iter()
+            .map(|w| {
+                assert!(w > 0.0, "retention must be positive");
+                RowProfile { weakest_ms: w, second_weakest_ms: w }
+            })
+            .collect();
+        assert!(!rows.is_empty(), "bank must be non-empty");
+        BankProfile { rows, cells_per_row }
+    }
+
+    /// The profile as seen through SECDED ECC: the weakest cell of each
+    /// row is sacrificial (a single error per word is corrected), so the
+    /// second-weakest cell bounds the row's retention.
+    ///
+    /// The returned profile is what an ECC-aware planner (AVATAR-style)
+    /// bins and computes MPRSF against; it assumes scrubbing keeps at
+    /// most one accumulated error per word.
+    pub fn with_secded_ecc(&self) -> BankProfile {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| RowProfile {
+                weakest_ms: r.second_weakest_ms,
+                second_weakest_ms: r.second_weakest_ms,
+            })
+            .collect();
+        BankProfile { rows, cells_per_row: self.cells_per_row }
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Cells per row.
+    pub fn cells_per_row(&self) -> u32 {
+        self.cells_per_row
+    }
+
+    /// The profile of row `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn row(&self, index: usize) -> RowProfile {
+        self.rows[index]
+    }
+
+    /// Iterates over all row profiles.
+    pub fn iter(&self) -> std::slice::Iter<'_, RowProfile> {
+        self.rows.iter()
+    }
+
+    /// The weakest retention across the whole bank (ms).
+    pub fn bank_weakest_ms(&self) -> f64 {
+        self.rows.iter().map(|r| r.weakest_ms).fold(f64::INFINITY, f64::min)
+    }
+}
+
+impl<'a> IntoIterator for &'a BankProfile {
+    type Item = &'a RowProfile;
+    type IntoIter = std::slice::Iter<'a, RowProfile>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_profile() -> BankProfile {
+        BankProfile::generate(&RetentionDistribution::liu_et_al(), 128, 32, 9)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_profile();
+        let b = small_profile();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let d = RetentionDistribution::liu_et_al();
+        let a = BankProfile::generate(&d, 64, 32, 1);
+        let b = BankProfile::generate(&d, 64, 32, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn all_rows_meet_truncation_floor() {
+        let p = small_profile();
+        assert!(p.bank_weakest_ms() >= 64.0);
+        assert_eq!(p.row_count(), 128);
+        assert_eq!(p.cells_per_row(), 32);
+    }
+
+    #[test]
+    fn weakest_of_more_cells_is_weaker_on_average() {
+        let d = RetentionDistribution::liu_et_al();
+        let narrow = BankProfile::generate(&d, 512, 4, 5);
+        let wide = BankProfile::generate(&d, 512, 128, 5);
+        let avg = |p: &BankProfile| {
+            p.iter().map(|r| r.weakest_ms).sum::<f64>() / p.row_count() as f64
+        };
+        assert!(avg(&wide) < avg(&narrow));
+    }
+
+    #[test]
+    fn from_rows_round_trips() {
+        let p = BankProfile::from_rows(vec![100.0, 200.0, 300.0], 32);
+        assert_eq!(p.row_count(), 3);
+        assert_eq!(p.row(1).weakest_ms, 200.0);
+        assert_eq!(p.bank_weakest_ms(), 100.0);
+    }
+
+    #[test]
+    fn iterator_visits_every_row() {
+        let p = small_profile();
+        assert_eq!(p.iter().count(), 128);
+        assert_eq!((&p).into_iter().count(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "retention must be positive")]
+    fn non_positive_retention_panics() {
+        let _ = BankProfile::from_rows(vec![100.0, 0.0], 32);
+    }
+
+    #[test]
+    fn second_weakest_is_never_below_weakest() {
+        let p = small_profile();
+        for r in p.iter() {
+            assert!(r.second_weakest_ms >= r.weakest_ms);
+        }
+    }
+
+    #[test]
+    fn secded_view_promotes_every_row() {
+        let p = small_profile();
+        let ecc = p.with_secded_ecc();
+        for (plain, protected) in p.iter().zip(ecc.iter()) {
+            assert!(protected.weakest_ms >= plain.weakest_ms);
+            assert_eq!(protected.weakest_ms, plain.second_weakest_ms);
+        }
+        // On average the promotion is strictly positive.
+        let avg = |q: &BankProfile| {
+            q.iter().map(|r| r.weakest_ms).sum::<f64>() / q.row_count() as f64
+        };
+        assert!(avg(&ecc) > avg(&p));
+    }
+}

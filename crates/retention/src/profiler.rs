@@ -1,0 +1,143 @@
+//! Simulated retention profiling (REAPER/RAIDR-style).
+//!
+//! Real systems discover retention times by writing test patterns,
+//! pausing refresh for increasing intervals, and checking for errors. The
+//! measured retention is data-pattern dependent; profilers therefore run
+//! multiple patterns and keep the minimum, then apply a guard band. This
+//! module simulates that procedure over a ground-truth [`BankProfile`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::profile::BankProfile;
+
+/// Configuration of the simulated profiling run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfilerConfig {
+    /// Retention multiplier per tested data pattern, relative to the
+    /// solid-pattern ground truth. Coupling-heavy patterns stress cells
+    /// harder, i.e. multipliers ≤ 1.
+    pub pattern_factors: Vec<f64>,
+    /// Multiplicative guard band applied to the measured minimum (e.g.
+    /// 0.9 = keep 10 % margin).
+    pub guard_band: f64,
+    /// Measurement granularity (ms): retention is rounded *down* to a
+    /// multiple of this step, as a profiler only observes discrete
+    /// refresh-pause intervals.
+    pub step_ms: f64,
+}
+
+impl ProfilerConfig {
+    /// The paper-style configuration: four data patterns (all-0, all-1,
+    /// alternating, random), 10 % guard band, 8 ms measurement step.
+    pub fn standard() -> Self {
+        ProfilerConfig {
+            pattern_factors: vec![1.0, 1.0, 0.85, 0.92],
+            guard_band: 0.9,
+            step_ms: 8.0,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any factor or the guard band is outside `(0, 1]`, or the
+    /// step is not positive.
+    pub fn validate(&self) {
+        assert!(!self.pattern_factors.is_empty(), "at least one pattern required");
+        for f in &self.pattern_factors {
+            assert!(*f > 0.0 && *f <= 1.0, "pattern factor must be in (0,1]");
+        }
+        assert!(self.guard_band > 0.0 && self.guard_band <= 1.0, "guard band must be in (0,1]");
+        assert!(self.step_ms > 0.0, "step must be positive");
+    }
+
+    /// The combined worst-case derating (min pattern factor × guard band).
+    pub fn worst_derating(&self) -> f64 {
+        let min = self.pattern_factors.iter().copied().fold(f64::INFINITY, f64::min);
+        min * self.guard_band
+    }
+}
+
+impl Default for ProfilerConfig {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// Runs the simulated profiler: derates each row's ground-truth retention
+/// by the worst pattern and the guard band, then quantizes down to the
+/// measurement step.
+///
+/// The result is the profile the memory controller would actually use —
+/// always conservative (≤ ground truth).
+pub fn profile_bank(ground_truth: &BankProfile, config: &ProfilerConfig) -> BankProfile {
+    config.validate();
+    let derate = config.worst_derating();
+    let rows = ground_truth.iter().map(|r| {
+        let derated = r.weakest_ms * derate;
+        let quantized = (derated / config.step_ms).floor() * config.step_ms;
+        quantized.max(config.step_ms)
+    });
+    BankProfile::from_rows(rows, ground_truth.cells_per_row())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::RetentionDistribution;
+
+    fn truth() -> BankProfile {
+        BankProfile::generate(&RetentionDistribution::liu_et_al(), 256, 32, 3)
+    }
+
+    #[test]
+    fn profiling_is_conservative() {
+        let t = truth();
+        let measured = profile_bank(&t, &ProfilerConfig::standard());
+        for (gt, m) in t.iter().zip(measured.iter()) {
+            assert!(m.weakest_ms <= gt.weakest_ms, "measured must not exceed truth");
+        }
+    }
+
+    #[test]
+    fn quantization_lands_on_step_multiples() {
+        let t = truth();
+        let cfg = ProfilerConfig::standard();
+        let measured = profile_bank(&t, &cfg);
+        for m in measured.iter() {
+            let ratio = m.weakest_ms / cfg.step_ms;
+            assert!((ratio - ratio.round()).abs() < 1e-9, "{} not on step", m.weakest_ms);
+        }
+    }
+
+    #[test]
+    fn worst_derating_combines_pattern_and_guard() {
+        let cfg = ProfilerConfig::standard();
+        assert!((cfg.worst_derating() - 0.85 * 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unity_config_only_quantizes() {
+        let t = BankProfile::from_rows(vec![100.0, 256.0], 32);
+        let cfg = ProfilerConfig { pattern_factors: vec![1.0], guard_band: 1.0, step_ms: 8.0 };
+        let measured = profile_bank(&t, &cfg);
+        assert_eq!(measured.row(0).weakest_ms, 96.0);
+        assert_eq!(measured.row(1).weakest_ms, 256.0);
+    }
+
+    #[test]
+    fn floor_never_goes_to_zero() {
+        let t = BankProfile::from_rows(vec![65.0], 32);
+        let cfg = ProfilerConfig { pattern_factors: vec![0.1], guard_band: 0.5, step_ms: 8.0 };
+        let measured = profile_bank(&t, &cfg);
+        assert!(measured.row(0).weakest_ms >= 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "guard band must be in (0,1]")]
+    fn invalid_guard_band_panics() {
+        let cfg = ProfilerConfig { guard_band: 1.5, ..ProfilerConfig::standard() };
+        let _ = profile_bank(&truth(), &cfg);
+    }
+}

@@ -1,0 +1,430 @@
+//! Prebuilt netlists for the DRAM circuits of the paper's Figure 2.
+//!
+//! Three circuit families are provided:
+//!
+//! * [`equalization_circuit`] — Figure 2a: a bitline pair driven to
+//!   `Veq = Vdd/2` through the equalization NMOS devices `M2`/`M3`.
+//! * [`charge_sharing_array`] — Figures 2b/2c: `N` bitlines, each with a
+//!   cell behind an access transistor, including bitline-to-bitline (`Cbb`)
+//!   and bitline-to-wordline (`Cbw`) parasitic coupling.
+//! * [`sense_restore_circuit`] — Figure 2d wired as a DRAM sense amplifier:
+//!   cross-coupled latch directly on the bitline pair, restoring the cell
+//!   through its access transistor (the circuit behind Figure 1a's charge
+//!   restoration curve).
+
+use crate::elements::SourceWave;
+use crate::mosfet::MosParams;
+use crate::netlist::{Circuit, Node};
+
+/// Device and parasitic parameters for the DRAM circuits.
+///
+/// All values are SI units. Defaults correspond to the 90 nm technology
+/// point used throughout the paper (`DramCircuitParams::n90`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramCircuitParams {
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Cell storage capacitance `Cs` (F).
+    pub cs: f64,
+    /// Bitline capacitance `Cbl` (F).
+    pub cbl: f64,
+    /// Bitline distributed resistance `Rbl` (Ω).
+    pub rbl: f64,
+    /// Bitline-to-bitline coupling capacitance `Cbb` (F).
+    pub cbb: f64,
+    /// Bitline-to-wordline coupling capacitance `Cbw` (F).
+    pub cbw: f64,
+    /// Cell access transistor `M1`.
+    pub access: MosParams,
+    /// Equalization devices `M2`/`M3`.
+    pub eq_nmos: MosParams,
+    /// Sense-amplifier NMOS devices.
+    pub sa_nmos: MosParams,
+    /// Sense-amplifier PMOS devices.
+    pub sa_pmos: MosParams,
+    /// Wordline rise time (s); grows with the physical wordline length,
+    /// i.e. the number of columns.
+    pub wl_rise: f64,
+}
+
+impl DramCircuitParams {
+    /// The 90 nm parameter point used by the paper's evaluation \[37\].
+    pub fn n90() -> Self {
+        DramCircuitParams {
+            vdd: 1.2,
+            cs: 25e-15,
+            cbl: 85e-15,
+            rbl: 1.2e3,
+            cbb: 4e-15,
+            cbw: 1.5e-15,
+            access: MosParams::nmos(0.45, 150e-6),
+            // Wide equalizer device: its source sits at Veq, so only
+            // Vdd − Veq − Vtn = 0.2 V of overdrive is available and W/L
+            // must be large to equalize within ~1 ns (Figure 5 timescale).
+            eq_nmos: MosParams::nmos(0.40, 4e-3),
+            sa_nmos: MosParams::nmos(0.40, 600e-6),
+            sa_pmos: MosParams::pmos(0.40, 300e-6),
+            wl_rise: 0.1e-9,
+        }
+    }
+
+    /// Equalization target voltage `Veq = Vdd / 2`.
+    pub fn veq(&self) -> f64 {
+        self.vdd / 2.0
+    }
+}
+
+impl Default for DramCircuitParams {
+    fn default() -> Self {
+        Self::n90()
+    }
+}
+
+/// Node handles for the equalization circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EqualizationNodes {
+    /// Bitline `Bi` (starts at `Vdd`).
+    pub bl: Node,
+    /// Complementary bitline `B̄i` (starts at 0 V).
+    pub blb: Node,
+}
+
+/// Builds the Figure 2a equalization circuit.
+///
+/// The `EQ` gate steps from 0 to `Vdd` at `eq_at` seconds; `Bi` starts at
+/// `Vdd` and `B̄i` at 0 V (the post-activation state the paper assumes).
+pub fn equalization_circuit(
+    params: &DramCircuitParams,
+    eq_at: f64,
+) -> (Circuit, EqualizationNodes) {
+    let mut ckt = Circuit::new();
+    let bl = ckt.node("bl");
+    let blb = ckt.node("blb");
+    let bl_sw = ckt.node("bl_sw");
+    let blb_sw = ckt.node("blb_sw");
+    let veq = ckt.node("veq");
+    let eq = ckt.node("eq");
+
+    // Bitline capacitances with their distributed resistance toward the
+    // equalizer tap.
+    ckt.add_capacitor(bl, Circuit::GROUND, params.cbl);
+    ckt.add_capacitor(blb, Circuit::GROUND, params.cbl);
+    ckt.add_resistor(bl, bl_sw, params.rbl);
+    ckt.add_resistor(blb, blb_sw, params.rbl);
+
+    // Equalization devices M2/M3 from each bitline tap to the Veq rail.
+    ckt.add_mosfet(bl_sw, eq, veq, params.eq_nmos);
+    ckt.add_mosfet(blb_sw, eq, veq, params.eq_nmos);
+
+    // Veq rail and EQ gate drive.
+    ckt.add_dc_voltage(veq, params.veq());
+    ckt.add_voltage_source(
+        eq,
+        Circuit::GROUND,
+        SourceWave::Step { from: 0.0, to: params.vdd, at: eq_at, rise: 20e-12 },
+    );
+
+    // Initial conditions: just-deactivated row ⇒ rails on the pair.
+    ckt.set_initial_voltage(bl, params.vdd);
+    ckt.set_initial_voltage(bl_sw, params.vdd);
+    ckt.set_initial_voltage(blb, 0.0);
+    ckt.set_initial_voltage(blb_sw, 0.0);
+
+    (ckt, EqualizationNodes { bl, blb })
+}
+
+/// Node handles for the coupled charge-sharing array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChargeSharingNodes {
+    /// Bitline node per column.
+    pub bitlines: Vec<Node>,
+    /// Cell storage node per column.
+    pub cells: Vec<Node>,
+    /// The shared wordline node.
+    pub wordline: Node,
+}
+
+/// Builds the Figures 2b/2c coupled charge-sharing array.
+///
+/// `cell_pattern[i]` selects the stored value of column `i`'s cell: `true`
+/// ⇒ charged to `Vdd`, `false` ⇒ 0 V. Bitlines start equalized at
+/// `Vdd/2`; the wordline rises at `wl_at` with the parameterized rise time.
+///
+/// # Panics
+///
+/// Panics if `cell_pattern` is empty.
+pub fn charge_sharing_array(
+    params: &DramCircuitParams,
+    cell_pattern: &[bool],
+    wl_at: f64,
+) -> (Circuit, ChargeSharingNodes) {
+    assert!(!cell_pattern.is_empty(), "at least one column required");
+    let n = cell_pattern.len();
+    let mut ckt = Circuit::new();
+    let wordline = ckt.node("wl");
+    ckt.add_voltage_source(
+        wordline,
+        Circuit::GROUND,
+        SourceWave::Step {
+            from: 0.0,
+            // Boosted wordline (Vpp) so the access device passes a full level.
+            to: params.vdd + 0.9,
+            at: wl_at,
+            rise: params.wl_rise,
+        },
+    );
+
+    // Each bitline is a 4-segment RC ladder so the distributed-line
+    // diffusion delay is physically present; the cell taps the near end
+    // and the sense amplifier reads the far end.
+    const SEGMENTS: usize = 4;
+    let mut bitlines = Vec::with_capacity(n);
+    let mut cells = Vec::with_capacity(n);
+    let mut segment_nodes: Vec<Vec<Node>> = Vec::with_capacity(n);
+    for (i, &stored_one) in cell_pattern.iter().enumerate() {
+        let cell = ckt.node(&format!("cell{i}"));
+        ckt.add_capacitor(cell, Circuit::GROUND, params.cs);
+
+        let mut segs = Vec::with_capacity(SEGMENTS);
+        let mut prev: Option<Node> = None;
+        for s in 0..SEGMENTS {
+            let seg = ckt.node(&format!("bl{i}_{s}"));
+            ckt.add_capacitor(seg, Circuit::GROUND, params.cbl / SEGMENTS as f64);
+            if let Some(p) = prev {
+                ckt.add_resistor(p, seg, params.rbl / SEGMENTS as f64);
+            }
+            ckt.set_initial_voltage(seg, params.veq());
+            segs.push(seg);
+            prev = Some(seg);
+        }
+        let near = segs[0];
+        let far = *segs.last().expect("segments > 0");
+        // Access transistor M1: drain = near end, gate = wordline,
+        // source = cell.
+        ckt.add_mosfet(near, wordline, cell, params.access);
+        // Bitline-to-wordline parasitic at the crossing point.
+        ckt.add_capacitor(near, wordline, params.cbw);
+
+        let v_cell = if stored_one { params.vdd } else { 0.0 };
+        ckt.set_initial_voltage(cell, v_cell);
+
+        bitlines.push(far);
+        cells.push(cell);
+        segment_nodes.push(segs);
+    }
+    // Bitline-to-bitline coupling between adjacent columns, distributed
+    // along the segments.
+    for pair in segment_nodes.windows(2) {
+        for (a, b) in pair[0].iter().zip(&pair[1]) {
+            ckt.add_capacitor(*a, *b, params.cbb / SEGMENTS as f64);
+        }
+    }
+
+    (ckt, ChargeSharingNodes { bitlines, cells, wordline })
+}
+
+/// Node handles for the sense-and-restore circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SenseRestoreNodes {
+    /// Bitline carrying the cell.
+    pub bl: Node,
+    /// Complementary (reference) bitline.
+    pub blb: Node,
+    /// Cell storage node.
+    pub cell: Node,
+}
+
+/// Timing of the sense-and-restore sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SenseTiming {
+    /// Wordline rise instant (s).
+    pub wl_at: f64,
+    /// Sense-amplifier enable instant (s).
+    pub sa_at: f64,
+}
+
+impl Default for SenseTiming {
+    fn default() -> Self {
+        SenseTiming { wl_at: 0.1e-9, sa_at: 1.2e-9 }
+    }
+}
+
+/// Builds the full refresh path: cell → access transistor → bitline pair →
+/// latch sense amplifier (Figure 2d) that restores the cell.
+///
+/// `initial_cell_fraction` is the cell's starting charge as a fraction of
+/// `Vdd` (e.g. `0.55` for a leaked but still readable "1").
+///
+/// # Panics
+///
+/// Panics if `initial_cell_fraction` is outside `[0, 1]`.
+pub fn sense_restore_circuit(
+    params: &DramCircuitParams,
+    initial_cell_fraction: f64,
+    timing: SenseTiming,
+) -> (Circuit, SenseRestoreNodes) {
+    assert!(
+        (0.0..=1.0).contains(&initial_cell_fraction),
+        "initial cell fraction must be within [0, 1]"
+    );
+    let mut ckt = Circuit::new();
+    let bl = ckt.node("bl");
+    let blb = ckt.node("blb");
+    let cell = ckt.node("cell");
+    let wl = ckt.node("wl");
+    let nlat = ckt.node("nlat");
+    let pset = ckt.node("pset");
+    let sa_en = ckt.node("sa_en");
+    let sa_enb = ckt.node("sa_enb");
+    let vdd = ckt.node("vdd");
+
+    ckt.add_dc_voltage(vdd, params.vdd);
+
+    // Bitline pair.
+    ckt.add_capacitor(bl, Circuit::GROUND, params.cbl);
+    ckt.add_capacitor(blb, Circuit::GROUND, params.cbl);
+
+    // Cell and access device.
+    ckt.add_capacitor(cell, Circuit::GROUND, params.cs);
+    ckt.add_mosfet(bl, wl, cell, params.access);
+    ckt.add_voltage_source(
+        wl,
+        Circuit::GROUND,
+        SourceWave::Step {
+            from: 0.0,
+            to: params.vdd + 0.9,
+            at: timing.wl_at,
+            rise: params.wl_rise,
+        },
+    );
+
+    // Cross-coupled latch on the bitline pair (standard DRAM SA):
+    // NMOS pair to nlat, PMOS pair to pset.
+    ckt.add_mosfet(bl, blb, nlat, params.sa_nmos);
+    ckt.add_mosfet(blb, bl, nlat, params.sa_nmos);
+    ckt.add_mosfet(bl, blb, pset, params.sa_pmos);
+    ckt.add_mosfet(blb, bl, pset, params.sa_pmos);
+
+    // Tail devices: M13 pulls nlat to ground when SA_EN rises; a PMOS pulls
+    // pset to Vdd when the complementary enable falls.
+    ckt.add_mosfet(nlat, sa_en, Circuit::GROUND, params.sa_nmos);
+    ckt.add_mosfet(pset, sa_enb, vdd, params.sa_pmos);
+    ckt.add_capacitor(nlat, Circuit::GROUND, 5e-15);
+    ckt.add_capacitor(pset, Circuit::GROUND, 5e-15);
+    ckt.add_voltage_source(
+        sa_en,
+        Circuit::GROUND,
+        SourceWave::Step { from: 0.0, to: params.vdd, at: timing.sa_at, rise: 30e-12 },
+    );
+    ckt.add_voltage_source(
+        sa_enb,
+        Circuit::GROUND,
+        SourceWave::Step { from: params.vdd, to: 0.0, at: timing.sa_at, rise: 30e-12 },
+    );
+
+    // Initial conditions: equalized bitlines, half-charged latch rails.
+    ckt.set_initial_voltage(bl, params.veq());
+    ckt.set_initial_voltage(blb, params.veq());
+    ckt.set_initial_voltage(nlat, params.veq());
+    ckt.set_initial_voltage(pset, params.veq());
+    ckt.set_initial_voltage(cell, initial_cell_fraction * params.vdd);
+
+    (ckt, SenseRestoreNodes { bl, blb, cell })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transient::TransientSpec;
+
+    #[test]
+    fn equalization_converges_to_veq() {
+        let p = DramCircuitParams::n90();
+        let (ckt, nodes) = equalization_circuit(&p, 0.05e-9);
+        let res = ckt.run_transient(TransientSpec::new(2e-12, 2e-9)).expect("runs");
+        let bl_end = res.final_voltage(nodes.bl);
+        let blb_end = res.final_voltage(nodes.blb);
+        assert!((bl_end - p.veq()).abs() < 0.05, "bl settled at {bl_end}");
+        assert!((blb_end - p.veq()).abs() < 0.05, "blb settled at {blb_end}");
+    }
+
+    #[test]
+    fn equalization_is_monotone_per_rail() {
+        let p = DramCircuitParams::n90();
+        let (ckt, nodes) = equalization_circuit(&p, 0.05e-9);
+        let res = ckt.run_transient(TransientSpec::new(2e-12, 2e-9)).expect("runs");
+        let bl = res.waveform(nodes.bl);
+        // Bi discharges from Vdd toward Veq: never rises above start, never
+        // undershoots far below Veq.
+        assert!(bl.max() <= p.vdd + 1e-6);
+        assert!(bl.min() > p.veq() - 0.1);
+    }
+
+    #[test]
+    fn charge_sharing_raises_bitline_for_stored_one() {
+        let p = DramCircuitParams::n90();
+        let (ckt, nodes) = charge_sharing_array(&p, &[true], 0.05e-9);
+        let res = ckt.run_transient(TransientSpec::new(2e-12, 3e-9)).expect("runs");
+        let bl = res.final_voltage(nodes.bitlines[0]);
+        // ΔV ≈ Cs/(Cs+Cbl)·(Vdd − Veq) = 25/110 · 0.6 ≈ 0.136 V.
+        let expected = p.veq() + p.cs / (p.cs + p.cbl) * (p.vdd - p.veq());
+        assert!((bl - expected).abs() < 0.04, "bl = {bl}, expected ≈ {expected}");
+    }
+
+    #[test]
+    fn charge_sharing_lowers_bitline_for_stored_zero() {
+        let p = DramCircuitParams::n90();
+        let (ckt, nodes) = charge_sharing_array(&p, &[false], 0.05e-9);
+        let res = ckt.run_transient(TransientSpec::new(2e-12, 3e-9)).expect("runs");
+        let bl = res.final_voltage(nodes.bitlines[0]);
+        assert!(bl < p.veq() - 0.05, "bl should droop below Veq, got {bl}");
+    }
+
+    #[test]
+    fn neighbor_coupling_reduces_sense_margin() {
+        let p = DramCircuitParams::n90();
+        // Victim alone vs victim flanked by opposite-data aggressors.
+        let (ckt1, n1) = charge_sharing_array(&p, &[true], 0.05e-9);
+        let r1 = ckt1.run_transient(TransientSpec::new(2e-12, 3e-9)).expect("runs");
+        let solo = r1.final_voltage(n1.bitlines[0]);
+
+        let (ckt3, n3) = charge_sharing_array(&p, &[false, true, false], 0.05e-9);
+        let r3 = ckt3.run_transient(TransientSpec::new(2e-12, 3e-9)).expect("runs");
+        let coupled = r3.final_voltage(n3.bitlines[1]);
+        assert!(
+            coupled < solo,
+            "opposite-data neighbors must reduce the victim's swing: {coupled} vs {solo}"
+        );
+    }
+
+    #[test]
+    fn sense_restore_drives_cell_to_full() {
+        let p = DramCircuitParams::n90();
+        let (ckt, nodes) = sense_restore_circuit(&p, 0.55, SenseTiming::default());
+        let res = ckt.run_transient(TransientSpec::new(2e-12, 30e-9)).expect("runs");
+        let cell_end = res.final_voltage(nodes.cell);
+        assert!(cell_end > 0.9 * p.vdd, "cell should be restored, got {cell_end}");
+        // Bitline pair must have split to the rails.
+        assert!(res.final_voltage(nodes.bl) > 0.9 * p.vdd);
+        assert!(res.final_voltage(nodes.blb) < 0.1 * p.vdd);
+    }
+
+    #[test]
+    fn sense_restore_discharges_zero_cell() {
+        let p = DramCircuitParams::n90();
+        // Leaked "0": cell crept up to 0.3·Vdd; refresh must pull it back
+        // to ground.
+        let (ckt, nodes) = sense_restore_circuit(&p, 0.3, SenseTiming::default());
+        let res = ckt.run_transient(TransientSpec::new(2e-12, 30e-9)).expect("runs");
+        let cell_end = res.final_voltage(nodes.cell);
+        assert!(cell_end < 0.15 * p.vdd, "cell should be discharged, got {cell_end}");
+        assert!(res.final_voltage(nodes.blb) > 0.9 * p.vdd);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_pattern_panics() {
+        let p = DramCircuitParams::n90();
+        let _ = charge_sharing_array(&p, &[], 0.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Circuit elements and source waveforms.
+
+use crate::mosfet::MosParams;
+use crate::netlist::Node;
+
+/// Time-dependent value of an independent source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceWave {
+    /// Constant value.
+    Dc(f64),
+    /// Piecewise-linear waveform: `(time, value)` breakpoints, sorted by
+    /// time. Before the first breakpoint the first value holds; after the
+    /// last breakpoint the last value holds.
+    Pwl(Vec<(f64, f64)>),
+    /// A single step from `from` to `to` at `at` seconds, with linear ramp
+    /// of duration `rise` seconds.
+    Step {
+        /// Value before the step.
+        from: f64,
+        /// Value after the step.
+        to: f64,
+        /// Time at which the ramp begins, in seconds.
+        at: f64,
+        /// Ramp duration in seconds (0 is treated as 1 fs to keep the
+        /// waveform single-valued).
+        rise: f64,
+    },
+}
+
+impl SourceWave {
+    /// Evaluates the waveform at time `t` (seconds).
+    pub fn value_at(&self, t: f64) -> f64 {
+        match self {
+            SourceWave::Dc(v) => *v,
+            SourceWave::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                for w in points.windows(2) {
+                    let (t0, v0) = w[0];
+                    let (t1, v1) = w[1];
+                    if t <= t1 {
+                        if t1 <= t0 {
+                            return v1;
+                        }
+                        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+                    }
+                }
+                points.last().expect("non-empty").1
+            }
+            SourceWave::Step { from, to, at, rise } => {
+                let rise = rise.max(1e-15);
+                if t <= *at {
+                    *from
+                } else if t >= at + rise {
+                    *to
+                } else {
+                    from + (to - from) * (t - at) / rise
+                }
+            }
+        }
+    }
+}
+
+/// A circuit element instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Element {
+    /// Resistor between `a` and `b`, in ohms.
+    Resistor {
+        /// First terminal.
+        a: Node,
+        /// Second terminal.
+        b: Node,
+        /// Resistance in ohms (> 0).
+        ohms: f64,
+    },
+    /// Capacitor between `a` and `b`, in farads.
+    Capacitor {
+        /// First terminal.
+        a: Node,
+        /// Second terminal.
+        b: Node,
+        /// Capacitance in farads (> 0).
+        farads: f64,
+    },
+    /// Independent voltage source from `neg` to `pos` (MNA branch current
+    /// is an extra unknown).
+    VoltageSource {
+        /// Positive terminal.
+        pos: Node,
+        /// Negative terminal.
+        neg: Node,
+        /// Source waveform.
+        wave: SourceWave,
+        /// Index of this source's branch-current unknown (assigned by the
+        /// netlist).
+        branch: usize,
+    },
+    /// Independent current source pushing current into `into` and out of
+    /// `out_of`.
+    CurrentSource {
+        /// Terminal the current flows into.
+        into: Node,
+        /// Terminal the current flows out of.
+        out_of: Node,
+        /// Source waveform, in amperes.
+        wave: SourceWave,
+    },
+    /// MOSFET with drain/gate/source terminals (bulk tied to source).
+    Mosfet {
+        /// Drain terminal.
+        drain: Node,
+        /// Gate terminal.
+        gate: Node,
+        /// Source terminal.
+        source: Node,
+        /// Device parameters.
+        params: MosParams,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let w = SourceWave::Dc(1.2);
+        assert_eq!(w.value_at(0.0), 1.2);
+        assert_eq!(w.value_at(1e9), 1.2);
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let w = SourceWave::Pwl(vec![(1.0, 0.0), (2.0, 10.0)]);
+        assert_eq!(w.value_at(0.0), 0.0); // clamp before
+        assert_eq!(w.value_at(1.5), 5.0); // interpolate
+        assert_eq!(w.value_at(3.0), 10.0); // clamp after
+    }
+
+    #[test]
+    fn empty_pwl_is_zero() {
+        let w = SourceWave::Pwl(vec![]);
+        assert_eq!(w.value_at(0.0), 0.0);
+        assert_eq!(w.value_at(1.0), 0.0);
+    }
+
+    #[test]
+    fn pwl_handles_degenerate_segment() {
+        let w = SourceWave::Pwl(vec![(1.0, 0.0), (1.0, 5.0)]);
+        assert_eq!(w.value_at(1.0), 0.0);
+        assert_eq!(w.value_at(1.1), 5.0);
+    }
+
+    #[test]
+    fn step_ramps_linearly() {
+        let w = SourceWave::Step { from: 0.0, to: 1.0, at: 1e-9, rise: 1e-9 };
+        assert_eq!(w.value_at(0.0), 0.0);
+        assert!((w.value_at(1.5e-9) - 0.5).abs() < 1e-12);
+        assert_eq!(w.value_at(3e-9), 1.0);
+    }
+
+    #[test]
+    fn zero_rise_step_is_sharp_but_finite() {
+        let w = SourceWave::Step { from: 0.0, to: 1.0, at: 1e-9, rise: 0.0 };
+        assert_eq!(w.value_at(0.999e-9), 0.0);
+        assert_eq!(w.value_at(1.001e-9), 1.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Error types for the simulator.
+
+use std::fmt;
+
+/// Errors produced while building or simulating a circuit.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpiceError {
+    /// The MNA matrix was singular at the given simulation time.
+    ///
+    /// This usually means a node is floating (no DC path to ground) or an
+    /// element value is degenerate (e.g. a zero-ohm resistor loop).
+    SingularMatrix {
+        /// Simulation time at which factorization failed, in seconds.
+        time: f64,
+    },
+    /// Newton–Raphson failed to converge within the iteration limit.
+    NoConvergence {
+        /// Simulation time of the failing step, in seconds.
+        time: f64,
+        /// Iterations attempted.
+        iterations: usize,
+        /// Largest voltage update on the last iteration, in volts.
+        residual: f64,
+    },
+    /// An element was given a non-physical value (negative capacitance,
+    /// non-positive resistance, ...).
+    InvalidValue {
+        /// Which element kind was being added.
+        element: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A transient specification was invalid (non-positive step or stop
+    /// time, or step larger than the stop time).
+    InvalidTransientSpec {
+        /// Time step, in seconds.
+        step: f64,
+        /// Stop time, in seconds.
+        stop: f64,
+    },
+    /// A node index did not belong to the circuit.
+    UnknownNode {
+        /// The raw index of the unknown node.
+        index: usize,
+    },
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::SingularMatrix { time } => {
+                write!(f, "singular MNA matrix at t = {time:.3e} s (floating node?)")
+            }
+            SpiceError::NoConvergence { time, iterations, residual } => write!(
+                f,
+                "newton iteration did not converge at t = {time:.3e} s \
+                 ({iterations} iterations, residual {residual:.3e} V)"
+            ),
+            SpiceError::InvalidValue { element, value } => {
+                write!(f, "invalid {element} value {value:.3e}")
+            }
+            SpiceError::InvalidTransientSpec { step, stop } => {
+                write!(f, "invalid transient spec: step {step:.3e} s, stop {stop:.3e} s")
+            }
+            SpiceError::UnknownNode { index } => write!(f, "unknown node index {index}"),
+        }
+    }
+}
+
+impl std::error::Error for SpiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = SpiceError::SingularMatrix { time: 1e-9 };
+        let msg = e.to_string();
+        assert!(msg.starts_with("singular"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SpiceError>();
+    }
+
+    #[test]
+    fn no_convergence_reports_details() {
+        let e = SpiceError::NoConvergence { time: 2e-9, iterations: 50, residual: 0.1 };
+        let msg = e.to_string();
+        assert!(msg.contains("50 iterations"));
+    }
+}

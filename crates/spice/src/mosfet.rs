@@ -1,0 +1,244 @@
+//! Level-1 (Shichman–Hodges) MOSFET model.
+//!
+//! The paper's analytical derivations (Section 2) are themselves built on
+//! square-law device behaviour — saturation current `β/2·(Vgs−Vt)²`, linear
+//! region ON resistance `1/(β(Vgs−Vt))` — so a level-1 model is the
+//! appropriate reference device here.
+
+/// NMOS or PMOS polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MosType {
+    /// N-channel device: conducts when `Vgs > Vth`.
+    Nmos,
+    /// P-channel device: conducts when `Vgs < -Vth` (i.e. `Vsg > Vth`).
+    Pmos,
+}
+
+/// Operating region of a MOSFET at a bias point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MosRegion {
+    /// `|Vgs| < Vth`: no channel.
+    Cutoff,
+    /// `|Vds| < |Vgs| − Vth`: resistive channel.
+    Linear,
+    /// `|Vds| ≥ |Vgs| − Vth`: pinched-off channel.
+    Saturation,
+}
+
+/// Level-1 MOSFET parameters.
+///
+/// `beta = µ·Cox·W/L` is the transconductance parameter the paper calls
+/// `β_n` (Equation 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosParams {
+    /// Device polarity.
+    pub mos_type: MosType,
+    /// Threshold voltage magnitude, in volts (always positive).
+    pub vth: f64,
+    /// Transconductance parameter `µ·Cox·W/L`, in A/V².
+    pub beta: f64,
+    /// Channel-length modulation, in 1/V (0 disables it).
+    pub lambda: f64,
+}
+
+impl MosParams {
+    /// Creates an NMOS device with threshold `vth` and transconductance
+    /// parameter `beta` (channel-length modulation disabled).
+    pub fn nmos(vth: f64, beta: f64) -> Self {
+        MosParams { mos_type: MosType::Nmos, vth, beta, lambda: 0.0 }
+    }
+
+    /// Creates a PMOS device with threshold magnitude `vth` and
+    /// transconductance parameter `beta`.
+    pub fn pmos(vth: f64, beta: f64) -> Self {
+        MosParams { mos_type: MosType::Pmos, vth, beta, lambda: 0.0 }
+    }
+
+    /// Returns a copy with channel-length modulation `lambda` (1/V).
+    #[must_use]
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Classifies the operating region at `(vgs, vds)` (device-polarity
+    /// aware; pass terminal voltages as wired, not magnitudes).
+    pub fn region(&self, vgs: f64, vds: f64) -> MosRegion {
+        let (vgs, vds) = self.normalize(vgs, vds);
+        let vov = vgs - self.vth;
+        if vov <= 0.0 {
+            MosRegion::Cutoff
+        } else if vds < vov {
+            MosRegion::Linear
+        } else {
+            MosRegion::Saturation
+        }
+    }
+
+    /// Maps PMOS biases onto the NMOS quadrant (and leaves NMOS unchanged).
+    fn normalize(&self, vgs: f64, vds: f64) -> (f64, f64) {
+        match self.mos_type {
+            MosType::Nmos => (vgs, vds),
+            MosType::Pmos => (-vgs, -vds),
+        }
+    }
+
+    /// Drain current `Ids(vgs, vds)` in amperes, positive flowing drain →
+    /// source for NMOS (and source → drain for PMOS, reported with the NMOS
+    /// sign convention after normalization — callers in [`crate::mna`]
+    /// handle terminal orientation).
+    ///
+    /// The model is evaluated with drain/source symmetry: callers must swap
+    /// terminals so `vds >= 0` in the normalized quadrant (the netlist layer
+    /// does this).
+    pub fn ids(&self, vgs: f64, vds: f64) -> f64 {
+        let (vgs, vds) = self.normalize(vgs, vds);
+        debug_assert!(vds >= -1e-12, "caller must orient the device so vds >= 0");
+        let vov = vgs - self.vth;
+        if vov <= 0.0 {
+            return 0.0;
+        }
+        let clm = 1.0 + self.lambda * vds;
+        if vds < vov {
+            self.beta * (vov * vds - 0.5 * vds * vds) * clm
+        } else {
+            0.5 * self.beta * vov * vov * clm
+        }
+    }
+
+    /// Transconductance `∂Ids/∂Vgs` at the bias point (normalized quadrant).
+    pub fn gm(&self, vgs: f64, vds: f64) -> f64 {
+        let (vgs, vds) = self.normalize(vgs, vds);
+        let vov = vgs - self.vth;
+        if vov <= 0.0 {
+            return 0.0;
+        }
+        let clm = 1.0 + self.lambda * vds;
+        if vds < vov {
+            self.beta * vds * clm
+        } else {
+            self.beta * vov * clm
+        }
+    }
+
+    /// Output conductance `∂Ids/∂Vds` at the bias point (normalized
+    /// quadrant).
+    pub fn gds(&self, vgs: f64, vds: f64) -> f64 {
+        let (vgs, vds) = self.normalize(vgs, vds);
+        let vov = vgs - self.vth;
+        if vov <= 0.0 {
+            return 0.0;
+        }
+        if vds < vov {
+            self.beta * (vov - vds) * (1.0 + self.lambda * vds)
+                + self.lambda * self.beta * (vov * vds - 0.5 * vds * vds)
+        } else {
+            self.lambda * 0.5 * self.beta * vov * vov
+        }
+    }
+
+    /// Saturation current for a gate overdrive `vov = vgs − vth`, i.e.
+    /// `β/2·vov²`. This is the `Idsat` of the paper's Equation 1.
+    pub fn idsat(&self, vov: f64) -> f64 {
+        if vov <= 0.0 {
+            0.0
+        } else {
+            0.5 * self.beta * vov * vov
+        }
+    }
+
+    /// Linear-region ON resistance `1/(β(Vgs−Vth))` for the given overdrive
+    /// — the `r_on` of the paper's Equation 2.
+    ///
+    /// Returns `f64::INFINITY` when the device is off.
+    pub fn r_on(&self, vov: f64) -> f64 {
+        if vov <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / (self.beta * vov)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> MosParams {
+        MosParams::nmos(0.4, 400e-6)
+    }
+
+    #[test]
+    fn cutoff_has_zero_current() {
+        let d = dev();
+        assert_eq!(d.ids(0.3, 1.0), 0.0);
+        assert_eq!(d.gm(0.3, 1.0), 0.0);
+        assert_eq!(d.region(0.3, 1.0), MosRegion::Cutoff);
+    }
+
+    #[test]
+    fn linear_and_saturation_currents_match_square_law() {
+        let d = dev();
+        // Saturation: vgs=1.2, vds=1.2 → vov=0.8.
+        let isat = d.ids(1.2, 1.2);
+        assert!((isat - 0.5 * 400e-6 * 0.8 * 0.8).abs() < 1e-12);
+        assert_eq!(d.region(1.2, 1.2), MosRegion::Saturation);
+        // Linear: vds=0.1 < vov.
+        let ilin = d.ids(1.2, 0.1);
+        assert!((ilin - 400e-6 * (0.8 * 0.1 - 0.005)).abs() < 1e-12);
+        assert_eq!(d.region(1.2, 0.1), MosRegion::Linear);
+    }
+
+    #[test]
+    fn current_is_continuous_at_pinchoff() {
+        let d = dev();
+        let vov: f64 = 0.8;
+        let below = d.ids(1.2, vov - 1e-9);
+        let above = d.ids(1.2, vov + 1e-9);
+        assert!((below - above).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gm_is_numerical_derivative_of_ids() {
+        let d = dev().with_lambda(0.05);
+        for &(vgs, vds) in &[(1.0, 0.2), (1.2, 1.0), (0.9, 0.05)] {
+            let h = 1e-7;
+            let num = (d.ids(vgs + h, vds) - d.ids(vgs - h, vds)) / (2.0 * h);
+            assert!((d.gm(vgs, vds) - num).abs() < 1e-6, "gm mismatch at ({vgs},{vds})");
+        }
+    }
+
+    #[test]
+    fn gds_is_numerical_derivative_of_ids() {
+        let d = dev().with_lambda(0.05);
+        for &(vgs, vds) in &[(1.0, 0.2), (1.2, 1.0)] {
+            let h = 1e-7;
+            let num = (d.ids(vgs, vds + h) - d.ids(vgs, vds - h)) / (2.0 * h);
+            assert!((d.gds(vgs, vds) - num).abs() < 1e-6, "gds mismatch at ({vgs},{vds})");
+        }
+    }
+
+    #[test]
+    fn pmos_mirrors_nmos() {
+        let n = MosParams::nmos(0.4, 400e-6);
+        let p = MosParams::pmos(0.4, 400e-6);
+        // PMOS with vgs=-1.2, vds=-1.0 behaves like NMOS with 1.2, 1.0.
+        assert!((p.ids(-1.2, -1.0) - n.ids(1.2, 1.0)).abs() < 1e-15);
+        assert_eq!(p.region(-1.2, -1.0), MosRegion::Saturation);
+    }
+
+    #[test]
+    fn r_on_matches_paper_formula() {
+        let d = dev();
+        let vov = 0.5;
+        assert!((d.r_on(vov) - 1.0 / (400e-6 * 0.5)).abs() < 1e-9);
+        assert!(d.r_on(-0.1).is_infinite());
+    }
+
+    #[test]
+    fn idsat_matches_half_beta_vov_squared() {
+        let d = dev();
+        assert!((d.idsat(0.8) - 0.5 * 400e-6 * 0.64).abs() < 1e-15);
+        assert_eq!(d.idsat(0.0), 0.0);
+    }
+}

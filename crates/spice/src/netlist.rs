@@ -1,0 +1,259 @@
+//! Netlist construction: nodes, elements, initial conditions.
+
+use std::collections::HashMap;
+
+use crate::elements::{Element, SourceWave};
+use crate::error::SpiceError;
+use crate::mosfet::MosParams;
+use crate::transient::{self, TransientResult, TransientSpec};
+
+/// A circuit node handle.
+///
+/// Nodes are cheap copyable indices into a [`Circuit`]. The ground node is
+/// [`Circuit::GROUND`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Node(pub(crate) usize);
+
+impl Node {
+    /// Returns `true` for the ground node.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Raw index (0 = ground; internal unknowns are `index - 1`).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A circuit under construction.
+///
+/// Build a netlist with the `add_*` methods, set initial node voltages, then
+/// call [`Circuit::run_transient`].
+///
+/// # Example
+///
+/// ```
+/// use vrl_spice::{Circuit, TransientSpec};
+///
+/// # fn main() -> Result<(), vrl_spice::SpiceError> {
+/// let mut ckt = Circuit::new();
+/// let vdd = ckt.node("vdd");
+/// let out = ckt.node("out");
+/// ckt.add_dc_voltage(vdd, 1.2);
+/// ckt.add_resistor(vdd, out, 10e3);
+/// ckt.add_capacitor(out, Circuit::GROUND, 1e-12);
+/// let res = ckt.run_transient(TransientSpec::new(1e-11, 1e-7))?;
+/// assert!((res.waveform(out).last_value() - 1.2).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    names: Vec<String>,
+    name_index: HashMap<String, Node>,
+    elements: Vec<Element>,
+    voltage_sources: usize,
+    initial_voltages: HashMap<usize, f64>,
+}
+
+impl Circuit {
+    /// The ground (reference) node.
+    pub const GROUND: Node = Node(0);
+
+    /// Creates an empty circuit containing only the ground node.
+    pub fn new() -> Self {
+        Circuit {
+            names: vec!["0".to_owned()],
+            name_index: HashMap::new(),
+            elements: Vec::new(),
+            voltage_sources: 0,
+            initial_voltages: HashMap::new(),
+        }
+    }
+
+    /// Returns the node with the given name, creating it if necessary.
+    pub fn node(&mut self, name: &str) -> Node {
+        if let Some(&n) = self.name_index.get(name) {
+            return n;
+        }
+        let n = Node(self.names.len());
+        self.names.push(name.to_owned());
+        self.name_index.insert(name.to_owned(), n);
+        n
+    }
+
+    /// Looks up an existing node by name.
+    pub fn find_node(&self, name: &str) -> Option<Node> {
+        self.name_index.get(name).copied()
+    }
+
+    /// The node's name ("0" for ground).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to this circuit.
+    pub fn node_name(&self, node: Node) -> &str {
+        &self.names[node.0]
+    }
+
+    /// Number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of independent voltage sources (extra MNA unknowns).
+    pub fn voltage_source_count(&self) -> usize {
+        self.voltage_sources
+    }
+
+    /// The elements added so far.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Adds a resistor (ohms must be positive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ohms <= 0` or is not finite.
+    pub fn add_resistor(&mut self, a: Node, b: Node, ohms: f64) {
+        assert!(ohms > 0.0 && ohms.is_finite(), "resistance must be positive and finite");
+        self.elements.push(Element::Resistor { a, b, ohms });
+    }
+
+    /// Adds a capacitor (farads must be positive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `farads <= 0` or is not finite.
+    pub fn add_capacitor(&mut self, a: Node, b: Node, farads: f64) {
+        assert!(farads > 0.0 && farads.is_finite(), "capacitance must be positive and finite");
+        self.elements.push(Element::Capacitor { a, b, farads });
+    }
+
+    /// Adds a DC voltage source of `volts` from ground to `pos`.
+    pub fn add_dc_voltage(&mut self, pos: Node, volts: f64) {
+        self.add_voltage_source(pos, Self::GROUND, SourceWave::Dc(volts));
+    }
+
+    /// Adds a voltage source with an arbitrary waveform between `pos` and
+    /// `neg`.
+    pub fn add_voltage_source(&mut self, pos: Node, neg: Node, wave: SourceWave) {
+        let branch = self.voltage_sources;
+        self.voltage_sources += 1;
+        self.elements.push(Element::VoltageSource { pos, neg, wave, branch });
+    }
+
+    /// Adds a current source pushing `wave` amperes into `into`.
+    pub fn add_current_source(&mut self, into: Node, out_of: Node, wave: SourceWave) {
+        self.elements.push(Element::CurrentSource { into, out_of, wave });
+    }
+
+    /// Adds a MOSFET (bulk tied to source).
+    pub fn add_mosfet(&mut self, drain: Node, gate: Node, source: Node, params: MosParams) {
+        self.elements.push(Element::Mosfet { drain, gate, source, params });
+    }
+
+    /// Sets the initial voltage of `node` for transient analysis (like a
+    /// `.IC` line). Unset nodes start at 0 V.
+    pub fn set_initial_voltage(&mut self, node: Node, volts: f64) {
+        if !node.is_ground() {
+            self.initial_voltages.insert(node.0, volts);
+        }
+    }
+
+    /// Initial voltage of a node (0 V unless set).
+    pub fn initial_voltage(&self, node: Node) -> f64 {
+        if node.is_ground() {
+            0.0
+        } else {
+            self.initial_voltages.get(&node.0).copied().unwrap_or(0.0)
+        }
+    }
+
+    /// Runs a backward-Euler transient analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidTransientSpec`] for a bad time spec,
+    /// [`SpiceError::SingularMatrix`] if a node floats, and
+    /// [`SpiceError::NoConvergence`] if Newton iteration fails.
+    pub fn run_transient(&self, spec: TransientSpec) -> Result<TransientResult, SpiceError> {
+        transient::run(self, spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_are_interned_by_name() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let a2 = c.node("a");
+        let b = c.node("b");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(c.node_count(), 3); // ground + a + b
+        assert_eq!(c.node_name(a), "a");
+        assert_eq!(c.find_node("b"), Some(b));
+        assert_eq!(c.find_node("missing"), None);
+    }
+
+    #[test]
+    fn ground_is_special() {
+        assert!(Circuit::GROUND.is_ground());
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        assert!(!a.is_ground());
+        // Setting an IC on ground is a no-op.
+        c.set_initial_voltage(Circuit::GROUND, 5.0);
+        assert_eq!(c.initial_voltage(Circuit::GROUND), 0.0);
+    }
+
+    #[test]
+    fn initial_voltages_default_to_zero() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        assert_eq!(c.initial_voltage(a), 0.0);
+        c.set_initial_voltage(a, 0.6);
+        assert_eq!(c.initial_voltage(a), 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "resistance must be positive")]
+    fn negative_resistor_panics() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_resistor(a, Circuit::GROUND, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacitance must be positive")]
+    fn zero_capacitor_panics() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_capacitor(a, Circuit::GROUND, 0.0);
+    }
+
+    #[test]
+    fn voltage_sources_get_sequential_branches() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_dc_voltage(a, 1.0);
+        c.add_dc_voltage(b, 2.0);
+        assert_eq!(c.voltage_source_count(), 2);
+        let branches: Vec<usize> = c
+            .elements()
+            .iter()
+            .filter_map(|e| match e {
+                Element::VoltageSource { branch, .. } => Some(*branch),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(branches, vec![0, 1]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Waveform capture and measurement.
+
+/// A sampled voltage waveform: monotone time points and one sample each.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waveform {
+    times: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl Waveform {
+    /// Creates a waveform from parallel `times`/`values` vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors differ in length or are empty.
+    pub fn new(times: Vec<f64>, values: Vec<f64>) -> Self {
+        assert_eq!(times.len(), values.len(), "times/values length mismatch");
+        assert!(!times.is_empty(), "waveform must have at least one sample");
+        Waveform { times, values }
+    }
+
+    /// The time axis, in seconds.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The samples, in volts.
+    pub fn samples(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Linear interpolation at time `t`, clamped to the waveform's span.
+    pub fn sample(&self, t: f64) -> f64 {
+        if t <= self.times[0] {
+            return self.values[0];
+        }
+        let last = self.times.len() - 1;
+        if t >= self.times[last] {
+            return self.values[last];
+        }
+        // Binary search for the bracketing segment.
+        let idx = match self.times.binary_search_by(|probe| probe.partial_cmp(&t).expect("finite")) {
+            Ok(i) => return self.values[i],
+            Err(i) => i,
+        };
+        let (t0, v0) = (self.times[idx - 1], self.values[idx - 1]);
+        let (t1, v1) = (self.times[idx], self.values[idx]);
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    }
+
+    /// The final sample.
+    pub fn last_value(&self) -> f64 {
+        *self.values.last().expect("non-empty")
+    }
+
+    /// First time at which the waveform crosses `level` in the given
+    /// direction, or `None` if it never does.
+    pub fn first_crossing(&self, level: f64, direction: CrossingDirection) -> Option<f64> {
+        for w in 0..self.times.len() - 1 {
+            let (v0, v1) = (self.values[w], self.values[w + 1]);
+            let crossed = match direction {
+                CrossingDirection::Rising => v0 < level && v1 >= level,
+                CrossingDirection::Falling => v0 > level && v1 <= level,
+            };
+            if crossed {
+                let (t0, t1) = (self.times[w], self.times[w + 1]);
+                if (v1 - v0).abs() < f64::EPSILON {
+                    return Some(t1);
+                }
+                return Some(t0 + (t1 - t0) * (level - v0) / (v1 - v0));
+            }
+        }
+        None
+    }
+
+    /// Time at which the waveform settles within `tolerance` volts of its
+    /// final value and stays there.
+    pub fn settling_time(&self, tolerance: f64) -> f64 {
+        let target = self.last_value();
+        let mut settle = self.times[0];
+        for (t, v) in self.times.iter().zip(&self.values) {
+            if (v - target).abs() > tolerance {
+                settle = *t;
+            }
+        }
+        settle
+    }
+
+    /// Maximum sample value.
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum sample value.
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Renders the waveform as two-column CSV (`time,voltage`) with a
+    /// header row, for external plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_s,voltage_v\n");
+        for (t, v) in self.times.iter().zip(&self.values) {
+            out.push_str(&format!("{t:e},{v:e}\n"));
+        }
+        out
+    }
+
+    /// Root-mean-square error against another waveform, evaluated at this
+    /// waveform's time points (the other is interpolated).
+    pub fn rms_error(&self, other: &Waveform) -> f64 {
+        let sum: f64 = self
+            .times
+            .iter()
+            .zip(&self.values)
+            .map(|(t, v)| {
+                let d = v - other.sample(*t);
+                d * d
+            })
+            .sum();
+        (sum / self.times.len() as f64).sqrt()
+    }
+}
+
+/// Direction of a level crossing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrossingDirection {
+    /// From below `level` to at-or-above it.
+    Rising,
+    /// From above `level` to at-or-below it.
+    Falling,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Waveform {
+        Waveform::new(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 0.0])
+    }
+
+    #[test]
+    fn sample_interpolates_and_clamps() {
+        let w = ramp();
+        assert_eq!(w.sample(-1.0), 0.0);
+        assert_eq!(w.sample(0.5), 0.5);
+        assert_eq!(w.sample(1.0), 1.0);
+        assert_eq!(w.sample(1.5), 0.5);
+        assert_eq!(w.sample(5.0), 0.0);
+    }
+
+    #[test]
+    fn crossings_both_directions() {
+        let w = ramp();
+        let up = w.first_crossing(0.5, CrossingDirection::Rising).expect("rises");
+        assert!((up - 0.5).abs() < 1e-12);
+        let down = w.first_crossing(0.5, CrossingDirection::Falling).expect("falls");
+        assert!((down - 1.5).abs() < 1e-12);
+        assert!(w.first_crossing(2.0, CrossingDirection::Rising).is_none());
+    }
+
+    #[test]
+    fn min_max_and_last() {
+        let w = ramp();
+        assert_eq!(w.max(), 1.0);
+        assert_eq!(w.min(), 0.0);
+        assert_eq!(w.last_value(), 0.0);
+    }
+
+    #[test]
+    fn settling_time_of_exponential() {
+        let times: Vec<f64> = (0..=100).map(|i| i as f64 * 0.1).collect();
+        let values: Vec<f64> = times.iter().map(|t| 1.0 - (-t).exp()).collect();
+        let w = Waveform::new(times, values);
+        let st = w.settling_time(0.01);
+        // Settles within 1% of final (~0.99995) around t ≈ 4.6 - ln ~.
+        assert!(st > 3.0 && st < 6.0, "settling time {st}");
+    }
+
+    #[test]
+    fn rms_error_of_identical_is_zero() {
+        let w = ramp();
+        assert_eq!(w.rms_error(&w.clone()), 0.0);
+    }
+
+    #[test]
+    fn rms_error_of_offset_is_offset() {
+        let a = Waveform::new(vec![0.0, 1.0], vec![0.0, 0.0]);
+        let b = Waveform::new(vec![0.0, 1.0], vec![0.5, 0.5]);
+        assert!((a.rms_error(&b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = Waveform::new(vec![0.0], vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn csv_has_header_and_all_rows() {
+        let w = ramp();
+        let csv = w.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time_s,voltage_v");
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("0e0,") || lines[1].starts_with("0,"));
+    }
+}

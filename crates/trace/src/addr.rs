@@ -1,0 +1,107 @@
+//! Physical-address ↔ (bank, row, column) mapping.
+//!
+//! Raw traces (Ramulator-style) carry byte addresses; the bank simulator
+//! works in row indices. The mapping here is the common
+//! row-interleaved layout: `| row | bank | column | offset |`.
+
+use serde::{Deserialize, Serialize};
+
+/// DRAM address-mapping parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddressMap {
+    /// log2 of the cache-line/burst size in bytes (offset bits).
+    pub offset_bits: u32,
+    /// log2 of the number of columns per row.
+    pub column_bits: u32,
+    /// log2 of the number of banks.
+    pub bank_bits: u32,
+    /// log2 of the number of rows per bank.
+    pub row_bits: u32,
+}
+
+/// A decoded DRAM location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Location {
+    /// Bank index.
+    pub bank: u32,
+    /// Row index within the bank.
+    pub row: u32,
+    /// Column index within the row.
+    pub column: u32,
+}
+
+impl AddressMap {
+    /// The evaluation configuration: 64 B lines, 32 columns, 8 banks,
+    /// 8192 rows.
+    pub fn paper_default() -> Self {
+        AddressMap { offset_bits: 6, column_bits: 5, bank_bits: 3, row_bits: 13 }
+    }
+
+    /// Total addressable bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        1u64 << (self.offset_bits + self.column_bits + self.bank_bits + self.row_bits)
+    }
+
+    /// Decodes a physical byte address (wraps modulo capacity).
+    pub fn decode(&self, addr: u64) -> Location {
+        let a = addr >> self.offset_bits;
+        let column = (a & ((1 << self.column_bits) - 1)) as u32;
+        let a = a >> self.column_bits;
+        let bank = (a & ((1 << self.bank_bits) - 1)) as u32;
+        let a = a >> self.bank_bits;
+        let row = (a & ((1 << self.row_bits) - 1)) as u32;
+        Location { bank, row, column }
+    }
+
+    /// Encodes a location back to the base byte address of its line.
+    pub fn encode(&self, loc: Location) -> u64 {
+        let mut a = loc.row as u64;
+        a = (a << self.bank_bits) | loc.bank as u64;
+        a = (a << self.column_bits) | loc.column as u64;
+        a << self.offset_bits
+    }
+}
+
+impl Default for AddressMap {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let m = AddressMap::paper_default();
+        for (bank, row, column) in [(0, 0, 0), (7, 8191, 31), (3, 4096, 17)] {
+            let loc = Location { bank, row, column };
+            assert_eq!(m.decode(m.encode(loc)), loc);
+        }
+    }
+
+    #[test]
+    fn capacity_matches_bits() {
+        let m = AddressMap::paper_default();
+        assert_eq!(m.capacity_bytes(), 1u64 << 27); // 128 MiB
+    }
+
+    #[test]
+    fn adjacent_lines_differ_in_column_first() {
+        let m = AddressMap::paper_default();
+        let a = m.decode(0);
+        let b = m.decode(64);
+        assert_eq!(a.row, b.row);
+        assert_eq!(a.bank, b.bank);
+        assert_eq!(b.column, a.column + 1);
+    }
+
+    #[test]
+    fn decode_wraps_above_capacity() {
+        let m = AddressMap::paper_default();
+        let a = m.decode(10 * 64);
+        let b = m.decode(10 * 64 + m.capacity_bytes());
+        assert_eq!(a, b);
+    }
+}

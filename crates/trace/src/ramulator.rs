@@ -1,0 +1,195 @@
+//! Ramulator CPU-trace format support.
+//!
+//! The paper generates its memory traces with Ramulator \[19\], whose CPU
+//! trace format is one request per line:
+//!
+//! ```text
+//! <num-cpu-instructions> <read-address> [<write-address>]
+//! ```
+//!
+//! `num-cpu-instructions` is the compute bubble preceding the request;
+//! the optional third field is a writeback triggered by the same line.
+//! Addresses are decimal or `0x`-prefixed hex byte addresses.
+//!
+//! [`convert`] turns such a trace into this workspace's bank-local row
+//! records: addresses are decoded through an [`AddressMap`], requests to
+//! other banks are dropped, and the instruction bubbles become cycle
+//! gaps via a fixed IPC assumption.
+
+use std::str::FromStr;
+
+use crate::addr::AddressMap;
+use crate::format::ParseTraceError;
+use crate::record::{Op, TraceRecord};
+
+/// One parsed Ramulator request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RamulatorRequest {
+    /// CPU instructions executed before this request.
+    pub bubble: u64,
+    /// Read address (byte).
+    pub read_addr: u64,
+    /// Optional writeback address (byte).
+    pub write_addr: Option<u64>,
+}
+
+fn parse_addr(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        u64::from_str(s).ok()
+    }
+}
+
+/// Parses the Ramulator CPU trace text.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] (with a 1-based line number) for malformed
+/// lines. Blank lines and `#` comments are ignored.
+pub fn parse_ramulator(text: &str) -> Result<Vec<RamulatorRequest>, ParseTraceError> {
+    let mut requests = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        if fields.len() < 2 || fields.len() > 3 {
+            return Err(ParseTraceError {
+                line: line_no,
+                reason: format!("expected 2 or 3 fields, got {}", fields.len()),
+            });
+        }
+        let bubble = u64::from_str(fields[0]).map_err(|_| ParseTraceError {
+            line: line_no,
+            reason: "bad instruction-count field".into(),
+        })?;
+        let read_addr = parse_addr(fields[1]).ok_or_else(|| ParseTraceError {
+            line: line_no,
+            reason: "bad read-address field".into(),
+        })?;
+        let write_addr = match fields.get(2) {
+            None => None,
+            Some(s) => Some(parse_addr(s).ok_or_else(|| ParseTraceError {
+                line: line_no,
+                reason: "bad write-address field".into(),
+            })?),
+        };
+        requests.push(RamulatorRequest { bubble, read_addr, write_addr });
+    }
+    Ok(requests)
+}
+
+/// Conversion parameters from a CPU trace to bank-local memory cycles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvertConfig {
+    /// Address mapping of the simulated device.
+    pub map: AddressMap,
+    /// The bank whose requests are kept.
+    pub bank: u32,
+    /// Memory-controller cycles per CPU instruction (inverse IPC scaled
+    /// to the memory clock); Ramulator's default CPU model retires ~4
+    /// instructions per CPU cycle at 4× the memory clock, i.e. ~1.
+    pub cycles_per_instruction: f64,
+}
+
+impl Default for ConvertConfig {
+    fn default() -> Self {
+        ConvertConfig {
+            map: AddressMap::paper_default(),
+            bank: 0,
+            cycles_per_instruction: 1.0,
+        }
+    }
+}
+
+/// Converts parsed Ramulator requests into bank-local row records.
+pub fn convert(requests: &[RamulatorRequest], config: &ConvertConfig) -> Vec<TraceRecord> {
+    let mut records = Vec::new();
+    let mut cycle = 0u64;
+    for req in requests {
+        cycle += (req.bubble as f64 * config.cycles_per_instruction).ceil() as u64 + 1;
+        let loc = config.map.decode(req.read_addr);
+        if loc.bank == config.bank {
+            records.push(TraceRecord::new(cycle, Op::Read, loc.row));
+        }
+        if let Some(wa) = req.write_addr {
+            let loc = config.map.decode(wa);
+            if loc.bank == config.bank {
+                records.push(TraceRecord::new(cycle, Op::Write, loc.row));
+            }
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_two_and_three_field_lines() {
+        let text = "# ramulator cpu trace\n100 0x1000\n50 4096 0x2000\n";
+        let reqs = parse_ramulator(text).expect("parses");
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0], RamulatorRequest { bubble: 100, read_addr: 0x1000, write_addr: None });
+        assert_eq!(
+            reqs[1],
+            RamulatorRequest { bubble: 50, read_addr: 4096, write_addr: Some(0x2000) }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_ramulator("onlyonefield").is_err());
+        assert!(parse_ramulator("1 2 3 4").is_err());
+        assert!(parse_ramulator("x 0x10").is_err());
+        assert!(parse_ramulator("5 zz").is_err());
+        let err = parse_ramulator("10 0x10\nbad").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn convert_filters_by_bank_and_accumulates_cycles() {
+        let map = AddressMap::paper_default();
+        // Build addresses in bank 0 and bank 1 explicitly.
+        let in_bank0 = map.encode(crate::addr::Location { bank: 0, row: 10, column: 0 });
+        let in_bank1 = map.encode(crate::addr::Location { bank: 1, row: 20, column: 0 });
+        let reqs = vec![
+            RamulatorRequest { bubble: 100, read_addr: in_bank0, write_addr: Some(in_bank1) },
+            RamulatorRequest { bubble: 100, read_addr: in_bank1, write_addr: Some(in_bank0) },
+        ];
+        let records = convert(&reqs, &ConvertConfig::default());
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].op, Op::Read);
+        assert_eq!(records[0].row, 10);
+        assert_eq!(records[1].op, Op::Write);
+        assert_eq!(records[1].row, 10);
+        assert!(records[1].cycle > records[0].cycle);
+    }
+
+    #[test]
+    fn bubbles_scale_with_cpi() {
+        let map = AddressMap::paper_default();
+        let addr = map.encode(crate::addr::Location { bank: 0, row: 1, column: 0 });
+        let reqs = vec![RamulatorRequest { bubble: 1000, read_addr: addr, write_addr: None }];
+        let fast = convert(&reqs, &ConvertConfig { cycles_per_instruction: 0.25, ..Default::default() });
+        let slow = convert(&reqs, &ConvertConfig { cycles_per_instruction: 2.0, ..Default::default() });
+        assert!(slow[0].cycle > fast[0].cycle);
+    }
+
+    #[test]
+    fn round_trip_through_bank_simulator_format() {
+        // Converted records satisfy the text format's sorting invariant.
+        let map = AddressMap::paper_default();
+        let addr = map.encode(crate::addr::Location { bank: 0, row: 5, column: 3 });
+        let reqs: Vec<RamulatorRequest> = (0..10)
+            .map(|_| RamulatorRequest { bubble: 10, read_addr: addr, write_addr: None })
+            .collect();
+        let records = convert(&reqs, &ConvertConfig::default());
+        let text = crate::format::write_trace(&records);
+        assert_eq!(crate::format::parse_trace(&text).expect("parses"), records);
+    }
+}

@@ -1,0 +1,75 @@
+//! Trace records.
+
+use serde::{Deserialize, Serialize};
+
+/// A memory operation kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Read access.
+    Read,
+    /// Write access.
+    Write,
+}
+
+impl Op {
+    /// Single-letter tag used by the text trace format.
+    pub fn tag(self) -> char {
+        match self {
+            Op::Read => 'R',
+            Op::Write => 'W',
+        }
+    }
+
+    /// Parses a single-letter tag.
+    pub fn from_tag(tag: char) -> Option<Op> {
+        match tag {
+            'R' | 'r' => Some(Op::Read),
+            'W' | 'w' => Some(Op::Write),
+            _ => None,
+        }
+    }
+}
+
+/// One memory access: a cycle timestamp, an operation, and the target
+/// row within the simulated bank.
+///
+/// Traces in this workspace are bank-local and row-granular: the cycle-
+/// level simulator models one bank, and refresh interactions happen at
+/// row granularity (an activation fully restores the whole row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Memory-controller cycle at which the request arrives.
+    pub cycle: u64,
+    /// Operation kind.
+    pub op: Op,
+    /// Target row index within the bank.
+    pub row: u32,
+}
+
+impl TraceRecord {
+    /// Creates a record.
+    pub fn new(cycle: u64, op: Op, row: u32) -> Self {
+        TraceRecord { cycle, op, row }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_round_trip() {
+        for op in [Op::Read, Op::Write] {
+            assert_eq!(Op::from_tag(op.tag()), Some(op));
+        }
+        assert_eq!(Op::from_tag('x'), None);
+        assert_eq!(Op::from_tag('r'), Some(Op::Read));
+    }
+
+    #[test]
+    fn records_are_value_types() {
+        let a = TraceRecord::new(10, Op::Read, 42);
+        let b = a;
+        assert_eq!(a, b);
+    }
+}

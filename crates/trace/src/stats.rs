@@ -1,0 +1,128 @@
+//! Trace statistics relevant to refresh scheduling.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::{Op, TraceRecord};
+
+/// Aggregate statistics of a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total accesses.
+    pub accesses: usize,
+    /// Reads.
+    pub reads: usize,
+    /// Writes.
+    pub writes: usize,
+    /// Distinct rows touched.
+    pub rows_touched: usize,
+    /// Last cycle in the trace (0 for an empty trace).
+    pub last_cycle: u64,
+    /// Mean accesses per touched row.
+    pub mean_accesses_per_row: f64,
+}
+
+impl TraceStats {
+    /// Computes statistics over a trace.
+    pub fn from_records<'a, I: IntoIterator<Item = &'a TraceRecord>>(records: I) -> Self {
+        let mut accesses = 0usize;
+        let mut reads = 0usize;
+        let mut last_cycle = 0u64;
+        let mut per_row: HashMap<u32, usize> = HashMap::new();
+        for r in records {
+            accesses += 1;
+            if r.op == Op::Read {
+                reads += 1;
+            }
+            last_cycle = last_cycle.max(r.cycle);
+            *per_row.entry(r.row).or_insert(0) += 1;
+        }
+        let rows_touched = per_row.len();
+        TraceStats {
+            accesses,
+            reads,
+            writes: accesses - reads,
+            rows_touched,
+            last_cycle,
+            mean_accesses_per_row: if rows_touched == 0 {
+                0.0
+            } else {
+                accesses as f64 / rows_touched as f64
+            },
+        }
+    }
+}
+
+/// Per-window row coverage: for consecutive windows of `window_cycles`,
+/// the fraction of `bank_rows` that saw at least one access. This is the
+/// quantity that bounds VRL-Access's advantage over plain VRL.
+pub fn window_coverage<'a, I: IntoIterator<Item = &'a TraceRecord>>(
+    records: I,
+    window_cycles: u64,
+    bank_rows: u32,
+) -> Vec<f64> {
+    assert!(window_cycles > 0 && bank_rows > 0, "invalid coverage spec");
+    let mut windows: Vec<std::collections::HashSet<u32>> = Vec::new();
+    for r in records {
+        let idx = (r.cycle / window_cycles) as usize;
+        while windows.len() <= idx {
+            windows.push(Default::default());
+        }
+        windows[idx].insert(r.row);
+    }
+    windows.iter().map(|w| w.len() as f64 / bank_rows as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{Workload, WorkloadSpec};
+
+    #[test]
+    fn stats_count_correctly() {
+        let records = vec![
+            TraceRecord::new(1, Op::Read, 10),
+            TraceRecord::new(2, Op::Write, 10),
+            TraceRecord::new(3, Op::Read, 20),
+        ];
+        let s = TraceStats::from_records(&records);
+        assert_eq!(s.accesses, 3);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.rows_touched, 2);
+        assert_eq!(s.last_cycle, 3);
+        assert!((s.mean_accesses_per_row - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let s = TraceStats::from_records(&[]);
+        assert_eq!(s.accesses, 0);
+        assert_eq!(s.mean_accesses_per_row, 0.0);
+    }
+
+    #[test]
+    fn coverage_splits_windows() {
+        let records = vec![
+            TraceRecord::new(10, Op::Read, 0),
+            TraceRecord::new(20, Op::Read, 1),
+            TraceRecord::new(150, Op::Read, 0),
+        ];
+        let cov = window_coverage(&records, 100, 4);
+        assert_eq!(cov.len(), 2);
+        assert!((cov[0] - 0.5).abs() < 1e-12); // rows 0,1 of 4
+        assert!((cov[1] - 0.25).abs() < 1e-12); // row 0 of 4
+    }
+
+    #[test]
+    fn bgsave_covers_more_rows_than_swaptions() {
+        let make = |name: &str| {
+            let spec = WorkloadSpec::parsec(name).expect("known");
+            let records: Vec<TraceRecord> =
+                Workload::new(spec, 2048, 5).records(5.0).collect();
+            TraceStats::from_records(&records).rows_touched
+        };
+        assert!(make("bgsave") > 3 * make("swaptions"));
+    }
+}

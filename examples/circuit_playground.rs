@@ -1,0 +1,57 @@
+//! Exploring the analytical refresh model: charge restoration, sense
+//! margins, MPRSF, and a live comparison against the transient simulator.
+//!
+//! Run with: `cargo run --release --example circuit_playground`
+
+use vrl::circuit::model::AnalyticalModel;
+use vrl::circuit::tech::{BankGeometry, Technology};
+use vrl::circuit::validation::compare_equalization;
+use vrl::circuit::DataPattern;
+use vrl::core::mprsf::{Mprsf, MprsfCalculator};
+
+fn main() {
+    let tech = Technology::n90();
+    let model = AnalyticalModel::new(tech.clone());
+
+    // Observation 1: the charge restoration curve (Figure 1a).
+    println!("charge restoration during a full refresh:");
+    for target in [0.80, 0.90, 0.95, 0.99] {
+        let frac = model.time_fraction_to_charge_fraction(target);
+        println!("  {:>4.0}% of charge by {:>5.1}% of tRFC", target * 100.0, frac * 100.0);
+    }
+
+    // Data-pattern-dependent sense margins (the coupling model).
+    println!("\nworst-case sense margin per data pattern (fully charged cell):");
+    for pattern in DataPattern::characterization_set() {
+        let margin = model.coupling().worst_case_margin(pattern, 1.0);
+        println!("  {:>7}: {:.1} mV", pattern.label(), margin * 1e3);
+    }
+    println!("sense threshold θ = {:.3} of Vdd", model.sense_threshold());
+
+    // MPRSF across the retention spectrum (Observation 2).
+    println!("\nMPRSF at a 256 ms refresh period:");
+    let calc = MprsfCalculator::new(&model, 0.0);
+    for retention in [256.0, 400.0, 700.0, 1200.0, 2500.0, 10_000.0] {
+        let m = calc.mprsf(retention, 256.0);
+        let shown = match m {
+            Mprsf::Finite(v) => v.to_string(),
+            Mprsf::Unbounded => "unbounded".to_owned(),
+        };
+        println!("  retention {retention:>7.0} ms -> {shown} partial refreshes");
+    }
+
+    // Validate the two-phase equalization model against the transient
+    // simulator (Figure 5).
+    let cmp = compare_equalization(&tech, 1e-9, 50).expect("transient simulation");
+    println!(
+        "\nequalization model vs transient reference: {:.1} mV RMS (Li et al.: {:.1} mV)",
+        cmp.two_phase_rms() * 1e3,
+        cmp.single_cell_rms() * 1e3
+    );
+
+    // Geometry scaling (Table 1).
+    println!("\npre-sensing delay by bank geometry (our model):");
+    for geometry in BankGeometry::table1_configs() {
+        println!("  {:>10}: {} cycles", geometry.to_string(), model.presensing_cycles(geometry));
+    }
+}

@@ -1,0 +1,54 @@
+//! Auditing a refresh plan's data integrity — including what happens
+//! when the plan is too aggressive.
+//!
+//! Run with: `cargo run --release --example integrity_audit`
+
+use vrl::circuit::model::AnalyticalModel;
+use vrl::circuit::tech::Technology;
+use vrl::core::physics::ModelPhysics;
+use vrl::core::plan::RefreshPlan;
+use vrl::dram::integrity::IntegrityChecker;
+use vrl::dram::policy::Vrl;
+use vrl::dram::sim::{SimConfig, Simulator};
+use vrl::dram::TimingParams;
+use vrl::retention::distribution::RetentionDistribution;
+use vrl::retention::profile::BankProfile;
+
+fn audit(name: &str, mprsf: Vec<u8>, profile: &BankProfile, model: &AnalyticalModel) {
+    let bins = vrl::retention::binning::BinningTable::from_profile(profile);
+    let retention: Vec<f64> = profile.iter().map(|r| r.weakest_ms).collect();
+    let mut checker =
+        IntegrityChecker::new(ModelPhysics::new(model), TimingParams::paper_default(), retention);
+    let mut sim = Simulator::new(
+        SimConfig::with_rows(profile.row_count() as u32),
+        Vrl::new(bins, mprsf),
+    );
+    let stats = sim.run_observed(std::iter::empty(), 2048.0, &mut checker);
+    println!(
+        "{name:>24}: {:>8} refresh-busy cycles, {} integrity violations",
+        stats.refresh_busy_cycles,
+        checker.violations().len()
+    );
+    if let Some(v) = checker.violations().first() {
+        println!(
+            "{:>24}  first violation: row {} dropped to {:.1}% of Vdd",
+            "", v.row, v.charge * 100.0
+        );
+    }
+}
+
+fn main() {
+    let model = AnalyticalModel::new(Technology::n90());
+    let profile = BankProfile::generate(&RetentionDistribution::liu_et_al(), 256, 32, 9);
+
+    // The computed plan: safe by construction.
+    let plan = RefreshPlan::build(&model, &profile, 2, 0.0);
+    audit("computed MPRSF", plan.mprsf().to_vec(), &profile, &model);
+
+    // A reckless plan: force maximum partials on every row regardless of
+    // retention — the checker must catch the weak rows losing data.
+    audit("reckless MPRSF = 3", vec![3; profile.row_count()], &profile, &model);
+
+    // And the fully conservative plan: MPRSF 0 everywhere (pure RAIDR).
+    audit("conservative MPRSF = 0", vec![0; profile.row_count()], &profile, &model);
+}

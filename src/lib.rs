@@ -1,0 +1,42 @@
+//! # vrl — the VRL-DRAM reproduction workspace facade
+//!
+//! One-stop access to every crate of the reproduction of *VRL-DRAM:
+//! Improving DRAM Performance via Variable Refresh Latency* (Das, Hassan,
+//! Mutlu — DAC 2018):
+//!
+//! * [`core`] (`vrl-dram`) — the paper's mechanism: MPRSF, τ_partial
+//!   selection, Algorithm 1 planning, end-to-end experiments,
+//! * [`circuit`] — the Section 2 analytical refresh model,
+//! * [`spice`] — the transient circuit simulator ("SPICE" reference),
+//! * [`retention`] — retention distributions, profiles, binning, leakage,
+//! * [`trace`] — trace formats and synthetic PARSEC workloads,
+//! * [`dram`] — the cycle-level bank/rank simulator and refresh policies,
+//! * [`power`] — IDD-based energy model,
+//! * [`area`] — 90 nm gate-level area model.
+//!
+//! This crate also hosts the cross-crate integration tests (`tests/`) and
+//! the runnable examples (`examples/`). See the workspace `README.md` for
+//! the architecture overview and `EXPERIMENTS.md` for the paper-vs-
+//! measured results.
+//!
+//! # Example
+//!
+//! ```
+//! use vrl::core::experiment::{Experiment, ExperimentConfig};
+//!
+//! let config = ExperimentConfig { rows: 128, duration_ms: 128.0, ..Default::default() };
+//! let experiment = Experiment::new(config);
+//! let row = experiment.compare("x264").expect("known benchmark");
+//! assert!(row.vrl_normalized < 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use vrl_area as area;
+pub use vrl_circuit as circuit;
+pub use vrl_dram as core;
+pub use vrl_dram_sim as dram;
+pub use vrl_power as power;
+pub use vrl_retention as retention;
+pub use vrl_spice as spice;
+pub use vrl_trace as trace;

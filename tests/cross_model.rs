@@ -1,0 +1,100 @@
+//! Cross-model consistency: the closed-form analytical model against the
+//! transient circuit simulator, built from the same technology
+//! parameters.
+
+use vrl::circuit::charge_sharing::ChargeSharingModel;
+use vrl::circuit::model::AnalyticalModel;
+use vrl::circuit::tech::{BankGeometry, Technology};
+use vrl::circuit::validation::{compare_equalization, measure_presensing};
+use vrl::spice::circuits::{charge_sharing_array, sense_restore_circuit, SenseTiming};
+use vrl::spice::TransientSpec;
+
+#[test]
+fn equalization_model_tracks_transient_within_60mv() {
+    let cmp = compare_equalization(&Technology::n90(), 2e-9, 80).expect("simulates");
+    assert!(cmp.two_phase_rms() < 0.06, "rms = {} V", cmp.two_phase_rms());
+    assert!(cmp.two_phase_rms() < cmp.single_cell_rms());
+}
+
+#[test]
+fn charge_sharing_final_swing_matches_divider() {
+    // The transient final bitline level must match the analytical
+    // capacitive-divider limit for a solo cell.
+    let tech = Technology::n90();
+    let geometry = BankGeometry::operational_segment();
+    let params = tech.to_spice_params(geometry);
+    let (ckt, nodes) = charge_sharing_array(&params, &[true], 1e-12);
+    let res = ckt.run_transient(TransientSpec::new(5e-12, 30e-9)).expect("runs");
+    let v_final = res.final_voltage(nodes.bitlines[0]);
+
+    let model = ChargeSharingModel::new(&tech, geometry);
+    let expected = tech.veq() + model.divider_gain() * (tech.vdd - tech.veq());
+    assert!(
+        (v_final - expected).abs() < 0.03,
+        "transient {v_final} vs analytical {expected}"
+    );
+}
+
+#[test]
+fn presensing_model_tracks_transient_within_table1_band() {
+    // Table 1's claim: our model within 0–12.5% of the reference.
+    let tech = Technology::n90();
+    for geometry in BankGeometry::table1_configs() {
+        let window = if geometry.cols >= 128 { 17 } else { 9 };
+        let row = measure_presensing(&tech, geometry, window).expect("simulates");
+        let err = (row.our_cycles as f64 - row.spice_cycles as f64).abs()
+            / row.spice_cycles as f64;
+        assert!(err <= 0.15, "{}: ours {} vs spice {}", geometry, row.our_cycles, row.spice_cycles);
+        // And the analytical model is always orders of magnitude faster.
+        assert!(row.our_seconds * 100.0 < row.spice_seconds);
+    }
+}
+
+#[test]
+fn restore_tail_is_slow_in_both_models() {
+    // Observation 1 must hold in the transient simulator too: restoring
+    // the last few percent of cell charge takes a disproportionate time.
+    let tech = Technology::n90();
+    let params = tech.to_spice_params(BankGeometry::operational_segment());
+    let (ckt, nodes) = sense_restore_circuit(&params, 0.55, SenseTiming::default());
+    let res = ckt.run_transient(TransientSpec::new(10e-12, 60e-9)).expect("runs");
+    let wf = res.waveform(nodes.cell);
+    let v_end = wf.last_value();
+    let cross = |frac: f64| {
+        wf.first_crossing(frac * v_end, vrl::spice::waveform::CrossingDirection::Rising)
+            .expect("reaches the level")
+    };
+    let t80 = cross(0.80);
+    let t95 = cross(0.95);
+    let t99 = cross(0.99);
+    assert!(t99 - t95 > 0.3 * (t95 - t80), "tail too fast: {t80:e} {t95:e} {t99:e}");
+
+    // The analytical model agrees qualitatively.
+    let model = AnalyticalModel::new(tech);
+    let m95 = model.time_fraction_to_charge_fraction(0.95);
+    let m99 = model.time_fraction_to_charge_fraction(0.995);
+    assert!(m99 - m95 > 0.05);
+}
+
+#[test]
+fn opposite_neighbors_hurt_margin_in_both_models() {
+    let tech = Technology::n90();
+    let geometry = BankGeometry::operational_segment();
+    let params = tech.to_spice_params(geometry);
+
+    // Transient: victim with same-data vs opposite-data neighbors.
+    let run = |pattern: &[bool]| {
+        let (ckt, nodes) = charge_sharing_array(&params, pattern, 1e-12);
+        let res = ckt.run_transient(TransientSpec::new(5e-12, 30e-9)).expect("runs");
+        res.final_voltage(nodes.bitlines[1]) - tech.veq()
+    };
+    let same = run(&[true, true, true]);
+    let opposite = run(&[false, true, false]);
+    assert!(opposite < same, "transient: {opposite} vs {same}");
+
+    // Analytical: the coupling solve shows the same ordering.
+    let model = AnalyticalModel::new(tech);
+    let v_same = model.coupling().vsense(&[true, true, true], &[1.0; 3])[1];
+    let v_opp = model.coupling().vsense(&[false, true, false], &[1.0; 3])[1];
+    assert!(v_opp < v_same, "analytical: {v_opp} vs {v_same}");
+}

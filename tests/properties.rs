@@ -1,0 +1,130 @@
+//! Property-based tests on the core invariants, spanning crates.
+
+use proptest::prelude::*;
+
+use vrl::circuit::model::AnalyticalModel;
+use vrl::circuit::tech::Technology;
+use vrl::circuit::trfc::RefreshKind;
+use vrl::core::mprsf::{Mprsf, MprsfCalculator};
+use vrl::core::plan::RefreshPlan;
+use vrl::retention::binning::{BinningTable, RefreshBin};
+use vrl::retention::leakage::LeakageModel;
+use vrl::retention::profile::BankProfile;
+use vrl::trace::gen::{AccessPattern, Workload, WorkloadSpec};
+
+fn model() -> AnalyticalModel {
+    AnalyticalModel::new(Technology::n90())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Binning never assigns a period longer than the row's retention.
+    #[test]
+    fn binning_is_always_safe(retentions in prop::collection::vec(64.0f64..5000.0, 1..64)) {
+        let profile = BankProfile::from_rows(retentions.clone(), 32);
+        let bins = BinningTable::from_profile(&profile);
+        for (i, r) in retentions.iter().enumerate() {
+            prop_assert!(bins.bin_of(i).period_ms() <= *r);
+        }
+    }
+
+    /// The refresh transfer function is monotone and contractive: more
+    /// starting charge in, more (but bounded) charge out.
+    #[test]
+    fn refresh_transfer_is_monotone(a in 0.5f64..0.95, b in 0.5f64..0.95) {
+        let m = model();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        for kind in [RefreshKind::Full, RefreshKind::Partial] {
+            let out_lo = m.fraction_after_refresh(kind, lo);
+            let out_hi = m.fraction_after_refresh(kind, hi);
+            prop_assert!(out_hi + 1e-9 >= out_lo);
+            prop_assert!(out_hi <= 1.0);
+            // A refresh can *net remove* charge from a nearly-full cell
+            // (charge sharing drains into the bitline and a short restore
+            // window does not recover it), but it can never do worse than
+            // the post-sharing level.
+            let vdd = m.technology().vdd;
+            let share_floor = m.post_share_voltage(lo * vdd) / vdd;
+            prop_assert!(out_lo + 1e-9 >= share_floor, "refresh below the sharing floor");
+        }
+    }
+
+    /// Leakage composes: leaking t1 then t2 equals leaking t1+t2.
+    #[test]
+    fn leakage_composes(
+        start in 0.6f64..0.95,
+        t1 in 1.0f64..200.0,
+        t2 in 1.0f64..200.0,
+        retention in 100.0f64..5000.0,
+    ) {
+        let l = LeakageModel::new(0.95, 0.6);
+        let split = l.charge_after(l.charge_after(start, t1, retention), t2, retention);
+        let joint = l.charge_after(start, t1 + t2, retention);
+        prop_assert!((split - joint).abs() < 1e-12);
+    }
+
+    /// MPRSF is monotone in retention for a fixed period.
+    #[test]
+    fn mprsf_monotone_in_retention(base in 256.0f64..4000.0, delta in 1.0f64..4000.0) {
+        let calc = MprsfCalculator::new(&model(), 0.0);
+        let as_num = |m: Mprsf| match m {
+            Mprsf::Finite(v) => v as u64,
+            Mprsf::Unbounded => u64::MAX,
+        };
+        let weak = as_num(calc.mprsf(base, 256.0));
+        let strong = as_num(calc.mprsf(base + delta, 256.0));
+        prop_assert!(strong >= weak, "{strong} < {weak} at base {base} + {delta}");
+    }
+
+    /// Plans built from arbitrary profiles amortize between τ_partial and
+    /// τ_full and have one MPRSF per row.
+    #[test]
+    fn plans_are_well_formed(retentions in prop::collection::vec(64.0f64..20_000.0, 4..48)) {
+        let profile = BankProfile::from_rows(retentions, 32);
+        let plan = RefreshPlan::build(&model(), &profile, 2, 0.0);
+        prop_assert_eq!(plan.mprsf().len(), profile.row_count());
+        prop_assert!(plan.mprsf().iter().all(|&m| m <= 3));
+        let mean = plan.mean_refresh_cycles(19, 11);
+        prop_assert!((11.0..=19.0).contains(&mean));
+    }
+
+    /// Generated traces are time-sorted, in-range, and deterministic.
+    #[test]
+    fn traces_are_well_formed(
+        footprint in 0.05f64..1.0,
+        zipf in 0.0f64..1.5,
+        intensity in 0.5f64..8.0,
+        seed in 0u64..1000,
+    ) {
+        let spec = WorkloadSpec {
+            name: "prop".into(),
+            footprint,
+            pattern: AccessPattern::Zipf(zipf),
+            read_fraction: 0.7,
+            accesses_per_us: intensity,
+        };
+        let gen = |s| Workload::new(spec.clone(), 1024, s)
+            .records(2.0)
+            .collect::<Vec<_>>();
+        let trace = gen(seed);
+        let mut prev = 0;
+        for r in &trace {
+            prop_assert!(r.cycle >= prev);
+            prev = r.cycle;
+            prop_assert!(r.row < 1024);
+        }
+        prop_assert_eq!(trace, gen(seed));
+    }
+
+    /// The leakage/refresh loop for a bin-safe row never dips below the
+    /// threshold before the first refresh.
+    #[test]
+    fn first_period_is_always_safe(retention in 64.0f64..50_000.0) {
+        let m = model();
+        let bin = RefreshBin::for_retention(retention);
+        let leakage = LeakageModel::new(m.full_charge_fraction(), m.sense_threshold());
+        let q = leakage.charge_after(m.full_charge_fraction(), bin.period_ms(), retention);
+        prop_assert!(q >= m.sense_threshold() - 1e-9);
+    }
+}

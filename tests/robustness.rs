@@ -1,0 +1,71 @@
+//! Robustness: the headline results must not depend on the particular
+//! random profile or trace seed.
+
+use vrl::core::experiment::{Experiment, ExperimentConfig};
+use vrl::core::overhead::vrl_normalized;
+use vrl::core::plan::RefreshPlan;
+use vrl::circuit::model::AnalyticalModel;
+use vrl::circuit::tech::Technology;
+use vrl::retention::distribution::RetentionDistribution;
+use vrl::retention::profile::BankProfile;
+
+#[test]
+fn vrl_benefit_is_stable_across_profile_seeds() {
+    let model = AnalyticalModel::new(Technology::n90());
+    let mut ratios = Vec::new();
+    for seed in [1, 7, 42, 1234, 99999] {
+        let profile = BankProfile::generate(&RetentionDistribution::liu_et_al(), 4096, 32, seed);
+        let plan = RefreshPlan::build(&model, &profile, 2, 0.0);
+        ratios.push(vrl_normalized(&plan, 19, 11));
+    }
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    for r in &ratios {
+        assert!(
+            (r - mean).abs() < 0.02,
+            "seed-to-seed spread too large: {ratios:?}"
+        );
+    }
+    // And the mean sits in the paper's band.
+    assert!((0.70..=0.83).contains(&mean), "mean ratio {mean}");
+}
+
+#[test]
+fn vrl_access_ordering_is_stable_across_trace_seeds() {
+    for seed in [3, 17, 2024] {
+        let e = Experiment::new(ExperimentConfig {
+            rows: 1024,
+            duration_ms: 1024.0,
+            seed,
+            ..Default::default()
+        });
+        let row = e.compare("streamcluster").expect("known");
+        assert!(row.vrl_normalized < 1.0, "seed {seed}: {row:?}");
+        assert!(row.vrl_access_normalized <= row.vrl_normalized + 1e-9, "seed {seed}");
+    }
+}
+
+#[test]
+fn bigger_banks_converge_to_the_analytic_ratio() {
+    // Sampling noise shrinks with bank size; the simulated ratio must
+    // approach the closed-form one.
+    let model = AnalyticalModel::new(Technology::n90());
+    let dist = RetentionDistribution::liu_et_al();
+    let deviation = |rows: usize| {
+        let mut worst: f64 = 0.0;
+        for seed in [5, 6] {
+            let profile = BankProfile::generate(&dist, rows, 32, seed);
+            let plan = RefreshPlan::build(&model, &profile, 2, 0.0);
+            let r = vrl_normalized(&plan, 19, 11);
+            let profile_big = BankProfile::generate(&dist, rows, 32, seed + 100);
+            let plan_big = RefreshPlan::build(&model, &profile_big, 2, 0.0);
+            worst = worst.max((r - vrl_normalized(&plan_big, 19, 11)).abs());
+        }
+        worst
+    };
+    let small = deviation(256);
+    let large = deviation(8192);
+    assert!(
+        large < small + 0.01,
+        "seed sensitivity should shrink with size: {small} vs {large}"
+    );
+}
