@@ -67,7 +67,10 @@ impl GateCount {
 
     /// Total NAND2 equivalents.
     pub fn nand2_total(&self) -> f64 {
-        self.entries.iter().map(|(g, n)| g.nand2_equivalents() * *n as f64).sum()
+        self.entries
+            .iter()
+            .map(|(g, n)| g.nand2_equivalents() * *n as f64)
+            .sum()
     }
 }
 
@@ -77,7 +80,13 @@ mod tests {
 
     #[test]
     fn dff_is_biggest_simple_cell() {
-        for g in [Gate::Nand2, Gate::Inv, Gate::Xor2, Gate::Mux2, Gate::HalfAdder] {
+        for g in [
+            Gate::Nand2,
+            Gate::Inv,
+            Gate::Xor2,
+            Gate::Mux2,
+            Gate::HalfAdder,
+        ] {
             assert!(Gate::Dff.nand2_equivalents() > g.nand2_equivalents());
         }
     }

@@ -30,7 +30,10 @@ impl AreaModel {
     /// The 90 nm calibration \[37\]: a NAND2 of ~2.72 µm² and an effective
     /// 0.0413 µm² per cell (≈5.1 F², cell + array overheads).
     pub fn n90() -> Self {
-        AreaModel { nand2_um2: 2.72, cell_um2: 0.0413 }
+        AreaModel {
+            nand2_um2: 2.72,
+            cell_um2: 0.0413,
+        }
     }
 
     /// Area of the VRL logic block for a counter width (µm²).

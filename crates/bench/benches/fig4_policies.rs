@@ -11,12 +11,24 @@ fn bench_policies(c: &mut Criterion) {
         ..Default::default()
     });
     for kind in [PolicyKind::Raidr, PolicyKind::Vrl, PolicyKind::VrlAccess] {
-        c.bench_function(&format!("fig4/{}_ferret_1024rows_256ms", kind.name()), |b| {
-            b.iter(|| experiment.run_policy(kind, "ferret").expect("known benchmark"))
-        });
+        c.bench_function(
+            &format!("fig4/{}_ferret_1024rows_256ms", kind.name()),
+            |b| {
+                b.iter(|| {
+                    experiment
+                        .run_policy(kind, "ferret")
+                        .expect("known benchmark")
+                })
+            },
+        );
     }
     c.bench_function("fig4/plan_build_1024rows", |b| {
-        b.iter(|| Experiment::new(ExperimentConfig { rows: 1024, ..Default::default() }))
+        b.iter(|| {
+            Experiment::new(ExperimentConfig {
+                rows: 1024,
+                ..Default::default()
+            })
+        })
     });
 }
 

@@ -15,13 +15,17 @@ fn bench_equalization(c: &mut Criterion) {
     let model = EqualizationModel::new(&tech, BankGeometry::operational_segment());
     c.bench_function("fig5/analytical_waveform_100pts", |b| {
         b.iter(|| {
-            (0..100).map(|i| model.bl_voltage(black_box(i as f64 * 10e-12))).sum::<f64>()
+            (0..100)
+                .map(|i| model.bl_voltage(black_box(i as f64 * 10e-12)))
+                .sum::<f64>()
         })
     });
     c.bench_function("fig5/transient_equalization_1ns", |b| {
         b.iter(|| {
             let (ckt, nodes) = equalization_circuit(&DramCircuitParams::n90(), 1e-12);
-            let res = ckt.run_transient(TransientSpec::new(1e-12, 1e-9)).expect("runs");
+            let res = ckt
+                .run_transient(TransientSpec::new(1e-12, 1e-9))
+                .expect("runs");
             res.final_voltage(nodes.bl)
         })
     });

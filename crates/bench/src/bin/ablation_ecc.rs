@@ -37,10 +37,16 @@ fn main() {
     );
     let mut rows = Vec::new();
     for ecc in [false, true] {
-        let profile = if ecc { base.with_secded_ecc() } else { base.clone() };
+        let profile = if ecc {
+            base.with_secded_ecc()
+        } else {
+            base.clone()
+        };
         let plan = RefreshPlan::build(&model, &profile, 2, 0.0);
-        let bins: Vec<usize> =
-            RefreshBin::ALL.iter().map(|b| plan.bins().count(*b)).collect();
+        let bins: Vec<usize> = RefreshBin::ALL
+            .iter()
+            .map(|b| plan.bins().count(*b))
+            .collect();
         let raidr = raidr_cycles(&plan, 256.0, 19);
         let vrl = vrl_cycles(&plan, 256.0, 19, 11);
         println!(

@@ -23,7 +23,11 @@ struct FrontendRow {
 fn main() {
     vrl_bench::section("Ablation — in-order vs FR-FCFS front end (VRL-Access)");
     let duration_ms = vrl_bench::arg_f64("--duration-ms", 64.0);
-    let config = ExperimentConfig { rows: 512, duration_ms, ..Default::default() };
+    let config = ExperimentConfig {
+        rows: 512,
+        duration_ms,
+        ..Default::default()
+    };
     let experiment = Experiment::new(config);
     let sim_config = SimConfig::with_rows(config.rows);
 
@@ -48,7 +52,9 @@ fn main() {
         let ord = in_order.run(make().records(duration_ms), duration_ms);
 
         let mut frfcfs = FrFcfsController::new(sim_config, experiment.plan().vrl_access(), 32);
-        let fr = frfcfs.run(make().records(duration_ms), duration_ms);
+        let fr = frfcfs
+            .run(make().records(duration_ms), duration_ms)
+            .expect("frfcfs run");
 
         println!(
             "{:>8.0}/µs {:>11.1}% {:>11.1}% {:>12}",

@@ -22,7 +22,10 @@ struct LocalityRow {
 fn main() {
     vrl_bench::section("Ablation — workload footprint vs VRL-Access gain");
     let duration_ms = vrl_bench::arg_f64("--duration-ms", 1024.0);
-    let config = ExperimentConfig { duration_ms, ..Default::default() };
+    let config = ExperimentConfig {
+        duration_ms,
+        ..Default::default()
+    };
     let experiment = Experiment::new(config);
     let _ = PolicyKind::ALL; // evaluated via explicit policies below
 

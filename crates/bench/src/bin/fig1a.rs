@@ -25,7 +25,10 @@ struct Fig1a {
 fn transient_t95(tech: &Technology) -> f64 {
     let trfc_seconds = 19.0 * tech.tck;
     let params = tech.to_spice_params(BankGeometry::operational_segment());
-    let timing = SenseTiming { wl_at: 0.5e-9, sa_at: 3.0e-9 };
+    let timing = SenseTiming {
+        wl_at: 0.5e-9,
+        sa_at: 3.0e-9,
+    };
     let (ckt, nodes) = sense_restore_circuit(&params, 0.5, timing);
     let res = ckt
         .run_transient(TransientSpec::new(10e-12, trfc_seconds))
@@ -50,9 +53,18 @@ fn main() {
     let t95 = model.time_fraction_to_charge_fraction(0.95);
     let t99 = model.time_fraction_to_charge_fraction(0.99);
     let t95_transient = transient_t95(model.technology());
-    println!("\nfraction of tRFC to reach 95% of charge: {:.1}%  (paper: ~60%)", t95 * 100.0);
-    println!("  transient reference:                   {:.1}%", t95_transient * 100.0);
-    println!("fraction of tRFC to reach 99% of charge: {:.1}%", t99 * 100.0);
+    println!(
+        "\nfraction of tRFC to reach 95% of charge: {:.1}%  (paper: ~60%)",
+        t95 * 100.0
+    );
+    println!(
+        "  transient reference:                   {:.1}%",
+        t95_transient * 100.0
+    );
+    println!(
+        "fraction of tRFC to reach 99% of charge: {:.1}%",
+        t99 * 100.0
+    );
     println!(
         "last 5% of charge takes {:.1}% of tRFC  (paper: ~40%)",
         (1.0 - t95) * 100.0

@@ -71,8 +71,14 @@ fn main() {
         );
     }
 
-    let full_min = full_series.iter().map(|(_, q)| *q).fold(f64::INFINITY, f64::min);
-    let partial_min = partial_series.iter().map(|(_, q)| *q).fold(f64::INFINITY, f64::min);
+    let full_min = full_series
+        .iter()
+        .map(|(_, q)| *q)
+        .fold(f64::INFINITY, f64::min);
+    let partial_min = partial_series
+        .iter()
+        .map(|(_, q)| *q)
+        .fold(f64::INFINITY, f64::min);
     let crosses = partial_min < threshold * 100.0;
     println!("\nminimum charge with full refreshes:    {full_min:.1}%  (never loses data)");
     println!("minimum charge with partial refreshes: {partial_min:.1}%");

@@ -61,13 +61,22 @@ fn main() {
     let dist = RetentionDistribution::liu_et_al();
     let mut rng = StdRng::seed_from_u64(42);
     let samples = 8192 * 32;
-    let (cell_buckets, cells_beyond) =
-        bucketize((0..samples).map(|_| dist.sample(&mut rng)));
-    print_hist("per-cell retention (weak tail within the paper's axis):", &cell_buckets, cells_beyond, "cells");
+    let (cell_buckets, cells_beyond) = bucketize((0..samples).map(|_| dist.sample(&mut rng)));
+    print_hist(
+        "per-cell retention (weak tail within the paper's axis):",
+        &cell_buckets,
+        cells_beyond,
+        "cells",
+    );
 
     let profile = BankProfile::generate(&dist, 8192, 32, 42);
     let (row_buckets, rows_beyond) = bucketize(profile.iter().map(|r| r.weakest_ms));
-    print_hist("per-row weakest-cell retention (drives the binning):", &row_buckets, rows_beyond, "rows");
+    print_hist(
+        "per-row weakest-cell retention (drives the binning):",
+        &row_buckets,
+        rows_beyond,
+        "rows",
+    );
 
     vrl_bench::write_json(
         "fig3a",

@@ -20,7 +20,12 @@ fn main() {
     let profile = BankProfile::generate(&dist, 8192, 32, 42);
     let table = BinningTable::from_profile(&profile);
 
-    let paper = [(RefreshBin::Ms64, 68), (RefreshBin::Ms128, 101), (RefreshBin::Ms192, 145), (RefreshBin::Ms256, 7878)];
+    let paper = [
+        (RefreshBin::Ms64, 68),
+        (RefreshBin::Ms128, 101),
+        (RefreshBin::Ms192, 145),
+        (RefreshBin::Ms256, 7878),
+    ];
     println!("{:>18} {:>12} {:>12}", "refresh period", "ours", "paper");
     let mut rows = Vec::new();
     for (bin, expected) in paper {

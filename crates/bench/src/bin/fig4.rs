@@ -22,7 +22,10 @@ struct Fig4 {
 fn main() {
     vrl_bench::section("Figure 4 — refresh performance overhead (normalized to RAIDR)");
     let duration_ms = vrl_bench::arg_f64("--duration-ms", 2048.0);
-    let experiment = Experiment::new(ExperimentConfig { duration_ms, ..Default::default() });
+    let experiment = Experiment::new(ExperimentConfig {
+        duration_ms,
+        ..Default::default()
+    });
 
     println!(
         "bank: {} rows, {} ms simulated, nbits = {}\n",
@@ -47,7 +50,10 @@ fn main() {
     }
     let n = rows.len() as f64;
     let (avg_v, avg_va) = (sum_v / n, sum_va / n);
-    println!("{:>14} {:>8.3} {:>8.3} {:>12.3}", "AVERAGE", 1.0, avg_v, avg_va);
+    println!(
+        "{:>14} {:>8.3} {:>8.3} {:>12.3}",
+        "AVERAGE", 1.0, avg_v, avg_va
+    );
     println!(
         "\nVRL reduction vs RAIDR:        {:.1}%  (paper: 23%)",
         (1.0 - avg_v) * 100.0

@@ -19,7 +19,10 @@ struct PowerRow {
 fn main() {
     vrl_bench::section("Refresh power vs RAIDR (Section 4.1)");
     let duration_ms = vrl_bench::arg_f64("--duration-ms", 1024.0);
-    let experiment = Experiment::new(ExperimentConfig { duration_ms, ..Default::default() });
+    let experiment = Experiment::new(ExperimentConfig {
+        duration_ms,
+        ..Default::default()
+    });
     let power = *experiment.power();
 
     println!(
@@ -29,10 +32,17 @@ fn main() {
     let mut rows = Vec::new();
     let (mut sum_r, mut sum_v, mut sum_va) = (0.0, 0.0, 0.0);
     for name in vrl_trace::WorkloadSpec::BENCHMARKS {
-        let raidr = power.breakdown(&experiment.run_policy(PolicyKind::Raidr, name).expect("known"));
+        let raidr = power.breakdown(
+            &experiment
+                .run_policy(PolicyKind::Raidr, name)
+                .expect("known"),
+        );
         let vrl = power.breakdown(&experiment.run_policy(PolicyKind::Vrl, name).expect("known"));
-        let va =
-            power.breakdown(&experiment.run_policy(PolicyKind::VrlAccess, name).expect("known"));
+        let va = power.breakdown(
+            &experiment
+                .run_policy(PolicyKind::VrlAccess, name)
+                .expect("known"),
+        );
         println!(
             "{:>14} {:>12.4} {:>12.4} {:>14.4}",
             name, raidr.refresh_mw, vrl.refresh_mw, va.refresh_mw
@@ -51,7 +61,10 @@ fn main() {
         "\nVRL-DRAM refresh power reduction vs RAIDR: {:.1}%  (paper: ~12%)",
         (1.0 - sum_va / sum_r) * 100.0
     );
-    println!("plain VRL refresh power reduction: {:.1}%", (1.0 - sum_v / sum_r) * 100.0);
+    println!(
+        "plain VRL refresh power reduction: {:.1}%",
+        (1.0 - sum_v / sum_r) * 100.0
+    );
 
     vrl_bench::write_json("power", &rows);
 }

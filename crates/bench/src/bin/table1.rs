@@ -66,9 +66,7 @@ fn main() {
 
     let max_err = rows
         .iter()
-        .map(|r| {
-            (r.our_cycles as f64 - r.spice_cycles as f64).abs() / r.spice_cycles as f64
-        })
+        .map(|r| (r.our_cycles as f64 - r.spice_cycles as f64).abs() / r.spice_cycles as f64)
         .fold(0.0, f64::max);
     println!(
         "\nour model vs transient reference: max error {:.1}%  (paper: 0–12.5%)",

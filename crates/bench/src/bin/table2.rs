@@ -23,7 +23,10 @@ fn main() {
         );
         rows.push(r);
     }
-    println!("\nbank area: {:.0} µm² (8192 × 32 cells at 90 nm)", model.bank_area(8192, 32));
+    println!(
+        "\nbank area: {:.0} µm² (8192 × 32 cells at 90 nm)",
+        model.bank_area(8192, 32)
+    );
 
     vrl_bench::write_json("table2", &rows);
 }

@@ -48,7 +48,11 @@ fn main() {
         "τpost", "τ_partial", "mean cycles/ref", "vs RAIDR"
     );
     for c in &sweep.candidates {
-        let marker = if c.total_cycles == sweep.best_candidate().total_cycles { " <- best" } else { "" };
+        let marker = if c.total_cycles == sweep.best_candidate().total_cycles {
+            " <- best"
+        } else {
+            ""
+        };
         println!(
             "{:>8} {:>12} {:>16.2} {:>13.1}%{marker}",
             c.post_cycles,
@@ -66,7 +70,12 @@ fn main() {
     vrl_bench::write_json(
         "tau_select",
         &TauSelect {
-            candidates: sweep.candidates.iter().copied().map(Candidate::from).collect(),
+            candidates: sweep
+                .candidates
+                .iter()
+                .copied()
+                .map(Candidate::from)
+                .collect(),
             best_total_cycles: best.total_cycles,
         },
     );

@@ -19,6 +19,7 @@
 //! | `ablation_margin` | guard-band ablation |
 //! | `ablation_nbits`  | counter-width ablation |
 //! | `ablation_locality` | trace-locality sensitivity of VRL-Access |
+//! | `ablation_faults` | fault rate × runtime guard: overhead vs data loss |
 //!
 //! Criterion benches (`cargo bench`) time the underlying machinery:
 //! `fig1_charge`, `fig4_policies`, `table1_presensing`, `model_vs_spice`.
@@ -33,8 +34,7 @@ use serde::Serialize;
 /// Directory where experiment artifacts are written
 /// (`target/experiments/`), created on demand.
 pub fn experiments_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/experiments");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
     fs::create_dir_all(&dir).expect("create experiments dir");
     dir
 }

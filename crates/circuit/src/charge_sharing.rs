@@ -89,7 +89,11 @@ impl ChargeSharingModel {
             return 1.0;
         }
         let w = self.dist_weight;
-        let dist = if self.tau_dist > 0.0 { (-t / self.tau_dist).exp() } else { 0.0 };
+        let dist = if self.tau_dist > 0.0 {
+            (-t / self.tau_dist).exp()
+        } else {
+            0.0
+        };
         (1.0 - w) * (-t / self.tau1()).exp() + w * dist
     }
 
@@ -107,7 +111,10 @@ impl ChargeSharingModel {
     ///
     /// Panics if `fraction` is not within `(0, 1)`.
     pub fn settling_time(&self, fraction: f64) -> f64 {
-        assert!(fraction > 0.0 && fraction < 1.0, "fraction must be in (0,1)");
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "fraction must be in (0,1)"
+        );
         let target = 1.0 - fraction;
         // Bracket: U is monotone decreasing; find an upper bound first.
         let mut hi = self.wl_rise + self.r_pre * (self.cs + self.cbl);

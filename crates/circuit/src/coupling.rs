@@ -76,8 +76,11 @@ impl CouplingModel {
         assert_eq!(bits.len(), charges.len(), "bits/charges length mismatch");
         assert!(!bits.is_empty(), "at least one column required");
         let n = bits.len();
-        let rhs: Vec<f64> =
-            bits.iter().zip(charges).map(|(&b, &q)| self.k1 * self.lself(b, q)).collect();
+        let rhs: Vec<f64> = bits
+            .iter()
+            .zip(charges)
+            .map(|(&b, &q)| self.k1 * self.lself(b, q))
+            .collect();
         let lower = vec![-self.k2; n - 1];
         let upper = vec![-self.k2; n - 1];
         let diag = vec![1.0; n];
@@ -135,7 +138,10 @@ mod tests {
     fn k_coefficients_are_physical() {
         let m = model();
         assert!(m.k1() > 0.0 && m.k1() < 1.0);
-        assert!(m.k2() > 0.0 && m.k2() < 0.5, "K2 must keep K diagonally dominant");
+        assert!(
+            m.k2() > 0.0 && m.k2() < 0.5,
+            "K2 must keep K diagonally dominant"
+        );
         assert!(m.k1() > m.k2(), "cell term dominates coupling term");
     }
 

@@ -83,8 +83,14 @@ mod tests {
 
     #[test]
     fn random_is_deterministic_per_seed() {
-        assert_eq!(DataPattern::Random(7).bits(64), DataPattern::Random(7).bits(64));
-        assert_ne!(DataPattern::Random(7).bits(64), DataPattern::Random(8).bits(64));
+        assert_eq!(
+            DataPattern::Random(7).bits(64),
+            DataPattern::Random(7).bits(64)
+        );
+        assert_ne!(
+            DataPattern::Random(7).bits(64),
+            DataPattern::Random(8).bits(64)
+        );
     }
 
     #[test]
@@ -96,8 +102,10 @@ mod tests {
 
     #[test]
     fn labels_are_distinct() {
-        let labels: Vec<&str> =
-            DataPattern::characterization_set().iter().map(|p| p.label()).collect();
+        let labels: Vec<&str> = DataPattern::characterization_set()
+            .iter()
+            .map(|p| p.label())
+            .collect();
         let mut dedup = labels.clone();
         dedup.dedup();
         assert_eq!(labels.len(), dedup.len());

@@ -123,7 +123,8 @@ mod tests {
     fn phase1_is_linear_with_slope_idsat_over_cbl() {
         let m = model();
         let t_half = m.t_o() / 2.0;
-        let expected = 1.2 - m.idsat2() / (Technology::n90().cbl(BankGeometry::paper_default())) * t_half;
+        let expected =
+            1.2 - m.idsat2() / (Technology::n90().cbl(BankGeometry::paper_default())) * t_half;
         assert!((m.bl_voltage(t_half) - expected).abs() < 1e-12);
     }
 

@@ -43,7 +43,14 @@ impl AnalyticalModel {
         let coupling = CouplingModel::new(&tech, seg);
         let sense_amp = SenseAmpModel::new(&tech, seg);
         let restore = RestoreModel::new(&tech, sense_amp.r_post());
-        AnalyticalModel { tech, equalization, charge_sharing, coupling, sense_amp, restore }
+        AnalyticalModel {
+            tech,
+            equalization,
+            charge_sharing,
+            coupling,
+            sense_amp,
+            restore,
+        }
     }
 
     /// The underlying technology.
@@ -117,8 +124,7 @@ impl AnalyticalModel {
     /// restore phase begins (Equation 12 restores from `Vs(τpre)`).
     pub fn post_share_voltage(&self, v: f64) -> f64 {
         let veq = self.tech.veq();
-        let loss =
-            self.presense_settled_fraction() * (1.0 - self.charge_sharing.divider_gain());
+        let loss = self.presense_settled_fraction() * (1.0 - self.charge_sharing.divider_gain());
         v - loss * (v - veq)
     }
 
@@ -202,7 +208,9 @@ impl AnalyticalModel {
             (budget.fixed / 2 + budget.eq + budget.pre + self.sensing_cycles()) as f64;
         let restore_end = restore_start + (budget.post - self.sensing_cycles()) as f64;
         let v_start = self.post_share_voltage(0.5 * self.tech.vdd);
-        let v_end = self.restore.voltage_after(v_start, (restore_end - restore_start) * self.tech.tck);
+        let v_end = self
+            .restore
+            .voltage_after(v_start, (restore_end - restore_start) * self.tech.tck);
         (0..=points)
             .map(|i| {
                 let cycles = total * i as f64 / points as f64;
@@ -255,7 +263,10 @@ mod tests {
     fn full_refresh_restores_high_charge() {
         let m = model();
         let full = m.full_charge_fraction();
-        assert!(full > 0.9, "full refresh should exceed 90% of Vdd, got {full}");
+        assert!(
+            full > 0.9,
+            "full refresh should exceed 90% of Vdd, got {full}"
+        );
         assert!(full <= 1.0);
     }
 
@@ -315,7 +326,12 @@ mod tests {
         let t95 = m.time_fraction_to_charge_fraction(0.95);
         assert!(t95 > 0.45 && t95 < 0.85, "t95 = {t95}");
         let t995 = m.time_fraction_to_charge_fraction(0.995);
-        assert!(t995 - t95 > 0.08, "last 4.5% takes a while: {} vs {}", t995, t95);
+        assert!(
+            t995 - t95 > 0.08,
+            "last 4.5% takes a while: {} vs {}",
+            t995,
+            t95
+        );
     }
 
     #[test]

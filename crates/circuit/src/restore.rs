@@ -182,11 +182,18 @@ mod tests {
         // Observation 1: charging the last few percent takes much longer
         // per unit charge than the start.
         let m = model();
-        let t_to_80 = m.time_to_voltage(0.6, 0.80 * 1.2, 1e-6).expect("reaches 80%");
-        let t_to_95 = m.time_to_voltage(0.6, 0.95 * 1.2, 1e-6).expect("reaches 95%");
+        let t_to_80 = m
+            .time_to_voltage(0.6, 0.80 * 1.2, 1e-6)
+            .expect("reaches 80%");
+        let t_to_95 = m
+            .time_to_voltage(0.6, 0.95 * 1.2, 1e-6)
+            .expect("reaches 95%");
         // 15 percentage points from 80→95 take longer than the 30 points
         // from 50→80.
-        assert!(t_to_95 - t_to_80 > t_to_80, "t80={t_to_80:e}, t95={t_to_95:e}");
+        assert!(
+            t_to_95 - t_to_80 > t_to_80,
+            "t80={t_to_80:e}, t95={t_to_95:e}"
+        );
     }
 
     #[test]
@@ -237,6 +244,9 @@ mod tests {
         let v63 = 0.6 + 0.63 * 0.6;
         let t63_nl = m.time_to_voltage(0.6, v63, 1e-6).expect("nl 63");
         let exp_t95 = t63_nl * ((1.2_f64 - 0.6) / (1.2 - 1.14)).ln();
-        assert!(t95_nl > exp_t95, "nonlinear {t95_nl:e} vs exponential {exp_t95:e}");
+        assert!(
+            t95_nl > exp_t95,
+            "nonlinear {t95_nl:e} vs exponential {exp_t95:e}"
+        );
     }
 }

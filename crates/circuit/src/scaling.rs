@@ -75,7 +75,10 @@ mod tests {
         let base = Technology::n90();
         assert!(t65.vdd < base.vdd);
         assert!(t65.beta_access > base.beta_access);
-        assert!(t65.rbl_per_cell > base.rbl_per_cell, "narrower wires resist more");
+        assert!(
+            t65.rbl_per_cell > base.rbl_per_cell,
+            "narrower wires resist more"
+        );
     }
 
     #[test]
@@ -91,7 +94,10 @@ mod tests {
         let margin45 = (m45.sense_threshold() - 0.5) * m45.technology().vdd;
         // Both are valid models; at minimum they must produce usable
         // thresholds.
-        assert!(m45.sense_threshold() < 0.8, "45 nm still senses: {margin45} vs {margin90}");
+        assert!(
+            m45.sense_threshold() < 0.8,
+            "45 nm still senses: {margin45} vs {margin90}"
+        );
     }
 
     #[test]

@@ -79,7 +79,10 @@ impl SingleCellModel {
     ///
     /// Panics if `fraction` is not in `(0, 1)`.
     pub fn settling_time(&self, fraction: f64) -> f64 {
-        assert!(fraction > 0.0 && fraction < 1.0, "fraction must be in (0,1)");
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "fraction must be in (0,1)"
+        );
         let target = 1.0 - fraction;
         let mut hi = self.r_pre * (self.cs + self.cbl0);
         while self.u(hi) > target {

@@ -24,7 +24,10 @@ impl BankGeometry {
 
     /// The paper's evaluation bank: 8192 × 32.
     pub fn paper_default() -> Self {
-        BankGeometry { rows: 8192, cols: 32 }
+        BankGeometry {
+            rows: 8192,
+            cols: 32,
+        }
     }
 
     /// The *operational* electrical segment: commodity DRAM subdivides a
@@ -33,18 +36,39 @@ impl BankGeometry {
     /// segment. The flat multi-thousand-row geometries of Table 1 are the
     /// paper's modeling-accuracy study, not the operational point.
     pub fn operational_segment() -> Self {
-        BankGeometry { rows: 512, cols: 32 }
+        BankGeometry {
+            rows: 512,
+            cols: 32,
+        }
     }
 
     /// The six Table 1 configurations, in the paper's order.
     pub fn table1_configs() -> [BankGeometry; 6] {
         [
-            BankGeometry { rows: 2048, cols: 32 },
-            BankGeometry { rows: 2048, cols: 128 },
-            BankGeometry { rows: 8192, cols: 32 },
-            BankGeometry { rows: 8192, cols: 128 },
-            BankGeometry { rows: 16384, cols: 32 },
-            BankGeometry { rows: 16384, cols: 128 },
+            BankGeometry {
+                rows: 2048,
+                cols: 32,
+            },
+            BankGeometry {
+                rows: 2048,
+                cols: 128,
+            },
+            BankGeometry {
+                rows: 8192,
+                cols: 32,
+            },
+            BankGeometry {
+                rows: 8192,
+                cols: 128,
+            },
+            BankGeometry {
+                rows: 16384,
+                cols: 32,
+            },
+            BankGeometry {
+                rows: 16384,
+                cols: 128,
+            },
         ]
     }
 
@@ -204,7 +228,10 @@ impl Technology {
 
     /// Converts this technology to the equivalent transient-simulator
     /// parameter set for a geometry (shared physics for validation).
-    pub fn to_spice_params(&self, geometry: BankGeometry) -> vrl_spice::circuits::DramCircuitParams {
+    pub fn to_spice_params(
+        &self,
+        geometry: BankGeometry,
+    ) -> vrl_spice::circuits::DramCircuitParams {
         use vrl_spice::MosParams;
         vrl_spice::circuits::DramCircuitParams {
             vdd: self.vdd,

@@ -35,9 +35,19 @@ pub struct CycleBudget {
 
 impl CycleBudget {
     /// The paper's full-refresh budget: 1 + 2 + 12 + 4 = 19 cycles.
-    pub const FULL: CycleBudget = CycleBudget { eq: 1, pre: 2, post: 12, fixed: 4 };
+    pub const FULL: CycleBudget = CycleBudget {
+        eq: 1,
+        pre: 2,
+        post: 12,
+        fixed: 4,
+    };
     /// The paper's partial-refresh budget: 1 + 2 + 4 + 4 = 11 cycles.
-    pub const PARTIAL: CycleBudget = CycleBudget { eq: 1, pre: 2, post: 4, fixed: 4 };
+    pub const PARTIAL: CycleBudget = CycleBudget {
+        eq: 1,
+        pre: 2,
+        post: 4,
+        fixed: 4,
+    };
 
     /// The budget for a refresh kind.
     pub fn for_kind(kind: RefreshKind) -> CycleBudget {

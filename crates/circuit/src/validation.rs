@@ -46,7 +46,12 @@ impl EqualizationComparison {
 
 fn rms(a: &[f64], b: &[f64]) -> f64 {
     let n = a.len().min(b.len());
-    let sum: f64 = a.iter().zip(b).take(n).map(|(x, y)| (x - y) * (x - y)).sum();
+    let sum: f64 = a
+        .iter()
+        .zip(b)
+        .take(n)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum();
     (sum / n as f64).sqrt()
 }
 
@@ -71,11 +76,16 @@ pub fn compare_equalization(
     let two_phase = EqualizationModel::new(tech, seg);
     let single = SingleCellModel::new(tech);
 
-    let times: Vec<f64> = (0..=points).map(|i| duration * i as f64 / points as f64).collect();
+    let times: Vec<f64> = (0..=points)
+        .map(|i| duration * i as f64 / points as f64)
+        .collect();
     Ok(EqualizationComparison {
         spice_bl: times.iter().map(|&t| bl_wf.sample(t)).collect(),
         two_phase_bl: times.iter().map(|&t| two_phase.bl_voltage(t)).collect(),
-        single_cell_bl: times.iter().map(|&t| single.equalization_voltage(tech.vdd, t)).collect(),
+        single_cell_bl: times
+            .iter()
+            .map(|&t| single.equalization_voltage(tech.vdd, t))
+            .collect(),
         spice_blb: times.iter().map(|&t| blb_wf.sample(t)).collect(),
         two_phase_blb: times.iter().map(|&t| two_phase.blb_voltage(t)).collect(),
         times,

@@ -21,11 +21,16 @@ use vrl_retention::distribution::RetentionDistribution;
 use vrl_retention::profile::BankProfile;
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn flag_parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
-    flag_value(args, flag).and_then(|v| v.parse().ok()).unwrap_or(default)
+    flag_value(args, flag)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn cmd_model() -> ExitCode {
@@ -35,12 +40,18 @@ fn cmd_model() -> ExitCode {
     println!("τ_full    = {} cycles", CycleBudget::FULL.total());
     println!("τ_partial = {} cycles", CycleBudget::PARTIAL.total());
     println!("sensing sub-phases: {} cycles", model.sensing_cycles());
-    println!("full-refresh charge level: {:.1}% of Vdd", model.full_charge_fraction() * 100.0);
+    println!(
+        "full-refresh charge level: {:.1}% of Vdd",
+        model.full_charge_fraction() * 100.0
+    );
     println!(
         "partial-refresh charge level (from full): {:.1}% of Vdd",
         model.partial_charge_fraction() * 100.0
     );
-    println!("sense threshold θ: {:.1}% of Vdd", model.sense_threshold() * 100.0);
+    println!(
+        "sense threshold θ: {:.1}% of Vdd",
+        model.sense_threshold() * 100.0
+    );
     println!(
         "95% of charge restored by {:.1}% of tRFC",
         model.time_fraction_to_charge_fraction(0.95) * 100.0
@@ -106,14 +117,20 @@ fn cmd_plan(args: &[String]) -> ExitCode {
 fn cmd_simulate(args: &[String]) -> ExitCode {
     let Some(benchmark) = args.first().filter(|a| !a.starts_with("--")).cloned() else {
         eprintln!("usage: vrl simulate <benchmark> [--rows N] [--duration-ms D] [--policy P]");
-        eprintln!("benchmarks: {}", vrl_trace::WorkloadSpec::BENCHMARKS.join(", "));
+        eprintln!(
+            "benchmarks: {}",
+            vrl_trace::WorkloadSpec::BENCHMARKS.join(", ")
+        );
         return ExitCode::FAILURE;
     };
     let rows: u32 = flag_parse(args, "--rows", 8192);
     let duration_ms: f64 = flag_parse(args, "--duration-ms", 512.0);
     let policy_name = flag_value(args, "--policy").unwrap_or_else(|| "all".to_owned());
-    let experiment =
-        Experiment::new(ExperimentConfig { rows, duration_ms, ..Default::default() });
+    let experiment = Experiment::new(ExperimentConfig {
+        rows,
+        duration_ms,
+        ..Default::default()
+    });
     let kinds: Vec<PolicyKind> = match policy_name.as_str() {
         "all" => PolicyKind::ALL.to_vec(),
         name => match PolicyKind::ALL.iter().find(|k| k.name() == name) {
@@ -126,7 +143,7 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
     };
     for kind in kinds {
         match experiment.run_policy(kind, &benchmark) {
-            Some(stats) => println!(
+            Ok(stats) => println!(
                 "{:>10}: {:>10} refresh-busy cycles, {:>8} full, {:>8} partial, \
                  {:>10} stall cycles",
                 kind.name(),
@@ -135,9 +152,8 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
                 stats.partial_refreshes,
                 stats.stall_cycles
             ),
-            None => {
-                eprintln!("unknown benchmark '{benchmark}'");
-                eprintln!("benchmarks: {}", vrl_trace::WorkloadSpec::BENCHMARKS.join(", "));
+            Err(err) => {
+                eprintln!("{err}");
                 return ExitCode::FAILURE;
             }
         }

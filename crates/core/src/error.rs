@@ -1,0 +1,71 @@
+//! Typed errors for the experiment layer.
+
+use std::fmt;
+
+/// An error from the experiment harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The requested benchmark name is not in the workload table.
+    UnknownWorkload {
+        /// The name that was asked for.
+        requested: String,
+        /// Every benchmark name the harness knows.
+        known: Vec<String>,
+    },
+    /// The underlying cycle-level simulation failed.
+    Sim(vrl_dram_sim::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownWorkload { requested, known } => {
+                write!(
+                    f,
+                    "unknown workload {requested:?}; known: {}",
+                    known.join(", ")
+                )
+            }
+            Error::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Sim(e) => Some(e),
+            Error::UnknownWorkload { .. } => None,
+        }
+    }
+}
+
+impl From<vrl_dram_sim::Error> for Error {
+    fn from(e: vrl_dram_sim::Error) -> Self {
+        Error::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_workload_lists_alternatives() {
+        let e = Error::UnknownWorkload {
+            requested: "nope".into(),
+            known: vec!["ferret".into(), "vips".into()],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("nope") && msg.contains("ferret") && msg.contains("vips"));
+    }
+
+    #[test]
+    fn sim_errors_convert_and_chain() {
+        let inner = vrl_dram_sim::Error::SchedulerStalled { cycle: 5 };
+        let e: Error = inner.clone().into();
+        assert_eq!(e, Error::Sim(inner));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -4,14 +4,18 @@ use serde::{Deserialize, Serialize};
 
 use vrl_circuit::model::AnalyticalModel;
 use vrl_circuit::tech::Technology;
+use vrl_dram_sim::fault::{FaultConfig, FaultInjector, FaultStats};
+use vrl_dram_sim::guard::{Guard, GuardConfig, GuardStats};
 use vrl_dram_sim::integrity::IntegrityChecker;
+use vrl_dram_sim::policy::AdaptivePolicy;
 use vrl_dram_sim::sim::{NullObserver, SimConfig, SimObserver, Simulator};
-use vrl_dram_sim::{AutoRefresh, SimStats};
+use vrl_dram_sim::{AutoRefresh, SimStats, TimingParams};
 use vrl_power::model::{PowerBreakdown, PowerModel};
 use vrl_retention::distribution::RetentionDistribution;
 use vrl_retention::profile::BankProfile;
 use vrl_trace::{TraceRecord, Workload, WorkloadSpec};
 
+use crate::error::Error;
 use crate::physics::ModelPhysics;
 use crate::plan::RefreshPlan;
 
@@ -30,8 +34,12 @@ pub enum PolicyKind {
 
 impl PolicyKind {
     /// All policies in evaluation order.
-    pub const ALL: [PolicyKind; 4] =
-        [PolicyKind::Auto, PolicyKind::Raidr, PolicyKind::Vrl, PolicyKind::VrlAccess];
+    pub const ALL: [PolicyKind; 4] = [
+        PolicyKind::Auto,
+        PolicyKind::Raidr,
+        PolicyKind::Vrl,
+        PolicyKind::VrlAccess,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -117,7 +125,13 @@ impl Experiment {
             config.seed,
         );
         let plan = RefreshPlan::build(&model, &profile, config.nbits, config.guard_band);
-        Experiment { config, model, profile, plan, power: PowerModel::paper_default() }
+        Experiment {
+            config,
+            model,
+            profile,
+            plan,
+            power: PowerModel::paper_default(),
+        }
     }
 
     /// The configuration.
@@ -145,19 +159,28 @@ impl Experiment {
         &self.power
     }
 
-    fn trace(&self, benchmark: &str) -> Option<vrl_trace::gen::Records> {
-        let spec = WorkloadSpec::parsec(benchmark)?;
+    fn trace(&self, benchmark: &str) -> Result<vrl_trace::gen::Records, Error> {
+        let spec = WorkloadSpec::parsec(benchmark).ok_or_else(|| Error::UnknownWorkload {
+            requested: benchmark.to_owned(),
+            known: WorkloadSpec::BENCHMARKS
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect(),
+        })?;
         let workload = Workload::new(spec, self.config.rows, self.config.seed);
-        Some(workload.records(self.config.duration_ms))
+        Ok(workload.records(self.config.duration_ms))
     }
 
     /// Runs one policy against one benchmark's trace (streamed — traces
     /// are regenerated deterministically per run).
     ///
-    /// Returns `None` for an unknown benchmark name.
-    pub fn run_policy(&self, kind: PolicyKind, benchmark: &str) -> Option<SimStats> {
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownWorkload`] for an unknown benchmark name,
+    /// with the list of known benchmarks.
+    pub fn run_policy(&self, kind: PolicyKind, benchmark: &str) -> Result<SimStats, Error> {
         let trace = self.trace(benchmark)?;
-        Some(self.run_policy_with(kind, trace, &mut NullObserver))
+        Ok(self.run_policy_with(kind, trace, &mut NullObserver))
     }
 
     /// Runs one policy over an explicit trace, reporting events to an
@@ -170,8 +193,9 @@ impl Experiment {
         let sim_config = SimConfig::with_rows(self.config.rows);
         let d = self.config.duration_ms;
         match kind {
-            PolicyKind::Auto => Simulator::new(sim_config, AutoRefresh::new(64.0))
-                .run_observed(trace, d, observer),
+            PolicyKind::Auto => {
+                Simulator::new(sim_config, AutoRefresh::new(64.0)).run_observed(trace, d, observer)
+            }
             PolicyKind::Raidr => {
                 Simulator::new(sim_config, self.plan.raidr()).run_observed(trace, d, observer)
             }
@@ -186,27 +210,35 @@ impl Experiment {
 
     /// Runs a policy under the integrity checker; returns the stats and
     /// the number of charge violations (must be 0 for a sound plan).
-    pub fn run_checked(&self, kind: PolicyKind, benchmark: &str) -> Option<(SimStats, usize)> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownWorkload`] for an unknown benchmark name.
+    pub fn run_checked(
+        &self,
+        kind: PolicyKind,
+        benchmark: &str,
+    ) -> Result<(SimStats, usize), Error> {
         let trace = self.trace(benchmark)?;
         let physics = ModelPhysics::new(&self.model);
         let retention: Vec<f64> = self.profile.iter().map(|r| r.weakest_ms).collect();
-        let mut checker = IntegrityChecker::new(
-            physics,
-            vrl_dram_sim::TimingParams::paper_default(),
-            retention,
-        );
+        let mut checker = IntegrityChecker::new(physics, TimingParams::paper_default(), retention);
         let stats = self.run_policy_with(kind, trace, &mut checker);
-        Some((stats, checker.violations().len()))
+        Ok((stats, checker.violations().len()))
     }
 
     /// The Figure 4 comparison for one benchmark.
-    pub fn compare(&self, benchmark: &str) -> Option<ComparisonRow> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownWorkload`] for an unknown benchmark name.
+    pub fn compare(&self, benchmark: &str) -> Result<ComparisonRow, Error> {
         let raidr = self.run_policy(PolicyKind::Raidr, benchmark)?;
         let vrl = self.run_policy(PolicyKind::Vrl, benchmark)?;
         let vrl_access = self.run_policy(PolicyKind::VrlAccess, benchmark)?;
         let raidr_power: PowerBreakdown = self.power.breakdown(&raidr);
         let va_power: PowerBreakdown = self.power.breakdown(&vrl_access);
-        Some(ComparisonRow {
+        Ok(ComparisonRow {
             benchmark: benchmark.to_owned(),
             raidr_cycles: raidr.refresh_busy_cycles,
             vrl_cycles: vrl.refresh_busy_cycles,
@@ -223,9 +255,102 @@ impl Experiment {
     pub fn figure4(&self) -> Vec<ComparisonRow> {
         WorkloadSpec::BENCHMARKS
             .iter()
-            .filter_map(|name| self.compare(name))
+            .filter_map(|name| self.compare(name).ok())
             .collect()
     }
+
+    /// Runs a policy under injected faults, optionally protected by the
+    /// runtime [`Guard`].
+    ///
+    /// Unguarded runs keep the ground-truth [`IntegrityChecker`] attached
+    /// so silent data loss is visible in
+    /// [`FaultedOutcome::violations`]; guarded runs report corrected /
+    /// uncorrected errors through [`FaultedOutcome::guard`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownWorkload`] for an unknown benchmark name.
+    pub fn run_faulted(
+        &self,
+        kind: PolicyKind,
+        benchmark: &str,
+        faults: &FaultConfig,
+        guard: Option<&GuardConfig>,
+    ) -> Result<FaultedOutcome, Error> {
+        let trace = self.trace(benchmark)?;
+        let profiled: Vec<f64> = self.profile.iter().map(|r| r.weakest_ms).collect();
+        let timing = TimingParams::paper_default();
+        let injector = FaultInjector::new(*faults, &profiled, timing);
+        Ok(match kind {
+            PolicyKind::Auto => self.faulted_run(AutoRefresh::new(64.0), trace, injector, guard),
+            PolicyKind::Raidr => self.faulted_run(self.plan.raidr(), trace, injector, guard),
+            PolicyKind::Vrl => self.faulted_run(self.plan.vrl(), trace, injector, guard),
+            PolicyKind::VrlAccess => {
+                self.faulted_run(self.plan.vrl_access(), trace, injector, guard)
+            }
+        })
+    }
+
+    fn faulted_run<P, I>(
+        &self,
+        policy: P,
+        trace: I,
+        injector: FaultInjector,
+        guard_cfg: Option<&GuardConfig>,
+    ) -> FaultedOutcome
+    where
+        P: AdaptivePolicy,
+        I: Iterator<Item = TraceRecord>,
+    {
+        let timing = TimingParams::paper_default();
+        let physics = ModelPhysics::new(&self.model);
+        let true_retention = injector.true_retention();
+        let d = self.config.duration_ms;
+        let mut sim = Simulator::new(SimConfig::with_rows(self.config.rows), policy);
+        sim.set_fault_injector(injector);
+        if let Some(cfg) = guard_cfg {
+            let mut guard = Guard::new(physics, timing, true_retention, *cfg);
+            let stats = sim.run_guarded(trace, d, &mut guard);
+            let faults = sim
+                .fault_injector()
+                .map(FaultInjector::stats)
+                .unwrap_or_default();
+            FaultedOutcome {
+                stats,
+                violations: 0,
+                guard: Some(guard.stats()),
+                faults,
+            }
+        } else {
+            let mut checker = IntegrityChecker::new(physics, timing, true_retention);
+            let stats = sim.run_observed(trace, d, &mut checker);
+            let faults = sim
+                .fault_injector()
+                .map(FaultInjector::stats)
+                .unwrap_or_default();
+            FaultedOutcome {
+                stats,
+                violations: checker.violations().len(),
+                guard: None,
+                faults,
+            }
+        }
+    }
+}
+
+/// The result of a fault-injected run ([`Experiment::run_faulted`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultedOutcome {
+    /// Simulator counters (includes scrub and guard error tallies when
+    /// guarded).
+    pub stats: SimStats,
+    /// Ground-truth charge violations (unguarded runs only; a guarded
+    /// run reports through `guard` instead).
+    pub violations: usize,
+    /// Guard counters, when the guard was enabled.
+    pub guard: Option<GuardStats>,
+    /// What the injector actually did.
+    pub faults: FaultStats,
 }
 
 #[cfg(test)]
@@ -261,10 +386,48 @@ mod tests {
     }
 
     #[test]
-    fn unknown_benchmark_is_none() {
+    fn unknown_benchmark_is_an_error_listing_alternatives() {
         let e = small();
-        assert!(e.run_policy(PolicyKind::Vrl, "nope").is_none());
-        assert!(e.compare("nope").is_none());
+        let err = e.run_policy(PolicyKind::Vrl, "nope").unwrap_err();
+        match &err {
+            Error::UnknownWorkload { requested, known } => {
+                assert_eq!(requested, "nope");
+                assert!(known.iter().any(|k| k == "ferret"));
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+        assert!(e.compare("nope").is_err());
+        assert!(e.run_checked(PolicyKind::Vrl, "nope").is_err());
+    }
+
+    #[test]
+    fn faulted_run_reports_injector_activity() {
+        let e = small();
+        let faults = FaultConfig::default_scenario(7);
+        let out = e
+            .run_faulted(PolicyKind::Vrl, "ferret", &faults, None)
+            .expect("known");
+        assert!(out.guard.is_none());
+        assert!(out.faults.optimistic_rows > 0 || out.faults.vrt_rows > 0);
+        assert!(out.stats.total_cycles > 0);
+    }
+
+    #[test]
+    fn guarded_run_reports_guard_stats() {
+        let e = small();
+        let faults = FaultConfig::default_scenario(7);
+        let out = e
+            .run_faulted(
+                PolicyKind::Vrl,
+                "ferret",
+                &faults,
+                Some(&GuardConfig::default()),
+            )
+            .expect("known");
+        let guard = out.guard.expect("guard stats");
+        assert_eq!(out.violations, 0);
+        assert_eq!(guard.uncorrected, 0, "guard must not lose data: {guard:?}");
+        assert!(out.stats.scrub_accesses > 0);
     }
 
     #[test]
@@ -277,7 +440,9 @@ mod tests {
     #[test]
     fn vrl_access_plan_is_integrity_safe() {
         let e = small();
-        let (_, violations) = e.run_checked(PolicyKind::VrlAccess, "bgsave").expect("known");
+        let (_, violations) = e
+            .run_checked(PolicyKind::VrlAccess, "bgsave")
+            .expect("known");
         assert_eq!(violations, 0);
     }
 

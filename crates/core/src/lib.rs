@@ -16,7 +16,9 @@
 //!   integrity checker verify a plan against the circuit model,
 //! * [`overhead`] — closed-form refresh-overhead accounting,
 //! * [`experiment`] — the end-to-end harness behind the paper's Figure 4
-//!   (trace → simulator → policy → statistics → power).
+//!   (trace → simulator → policy → statistics → power), including
+//!   fault-injected runs with the optional runtime guard,
+//! * [`error`] — typed errors for the harness APIs.
 //!
 //! # Quickstart
 //!
@@ -34,6 +36,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod error;
 pub mod experiment;
 pub mod mprsf;
 pub mod overhead;
@@ -42,7 +45,8 @@ pub mod plan;
 pub mod tau;
 pub mod vrt_adapt;
 
-pub use experiment::{Experiment, ExperimentConfig, PolicyKind};
+pub use error::Error;
+pub use experiment::{Experiment, ExperimentConfig, FaultedOutcome, PolicyKind};
 pub use mprsf::{Mprsf, MprsfCalculator};
 pub use plan::RefreshPlan;
 

@@ -95,7 +95,11 @@ impl MprsfCalculator {
     ///
     /// Panics if `guard_band` is negative or implausibly large (≥ 0.2).
     pub fn new(model: &AnalyticalModel, guard_band: f64) -> Self {
-        Self::with_partial_window(model, guard_band, model.restore_window(RefreshKind::Partial))
+        Self::with_partial_window(
+            model,
+            guard_band,
+            model.restore_window(RefreshKind::Partial),
+        )
     }
 
     /// Like [`MprsfCalculator::new`] with an explicit partial-refresh
@@ -143,8 +147,7 @@ impl MprsfCalculator {
 
     /// Partial-refresh transfer function (interpolated).
     pub fn partial_transfer(&self, start: f64) -> f64 {
-        let x = (start.clamp(self.lut_lo, self.lut_hi) - self.lut_lo)
-            / (self.lut_hi - self.lut_lo)
+        let x = (start.clamp(self.lut_lo, self.lut_hi) - self.lut_lo) / (self.lut_hi - self.lut_lo)
             * (LUT_POINTS - 1) as f64;
         let i = (x as usize).min(LUT_POINTS - 2);
         let frac = x - i as f64;
@@ -188,12 +191,17 @@ impl MprsfCalculator {
     ///
     /// Panics if the profile and binning disagree on the row count.
     pub fn mprsf_table(&self, profile: &BankProfile, bins: &BinningTable, nbits: u32) -> Vec<u8> {
-        assert_eq!(profile.row_count(), bins.total_rows(), "profile/bins mismatch");
+        assert_eq!(
+            profile.row_count(),
+            bins.total_rows(),
+            "profile/bins mismatch"
+        );
         profile
             .iter()
             .enumerate()
             .map(|(i, row)| {
-                self.mprsf(row.weakest_ms, bins.bin_of(i).period_ms()).saturate(nbits)
+                self.mprsf(row.weakest_ms, bins.bin_of(i).period_ms())
+                    .saturate(nbits)
             })
             .collect()
     }

@@ -14,9 +14,7 @@ use crate::plan::RefreshPlan;
 pub fn raidr_cycles(plan: &RefreshPlan, window_ms: f64, tau_full: u64) -> f64 {
     RefreshBin::ALL
         .iter()
-        .map(|bin| {
-            plan.bins().count(*bin) as f64 * (window_ms / bin.period_ms()) * tau_full as f64
-        })
+        .map(|bin| plan.bins().count(*bin) as f64 * (window_ms / bin.period_ms()) * tau_full as f64)
         .sum()
 }
 
@@ -66,7 +64,10 @@ mod tests {
         let p = plan();
         let auto = auto_cycles(2048, 256.0, 64.0, 19);
         let raidr = raidr_cycles(&p, 256.0, 19);
-        assert!(raidr < auto, "binning must reduce refreshes: {raidr} vs {auto}");
+        assert!(
+            raidr < auto,
+            "binning must reduce refreshes: {raidr} vs {auto}"
+        );
     }
 
     #[test]

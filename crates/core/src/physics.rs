@@ -42,8 +42,7 @@ impl ModelPhysics {
     }
 
     fn interp(&self, lut: &[f64], start: f64) -> f64 {
-        let x = (start.clamp(self.lo, 1.0) - self.lo) / (1.0 - self.lo)
-            * (LUT_POINTS - 1) as f64;
+        let x = (start.clamp(self.lo, 1.0) - self.lo) / (1.0 - self.lo) * (LUT_POINTS - 1) as f64;
         let i = (x as usize).min(LUT_POINTS - 2);
         let frac = x - i as f64;
         lut[i] * (1.0 - frac) + lut[i + 1] * frac

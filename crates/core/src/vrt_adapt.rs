@@ -54,7 +54,10 @@ impl VrtScenario {
         step_ms: f64,
         seed: u64,
     ) -> Self {
-        assert!(weak_factor > 0.0 && weak_factor < 1.0, "weak factor in (0,1)");
+        assert!(
+            weak_factor > 0.0 && weak_factor < 1.0,
+            "weak factor in (0,1)"
+        );
         assert!(stride > 0, "stride must be positive");
         assert!(step_ms > 0.0, "step must be positive");
         let processes = profile
@@ -91,10 +94,13 @@ impl VrtScenario {
 /// The ground-truth profile a VRT-aware planner must assume: every VRT
 /// row pinned to its weak-state retention.
 pub fn worst_case_profile(profile: &BankProfile, scenario: &VrtScenario) -> BankProfile {
-    let rows = profile.iter().zip(&scenario.processes).map(|(row, process)| match process {
-        Some(p) => p.worst_case_ms(),
-        None => row.weakest_ms,
-    });
+    let rows = profile
+        .iter()
+        .zip(&scenario.processes)
+        .map(|(row, process)| match process {
+            Some(p) => p.worst_case_ms(),
+            None => row.weakest_ms,
+        });
     BankProfile::from_rows(rows, profile.cells_per_row())
 }
 
@@ -126,10 +132,7 @@ pub fn run_under_vrt(
         .map(|(row, p)| p.as_ref().map_or(row.weakest_ms, |p| p.retention_ms()))
         .collect();
     let mut checker = IntegrityChecker::new(ModelPhysics::new(model), timing, retention);
-    let mut sim = Simulator::new(
-        SimConfig::with_rows(profile.row_count() as u32),
-        plan.vrl(),
-    );
+    let mut sim = Simulator::new(SimConfig::with_rows(profile.row_count() as u32), plan.vrl());
 
     let mut refresh_busy = 0u64;
     let mut toggles = 0usize;
@@ -152,7 +155,11 @@ pub fn run_under_vrt(
         }
     }
     let _ = RefreshLatency::Full; // (type referenced for doc completeness)
-    VrtRunResult { refresh_busy_cycles: refresh_busy, violations: checker.violations().len(), toggles }
+    VrtRunResult {
+        refresh_busy_cycles: refresh_busy,
+        violations: checker.violations().len(),
+        toggles,
+    }
 }
 
 #[cfg(test)]

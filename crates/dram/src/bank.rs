@@ -13,7 +13,10 @@ pub struct BankState {
 impl BankState {
     /// A precharged, idle bank.
     pub fn new() -> Self {
-        BankState { open_row: None, busy_until: 0 }
+        BankState {
+            open_row: None,
+            busy_until: 0,
+        }
     }
 
     /// The currently open row, if any.
@@ -40,7 +43,11 @@ impl BankState {
     /// Panics if the bank is still busy at `start` (callers must sequence
     /// through [`BankState::ready_at`]).
     pub fn occupy(&mut self, start: u64, duration: u64) -> u64 {
-        assert!(start >= self.busy_until, "bank is busy until {}", self.busy_until);
+        assert!(
+            start >= self.busy_until,
+            "bank is busy until {}",
+            self.busy_until
+        );
         self.busy_until = start + duration;
         self.busy_until
     }

@@ -16,6 +16,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use vrl_trace::TraceRecord;
 
 use crate::bank::BankState;
+use crate::error::Error;
 use crate::policy::RefreshPolicy;
 use crate::sim::{NullObserver, SimConfig, SimObserver};
 use crate::stats::SimStats;
@@ -73,21 +74,31 @@ impl<P: RefreshPolicy> FrFcfsController<P> {
     }
 
     /// Runs the trace for `duration_ms`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] if an internal scheduling invariant breaks
+    /// (empty refresh queue, invalid pick, or a stalled scheduler);
+    /// these indicate a bug rather than a property of the workload.
     pub fn run<I: Iterator<Item = TraceRecord>>(
         &mut self,
         trace: I,
         duration_ms: f64,
-    ) -> ControllerStats {
+    ) -> Result<ControllerStats, Error> {
         self.run_observed(trace, duration_ms, &mut NullObserver)
     }
 
     /// Runs with an observer receiving refresh/activate events.
+    ///
+    /// # Errors
+    ///
+    /// See [`FrFcfsController::run`].
     pub fn run_observed<I, O>(
         &mut self,
         trace: I,
         duration_ms: f64,
         observer: &mut O,
-    ) -> ControllerStats
+    ) -> Result<ControllerStats, Error>
     where
         I: Iterator<Item = TraceRecord>,
         O: SimObserver,
@@ -102,8 +113,9 @@ impl<P: RefreshPolicy> FrFcfsController<P> {
             // Admit arrivals that have happened by `now`.
             while queue.len() < self.queue_depth {
                 match trace.peek() {
-                    Some(r) if r.cycle <= now => {
-                        queue.push_back(trace.next().expect("peeked"));
+                    Some(&r) if r.cycle <= now => {
+                        trace.next();
+                        queue.push_back(r);
                     }
                     _ => break,
                 }
@@ -113,7 +125,7 @@ impl<P: RefreshPolicy> FrFcfsController<P> {
             // Refresh-first: a due refresh runs before queued demand.
             if let Some(&Reverse((due, _))) = self.refresh_queue.peek() {
                 if due <= now && due < end {
-                    self.execute_refresh(now, observer);
+                    self.execute_refresh(now, observer)?;
                     continue;
                 }
             }
@@ -123,23 +135,32 @@ impl<P: RefreshPolicy> FrFcfsController<P> {
                 if idx != 0 {
                     self.stats.reordered += 1;
                 }
-                let record = queue.remove(idx).expect("valid index");
+                let len = queue.len();
+                let record = queue
+                    .remove(idx)
+                    .ok_or(Error::QueueIndexInvalid { index: idx, len })?;
                 self.service(record, now, observer);
                 continue;
             }
 
             // Idle: advance to the next arrival or refresh, or finish.
             let next_arrival = trace.peek().map(|r| r.cycle);
-            let next_refresh =
-                self.refresh_queue.peek().map(|&Reverse((due, _))| due).filter(|&d| d < end);
+            let next_refresh = self
+                .refresh_queue
+                .peek()
+                .map(|&Reverse((due, _))| due)
+                .filter(|&d| d < end);
             match [next_arrival, next_refresh].into_iter().flatten().min() {
                 Some(t) if t > now => now = t,
-                Some(_) => unreachable!("event at or before now would have been handled"),
+                // An event at or before `now` should have been admitted or
+                // executed above; reaching here means no handler consumed
+                // it and the loop would spin forever.
+                Some(_) => return Err(Error::SchedulerStalled { cycle: now }),
                 None => break,
             }
         }
         self.stats.sim.total_cycles = end.max(self.bank.busy_until());
-        self.stats.clone()
+        Ok(self.stats.clone())
     }
 
     /// FR-FCFS: the oldest request hitting the open row, else the oldest.
@@ -155,8 +176,11 @@ impl<P: RefreshPolicy> FrFcfsController<P> {
         Some(0)
     }
 
-    fn execute_refresh<O: SimObserver>(&mut self, now: u64, observer: &mut O) {
-        let Reverse((due, row)) = self.refresh_queue.pop().expect("peeked");
+    fn execute_refresh<O: SimObserver>(&mut self, now: u64, observer: &mut O) -> Result<(), Error> {
+        let Reverse((due, row)) = self
+            .refresh_queue
+            .pop()
+            .ok_or(Error::RefreshQueueEmpty { cycle: now })?;
         let start = self.bank.ready_at(now.max(due));
         let mut duration = 0;
         if self.bank.open_row().is_some() {
@@ -175,6 +199,7 @@ impl<P: RefreshPolicy> FrFcfsController<P> {
         observer.on_refresh(row, kind, done);
         let period = self.config.timing.ms_to_cycles(self.policy.period_ms(row));
         self.refresh_queue.push(Reverse((due + period.max(1), row)));
+        Ok(())
     }
 
     fn service<O: SimObserver>(&mut self, record: TraceRecord, now: u64, observer: &mut O) {
@@ -227,7 +252,9 @@ mod tests {
         let base = in_order.run(thrash_trace().into_iter(), 1.0);
 
         let mut controller = FrFcfsController::new(config, AutoRefresh::new(64.0), 16);
-        let fr = controller.run(thrash_trace().into_iter(), 1.0);
+        let fr = controller
+            .run(thrash_trace().into_iter(), 1.0)
+            .expect("run");
 
         assert_eq!(fr.sim.accesses, base.accesses);
         assert!(
@@ -246,7 +273,7 @@ mod tests {
         let mut sim = Simulator::new(config, AutoRefresh::new(64.0));
         let s = sim.run(std::iter::empty(), 128.0);
         let mut controller = FrFcfsController::new(config, AutoRefresh::new(64.0), 8);
-        let c = controller.run(std::iter::empty(), 128.0);
+        let c = controller.run(std::iter::empty(), 128.0).expect("run");
         assert_eq!(c.sim.total_refreshes(), s.total_refreshes());
         assert_eq!(c.sim.refresh_busy_cycles, s.refresh_busy_cycles);
     }
@@ -255,17 +282,20 @@ mod tests {
     fn queue_depth_one_degenerates_to_fcfs() {
         let config = SimConfig::with_rows(16);
         let mut controller = FrFcfsController::new(config, AutoRefresh::new(64.0), 1);
-        let c = controller.run(thrash_trace().into_iter(), 1.0);
+        let c = controller
+            .run(thrash_trace().into_iter(), 1.0)
+            .expect("run");
         assert_eq!(c.reordered, 0, "depth-1 queue cannot reorder");
     }
 
     #[test]
     fn all_requests_are_serviced() {
-        let trace: Vec<TraceRecord> =
-            (0..500u64).map(|i| TraceRecord::new(i * 50, Op::Write, (i % 5) as u32)).collect();
+        let trace: Vec<TraceRecord> = (0..500u64)
+            .map(|i| TraceRecord::new(i * 50, Op::Write, (i % 5) as u32))
+            .collect();
         let mut controller =
             FrFcfsController::new(SimConfig::with_rows(8), AutoRefresh::new(64.0), 4);
-        let c = controller.run(trace.into_iter(), 1.0);
+        let c = controller.run(trace.into_iter(), 1.0).expect("run");
         assert_eq!(c.sim.accesses, 500);
     }
 

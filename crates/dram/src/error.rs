@@ -1,0 +1,82 @@
+//! Typed errors for the simulation layer.
+//!
+//! The controller and simulator previously panicked (`expect`,
+//! `unreachable!`) on internal scheduling invariants. Those paths now
+//! surface as [`Error`] values so embedding code — the experiment layer,
+//! benches, long fault-injection sweeps — can report and recover instead
+//! of aborting.
+
+use std::fmt;
+
+/// An error raised by the cycle-level simulation layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The per-row refresh queue was empty when a refresh was scheduled.
+    ///
+    /// The queue holds exactly one entry per row at all times (each
+    /// executed refresh re-queues the row's next deadline), so this can
+    /// only happen if that re-queue invariant is broken.
+    RefreshQueueEmpty {
+        /// Cycle at which the refresh was attempted.
+        cycle: u64,
+    },
+    /// An FR-FCFS pick returned an index outside the request queue.
+    QueueIndexInvalid {
+        /// The out-of-range index.
+        index: usize,
+        /// Queue length at the time of the pick.
+        len: usize,
+    },
+    /// The scheduler found a pending event at or before the current
+    /// cycle but failed to make progress on it.
+    SchedulerStalled {
+        /// Cycle at which progress stopped.
+        cycle: u64,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::RefreshQueueEmpty { cycle } => {
+                write!(
+                    f,
+                    "refresh queue empty at cycle {cycle} (lost a per-row deadline)"
+                )
+            }
+            Error::QueueIndexInvalid { index, len } => {
+                write!(
+                    f,
+                    "FR-FCFS picked request index {index} in a queue of length {len}"
+                )
+            }
+            Error::SchedulerStalled { cycle } => {
+                write!(f, "scheduler stalled at cycle {cycle} with events pending")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_cycle() {
+        let e = Error::RefreshQueueEmpty { cycle: 42 };
+        assert!(e.to_string().contains("42"));
+        let e = Error::QueueIndexInvalid { index: 9, len: 3 };
+        assert!(e.to_string().contains('9') && e.to_string().contains('3'));
+        let e = Error::SchedulerStalled { cycle: 7 };
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::SchedulerStalled { cycle: 0 });
+    }
+}

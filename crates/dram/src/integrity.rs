@@ -131,15 +131,23 @@ impl<C: ChargePhysics> IntegrityChecker<C> {
     /// Leaks row `row` forward to `cycle` and checks the threshold.
     fn leak_to(&mut self, row: u32, cycle: u64) -> f64 {
         let r = row as usize;
-        let elapsed_ms = self.timing.cycles_to_ms(cycle.saturating_sub(self.last_cycle[r]));
-        let q = self.leakage.charge_after(self.charge[r], elapsed_ms, self.retention_ms[r]);
+        let elapsed_ms = self
+            .timing
+            .cycles_to_ms(cycle.saturating_sub(self.last_cycle[r]));
+        let q = self
+            .leakage
+            .charge_after(self.charge[r], elapsed_ms, self.retention_ms[r]);
         self.charge[r] = q;
         self.last_cycle[r] = cycle;
         // Strict violation with a small tolerance: a row whose retention
         // exactly equals its refresh period sits *at* the threshold at
         // the refresh instant, which is safe by definition.
         if q < self.physics.threshold() - 1e-9 {
-            self.violations.push(Violation { row, cycle, charge: q });
+            self.violations.push(Violation {
+                row,
+                cycle,
+                charge: q,
+            });
         }
         q
     }
@@ -155,6 +163,10 @@ impl<C: ChargePhysics> SimObserver for IntegrityChecker<C> {
         self.leak_to(row, cycle);
         self.charge[row as usize] = self.physics.full_level();
     }
+
+    fn on_retention_change(&mut self, row: u32, retention_ms: f64, cycle: u64) {
+        self.update_retention(row, retention_ms, cycle);
+    }
 }
 
 #[cfg(test)]
@@ -166,22 +178,33 @@ mod tests {
     use vrl_retention::profile::BankProfile;
 
     fn physics() -> LinearPhysics {
-        LinearPhysics { full: 0.95, partial_gain: 0.4, threshold: 0.62 }
+        LinearPhysics {
+            full: 0.95,
+            partial_gain: 0.4,
+            threshold: 0.62,
+        }
     }
 
     fn setup(retention_ms: f64, rows: usize) -> (BinningTable, Vec<f64>) {
-        let profile =
-            BankProfile::from_rows(std::iter::repeat_n(retention_ms, rows), 32);
-        (BinningTable::from_profile(&profile), vec![retention_ms; rows])
+        let profile = BankProfile::from_rows(std::iter::repeat_n(retention_ms, rows), 32);
+        (
+            BinningTable::from_profile(&profile),
+            vec![retention_ms; rows],
+        )
     }
 
     #[test]
     fn raidr_never_violates() {
         let (bins, retention) = setup(300.0, 16);
-        let mut checker = IntegrityChecker::new(physics(), TimingParams::paper_default(), retention);
+        let mut checker =
+            IntegrityChecker::new(physics(), TimingParams::paper_default(), retention);
         let mut sim = Simulator::new(SimConfig::with_rows(16), Raidr::new(bins));
         sim.run_observed(std::iter::empty(), 2048.0, &mut checker);
-        assert!(checker.violations().is_empty(), "{:?}", checker.violations());
+        assert!(
+            checker.violations().is_empty(),
+            "{:?}",
+            checker.violations()
+        );
     }
 
     #[test]
@@ -189,10 +212,15 @@ mod tests {
         // Retention 1500 ms in the 256 ms bin: d per period ≈ 0.90; with
         // partial_gain 0.4 the fixed point stays well above threshold.
         let (bins, retention) = setup(1500.0, 16);
-        let mut checker = IntegrityChecker::new(physics(), TimingParams::paper_default(), retention);
+        let mut checker =
+            IntegrityChecker::new(physics(), TimingParams::paper_default(), retention);
         let mut sim = Simulator::new(SimConfig::with_rows(16), Vrl::new(bins, vec![3; 16]));
         sim.run_observed(std::iter::empty(), 4096.0, &mut checker);
-        assert!(checker.violations().is_empty(), "{:?}", checker.violations());
+        assert!(
+            checker.violations().is_empty(),
+            "{:?}",
+            checker.violations()
+        );
     }
 
     #[test]
@@ -200,7 +228,8 @@ mod tests {
         // Retention barely above the bin period: sustained partials must
         // cross the threshold — the checker has to catch it.
         let (bins, retention) = setup(280.0, 4);
-        let mut checker = IntegrityChecker::new(physics(), TimingParams::paper_default(), retention);
+        let mut checker =
+            IntegrityChecker::new(physics(), TimingParams::paper_default(), retention);
         let mut sim = Simulator::new(SimConfig::with_rows(4), Vrl::new(bins, vec![3; 4]));
         sim.run_observed(std::iter::empty(), 4096.0, &mut checker);
         assert!(!checker.violations().is_empty(), "expected violations");
@@ -225,6 +254,41 @@ mod tests {
         let mut checker = IntegrityChecker::new(physics(), timing, retention);
         checker.on_activate(0, timing.ms_to_cycles(100.0));
         assert_eq!(checker.charge_of(0), 0.95);
+    }
+
+    #[test]
+    fn activation_and_refresh_in_the_same_cycle() {
+        // The simulator services an access at cycle t and then executes
+        // a refresh due at t: the activation restores fully, and the
+        // zero-elapsed refresh must neither decay the charge nor record
+        // a violation.
+        let (_, retention) = setup(300.0, 1);
+        let timing = TimingParams::paper_default();
+        let mut checker = IntegrityChecker::new(physics(), timing, retention);
+        let t = timing.ms_to_cycles(200.0);
+        checker.on_activate(0, t);
+        checker.on_refresh(0, RefreshLatency::Partial, t);
+        assert!(checker.violations().is_empty());
+        // A partial refresh on a full row closes a zero deficit.
+        assert!((checker.charge_of(0) - 0.95).abs() < 1e-12);
+        checker.on_refresh(0, RefreshLatency::Full, t);
+        assert_eq!(checker.charge_of(0), 0.95);
+    }
+
+    #[test]
+    fn retention_change_hook_matches_update_retention() {
+        let (_, retention) = setup(256.0, 2);
+        let timing = TimingParams::paper_default();
+        let mut a = IntegrityChecker::new(physics(), timing, retention.clone());
+        let mut b = IntegrityChecker::new(physics(), timing, retention);
+        let mid = timing.ms_to_cycles(128.0);
+        a.update_retention(0, 80.0, mid);
+        SimObserver::on_retention_change(&mut b, 0, 80.0, mid);
+        let end = timing.ms_to_cycles(256.0);
+        a.on_refresh(0, RefreshLatency::Full, end);
+        b.on_refresh(0, RefreshLatency::Full, end);
+        assert_eq!(a.violations().len(), b.violations().len());
+        assert_eq!(a.charge_of(0), b.charge_of(0));
     }
 
     #[test]

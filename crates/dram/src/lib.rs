@@ -14,7 +14,13 @@
 //! * [`stats`] — counters (refresh-busy cycles, stalls, hits/misses),
 //! * [`integrity`] — a charge-tracking checker that verifies no row ever
 //!   drops below the sensing threshold under a policy (failure
-//!   injection for the test suite).
+//!   injection for the test suite),
+//! * [`fault`] — a fault injector perturbing ground truth (VRT toggles,
+//!   profiler optimism, temperature drift, dropped/late refreshes),
+//! * [`guard`] — the runtime integrity guard: SECDED-band detection,
+//!   ECC write-back correction, background scrub, and graceful policy
+//!   degradation,
+//! * [`error`] — typed errors replacing the old panic paths.
 //!
 //! # Example
 //!
@@ -34,6 +40,9 @@
 
 pub mod bank;
 pub mod controller;
+pub mod error;
+pub mod fault;
+pub mod guard;
 pub mod integrity;
 pub mod policy;
 pub mod rank;
@@ -41,7 +50,12 @@ pub mod sim;
 pub mod stats;
 pub mod timing;
 
-pub use policy::{AutoRefresh, Raidr, RefreshPolicy, Vrl, VrlAccess};
+pub use error::Error;
+pub use fault::{FaultConfig, FaultInjector};
+pub use guard::{Guard, GuardConfig, GuardStats};
+pub use policy::{
+    AdaptivePolicy, AutoRefresh, DegradeAction, Raidr, RefreshPolicy, Vrl, VrlAccess,
+};
 pub use sim::{SimConfig, Simulator};
 pub use stats::SimStats;
 pub use timing::{RefreshLatency, TimingParams};

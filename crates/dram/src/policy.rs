@@ -5,7 +5,7 @@
 //! the next refresh of a row be issued (the paper's Algorithm 1), and
 //! what should happen when an access activates a row.
 
-use vrl_retention::binning::BinningTable;
+use vrl_retention::binning::{BinningTable, RefreshBin};
 
 use crate::timing::RefreshLatency;
 
@@ -26,6 +26,33 @@ pub trait RefreshPolicy {
     fn on_activate(&mut self, row: u32) {
         let _ = row;
     }
+}
+
+/// One step taken by [`AdaptivePolicy::degrade`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeAction {
+    /// The row's MPRSF was halved (exponential backoff toward always-full
+    /// refresh); carries the new value.
+    MprsfHalved(u8),
+    /// The row was re-binned one step toward the 64 ms worst-case bin;
+    /// carries the new bin.
+    BinDemoted(RefreshBin),
+    /// The row already sits at the most conservative configuration the
+    /// policy supports; nothing changed.
+    AtFloor,
+}
+
+/// A refresh policy that a runtime guard can degrade row by row.
+///
+/// `degrade` must be **monotone**: a degraded row may never regain a
+/// cheaper refresh configuration (longer period, or more partial
+/// refreshes per full) without a full offline re-profile — there is no
+/// promotion path. The ladder is: halve the row's MPRSF until it reaches
+/// 0 (always-full refresh), then demote its retention bin one step at a
+/// time down to the 64 ms floor.
+pub trait AdaptivePolicy: RefreshPolicy {
+    /// Applies one degradation step to `row`, returning what changed.
+    fn degrade(&mut self, row: u32) -> DegradeAction;
 }
 
 /// Fixed-period refresh of every row (the JEDEC baseline): every row is
@@ -58,6 +85,14 @@ impl RefreshPolicy for AutoRefresh {
 
     fn refresh_kind(&mut self, _row: u32) -> RefreshLatency {
         RefreshLatency::Full
+    }
+}
+
+impl AdaptivePolicy for AutoRefresh {
+    /// AutoRefresh already refreshes every row fully at the worst-case
+    /// period; there is nothing left to give up.
+    fn degrade(&mut self, _row: u32) -> DegradeAction {
+        DegradeAction::AtFloor
     }
 }
 
@@ -94,6 +129,16 @@ impl RefreshPolicy for Raidr {
     }
 }
 
+impl AdaptivePolicy for Raidr {
+    /// RAIDR has no MPRSF stage; degradation goes straight to re-binning.
+    fn degrade(&mut self, row: u32) -> DegradeAction {
+        match self.bins.demote(row as usize) {
+            Some(bin) => DegradeAction::BinDemoted(bin),
+            None => DegradeAction::AtFloor,
+        }
+    }
+}
+
 /// VRL-DRAM (Algorithm 1): RAIDR's per-row periods, plus per-row MPRSF
 /// counters choosing between full and partial refreshes.
 #[derive(Debug, Clone, PartialEq)]
@@ -115,7 +160,11 @@ impl Vrl {
     pub fn new(bins: BinningTable, mprsf: Vec<u8>) -> Self {
         assert_eq!(mprsf.len(), bins.total_rows(), "one MPRSF per row");
         let rcount = vec![0; mprsf.len()];
-        Vrl { bins, mprsf, rcount }
+        Vrl {
+            bins,
+            mprsf,
+            rcount,
+        }
     }
 
     /// The MPRSF of a row.
@@ -155,6 +204,27 @@ impl RefreshPolicy for Vrl {
     }
 }
 
+impl AdaptivePolicy for Vrl {
+    fn degrade(&mut self, row: u32) -> DegradeAction {
+        let r = row as usize;
+        if self.mprsf[r] > 0 {
+            self.mprsf[r] /= 2;
+            // A degrade follows an ECC write-back that fully restored
+            // the row, so the partial-refresh count restarts.
+            self.rcount[r] = 0;
+            DegradeAction::MprsfHalved(self.mprsf[r])
+        } else {
+            match self.bins.demote(r) {
+                Some(bin) => {
+                    self.rcount[r] = 0;
+                    DegradeAction::BinDemoted(bin)
+                }
+                None => DegradeAction::AtFloor,
+            }
+        }
+    }
+}
+
 /// VRL-Access: VRL plus the access optimization — a read/write activation
 /// fully restores the row, so `rcount` is reset to 0 (Section 3.2).
 #[derive(Debug, Clone, PartialEq)]
@@ -165,12 +235,19 @@ pub struct VrlAccess {
 impl VrlAccess {
     /// Creates VRL-Access (see [`Vrl::new`]).
     pub fn new(bins: BinningTable, mprsf: Vec<u8>) -> Self {
-        VrlAccess { inner: Vrl::new(bins, mprsf) }
+        VrlAccess {
+            inner: Vrl::new(bins, mprsf),
+        }
     }
 
     /// The current partial-refresh count of a row.
     pub fn rcount(&self, row: u32) -> u8 {
         self.inner.rcount(row)
+    }
+
+    /// The MPRSF of a row.
+    pub fn mprsf(&self, row: u32) -> u8 {
+        self.inner.mprsf(row)
     }
 }
 
@@ -189,6 +266,12 @@ impl RefreshPolicy for VrlAccess {
 
     fn on_activate(&mut self, row: u32) {
         self.inner.rcount[row as usize] = 0;
+    }
+}
+
+impl AdaptivePolicy for VrlAccess {
+    fn degrade(&mut self, row: u32) -> DegradeAction {
+        self.inner.degrade(row)
     }
 }
 
@@ -267,5 +350,42 @@ mod tests {
     #[should_panic(expected = "one MPRSF per row")]
     fn mismatched_mprsf_panics() {
         let _ = Vrl::new(bins(4), vec![1, 2]);
+    }
+
+    #[test]
+    fn vrl_degradation_ladder_halves_then_rebins() {
+        // Row 3: 280 ms → 256 ms bin, mprsf 3.
+        let mut p = Vrl::new(bins(4), vec![0, 0, 0, 3]);
+        assert_eq!(p.degrade(3), DegradeAction::MprsfHalved(1));
+        assert_eq!(p.degrade(3), DegradeAction::MprsfHalved(0));
+        assert_eq!(p.degrade(3), DegradeAction::BinDemoted(RefreshBin::Ms192));
+        assert_eq!(p.period_ms(3), 192.0);
+        assert_eq!(p.degrade(3), DegradeAction::BinDemoted(RefreshBin::Ms128));
+        assert_eq!(p.degrade(3), DegradeAction::BinDemoted(RefreshBin::Ms64));
+        assert_eq!(p.degrade(3), DegradeAction::AtFloor);
+        assert_eq!(p.period_ms(3), 64.0);
+        assert_eq!(p.mprsf(3), 0, "a demoted row refreshes fully forever");
+    }
+
+    #[test]
+    fn degrade_resets_the_partial_count() {
+        let mut p = Vrl::new(bins(1), vec![3]);
+        assert_eq!(p.refresh_kind(0), RefreshLatency::Partial);
+        assert_eq!(p.rcount(0), 1);
+        p.degrade(0);
+        assert_eq!(p.rcount(0), 0);
+    }
+
+    #[test]
+    fn baseline_policies_degrade_to_the_floor() {
+        let mut auto = AutoRefresh::new(64.0);
+        assert_eq!(auto.degrade(0), DegradeAction::AtFloor);
+        let mut raidr = Raidr::new(bins(4));
+        // Row 3 starts at 256 ms; RAIDR can only re-bin.
+        assert_eq!(
+            raidr.degrade(3),
+            DegradeAction::BinDemoted(RefreshBin::Ms192)
+        );
+        assert_eq!(raidr.period_ms(3), 192.0);
     }
 }

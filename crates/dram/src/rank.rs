@@ -68,7 +68,9 @@ impl<P: RefreshPolicy + Clone> RankSimulator<P> {
     /// Panics if `bank_count` is zero.
     pub fn new(config: SimConfig, policy: P, bank_count: u32) -> Self {
         assert!(bank_count > 0, "rank must have banks");
-        let banks = (0..bank_count).map(|_| Simulator::new(config, policy.clone())).collect();
+        let banks = (0..bank_count)
+            .map(|_| Simulator::new(config, policy.clone()))
+            .collect();
         RankSimulator { banks }
     }
 
@@ -175,7 +177,10 @@ mod tests {
         let stats = rank.run(std::iter::empty(), 1024.0);
         // Both banks produce the identical alternating P/F pattern.
         assert_eq!(stats.banks[0].full_refreshes, stats.banks[1].full_refreshes);
-        assert_eq!(stats.banks[0].partial_refreshes, stats.banks[1].partial_refreshes);
+        assert_eq!(
+            stats.banks[0].partial_refreshes,
+            stats.banks[1].partial_refreshes
+        );
         assert!(stats.banks[0].partial_refreshes > 0);
     }
 
@@ -183,8 +188,12 @@ mod tests {
     fn mean_overhead_averages_banks() {
         let mut rank = RankSimulator::new(SimConfig::with_rows(32), AutoRefresh::new(64.0), 3);
         let stats = rank.run(std::iter::empty(), 128.0);
-        let manual: f64 =
-            stats.banks.iter().map(|b| b.refresh_overhead()).sum::<f64>() / 3.0;
+        let manual: f64 = stats
+            .banks
+            .iter()
+            .map(|b| b.refresh_overhead())
+            .sum::<f64>()
+            / 3.0;
         assert!((stats.mean_refresh_overhead() - manual).abs() < 1e-15);
     }
 }

@@ -12,7 +12,10 @@ use std::collections::BinaryHeap;
 use vrl_trace::TraceRecord;
 
 use crate::bank::BankState;
-use crate::policy::RefreshPolicy;
+use crate::fault::{FaultInjector, RefreshDisposition};
+use crate::guard::Guard;
+use crate::integrity::ChargePhysics;
+use crate::policy::{AdaptivePolicy, RefreshPolicy};
 use crate::stats::SimStats;
 use crate::timing::{RefreshLatency, TimingParams};
 
@@ -72,7 +75,10 @@ impl SimConfig {
     /// Panics if `rows` is zero.
     pub fn with_rows(rows: u32) -> Self {
         assert!(rows > 0, "bank must have rows");
-        SimConfig { rows, ..Self::paper_default() }
+        SimConfig {
+            rows,
+            ..Self::paper_default()
+        }
     }
 
     /// Enables demand-first refresh postponement with the given slack.
@@ -104,6 +110,12 @@ pub trait SimObserver {
     fn on_refresh(&mut self, row: u32, kind: RefreshLatency, cycle: u64);
     /// An activation of `row` (row-miss access) happened at `cycle`.
     fn on_activate(&mut self, row: u32, cycle: u64);
+    /// The ground-truth retention of `row` changed to `retention_ms` at
+    /// `cycle` (a VRT toggle or temperature step reported by a
+    /// [`FaultInjector`]). Defaults to a no-op.
+    fn on_retention_change(&mut self, row: u32, retention_ms: f64, cycle: u64) {
+        let _ = (row, retention_ms, cycle);
+    }
 }
 
 /// A no-op observer.
@@ -136,6 +148,9 @@ pub struct Simulator<P: RefreshPolicy> {
     /// Min-heap of (due_cycle, row, original_due_cycle).
     refresh_queue: BinaryHeap<Reverse<(u64, u32, u64)>>,
     stats: SimStats,
+    /// Optional fault injector perturbing ground truth and refresh
+    /// command delivery.
+    injector: Option<FaultInjector>,
 }
 
 impl<P: RefreshPolicy> Simulator<P> {
@@ -153,12 +168,31 @@ impl<P: RefreshPolicy> Simulator<P> {
             };
             refresh_queue.push(Reverse((offset, row, offset)));
         }
-        Simulator { config, policy, bank: BankState::new(), refresh_queue, stats: SimStats::default() }
+        Simulator {
+            config,
+            policy,
+            bank: BankState::new(),
+            refresh_queue,
+            stats: SimStats::default(),
+            injector: None,
+        }
     }
 
     /// The policy, for inspection.
     pub fn policy(&self) -> &P {
         &self.policy
+    }
+
+    /// Installs a fault injector: retention faults stream to the run's
+    /// observer via [`SimObserver::on_retention_change`], and overflow
+    /// faults drop or delay refresh commands.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
     }
 
     /// Runs the trace for `duration_ms`, returning the statistics.
@@ -178,11 +212,23 @@ impl<P: RefreshPolicy> Simulator<P> {
                 break;
             }
             self.drain_refreshes(record.cycle, Some(record.cycle), observer);
+            self.poll_faults(record.cycle, observer);
             self.service_access(record, observer);
         }
         self.drain_refreshes(end, None, observer);
+        self.poll_faults(end, observer);
         self.stats.total_cycles = end.max(self.bank.busy_until());
         self.stats.clone()
+    }
+
+    /// Advances the fault injector's stochastic processes to `cycle`,
+    /// forwarding every retention change to the observer.
+    fn poll_faults<O: SimObserver>(&mut self, cycle: u64, observer: &mut O) {
+        if let Some(inj) = self.injector.as_mut() {
+            for (row, retention_ms, at) in inj.poll(cycle) {
+                observer.on_retention_change(row, retention_ms, at);
+            }
+        }
     }
 
     /// Executes all refreshes due strictly before `horizon`; with
@@ -199,20 +245,41 @@ impl<P: RefreshPolicy> Simulator<P> {
                 break;
             }
             self.refresh_queue.pop();
+            // Stochastic fault processes advance to the command's issue
+            // time, and overflow faults may drop or delay the command.
+            self.poll_faults(due, observer);
+            if let Some(inj) = self.injector.as_mut() {
+                match inj.refresh_disposition(row, due) {
+                    RefreshDisposition::Execute => {}
+                    RefreshDisposition::Delay(by) => {
+                        self.stats.delayed_refreshes += 1;
+                        self.refresh_queue
+                            .push(Reverse((due + by.max(1), row, original_due)));
+                        continue;
+                    }
+                    RefreshDisposition::Drop => {
+                        self.stats.dropped_refreshes += 1;
+                        // The row simply waits for its next deadline.
+                        let period = self.config.timing.ms_to_cycles(self.policy.period_ms(row));
+                        let next = original_due + period.max(1);
+                        self.refresh_queue.push(Reverse((next, row, next)));
+                        continue;
+                    }
+                }
+            }
             let start = self.bank.ready_at(due);
             // Demand-first postponement: if executing now would push into
             // the imminent access and the deadline slack allows, yield.
             if self.config.postpone_slack > 0 {
                 if let Some(access_at) = next_access {
-                    let worst_duration =
-                        self.config.timing.trp + self.config.timing.tau_full;
+                    let worst_duration = self.config.timing.trp + self.config.timing.tau_full;
                     let would_collide = start + worst_duration > access_at;
                     let deferred_due = access_at + 1;
-                    let within_slack =
-                        deferred_due <= original_due + self.config.postpone_slack;
+                    let within_slack = deferred_due <= original_due + self.config.postpone_slack;
                     if would_collide && within_slack && deferred_due > due {
                         self.stats.postponed_refreshes += 1;
-                        self.refresh_queue.push(Reverse((deferred_due, row, original_due)));
+                        self.refresh_queue
+                            .push(Reverse((deferred_due, row, original_due)));
                         continue;
                     }
                 }
@@ -272,6 +339,115 @@ impl<P: RefreshPolicy> Simulator<P> {
             // Auto-precharge: the row closes with the access (tRP is
             // folded into the next operation's activate path).
             self.bank.precharge();
+        }
+    }
+}
+
+impl<P: AdaptivePolicy> Simulator<P> {
+    /// Runs the trace under a runtime integrity [`Guard`]: the guard
+    /// senses every refresh and activation, its background scrub reads
+    /// are interleaved with (and occupy) the bank, and every error it
+    /// detects immediately applies one step of the policy's degradation
+    /// ladder. The guard's error counters are mirrored into the returned
+    /// [`SimStats`].
+    ///
+    /// Combine with [`Simulator::set_fault_injector`] to measure how the
+    /// guard contains injected profile faults.
+    pub fn run_guarded<I, C>(
+        &mut self,
+        trace: I,
+        duration_ms: f64,
+        guard: &mut Guard<C>,
+    ) -> SimStats
+    where
+        I: Iterator<Item = TraceRecord>,
+        C: ChargePhysics,
+    {
+        let end = self.config.timing.ms_to_cycles(duration_ms);
+        let mut trace = trace.take_while(|r| r.cycle < end).peekable();
+        loop {
+            let scrub_at = guard.next_scrub_cycle();
+            match trace.peek().copied() {
+                Some(record) if record.cycle < scrub_at || scrub_at >= end => {
+                    trace.next();
+                    self.drain_refreshes_guarded(record.cycle, Some(record.cycle), guard);
+                    self.poll_faults(record.cycle, guard);
+                    self.service_access(record, guard);
+                }
+                _ if scrub_at < end => {
+                    let next = trace.peek().map(|r| r.cycle);
+                    self.drain_refreshes_guarded(scrub_at, next, guard);
+                    self.poll_faults(scrub_at, guard);
+                    self.execute_scrub(scrub_at, guard);
+                }
+                _ => {
+                    self.drain_refreshes_guarded(end, None, guard);
+                    self.poll_faults(end, guard);
+                    self.apply_degrades(guard);
+                    break;
+                }
+            }
+            // Degradation applies between events. An MPRSF demotion takes
+            // effect at the row's very next refresh (the kind is chosen at
+            // issue time), but a bin demotion only shortens the period
+            // *after* the already-queued deadline fires — like a real
+            // controller that cannot recall an enqueued REF — so a row may
+            // take one extra ladder step before the shorter period holds.
+            self.apply_degrades(guard);
+        }
+        self.stats.total_cycles = end.max(self.bank.busy_until());
+        let gs = guard.stats();
+        self.stats.corrected_errors = gs.corrected;
+        self.stats.uncorrected_errors = gs.uncorrected;
+        self.stats.clone()
+    }
+
+    /// Drains due refreshes like [`Simulator::drain_refreshes`], but
+    /// applies the guard's queued degradations after every cluster of
+    /// simultaneously-due commands — on an idle bank the whole horizon
+    /// is one drain, and a corrected row must not keep its optimistic
+    /// configuration for the remaining refreshes.
+    fn drain_refreshes_guarded<C: ChargePhysics>(
+        &mut self,
+        horizon: u64,
+        next_access: Option<u64>,
+        guard: &mut Guard<C>,
+    ) {
+        while let Some(&Reverse((due, _, _))) = self.refresh_queue.peek() {
+            if due >= horizon {
+                break;
+            }
+            self.drain_refreshes((due + 1).min(horizon), next_access, guard);
+            self.apply_degrades(guard);
+        }
+    }
+
+    /// Issues the guard's scheduled scrub read: a closed-page access
+    /// (activate, read, precharge) whose occupancy and count go to the
+    /// dedicated scrub counters.
+    fn execute_scrub<C: ChargePhysics>(&mut self, at: u64, guard: &mut Guard<C>) {
+        let start = self.bank.ready_at(at);
+        let mut duration = 0;
+        if self.bank.open_row().is_some() {
+            self.bank.precharge();
+            duration += self.config.timing.trp;
+        }
+        duration += self.config.timing.trcd + self.config.timing.tcl + self.config.timing.trp;
+        let done = self.bank.occupy(start, duration);
+        self.stats.scrub_accesses += 1;
+        self.stats.scrub_busy_cycles += duration;
+        let row = guard.scrub_next(done);
+        // The scrub read fully restores the row; the policy learns about
+        // it like any other activation.
+        self.policy.on_activate(row);
+    }
+
+    /// Applies one ladder step per detected error, reporting each
+    /// outcome back to the guard's counters.
+    fn apply_degrades<C: ChargePhysics>(&mut self, guard: &mut Guard<C>) {
+        for row in guard.take_pending_degrades() {
+            let action = self.policy.degrade(row);
+            guard.record_degrade(action);
         }
     }
 }
@@ -383,7 +559,9 @@ mod tests {
             }
             fn on_activate(&mut self, _row: u32, _c: u64) {}
         }
-        let mut obs = Counter { per_row: vec![0; 8] };
+        let mut obs = Counter {
+            per_row: vec![0; 8],
+        };
         let mut sim = Simulator::new(small_config(8), Raidr::new(bins));
         sim.run_observed(std::iter::empty(), 512.0, &mut obs);
         assert_eq!(obs.per_row[3], 8, "64 ms row refreshes 8× in 512 ms");
@@ -403,7 +581,11 @@ mod tests {
         let mut demand_first = Simulator::new(slack, AutoRefresh::new(64.0));
         let p = plain.run(trace.clone().into_iter(), 64.0);
         let d = demand_first.run(trace.into_iter(), 64.0);
-        assert_eq!(p.total_refreshes(), d.total_refreshes(), "same refresh work");
+        assert_eq!(
+            p.total_refreshes(),
+            d.total_refreshes(),
+            "same refresh work"
+        );
         assert!(d.postponed_refreshes > 0, "some refreshes must yield");
         assert!(
             d.stall_cycles < p.stall_cycles,
@@ -423,7 +605,10 @@ mod tests {
         let mut whole = Simulator::new(small_config(32), AutoRefresh::new(64.0));
         let whole_stats = whole.run(std::iter::empty(), 128.0);
         assert_eq!(split_stats.total_refreshes(), whole_stats.total_refreshes());
-        assert_eq!(split_stats.refresh_busy_cycles, whole_stats.refresh_busy_cycles);
+        assert_eq!(
+            split_stats.refresh_busy_cycles,
+            whole_stats.refresh_busy_cycles
+        );
     }
 
     #[test]
@@ -451,7 +636,11 @@ mod tests {
         let mut sim_closed = Simulator::new(closed, AutoRefresh::new(64.0));
         let o = sim_open.run(trace.clone().into_iter(), 1.0);
         let c = sim_closed.run(trace.into_iter(), 1.0);
-        assert!(o.row_hits > 900, "open page exploits the locality: {}", o.row_hits);
+        assert!(
+            o.row_hits > 900,
+            "open page exploits the locality: {}",
+            o.row_hits
+        );
         assert_eq!(c.row_hits, 0, "closed page never hits");
         assert_eq!(c.row_misses, c.accesses);
         // But closed page still notifies the policy about every activate,
@@ -466,8 +655,10 @@ mod tests {
             .map(|i| TraceRecord::new(i * 3200, Op::Read, (i % 512) as u32))
             .collect();
         let mut staggered = Simulator::new(small_config(512), AutoRefresh::new(64.0));
-        let mut burst =
-            Simulator::new(small_config(512).with_burst_refresh(), AutoRefresh::new(64.0));
+        let mut burst = Simulator::new(
+            small_config(512).with_burst_refresh(),
+            AutoRefresh::new(64.0),
+        );
         let s = staggered.run(trace.clone().into_iter(), 64.0);
         let b = burst.run(trace.into_iter(), 64.0);
         assert_eq!(s.total_refreshes(), b.total_refreshes());
@@ -482,11 +673,14 @@ mod tests {
     #[test]
     fn postponement_respects_the_slack_bound() {
         // With zero slack the behaviour is bit-identical to the default.
-        let trace: Vec<TraceRecord> =
-            (0..10_000u64).map(|i| TraceRecord::new(i * 640, Op::Read, 1)).collect();
+        let trace: Vec<TraceRecord> = (0..10_000u64)
+            .map(|i| TraceRecord::new(i * 640, Op::Read, 1))
+            .collect();
         let mut plain = Simulator::new(small_config(16), AutoRefresh::new(64.0));
-        let mut zero_slack =
-            Simulator::new(small_config(16).with_postpone_slack(0), AutoRefresh::new(64.0));
+        let mut zero_slack = Simulator::new(
+            small_config(16).with_postpone_slack(0),
+            AutoRefresh::new(64.0),
+        );
         let p = plain.run(trace.clone().into_iter(), 16.0);
         let z = zero_slack.run(trace.into_iter(), 16.0);
         assert_eq!(p, z);
@@ -512,7 +706,11 @@ mod tests {
         // In the first 1 ms (1/64 of the period) only ~1/64 of rows are
         // due; without staggering all 1024 would fire at once.
         let stats = sim.run(std::iter::empty(), 1.0);
-        assert!(stats.total_refreshes() < 64, "got {}", stats.total_refreshes());
+        assert!(
+            stats.total_refreshes() < 64,
+            "got {}",
+            stats.total_refreshes()
+        );
         assert!(stats.total_refreshes() > 2);
     }
 }

@@ -24,6 +24,21 @@ pub struct SimStats {
     pub stall_cycles: u64,
     /// Refreshes postponed (re-queued) in favor of demand accesses.
     pub postponed_refreshes: u64,
+    /// Refreshes dropped outright by an injected overflow fault.
+    pub dropped_refreshes: u64,
+    /// Refreshes issued late because of an injected overflow fault.
+    pub delayed_refreshes: u64,
+    /// Background scrub reads issued by the runtime guard.
+    pub scrub_accesses: u64,
+    /// Cycles the bank spent servicing scrub reads (kept separate from
+    /// `refresh_busy_cycles`, the paper's Figure 4 metric).
+    pub scrub_busy_cycles: u64,
+    /// Errors the guard detected inside the ECC-correctable band and
+    /// repaired in place.
+    pub corrected_errors: u64,
+    /// Errors the guard detected below the correctable band: real data
+    /// loss.
+    pub uncorrected_errors: u64,
 }
 
 impl SimStats {
@@ -66,7 +81,7 @@ mod tests {
             row_hits: 4,
             row_misses: 6,
             stall_cycles: 12,
-            postponed_refreshes: 0,
+            ..SimStats::default()
         };
         assert!((s.refresh_overhead() - 0.1).abs() < 1e-12);
         assert_eq!(s.total_refreshes(), 10);

@@ -32,7 +32,7 @@ impl EnergyParams {
     /// the rest scales with how long the rails are held.
     pub fn from_idd(idd: &IddValues, tck_ns: f64) -> Self {
         let mw_per_ma = idd.vdd; // P = V·I
-        // Full refresh: IDD5B − IDD2N over τ_full = 19 cycles.
+                                 // Full refresh: IDD5B − IDD2N over τ_full = 19 cycles.
         let refresh_total_pj = (idd.idd5b - idd.idd2n) * mw_per_ma * 19.0 * tck_ns;
         let refresh_fixed_pj = 0.68 * refresh_total_pj;
         let refresh_per_cycle_pj = (refresh_total_pj - refresh_fixed_pj) / 19.0;

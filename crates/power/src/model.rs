@@ -14,6 +14,9 @@ pub struct PowerBreakdown {
     pub refresh_pj: f64,
     /// Access energy: activations + bursts (pJ).
     pub access_pj: f64,
+    /// Guard scrub energy: each scrub read pays an activation plus a
+    /// read burst (pJ).
+    pub scrub_pj: f64,
     /// Background energy (pJ).
     pub background_pj: f64,
     /// Average refresh power (mW).
@@ -25,7 +28,7 @@ pub struct PowerBreakdown {
 impl PowerBreakdown {
     /// Total energy (pJ).
     pub fn total_pj(&self) -> f64 {
-        self.refresh_pj + self.access_pj + self.background_pj
+        self.refresh_pj + self.access_pj + self.scrub_pj + self.background_pj
     }
 }
 
@@ -69,17 +72,26 @@ impl PowerModel {
         // and writes are not distinguished in SimStats, so use the mean
         // burst energy (they differ by ~3 %).
         let burst_pj = 0.5 * (self.energy.read_pj + self.energy.write_pj);
-        let access_pj = stats.row_misses as f64 * self.energy.activate_pj
-            + stats.accesses as f64 * burst_pj;
+        let access_pj =
+            stats.row_misses as f64 * self.energy.activate_pj + stats.accesses as f64 * burst_pj;
+        let scrub_pj =
+            stats.scrub_accesses as f64 * (self.energy.activate_pj + self.energy.read_pj);
         let background_pj = stats.total_cycles as f64 * self.energy.background_per_cycle_pj;
         let seconds = stats.total_cycles as f64 * 1e-9; // 1 ns cycles
-        let to_mw = |pj: f64| if seconds > 0.0 { pj * 1e-12 / seconds * 1e3 } else { 0.0 };
+        let to_mw = |pj: f64| {
+            if seconds > 0.0 {
+                pj * 1e-12 / seconds * 1e3
+            } else {
+                0.0
+            }
+        };
         PowerBreakdown {
             refresh_pj,
             access_pj,
+            scrub_pj,
             background_pj,
             refresh_mw: to_mw(refresh_pj),
-            total_mw: to_mw(refresh_pj + access_pj + background_pj),
+            total_mw: to_mw(refresh_pj + access_pj + scrub_pj + background_pj),
         }
     }
 }
@@ -99,6 +111,7 @@ mod tests {
             row_misses: 600,
             stall_cycles: 0,
             postponed_refreshes: 0,
+            ..SimStats::default()
         }
     }
 
@@ -128,5 +141,26 @@ mod tests {
         let b = m.breakdown(&SimStats::default());
         assert_eq!(b.refresh_mw, 0.0);
         assert_eq!(b.total_mw, 0.0);
+    }
+
+    #[test]
+    fn scrub_reads_are_charged() {
+        let m = PowerModel::paper_default();
+        let quiet = stats(100, 50);
+        let scrubbed = SimStats {
+            scrub_accesses: 512,
+            ..quiet
+        };
+        let a = m.breakdown(&quiet);
+        let b = m.breakdown(&scrubbed);
+        assert_eq!(a.scrub_pj, 0.0);
+        assert!(b.scrub_pj > 0.0);
+        assert!(b.total_pj() > a.total_pj());
+        // Scrub energy scales linearly with sweep count.
+        let c = m.breakdown(&SimStats {
+            scrub_accesses: 1024,
+            ..quiet
+        });
+        assert!((c.scrub_pj - 2.0 * b.scrub_pj).abs() < 1e-9);
     }
 }

@@ -23,8 +23,12 @@ pub enum RefreshBin {
 
 impl RefreshBin {
     /// All bins, weakest first.
-    pub const ALL: [RefreshBin; 4] =
-        [RefreshBin::Ms64, RefreshBin::Ms128, RefreshBin::Ms192, RefreshBin::Ms256];
+    pub const ALL: [RefreshBin; 4] = [
+        RefreshBin::Ms64,
+        RefreshBin::Ms128,
+        RefreshBin::Ms192,
+        RefreshBin::Ms256,
+    ];
 
     /// The bin's refresh period in milliseconds.
     pub fn period_ms(self) -> f64 {
@@ -33,6 +37,18 @@ impl RefreshBin {
             RefreshBin::Ms128 => 128.0,
             RefreshBin::Ms192 => 192.0,
             RefreshBin::Ms256 => 256.0,
+        }
+    }
+
+    /// The next-weaker bin (shorter period), or `None` at the 64 ms
+    /// floor. Used by runtime guards to re-bin a row whose profiled
+    /// retention turned out optimistic.
+    pub fn demoted(self) -> Option<RefreshBin> {
+        match self {
+            RefreshBin::Ms64 => None,
+            RefreshBin::Ms128 => Some(RefreshBin::Ms64),
+            RefreshBin::Ms192 => Some(RefreshBin::Ms128),
+            RefreshBin::Ms256 => Some(RefreshBin::Ms192),
         }
     }
 
@@ -68,13 +84,18 @@ pub struct BinningTable {
 impl BinningTable {
     /// Bins every row of a profile.
     pub fn from_profile(profile: &BankProfile) -> Self {
-        let assignments: Vec<RefreshBin> =
-            profile.iter().map(|r| RefreshBin::for_retention(r.weakest_ms)).collect();
+        let assignments: Vec<RefreshBin> = profile
+            .iter()
+            .map(|r| RefreshBin::for_retention(r.weakest_ms))
+            .collect();
         let mut counts = [0usize; 4];
         for bin in &assignments {
             counts[Self::index(*bin)] += 1;
         }
-        BinningTable { counts, assignments }
+        BinningTable {
+            counts,
+            assignments,
+        }
     }
 
     fn index(bin: RefreshBin) -> usize {
@@ -103,6 +124,22 @@ impl BinningTable {
     /// Total number of rows.
     pub fn total_rows(&self) -> usize {
         self.assignments.len()
+    }
+
+    /// Moves `row` one bin toward the 64 ms floor (RAIDR-style runtime
+    /// re-binning), returning the new bin, or `None` if the row already
+    /// sat in the worst-case bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn demote(&mut self, row: usize) -> Option<RefreshBin> {
+        let old = self.assignments[row];
+        let new = old.demoted()?;
+        self.assignments[row] = new;
+        self.counts[Self::index(old)] -= 1;
+        self.counts[Self::index(new)] += 1;
+        Some(new)
     }
 
     /// Refresh operations per `window_ms` of wall time under RAIDR binning
@@ -173,5 +210,19 @@ mod tests {
     #[test]
     fn display_formats_period() {
         assert_eq!(RefreshBin::Ms192.to_string(), "192 ms");
+    }
+
+    #[test]
+    fn demotion_walks_to_the_floor_and_stops() {
+        let p = BankProfile::from_rows(vec![300.0], 32);
+        let mut t = BinningTable::from_profile(&p);
+        assert_eq!(t.bin_of(0), RefreshBin::Ms256);
+        assert_eq!(t.demote(0), Some(RefreshBin::Ms192));
+        assert_eq!(t.demote(0), Some(RefreshBin::Ms128));
+        assert_eq!(t.demote(0), Some(RefreshBin::Ms64));
+        assert_eq!(t.demote(0), None, "64 ms is the floor");
+        assert_eq!(t.bin_of(0), RefreshBin::Ms64);
+        assert_eq!(t.count(RefreshBin::Ms64), 1);
+        assert_eq!(t.count(RefreshBin::Ms256), 0);
     }
 }

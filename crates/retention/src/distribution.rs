@@ -45,7 +45,11 @@ pub struct RetentionDistribution {
 impl RetentionDistribution {
     /// The calibrated Liu-et-al.-shaped distribution (see module docs).
     pub fn liu_et_al() -> Self {
-        RetentionDistribution { mu: 10.32, sigma: 1.575, min_ms: 64.0 }
+        RetentionDistribution {
+            mu: 10.32,
+            sigma: 1.575,
+            min_ms: 64.0,
+        }
     }
 
     /// Creates a distribution with explicit parameters.
@@ -240,7 +244,11 @@ mod tests {
         let d = RetentionDistribution::liu_et_al();
         for p in [0.001, 0.01, 0.5, 0.99] {
             let t = d.quantile(p);
-            assert!((d.cdf(t) - p).abs() < 1e-6, "p = {p}: cdf({t}) = {}", d.cdf(t));
+            assert!(
+                (d.cdf(t) - p).abs() < 1e-6,
+                "p = {p}: cdf({t}) = {}",
+                d.cdf(t)
+            );
         }
     }
 

@@ -41,7 +41,10 @@ impl LeakageModel {
             loss_level > 0.0 && full_level > loss_level && full_level <= 1.0,
             "need 0 < loss < full <= 1 (got full={full_level}, loss={loss_level})"
         );
-        LeakageModel { full_level, loss_level }
+        LeakageModel {
+            full_level,
+            loss_level,
+        }
     }
 
     /// The decay-rate constant `k = ln(full_level / loss_level)`.

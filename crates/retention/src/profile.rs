@@ -57,10 +57,16 @@ impl BankProfile {
                         second = v;
                     }
                 }
-                RowProfile { weakest_ms: first, second_weakest_ms: second }
+                RowProfile {
+                    weakest_ms: first,
+                    second_weakest_ms: second,
+                }
             })
             .collect();
-        BankProfile { rows, cells_per_row }
+        BankProfile {
+            rows,
+            cells_per_row,
+        }
     }
 
     /// Builds a profile from explicit per-row weakest retention times
@@ -74,11 +80,17 @@ impl BankProfile {
             .into_iter()
             .map(|w| {
                 assert!(w > 0.0, "retention must be positive");
-                RowProfile { weakest_ms: w, second_weakest_ms: w }
+                RowProfile {
+                    weakest_ms: w,
+                    second_weakest_ms: w,
+                }
             })
             .collect();
         assert!(!rows.is_empty(), "bank must be non-empty");
-        BankProfile { rows, cells_per_row }
+        BankProfile {
+            rows,
+            cells_per_row,
+        }
     }
 
     /// The profile as seen through SECDED ECC: the weakest cell of each
@@ -97,7 +109,10 @@ impl BankProfile {
                 second_weakest_ms: r.second_weakest_ms,
             })
             .collect();
-        BankProfile { rows, cells_per_row: self.cells_per_row }
+        BankProfile {
+            rows,
+            cells_per_row: self.cells_per_row,
+        }
     }
 
     /// Number of rows.
@@ -126,7 +141,10 @@ impl BankProfile {
 
     /// The weakest retention across the whole bank (ms).
     pub fn bank_weakest_ms(&self) -> f64 {
-        self.rows.iter().map(|r| r.weakest_ms).fold(f64::INFINITY, f64::min)
+        self.rows
+            .iter()
+            .map(|r| r.weakest_ms)
+            .fold(f64::INFINITY, f64::min)
     }
 }
 
@@ -175,9 +193,8 @@ mod tests {
         let d = RetentionDistribution::liu_et_al();
         let narrow = BankProfile::generate(&d, 512, 4, 5);
         let wide = BankProfile::generate(&d, 512, 128, 5);
-        let avg = |p: &BankProfile| {
-            p.iter().map(|r| r.weakest_ms).sum::<f64>() / p.row_count() as f64
-        };
+        let avg =
+            |p: &BankProfile| p.iter().map(|r| r.weakest_ms).sum::<f64>() / p.row_count() as f64;
         assert!(avg(&wide) < avg(&narrow));
     }
 
@@ -219,9 +236,8 @@ mod tests {
             assert_eq!(protected.weakest_ms, plain.second_weakest_ms);
         }
         // On average the promotion is strictly positive.
-        let avg = |q: &BankProfile| {
-            q.iter().map(|r| r.weakest_ms).sum::<f64>() / q.row_count() as f64
-        };
+        let avg =
+            |q: &BankProfile| q.iter().map(|r| r.weakest_ms).sum::<f64>() / q.row_count() as f64;
         assert!(avg(&ecc) > avg(&p));
     }
 }

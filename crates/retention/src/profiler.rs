@@ -44,17 +44,27 @@ impl ProfilerConfig {
     /// Panics if any factor or the guard band is outside `(0, 1]`, or the
     /// step is not positive.
     pub fn validate(&self) {
-        assert!(!self.pattern_factors.is_empty(), "at least one pattern required");
+        assert!(
+            !self.pattern_factors.is_empty(),
+            "at least one pattern required"
+        );
         for f in &self.pattern_factors {
             assert!(*f > 0.0 && *f <= 1.0, "pattern factor must be in (0,1]");
         }
-        assert!(self.guard_band > 0.0 && self.guard_band <= 1.0, "guard band must be in (0,1]");
+        assert!(
+            self.guard_band > 0.0 && self.guard_band <= 1.0,
+            "guard band must be in (0,1]"
+        );
         assert!(self.step_ms > 0.0, "step must be positive");
     }
 
     /// The combined worst-case derating (min pattern factor × guard band).
     pub fn worst_derating(&self) -> f64 {
-        let min = self.pattern_factors.iter().copied().fold(f64::INFINITY, f64::min);
+        let min = self
+            .pattern_factors
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
         min * self.guard_band
     }
 }
@@ -96,7 +106,10 @@ mod tests {
         let t = truth();
         let measured = profile_bank(&t, &ProfilerConfig::standard());
         for (gt, m) in t.iter().zip(measured.iter()) {
-            assert!(m.weakest_ms <= gt.weakest_ms, "measured must not exceed truth");
+            assert!(
+                m.weakest_ms <= gt.weakest_ms,
+                "measured must not exceed truth"
+            );
         }
     }
 
@@ -107,7 +120,11 @@ mod tests {
         let measured = profile_bank(&t, &cfg);
         for m in measured.iter() {
             let ratio = m.weakest_ms / cfg.step_ms;
-            assert!((ratio - ratio.round()).abs() < 1e-9, "{} not on step", m.weakest_ms);
+            assert!(
+                (ratio - ratio.round()).abs() < 1e-9,
+                "{} not on step",
+                m.weakest_ms
+            );
         }
     }
 
@@ -120,7 +137,11 @@ mod tests {
     #[test]
     fn unity_config_only_quantizes() {
         let t = BankProfile::from_rows(vec![100.0, 256.0], 32);
-        let cfg = ProfilerConfig { pattern_factors: vec![1.0], guard_band: 1.0, step_ms: 8.0 };
+        let cfg = ProfilerConfig {
+            pattern_factors: vec![1.0],
+            guard_band: 1.0,
+            step_ms: 8.0,
+        };
         let measured = profile_bank(&t, &cfg);
         assert_eq!(measured.row(0).weakest_ms, 96.0);
         assert_eq!(measured.row(1).weakest_ms, 256.0);
@@ -129,7 +150,11 @@ mod tests {
     #[test]
     fn floor_never_goes_to_zero() {
         let t = BankProfile::from_rows(vec![65.0], 32);
-        let cfg = ProfilerConfig { pattern_factors: vec![0.1], guard_band: 0.5, step_ms: 8.0 };
+        let cfg = ProfilerConfig {
+            pattern_factors: vec![0.1],
+            guard_band: 0.5,
+            step_ms: 8.0,
+        };
         let measured = profile_bank(&t, &cfg);
         assert!(measured.row(0).weakest_ms >= 8.0);
     }
@@ -137,7 +162,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "guard band must be in (0,1]")]
     fn invalid_guard_band_panics() {
-        let cfg = ProfilerConfig { guard_band: 1.5, ..ProfilerConfig::standard() };
+        let cfg = ProfilerConfig {
+            guard_band: 1.5,
+            ..ProfilerConfig::standard()
+        };
         let _ = profile_bank(&truth(), &cfg);
     }
 }

@@ -25,7 +25,10 @@ impl TemperatureModel {
     /// The common characterization point: profiles at 45 °C, halving
     /// every 10 °C.
     pub fn standard() -> Self {
-        TemperatureModel { reference_celsius: 45.0, halving_celsius: 10.0 }
+        TemperatureModel {
+            reference_celsius: 45.0,
+            halving_celsius: 10.0,
+        }
     }
 
     /// The retention scale factor at an operating temperature.
@@ -37,7 +40,10 @@ impl TemperatureModel {
     ///
     /// Panics if `halving_celsius` is not positive.
     pub fn retention_factor(&self, operating_celsius: f64) -> f64 {
-        assert!(self.halving_celsius > 0.0, "halving interval must be positive");
+        assert!(
+            self.halving_celsius > 0.0,
+            "halving interval must be positive"
+        );
         2f64.powf(-(operating_celsius - self.reference_celsius) / self.halving_celsius)
     }
 
@@ -59,7 +65,10 @@ impl TemperatureModel {
     /// The hottest temperature at which a retention time still covers a
     /// refresh period (the thermal headroom of a plan entry).
     pub fn max_operating_celsius(&self, retention_ms: f64, period_ms: f64) -> f64 {
-        assert!(retention_ms > 0.0 && period_ms > 0.0, "times must be positive");
+        assert!(
+            retention_ms > 0.0 && period_ms > 0.0,
+            "times must be positive"
+        );
         // factor needed = period / retention; solve for temperature.
         let needed = period_ms / retention_ms;
         self.reference_celsius - self.halving_celsius * needed.log2()

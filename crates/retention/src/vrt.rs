@@ -31,9 +31,21 @@ impl VrtProcess {
     /// Panics if `weak_ms >= strong_ms`, either is non-positive, or the
     /// probability is outside `[0, 1]`.
     pub fn new(strong_ms: f64, weak_ms: f64, toggle_probability: f64, seed: u64) -> Self {
-        assert!(weak_ms > 0.0 && strong_ms > weak_ms, "need 0 < weak < strong");
-        assert!((0.0..=1.0).contains(&toggle_probability), "probability in [0,1]");
-        VrtProcess { strong_ms, weak_ms, toggle_probability, state_weak: false, rng_state: seed }
+        assert!(
+            weak_ms > 0.0 && strong_ms > weak_ms,
+            "need 0 < weak < strong"
+        );
+        assert!(
+            (0.0..=1.0).contains(&toggle_probability),
+            "probability in [0,1]"
+        );
+        VrtProcess {
+            strong_ms,
+            weak_ms,
+            toggle_probability,
+            state_weak: false,
+            rng_state: seed,
+        }
     }
 
     /// Current retention (ms).
@@ -113,10 +125,12 @@ mod tests {
     fn stepping_is_deterministic() {
         let run = || {
             let mut p = VrtProcess::new(1000.0, 200.0, 0.3, 99);
-            (0..50).map(|_| {
-                p.step();
-                p.is_weak()
-            }).collect::<Vec<bool>>()
+            (0..50)
+                .map(|_| {
+                    p.step();
+                    p.is_weak()
+                })
+                .collect::<Vec<bool>>()
         };
         assert_eq!(run(), run());
     }

@@ -121,7 +121,12 @@ pub fn equalization_circuit(
     ckt.add_voltage_source(
         eq,
         Circuit::GROUND,
-        SourceWave::Step { from: 0.0, to: params.vdd, at: eq_at, rise: 20e-12 },
+        SourceWave::Step {
+            from: 0.0,
+            to: params.vdd,
+            at: eq_at,
+            rise: 20e-12,
+        },
     );
 
     // Initial conditions: just-deactivated row ⇒ rails on the pair.
@@ -220,7 +225,14 @@ pub fn charge_sharing_array(
         }
     }
 
-    (ckt, ChargeSharingNodes { bitlines, cells, wordline })
+    (
+        ckt,
+        ChargeSharingNodes {
+            bitlines,
+            cells,
+            wordline,
+        },
+    )
 }
 
 /// Node handles for the sense-and-restore circuit.
@@ -245,7 +257,10 @@ pub struct SenseTiming {
 
 impl Default for SenseTiming {
     fn default() -> Self {
-        SenseTiming { wl_at: 0.1e-9, sa_at: 1.2e-9 }
+        SenseTiming {
+            wl_at: 0.1e-9,
+            sa_at: 1.2e-9,
+        }
     }
 }
 
@@ -314,12 +329,22 @@ pub fn sense_restore_circuit(
     ckt.add_voltage_source(
         sa_en,
         Circuit::GROUND,
-        SourceWave::Step { from: 0.0, to: params.vdd, at: timing.sa_at, rise: 30e-12 },
+        SourceWave::Step {
+            from: 0.0,
+            to: params.vdd,
+            at: timing.sa_at,
+            rise: 30e-12,
+        },
     );
     ckt.add_voltage_source(
         sa_enb,
         Circuit::GROUND,
-        SourceWave::Step { from: params.vdd, to: 0.0, at: timing.sa_at, rise: 30e-12 },
+        SourceWave::Step {
+            from: params.vdd,
+            to: 0.0,
+            at: timing.sa_at,
+            rise: 30e-12,
+        },
     );
 
     // Initial conditions: equalized bitlines, half-charged latch rails.
@@ -341,7 +366,9 @@ mod tests {
     fn equalization_converges_to_veq() {
         let p = DramCircuitParams::n90();
         let (ckt, nodes) = equalization_circuit(&p, 0.05e-9);
-        let res = ckt.run_transient(TransientSpec::new(2e-12, 2e-9)).expect("runs");
+        let res = ckt
+            .run_transient(TransientSpec::new(2e-12, 2e-9))
+            .expect("runs");
         let bl_end = res.final_voltage(nodes.bl);
         let blb_end = res.final_voltage(nodes.blb);
         assert!((bl_end - p.veq()).abs() < 0.05, "bl settled at {bl_end}");
@@ -352,7 +379,9 @@ mod tests {
     fn equalization_is_monotone_per_rail() {
         let p = DramCircuitParams::n90();
         let (ckt, nodes) = equalization_circuit(&p, 0.05e-9);
-        let res = ckt.run_transient(TransientSpec::new(2e-12, 2e-9)).expect("runs");
+        let res = ckt
+            .run_transient(TransientSpec::new(2e-12, 2e-9))
+            .expect("runs");
         let bl = res.waveform(nodes.bl);
         // Bi discharges from Vdd toward Veq: never rises above start, never
         // undershoots far below Veq.
@@ -364,18 +393,25 @@ mod tests {
     fn charge_sharing_raises_bitline_for_stored_one() {
         let p = DramCircuitParams::n90();
         let (ckt, nodes) = charge_sharing_array(&p, &[true], 0.05e-9);
-        let res = ckt.run_transient(TransientSpec::new(2e-12, 3e-9)).expect("runs");
+        let res = ckt
+            .run_transient(TransientSpec::new(2e-12, 3e-9))
+            .expect("runs");
         let bl = res.final_voltage(nodes.bitlines[0]);
         // ΔV ≈ Cs/(Cs+Cbl)·(Vdd − Veq) = 25/110 · 0.6 ≈ 0.136 V.
         let expected = p.veq() + p.cs / (p.cs + p.cbl) * (p.vdd - p.veq());
-        assert!((bl - expected).abs() < 0.04, "bl = {bl}, expected ≈ {expected}");
+        assert!(
+            (bl - expected).abs() < 0.04,
+            "bl = {bl}, expected ≈ {expected}"
+        );
     }
 
     #[test]
     fn charge_sharing_lowers_bitline_for_stored_zero() {
         let p = DramCircuitParams::n90();
         let (ckt, nodes) = charge_sharing_array(&p, &[false], 0.05e-9);
-        let res = ckt.run_transient(TransientSpec::new(2e-12, 3e-9)).expect("runs");
+        let res = ckt
+            .run_transient(TransientSpec::new(2e-12, 3e-9))
+            .expect("runs");
         let bl = res.final_voltage(nodes.bitlines[0]);
         assert!(bl < p.veq() - 0.05, "bl should droop below Veq, got {bl}");
     }
@@ -385,11 +421,15 @@ mod tests {
         let p = DramCircuitParams::n90();
         // Victim alone vs victim flanked by opposite-data aggressors.
         let (ckt1, n1) = charge_sharing_array(&p, &[true], 0.05e-9);
-        let r1 = ckt1.run_transient(TransientSpec::new(2e-12, 3e-9)).expect("runs");
+        let r1 = ckt1
+            .run_transient(TransientSpec::new(2e-12, 3e-9))
+            .expect("runs");
         let solo = r1.final_voltage(n1.bitlines[0]);
 
         let (ckt3, n3) = charge_sharing_array(&p, &[false, true, false], 0.05e-9);
-        let r3 = ckt3.run_transient(TransientSpec::new(2e-12, 3e-9)).expect("runs");
+        let r3 = ckt3
+            .run_transient(TransientSpec::new(2e-12, 3e-9))
+            .expect("runs");
         let coupled = r3.final_voltage(n3.bitlines[1]);
         assert!(
             coupled < solo,
@@ -401,9 +441,14 @@ mod tests {
     fn sense_restore_drives_cell_to_full() {
         let p = DramCircuitParams::n90();
         let (ckt, nodes) = sense_restore_circuit(&p, 0.55, SenseTiming::default());
-        let res = ckt.run_transient(TransientSpec::new(2e-12, 30e-9)).expect("runs");
+        let res = ckt
+            .run_transient(TransientSpec::new(2e-12, 30e-9))
+            .expect("runs");
         let cell_end = res.final_voltage(nodes.cell);
-        assert!(cell_end > 0.9 * p.vdd, "cell should be restored, got {cell_end}");
+        assert!(
+            cell_end > 0.9 * p.vdd,
+            "cell should be restored, got {cell_end}"
+        );
         // Bitline pair must have split to the rails.
         assert!(res.final_voltage(nodes.bl) > 0.9 * p.vdd);
         assert!(res.final_voltage(nodes.blb) < 0.1 * p.vdd);
@@ -415,9 +460,14 @@ mod tests {
         // Leaked "0": cell crept up to 0.3·Vdd; refresh must pull it back
         // to ground.
         let (ckt, nodes) = sense_restore_circuit(&p, 0.3, SenseTiming::default());
-        let res = ckt.run_transient(TransientSpec::new(2e-12, 30e-9)).expect("runs");
+        let res = ckt
+            .run_transient(TransientSpec::new(2e-12, 30e-9))
+            .expect("runs");
         let cell_end = res.final_voltage(nodes.cell);
-        assert!(cell_end < 0.15 * p.vdd, "cell should be discharged, got {cell_end}");
+        assert!(
+            cell_end < 0.15 * p.vdd,
+            "cell should be discharged, got {cell_end}"
+        );
         assert!(res.final_voltage(nodes.blb) > 0.9 * p.vdd);
     }
 

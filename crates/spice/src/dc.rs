@@ -90,10 +90,17 @@ pub fn operating_point(circuit: &Circuit) -> Result<DcSolution, SpiceError> {
         }
         last_residual = max_delta;
         if max_delta < VTOL {
-            return Ok(DcSolution { node_count: n_nodes, x });
+            return Ok(DcSolution {
+                node_count: n_nodes,
+                x,
+            });
         }
     }
-    Err(SpiceError::NoConvergence { time: 0.0, iterations: MAX_NEWTON, residual: last_residual })
+    Err(SpiceError::NoConvergence {
+        time: 0.0,
+        iterations: MAX_NEWTON,
+        residual: last_residual,
+    })
 }
 
 #[cfg(test)]

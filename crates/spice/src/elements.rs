@@ -157,7 +157,12 @@ mod tests {
 
     #[test]
     fn step_ramps_linearly() {
-        let w = SourceWave::Step { from: 0.0, to: 1.0, at: 1e-9, rise: 1e-9 };
+        let w = SourceWave::Step {
+            from: 0.0,
+            to: 1.0,
+            at: 1e-9,
+            rise: 1e-9,
+        };
         assert_eq!(w.value_at(0.0), 0.0);
         assert!((w.value_at(1.5e-9) - 0.5).abs() < 1e-12);
         assert_eq!(w.value_at(3e-9), 1.0);
@@ -165,7 +170,12 @@ mod tests {
 
     #[test]
     fn zero_rise_step_is_sharp_but_finite() {
-        let w = SourceWave::Step { from: 0.0, to: 1.0, at: 1e-9, rise: 0.0 };
+        let w = SourceWave::Step {
+            from: 0.0,
+            to: 1.0,
+            at: 1e-9,
+            rise: 0.0,
+        };
         assert_eq!(w.value_at(0.999e-9), 0.0);
         assert_eq!(w.value_at(1.001e-9), 1.0);
     }

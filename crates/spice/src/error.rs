@@ -50,9 +50,16 @@ impl fmt::Display for SpiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SpiceError::SingularMatrix { time } => {
-                write!(f, "singular MNA matrix at t = {time:.3e} s (floating node?)")
+                write!(
+                    f,
+                    "singular MNA matrix at t = {time:.3e} s (floating node?)"
+                )
             }
-            SpiceError::NoConvergence { time, iterations, residual } => write!(
+            SpiceError::NoConvergence {
+                time,
+                iterations,
+                residual,
+            } => write!(
                 f,
                 "newton iteration did not converge at t = {time:.3e} s \
                  ({iterations} iterations, residual {residual:.3e} V)"
@@ -61,7 +68,10 @@ impl fmt::Display for SpiceError {
                 write!(f, "invalid {element} value {value:.3e}")
             }
             SpiceError::InvalidTransientSpec { step, stop } => {
-                write!(f, "invalid transient spec: step {step:.3e} s, stop {stop:.3e} s")
+                write!(
+                    f,
+                    "invalid transient spec: step {step:.3e} s, stop {stop:.3e} s"
+                )
             }
             SpiceError::UnknownNode { index } => write!(f, "unknown node index {index}"),
         }
@@ -90,7 +100,11 @@ mod tests {
 
     #[test]
     fn no_convergence_reports_details() {
-        let e = SpiceError::NoConvergence { time: 2e-9, iterations: 50, residual: 0.1 };
+        let e = SpiceError::NoConvergence {
+            time: 2e-9,
+            iterations: 50,
+            residual: 0.1,
+        };
         let msg = e.to_string();
         assert!(msg.contains("50 iterations"));
     }

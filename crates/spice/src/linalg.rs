@@ -17,7 +17,10 @@ pub struct Matrix {
 impl Matrix {
     /// Creates an `n × n` zero matrix.
     pub fn zeros(n: usize) -> Self {
-        Matrix { n, data: vec![0.0; n * n] }
+        Matrix {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// Dimension of the (square) matrix.
@@ -174,7 +177,12 @@ impl LuFactors {
 /// # Panics
 ///
 /// Panics if the band lengths are inconsistent with `diag.len()`.
-pub fn solve_tridiagonal(lower: &[f64], diag: &[f64], upper: &[f64], d: &[f64]) -> Option<Vec<f64>> {
+pub fn solve_tridiagonal(
+    lower: &[f64],
+    diag: &[f64],
+    upper: &[f64],
+    d: &[f64],
+) -> Option<Vec<f64>> {
     let n = diag.len();
     assert_eq!(lower.len(), n.saturating_sub(1));
     assert_eq!(upper.len(), n.saturating_sub(1));
@@ -230,7 +238,10 @@ mod tests {
 
     #[test]
     fn lu_solves_general_system() {
-        let m = mat(3, &[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
+        let m = mat(
+            3,
+            &[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]],
+        );
         let f = lu_factorize(m.clone()).expect("nonsingular");
         let mut b = vec![8.0, -11.0, -3.0];
         f.solve_in_place(&mut b);

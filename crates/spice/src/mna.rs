@@ -79,7 +79,10 @@ fn stamp_current(m: &mut MnaSystem, into: Node, out_of: Node, i_amps: f64) {
 pub fn assemble(circuit: &Circuit, x: &[f64], v_prev: &[f64], time: f64, dt: f64) -> MnaSystem {
     let n_nodes = circuit.node_count() - 1;
     let n = n_nodes + circuit.voltage_source_count();
-    let mut m = MnaSystem { a: Matrix::zeros(n), z: vec![0.0; n] };
+    let mut m = MnaSystem {
+        a: Matrix::zeros(n),
+        z: vec![0.0; n],
+    };
 
     // GMIN from every node to ground.
     for i in 0..n_nodes {
@@ -98,7 +101,12 @@ pub fn assemble(circuit: &Circuit, x: &[f64], v_prev: &[f64], time: f64, dt: f64
                 stamp_conductance(&mut m, *a, *b, geq);
                 stamp_current(&mut m, *a, *b, geq * vprev);
             }
-            Element::VoltageSource { pos, neg, wave, branch } => {
+            Element::VoltageSource {
+                pos,
+                neg,
+                wave,
+                branch,
+            } => {
                 let row = n_nodes + branch;
                 if let Some(i) = unk(*pos) {
                     m.a.add(i, row, 1.0);
@@ -113,7 +121,12 @@ pub fn assemble(circuit: &Circuit, x: &[f64], v_prev: &[f64], time: f64, dt: f64
             Element::CurrentSource { into, out_of, wave } => {
                 stamp_current(&mut m, *into, *out_of, wave.value_at(time));
             }
-            Element::Mosfet { drain, gate, source, params } => {
+            Element::Mosfet {
+                drain,
+                gate,
+                source,
+                params,
+            } => {
                 stamp_mosfet(&mut m, x, *drain, *gate, *source, params);
             }
         }
@@ -148,7 +161,11 @@ fn stamp_mosfet(
         MosType::Nmos => vd < vs,
         MosType::Pmos => vd > vs,
     };
-    let (d, s) = if swapped { (source, drain) } else { (drain, source) };
+    let (d, s) = if swapped {
+        (source, drain)
+    } else {
+        (drain, source)
+    };
     let vds = node_voltage(x, d) - node_voltage(x, s);
     let vgs = node_voltage(x, gate) - node_voltage(x, s);
 
@@ -210,8 +227,11 @@ mod tests {
             let f = lu_factorize(sys.a).expect("nonsingular");
             let mut b = sys.z;
             f.solve_in_place(&mut b);
-            let delta: f64 =
-                x.iter().zip(&b).map(|(a, c)| (a - c).abs()).fold(0.0, f64::max);
+            let delta: f64 = x
+                .iter()
+                .zip(&b)
+                .map(|(a, c)| (a - c).abs())
+                .fold(0.0, f64::max);
             x = b;
             if delta < 1e-12 {
                 break;
@@ -300,7 +320,12 @@ mod tests {
         c.add_dc_voltage(vdd, 1.2);
         c.add_resistor(vdd, d, 1e3);
         // Gate grounded ⇒ cutoff ⇒ d floats up to vdd through R.
-        c.add_mosfet(d, Circuit::GROUND, Circuit::GROUND, MosParams::nmos(0.4, 400e-6));
+        c.add_mosfet(
+            d,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosParams::nmos(0.4, 400e-6),
+        );
         let x = solve_static(&c);
         assert!((node_voltage(&x, d) - 1.2).abs() < 1e-3);
     }

@@ -45,13 +45,23 @@ impl MosParams {
     /// Creates an NMOS device with threshold `vth` and transconductance
     /// parameter `beta` (channel-length modulation disabled).
     pub fn nmos(vth: f64, beta: f64) -> Self {
-        MosParams { mos_type: MosType::Nmos, vth, beta, lambda: 0.0 }
+        MosParams {
+            mos_type: MosType::Nmos,
+            vth,
+            beta,
+            lambda: 0.0,
+        }
     }
 
     /// Creates a PMOS device with threshold magnitude `vth` and
     /// transconductance parameter `beta`.
     pub fn pmos(vth: f64, beta: f64) -> Self {
-        MosParams { mos_type: MosType::Pmos, vth, beta, lambda: 0.0 }
+        MosParams {
+            mos_type: MosType::Pmos,
+            vth,
+            beta,
+            lambda: 0.0,
+        }
     }
 
     /// Returns a copy with channel-length modulation `lambda` (1/V).
@@ -204,7 +214,10 @@ mod tests {
         for &(vgs, vds) in &[(1.0, 0.2), (1.2, 1.0), (0.9, 0.05)] {
             let h = 1e-7;
             let num = (d.ids(vgs + h, vds) - d.ids(vgs - h, vds)) / (2.0 * h);
-            assert!((d.gm(vgs, vds) - num).abs() < 1e-6, "gm mismatch at ({vgs},{vds})");
+            assert!(
+                (d.gm(vgs, vds) - num).abs() < 1e-6,
+                "gm mismatch at ({vgs},{vds})"
+            );
         }
     }
 
@@ -214,7 +227,10 @@ mod tests {
         for &(vgs, vds) in &[(1.0, 0.2), (1.2, 1.0)] {
             let h = 1e-7;
             let num = (d.ids(vgs, vds + h) - d.ids(vgs, vds - h)) / (2.0 * h);
-            assert!((d.gds(vgs, vds) - num).abs() < 1e-6, "gds mismatch at ({vgs},{vds})");
+            assert!(
+                (d.gds(vgs, vds) - num).abs() < 1e-6,
+                "gds mismatch at ({vgs},{vds})"
+            );
         }
     }
 

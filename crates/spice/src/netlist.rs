@@ -118,7 +118,10 @@ impl Circuit {
     ///
     /// Panics if `ohms <= 0` or is not finite.
     pub fn add_resistor(&mut self, a: Node, b: Node, ohms: f64) {
-        assert!(ohms > 0.0 && ohms.is_finite(), "resistance must be positive and finite");
+        assert!(
+            ohms > 0.0 && ohms.is_finite(),
+            "resistance must be positive and finite"
+        );
         self.elements.push(Element::Resistor { a, b, ohms });
     }
 
@@ -128,7 +131,10 @@ impl Circuit {
     ///
     /// Panics if `farads <= 0` or is not finite.
     pub fn add_capacitor(&mut self, a: Node, b: Node, farads: f64) {
-        assert!(farads > 0.0 && farads.is_finite(), "capacitance must be positive and finite");
+        assert!(
+            farads > 0.0 && farads.is_finite(),
+            "capacitance must be positive and finite"
+        );
         self.elements.push(Element::Capacitor { a, b, farads });
     }
 
@@ -142,17 +148,28 @@ impl Circuit {
     pub fn add_voltage_source(&mut self, pos: Node, neg: Node, wave: SourceWave) {
         let branch = self.voltage_sources;
         self.voltage_sources += 1;
-        self.elements.push(Element::VoltageSource { pos, neg, wave, branch });
+        self.elements.push(Element::VoltageSource {
+            pos,
+            neg,
+            wave,
+            branch,
+        });
     }
 
     /// Adds a current source pushing `wave` amperes into `into`.
     pub fn add_current_source(&mut self, into: Node, out_of: Node, wave: SourceWave) {
-        self.elements.push(Element::CurrentSource { into, out_of, wave });
+        self.elements
+            .push(Element::CurrentSource { into, out_of, wave });
     }
 
     /// Adds a MOSFET (bulk tied to source).
     pub fn add_mosfet(&mut self, drain: Node, gate: Node, source: Node, params: MosParams) {
-        self.elements.push(Element::Mosfet { drain, gate, source, params });
+        self.elements.push(Element::Mosfet {
+            drain,
+            gate,
+            source,
+            params,
+        });
     }
 
     /// Sets the initial voltage of `node` for transient analysis (like a

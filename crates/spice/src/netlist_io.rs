@@ -22,8 +22,7 @@ fn wave_text(wave: &SourceWave) -> String {
     match wave {
         SourceWave::Dc(v) => format!("DC {v}"),
         SourceWave::Pwl(points) => {
-            let body: Vec<String> =
-                points.iter().map(|(t, v)| format!("{t:e} {v}")).collect();
+            let body: Vec<String> = points.iter().map(|(t, v)| format!("{t:e} {v}")).collect();
             format!("PWL({})", body.join(" "))
         }
         SourceWave::Step { from, to, at, rise } => {
@@ -50,7 +49,14 @@ pub fn to_netlist_string(circuit: &Circuit, title: &str) -> String {
             }
             Element::VoltageSource { pos, neg, wave, .. } => {
                 counts[2] += 1;
-                writeln!(out, "V{} {} {} {}", counts[2], name(*pos), name(*neg), wave_text(wave))
+                writeln!(
+                    out,
+                    "V{} {} {} {}",
+                    counts[2],
+                    name(*pos),
+                    name(*neg),
+                    wave_text(wave)
+                )
             }
             Element::CurrentSource { into, out_of, wave } => {
                 counts[3] += 1;
@@ -63,7 +69,12 @@ pub fn to_netlist_string(circuit: &Circuit, title: &str) -> String {
                     wave_text(wave)
                 )
             }
-            Element::Mosfet { drain, gate, source, params } => {
+            Element::Mosfet {
+                drain,
+                gate,
+                source,
+                params,
+            } => {
                 counts[4] += 1;
                 let kind = match params.mos_type {
                     crate::mosfet::MosType::Nmos => "NMOS",
@@ -131,7 +142,12 @@ mod tests {
         c.add_voltage_source(
             a,
             Circuit::GROUND,
-            SourceWave::Step { from: 0.0, to: 1.2, at: 1e-9, rise: 1e-10 },
+            SourceWave::Step {
+                from: 0.0,
+                to: 1.2,
+                at: 1e-9,
+                rise: 1e-10,
+            },
         );
         let deck = to_netlist_string(&c, "step");
         assert!(deck.contains("PWL("), "{deck}");

@@ -39,7 +39,10 @@ impl TransientSpec {
             && self.step.is_finite()
             && self.stop.is_finite();
         if !valid {
-            return Err(SpiceError::InvalidTransientSpec { step: self.step, stop: self.stop });
+            return Err(SpiceError::InvalidTransientSpec {
+                step: self.step,
+                stop: self.stop,
+            });
         }
         Ok(())
     }
@@ -112,8 +115,7 @@ pub(crate) fn run(circuit: &Circuit, spec: TransientSpec) -> Result<TransientRes
         for _iter in 0..MAX_NEWTON {
             total_newton += 1;
             let sys = mna::assemble(circuit, &x, &v_prev, t, spec.step);
-            let factors =
-                lu_factorize(sys.a).ok_or(SpiceError::SingularMatrix { time: t })?;
+            let factors = lu_factorize(sys.a).ok_or(SpiceError::SingularMatrix { time: t })?;
             let mut x_new = sys.z;
             factors.solve_in_place(&mut x_new);
             // Damped update on node voltages only.
@@ -146,7 +148,11 @@ pub(crate) fn run(circuit: &Circuit, spec: TransientSpec) -> Result<TransientRes
         }
     }
 
-    Ok(TransientResult { times, voltages, total_newton_iterations: total_newton })
+    Ok(TransientResult {
+        times,
+        voltages,
+        total_newton_iterations: total_newton,
+    })
 }
 
 #[cfg(test)]
@@ -162,7 +168,9 @@ mod tests {
         c.add_resistor(n, Circuit::GROUND, 1e3);
         c.add_capacitor(n, Circuit::GROUND, 1e-9); // tau = 1 µs
         c.set_initial_voltage(n, 1.0);
-        let res = c.run_transient(TransientSpec::new(1e-8, 3e-6)).expect("runs");
+        let res = c
+            .run_transient(TransientSpec::new(1e-8, 3e-6))
+            .expect("runs");
         let wf = res.waveform(n);
         for &t in &[0.5e-6, 1.0e-6, 2.0e-6] {
             let expected = (-t / 1e-6_f64).exp();
@@ -179,7 +187,9 @@ mod tests {
         c.add_dc_voltage(vdd, 1.2);
         c.add_resistor(vdd, n, 1e3);
         c.add_capacitor(n, Circuit::GROUND, 1e-9);
-        let res = c.run_transient(TransientSpec::new(1e-8, 10e-6)).expect("runs");
+        let res = c
+            .run_transient(TransientSpec::new(1e-8, 10e-6))
+            .expect("runs");
         assert!((res.final_voltage(n) - 1.2).abs() < 1e-3);
     }
 
@@ -191,11 +201,18 @@ mod tests {
         c.add_voltage_source(
             src,
             Circuit::GROUND,
-            SourceWave::Step { from: 0.0, to: 1.0, at: 1e-6, rise: 1e-8 },
+            SourceWave::Step {
+                from: 0.0,
+                to: 1.0,
+                at: 1e-6,
+                rise: 1e-8,
+            },
         );
         c.add_resistor(src, out, 1.0);
         c.add_capacitor(out, Circuit::GROUND, 1e-12);
-        let res = c.run_transient(TransientSpec::new(1e-8, 2e-6)).expect("runs");
+        let res = c
+            .run_transient(TransientSpec::new(1e-8, 2e-6))
+            .expect("runs");
         let wf = res.waveform(out);
         assert!(wf.sample(0.5e-6).abs() < 1e-6);
         assert!((wf.sample(1.9e-6) - 1.0).abs() < 1e-3);
@@ -223,13 +240,20 @@ mod tests {
         c.add_voltage_source(
             vin,
             Circuit::GROUND,
-            SourceWave::Step { from: 0.0, to: 1.2, at: 1e-9, rise: 0.05e-9 },
+            SourceWave::Step {
+                from: 0.0,
+                to: 1.2,
+                at: 1e-9,
+                rise: 0.05e-9,
+            },
         );
         c.add_mosfet(out, vin, Circuit::GROUND, MosParams::nmos(0.4, 400e-6));
         c.add_mosfet(out, vin, vdd, MosParams::pmos(0.4, 200e-6));
         c.add_capacitor(out, Circuit::GROUND, 10e-15);
         c.set_initial_voltage(out, 1.2);
-        let res = c.run_transient(TransientSpec::new(1e-12, 4e-9)).expect("runs");
+        let res = c
+            .run_transient(TransientSpec::new(1e-12, 4e-9))
+            .expect("runs");
         let wf = res.waveform(out);
         assert!(wf.sample(0.9e-9) > 1.1, "output high before the input step");
         assert!(wf.sample(3.9e-9) < 0.1, "output low after the input step");
@@ -241,7 +265,9 @@ mod tests {
         let n = c.node("n");
         c.add_resistor(n, Circuit::GROUND, 1e3);
         c.add_capacitor(n, Circuit::GROUND, 1e-12);
-        let res = c.run_transient(TransientSpec::new(1e-9, 1e-8)).expect("runs");
+        let res = c
+            .run_transient(TransientSpec::new(1e-9, 1e-8))
+            .expect("runs");
         let g = res.waveform(Circuit::GROUND);
         assert!(g.samples().iter().all(|&v| v == 0.0));
     }
@@ -252,7 +278,9 @@ mod tests {
         let n = c.node("n");
         c.add_resistor(n, Circuit::GROUND, 1e3);
         c.add_capacitor(n, Circuit::GROUND, 1e-12);
-        let res = c.run_transient(TransientSpec::new(1e-9, 1e-7)).expect("runs");
+        let res = c
+            .run_transient(TransientSpec::new(1e-9, 1e-7))
+            .expect("runs");
         assert!(res.total_newton_iterations >= 100);
     }
 }

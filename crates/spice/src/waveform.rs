@@ -39,7 +39,10 @@ impl Waveform {
             return self.values[last];
         }
         // Binary search for the bracketing segment.
-        let idx = match self.times.binary_search_by(|probe| probe.partial_cmp(&t).expect("finite")) {
+        let idx = match self
+            .times
+            .binary_search_by(|probe| probe.partial_cmp(&t).expect("finite"))
+        {
             Ok(i) => return self.values[i],
             Err(i) => i,
         };
@@ -88,7 +91,10 @@ impl Waveform {
 
     /// Maximum sample value.
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Minimum sample value.
@@ -152,9 +158,13 @@ mod tests {
     #[test]
     fn crossings_both_directions() {
         let w = ramp();
-        let up = w.first_crossing(0.5, CrossingDirection::Rising).expect("rises");
+        let up = w
+            .first_crossing(0.5, CrossingDirection::Rising)
+            .expect("rises");
         assert!((up - 0.5).abs() < 1e-12);
-        let down = w.first_crossing(0.5, CrossingDirection::Falling).expect("falls");
+        let down = w
+            .first_crossing(0.5, CrossingDirection::Falling)
+            .expect("falls");
         assert!((down - 1.5).abs() < 1e-12);
         assert!(w.first_crossing(2.0, CrossingDirection::Rising).is_none());
     }

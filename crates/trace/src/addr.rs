@@ -34,7 +34,12 @@ impl AddressMap {
     /// The evaluation configuration: 64 B lines, 32 columns, 8 banks,
     /// 8192 rows.
     pub fn paper_default() -> Self {
-        AddressMap { offset_bits: 6, column_bits: 5, bank_bits: 3, row_bits: 13 }
+        AddressMap {
+            offset_bits: 6,
+            column_bits: 5,
+            bank_bits: 3,
+            row_bits: 13,
+        }
     }
 
     /// Total addressable bytes.

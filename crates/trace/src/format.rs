@@ -22,7 +22,11 @@ pub struct ParseTraceError {
 
 impl std::fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.reason)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.reason
+        )
     }
 }
 
@@ -47,18 +51,30 @@ pub fn parse_trace(text: &str) -> Result<Vec<TraceRecord>, ParseTraceError> {
         let cycle = parts
             .next()
             .and_then(|s| u64::from_str(s).ok())
-            .ok_or_else(|| ParseTraceError { line: line_no, reason: "bad cycle field".into() })?;
+            .ok_or_else(|| ParseTraceError {
+                line: line_no,
+                reason: "bad cycle field".into(),
+            })?;
         let op = parts
             .next()
             .and_then(|s| s.chars().next())
             .and_then(Op::from_tag)
-            .ok_or_else(|| ParseTraceError { line: line_no, reason: "bad op field".into() })?;
+            .ok_or_else(|| ParseTraceError {
+                line: line_no,
+                reason: "bad op field".into(),
+            })?;
         let row = parts
             .next()
             .and_then(|s| u32::from_str(s).ok())
-            .ok_or_else(|| ParseTraceError { line: line_no, reason: "bad row field".into() })?;
+            .ok_or_else(|| ParseTraceError {
+                line: line_no,
+                reason: "bad row field".into(),
+            })?;
         if parts.next().is_some() {
-            return Err(ParseTraceError { line: line_no, reason: "trailing fields".into() });
+            return Err(ParseTraceError {
+                line: line_no,
+                reason: "trailing fields".into(),
+            });
         }
         if cycle < last_cycle {
             return Err(ParseTraceError {
@@ -90,8 +106,10 @@ pub fn write_trace<'a, I: IntoIterator<Item = &'a TraceRecord>>(records: I) -> S
 pub fn read_trace_file<P: AsRef<std::path::Path>>(
     path: P,
 ) -> Result<Vec<TraceRecord>, ParseTraceError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| ParseTraceError { line: 0, reason: format!("io error: {e}") })?;
+    let text = std::fs::read_to_string(path).map_err(|e| ParseTraceError {
+        line: 0,
+        reason: format!("io error: {e}"),
+    })?;
     parse_trace(&text)
 }
 
@@ -153,7 +171,10 @@ mod tests {
 
     #[test]
     fn file_round_trip() {
-        let records = vec![TraceRecord::new(7, Op::Write, 3), TraceRecord::new(9, Op::Read, 1)];
+        let records = vec![
+            TraceRecord::new(7, Op::Write, 3),
+            TraceRecord::new(9, Op::Read, 1),
+        ];
         let path = std::env::temp_dir().join("vrl_trace_round_trip.trace");
         write_trace_file(&path, &records).expect("writes");
         let back = read_trace_file(&path).expect("reads");

@@ -104,8 +104,14 @@ impl WorkloadSpec {
     ///
     /// Panics on out-of-range parameters.
     pub fn validate(&self) {
-        assert!(self.footprint > 0.0 && self.footprint <= 1.0, "footprint in (0,1]");
-        assert!((0.0..=1.0).contains(&self.read_fraction), "read fraction in [0,1]");
+        assert!(
+            self.footprint > 0.0 && self.footprint <= 1.0,
+            "footprint in (0,1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.read_fraction),
+            "read fraction in [0,1]"
+        );
         assert!(self.accesses_per_us > 0.0, "intensity must be positive");
         if let AccessPattern::Zipf(s) = self.pattern {
             assert!(s >= 0.0, "zipf exponent must be non-negative");
@@ -150,7 +156,11 @@ impl Workload {
     pub fn new(spec: WorkloadSpec, bank_rows: u32, seed: u64) -> Self {
         spec.validate();
         assert!(bank_rows > 0, "bank must have rows");
-        Workload { spec, bank_rows, seed }
+        Workload {
+            spec,
+            bank_rows,
+            seed,
+        }
     }
 
     /// The bound specification.
@@ -222,7 +232,11 @@ impl Iterator for Records {
         // Spread the footprint across the bank deterministically so
         // different footprints do not all collide on row 0..N.
         let row = spread_row(row_in_footprint, self.bank_rows);
-        let op = if self.rng.gen_bool(self.spec.read_fraction) { Op::Read } else { Op::Write };
+        let op = if self.rng.gen_bool(self.spec.read_fraction) {
+            Op::Read
+        } else {
+            Op::Write
+        };
         Some(TraceRecord::new(self.cycle, op, row))
     }
 }
@@ -284,8 +298,7 @@ mod tests {
     #[test]
     fn sequential_covers_footprint_evenly() {
         let spec = WorkloadSpec::parsec("bgsave").expect("known");
-        let t: Vec<TraceRecord> =
-            Workload::new(spec, 1024, 1).records(5.0).collect();
+        let t: Vec<TraceRecord> = Workload::new(spec, 1024, 1).records(5.0).collect();
         let distinct: HashSet<u32> = t.iter().map(|r| r.row).collect();
         // 5 ms × 8/µs = 40k accesses over 1024 rows: full coverage.
         assert_eq!(distinct.len(), 1024);
@@ -325,7 +338,10 @@ mod tests {
         let mean = trace.len() as f64 / 64.0;
         let max = *counts.iter().max().expect("non-empty") as f64;
         let min = *counts.iter().min().expect("non-empty") as f64;
-        assert!(max < 1.5 * mean && min > 0.5 * mean, "not uniform: {min}..{max} vs {mean}");
+        assert!(
+            max < 1.5 * mean && min > 0.5 * mean,
+            "not uniform: {min}..{max} vs {mean}"
+        );
     }
 
     #[test]

@@ -77,7 +77,11 @@ pub fn parse_ramulator(text: &str) -> Result<Vec<RamulatorRequest>, ParseTraceEr
                 reason: "bad write-address field".into(),
             })?),
         };
-        requests.push(RamulatorRequest { bubble, read_addr, write_addr });
+        requests.push(RamulatorRequest {
+            bubble,
+            read_addr,
+            write_addr,
+        });
     }
     Ok(requests)
 }
@@ -134,10 +138,21 @@ mod tests {
         let text = "# ramulator cpu trace\n100 0x1000\n50 4096 0x2000\n";
         let reqs = parse_ramulator(text).expect("parses");
         assert_eq!(reqs.len(), 2);
-        assert_eq!(reqs[0], RamulatorRequest { bubble: 100, read_addr: 0x1000, write_addr: None });
+        assert_eq!(
+            reqs[0],
+            RamulatorRequest {
+                bubble: 100,
+                read_addr: 0x1000,
+                write_addr: None
+            }
+        );
         assert_eq!(
             reqs[1],
-            RamulatorRequest { bubble: 50, read_addr: 4096, write_addr: Some(0x2000) }
+            RamulatorRequest {
+                bubble: 50,
+                read_addr: 4096,
+                write_addr: Some(0x2000)
+            }
         );
     }
 
@@ -155,11 +170,27 @@ mod tests {
     fn convert_filters_by_bank_and_accumulates_cycles() {
         let map = AddressMap::paper_default();
         // Build addresses in bank 0 and bank 1 explicitly.
-        let in_bank0 = map.encode(crate::addr::Location { bank: 0, row: 10, column: 0 });
-        let in_bank1 = map.encode(crate::addr::Location { bank: 1, row: 20, column: 0 });
+        let in_bank0 = map.encode(crate::addr::Location {
+            bank: 0,
+            row: 10,
+            column: 0,
+        });
+        let in_bank1 = map.encode(crate::addr::Location {
+            bank: 1,
+            row: 20,
+            column: 0,
+        });
         let reqs = vec![
-            RamulatorRequest { bubble: 100, read_addr: in_bank0, write_addr: Some(in_bank1) },
-            RamulatorRequest { bubble: 100, read_addr: in_bank1, write_addr: Some(in_bank0) },
+            RamulatorRequest {
+                bubble: 100,
+                read_addr: in_bank0,
+                write_addr: Some(in_bank1),
+            },
+            RamulatorRequest {
+                bubble: 100,
+                read_addr: in_bank1,
+                write_addr: Some(in_bank0),
+            },
         ];
         let records = convert(&reqs, &ConvertConfig::default());
         assert_eq!(records.len(), 2);
@@ -173,10 +204,30 @@ mod tests {
     #[test]
     fn bubbles_scale_with_cpi() {
         let map = AddressMap::paper_default();
-        let addr = map.encode(crate::addr::Location { bank: 0, row: 1, column: 0 });
-        let reqs = vec![RamulatorRequest { bubble: 1000, read_addr: addr, write_addr: None }];
-        let fast = convert(&reqs, &ConvertConfig { cycles_per_instruction: 0.25, ..Default::default() });
-        let slow = convert(&reqs, &ConvertConfig { cycles_per_instruction: 2.0, ..Default::default() });
+        let addr = map.encode(crate::addr::Location {
+            bank: 0,
+            row: 1,
+            column: 0,
+        });
+        let reqs = vec![RamulatorRequest {
+            bubble: 1000,
+            read_addr: addr,
+            write_addr: None,
+        }];
+        let fast = convert(
+            &reqs,
+            &ConvertConfig {
+                cycles_per_instruction: 0.25,
+                ..Default::default()
+            },
+        );
+        let slow = convert(
+            &reqs,
+            &ConvertConfig {
+                cycles_per_instruction: 2.0,
+                ..Default::default()
+            },
+        );
         assert!(slow[0].cycle > fast[0].cycle);
     }
 
@@ -184,9 +235,17 @@ mod tests {
     fn round_trip_through_bank_simulator_format() {
         // Converted records satisfy the text format's sorting invariant.
         let map = AddressMap::paper_default();
-        let addr = map.encode(crate::addr::Location { bank: 0, row: 5, column: 3 });
+        let addr = map.encode(crate::addr::Location {
+            bank: 0,
+            row: 5,
+            column: 3,
+        });
         let reqs: Vec<RamulatorRequest> = (0..10)
-            .map(|_| RamulatorRequest { bubble: 10, read_addr: addr, write_addr: None })
+            .map(|_| RamulatorRequest {
+                bubble: 10,
+                read_addr: addr,
+                write_addr: None,
+            })
             .collect();
         let records = convert(&reqs, &ConvertConfig::default());
         let text = crate::format::write_trace(&records);

@@ -71,7 +71,10 @@ pub fn window_coverage<'a, I: IntoIterator<Item = &'a TraceRecord>>(
         }
         windows[idx].insert(r.row);
     }
-    windows.iter().map(|w| w.len() as f64 / bank_rows as f64).collect()
+    windows
+        .iter()
+        .map(|w| w.len() as f64 / bank_rows as f64)
+        .collect()
 }
 
 #[cfg(test)]
@@ -119,8 +122,7 @@ mod tests {
     fn bgsave_covers_more_rows_than_swaptions() {
         let make = |name: &str| {
             let spec = WorkloadSpec::parsec(name).expect("known");
-            let records: Vec<TraceRecord> =
-                Workload::new(spec, 2048, 5).records(5.0).collect();
+            let records: Vec<TraceRecord> = Workload::new(spec, 2048, 5).records(5.0).collect();
             TraceStats::from_records(&records).rows_touched
         };
         assert!(make("bgsave") > 3 * make("swaptions"));

@@ -17,7 +17,11 @@ fn main() {
     println!("charge restoration during a full refresh:");
     for target in [0.80, 0.90, 0.95, 0.99] {
         let frac = model.time_fraction_to_charge_fraction(target);
-        println!("  {:>4.0}% of charge by {:>5.1}% of tRFC", target * 100.0, frac * 100.0);
+        println!(
+            "  {:>4.0}% of charge by {:>5.1}% of tRFC",
+            target * 100.0,
+            frac * 100.0
+        );
     }
 
     // Data-pattern-dependent sense margins (the coupling model).
@@ -52,6 +56,10 @@ fn main() {
     // Geometry scaling (Table 1).
     println!("\npre-sensing delay by bank geometry (our model):");
     for geometry in BankGeometry::table1_configs() {
-        println!("  {:>10}: {} cycles", geometry.to_string(), model.presensing_cycles(geometry));
+        println!(
+            "  {:>10}: {} cycles",
+            geometry.to_string(),
+            model.presensing_cycles(geometry)
+        );
     }
 }

@@ -27,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 1000200 W 3
 ";
     let mut records = parse_trace(text)?;
-    println!("parsed {} records; round-trip:\n{}", records.len(), write_trace(&records));
+    println!(
+        "parsed {} records; round-trip:\n{}",
+        records.len(),
+        write_trace(&records)
+    );
     for i in 1..40u64 {
         records.push(TraceRecord::new(i * 50_000_000, Op::Read, 3));
     }

@@ -7,6 +7,8 @@ use vrl::circuit::model::AnalyticalModel;
 use vrl::circuit::tech::Technology;
 use vrl::core::physics::ModelPhysics;
 use vrl::core::plan::RefreshPlan;
+use vrl::dram::fault::{FaultConfig, FaultInjector, OptimismFault};
+use vrl::dram::guard::{Guard, GuardConfig};
 use vrl::dram::integrity::IntegrityChecker;
 use vrl::dram::policy::Vrl;
 use vrl::dram::sim::{SimConfig, Simulator};
@@ -17,8 +19,11 @@ use vrl::retention::profile::BankProfile;
 fn audit(name: &str, mprsf: Vec<u8>, profile: &BankProfile, model: &AnalyticalModel) {
     let bins = vrl::retention::binning::BinningTable::from_profile(profile);
     let retention: Vec<f64> = profile.iter().map(|r| r.weakest_ms).collect();
-    let mut checker =
-        IntegrityChecker::new(ModelPhysics::new(model), TimingParams::paper_default(), retention);
+    let mut checker = IntegrityChecker::new(
+        ModelPhysics::new(model),
+        TimingParams::paper_default(),
+        retention,
+    );
     let mut sim = Simulator::new(
         SimConfig::with_rows(profile.row_count() as u32),
         Vrl::new(bins, mprsf),
@@ -32,7 +37,9 @@ fn audit(name: &str, mprsf: Vec<u8>, profile: &BankProfile, model: &AnalyticalMo
     if let Some(v) = checker.violations().first() {
         println!(
             "{:>24}  first violation: row {} dropped to {:.1}% of Vdd",
-            "", v.row, v.charge * 100.0
+            "",
+            v.row,
+            v.charge * 100.0
         );
     }
 }
@@ -47,8 +54,67 @@ fn main() {
 
     // A reckless plan: force maximum partials on every row regardless of
     // retention — the checker must catch the weak rows losing data.
-    audit("reckless MPRSF = 3", vec![3; profile.row_count()], &profile, &model);
+    audit(
+        "reckless MPRSF = 3",
+        vec![3; profile.row_count()],
+        &profile,
+        &model,
+    );
 
     // And the fully conservative plan: MPRSF 0 everywhere (pure RAIDR).
-    audit("conservative MPRSF = 0", vec![0; profile.row_count()], &profile, &model);
+    audit(
+        "conservative MPRSF = 0",
+        vec![0; profile.row_count()],
+        &profile,
+        &model,
+    );
+
+    // Guard recovery: the *computed* plan again, but the profiler was
+    // optimistic about some rows (their true retention is 25% worse than
+    // profiled). Unguarded this silently loses data; the runtime guard
+    // catches every excursion in the correctable SECDED band, writes the
+    // rows back, and degrades them down the MPRSF/bin ladder until the
+    // plan is safe again.
+    println!("\nguard recovery from an injected profiler-optimism fault:");
+    let timing = TimingParams::paper_default();
+    let profiled: Vec<f64> = profile.iter().map(|r| r.weakest_ms).collect();
+    let faults = FaultConfig {
+        seed: 9,
+        optimism: Some(OptimismFault::default()),
+        ..Default::default()
+    };
+    let injector = FaultInjector::new(faults, &profiled, timing);
+    println!(
+        "{:>24}  {} of {} rows are weaker than profiled",
+        "",
+        injector.stats().optimistic_rows,
+        profile.row_count()
+    );
+    let mut guard = Guard::new(
+        ModelPhysics::new(&model),
+        timing,
+        injector.true_retention(),
+        GuardConfig::default(),
+    );
+    let bins = vrl::retention::binning::BinningTable::from_profile(&profile);
+    let mut sim = Simulator::new(
+        SimConfig::with_rows(profile.row_count() as u32),
+        Vrl::new(bins, plan.mprsf().to_vec()),
+    );
+    sim.set_fault_injector(injector);
+    let stats = sim.run_guarded(std::iter::empty(), 2048.0, &mut guard);
+    let gs = guard.stats();
+    println!(
+        "{:>24}  {} corrected, {} uncorrected, {} MPRSF demotions, {} re-bins",
+        "guarded computed MPRSF",
+        gs.corrected,
+        gs.uncorrected,
+        gs.mprsf_demotions,
+        gs.bin_demotions
+    );
+    println!(
+        "{:>24}  {} scrub reads, {} refresh-busy cycles",
+        "", stats.scrub_accesses, stats.refresh_busy_cycles
+    );
+    assert_eq!(gs.uncorrected, 0, "the guard must not lose data");
 }

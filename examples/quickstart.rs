@@ -7,12 +7,19 @@ use vrl::core::experiment::{Experiment, ExperimentConfig, PolicyKind};
 fn main() {
     // A 2048-row bank and a 512 ms run keep this example snappy; the
     // paper's evaluation point is 8192 rows (see the `fig4` bench bin).
-    let config = ExperimentConfig { rows: 2048, duration_ms: 512.0, ..Default::default() };
+    let config = ExperimentConfig {
+        rows: 2048,
+        duration_ms: 512.0,
+        ..Default::default()
+    };
     let experiment = Experiment::new(config);
 
     // The plan: retention binning plus per-row MPRSF counters.
     let plan = experiment.plan();
-    println!("MPRSF histogram (rows per counter value): {:?}", plan.mprsf_histogram());
+    println!(
+        "MPRSF histogram (rows per counter value): {:?}",
+        plan.mprsf_histogram()
+    );
     println!(
         "mean refresh latency under VRL: {:.2} cycles (full refresh: 19, partial: 11)\n",
         plan.mean_refresh_cycles(19, 11)
@@ -21,7 +28,9 @@ fn main() {
     // Compare policies on one workload.
     let benchmark = "ferret";
     for kind in PolicyKind::ALL {
-        let stats = experiment.run_policy(kind, benchmark).expect("known benchmark");
+        let stats = experiment
+            .run_policy(kind, benchmark)
+            .expect("known benchmark");
         println!(
             "{:>10}: {:>9} refresh-busy cycles ({} full + {} partial refreshes)",
             kind.name(),

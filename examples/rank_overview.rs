@@ -3,9 +3,9 @@
 //!
 //! Run with: `cargo run --release --example rank_overview`
 
-use vrl::core::plan::RefreshPlan;
 use vrl::circuit::model::AnalyticalModel;
 use vrl::circuit::tech::Technology;
+use vrl::core::plan::RefreshPlan;
 use vrl::dram::rank::{RankRecord, RankSimulator};
 use vrl::dram::sim::SimConfig;
 use vrl::retention::distribution::RetentionDistribution;
@@ -20,8 +20,12 @@ fn main() {
     // One shared plan (real controllers profile per bank; sharing keeps
     // the example simple — counters are still per-bank).
     let model = AnalyticalModel::new(Technology::n90());
-    let profile =
-        BankProfile::generate(&RetentionDistribution::liu_et_al(), rows_per_bank as usize, 32, 42);
+    let profile = BankProfile::generate(
+        &RetentionDistribution::liu_et_al(),
+        rows_per_bank as usize,
+        32,
+        42,
+    );
     let plan = RefreshPlan::build(&model, &profile, 2, 0.0);
 
     // A synthetic stream of byte addresses walked through the address
@@ -37,12 +41,18 @@ fn main() {
         })
         .collect();
 
-    let mut rank =
-        RankSimulator::new(SimConfig::with_rows(rows_per_bank), plan.vrl_access(), banks);
+    let mut rank = RankSimulator::new(
+        SimConfig::with_rows(rows_per_bank),
+        plan.vrl_access(),
+        banks,
+    );
     let stats = rank.run(trace.into_iter(), 512.0);
 
     println!("rank of {banks} banks x {rows_per_bank} rows, 512 ms, VRL-Access:\n");
-    println!("{:>6} {:>10} {:>10} {:>10} {:>12}", "bank", "accesses", "full", "partial", "busy (cyc)");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>12}",
+        "bank", "accesses", "full", "partial", "busy (cyc)"
+    );
     for (i, b) in stats.banks.iter().enumerate() {
         println!(
             "{:>6} {:>10} {:>10} {:>10} {:>12}",

@@ -12,7 +12,11 @@ use vrl::spice::TransientSpec;
 #[test]
 fn equalization_model_tracks_transient_within_60mv() {
     let cmp = compare_equalization(&Technology::n90(), 2e-9, 80).expect("simulates");
-    assert!(cmp.two_phase_rms() < 0.06, "rms = {} V", cmp.two_phase_rms());
+    assert!(
+        cmp.two_phase_rms() < 0.06,
+        "rms = {} V",
+        cmp.two_phase_rms()
+    );
     assert!(cmp.two_phase_rms() < cmp.single_cell_rms());
 }
 
@@ -24,7 +28,9 @@ fn charge_sharing_final_swing_matches_divider() {
     let geometry = BankGeometry::operational_segment();
     let params = tech.to_spice_params(geometry);
     let (ckt, nodes) = charge_sharing_array(&params, &[true], 1e-12);
-    let res = ckt.run_transient(TransientSpec::new(5e-12, 30e-9)).expect("runs");
+    let res = ckt
+        .run_transient(TransientSpec::new(5e-12, 30e-9))
+        .expect("runs");
     let v_final = res.final_voltage(nodes.bitlines[0]);
 
     let model = ChargeSharingModel::new(&tech, geometry);
@@ -42,9 +48,14 @@ fn presensing_model_tracks_transient_within_table1_band() {
     for geometry in BankGeometry::table1_configs() {
         let window = if geometry.cols >= 128 { 17 } else { 9 };
         let row = measure_presensing(&tech, geometry, window).expect("simulates");
-        let err = (row.our_cycles as f64 - row.spice_cycles as f64).abs()
-            / row.spice_cycles as f64;
-        assert!(err <= 0.15, "{}: ours {} vs spice {}", geometry, row.our_cycles, row.spice_cycles);
+        let err = (row.our_cycles as f64 - row.spice_cycles as f64).abs() / row.spice_cycles as f64;
+        assert!(
+            err <= 0.15,
+            "{}: ours {} vs spice {}",
+            geometry,
+            row.our_cycles,
+            row.spice_cycles
+        );
         // And the analytical model is always orders of magnitude faster.
         assert!(row.our_seconds * 100.0 < row.spice_seconds);
     }
@@ -57,17 +68,25 @@ fn restore_tail_is_slow_in_both_models() {
     let tech = Technology::n90();
     let params = tech.to_spice_params(BankGeometry::operational_segment());
     let (ckt, nodes) = sense_restore_circuit(&params, 0.55, SenseTiming::default());
-    let res = ckt.run_transient(TransientSpec::new(10e-12, 60e-9)).expect("runs");
+    let res = ckt
+        .run_transient(TransientSpec::new(10e-12, 60e-9))
+        .expect("runs");
     let wf = res.waveform(nodes.cell);
     let v_end = wf.last_value();
     let cross = |frac: f64| {
-        wf.first_crossing(frac * v_end, vrl::spice::waveform::CrossingDirection::Rising)
-            .expect("reaches the level")
+        wf.first_crossing(
+            frac * v_end,
+            vrl::spice::waveform::CrossingDirection::Rising,
+        )
+        .expect("reaches the level")
     };
     let t80 = cross(0.80);
     let t95 = cross(0.95);
     let t99 = cross(0.99);
-    assert!(t99 - t95 > 0.3 * (t95 - t80), "tail too fast: {t80:e} {t95:e} {t99:e}");
+    assert!(
+        t99 - t95 > 0.3 * (t95 - t80),
+        "tail too fast: {t80:e} {t95:e} {t99:e}"
+    );
 
     // The analytical model agrees qualitatively.
     let model = AnalyticalModel::new(tech);
@@ -85,7 +104,9 @@ fn opposite_neighbors_hurt_margin_in_both_models() {
     // Transient: victim with same-data vs opposite-data neighbors.
     let run = |pattern: &[bool]| {
         let (ckt, nodes) = charge_sharing_array(&params, pattern, 1e-12);
-        let res = ckt.run_transient(TransientSpec::new(5e-12, 30e-9)).expect("runs");
+        let res = ckt
+            .run_transient(TransientSpec::new(5e-12, 30e-9))
+            .expect("runs");
         res.final_voltage(nodes.bitlines[1]) - tech.veq()
     };
     let same = run(&[true, true, true]);

@@ -5,7 +5,11 @@ use vrl::core::experiment::{Experiment, ExperimentConfig, PolicyKind};
 use vrl::core::overhead;
 
 fn experiment() -> Experiment {
-    Experiment::new(ExperimentConfig { rows: 1024, duration_ms: 1024.0, ..Default::default() })
+    Experiment::new(ExperimentConfig {
+        rows: 1024,
+        duration_ms: 1024.0,
+        ..Default::default()
+    })
 }
 
 #[test]
@@ -14,10 +18,21 @@ fn policy_ordering_holds_end_to_end() {
     let auto = e.run_policy(PolicyKind::Auto, "canneal").expect("known");
     let raidr = e.run_policy(PolicyKind::Raidr, "canneal").expect("known");
     let vrl = e.run_policy(PolicyKind::Vrl, "canneal").expect("known");
-    let vrl_access = e.run_policy(PolicyKind::VrlAccess, "canneal").expect("known");
-    assert!(raidr.refresh_busy_cycles < auto.refresh_busy_cycles, "RAIDR < auto");
-    assert!(vrl.refresh_busy_cycles < raidr.refresh_busy_cycles, "VRL < RAIDR");
-    assert!(vrl_access.refresh_busy_cycles <= vrl.refresh_busy_cycles, "VRL-Access <= VRL");
+    let vrl_access = e
+        .run_policy(PolicyKind::VrlAccess, "canneal")
+        .expect("known");
+    assert!(
+        raidr.refresh_busy_cycles < auto.refresh_busy_cycles,
+        "RAIDR < auto"
+    );
+    assert!(
+        vrl.refresh_busy_cycles < raidr.refresh_busy_cycles,
+        "VRL < RAIDR"
+    );
+    assert!(
+        vrl_access.refresh_busy_cycles <= vrl.refresh_busy_cycles,
+        "VRL-Access <= VRL"
+    );
 }
 
 #[test]
@@ -47,15 +62,25 @@ fn simulator_matches_closed_form_accounting() {
         .refresh_busy_cycles as f64;
     let raidr_model = overhead::raidr_cycles(e.plan(), 4096.0, 19);
     let rel = (raidr_sim - raidr_model).abs() / raidr_model;
-    assert!(rel < 0.02, "simulator {raidr_sim} vs model {raidr_model} ({rel:.3})");
+    assert!(
+        rel < 0.02,
+        "simulator {raidr_sim} vs model {raidr_model} ({rel:.3})"
+    );
 
     let vrl_sim = e
-        .run_policy_with(PolicyKind::Vrl, std::iter::empty(), &mut vrl::dram::sim::NullObserver)
+        .run_policy_with(
+            PolicyKind::Vrl,
+            std::iter::empty(),
+            &mut vrl::dram::sim::NullObserver,
+        )
         .refresh_busy_cycles as f64;
     let vrl_model = overhead::vrl_cycles(e.plan(), 4096.0, 19, 11);
     let rel = (vrl_sim - vrl_model).abs() / vrl_model;
     // VRL has a partial-heavy transient (counters start at 0).
-    assert!(rel < 0.05, "simulator {vrl_sim} vs model {vrl_model} ({rel:.3})");
+    assert!(
+        rel < 0.05,
+        "simulator {vrl_sim} vs model {vrl_model} ({rel:.3})"
+    );
 }
 
 #[test]
@@ -67,8 +92,12 @@ fn vrl_is_application_independent_but_vrl_access_is_not() {
         vrl_a.refresh_busy_cycles, vrl_b.refresh_busy_cycles,
         "plain VRL must not depend on the trace"
     );
-    let va_a = e.run_policy(PolicyKind::VrlAccess, "swaptions").expect("known");
-    let va_b = e.run_policy(PolicyKind::VrlAccess, "bgsave").expect("known");
+    let va_a = e
+        .run_policy(PolicyKind::VrlAccess, "swaptions")
+        .expect("known");
+    let va_b = e
+        .run_policy(PolicyKind::VrlAccess, "bgsave")
+        .expect("known");
     assert!(
         va_b.refresh_busy_cycles < va_a.refresh_busy_cycles,
         "bgsave's full-bank sweep must help VRL-Access more than swaptions"
@@ -86,10 +115,17 @@ fn refresh_power_ordering_matches_cycle_ordering() {
     assert!(va.refresh_mw <= vrl.refresh_mw);
     // Energy saving is smaller than the cycle saving (fixed charge term).
     let cycle_saving = 1.0
-        - e.run_policy(PolicyKind::Vrl, "vips").expect("known").refresh_busy_cycles as f64
-            / e.run_policy(PolicyKind::Raidr, "vips").expect("known").refresh_busy_cycles as f64;
+        - e.run_policy(PolicyKind::Vrl, "vips")
+            .expect("known")
+            .refresh_busy_cycles as f64
+            / e.run_policy(PolicyKind::Raidr, "vips")
+                .expect("known")
+                .refresh_busy_cycles as f64;
     let energy_saving = 1.0 - vrl.refresh_mw / raidr.refresh_mw;
-    assert!(energy_saving < cycle_saving, "{energy_saving} vs {cycle_saving}");
+    assert!(
+        energy_saving < cycle_saving,
+        "{energy_saving} vs {cycle_saving}"
+    );
 }
 
 #[test]

@@ -1,11 +1,11 @@
 //! Robustness: the headline results must not depend on the particular
 //! random profile or trace seed.
 
+use vrl::circuit::model::AnalyticalModel;
+use vrl::circuit::tech::Technology;
 use vrl::core::experiment::{Experiment, ExperimentConfig};
 use vrl::core::overhead::vrl_normalized;
 use vrl::core::plan::RefreshPlan;
-use vrl::circuit::model::AnalyticalModel;
-use vrl::circuit::tech::Technology;
 use vrl::retention::distribution::RetentionDistribution;
 use vrl::retention::profile::BankProfile;
 
@@ -40,7 +40,10 @@ fn vrl_access_ordering_is_stable_across_trace_seeds() {
         });
         let row = e.compare("streamcluster").expect("known");
         assert!(row.vrl_normalized < 1.0, "seed {seed}: {row:?}");
-        assert!(row.vrl_access_normalized <= row.vrl_normalized + 1e-9, "seed {seed}");
+        assert!(
+            row.vrl_access_normalized <= row.vrl_normalized + 1e-9,
+            "seed {seed}"
+        );
     }
 }
 

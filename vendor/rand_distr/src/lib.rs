@@ -1,0 +1,200 @@
+//! Offline, API-compatible subset of the `rand_distr` crate.
+//!
+//! Provides the three distributions this workspace samples — [`Normal`],
+//! [`LogNormal`] (Box–Muller) and [`Zipf`] (continuous inverse-CDF
+//! approximation of the Zipfian law) — over the vendored [`rand`] core.
+
+use rand::RngCore;
+
+/// Types that can draw samples of `T` from a random source.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned by distribution constructors on invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error {
+    what: &'static str,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.what)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[inline]
+fn unit_open(rng: &mut (impl RngCore + ?Sized)) -> f64 {
+    // (0, 1]: avoids ln(0) in Box-Muller.
+    ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[inline]
+fn standard_normal(rng: &mut (impl RngCore + ?Sized)) -> f64 {
+    let u1 = unit_open(rng);
+    let u2 = unit_open(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal (Gaussian) distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution; `std_dev` must be finite and ≥ 0.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !std_dev.is_finite() || std_dev < 0.0 || !mean.is_finite() {
+            return Err(Error {
+                what: "Normal requires finite mean and std_dev >= 0",
+            });
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution; `sigma` must be finite and ≥ 0.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if !sigma.is_finite() || sigma < 0.0 || !mu.is_finite() {
+            return Err(Error {
+                what: "LogNormal requires finite mu and sigma >= 0",
+            });
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Zipf distribution over `{1, …, n}` with exponent `s`, sampled as `f64`
+/// (matching upstream `rand_distr::Zipf`).
+///
+/// Uses the continuous inverse-CDF of the density `x^-s` on `[1, n+1)` —
+/// a close approximation of the discrete Zipfian law that preserves the
+/// rank-frequency skew the trace generator relies on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zipf {
+    n: f64,
+    s: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` elements with exponent `s ≥ 0`.
+    pub fn new(n: u64, s: f64) -> Result<Self, Error> {
+        if n == 0 {
+            return Err(Error {
+                what: "Zipf requires n >= 1",
+            });
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(Error {
+                what: "Zipf requires finite s >= 0",
+            });
+        }
+        Ok(Zipf { n: n as f64, s })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let hi = self.n + 1.0;
+        let x = if (self.s - 1.0).abs() < 1e-9 {
+            // CDF ∝ ln(x) on [1, n+1).
+            hi.powf(u)
+        } else {
+            // CDF ∝ (x^(1-s) - 1) on [1, n+1).
+            let e = 1.0 - self.s;
+            (1.0 + u * (hi.powf(e) - 1.0)).powf(1.0 / e)
+        };
+        // Clamp the continuous draw into the discrete support [1, n].
+        x.floor().clamp(1.0, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean = {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var = {var}");
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let d = LogNormal::new(2.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut samples: Vec<f64> = (0..50_001).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[25_000];
+        assert!(
+            (median - 2f64.exp()).abs() / 2f64.exp() < 0.05,
+            "median = {median}"
+        );
+    }
+
+    #[test]
+    fn zipf_support_and_skew() {
+        let d = Zipf::new(1000, 0.99).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut low = 0usize;
+        for _ in 0..10_000 {
+            let v = d.sample(&mut rng);
+            assert!((1.0..=1000.0).contains(&v));
+            assert_eq!(v, v.floor());
+            if v <= 10.0 {
+                low += 1;
+            }
+        }
+        // Zipf(0.99) concentrates mass on the head far beyond uniform's 1%.
+        assert!(low > 2_000, "low-rank mass = {low}");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniformish() {
+        let d = Zipf::new(100, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mean: f64 = (0..50_000).map(|_| d.sample(&mut rng)).sum::<f64>() / 50_000.0;
+        assert!((mean - 50.5).abs() < 1.5, "mean = {mean}");
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(0.0, f64::NAN).is_err());
+        assert!(Zipf::new(0, 1.0).is_err());
+    }
+}

@@ -1,0 +1,231 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! The registry is unreachable in this build environment, so the workspace
+//! vendors the slice of serde it uses: `#[derive(Serialize, Deserialize)]`
+//! on concrete structs/enums, and serialization to JSON consumed by the
+//! vendored `serde_json`. [`Serialize`] renders compact JSON directly;
+//! [`Deserialize`] is a marker (no call site in the workspace parses JSON
+//! back in).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can render itself as compact JSON.
+///
+/// This replaces upstream serde's visitor architecture with the one output
+/// format the workspace needs. Derived impls serialize structs as objects
+/// keyed by field name and enums in the externally-tagged form.
+pub trait Serialize {
+    /// Appends this value's compact JSON encoding to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Marker for types deserializable in upstream serde; the vendored subset
+/// has no deserialization call sites, so no methods are required.
+pub trait Deserialize {}
+
+/// Escapes and quotes `s` as a JSON string into `out`.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        // Rust's float Display is a valid JSON number (no suffix, no
+        // exponent-only forms); integral values print without ".0", which
+        // JSON also accepts.
+        out.push_str(&v.to_string());
+    } else {
+        // JSON has no Inf/NaN; upstream serde_json errors, we degrade to null.
+        out.push_str("null");
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        write_f64(*self, out);
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        write_f64(*self as f64, out);
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for char {
+    fn serialize_json(&self, out: &mut String) {
+        let mut buf = [0u8; 4];
+        write_json_string(self.encode_utf8(&mut buf), out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &mut T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+fn write_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.serialize_json(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$idx.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+macro_rules! impl_deserialize_marker {
+    ($($t:ty),*) => {$(impl Deserialize for $t {})*};
+}
+
+impl_deserialize_marker!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, String, char
+);
+
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json<T: Serialize>(v: T) -> String {
+        let mut out = String::new();
+        v.serialize_json(&mut out);
+        out
+    }
+
+    #[test]
+    fn primitives() {
+        assert_eq!(json(3u32), "3");
+        assert_eq!(json(-5i64), "-5");
+        assert_eq!(json(1.5f64), "1.5");
+        assert_eq!(json(true), "true");
+        assert_eq!(json(f64::NAN), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(json("a\"b\\c\n"), r#""a\"b\\c\n""#);
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(json(vec![1u8, 2, 3]), "[1,2,3]");
+        assert_eq!(json([1.0f64, 2.5]), "[1,2.5]");
+        assert_eq!(json((1u8, "x")), r#"[1,"x"]"#);
+        assert_eq!(json(Option::<u8>::None), "null");
+        assert_eq!(json(Some(4u8)), "4");
+    }
+}

@@ -1,0 +1,273 @@
+//! Derive macros for the vendored `serde` subset.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable offline). Supports concrete (non-generic) structs
+//! and enums — the only shapes this workspace derives on. Struct fields
+//! serialize as a JSON object keyed by field name; enums use serde's
+//! externally-tagged form (`"Variant"` / `{"Variant": …}`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum ItemKind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+/// Derives the vendored `serde::Serialize` (JSON rendering).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl ::serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("generated impl parses")
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut toks);
+    let keyword = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic types (deriving on `{name}`)");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        kw => panic!("cannot derive on `{kw}` items"),
+    };
+    Item { name, kind }
+}
+
+fn skip_attrs_and_vis(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                toks.next();
+                if matches!(
+                    toks.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    toks.next(); // pub(crate) / pub(super)
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a comma-separated body at top level: commas inside `<…>` type
+/// arguments do not split (delimited groups are single token trees and
+/// never leak their commas).
+fn split_top_level(ts: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tok in ts {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        chunks.last_mut().expect("chunks is never empty").push(tok);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+fn count_top_level_fields(ts: TokenStream) -> usize {
+    split_top_level(ts).len()
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    split_top_level(ts)
+        .into_iter()
+        .map(|chunk| {
+            let mut toks = chunk.into_iter().peekable();
+            skip_attrs_and_vis(&mut toks);
+            match toks.next() {
+                Some(TokenTree::Ident(i)) => i.to_string(),
+                other => panic!("expected field name, got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    split_top_level(ts)
+        .into_iter()
+        .map(|chunk| {
+            let mut toks = chunk.into_iter().peekable();
+            skip_attrs_and_vis(&mut toks);
+            let name = match toks.next() {
+                Some(TokenTree::Ident(i)) => i.to_string(),
+                other => panic!("expected variant name, got {other:?}"),
+            };
+            let kind = match toks.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(count_top_level_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Named(parse_named_fields(g.stream()))
+                }
+                None | Some(TokenTree::Punct(_)) => VariantKind::Unit, // `= discr` ignored
+                other => panic!("unsupported variant body for `{name}`: {other:?}"),
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}
+
+/// Emits `out.push_str("…");` with `s` escaped as a Rust string literal.
+fn push_lit(code: &mut String, s: &str) {
+    code.push_str(&format!("out.push_str({s:?});"));
+}
+
+fn ser_expr(code: &mut String, expr: &str) {
+    code.push_str(&format!("::serde::Serialize::serialize_json({expr}, out);"));
+}
+
+fn gen_fields_object(code: &mut String, fields: &[String], access: impl Fn(&str) -> String) {
+    if fields.is_empty() {
+        push_lit(code, "{}");
+        return;
+    }
+    for (i, f) in fields.iter().enumerate() {
+        let prefix = if i == 0 {
+            format!("{{\"{f}\":")
+        } else {
+            format!(",\"{f}\":")
+        };
+        push_lit(code, &prefix);
+        ser_expr(code, &access(f));
+    }
+    push_lit(code, "}");
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            gen_fields_object(&mut body, fields, |f| format!("&self.{f}"));
+        }
+        ItemKind::TupleStruct(1) => ser_expr(&mut body, "&self.0"),
+        ItemKind::TupleStruct(n) => {
+            push_lit(&mut body, "[");
+            for i in 0..*n {
+                if i > 0 {
+                    push_lit(&mut body, ",");
+                }
+                ser_expr(&mut body, &format!("&self.{i}"));
+            }
+            push_lit(&mut body, "]");
+        }
+        ItemKind::UnitStruct => push_lit(&mut body, "null"),
+        ItemKind::Enum(variants) => {
+            if variants.is_empty() {
+                body.push_str("match *self {}");
+            } else {
+                body.push_str("match self {");
+                for v in variants {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            body.push_str(&format!("{name}::{vname} => {{"));
+                            push_lit(&mut body, &format!("\"{vname}\""));
+                        }
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            body.push_str(&format!("{name}::{vname}({}) => {{", binds.join(", ")));
+                            push_lit(&mut body, &format!("{{\"{vname}\":"));
+                            if *n == 1 {
+                                ser_expr(&mut body, "__f0");
+                            } else {
+                                push_lit(&mut body, "[");
+                                for (i, b) in binds.iter().enumerate() {
+                                    if i > 0 {
+                                        push_lit(&mut body, ",");
+                                    }
+                                    ser_expr(&mut body, b);
+                                }
+                                push_lit(&mut body, "]");
+                            }
+                            push_lit(&mut body, "}");
+                        }
+                        VariantKind::Named(fields) => {
+                            body.push_str(&format!(
+                                "{name}::{vname} {{ {} }} => {{",
+                                fields.join(", ")
+                            ));
+                            push_lit(&mut body, &format!("{{\"{vname}\":"));
+                            gen_fields_object(&mut body, fields, |f| f.to_string());
+                            push_lit(&mut body, "}");
+                        }
+                    }
+                    body.push('}');
+                }
+                body.push('}');
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_json(&self, out: &mut ::std::string::String) {{ {body} }}\n\
+         }}"
+    )
+}

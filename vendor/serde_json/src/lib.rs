@@ -1,0 +1,126 @@
+//! Offline, API-compatible subset of `serde_json`: serialization only,
+//! over the vendored [`serde::Serialize`] trait. No deserializer — the
+//! workspace writes JSON artifacts but never parses them back in.
+
+/// Serialization error. The vendored serializer is total (non-finite
+/// floats degrade to `null`), so this is never produced, but the type
+/// keeps call-site signatures identical to upstream.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Serializes `value` to a pretty-printed JSON string (2-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(pretty(&to_string(value)?))
+}
+
+/// Re-indents compact JSON. Walks the string once, tracking whether the
+/// cursor is inside a string literal so structural characters in values
+/// are left alone.
+fn pretty(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut chars = compact.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                // Keep empty containers on one line.
+                let close = if c == '{' { '}' } else { ']' };
+                if chars.peek() == Some(&close) {
+                    out.push(close);
+                    chars.next();
+                } else {
+                    depth += 1;
+                    newline(&mut out, depth);
+                }
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                newline(&mut out, depth);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                newline(&mut out, depth);
+            }
+            ':' => out.push_str(": "),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn newline(out: &mut String, depth: usize) {
+    out.push('\n');
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_output() {
+        let v = vec![(1u32, "a{b"), (2, "c,d")];
+        assert_eq!(to_string(&v).unwrap(), r#"[[1,"a{b"],[2,"c,d"]]"#);
+    }
+
+    #[test]
+    fn pretty_round_trips_content() {
+        let v = vec![(1u32, "a{b"), (2, "c,d")];
+        let compact = to_string(&v).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        let strip = |s: &str| {
+            let mut inside = false;
+            s.chars()
+                .filter(|&c| {
+                    if c == '"' {
+                        inside = !inside;
+                    }
+                    inside || !c.is_whitespace()
+                })
+                .collect::<String>()
+        };
+        assert_eq!(strip(&compact), strip(&pretty));
+    }
+
+    #[test]
+    fn pretty_indents_nested() {
+        let p = to_string_pretty(&vec![vec![1u8], vec![]]).unwrap();
+        assert_eq!(p, "[\n  [\n    1\n  ],\n  []\n]");
+    }
+}
