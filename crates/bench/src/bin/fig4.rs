@@ -5,7 +5,8 @@
 //! VRL-Access ≈ 34 % below RAIDR / 13 % below VRL.
 //!
 //! Flags: `--duration-ms <f64>` (default 2048) controls the simulated
-//! wall time per run.
+//! wall time per run. The (benchmark × policy) matrix fans across the
+//! `vrl-exec` worker pool; set `VRL_THREADS` to pin the worker count.
 
 use serde::Serialize;
 
@@ -38,7 +39,10 @@ fn main() {
         "benchmark", "RAIDR", "VRL", "VRL-Access"
     );
 
-    let rows = experiment.figure4();
+    let rows = experiment.compare_all().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
     let (mut sum_v, mut sum_va) = (0.0, 0.0);
     for row in &rows {
         println!(

@@ -5,8 +5,13 @@
 //! vrl mprsf <retention_ms> [period_ms]
 //! vrl plan [--rows N] [--seed S] [--nbits B]
 //! vrl simulate <benchmark> [--rows N] [--duration-ms D] [--policy P]
+//! vrl compare [--rows N] [--duration-ms D] [--threads T]
 //! vrl netlist <equalization|charge-sharing|sense-restore>
 //! ```
+//!
+//! `compare` fans the (benchmark × policy) matrix across the `vrl-exec`
+//! worker pool; `--threads` overrides the `VRL_THREADS` environment
+//! variable, which overrides the machine's available parallelism.
 
 use std::process::ExitCode;
 
@@ -161,6 +166,47 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_compare(args: &[String]) -> ExitCode {
+    let rows: u32 = flag_parse(args, "--rows", 8192);
+    let duration_ms: f64 = flag_parse(args, "--duration-ms", 512.0);
+    let experiment = Experiment::new(ExperimentConfig {
+        rows,
+        duration_ms,
+        ..Default::default()
+    });
+    // --threads beats VRL_THREADS beats available parallelism.
+    let exec = match flag_value(args, "--threads").map(|v| v.parse::<usize>()) {
+        Some(Ok(n)) if n > 0 => vrl_exec::ExecConfig::new(n),
+        Some(_) => {
+            eprintln!("error: --threads takes a positive integer");
+            return ExitCode::FAILURE;
+        }
+        None => vrl_exec::ExecConfig::from_env(),
+    };
+    println!(
+        "bank: {rows} rows, {duration_ms} ms simulated, {} workers",
+        exec.workers
+    );
+    let comparison = match experiment.compare_all_with(&exec) {
+        Ok(rows) => rows,
+        Err(err) => {
+            eprintln!("{err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{:>14} {:>8} {:>8} {:>12}",
+        "benchmark", "RAIDR", "VRL", "VRL-Access"
+    );
+    for row in &comparison {
+        println!(
+            "{:>14} {:>8.3} {:>8.3} {:>12.3}",
+            row.benchmark, 1.0, row.vrl_normalized, row.vrl_access_normalized
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_netlist(args: &[String]) -> ExitCode {
     let which = args.first().map(String::as_str).unwrap_or("equalization");
     let params = Technology::n90().to_spice_params(BankGeometry::operational_segment());
@@ -198,6 +244,7 @@ fn main() -> ExitCode {
         Some("mprsf") => cmd_mprsf(&args[1..]),
         Some("plan") => cmd_plan(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
         Some("netlist") => cmd_netlist(&args[1..]),
         _ => {
             eprintln!("vrl — the VRL-DRAM analytical model and simulator\n");
@@ -206,6 +253,7 @@ fn main() -> ExitCode {
             eprintln!("  vrl mprsf <retention_ms> [period_ms]");
             eprintln!("  vrl plan [--rows N] [--seed S] [--nbits B]");
             eprintln!("  vrl simulate <benchmark> [--rows N] [--duration-ms D] [--policy P]");
+            eprintln!("  vrl compare [--rows N] [--duration-ms D] [--threads T]");
             eprintln!("  vrl netlist <equalization|charge-sharing|sense-restore>");
             ExitCode::FAILURE
         }

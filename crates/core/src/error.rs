@@ -15,6 +15,14 @@ pub enum Error {
     },
     /// The underlying cycle-level simulation failed.
     Sim(vrl_dram_sim::Error),
+    /// A worker of the parallel execution engine panicked while running
+    /// a simulation job.
+    WorkerPanic {
+        /// Index of the job (in deterministic job order) that panicked.
+        job: usize,
+        /// The rendered panic payload.
+        message: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -28,6 +36,9 @@ impl fmt::Display for Error {
                 )
             }
             Error::Sim(e) => write!(f, "simulation failed: {e}"),
+            Error::WorkerPanic { job, message } => {
+                write!(f, "parallel worker panicked on job {job}: {message}")
+            }
         }
     }
 }
@@ -36,7 +47,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Sim(e) => Some(e),
-            Error::UnknownWorkload { .. } => None,
+            Error::UnknownWorkload { .. } | Error::WorkerPanic { .. } => None,
         }
     }
 }
@@ -44,6 +55,15 @@ impl std::error::Error for Error {
 impl From<vrl_dram_sim::Error> for Error {
     fn from(e: vrl_dram_sim::Error) -> Self {
         Error::Sim(e)
+    }
+}
+
+impl From<vrl_exec::ExecError<Error>> for Error {
+    fn from(e: vrl_exec::ExecError<Error>) -> Self {
+        match e {
+            vrl_exec::ExecError::Job { error, .. } => error,
+            vrl_exec::ExecError::Panic { job, message } => Error::WorkerPanic { job, message },
+        }
     }
 }
 

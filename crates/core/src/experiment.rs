@@ -1,6 +1,20 @@
 //! The end-to-end experiment harness (the machinery behind Figure 4).
+//!
+//! The harness owns one set of expensive artifacts — the analytical
+//! model, the profiled bank, the refresh plan, the power model — shared
+//! via `Arc` so that cloning an [`Experiment`] (and fanning simulation
+//! jobs across the [`vrl_exec`] worker pool) never recomputes or copies
+//! them. [`Experiment::compare_all`] runs the full
+//! (benchmark × policy) matrix through the pool and is bit-identical to
+//! the serial path ([`Experiment::compare_all_serial`]): each job is an
+//! independent deterministic simulation, and results are assembled in
+//! job order.
+
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
+
+use vrl_exec::{map_ordered_report, ExecConfig, PoolReport};
 
 use vrl_circuit::model::AnalyticalModel;
 use vrl_circuit::tech::Technology;
@@ -104,13 +118,16 @@ pub struct ComparisonRow {
 }
 
 /// The end-to-end experiment: model + profile + plan + simulator glue.
-#[derive(Debug)]
+///
+/// Cloning is cheap: the model, profile, plan, and power model are
+/// `Arc`-shared, never recomputed.
+#[derive(Debug, Clone)]
 pub struct Experiment {
     config: ExperimentConfig,
-    model: AnalyticalModel,
-    profile: BankProfile,
-    plan: RefreshPlan,
-    power: PowerModel,
+    model: Arc<AnalyticalModel>,
+    profile: Arc<BankProfile>,
+    plan: Arc<RefreshPlan>,
+    power: Arc<PowerModel>,
 }
 
 impl Experiment {
@@ -127,10 +144,10 @@ impl Experiment {
         let plan = RefreshPlan::build(&model, &profile, config.nbits, config.guard_band);
         Experiment {
             config,
-            model,
-            profile,
-            plan,
-            power: PowerModel::paper_default(),
+            model: Arc::new(model),
+            profile: Arc::new(profile),
+            plan: Arc::new(plan),
+            power: Arc::new(PowerModel::paper_default()),
         }
     }
 
@@ -157,6 +174,12 @@ impl Experiment {
     /// The power model.
     pub fn power(&self) -> &PowerModel {
         &self.power
+    }
+
+    /// The `Arc` behind [`Experiment::plan`], for callers that fan the
+    /// plan across threads themselves.
+    pub fn plan_shared(&self) -> Arc<RefreshPlan> {
+        Arc::clone(&self.plan)
     }
 
     fn trace(&self, benchmark: &str) -> Result<vrl_trace::gen::Records, Error> {
@@ -236,9 +259,21 @@ impl Experiment {
         let raidr = self.run_policy(PolicyKind::Raidr, benchmark)?;
         let vrl = self.run_policy(PolicyKind::Vrl, benchmark)?;
         let vrl_access = self.run_policy(PolicyKind::VrlAccess, benchmark)?;
-        let raidr_power: PowerBreakdown = self.power.breakdown(&raidr);
-        let va_power: PowerBreakdown = self.power.breakdown(&vrl_access);
-        Ok(ComparisonRow {
+        Ok(self.assemble_row(benchmark, &raidr, &vrl, &vrl_access))
+    }
+
+    /// Builds one comparison row from its three policy runs. Shared by
+    /// the serial and parallel paths so their arithmetic is identical.
+    fn assemble_row(
+        &self,
+        benchmark: &str,
+        raidr: &SimStats,
+        vrl: &SimStats,
+        vrl_access: &SimStats,
+    ) -> ComparisonRow {
+        let raidr_power: PowerBreakdown = self.power.breakdown(raidr);
+        let va_power: PowerBreakdown = self.power.breakdown(vrl_access);
+        ComparisonRow {
             benchmark: benchmark.to_owned(),
             raidr_cycles: raidr.refresh_busy_cycles,
             vrl_cycles: vrl.refresh_busy_cycles,
@@ -248,14 +283,103 @@ impl Experiment {
                 / raidr.refresh_busy_cycles as f64,
             raidr_refresh_mw: raidr_power.refresh_mw,
             vrl_access_refresh_mw: va_power.refresh_mw,
-        })
+        }
     }
 
-    /// The full Figure 4: every benchmark.
-    pub fn figure4(&self) -> Vec<ComparisonRow> {
+    /// The policies a Figure 4 comparison needs, in column order.
+    const COMPARE_POLICIES: [PolicyKind; 3] =
+        [PolicyKind::Raidr, PolicyKind::Vrl, PolicyKind::VrlAccess];
+
+    /// The full Figure 4 — every benchmark — fanned across the default
+    /// worker pool (`VRL_THREADS` or the host's available parallelism).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing benchmark's [`Error`] (in job
+    /// order) instead of silently dropping it; a worker panic surfaces
+    /// as [`Error::WorkerPanic`].
+    pub fn compare_all(&self) -> Result<Vec<ComparisonRow>, Error> {
+        self.compare_all_with(&ExecConfig::from_env())
+    }
+
+    /// [`Experiment::compare_all`] on an explicit pool configuration.
+    ///
+    /// # Errors
+    ///
+    /// See [`Experiment::compare_all`].
+    pub fn compare_all_with(&self, cfg: &ExecConfig) -> Result<Vec<ComparisonRow>, Error> {
+        let cells = self.run_matrix_with(cfg, &Self::COMPARE_POLICIES)?.0;
+        Ok(cells
+            .chunks_exact(Self::COMPARE_POLICIES.len())
+            .map(|group| {
+                self.assemble_row(
+                    &group[0].benchmark,
+                    &group[0].stats,
+                    &group[1].stats,
+                    &group[2].stats,
+                )
+            })
+            .collect())
+    }
+
+    /// The strictly serial Figure 4 path: the baseline the determinism
+    /// tests and the throughput bench compare the pool against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing benchmark's [`Error`].
+    pub fn compare_all_serial(&self) -> Result<Vec<ComparisonRow>, Error> {
         WorkloadSpec::BENCHMARKS
             .iter()
-            .filter_map(|name| self.compare(name).ok())
+            .map(|name| self.compare(name))
+            .collect()
+    }
+
+    /// Runs the full (benchmark × policy) matrix through the worker
+    /// pool: every workload in Figure 4 order crossed with `policies`,
+    /// one simulation job each, results in deterministic job order
+    /// (benchmark-major). Also returns the pool's timing report — the
+    /// raw material for the throughput meter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the lowest-job-index failure; worker panics surface
+    /// as [`Error::WorkerPanic`].
+    pub fn run_matrix_with(
+        &self,
+        cfg: &ExecConfig,
+        policies: &[PolicyKind],
+    ) -> Result<(Vec<MatrixCell>, PoolReport), Error> {
+        let jobs: Vec<(&str, PolicyKind)> = WorkloadSpec::BENCHMARKS
+            .iter()
+            .flat_map(|name| policies.iter().map(move |&kind| (*name, kind)))
+            .collect();
+        let (result, report) = map_ordered_report(cfg, &jobs, |_, &(benchmark, kind)| {
+            self.run_policy(kind, benchmark).map(|stats| MatrixCell {
+                benchmark: benchmark.to_owned(),
+                policy: kind,
+                stats,
+            })
+        });
+        Ok((result.map_err(Error::from)?, report))
+    }
+
+    /// The serial reference for [`Experiment::run_matrix_with`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing run's [`Error`].
+    pub fn run_matrix_serial(&self, policies: &[PolicyKind]) -> Result<Vec<MatrixCell>, Error> {
+        WorkloadSpec::BENCHMARKS
+            .iter()
+            .flat_map(|name| policies.iter().map(move |&kind| (*name, kind)))
+            .map(|(benchmark, kind)| {
+                self.run_policy(kind, benchmark).map(|stats| MatrixCell {
+                    benchmark: benchmark.to_owned(),
+                    policy: kind,
+                    stats,
+                })
+            })
             .collect()
     }
 
@@ -336,6 +460,18 @@ impl Experiment {
             }
         }
     }
+}
+
+/// One cell of the (benchmark × policy) simulation matrix
+/// ([`Experiment::run_matrix_with`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatrixCell {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// The policy that ran.
+    pub policy: PolicyKind,
+    /// The run's counters.
+    pub stats: SimStats,
 }
 
 /// The result of a fault-injected run ([`Experiment::run_faulted`]).
@@ -453,5 +589,68 @@ mod tests {
         assert!(row.vrl_normalized > 0.5 && row.vrl_normalized < 1.0);
         assert!(row.vrl_access_normalized <= row.vrl_normalized + 1e-9);
         assert!(row.vrl_access_refresh_mw < row.raidr_refresh_mw);
+    }
+
+    #[test]
+    fn compare_all_propagates_errors_instead_of_dropping() {
+        // An experiment whose matrix contains a failing job must surface
+        // the error, not return a shorter Vec. `run_matrix_with` is the
+        // machinery `compare_all` sits on; drive it directly with a bad
+        // job via run_policy on an unknown name.
+        let e = small();
+        let err = e.run_policy(PolicyKind::Vrl, "nope").unwrap_err();
+        assert!(matches!(err, Error::UnknownWorkload { .. }));
+        // All benchmark names are known, so the happy path returns every
+        // row — one per benchmark, in Figure 4 order.
+        let rows = e.compare_all().expect("all benchmarks known");
+        assert_eq!(rows.len(), WorkloadSpec::BENCHMARKS.len());
+        for (row, name) in rows.iter().zip(WorkloadSpec::BENCHMARKS) {
+            assert_eq!(row.benchmark, name);
+        }
+    }
+
+    #[test]
+    fn parallel_compare_matches_serial_for_one_seed() {
+        // The cross-seed sweep lives in tests/parallel_exec.rs; this is
+        // the fast in-crate smoke version.
+        let e = Experiment::new(ExperimentConfig {
+            rows: 128,
+            duration_ms: 64.0,
+            ..Default::default()
+        });
+        let serial = e.compare_all_serial().expect("serial path");
+        let parallel = e
+            .compare_all_with(&vrl_exec::ExecConfig::new(4))
+            .expect("parallel path");
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn matrix_cells_come_back_benchmark_major() {
+        let e = Experiment::new(ExperimentConfig {
+            rows: 64,
+            duration_ms: 64.0,
+            ..Default::default()
+        });
+        let policies = [PolicyKind::Raidr, PolicyKind::Vrl];
+        let (cells, report) = e
+            .run_matrix_with(&vrl_exec::ExecConfig::new(2), &policies)
+            .expect("known benchmarks");
+        assert_eq!(cells.len(), WorkloadSpec::BENCHMARKS.len() * 2);
+        assert_eq!(report.jobs, cells.len());
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.benchmark, WorkloadSpec::BENCHMARKS[i / 2]);
+            assert_eq!(cell.policy, policies[i % 2]);
+        }
+        let serial = e.run_matrix_serial(&policies).expect("serial matrix");
+        assert_eq!(cells, serial);
+    }
+
+    #[test]
+    fn cloned_experiments_share_the_plan() {
+        let e = small();
+        let clone = e.clone();
+        assert!(std::ptr::eq(e.plan(), clone.plan()), "plan must be shared");
+        assert!(Arc::ptr_eq(&e.plan_shared(), &clone.plan_shared()));
     }
 }

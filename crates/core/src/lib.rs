@@ -17,7 +17,9 @@
 //! * [`overhead`] — closed-form refresh-overhead accounting,
 //! * [`experiment`] — the end-to-end harness behind the paper's Figure 4
 //!   (trace → simulator → policy → statistics → power), including
-//!   fault-injected runs with the optional runtime guard,
+//!   fault-injected runs with the optional runtime guard; the full
+//!   (benchmark × policy) matrix fans across the `vrl-exec` worker pool
+//!   with bit-identical results to the serial path,
 //! * [`error`] — typed errors for the harness APIs.
 //!
 //! # Quickstart
@@ -46,7 +48,9 @@ pub mod tau;
 pub mod vrt_adapt;
 
 pub use error::Error;
-pub use experiment::{Experiment, ExperimentConfig, FaultedOutcome, PolicyKind};
+pub use experiment::{
+    ComparisonRow, Experiment, ExperimentConfig, FaultedOutcome, MatrixCell, PolicyKind,
+};
 pub use mprsf::{Mprsf, MprsfCalculator};
 pub use plan::RefreshPlan;
 

@@ -17,9 +17,11 @@
 //! indefinitely ([`Mprsf::Unbounded`]), otherwise the first failing
 //! sensing instant bounds `m`.
 
+use std::collections::HashMap;
+
 use vrl_circuit::model::AnalyticalModel;
 use vrl_circuit::trfc::RefreshKind;
-use vrl_retention::binning::BinningTable;
+use vrl_retention::binning::{BinningTable, RefreshBin};
 use vrl_retention::leakage::LeakageModel;
 use vrl_retention::profile::BankProfile;
 
@@ -185,7 +187,12 @@ impl MprsfCalculator {
     }
 
     /// Per-row MPRSF table, saturated to `nbits`, for a profile under a
-    /// binning.
+    /// binning — the direct path: one fixed-point iteration per row.
+    ///
+    /// [`MprsfCalculator::mprsf_table_memo`] computes the same table in
+    /// O(bins) fixed-point iterations; this method remains as the
+    /// reference oracle (the memoized path is tested bit-identical to
+    /// it).
     ///
     /// # Panics
     ///
@@ -204,6 +211,128 @@ impl MprsfCalculator {
                     .saturate(nbits)
             })
             .collect()
+    }
+
+    /// Per-row MPRSF table via the [`MprsfMemo`]: fixed-point iterations
+    /// run once per `(retention bin, period)` key instead of once per
+    /// row, and rows are classified by a threshold lookup. Bit-identical
+    /// to [`MprsfCalculator::mprsf_table`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile and binning disagree on the row count.
+    pub fn mprsf_table_memo(
+        &self,
+        profile: &BankProfile,
+        bins: &BinningTable,
+        nbits: u32,
+    ) -> Vec<u8> {
+        assert_eq!(
+            profile.row_count(),
+            bins.total_rows(),
+            "profile/bins mismatch"
+        );
+        let mut memo = MprsfMemo::new(self, nbits);
+        profile
+            .iter()
+            .enumerate()
+            .map(|(i, row)| memo.saturated(bins.bin_of(i), row.weakest_ms))
+            .collect()
+    }
+
+    /// The retention thresholds at which the saturated MPRSF for
+    /// `period_ms` steps: `thresholds[m-1]` is the smallest retention
+    /// (as an `f64`, exact to the ULP) whose saturated MPRSF is at
+    /// least `m`, or `+∞` if no retention reaches `m`. The saturated
+    /// MPRSF of any retention `T ≥ period_ms` is then the number of
+    /// thresholds `≤ T`.
+    ///
+    /// Exactness rests on the monotonicity of the saturated MPRSF in
+    /// retention (pinned by tests and by the bit-equality of the
+    /// memoized table against the direct one): each threshold is found
+    /// by bisecting down to adjacent `f64`s with the exact
+    /// [`MprsfCalculator::mprsf`] as the predicate.
+    pub fn saturation_thresholds(&self, period_ms: f64, nbits: u32) -> Vec<f64> {
+        let cap = Mprsf::Unbounded.saturate(nbits) as u32;
+        let value = |t: f64| u32::from(self.mprsf(t, period_ms).saturate(nbits));
+        // Beyond this retention everything is effectively unbounded
+        // (decay over one period is negligible); used only to bracket.
+        let t_cap = (period_ms * 1e6).max(1e9);
+        let mut thresholds = Vec::with_capacity(cap as usize);
+        let mut lo = period_ms;
+        let mut lo_val = value(lo);
+        for m in 1..=cap {
+            if lo_val >= m {
+                thresholds.push(lo);
+                continue;
+            }
+            // Bracket: grow until the value reaches m (or give up).
+            let mut hi = (lo * 2.0).max(period_ms * 2.0);
+            while hi < t_cap && value(hi) < m {
+                hi *= 2.0;
+            }
+            if value(hi) < m {
+                thresholds.push(f64::INFINITY);
+                continue;
+            }
+            // Bit-level bisection: terminates when lo and hi are
+            // adjacent floats, making `hi` the exact step point.
+            let mut blo = lo;
+            let mut bhi = hi;
+            while next_up(blo) < bhi {
+                let mid = f64::from_bits((blo.to_bits() + bhi.to_bits()) / 2);
+                if value(mid) >= m {
+                    bhi = mid;
+                } else {
+                    blo = mid;
+                }
+            }
+            thresholds.push(bhi);
+            lo = bhi;
+            lo_val = m;
+        }
+        thresholds
+    }
+}
+
+/// The smallest `f64` strictly greater than `x` (positive finite `x`).
+fn next_up(x: f64) -> f64 {
+    f64::from_bits(x.to_bits() + 1)
+}
+
+/// Memoized MPRSF classification: per `(retention bin, period)` key the
+/// fixed-point iterations run once (to find the saturation thresholds),
+/// and every row of the bin classifies with a threshold comparison.
+///
+/// Keyed by `(bin, period bits)` rather than bin alone so a future
+/// non-standard binning (custom periods per bin) still memoizes
+/// correctly.
+#[derive(Debug)]
+pub struct MprsfMemo<'a> {
+    calc: &'a MprsfCalculator,
+    nbits: u32,
+    thresholds: HashMap<(RefreshBin, u64), Vec<f64>>,
+}
+
+impl<'a> MprsfMemo<'a> {
+    /// A memo for one calculator and counter width.
+    pub fn new(calc: &'a MprsfCalculator, nbits: u32) -> Self {
+        MprsfMemo {
+            calc,
+            nbits,
+            thresholds: HashMap::new(),
+        }
+    }
+
+    /// The saturated MPRSF of a row in `bin` with retention
+    /// `retention_ms`, via the bin's cached thresholds.
+    pub fn saturated(&mut self, bin: RefreshBin, retention_ms: f64) -> u8 {
+        let period_ms = bin.period_ms();
+        let thresholds = self
+            .thresholds
+            .entry((bin, period_ms.to_bits()))
+            .or_insert_with(|| self.calc.saturation_thresholds(period_ms, self.nbits));
+        thresholds.partition_point(|&t| t <= retention_ms) as u8
     }
 }
 
@@ -313,5 +442,63 @@ mod tests {
     #[should_panic(expected = "exceeds retention")]
     fn period_above_retention_panics() {
         let _ = calc().mprsf(100.0, 256.0);
+    }
+
+    #[test]
+    fn memoized_table_is_bit_identical_to_direct() {
+        use vrl_retention::distribution::RetentionDistribution;
+        let c = calc();
+        for seed in [42u64, 7, 1234, 3] {
+            let profile =
+                BankProfile::generate(&RetentionDistribution::liu_et_al(), 2048, 32, seed);
+            let bins = BinningTable::from_profile(&profile);
+            for nbits in [1u32, 2, 4] {
+                let direct = c.mprsf_table(&profile, &bins, nbits);
+                let memo = c.mprsf_table_memo(&profile, &bins, nbits);
+                assert_eq!(direct, memo, "seed {seed}, nbits {nbits}");
+            }
+        }
+    }
+
+    #[test]
+    fn thresholds_are_exact_step_points() {
+        let c = calc();
+        let thresholds = c.saturation_thresholds(256.0, 2);
+        assert_eq!(thresholds.len(), 3);
+        // Thresholds are non-decreasing.
+        assert!(thresholds.windows(2).all(|w| w[0] <= w[1]));
+        for (i, &t) in thresholds.iter().enumerate() {
+            let m = (i + 1) as u8;
+            if !t.is_finite() {
+                continue;
+            }
+            // At the threshold the saturated value reaches m; one ULP
+            // below it does not.
+            assert!(c.mprsf(t, 256.0).saturate(2) >= m);
+            let below = f64::from_bits(t.to_bits() - 1);
+            if below >= 256.0 {
+                assert!(
+                    c.mprsf(below, 256.0).saturate(2) < m,
+                    "threshold {i} not tight"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memo_caches_per_bin_period_key() {
+        let c = calc();
+        let mut memo = MprsfMemo::new(&c, 2);
+        use vrl_retention::binning::RefreshBin;
+        let a = memo.saturated(RefreshBin::Ms256, 1000.0);
+        let b = memo.saturated(RefreshBin::Ms256, 1000.0);
+        assert_eq!(a, b);
+        assert_eq!(
+            u32::from(a),
+            match c.mprsf(1000.0, 256.0) {
+                Mprsf::Finite(m) => m.min(3),
+                Mprsf::Unbounded => 3,
+            }
+        );
     }
 }

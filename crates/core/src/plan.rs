@@ -45,7 +45,9 @@ impl RefreshPlan {
     ) -> Self {
         let bins = BinningTable::from_profile(profile);
         let calc = MprsfCalculator::new(model, guard_band);
-        let mprsf = calc.mprsf_table(profile, &bins, nbits);
+        // Memoized per (bin, period): O(bins) fixed-point iterations
+        // instead of O(rows), bit-identical to the direct table.
+        let mprsf = calc.mprsf_table_memo(profile, &bins, nbits);
         RefreshPlan { bins, mprsf, nbits }
     }
 

@@ -354,6 +354,17 @@ impl FaultInjector {
     /// time order.
     pub fn poll(&mut self, cycle: u64) -> Vec<(u32, f64, u64)> {
         let mut changes = Vec::new();
+        // With no time-driven fault source the step loop is a pure
+        // clock advance; do it in closed form instead of iterating
+        // (a far horizon would otherwise walk billions of empty steps).
+        if self.config.temperature.is_none() && self.stats.vrt_rows == 0 && self.next_step <= cycle
+        {
+            let steps = (cycle - self.next_step) / self.step_cycles + 1;
+            self.next_step = self
+                .next_step
+                .saturating_add(steps.saturating_mul(self.step_cycles));
+            return changes;
+        }
         while self.next_step <= cycle {
             let at = self.next_step;
             let t_ms = self.timing.cycles_to_ms(at);

@@ -11,7 +11,10 @@
 //!   RAIDR \[27\] retention-aware binning, and the paper's VRL /
 //!   VRL-Access (Algorithm 1),
 //! * [`sim`] — the event-driven simulator,
-//! * [`stats`] — counters (refresh-busy cycles, stalls, hits/misses),
+//! * [`wheel`] — the bucketed timing-wheel refresh queue (O(1) amortized
+//!   schedule/expire over the bank's per-row deadlines),
+//! * [`stats`] — counters (refresh-busy cycles, stalls, hits/misses) and
+//!   the wall-clock throughput meter,
 //! * [`integrity`] — a charge-tracking checker that verifies no row ever
 //!   drops below the sensing threshold under a policy (failure
 //!   injection for the test suite),
@@ -49,6 +52,7 @@ pub mod rank;
 pub mod sim;
 pub mod stats;
 pub mod timing;
+pub mod wheel;
 
 pub use error::Error;
 pub use fault::{FaultConfig, FaultInjector};
@@ -57,5 +61,6 @@ pub use policy::{
     AdaptivePolicy, AutoRefresh, DegradeAction, Raidr, RefreshPolicy, Vrl, VrlAccess,
 };
 pub use sim::{SimConfig, Simulator};
-pub use stats::SimStats;
+pub use stats::{SimStats, Throughput};
 pub use timing::{RefreshLatency, TimingParams};
+pub use wheel::RefreshQueue;

@@ -6,9 +6,6 @@
 //! busy, and every event is reported to an optional observer (used by the
 //! integrity checker).
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use vrl_trace::TraceRecord;
 
 use crate::bank::BankState;
@@ -18,6 +15,7 @@ use crate::integrity::ChargePhysics;
 use crate::policy::{AdaptivePolicy, RefreshPolicy};
 use crate::stats::SimStats;
 use crate::timing::{RefreshLatency, TimingParams};
+use crate::wheel::RefreshQueue;
 
 /// Simulator configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,8 +143,8 @@ pub struct Simulator<P: RefreshPolicy> {
     config: SimConfig,
     policy: P,
     bank: BankState,
-    /// Min-heap of (due_cycle, row, original_due_cycle).
-    refresh_queue: BinaryHeap<Reverse<(u64, u32, u64)>>,
+    /// Timing-wheel of (due_cycle, row, original_due_cycle) deadlines.
+    refresh_queue: RefreshQueue,
     stats: SimStats,
     /// Optional fault injector perturbing ground truth and refresh
     /// command delivery.
@@ -158,7 +156,7 @@ impl<P: RefreshPolicy> Simulator<P> {
     /// across each row's period (as a real controller's tREFI pacing
     /// does), deterministically by row index.
     pub fn new(config: SimConfig, policy: P) -> Self {
-        let mut refresh_queue = BinaryHeap::with_capacity(config.rows as usize);
+        let mut refresh_queue = RefreshQueue::new();
         for row in 0..config.rows {
             let period = config.timing.ms_to_cycles(policy.period_ms(row));
             let offset = if config.staggered {
@@ -166,7 +164,7 @@ impl<P: RefreshPolicy> Simulator<P> {
             } else {
                 0
             };
-            refresh_queue.push(Reverse((offset, row, offset)));
+            refresh_queue.push(offset, row, offset);
         }
         Simulator {
             config,
@@ -240,11 +238,7 @@ impl<P: RefreshPolicy> Simulator<P> {
         next_access: Option<u64>,
         observer: &mut O,
     ) {
-        while let Some(&Reverse((due, row, original_due))) = self.refresh_queue.peek() {
-            if due >= horizon {
-                break;
-            }
-            self.refresh_queue.pop();
+        while let Some((due, row, original_due)) = self.refresh_queue.pop_due_before(horizon) {
             // Stochastic fault processes advance to the command's issue
             // time, and overflow faults may drop or delay the command.
             self.poll_faults(due, observer);
@@ -253,8 +247,7 @@ impl<P: RefreshPolicy> Simulator<P> {
                     RefreshDisposition::Execute => {}
                     RefreshDisposition::Delay(by) => {
                         self.stats.delayed_refreshes += 1;
-                        self.refresh_queue
-                            .push(Reverse((due + by.max(1), row, original_due)));
+                        self.refresh_queue.push(due + by.max(1), row, original_due);
                         continue;
                     }
                     RefreshDisposition::Drop => {
@@ -262,7 +255,7 @@ impl<P: RefreshPolicy> Simulator<P> {
                         // The row simply waits for its next deadline.
                         let period = self.config.timing.ms_to_cycles(self.policy.period_ms(row));
                         let next = original_due + period.max(1);
-                        self.refresh_queue.push(Reverse((next, row, next)));
+                        self.refresh_queue.push(next, row, next);
                         continue;
                     }
                 }
@@ -278,8 +271,7 @@ impl<P: RefreshPolicy> Simulator<P> {
                     let within_slack = deferred_due <= original_due + self.config.postpone_slack;
                     if would_collide && within_slack && deferred_due > due {
                         self.stats.postponed_refreshes += 1;
-                        self.refresh_queue
-                            .push(Reverse((deferred_due, row, original_due)));
+                        self.refresh_queue.push(deferred_due, row, original_due);
                         continue;
                     }
                 }
@@ -307,7 +299,7 @@ impl<P: RefreshPolicy> Simulator<P> {
             // postponement never drifts the schedule.
             let period = self.config.timing.ms_to_cycles(self.policy.period_ms(row));
             let next = original_due + period.max(1);
-            self.refresh_queue.push(Reverse((next, row, next)));
+            self.refresh_queue.push(next, row, next);
         }
     }
 
@@ -413,7 +405,7 @@ impl<P: AdaptivePolicy> Simulator<P> {
         next_access: Option<u64>,
         guard: &mut Guard<C>,
     ) {
-        while let Some(&Reverse((due, _, _))) = self.refresh_queue.peek() {
+        while let Some(due) = self.refresh_queue.next_due() {
             if due >= horizon {
                 break;
             }

@@ -64,6 +64,69 @@ impl SimStats {
             self.row_hits as f64 / self.accesses as f64
         }
     }
+
+    /// Simulated events processed in this run: refresh operations,
+    /// trace accesses, and scrub reads (the work items the event loop
+    /// actually retires — postponed/delayed re-queues are scheduling
+    /// churn, not retired events).
+    pub fn events(&self) -> u64 {
+        self.total_refreshes() + self.accesses + self.scrub_accesses
+    }
+
+    /// The throughput meter: simulated cycles and events per host
+    /// wall-clock second. Kept out of the counters themselves so that
+    /// `SimStats` equality stays bit-exact across serial and parallel
+    /// runs (wall time is never deterministic).
+    pub fn throughput(&self, wall_seconds: f64) -> Throughput {
+        // A zero (or garbage) wall clock means nothing was measured;
+        // report zero rates rather than infinities.
+        let rate = |count: u64| {
+            if wall_seconds > 0.0 && wall_seconds.is_finite() {
+                count as f64 / wall_seconds
+            } else {
+                0.0
+            }
+        };
+        Throughput {
+            wall_seconds,
+            sim_cycles_per_sec: rate(self.total_cycles),
+            events_per_sec: rate(self.events()),
+        }
+    }
+
+    /// Accumulates another run's counters into this one (used to meter
+    /// throughput across a whole experiment matrix).
+    pub fn accumulate(&mut self, other: &SimStats) {
+        self.total_cycles += other.total_cycles;
+        self.refresh_busy_cycles += other.refresh_busy_cycles;
+        self.full_refreshes += other.full_refreshes;
+        self.partial_refreshes += other.partial_refreshes;
+        self.accesses += other.accesses;
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+        self.stall_cycles += other.stall_cycles;
+        self.postponed_refreshes += other.postponed_refreshes;
+        self.dropped_refreshes += other.dropped_refreshes;
+        self.delayed_refreshes += other.delayed_refreshes;
+        self.scrub_accesses += other.scrub_accesses;
+        self.scrub_busy_cycles += other.scrub_busy_cycles;
+        self.corrected_errors += other.corrected_errors;
+        self.uncorrected_errors += other.uncorrected_errors;
+    }
+}
+
+/// Simulation throughput over host wall-clock time
+/// ([`SimStats::throughput`]): the perf trajectory `bench_throughput`
+/// records across PRs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Throughput {
+    /// Host wall-clock seconds the run took.
+    pub wall_seconds: f64,
+    /// Simulated cycles advanced per wall-clock second.
+    pub sim_cycles_per_sec: f64,
+    /// Simulated events (refreshes + accesses + scrubs) retired per
+    /// wall-clock second.
+    pub events_per_sec: f64,
 }
 
 #[cfg(test)]
@@ -93,5 +156,48 @@ mod tests {
         let s = SimStats::default();
         assert_eq!(s.refresh_overhead(), 0.0);
         assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.events(), 0);
+    }
+
+    #[test]
+    fn throughput_meter_scales_with_wall_time() {
+        let s = SimStats {
+            total_cycles: 1_000_000,
+            full_refreshes: 100,
+            partial_refreshes: 300,
+            accesses: 600,
+            scrub_accesses: 0,
+            ..SimStats::default()
+        };
+        assert_eq!(s.events(), 1000);
+        let t = s.throughput(0.5);
+        assert!((t.sim_cycles_per_sec - 2_000_000.0).abs() < 1e-6);
+        assert!((t.events_per_sec - 2000.0).abs() < 1e-9);
+        // A zero wall clock must not produce infinities.
+        let z = s.throughput(0.0);
+        assert_eq!(z.sim_cycles_per_sec, 0.0);
+        assert_eq!(z.events_per_sec, 0.0);
+    }
+
+    #[test]
+    fn accumulate_sums_every_counter() {
+        let mut a = SimStats {
+            total_cycles: 10,
+            refresh_busy_cycles: 5,
+            accesses: 2,
+            ..SimStats::default()
+        };
+        let b = SimStats {
+            total_cycles: 7,
+            refresh_busy_cycles: 1,
+            accesses: 4,
+            scrub_accesses: 3,
+            ..SimStats::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.total_cycles, 17);
+        assert_eq!(a.refresh_busy_cycles, 6);
+        assert_eq!(a.accesses, 6);
+        assert_eq!(a.scrub_accesses, 3);
     }
 }

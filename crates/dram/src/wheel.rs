@@ -1,0 +1,311 @@
+//! The bucketed timing-wheel refresh queue.
+//!
+//! The simulator keeps one outstanding refresh deadline per row. The old
+//! implementation stored them in a `BinaryHeap`, paying `O(log n)` per
+//! schedule and per expiry over the full 8192-row bank. This wheel keys
+//! events by deadline cycle into fixed-width buckets: scheduling is an
+//! `O(1)` push into the bucket the deadline falls in, and expiry drains
+//! one bucket at a time in deadline order, paying ordering cost only
+//! within a bucket (a handful of events) — `O(1)` amortized per event.
+//!
+//! Layout:
+//!
+//! * a ring of [`NUM_BUCKETS`] unsorted buckets, each [`BUCKET_CYCLES`]
+//!   wide, spanning a window of `NUM_BUCKETS × BUCKET_CYCLES` ≈ 268 M
+//!   cycles — wider than the longest refresh period (256 ms = 256 M
+//!   cycles at 1 GHz), so steady-state schedules never leave the ring;
+//! * a `current` min-heap holding the bucket being drained (and any
+//!   event scheduled at or before the drain point, e.g. a postponed
+//!   refresh re-queued for "right after this access");
+//! * an `overflow` level for deadlines beyond the window (postponed or
+//!   fault-delayed refreshes pushed past the horizon, or exotic policies
+//!   with multi-second periods), migrated back into the ring as the
+//!   window advances.
+//!
+//! Ordering is **exactly** the old heap's: events expire by
+//! `(due, row, original_due)` ascending. Each row has at most one queued
+//! event, so `(due, row)` already breaks every tie deterministically —
+//! the property test in `tests/wheel_equivalence.rs` pins this against a
+//! reference heap, including postponement re-queue patterns.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One queued refresh deadline: `(due_cycle, row, original_due_cycle)`.
+///
+/// `original_due` is the deadline the schedule advances from; a
+/// postponed or fault-delayed event keeps its original deadline so the
+/// period never drifts.
+pub type RefreshEvent = (u64, u32, u64);
+
+/// Width of one bucket in cycles (32.8 µs at 1 GHz). Power of two so the
+/// slot math compiles to shifts.
+pub const BUCKET_CYCLES: u64 = 1 << 15;
+
+/// Buckets in the ring. The window `NUM_BUCKETS × BUCKET_CYCLES = 2^28`
+/// cycles (≈ 268 ms) covers the longest retention bin (256 ms).
+pub const NUM_BUCKETS: usize = 1 << 13;
+
+/// The bucketed timing wheel (see the module docs).
+#[derive(Debug, Clone)]
+pub struct RefreshQueue {
+    /// Ring of unsorted future buckets. Invariant: every event in slot
+    /// `b % NUM_BUCKETS` has absolute bucket `b` with
+    /// `cursor < b < cursor + NUM_BUCKETS` — the mapping is one-to-one
+    /// inside the window, so a slot never mixes rotations.
+    ring: Vec<Vec<RefreshEvent>>,
+    /// Events in the ring (excluding `current` and `overflow`).
+    ring_len: usize,
+    /// The bucket currently being drained, ordered. Also receives any
+    /// push whose deadline does not lie strictly ahead of the cursor.
+    current: BinaryHeap<Reverse<RefreshEvent>>,
+    /// Absolute index (`due / BUCKET_CYCLES`) of the bucket `current`
+    /// represents. Monotonically non-decreasing.
+    cursor: u64,
+    /// Events whose deadline lies beyond the ring window.
+    overflow: Vec<RefreshEvent>,
+    /// Cached minimum deadline in `overflow` (`u64::MAX` when empty).
+    overflow_min: u64,
+}
+
+impl Default for RefreshQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RefreshQueue {
+    /// An empty queue with the cursor at cycle 0.
+    pub fn new() -> Self {
+        RefreshQueue {
+            ring: vec![Vec::new(); NUM_BUCKETS],
+            ring_len: 0,
+            current: BinaryHeap::new(),
+            cursor: 0,
+            overflow: Vec::new(),
+            overflow_min: u64::MAX,
+        }
+    }
+
+    /// Queued events.
+    pub fn len(&self) -> usize {
+        self.ring_len + self.current.len() + self.overflow.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedules a refresh of `row` at `due`, remembering
+    /// `original_due` for drift-free re-queues. `O(1)`.
+    pub fn push(&mut self, due: u64, row: u32, original_due: u64) {
+        let bucket = due / BUCKET_CYCLES;
+        if bucket <= self.cursor {
+            // At (or, after pathological delay chains, behind) the drain
+            // point: competes with the current bucket's events directly.
+            self.current.push(Reverse((due, row, original_due)));
+        } else if bucket < self.cursor + NUM_BUCKETS as u64 {
+            self.ring[(bucket % NUM_BUCKETS as u64) as usize].push((due, row, original_due));
+            self.ring_len += 1;
+        } else {
+            self.overflow_min = self.overflow_min.min(due);
+            self.overflow.push((due, row, original_due));
+        }
+    }
+
+    /// The earliest queued deadline, without removing it.
+    pub fn next_due(&mut self) -> Option<u64> {
+        self.settle();
+        self.current.peek().map(|Reverse((due, _, _))| *due)
+    }
+
+    /// Removes and returns the earliest event **if** its deadline is
+    /// strictly before `horizon`; otherwise leaves the queue untouched.
+    ///
+    /// This is the simulator's drain primitive: "execute everything due
+    /// before the next access / end of run".
+    pub fn pop_due_before(&mut self, horizon: u64) -> Option<RefreshEvent> {
+        self.settle();
+        match self.current.peek() {
+            Some(&Reverse(event)) if event.0 < horizon => {
+                self.current.pop();
+                Some(event)
+            }
+            _ => None,
+        }
+    }
+
+    /// Ensures `current` holds the earliest events, advancing the cursor
+    /// over empty buckets and pulling the overflow level back into the
+    /// ring as the window moves. Amortized `O(1)` per event: the cursor
+    /// only ever moves forward, and each event is touched once per
+    /// level.
+    fn settle(&mut self) {
+        while self.current.is_empty() {
+            if self.ring_len > 0 {
+                // Next non-empty bucket within the window. The invariant
+                // (slots hold exactly one absolute bucket each) makes the
+                // first hit the earliest bucket.
+                for step in 1..=NUM_BUCKETS as u64 {
+                    let slot = ((self.cursor + step) % NUM_BUCKETS as u64) as usize;
+                    if !self.ring[slot].is_empty() {
+                        self.cursor += step;
+                        let drained = std::mem::take(&mut self.ring[slot]);
+                        self.ring_len -= drained.len();
+                        self.current.extend(drained.into_iter().map(Reverse));
+                        self.migrate_overflow();
+                        break;
+                    }
+                }
+            } else if !self.overflow.is_empty() {
+                // Ring exhausted: jump the window to the earliest
+                // overflow deadline and refill.
+                self.cursor = self.overflow_min / BUCKET_CYCLES;
+                self.migrate_overflow();
+            } else {
+                return; // Truly empty.
+            }
+        }
+    }
+
+    /// Moves overflow events that now fit the window into the ring (or
+    /// straight into `current` when they land at/behind the cursor).
+    fn migrate_overflow(&mut self) {
+        let window_end = (self.cursor + NUM_BUCKETS as u64).saturating_mul(BUCKET_CYCLES);
+        if self.overflow_min >= window_end {
+            return;
+        }
+        let mut kept = Vec::new();
+        let mut kept_min = u64::MAX;
+        for event in self.overflow.drain(..) {
+            if event.0 < window_end {
+                let bucket = event.0 / BUCKET_CYCLES;
+                if bucket <= self.cursor {
+                    self.current.push(Reverse(event));
+                } else {
+                    self.ring[(bucket % NUM_BUCKETS as u64) as usize].push(event);
+                    self.ring_len += 1;
+                }
+            } else {
+                kept_min = kept_min.min(event.0);
+                kept.push(event);
+            }
+        }
+        self.overflow = kept;
+        self.overflow_min = kept_min;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_all(q: &mut RefreshQueue) -> Vec<RefreshEvent> {
+        let mut out = Vec::new();
+        while let Some(e) = q.pop_due_before(u64::MAX) {
+            out.push(e);
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_deadline_then_row_order() {
+        let mut q = RefreshQueue::new();
+        q.push(500, 3, 500);
+        q.push(100, 7, 100);
+        q.push(500, 1, 500);
+        q.push(90_000_000, 2, 90_000_000); // ~90 ms out, deep in the ring
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.next_due(), Some(100));
+        let order = drain_all(&mut q);
+        assert_eq!(
+            order,
+            vec![
+                (100, 7, 100),
+                (500, 1, 500),
+                (500, 3, 500),
+                (90_000_000, 2, 90_000_000)
+            ]
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn horizon_is_exclusive() {
+        let mut q = RefreshQueue::new();
+        q.push(64, 0, 64);
+        assert_eq!(q.pop_due_before(64), None, "due == horizon must not pop");
+        assert_eq!(q.pop_due_before(65), Some((64, 0, 64)));
+    }
+
+    #[test]
+    fn requeue_at_or_behind_cursor_is_ordered() {
+        let mut q = RefreshQueue::new();
+        q.push(10, 0, 10);
+        q.push(BUCKET_CYCLES * 5 + 3, 1, BUCKET_CYCLES * 5 + 3);
+        // Drain row 0, advance the cursor to bucket 5, then postpone-style
+        // re-queue row 0 into the already-passed region.
+        assert_eq!(q.pop_due_before(u64::MAX), Some((10, 0, 10)));
+        assert_eq!(q.next_due(), Some(BUCKET_CYCLES * 5 + 3));
+        q.push(BUCKET_CYCLES * 5 + 1, 0, 10);
+        assert_eq!(
+            q.pop_due_before(u64::MAX),
+            Some((BUCKET_CYCLES * 5 + 1, 0, 10))
+        );
+        assert_eq!(
+            q.pop_due_before(u64::MAX),
+            Some((BUCKET_CYCLES * 5 + 3, 1, BUCKET_CYCLES * 5 + 3))
+        );
+    }
+
+    #[test]
+    fn overflow_level_round_trips() {
+        let window = NUM_BUCKETS as u64 * BUCKET_CYCLES;
+        let mut q = RefreshQueue::new();
+        q.push(window * 3 + 17, 9, window * 3 + 17); // far beyond the window
+        q.push(5, 0, 5);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop_due_before(u64::MAX), Some((5, 0, 5)));
+        // The overflow event is found after the ring empties.
+        assert_eq!(
+            q.pop_due_before(u64::MAX),
+            Some((window * 3 + 17, 9, window * 3 + 17))
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn overflow_migrates_as_the_window_advances() {
+        let window = NUM_BUCKETS as u64 * BUCKET_CYCLES;
+        let mut q = RefreshQueue::new();
+        // One event per half-window keeps the cursor walking forward.
+        for i in 0..6u64 {
+            q.push(i * window / 2 + 1, i as u32, 0);
+        }
+        let order = drain_all(&mut q);
+        let dues: Vec<u64> = order.iter().map(|e| e.0).collect();
+        assert!(dues.windows(2).all(|w| w[0] <= w[1]), "{dues:?}");
+        assert_eq!(order.len(), 6);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_global_order() {
+        // Steady-state schedule: pop an event, re-push one period later,
+        // exactly like the simulator's drain loop.
+        let mut q = RefreshQueue::new();
+        let period = 64_000_000u64; // 64 ms
+        for row in 0..64u32 {
+            let offset = (row as u64).wrapping_mul(2654435761) % period;
+            q.push(offset, row, offset);
+        }
+        let mut last_due = 0;
+        for _ in 0..1024 {
+            let (due, row, orig) = q.pop_due_before(u64::MAX).expect("non-empty");
+            assert!(due >= last_due, "order violated: {due} < {last_due}");
+            last_due = due;
+            q.push(orig + period, row, orig + period);
+        }
+        assert_eq!(q.len(), 64);
+    }
+}

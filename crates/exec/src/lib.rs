@@ -1,0 +1,447 @@
+//! # vrl-exec — the parallel experiment execution engine
+//!
+//! A dependency-free `std::thread` scoped worker pool that fans a batch
+//! of independent jobs (typically one `(benchmark × policy)` simulation
+//! each) across cores and returns results **in job order**, regardless
+//! of which worker finished first. This is the determinism contract the
+//! experiment harness builds on: the parallel path must be bit-identical
+//! to the serial path, so scheduling freedom is confined to *when* a job
+//! runs, never to *what* is returned or in what order.
+//!
+//! Design:
+//!
+//! * **Chunked job queue** — workers claim contiguous chunks of job
+//!   indices from a shared atomic cursor ([`ExecConfig::chunk`]); each
+//!   result is written into its job's dedicated slot.
+//! * **Run to completion** — a failing or panicking job does not cancel
+//!   its siblings; after all jobs finish, the failure with the *lowest
+//!   job index* is propagated (deterministic error selection).
+//! * **Typed failures** — worker panics are caught and surfaced as
+//!   [`ExecError::Panic`] with the job index and panic message; job
+//!   errors keep their domain type via [`ExecError::Job`].
+//! * **Inline fast path** — with one worker (or one job) everything runs
+//!   on the calling thread: no spawn overhead, identical semantics.
+//!
+//! # Example
+//!
+//! ```
+//! use vrl_exec::{map_ordered, ExecConfig};
+//!
+//! let cfg = ExecConfig::new(4);
+//! let squares = map_ordered(&cfg, &[1u64, 2, 3, 4], |_idx, &x| {
+//!     Ok::<u64, std::convert::Infallible>(x * x)
+//! })
+//! .expect("no job fails");
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Environment variable overriding the default worker count.
+pub const THREADS_ENV: &str = "VRL_THREADS";
+
+/// The number of workers the host offers (`available_parallelism`,
+/// falling back to 1 when the host cannot say).
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Worker-pool configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Worker threads to spawn (clamped to at least 1 and at most the
+    /// job count at run time).
+    pub workers: usize,
+    /// Jobs claimed per queue grab. Simulation jobs are seconds-coarse,
+    /// so the default of 1 gives the best load balance; raise it for
+    /// micro-jobs where the atomic claim would dominate.
+    pub chunk: usize,
+}
+
+impl ExecConfig {
+    /// A pool with `workers` threads and chunk size 1.
+    pub fn new(workers: usize) -> Self {
+        ExecConfig {
+            workers: workers.max(1),
+            chunk: 1,
+        }
+    }
+
+    /// The default pool: `VRL_THREADS` if set and parseable, otherwise
+    /// the host's available parallelism.
+    pub fn from_env() -> Self {
+        let workers = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&w| w > 0)
+            .unwrap_or_else(available_workers);
+        Self::new(workers)
+    }
+
+    /// Overrides the chunk size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    #[must_use]
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        assert!(chunk > 0, "chunk size must be positive");
+        self.chunk = chunk;
+        self
+    }
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// A failure from the worker pool, preserving the job's domain error
+/// type `E`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError<E> {
+    /// The job at `job` panicked; `message` is the rendered payload.
+    Panic {
+        /// Index of the job that panicked.
+        job: usize,
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// The job at `job` returned an error.
+    Job {
+        /// Index of the failing job.
+        job: usize,
+        /// The job's own error.
+        error: E,
+    },
+}
+
+impl<E: fmt::Display> fmt::Display for ExecError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Panic { job, message } => {
+                write!(f, "worker panicked on job {job}: {message}")
+            }
+            ExecError::Job { job, error } => write!(f, "job {job} failed: {error}"),
+        }
+    }
+}
+
+impl<E: fmt::Debug + fmt::Display> std::error::Error for ExecError<E> {}
+
+/// What the pool measured while running a batch: wall-clock and
+/// per-worker busy time, the raw material of the throughput meter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolReport {
+    /// Workers that actually ran (after clamping to the job count).
+    pub workers: usize,
+    /// Jobs in the batch.
+    pub jobs: usize,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+    /// Busy (job-executing) time per worker, indexed by worker id.
+    pub busy: Vec<Duration>,
+}
+
+impl PoolReport {
+    /// Per-worker utilization in `[0, 1]`: busy time over wall time.
+    pub fn utilization(&self) -> Vec<f64> {
+        let wall = self.wall.as_secs_f64().max(f64::MIN_POSITIVE);
+        self.busy
+            .iter()
+            .map(|b| (b.as_secs_f64() / wall).min(1.0))
+            .collect()
+    }
+
+    /// Mean utilization across workers.
+    pub fn mean_utilization(&self) -> f64 {
+        let u = self.utilization();
+        if u.is_empty() {
+            0.0
+        } else {
+            u.iter().sum::<f64>() / u.len() as f64
+        }
+    }
+}
+
+/// Runs `f` over every item, fanning across `cfg.workers` threads, and
+/// returns the results **in item order**.
+///
+/// See [`map_ordered_report`] for the variant that also reports pool
+/// timings.
+///
+/// # Errors
+///
+/// Returns the lowest-job-index failure: a worker panic as
+/// [`ExecError::Panic`], a job error as [`ExecError::Job`]. All jobs run
+/// to completion either way.
+pub fn map_ordered<I, T, E, F>(cfg: &ExecConfig, items: &[I], f: F) -> Result<Vec<T>, ExecError<E>>
+where
+    I: Sync,
+    T: Send,
+    E: Send,
+    F: Fn(usize, &I) -> Result<T, E> + Sync,
+{
+    map_ordered_report(cfg, items, f).0
+}
+
+/// Like [`map_ordered`], additionally returning the [`PoolReport`] with
+/// wall-clock and per-worker busy timings.
+pub fn map_ordered_report<I, T, E, F>(
+    cfg: &ExecConfig,
+    items: &[I],
+    f: F,
+) -> (Result<Vec<T>, ExecError<E>>, PoolReport)
+where
+    I: Sync,
+    T: Send,
+    E: Send,
+    F: Fn(usize, &I) -> Result<T, E> + Sync,
+{
+    let jobs = items.len();
+    let workers = cfg.workers.max(1).min(jobs.max(1));
+    let chunk = cfg.chunk.max(1);
+    let started = Instant::now();
+
+    let mut slots: Vec<Option<Result<T, ExecError<E>>>> = Vec::new();
+    slots.resize_with(jobs, || None);
+    let mut busy = vec![Duration::ZERO; workers];
+
+    if workers <= 1 {
+        let t0 = Instant::now();
+        for (idx, item) in items.iter().enumerate() {
+            slots[idx] = Some(run_one(&f, idx, item));
+        }
+        busy[0] = t0.elapsed();
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let shared_slots = Mutex::new(&mut slots);
+        let shared_busy = Mutex::new(&mut busy);
+        std::thread::scope(|scope| {
+            for worker in 0..workers {
+                let f = &f;
+                let cursor = &cursor;
+                let shared_slots = &shared_slots;
+                let shared_busy = &shared_busy;
+                scope.spawn(move || {
+                    let t0 = Instant::now();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= jobs {
+                            break;
+                        }
+                        let end = (start + chunk).min(jobs);
+                        for idx in start..end {
+                            let out = run_one(f, idx, &items[idx]);
+                            let mut guard = shared_slots.lock().expect("result lock");
+                            guard[idx] = Some(out);
+                        }
+                    }
+                    let elapsed = t0.elapsed();
+                    let mut guard = shared_busy.lock().expect("busy lock");
+                    guard[worker] = elapsed;
+                });
+            }
+        });
+    }
+
+    let report = PoolReport {
+        workers,
+        jobs,
+        wall: started.elapsed(),
+        busy,
+    };
+    let mut out = Vec::with_capacity(jobs);
+    for (idx, slot) in slots.into_iter().enumerate() {
+        match slot.unwrap_or_else(|| panic!("job {idx} never ran")) {
+            Ok(v) => out.push(v),
+            // The lowest failing index is reached first in this scan.
+            Err(e) => return (Err(e), report),
+        }
+    }
+    (Ok(out), report)
+}
+
+/// Runs one job under `catch_unwind`, mapping a panic to
+/// [`ExecError::Panic`].
+fn run_one<I, T, E, F>(f: &F, idx: usize, item: &I) -> Result<T, ExecError<E>>
+where
+    F: Fn(usize, &I) -> Result<T, E>,
+{
+    match catch_unwind(AssertUnwindSafe(|| f(idx, item))) {
+        Ok(Ok(v)) => Ok(v),
+        Ok(Err(e)) => Err(ExecError::Job { job: idx, error: e }),
+        Err(payload) => Err(ExecError::Panic {
+            job: idx,
+            message: panic_message(payload.as_ref()),
+        }),
+    }
+}
+
+/// Renders a panic payload the way the default hook would.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Boom(usize);
+
+    impl fmt::Display for Boom {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "boom {}", self.0)
+        }
+    }
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        for workers in [1, 2, 4, 8] {
+            let cfg = ExecConfig::new(workers);
+            let items: Vec<u64> = (0..100).collect();
+            let out = map_ordered(&cfg, &items, |idx, &x| {
+                // Stagger finish times so out-of-order completion is real.
+                if idx % 7 == 0 {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                Ok::<_, Boom>(x * 3)
+            })
+            .expect("no failures");
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn lowest_index_error_wins() {
+        let cfg = ExecConfig::new(4);
+        let items: Vec<usize> = (0..32).collect();
+        let err = map_ordered(&cfg, &items, |_, &x| {
+            if x == 9 || x == 21 {
+                Err(Boom(x))
+            } else {
+                Ok(x)
+            }
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::Job {
+                job: 9,
+                error: Boom(9)
+            }
+        );
+    }
+
+    #[test]
+    fn panics_are_caught_and_typed() {
+        let cfg = ExecConfig::new(3);
+        let items = [1u32, 2, 3, 4];
+        let err = map_ordered(&cfg, &items, |_, &x| {
+            if x == 3 {
+                panic!("job exploded on {x}");
+            }
+            Ok::<_, Boom>(x)
+        })
+        .unwrap_err();
+        match err {
+            ExecError::Panic { job, message } => {
+                assert_eq!(job, 2);
+                assert!(message.contains("job exploded on 3"), "{message}");
+            }
+            other => panic!("expected a panic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panic_beats_error_when_earlier() {
+        let cfg = ExecConfig::new(2);
+        let items: Vec<usize> = (0..8).collect();
+        let err = map_ordered(&cfg, &items, |_, &x| match x {
+            2 => panic!("early panic"),
+            5 => Err(Boom(5)),
+            _ => Ok(x),
+        })
+        .unwrap_err();
+        assert!(matches!(err, ExecError::Panic { job: 2, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let cfg = ExecConfig::new(4);
+        let out: Vec<u8> =
+            map_ordered(&cfg, &[] as &[u8], |_, &x| Ok::<_, Boom>(x)).expect("empty ok");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn chunked_claims_cover_every_job() {
+        let cfg = ExecConfig::new(3).with_chunk(7);
+        let items: Vec<usize> = (0..50).collect();
+        let out = map_ordered(&cfg, &items, |idx, &x| {
+            assert_eq!(idx, x);
+            Ok::<_, Boom>(x + 1)
+        })
+        .expect("no failures");
+        assert_eq!(out, (1..=50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn report_tracks_workers_and_busy_time() {
+        let cfg = ExecConfig::new(2);
+        let items = [10u64, 20, 30, 40];
+        let (out, report) = map_ordered_report(&cfg, &items, |_, &x| {
+            std::thread::sleep(Duration::from_millis(1));
+            Ok::<_, Boom>(x)
+        });
+        assert_eq!(out.expect("ok"), items.to_vec());
+        assert_eq!(report.workers, 2);
+        assert_eq!(report.jobs, 4);
+        assert_eq!(report.busy.len(), 2);
+        assert!(report.wall > Duration::ZERO);
+        assert!(report.busy.iter().any(|b| *b > Duration::ZERO));
+        let util = report.utilization();
+        assert!(util.iter().all(|u| (0.0..=1.0).contains(u)));
+        assert!(report.mean_utilization() > 0.0);
+    }
+
+    #[test]
+    fn worker_count_clamps_to_jobs() {
+        let cfg = ExecConfig::new(64);
+        let (out, report) = map_ordered_report(&cfg, &[1u8, 2], |_, &x| Ok::<_, Boom>(x));
+        assert_eq!(out.expect("ok"), vec![1, 2]);
+        assert_eq!(report.workers, 2);
+    }
+
+    #[test]
+    fn config_from_env_respects_override() {
+        // Serialize env mutation against other tests in this binary.
+        static LOCK: Mutex<()> = Mutex::new(());
+        let _guard = LOCK.lock().unwrap();
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(ExecConfig::from_env().workers, 3);
+        std::env::set_var(THREADS_ENV, "not-a-number");
+        assert_eq!(ExecConfig::from_env().workers, available_workers());
+        std::env::set_var(THREADS_ENV, "0");
+        assert_eq!(ExecConfig::from_env().workers, available_workers());
+        std::env::remove_var(THREADS_ENV);
+        assert_eq!(ExecConfig::from_env().workers, available_workers());
+    }
+}

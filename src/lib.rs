@@ -11,6 +11,8 @@
 //! * [`retention`] — retention distributions, profiles, binning, leakage,
 //! * [`trace`] — trace formats and synthetic PARSEC workloads,
 //! * [`dram`] — the cycle-level bank/rank simulator and refresh policies,
+//! * [`exec`] — the parallel experiment execution engine (scoped worker
+//!   pool with deterministic job ordering),
 //! * [`power`] — IDD-based energy model,
 //! * [`area`] — 90 nm gate-level area model.
 //!
@@ -36,6 +38,7 @@ pub use vrl_area as area;
 pub use vrl_circuit as circuit;
 pub use vrl_dram as core;
 pub use vrl_dram_sim as dram;
+pub use vrl_exec as exec;
 pub use vrl_power as power;
 pub use vrl_retention as retention;
 pub use vrl_spice as spice;
