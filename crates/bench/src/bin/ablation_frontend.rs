@@ -51,7 +51,8 @@ fn main() {
         let mut in_order = Simulator::new(sim_config, experiment.plan().vrl_access());
         let ord = in_order.run(make().records(duration_ms), duration_ms);
 
-        let mut frfcfs = FrFcfsController::new(sim_config, experiment.plan().vrl_access(), 32);
+        let mut frfcfs = FrFcfsController::new(sim_config, experiment.plan().vrl_access(), 32)
+            .expect("non-zero queue depth");
         let fr = frfcfs
             .run(make().records(duration_ms), duration_ms)
             .expect("frfcfs run");

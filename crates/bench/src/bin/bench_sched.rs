@@ -1,0 +1,190 @@
+//! Scheduler study: refresh-busy time and read latency per policy ×
+//! front end (in-order, FR-FCFS, multi-bank scheduled).
+//!
+//! Runs every policy on all three front ends over one benchmark trace,
+//! reports refresh-busy cycles, demand-visible (blocked) refresh
+//! cycles, stalls, and the scheduled front end's read-latency
+//! histogram, then verifies the scheduler determinism contract
+//! (bit-identical (benchmark × policy) matrices on the serial path and
+//! the worker pool). Writes `BENCH_sched.json` under
+//! `target/experiments/`.
+//!
+//! Flags:
+//!
+//! * `--benchmark <name>` (default `ferret`) — trace for the per-policy
+//!   table,
+//! * `--rows <u32>` (default 2048) — total rows across the rank,
+//! * `--banks <u32>` (default 8) — banks the rows are split across,
+//! * `--duration-ms <f64>` (default 256) — simulated wall time per run,
+//! * `--workers <usize>` (default: `VRL_THREADS` or available
+//!   parallelism) — pool size for the determinism check.
+
+use serde::Serialize;
+
+use vrl_dram::experiment::{Experiment, ExperimentConfig, PolicyKind};
+use vrl_exec::ExecConfig;
+
+#[derive(Serialize)]
+struct FrontEndRow {
+    policy: &'static str,
+    front_end: &'static str,
+    refresh_busy_cycles: u64,
+    refresh_blocked_cycles: Option<u64>,
+    stall_cycles: u64,
+    hit_rate: f64,
+    read_latency_mean: Option<f64>,
+    read_latency_p50: Option<u64>,
+    read_latency_p99: Option<u64>,
+    read_latency_buckets: Option<Vec<(u64, u64)>>,
+}
+
+#[derive(Serialize)]
+struct BenchSched {
+    benchmark: String,
+    rows: u32,
+    banks: u32,
+    duration_ms: f64,
+    queue_depth: usize,
+    rows_table: Vec<FrontEndRow>,
+    scheduled_vs_frfcfs_refresh_blocked: f64,
+    determinism_workers: usize,
+    determinism_bit_identical: bool,
+    integrity_violations: usize,
+}
+
+fn main() {
+    vrl_bench::section("Scheduler — refresh-busy & read latency per policy × front end");
+    let benchmark = vrl_bench::arg_str("--benchmark", "ferret");
+    let rows = vrl_bench::arg_f64("--rows", 2048.0) as u32;
+    let banks = vrl_bench::arg_f64("--banks", 8.0) as u32;
+    let duration_ms = vrl_bench::arg_f64("--duration-ms", 256.0);
+    let default_workers = ExecConfig::from_env().workers;
+    let workers = vrl_bench::arg_f64("--workers", default_workers as f64).max(1.0) as usize;
+
+    let experiment = Experiment::new(ExperimentConfig {
+        rows,
+        duration_ms,
+        ..Default::default()
+    });
+    let sched = experiment.sched_config(banks).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "benchmark {benchmark}: {banks} banks × {} rows, {duration_ms} ms simulated",
+        sched.rows_per_bank()
+    );
+    println!(
+        "{:>10} {:>10} {:>12} {:>10} {:>12} {:>8} {:>8} {:>8}",
+        "policy", "front end", "refresh-busy", "blocked", "stall", "hit %", "p50 lat", "p99 lat"
+    );
+
+    let mut table = Vec::new();
+    let mut frfcfs_blocked_proxy = 0u64;
+    let mut sched_blocked = 0u64;
+    for kind in PolicyKind::ALL {
+        let in_order = experiment
+            .run_policy(kind, &benchmark)
+            .unwrap_or_else(|e| fail(&e));
+        let frfcfs = experiment
+            .run_frfcfs(kind, &benchmark, sched.queue_depth)
+            .unwrap_or_else(|e| fail(&e));
+        let scheduled = experiment
+            .run_scheduled(kind, &benchmark, sched)
+            .unwrap_or_else(|e| fail(&e));
+        // Single-bank front ends cannot steer refreshes away from
+        // demand: every refresh cycle is demand-visible whenever any
+        // request is in flight, so their refresh-busy total is the
+        // comparison baseline.
+        frfcfs_blocked_proxy += frfcfs.sim.refresh_busy_cycles;
+        sched_blocked += scheduled.refresh_blocked_cycles;
+
+        for (front_end, sim, blocked, lat) in [
+            ("in-order", &in_order, None, None),
+            ("fr-fcfs", &frfcfs.sim, None, None),
+            (
+                "scheduled",
+                &scheduled.sim,
+                Some(scheduled.refresh_blocked_cycles),
+                Some(&scheduled.read_latency),
+            ),
+        ] {
+            println!(
+                "{:>10} {:>10} {:>12} {:>10} {:>12} {:>8.1} {:>8} {:>8}",
+                kind.name(),
+                front_end,
+                sim.refresh_busy_cycles,
+                blocked.map_or_else(|| "-".to_owned(), |b| b.to_string()),
+                sim.stall_cycles,
+                sim.hit_rate() * 100.0,
+                lat.map_or_else(|| "-".to_owned(), |h| h.quantile(0.5).to_string()),
+                lat.map_or_else(|| "-".to_owned(), |h| h.quantile(0.99).to_string()),
+            );
+            table.push(FrontEndRow {
+                policy: kind.name(),
+                front_end,
+                refresh_busy_cycles: sim.refresh_busy_cycles,
+                refresh_blocked_cycles: blocked,
+                stall_cycles: sim.stall_cycles,
+                hit_rate: sim.hit_rate(),
+                read_latency_mean: lat.map(|h| h.mean()),
+                read_latency_p50: lat.map(|h| h.quantile(0.5)),
+                read_latency_p99: lat.map(|h| h.quantile(0.99)),
+                read_latency_buckets: lat.map(|h| h.nonzero_buckets()),
+            });
+        }
+    }
+
+    let blocked_ratio = sched_blocked as f64 / (frfcfs_blocked_proxy as f64).max(1.0);
+    println!(
+        "\ndemand-visible refresh cycles, scheduled vs FR-FCFS refresh-busy: {:.4}x",
+        blocked_ratio
+    );
+
+    // Determinism contract: the scheduled matrix must be bit-identical
+    // on the serial path and any pool shape.
+    let policies = [PolicyKind::Vrl, PolicyKind::VrlAccess];
+    let serial = experiment
+        .run_sched_matrix_serial(&policies, sched)
+        .unwrap_or_else(|e| fail(&e));
+    let (pooled, _) = experiment
+        .run_sched_matrix_with(&ExecConfig::new(workers), &policies, sched)
+        .unwrap_or_else(|e| fail(&e));
+    let bit_identical = serial == pooled;
+    println!("determinism ({workers} workers): bit-identical = {bit_identical}");
+
+    let (_, violations) = experiment
+        .run_scheduled_checked(PolicyKind::VrlAccess, &benchmark, sched)
+        .unwrap_or_else(|e| fail(&e));
+    println!("integrity violations under parallelized VRL-Access: {violations}");
+
+    vrl_bench::write_json(
+        "BENCH_sched",
+        &BenchSched {
+            benchmark,
+            rows,
+            banks,
+            duration_ms,
+            queue_depth: sched.queue_depth,
+            rows_table: table,
+            scheduled_vs_frfcfs_refresh_blocked: blocked_ratio,
+            determinism_workers: workers,
+            determinism_bit_identical: bit_identical,
+            integrity_violations: violations,
+        },
+    );
+
+    if !bit_identical {
+        eprintln!("FAIL: scheduled matrix diverges across pool shapes");
+        std::process::exit(1);
+    }
+    if violations != 0 {
+        eprintln!("FAIL: refresh parallelization violated row integrity");
+        std::process::exit(1);
+    }
+}
+
+fn fail(err: &dyn std::fmt::Display) -> ! {
+    eprintln!("error: {err}");
+    std::process::exit(1);
+}

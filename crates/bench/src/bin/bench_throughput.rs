@@ -3,8 +3,11 @@
 //! Runs the full (benchmark × policy) matrix once on the serial path and
 //! once through the `vrl-exec` worker pool, reports simulated cycles/sec,
 //! events/sec and per-worker utilization, and verifies the determinism
-//! contract (bit-identical statistics on both paths). Writes
-//! `BENCH_throughput.json` under `target/experiments/`.
+//! contract (bit-identical statistics on both paths). The FR-FCFS
+//! controller and multi-bank scheduler front ends are metered alongside
+//! the base simulator — their stats embed the same [`SimStats`], so all
+//! three feed one throughput meter. Writes `BENCH_throughput.json` under
+//! `target/experiments/`.
 //!
 //! Flags:
 //!
@@ -37,6 +40,15 @@ struct Leg {
     mean_utilization: f64,
 }
 
+/// One scheduling front end's serial throughput over the same matrix.
+#[derive(Serialize)]
+struct FrontEndLeg {
+    front_end: &'static str,
+    wall_seconds: f64,
+    sim_cycles_per_sec: f64,
+    events_per_sec: f64,
+}
+
 #[derive(Serialize)]
 struct BenchThroughput {
     rows: u32,
@@ -50,6 +62,7 @@ struct BenchThroughput {
     parallel: Leg,
     speedup: f64,
     bit_identical: bool,
+    front_ends: Vec<FrontEndLeg>,
 }
 
 fn accumulate(cells: &[vrl_dram::experiment::MatrixCell]) -> SimStats {
@@ -129,6 +142,58 @@ fn main() {
         parallel_report.workers
     );
 
+    // The other two front ends, metered serially over the same matrix:
+    // ControllerStats / SchedStats embed SimStats, so they feed the
+    // identical events()/throughput() meter.
+    let benchmarks = vrl_trace::WorkloadSpec::BENCHMARKS;
+    let mut front_ends = Vec::new();
+
+    let started = std::time::Instant::now();
+    let mut frfcfs_totals = SimStats::default();
+    for benchmark in benchmarks {
+        for &kind in &policies {
+            let stats = experiment
+                .run_frfcfs(kind, benchmark, 32)
+                .unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                });
+            frfcfs_totals.accumulate(&stats.sim);
+        }
+    }
+    let frfcfs_tp = frfcfs_totals.throughput(started.elapsed().as_secs_f64());
+
+    let sched = experiment.sched_config(8).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    let started = std::time::Instant::now();
+    let sched_cells = experiment
+        .run_sched_matrix_serial(&policies, sched)
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+    let mut sched_totals = SimStats::default();
+    for cell in &sched_cells {
+        sched_totals.accumulate(&cell.stats.sim);
+    }
+    let sched_tp = sched_totals.throughput(started.elapsed().as_secs_f64());
+
+    for (front_end, tp) in [("fr-fcfs", &frfcfs_tp), ("scheduled", &sched_tp)] {
+        println!(
+            "{front_end:>9}: serial front end, {:>7.3} s wall, {:>12.3e} sim cycles/s, \
+             {:>11.3e} events/s",
+            tp.wall_seconds, tp.sim_cycles_per_sec, tp.events_per_sec,
+        );
+        front_ends.push(FrontEndLeg {
+            front_end,
+            wall_seconds: tp.wall_seconds,
+            sim_cycles_per_sec: tp.sim_cycles_per_sec,
+            events_per_sec: tp.events_per_sec,
+        });
+    }
+
     vrl_bench::write_json(
         "BENCH_throughput",
         &BenchThroughput {
@@ -143,6 +208,7 @@ fn main() {
             parallel: leg(&parallel_report, &parallel_tp),
             speedup,
             bit_identical,
+            front_ends,
         },
     );
 

@@ -65,6 +65,17 @@ pub fn arg_f64(flag: &str, default: f64) -> f64 {
         .unwrap_or(default)
 }
 
+/// Parses a `--benchmark <name>` style string flag from
+/// `std::env::args`, falling back to `default`.
+pub fn arg_str(flag: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_owned())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

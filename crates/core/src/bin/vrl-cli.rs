@@ -6,6 +6,8 @@
 //! vrl plan [--rows N] [--seed S] [--nbits B]
 //! vrl simulate <benchmark> [--rows N] [--duration-ms D] [--policy P]
 //! vrl compare [--rows N] [--duration-ms D] [--threads T]
+//! vrl sched <benchmark> [--rows N] [--banks B] [--duration-ms D]
+//!           [--policy P] [--no-parallel]
 //! vrl netlist <equalization|charge-sharing|sense-restore>
 //! ```
 //!
@@ -207,6 +209,84 @@ fn cmd_compare(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_sched(args: &[String]) -> ExitCode {
+    let Some(benchmark) = args.first().filter(|a| !a.starts_with("--")).cloned() else {
+        eprintln!(
+            "usage: vrl sched <benchmark> [--rows N] [--banks B] [--duration-ms D] \
+             [--policy P] [--no-parallel]"
+        );
+        eprintln!(
+            "benchmarks: {}",
+            vrl_trace::WorkloadSpec::BENCHMARKS.join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+    let rows: u32 = flag_parse(args, "--rows", 8192);
+    let banks: u32 = flag_parse(args, "--banks", 8);
+    let duration_ms: f64 = flag_parse(args, "--duration-ms", 512.0);
+    let parallel = !args.iter().any(|a| a == "--no-parallel");
+    let policy_name = flag_value(args, "--policy").unwrap_or_else(|| "all".to_owned());
+    let kinds: Vec<PolicyKind> = match policy_name.as_str() {
+        "all" => PolicyKind::ALL.to_vec(),
+        name => match PolicyKind::ALL.iter().find(|k| k.name() == name) {
+            Some(k) => vec![*k],
+            None => {
+                eprintln!("unknown policy '{name}' (auto, raidr, vrl, vrl-access, all)");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let experiment = Experiment::new(ExperimentConfig {
+        rows,
+        duration_ms,
+        ..Default::default()
+    });
+    let sched = match experiment.sched_config(banks) {
+        Ok(cfg) => cfg.with_parallelism(parallel),
+        Err(err) => {
+            eprintln!("{err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "rank: {banks} banks × {} rows, {duration_ms} ms simulated, \
+         refresh parallelization {}",
+        sched.rows_per_bank(),
+        if parallel { "on" } else { "off" }
+    );
+    println!(
+        "{:>10} {:>12} {:>12} {:>10} {:>10} {:>12} {:>8} {:>8}",
+        "policy",
+        "refresh-busy",
+        "blocked",
+        "postponed",
+        "pulled-in",
+        "stall",
+        "p50 lat",
+        "p99 lat"
+    );
+    for kind in kinds {
+        match experiment.run_scheduled(kind, &benchmark, sched) {
+            Ok(stats) => println!(
+                "{:>10} {:>12} {:>12} {:>10} {:>10} {:>12} {:>8} {:>8}",
+                kind.name(),
+                stats.sim.refresh_busy_cycles,
+                stats.refresh_blocked_cycles,
+                stats.sim.postponed_refreshes,
+                stats.pulled_in_refreshes,
+                stats.sim.stall_cycles,
+                stats.read_latency.quantile(0.5),
+                stats.read_latency.quantile(0.99),
+            ),
+            Err(err) => {
+                eprintln!("{err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_netlist(args: &[String]) -> ExitCode {
     let which = args.first().map(String::as_str).unwrap_or("equalization");
     let params = Technology::n90().to_spice_params(BankGeometry::operational_segment());
@@ -245,6 +325,7 @@ fn main() -> ExitCode {
         Some("plan") => cmd_plan(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
+        Some("sched") => cmd_sched(&args[1..]),
         Some("netlist") => cmd_netlist(&args[1..]),
         _ => {
             eprintln!("vrl — the VRL-DRAM analytical model and simulator\n");
@@ -254,6 +335,10 @@ fn main() -> ExitCode {
             eprintln!("  vrl plan [--rows N] [--seed S] [--nbits B]");
             eprintln!("  vrl simulate <benchmark> [--rows N] [--duration-ms D] [--policy P]");
             eprintln!("  vrl compare [--rows N] [--duration-ms D] [--threads T]");
+            eprintln!(
+                "  vrl sched <benchmark> [--rows N] [--banks B] [--duration-ms D] \
+                 [--policy P] [--no-parallel]"
+            );
             eprintln!("  vrl netlist <equalization|charge-sharing|sense-restore>");
             ExitCode::FAILURE
         }

@@ -18,6 +18,7 @@ use vrl_exec::{map_ordered_report, ExecConfig, PoolReport};
 
 use vrl_circuit::model::AnalyticalModel;
 use vrl_circuit::tech::Technology;
+use vrl_dram_sim::controller::{ControllerStats, FrFcfsController};
 use vrl_dram_sim::fault::{FaultConfig, FaultInjector, FaultStats};
 use vrl_dram_sim::guard::{Guard, GuardConfig, GuardStats};
 use vrl_dram_sim::integrity::IntegrityChecker;
@@ -27,6 +28,7 @@ use vrl_dram_sim::{AutoRefresh, SimStats, TimingParams};
 use vrl_power::model::{PowerBreakdown, PowerModel};
 use vrl_retention::distribution::RetentionDistribution;
 use vrl_retention::profile::BankProfile;
+use vrl_sched::{SchedConfig, SchedStats, Scheduler};
 use vrl_trace::{TraceRecord, Workload, WorkloadSpec};
 
 use crate::error::Error;
@@ -383,6 +385,187 @@ impl Experiment {
             .collect()
     }
 
+    /// A scheduler geometry for this experiment's bank: the configured
+    /// row count split across `banks` banks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Sim`] if `banks` does not evenly split
+    /// [`ExperimentConfig::rows`] into power-of-two banks of power-of-two
+    /// rows (the address map needs whole bit fields).
+    pub fn sched_config(&self, banks: u32) -> Result<SchedConfig, Error> {
+        if banks == 0 || !self.config.rows.is_multiple_of(banks) {
+            return Err(Error::Sim(vrl_dram_sim::Error::InvalidConfig {
+                reason: format!(
+                    "{banks} banks cannot evenly split {} rows",
+                    self.config.rows
+                ),
+            }));
+        }
+        Ok(SchedConfig::with_geometry(banks, self.config.rows / banks)?)
+    }
+
+    /// Runs one policy against one benchmark on the FR-FCFS controller
+    /// front end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownWorkload`] for an unknown benchmark name
+    /// and [`Error::Sim`] for an invalid queue depth.
+    pub fn run_frfcfs(
+        &self,
+        kind: PolicyKind,
+        benchmark: &str,
+        queue_depth: usize,
+    ) -> Result<ControllerStats, Error> {
+        let trace = self.trace(benchmark)?;
+        let config = SimConfig::with_rows(self.config.rows);
+        let d = self.config.duration_ms;
+        Ok(match kind {
+            PolicyKind::Auto => {
+                FrFcfsController::new(config, AutoRefresh::new(64.0), queue_depth)?.run(trace, d)?
+            }
+            PolicyKind::Raidr => {
+                FrFcfsController::new(config, self.plan.raidr(), queue_depth)?.run(trace, d)?
+            }
+            PolicyKind::Vrl => {
+                FrFcfsController::new(config, self.plan.vrl(), queue_depth)?.run(trace, d)?
+            }
+            PolicyKind::VrlAccess => {
+                FrFcfsController::new(config, self.plan.vrl_access(), queue_depth)?.run(trace, d)?
+            }
+        })
+    }
+
+    /// Runs one policy against one benchmark on the multi-bank command
+    /// scheduler front end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownWorkload`] for an unknown benchmark name
+    /// and [`Error::Sim`] for a scheduler configuration or invariant
+    /// failure.
+    pub fn run_scheduled(
+        &self,
+        kind: PolicyKind,
+        benchmark: &str,
+        sched: SchedConfig,
+    ) -> Result<SchedStats, Error> {
+        let trace = self.trace(benchmark)?;
+        self.run_scheduled_with(kind, sched, trace, &mut NullObserver)
+    }
+
+    /// Runs a policy on the scheduler front end over an explicit trace,
+    /// reporting refresh/activate events (keyed by global row index) to
+    /// an observer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Sim`] for a scheduler configuration or invariant
+    /// failure.
+    pub fn run_scheduled_with<I, O>(
+        &self,
+        kind: PolicyKind,
+        sched: SchedConfig,
+        trace: I,
+        observer: &mut O,
+    ) -> Result<SchedStats, Error>
+    where
+        I: Iterator<Item = TraceRecord>,
+        O: SimObserver,
+    {
+        let d = self.config.duration_ms;
+        Ok(match kind {
+            PolicyKind::Auto => {
+                Scheduler::new(sched, AutoRefresh::new(64.0))?.run_observed(trace, d, observer)?
+            }
+            PolicyKind::Raidr => {
+                Scheduler::new(sched, self.plan.raidr())?.run_observed(trace, d, observer)?
+            }
+            PolicyKind::Vrl => {
+                Scheduler::new(sched, self.plan.vrl())?.run_observed(trace, d, observer)?
+            }
+            PolicyKind::VrlAccess => {
+                Scheduler::new(sched, self.plan.vrl_access())?.run_observed(trace, d, observer)?
+            }
+        })
+    }
+
+    /// Runs a policy on the scheduler front end under the integrity
+    /// checker; returns the stats and the number of charge violations
+    /// (must be 0 for a sound plan — postponement is bounded by the
+    /// elasticity window, far below any retention margin).
+    ///
+    /// # Errors
+    ///
+    /// See [`Experiment::run_scheduled`].
+    pub fn run_scheduled_checked(
+        &self,
+        kind: PolicyKind,
+        benchmark: &str,
+        sched: SchedConfig,
+    ) -> Result<(SchedStats, usize), Error> {
+        let trace = self.trace(benchmark)?;
+        let physics = ModelPhysics::new(&self.model);
+        let retention: Vec<f64> = self.profile.iter().map(|r| r.weakest_ms).collect();
+        let mut checker = IntegrityChecker::new(physics, TimingParams::paper_default(), retention);
+        let stats = self.run_scheduled_with(kind, sched, trace, &mut checker)?;
+        Ok((stats, checker.violations().len()))
+    }
+
+    /// The scheduler-front-end (benchmark × policy) matrix through the
+    /// worker pool, in deterministic job order — the scheduled
+    /// counterpart of [`Experiment::run_matrix_with`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the lowest-job-index failure; worker panics surface as
+    /// [`Error::WorkerPanic`].
+    pub fn run_sched_matrix_with(
+        &self,
+        cfg: &ExecConfig,
+        policies: &[PolicyKind],
+        sched: SchedConfig,
+    ) -> Result<(Vec<SchedCell>, PoolReport), Error> {
+        let jobs: Vec<(&str, PolicyKind)> = WorkloadSpec::BENCHMARKS
+            .iter()
+            .flat_map(|name| policies.iter().map(move |&kind| (*name, kind)))
+            .collect();
+        let (result, report) = map_ordered_report(cfg, &jobs, |_, &(benchmark, kind)| {
+            self.run_scheduled(kind, benchmark, sched)
+                .map(|stats| SchedCell {
+                    benchmark: benchmark.to_owned(),
+                    policy: kind,
+                    stats,
+                })
+        });
+        Ok((result.map_err(Error::from)?, report))
+    }
+
+    /// The serial reference for [`Experiment::run_sched_matrix_with`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing run's [`Error`].
+    pub fn run_sched_matrix_serial(
+        &self,
+        policies: &[PolicyKind],
+        sched: SchedConfig,
+    ) -> Result<Vec<SchedCell>, Error> {
+        WorkloadSpec::BENCHMARKS
+            .iter()
+            .flat_map(|name| policies.iter().map(move |&kind| (*name, kind)))
+            .map(|(benchmark, kind)| {
+                self.run_scheduled(kind, benchmark, sched)
+                    .map(|stats| SchedCell {
+                        benchmark: benchmark.to_owned(),
+                        policy: kind,
+                        stats,
+                    })
+            })
+            .collect()
+    }
+
     /// Runs a policy under injected faults, optionally protected by the
     /// runtime [`Guard`].
     ///
@@ -474,6 +657,19 @@ pub struct MatrixCell {
     pub stats: SimStats,
 }
 
+/// One cell of the scheduler-front-end simulation matrix
+/// ([`Experiment::run_sched_matrix_with`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedCell {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// The policy that ran.
+    pub policy: PolicyKind,
+    /// The run's counters (scheduler metrics plus the base
+    /// [`SimStats`]).
+    pub stats: SchedStats,
+}
+
 /// The result of a fault-injected run ([`Experiment::run_faulted`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultedOutcome {
@@ -534,6 +730,71 @@ mod tests {
         }
         assert!(e.compare("nope").is_err());
         assert!(e.run_checked(PolicyKind::Vrl, "nope").is_err());
+    }
+
+    #[test]
+    fn sched_config_requires_an_even_power_of_two_split() {
+        let e = small();
+        let cfg = e.sched_config(4).expect("512 rows over 4 banks");
+        assert_eq!(cfg.banks(), 4);
+        assert_eq!(cfg.total_rows(), 512);
+        assert!(e.sched_config(0).is_err());
+        assert!(e.sched_config(3).is_err());
+    }
+
+    #[test]
+    fn scheduled_front_end_matches_frfcfs_with_one_bank() {
+        // The degenerate scheduler (1 bank, no parallelism) must agree
+        // with the FR-FCFS controller through the experiment plumbing
+        // too, not just at the engine level.
+        let e = small();
+        let sched = e
+            .sched_config(1)
+            .expect("one bank")
+            .with_parallelism(false)
+            .with_slack(0)
+            .with_queue_depth(32);
+        for kind in PolicyKind::ALL {
+            let s = e.run_scheduled(kind, "ferret", sched).expect("known");
+            let c = e.run_frfcfs(kind, "ferret", 32).expect("known");
+            assert_eq!(s.sim, c.sim, "{} diverged", kind.name());
+            assert_eq!(s.reordered, c.reordered);
+        }
+    }
+
+    #[test]
+    fn sched_matrix_is_deterministic_across_pool_shapes() {
+        let e = Experiment::new(ExperimentConfig {
+            rows: 256,
+            duration_ms: 128.0,
+            ..Default::default()
+        });
+        let sched = e.sched_config(4).expect("4 banks");
+        let policies = [PolicyKind::Vrl, PolicyKind::VrlAccess];
+        let serial = e
+            .run_sched_matrix_serial(&policies, sched)
+            .expect("serial matrix");
+        for workers in [1, 2, 5] {
+            let (cells, _) = e
+                .run_sched_matrix_with(&ExecConfig::new(workers), &policies, sched)
+                .expect("pooled matrix");
+            assert_eq!(cells, serial, "{workers}-worker pool diverged");
+        }
+    }
+
+    #[test]
+    fn scheduled_parallelism_is_integrity_clean() {
+        let e = Experiment::new(ExperimentConfig {
+            rows: 256,
+            duration_ms: 256.0,
+            ..Default::default()
+        });
+        let sched = e.sched_config(4).expect("4 banks");
+        let (stats, violations) = e
+            .run_scheduled_checked(PolicyKind::VrlAccess, "ferret", sched)
+            .expect("known");
+        assert_eq!(violations, 0, "parallelized refreshes must stay sound");
+        assert!(stats.sim.total_refreshes() > 0);
     }
 
     #[test]

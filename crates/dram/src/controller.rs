@@ -10,8 +10,7 @@
 //! interface as the simulator, so VRL/RAIDR comparisons run unchanged on
 //! top of the more realistic front end.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use vrl_trace::TraceRecord;
 
@@ -21,6 +20,7 @@ use crate::policy::RefreshPolicy;
 use crate::sim::{NullObserver, SimConfig, SimObserver};
 use crate::stats::SimStats;
 use crate::timing::RefreshLatency;
+use crate::wheel::RefreshQueue;
 
 /// Statistics of a controller run: the base counters plus queue metrics.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -41,19 +41,27 @@ pub struct FrFcfsController<P: RefreshPolicy> {
     queue_depth: usize,
     policy: P,
     bank: BankState,
-    refresh_queue: BinaryHeap<Reverse<(u64, u32)>>,
+    refresh_queue: RefreshQueue,
     stats: ControllerStats,
 }
 
 impl<P: RefreshPolicy> FrFcfsController<P> {
     /// Creates a controller with a bounded request queue.
     ///
-    /// # Panics
+    /// Per-row refresh deadlines live on the same bucketed timing wheel
+    /// ([`RefreshQueue`]) the base simulator uses.
     ///
-    /// Panics if `queue_depth` is zero.
-    pub fn new(config: SimConfig, policy: P, queue_depth: usize) -> Self {
-        assert!(queue_depth > 0, "queue must hold at least one request");
-        let mut refresh_queue = BinaryHeap::with_capacity(config.rows as usize);
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if `queue_depth` is zero — a
+    /// controller that can hold no request can never service the trace.
+    pub fn new(config: SimConfig, policy: P, queue_depth: usize) -> Result<Self, Error> {
+        if queue_depth == 0 {
+            return Err(Error::InvalidConfig {
+                reason: "FR-FCFS queue must hold at least one request".into(),
+            });
+        }
+        let mut refresh_queue = RefreshQueue::new();
         for row in 0..config.rows {
             let period = config.timing.ms_to_cycles(policy.period_ms(row));
             let offset = if config.staggered {
@@ -61,16 +69,16 @@ impl<P: RefreshPolicy> FrFcfsController<P> {
             } else {
                 0
             };
-            refresh_queue.push(Reverse((offset, row)));
+            refresh_queue.push(offset, row, offset);
         }
-        FrFcfsController {
+        Ok(FrFcfsController {
             config,
             queue_depth,
             policy,
             bank: BankState::new(),
             refresh_queue,
             stats: ControllerStats::default(),
-        }
+        })
     }
 
     /// Runs the trace for `duration_ms`.
@@ -78,8 +86,8 @@ impl<P: RefreshPolicy> FrFcfsController<P> {
     /// # Errors
     ///
     /// Returns an [`Error`] if an internal scheduling invariant breaks
-    /// (empty refresh queue, invalid pick, or a stalled scheduler);
-    /// these indicate a bug rather than a property of the workload.
+    /// (an invalid FR-FCFS pick or a stalled scheduler); these indicate
+    /// a bug rather than a property of the workload.
     pub fn run<I: Iterator<Item = TraceRecord>>(
         &mut self,
         trace: I,
@@ -122,12 +130,13 @@ impl<P: RefreshPolicy> FrFcfsController<P> {
             }
             self.stats.max_queue_depth = self.stats.max_queue_depth.max(queue.len());
 
-            // Refresh-first: a due refresh runs before queued demand.
-            if let Some(&Reverse((due, _))) = self.refresh_queue.peek() {
-                if due <= now && due < end {
-                    self.execute_refresh(now, observer)?;
-                    continue;
-                }
+            // Refresh-first: a due refresh (due <= now, due < end) runs
+            // before queued demand. The wheel's pop is strictly-before,
+            // so the horizon is one past `now`, capped at `end`.
+            let refresh_horizon = now.saturating_add(1).min(end);
+            if let Some((due, row, _)) = self.refresh_queue.pop_due_before(refresh_horizon) {
+                self.execute_refresh(due, row, now, observer);
+                continue;
             }
 
             // FR-FCFS pick among the queued requests.
@@ -145,11 +154,7 @@ impl<P: RefreshPolicy> FrFcfsController<P> {
 
             // Idle: advance to the next arrival or refresh, or finish.
             let next_arrival = trace.peek().map(|r| r.cycle);
-            let next_refresh = self
-                .refresh_queue
-                .peek()
-                .map(|&Reverse((due, _))| due)
-                .filter(|&d| d < end);
+            let next_refresh = self.refresh_queue.next_due().filter(|&d| d < end);
             match [next_arrival, next_refresh].into_iter().flatten().min() {
                 Some(t) if t > now => now = t,
                 // An event at or before `now` should have been admitted or
@@ -176,11 +181,7 @@ impl<P: RefreshPolicy> FrFcfsController<P> {
         Some(0)
     }
 
-    fn execute_refresh<O: SimObserver>(&mut self, now: u64, observer: &mut O) -> Result<(), Error> {
-        let Reverse((due, row)) = self
-            .refresh_queue
-            .pop()
-            .ok_or(Error::RefreshQueueEmpty { cycle: now })?;
+    fn execute_refresh<O: SimObserver>(&mut self, due: u64, row: u32, now: u64, observer: &mut O) {
         let start = self.bank.ready_at(now.max(due));
         let mut duration = 0;
         if self.bank.open_row().is_some() {
@@ -198,8 +199,8 @@ impl<P: RefreshPolicy> FrFcfsController<P> {
         }
         observer.on_refresh(row, kind, done);
         let period = self.config.timing.ms_to_cycles(self.policy.period_ms(row));
-        self.refresh_queue.push(Reverse((due + period.max(1), row)));
-        Ok(())
+        let next = due + period.max(1);
+        self.refresh_queue.push(next, row, next);
     }
 
     fn service<O: SimObserver>(&mut self, record: TraceRecord, now: u64, observer: &mut O) {
@@ -251,7 +252,8 @@ mod tests {
         let mut in_order = Simulator::new(config, AutoRefresh::new(64.0));
         let base = in_order.run(thrash_trace().into_iter(), 1.0);
 
-        let mut controller = FrFcfsController::new(config, AutoRefresh::new(64.0), 16);
+        let mut controller =
+            FrFcfsController::new(config, AutoRefresh::new(64.0), 16).expect("valid depth");
         let fr = controller
             .run(thrash_trace().into_iter(), 1.0)
             .expect("run");
@@ -272,7 +274,8 @@ mod tests {
         let config = SimConfig::with_rows(64);
         let mut sim = Simulator::new(config, AutoRefresh::new(64.0));
         let s = sim.run(std::iter::empty(), 128.0);
-        let mut controller = FrFcfsController::new(config, AutoRefresh::new(64.0), 8);
+        let mut controller =
+            FrFcfsController::new(config, AutoRefresh::new(64.0), 8).expect("valid depth");
         let c = controller.run(std::iter::empty(), 128.0).expect("run");
         assert_eq!(c.sim.total_refreshes(), s.total_refreshes());
         assert_eq!(c.sim.refresh_busy_cycles, s.refresh_busy_cycles);
@@ -281,7 +284,8 @@ mod tests {
     #[test]
     fn queue_depth_one_degenerates_to_fcfs() {
         let config = SimConfig::with_rows(16);
-        let mut controller = FrFcfsController::new(config, AutoRefresh::new(64.0), 1);
+        let mut controller =
+            FrFcfsController::new(config, AutoRefresh::new(64.0), 1).expect("valid depth");
         let c = controller
             .run(thrash_trace().into_iter(), 1.0)
             .expect("run");
@@ -294,14 +298,17 @@ mod tests {
             .map(|i| TraceRecord::new(i * 50, Op::Write, (i % 5) as u32))
             .collect();
         let mut controller =
-            FrFcfsController::new(SimConfig::with_rows(8), AutoRefresh::new(64.0), 4);
+            FrFcfsController::new(SimConfig::with_rows(8), AutoRefresh::new(64.0), 4)
+                .expect("valid depth");
         let c = controller.run(trace.into_iter(), 1.0).expect("run");
         assert_eq!(c.sim.accesses, 500);
     }
 
     #[test]
-    #[should_panic(expected = "queue must hold at least one request")]
-    fn zero_depth_panics() {
-        let _ = FrFcfsController::new(SimConfig::with_rows(8), AutoRefresh::new(64.0), 0);
+    fn zero_depth_is_a_typed_error() {
+        let err = FrFcfsController::new(SimConfig::with_rows(8), AutoRefresh::new(64.0), 0)
+            .expect_err("zero depth must be rejected");
+        assert!(matches!(err, Error::InvalidConfig { .. }), "{err:?}");
+        assert!(err.to_string().contains("queue"));
     }
 }

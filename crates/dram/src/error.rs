@@ -12,6 +12,12 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum Error {
+    /// A simulator or controller was constructed with an invalid
+    /// configuration (zero queue depth, zero banks, …).
+    InvalidConfig {
+        /// What was wrong with the configuration.
+        reason: String,
+    },
     /// The per-row refresh queue was empty when a refresh was scheduled.
     ///
     /// The queue holds exactly one entry per row at all times (each
@@ -39,6 +45,9 @@ pub enum Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            Error::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
             Error::RefreshQueueEmpty { cycle } => {
                 write!(
                     f,
@@ -63,6 +72,14 @@ impl std::error::Error for Error {}
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn invalid_config_displays_the_reason() {
+        let e = Error::InvalidConfig {
+            reason: "queue depth must be positive".into(),
+        };
+        assert!(e.to_string().contains("queue depth"));
+    }
 
     #[test]
     fn display_mentions_the_cycle() {

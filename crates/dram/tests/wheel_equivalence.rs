@@ -13,6 +13,10 @@ use std::collections::BinaryHeap;
 
 use proptest::prelude::*;
 
+use vrl_dram_sim::controller::FrFcfsController;
+use vrl_dram_sim::policy::AutoRefresh;
+use vrl_dram_sim::sim::{SimConfig, SimObserver};
+use vrl_dram_sim::timing::RefreshLatency;
 use vrl_dram_sim::wheel::{RefreshQueue, BUCKET_CYCLES, NUM_BUCKETS};
 
 /// The pre-wheel refresh queue, kept as the oracle.
@@ -45,6 +49,57 @@ impl HeapQueue {
 /// 1 GHz) plus a short one for dense traffic and one wider than the
 /// wheel's ring window (2^28 cycles) to force the overflow level.
 const PERIODS: [u64; 5] = [640_000, 64_000_000, 128_000_000, 256_000_000, 400_000_000];
+
+/// Captures the controller's refresh completions as `(row, done)` pairs.
+#[derive(Default)]
+struct RefreshLog {
+    events: Vec<(u32, u64)>,
+}
+
+impl SimObserver for RefreshLog {
+    fn on_refresh(&mut self, row: u32, _kind: RefreshLatency, cycle: u64) {
+        self.events.push((row, cycle));
+    }
+    fn on_activate(&mut self, _row: u32, _cycle: u64) {}
+}
+
+/// Replays the controller's refresh-only loop on the heap oracle: same
+/// initial per-row offsets, same strictly-before pop horizon, same
+/// single-bank occupancy (no open row ever forms without accesses, so
+/// each refresh costs exactly `τ_full`).
+fn heap_refresh_schedule(config: &SimConfig, period_ms: f64, duration_ms: f64) -> Vec<(u32, u64)> {
+    let period = config.timing.ms_to_cycles(period_ms).max(1);
+    let end = config.timing.ms_to_cycles(duration_ms);
+    let tau_full = config.timing.tau_full;
+    let mut heap = HeapQueue::default();
+    for row in 0..config.rows {
+        let offset = if config.staggered {
+            (row as u64).wrapping_mul(2654435761) % period
+        } else {
+            0
+        };
+        heap.push(offset, row, offset);
+    }
+    let mut events = Vec::new();
+    let mut busy_until = 0u64;
+    let mut now = 0u64;
+    loop {
+        now = now.max(busy_until);
+        if let Some((due, row, _)) = heap.pop_due_before(now.saturating_add(1).min(end)) {
+            let start = busy_until.max(now.max(due));
+            busy_until = start + tau_full;
+            events.push((row, busy_until));
+            heap.push(due + period, row, due + period);
+            continue;
+        }
+        match heap.next_due().filter(|&d| d < end) {
+            Some(t) if t > now => now = t,
+            Some(_) => panic!("oracle stalled at cycle {now}"),
+            None => break,
+        }
+    }
+    events
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -91,6 +146,36 @@ proptest! {
             }
         }
         prop_assert_eq!(wheel.len(), heap.heap.len());
+    }
+
+    /// The controller path: `FrFcfsController` now schedules its per-row
+    /// deadlines on the wheel. Over a refresh-only run its observed
+    /// `(row, completion)` sequence must match a replica of its refresh
+    /// loop driven by the heap oracle.
+    #[test]
+    fn controller_refreshes_match_the_heap_oracle(
+        rows in 1u32..96,
+        staggered_raw in 0u32..2,
+        duration_periods in 1u64..4,
+    ) {
+        let staggered = staggered_raw == 1;
+        let config = SimConfig {
+            staggered,
+            ..SimConfig::with_rows(rows)
+        };
+        let period_ms = 64.0;
+        let duration_ms = duration_periods as f64 * period_ms;
+
+        let mut controller =
+            FrFcfsController::new(config, AutoRefresh::new(period_ms), 4).expect("valid depth");
+        let mut seen = RefreshLog::default();
+        let stats = controller
+            .run_observed(std::iter::empty(), duration_ms, &mut seen)
+            .expect("refresh-only run");
+
+        let expected = heap_refresh_schedule(&config, period_ms, duration_ms);
+        prop_assert_eq!(stats.sim.total_refreshes(), expected.len() as u64);
+        prop_assert_eq!(&seen.events, &expected);
     }
 
     /// Arbitrary one-shot deadlines over a span much wider than the ring

@@ -1,0 +1,205 @@
+//! Scheduler configuration: rank geometry, timing, and the refresh
+//! scheduling knobs.
+
+use serde::{Deserialize, Serialize};
+
+use vrl_dram_sim::error::Error;
+use vrl_dram_sim::timing::TimingParams;
+use vrl_trace::addr::AddressMap;
+
+/// Configuration of the multi-bank command scheduler.
+///
+/// The rank geometry comes from the [`AddressMap`]: `2^bank_bits` banks
+/// of `2^row_bits` rows each. Trace records carry a flat row index; the
+/// scheduler steers each request through the map's row-interleaved
+/// layout, so consecutive indices stripe across banks before rows (see
+/// [`SchedConfig::steer`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedConfig {
+    /// Timing parameters (per-bank core timings plus the inter-bank
+    /// constraints `tRRD`, `tFAW`, `tCCD`, and bus turnaround).
+    pub timing: TimingParams,
+    /// Address mapping defining the rank geometry and request steering.
+    pub map: AddressMap,
+    /// Request-queue depth shared by all banks.
+    pub queue_depth: usize,
+    /// JEDEC-style refresh elasticity window in cycles: how far past its
+    /// deadline a refresh may be postponed in favor of queued demand,
+    /// and how far before its deadline an idle bank may pull it in.
+    /// Only consulted when [`SchedConfig::parallel_refresh`] is on.
+    pub slack: u64,
+    /// DSARP-style refresh-access parallelization: steer refreshes to
+    /// banks with no queued demand, postponing (within [`Self::slack`])
+    /// on contended banks and pulling refreshes in on idle ones. When
+    /// off, the scheduler is strictly refresh-first per bank, like
+    /// [`vrl_dram_sim::controller::FrFcfsController`].
+    pub parallel_refresh: bool,
+    /// Whether initial refresh deadlines are staggered across each
+    /// row's period (distributed refresh) or aligned (burst refresh).
+    pub staggered: bool,
+}
+
+impl SchedConfig {
+    /// The paper's evaluation rank: 8 banks × 8192 rows, DDR3-like
+    /// timings, a 32-deep queue, parallelized refresh with a 64 µs
+    /// elasticity window.
+    pub fn paper_default() -> Self {
+        SchedConfig {
+            timing: TimingParams::paper_default(),
+            map: AddressMap::paper_default(),
+            queue_depth: 32,
+            slack: 64_000,
+            parallel_refresh: true,
+            staggered: true,
+        }
+    }
+
+    /// A rank of `banks` × `rows_per_bank` (both powers of two) at the
+    /// paper's timings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if either count is zero or not a
+    /// power of two (the address map needs whole bit fields).
+    pub fn with_geometry(banks: u32, rows_per_bank: u32) -> Result<Self, Error> {
+        let field = |what: &str, n: u32| -> Result<u32, Error> {
+            if n == 0 || !n.is_power_of_two() {
+                return Err(Error::InvalidConfig {
+                    reason: format!("{what} must be a power of two, got {n}"),
+                });
+            }
+            Ok(n.trailing_zeros())
+        };
+        let bank_bits = field("bank count", banks)?;
+        let row_bits = field("rows per bank", rows_per_bank)?;
+        Ok(SchedConfig {
+            map: AddressMap {
+                bank_bits,
+                row_bits,
+                ..AddressMap::paper_default()
+            },
+            ..Self::paper_default()
+        })
+    }
+
+    /// Sets the request-queue depth.
+    #[must_use]
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Sets the refresh elasticity window.
+    #[must_use]
+    pub fn with_slack(mut self, slack_cycles: u64) -> Self {
+        self.slack = slack_cycles;
+        self
+    }
+
+    /// Enables or disables refresh-access parallelization.
+    #[must_use]
+    pub fn with_parallelism(mut self, on: bool) -> Self {
+        self.parallel_refresh = on;
+        self
+    }
+
+    /// Switches to burst refresh (all rows initially due together).
+    #[must_use]
+    pub fn with_burst_refresh(mut self) -> Self {
+        self.staggered = false;
+        self
+    }
+
+    /// Banks in the rank.
+    pub fn banks(&self) -> u32 {
+        1 << self.map.bank_bits
+    }
+
+    /// Rows per bank.
+    pub fn rows_per_bank(&self) -> u32 {
+        1 << self.map.row_bits
+    }
+
+    /// Total rows across the rank — the range of global row indices the
+    /// refresh policy and observers see.
+    pub fn total_rows(&self) -> u32 {
+        self.banks() * self.rows_per_bank()
+    }
+
+    /// Steers a trace record's flat row index to a `(bank, row)` pair
+    /// through the address map: the index is treated as a line number,
+    /// so its low `bank_bits` select the bank and the next `row_bits`
+    /// the row — the map's row-interleaved layout with the column field
+    /// zero. With one bank this reduces to `index % rows_per_bank`,
+    /// which is exactly how the single-bank engines fold row indices.
+    pub fn steer(&self, row_index: u32) -> (u32, u32) {
+        let addr = (row_index as u64) << (self.map.offset_bits + self.map.column_bits);
+        let loc = self.map.decode(addr);
+        (loc.bank, loc.row)
+    }
+
+    /// The global row index of `(bank, row)` — the identifier reported
+    /// to the refresh policy and observers.
+    pub fn global_row(&self, bank: u32, row: u32) -> u32 {
+        bank * self.rows_per_bank() + row
+    }
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_accessors_match_the_map() {
+        let c = SchedConfig::with_geometry(8, 1024).expect("powers of two");
+        assert_eq!(c.banks(), 8);
+        assert_eq!(c.rows_per_bank(), 1024);
+        assert_eq!(c.total_rows(), 8192);
+    }
+
+    #[test]
+    fn non_power_of_two_geometry_is_rejected() {
+        for (banks, rows) in [(0, 64), (3, 64), (4, 0), (4, 100)] {
+            let err = SchedConfig::with_geometry(banks, rows).expect_err("invalid");
+            assert!(matches!(err, Error::InvalidConfig { .. }), "{err:?}");
+        }
+    }
+
+    #[test]
+    fn steering_stripes_banks_before_rows() {
+        let c = SchedConfig::with_geometry(4, 16).expect("geometry");
+        assert_eq!(c.steer(0), (0, 0));
+        assert_eq!(c.steer(1), (1, 0));
+        assert_eq!(c.steer(3), (3, 0));
+        assert_eq!(c.steer(4), (0, 1));
+        assert_eq!(c.steer(4 * 16), (0, 0), "wraps past the rank");
+    }
+
+    #[test]
+    fn single_bank_steering_is_a_modulo() {
+        let c = SchedConfig::with_geometry(1, 64).expect("geometry");
+        for idx in [0u32, 1, 63, 64, 130] {
+            assert_eq!(c.steer(idx), (0, idx % 64));
+        }
+    }
+
+    #[test]
+    fn global_rows_are_dense_and_unique() {
+        let c = SchedConfig::with_geometry(4, 8).expect("geometry");
+        let mut seen = vec![false; c.total_rows() as usize];
+        for bank in 0..c.banks() {
+            for row in 0..c.rows_per_bank() {
+                let g = c.global_row(bank, row) as usize;
+                assert!(!seen[g]);
+                seen[g] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,208 @@
+//! The scheduler's two contract tests against the single-bank engines.
+//!
+//! 1. **Degeneracy**: with one bank and parallelization disabled, the
+//!    scheduler's decision loop is structurally the controller's —
+//!    refresh-first, FR-FCFS pick, idle jump — and the inter-bank
+//!    constraints cannot bind, so every counter must be bit-identical
+//!    to [`FrFcfsController`] across policies and traffic shapes.
+//! 2. **Parallelization**: with ≥ 4 banks and the elasticity window on,
+//!    demand-visible refresh time collapses for VRL and VRL-Access
+//!    (and VRL-Access converts deferred refreshes to partials, cutting
+//!    raw refresh-busy time too), with zero integrity violations.
+
+use vrl_dram_sim::controller::FrFcfsController;
+use vrl_dram_sim::integrity::{IntegrityChecker, LinearPhysics};
+use vrl_dram_sim::policy::{AutoRefresh, Raidr, RefreshPolicy, Vrl, VrlAccess};
+use vrl_dram_sim::sim::SimConfig;
+use vrl_dram_sim::timing::TimingParams;
+use vrl_retention::binning::BinningTable;
+use vrl_retention::profile::BankProfile;
+use vrl_sched::{SchedConfig, Scheduler};
+use vrl_trace::{Op, TraceRecord};
+
+const ROWS: u32 = 64;
+
+fn bins_all(retention_ms: f64, rows: usize) -> BinningTable {
+    BinningTable::from_profile(&BankProfile::from_rows(
+        std::iter::repeat_n(retention_ms, rows),
+        32,
+    ))
+}
+
+/// Row-buffer-thrashing pairs: exercises FR-FCFS reordering.
+fn thrash_trace() -> Vec<TraceRecord> {
+    (0..4000u64)
+        .map(|i| TraceRecord::new(i * 2, Op::Read, (i % 2) as u32 * 7))
+        .collect()
+}
+
+/// Sparse mixed reads/writes over many rows.
+fn sparse_trace() -> Vec<TraceRecord> {
+    (0..2000u64)
+        .map(|i| {
+            let op = if i % 3 == 0 { Op::Write } else { Op::Read };
+            TraceRecord::new(i * 37, op, (i % 113) as u32)
+        })
+        .collect()
+}
+
+/// Dense bursts separated by idle gaps.
+fn bursty_trace(bursts: u64, burst_len: u64, gap: u64, rows: u32) -> Vec<TraceRecord> {
+    let mut trace = Vec::with_capacity((bursts * burst_len) as usize);
+    for b in 0..bursts {
+        for i in 0..burst_len {
+            let idx = (b * burst_len + i) % rows as u64;
+            trace.push(TraceRecord::new(b * gap + i, Op::Read, idx as u32));
+        }
+    }
+    trace
+}
+
+/// Runs the same policy (built fresh per engine — policies are stateful)
+/// through both engines and demands bit-identical counters.
+fn assert_bit_identical<P, F>(make_policy: F, trace: &[TraceRecord], what: &str)
+where
+    P: RefreshPolicy,
+    F: Fn() -> P,
+{
+    let sched_config = SchedConfig::with_geometry(1, ROWS)
+        .expect("geometry")
+        .with_parallelism(false)
+        .with_slack(0)
+        .with_queue_depth(16);
+    let mut sched = Scheduler::new(sched_config, make_policy()).expect("config");
+    let s = sched
+        .run(trace.iter().copied(), 64.0)
+        .unwrap_or_else(|e| panic!("scheduler run ({what}): {e}"));
+
+    let mut controller =
+        FrFcfsController::new(SimConfig::with_rows(ROWS), make_policy(), 16).expect("valid depth");
+    let c = controller
+        .run(trace.iter().copied(), 64.0)
+        .unwrap_or_else(|e| panic!("controller run ({what}): {e}"));
+
+    assert_eq!(s.sim, c.sim, "SimStats diverged ({what})");
+    assert_eq!(s.reordered, c.reordered, "reorderings diverged ({what})");
+    assert_eq!(
+        s.max_queue_depth, c.max_queue_depth,
+        "queue depth diverged ({what})"
+    );
+    assert_eq!(s.pulled_in_refreshes, 0, "pull-in must be off");
+}
+
+#[test]
+fn single_bank_scheduler_is_bit_identical_to_the_controller() {
+    let traces: [(&str, Vec<TraceRecord>); 4] = [
+        ("empty", Vec::new()),
+        ("thrash", thrash_trace()),
+        ("sparse", sparse_trace()),
+        ("bursty", bursty_trace(40, 100, 500_000, ROWS)),
+    ];
+    for (name, trace) in &traces {
+        assert_bit_identical(|| AutoRefresh::new(64.0), trace, &format!("auto/{name}"));
+        assert_bit_identical(
+            || Raidr::new(bins_all(300.0, ROWS as usize)),
+            trace,
+            &format!("raidr/{name}"),
+        );
+        assert_bit_identical(
+            || Vrl::new(bins_all(300.0, ROWS as usize), vec![3; ROWS as usize]),
+            trace,
+            &format!("vrl/{name}"),
+        );
+        assert_bit_identical(
+            || VrlAccess::new(bins_all(300.0, ROWS as usize), vec![3; ROWS as usize]),
+            trace,
+            &format!("vrl-access/{name}"),
+        );
+    }
+}
+
+/// Builds the multi-bank comparison pair for one policy: (plain,
+/// parallel) stats over the same bursty trace.
+fn multibank_pair<P, F>(make_policy: F) -> (vrl_sched::SchedStats, vrl_sched::SchedStats)
+where
+    P: RefreshPolicy,
+    F: Fn() -> P,
+{
+    let config = SchedConfig::with_geometry(4, 1024).expect("geometry");
+    let trace = bursty_trace(1280, 400, 50_000, 4096);
+    let mut plain = Scheduler::new(config.with_parallelism(false), make_policy()).expect("config");
+    let mut dsarp = Scheduler::new(config.with_parallelism(true), make_policy()).expect("config");
+    let p = plain.run(trace.iter().copied(), 64.0).expect("plain run");
+    let d = dsarp
+        .run(trace.iter().copied(), 64.0)
+        .expect("parallel run");
+    (p, d)
+}
+
+#[test]
+fn parallelism_hides_vrl_refreshes_from_demand() {
+    let total = 4 * 1024usize;
+    let (p, d) = multibank_pair(|| Vrl::new(bins_all(300.0, total), vec![3; total]));
+    assert_eq!(p.sim.total_refreshes(), d.sim.total_refreshes());
+    assert!(p.refresh_blocked_cycles > 0, "bursts must contend at all");
+    assert!(
+        d.refresh_blocked_cycles < p.refresh_blocked_cycles / 4,
+        "demand-visible refresh time must collapse: {} vs {}",
+        d.refresh_blocked_cycles,
+        p.refresh_blocked_cycles
+    );
+    assert!(d.sim.postponed_refreshes > 0);
+    assert!(d.pulled_in_refreshes > 0);
+}
+
+#[test]
+fn parallelism_converts_vrl_access_refreshes_to_partials() {
+    let total = 4 * 1024usize;
+    let (p, d) = multibank_pair(|| VrlAccess::new(bins_all(300.0, total), vec![3; total]));
+    assert_eq!(p.sim.total_refreshes(), d.sim.total_refreshes());
+    assert!(
+        d.refresh_blocked_cycles < p.refresh_blocked_cycles,
+        "demand-visible refresh time must drop: {} vs {}",
+        d.refresh_blocked_cycles,
+        p.refresh_blocked_cycles
+    );
+    // Deferring a refresh past a burst gives intervening ACTs a chance
+    // to reset the row's counter, turning the refresh partial: raw
+    // refresh-busy time itself drops, not just the demand-visible part.
+    assert!(
+        d.sim.refresh_busy_cycles <= p.sim.refresh_busy_cycles,
+        "deferral must not add refresh work: {} vs {}",
+        d.sim.refresh_busy_cycles,
+        p.sim.refresh_busy_cycles
+    );
+    assert!(
+        d.sim.full_refreshes <= p.sim.full_refreshes,
+        "deferral must not add full refreshes: {} vs {}",
+        d.sim.full_refreshes,
+        p.sim.full_refreshes
+    );
+}
+
+#[test]
+fn parallelized_refreshes_keep_every_row_charged() {
+    // Weak-but-comfortable retention in the 256 ms bin: the pull-in /
+    // postpone window (64 µs) is four orders of magnitude below the
+    // retention margin, so a correct scheduler shows zero violations.
+    let total = 4 * 64usize;
+    let config = SchedConfig::with_geometry(4, 64).expect("geometry");
+    let physics = LinearPhysics {
+        full: 0.95,
+        partial_gain: 0.4,
+        threshold: 0.62,
+    };
+    let mut checker =
+        IntegrityChecker::new(physics, TimingParams::paper_default(), vec![1500.0; total]);
+    let mut sched =
+        Scheduler::new(config, Vrl::new(bins_all(1500.0, total), vec![3; total])).expect("config");
+    let trace = bursty_trace(64, 200, 1_000_000, total as u32);
+    sched
+        .run_observed(trace.into_iter(), 4096.0, &mut checker)
+        .expect("run");
+    assert!(
+        checker.violations().is_empty(),
+        "{:?}",
+        checker.violations()
+    );
+}

@@ -4,7 +4,30 @@
 //! works in row indices. The mapping here is the common
 //! row-interleaved layout: `| row | bank | column | offset |`.
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
+
+/// A physical byte address outside the mapped capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressOutOfRange {
+    /// The offending address.
+    pub addr: u64,
+    /// The map's capacity in bytes (first invalid address).
+    pub capacity_bytes: u64,
+}
+
+impl fmt::Display for AddressOutOfRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "address {:#x} is outside the mapped capacity of {} bytes",
+            self.addr, self.capacity_bytes
+        )
+    }
+}
+
+impl std::error::Error for AddressOutOfRange {}
 
 /// DRAM address-mapping parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -47,7 +70,14 @@ impl AddressMap {
         1u64 << (self.offset_bits + self.column_bits + self.bank_bits + self.row_bits)
     }
 
-    /// Decodes a physical byte address (wraps modulo capacity).
+    /// Decodes a physical byte address.
+    ///
+    /// Addresses at or beyond [`AddressMap::capacity_bytes`] **wrap
+    /// modulo the capacity**: the row field simply masks away the high
+    /// bits, so `decode(addr) == decode(addr % capacity_bytes())`. This
+    /// mirrors how a real controller ignores address bits above its
+    /// decode width. Use [`AddressMap::checked_decode`] to reject such
+    /// addresses instead of wrapping.
     pub fn decode(&self, addr: u64) -> Location {
         let a = addr >> self.offset_bits;
         let column = (a & ((1 << self.column_bits) - 1)) as u32;
@@ -58,12 +88,57 @@ impl AddressMap {
         Location { bank, row, column }
     }
 
+    /// Decodes a physical byte address, rejecting addresses beyond the
+    /// mapped capacity instead of wrapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AddressOutOfRange`] if
+    /// `addr >= self.capacity_bytes()`.
+    pub fn checked_decode(&self, addr: u64) -> Result<Location, AddressOutOfRange> {
+        if addr >= self.capacity_bytes() {
+            return Err(AddressOutOfRange {
+                addr,
+                capacity_bytes: self.capacity_bytes(),
+            });
+        }
+        Ok(self.decode(addr))
+    }
+
     /// Encodes a location back to the base byte address of its line.
+    ///
+    /// Like [`AddressMap::decode`], fields wider than their configured
+    /// bit widths wrap: only the low `row_bits`/`bank_bits`/`column_bits`
+    /// of each field survive the round trip. Use
+    /// [`AddressMap::checked_encode`] to reject such locations.
     pub fn encode(&self, loc: Location) -> u64 {
-        let mut a = loc.row as u64;
-        a = (a << self.bank_bits) | loc.bank as u64;
-        a = (a << self.column_bits) | loc.column as u64;
+        let mut a = (loc.row as u64) & ((1 << self.row_bits) - 1);
+        a = (a << self.bank_bits) | (loc.bank as u64 & ((1 << self.bank_bits) - 1));
+        a = (a << self.column_bits) | (loc.column as u64 & ((1 << self.column_bits) - 1));
         a << self.offset_bits
+    }
+
+    /// Encodes a location, rejecting any field that exceeds its
+    /// configured bit width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AddressOutOfRange`] (carrying the un-truncated encoded
+    /// address) if the bank, row, or column does not fit its field.
+    pub fn checked_encode(&self, loc: Location) -> Result<u64, AddressOutOfRange> {
+        let fits = (loc.row as u64) < (1 << self.row_bits)
+            && (loc.bank as u64) < (1 << self.bank_bits)
+            && (loc.column as u64) < (1 << self.column_bits);
+        if !fits {
+            let mut a = loc.row as u64;
+            a = (a << self.bank_bits) | loc.bank as u64;
+            a = (a << self.column_bits) | loc.column as u64;
+            return Err(AddressOutOfRange {
+                addr: a << self.offset_bits,
+                capacity_bytes: self.capacity_bytes(),
+            });
+        }
+        Ok(self.encode(loc))
     }
 }
 
@@ -108,5 +183,111 @@ mod tests {
         let a = m.decode(10 * 64);
         let b = m.decode(10 * 64 + m.capacity_bytes());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn checked_decode_rejects_out_of_capacity() {
+        let m = AddressMap::paper_default();
+        assert!(m.checked_decode(m.capacity_bytes() - 1).is_ok());
+        let err = m
+            .checked_decode(m.capacity_bytes())
+            .expect_err("capacity is the first invalid address");
+        assert_eq!(err.capacity_bytes, m.capacity_bytes());
+        assert_eq!(err.addr, m.capacity_bytes());
+        assert!(err.to_string().contains("outside the mapped capacity"));
+    }
+
+    #[test]
+    fn checked_encode_rejects_overwide_fields() {
+        let m = AddressMap::paper_default();
+        let ok = Location {
+            bank: 7,
+            row: 8191,
+            column: 31,
+        };
+        assert_eq!(m.checked_encode(ok).expect("fits"), m.encode(ok));
+        let wide = Location {
+            bank: 8, // needs 4 bits, map has 3
+            row: 0,
+            column: 0,
+        };
+        assert!(m.checked_encode(wide).is_err());
+        // The unchecked encode wraps the field instead of bleeding it
+        // into the row bits.
+        assert_eq!(
+            m.encode(wide),
+            m.encode(Location {
+                bank: 0,
+                row: 0,
+                column: 0
+            })
+        );
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Builds a map from sampled field widths: the paper's geometry
+        /// plus smaller and larger ones.
+        fn map(offset_bits: u32, column_bits: u32, bank_bits: u32, row_bits: u32) -> AddressMap {
+            AddressMap {
+                offset_bits,
+                column_bits,
+                bank_bits,
+                row_bits,
+            }
+        }
+
+        proptest! {
+            /// `decode ∘ encode` is the identity for every in-range
+            /// location, on every geometry.
+            #[test]
+            fn encode_decode_round_trips_everywhere(
+                offset_bits in 1u32..8,
+                column_bits in 1u32..8,
+                bank_bits in 0u32..5,
+                row_bits in 4u32..16,
+                bank_raw in 0u32..u32::MAX,
+                row_raw in 0u32..u32::MAX,
+                column_raw in 0u32..u32::MAX,
+            ) {
+                let m = map(offset_bits, column_bits, bank_bits, row_bits);
+                let loc = Location {
+                    bank: bank_raw % (1 << m.bank_bits),
+                    row: row_raw % (1 << m.row_bits),
+                    column: column_raw % (1 << m.column_bits),
+                };
+                let addr = m.checked_encode(loc).expect("in-range location");
+                prop_assert!(addr < m.capacity_bytes());
+                prop_assert_eq!(m.decode(addr), loc);
+                prop_assert_eq!(m.checked_decode(addr).expect("in range"), loc);
+            }
+
+            /// `encode ∘ decode` recovers the line base address (the
+            /// offset bits are not representable in a `Location`), and
+            /// out-of-capacity addresses wrap modulo capacity — the
+            /// documented contract — while `checked_decode` rejects
+            /// exactly those.
+            #[test]
+            fn decode_wraps_and_checked_decode_rejects(
+                offset_bits in 1u32..8,
+                column_bits in 1u32..8,
+                bank_bits in 0u32..5,
+                row_bits in 4u32..16,
+                addr in 0u64..u64::MAX,
+            ) {
+                let m = map(offset_bits, column_bits, bank_bits, row_bits);
+                let wrapped = addr % m.capacity_bytes();
+                let line_base = wrapped & !((1u64 << m.offset_bits) - 1);
+                prop_assert_eq!(m.encode(m.decode(addr)), line_base);
+                prop_assert_eq!(m.decode(addr), m.decode(wrapped));
+                if addr >= m.capacity_bytes() {
+                    prop_assert!(m.checked_decode(addr).is_err());
+                } else {
+                    prop_assert!(m.checked_decode(addr).is_ok());
+                }
+            }
+        }
     }
 }

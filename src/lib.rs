@@ -11,6 +11,8 @@
 //! * [`retention`] — retention distributions, profiles, binning, leakage,
 //! * [`trace`] — trace formats and synthetic PARSEC workloads,
 //! * [`dram`] — the cycle-level bank/rank simulator and refresh policies,
+//! * [`sched`] — the multi-bank command scheduler with refresh-access
+//!   parallelization,
 //! * [`exec`] — the parallel experiment execution engine (scoped worker
 //!   pool with deterministic job ordering),
 //! * [`power`] — IDD-based energy model,
@@ -41,5 +43,6 @@ pub use vrl_dram_sim as dram;
 pub use vrl_exec as exec;
 pub use vrl_power as power;
 pub use vrl_retention as retention;
+pub use vrl_sched as sched;
 pub use vrl_spice as spice;
 pub use vrl_trace as trace;
