@@ -21,8 +21,9 @@
 
 use serde::Serialize;
 
-use vrl_dram::experiment::{Experiment, ExperimentConfig, PolicyKind};
+use vrl_dram::experiment::{sched_metrics, Experiment, ExperimentConfig, PolicyKind};
 use vrl_exec::ExecConfig;
+use vrl_obs::{MetricsRegistry, MetricsSnapshot};
 
 #[derive(Serialize)]
 struct FrontEndRow {
@@ -40,6 +41,7 @@ struct FrontEndRow {
 
 #[derive(Serialize)]
 struct BenchSched {
+    schema_version: u32,
     benchmark: String,
     rows: u32,
     banks: u32,
@@ -80,8 +82,13 @@ fn main() {
     );
 
     let mut table = Vec::new();
-    let mut frfcfs_blocked_proxy = 0u64;
-    let mut sched_blocked = 0u64;
+    // The comparison counters run through the vrl-obs metrics registry
+    // instead of ad-hoc locals, and the per-policy scheduler stats merge
+    // into one snapshot written alongside the main artifact.
+    let mut registry = MetricsRegistry::new();
+    let frfcfs_busy = registry.counter("bench.frfcfs_refresh_busy_proxy");
+    let sched_blocked_ctr = registry.counter("bench.sched_refresh_blocked");
+    let mut sched_merged = MetricsSnapshot::default();
     for kind in PolicyKind::ALL {
         let in_order = experiment
             .run_policy(kind, &benchmark)
@@ -96,8 +103,11 @@ fn main() {
         // demand: every refresh cycle is demand-visible whenever any
         // request is in flight, so their refresh-busy total is the
         // comparison baseline.
-        frfcfs_blocked_proxy += frfcfs.sim.refresh_busy_cycles;
-        sched_blocked += scheduled.refresh_blocked_cycles;
+        registry.add(frfcfs_busy, frfcfs.sim.refresh_busy_cycles);
+        registry.add(sched_blocked_ctr, scheduled.refresh_blocked_cycles);
+        sched_merged
+            .merge(&sched_metrics(&scheduled))
+            .expect("sched snapshots share one shape");
 
         for (front_end, sim, blocked, lat) in [
             ("in-order", &in_order, None, None),
@@ -135,7 +145,9 @@ fn main() {
         }
     }
 
-    let blocked_ratio = sched_blocked as f64 / (frfcfs_blocked_proxy as f64).max(1.0);
+    let comparison = registry.snapshot();
+    let blocked_ratio = comparison.counter("bench.sched_refresh_blocked") as f64
+        / (comparison.counter("bench.frfcfs_refresh_busy_proxy") as f64).max(1.0);
     println!(
         "\ndemand-visible refresh cycles, scheduled vs FR-FCFS refresh-busy: {:.4}x",
         blocked_ratio
@@ -158,9 +170,14 @@ fn main() {
         .unwrap_or_else(|e| fail(&e));
     println!("integrity violations under parallelized VRL-Access: {violations}");
 
+    sched_merged
+        .merge(&comparison)
+        .expect("bench counters are disjoint from sched metrics");
+    vrl_bench::write_json_raw("BENCH_sched_metrics", &sched_merged.to_json());
     vrl_bench::write_json(
         "BENCH_sched",
         &BenchSched {
+            schema_version: vrl_bench::SCHEMA_VERSION,
             benchmark,
             rows,
             banks,

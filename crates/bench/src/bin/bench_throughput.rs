@@ -21,9 +21,10 @@
 
 use serde::Serialize;
 
-use vrl_dram::experiment::{Experiment, ExperimentConfig, PolicyKind};
+use vrl_dram::experiment::{sim_metrics, Experiment, ExperimentConfig, PolicyKind};
 use vrl_dram_sim::stats::{SimStats, Throughput};
 use vrl_exec::ExecConfig;
+use vrl_obs::MetricsSnapshot;
 
 /// Tolerated parallel/serial wall-clock ratio under `--assert-speedup`.
 /// Pool bookkeeping on tiny matrices can cost a few percent; a healthy
@@ -51,6 +52,7 @@ struct FrontEndLeg {
 
 #[derive(Serialize)]
 struct BenchThroughput {
+    schema_version: u32,
     rows: u32,
     duration_ms: f64,
     benchmarks: usize,
@@ -65,12 +67,32 @@ struct BenchThroughput {
     front_ends: Vec<FrontEndLeg>,
 }
 
-fn accumulate(cells: &[vrl_dram::experiment::MatrixCell]) -> SimStats {
-    let mut total = SimStats::default();
-    for cell in cells {
-        total.accumulate(&cell.stats);
-    }
-    total
+/// Totals across the matrix, routed through the `vrl-obs` metrics
+/// registry: every cell's counters become one mergeable snapshot, and
+/// the [`SimStats`] the throughput meter needs is read *back* from the
+/// merged snapshot so the artifact numbers and the registry agree by
+/// construction.
+fn accumulate(cells: &[vrl_dram::experiment::MatrixCell]) -> (SimStats, MetricsSnapshot) {
+    let snapshots: Vec<MetricsSnapshot> = cells.iter().map(|c| sim_metrics(&c.stats)).collect();
+    let merged = MetricsSnapshot::merged(snapshots.iter()).expect("sim snapshots share one shape");
+    let total = SimStats {
+        total_cycles: merged.counter("sim.total_cycles"),
+        refresh_busy_cycles: merged.counter("sim.refresh_busy_cycles"),
+        full_refreshes: merged.counter("sim.full_refreshes"),
+        partial_refreshes: merged.counter("sim.partial_refreshes"),
+        accesses: merged.counter("sim.accesses"),
+        row_hits: merged.counter("sim.row_hits"),
+        row_misses: merged.counter("sim.row_misses"),
+        stall_cycles: merged.counter("sim.stall_cycles"),
+        postponed_refreshes: merged.counter("sim.postponed_refreshes"),
+        dropped_refreshes: merged.counter("sim.dropped_refreshes"),
+        delayed_refreshes: merged.counter("sim.delayed_refreshes"),
+        scrub_accesses: merged.counter("sim.scrub_accesses"),
+        scrub_busy_cycles: merged.counter("sim.scrub_busy_cycles"),
+        corrected_errors: merged.counter("sim.corrected_errors"),
+        uncorrected_errors: merged.counter("sim.uncorrected_errors"),
+    };
+    (total, merged)
 }
 
 fn leg(report: &vrl_exec::PoolReport, throughput: &Throughput) -> Leg {
@@ -118,7 +140,7 @@ fn main() {
         });
 
     let bit_identical = serial_cells == parallel_cells;
-    let totals = accumulate(&serial_cells);
+    let (totals, metrics) = accumulate(&serial_cells);
     let serial_tp = totals.throughput(serial_report.wall.as_secs_f64());
     let parallel_tp = totals.throughput(parallel_report.wall.as_secs_f64());
     let speedup = serial_tp.wall_seconds / parallel_tp.wall_seconds.max(f64::MIN_POSITIVE);
@@ -194,9 +216,11 @@ fn main() {
         });
     }
 
+    vrl_bench::write_json_raw("BENCH_throughput_metrics", &metrics.to_json());
     vrl_bench::write_json(
         "BENCH_throughput",
         &BenchThroughput {
+            schema_version: vrl_bench::SCHEMA_VERSION,
             rows,
             duration_ms,
             benchmarks: vrl_trace::WorkloadSpec::BENCHMARKS.len(),

@@ -31,6 +31,12 @@ use std::path::PathBuf;
 
 use serde::Serialize;
 
+/// Version stamp written into every `BENCH_*.json` artifact so
+/// downstream tooling can detect layout changes. Bumped to 2 when the
+/// bench binaries started routing their counters through the `vrl-obs`
+/// metrics registry and emitting companion `*_metrics.json` snapshots.
+pub const SCHEMA_VERSION: u32 = 2;
+
 /// Directory where experiment artifacts are written
 /// (`target/experiments/`), created on demand.
 pub fn experiments_dir() -> PathBuf {
@@ -45,6 +51,15 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
     let json = serde_json::to_string_pretty(value).expect("serializable");
     fs::write(&path, json).expect("write artifact");
     println!("\n[artifact] {}", path.display());
+}
+
+/// Writes an already-serialised JSON document (e.g. a `vrl-obs` metrics
+/// snapshot, which carries its own `to_json`) as an artifact and reports
+/// the path.
+pub fn write_json_raw(name: &str, json: &str) {
+    let path = experiments_dir().join(format!("{name}.json"));
+    fs::write(&path, json).expect("write artifact");
+    println!("[artifact] {}", path.display());
 }
 
 /// Prints a separator-framed section header.

@@ -5,24 +5,33 @@
 //! vrl mprsf <retention_ms> [period_ms]
 //! vrl plan [--rows N] [--seed S] [--nbits B]
 //! vrl simulate <benchmark> [--rows N] [--duration-ms D] [--policy P]
-//! vrl compare [--rows N] [--duration-ms D] [--threads T]
+//! vrl compare [--rows N] [--duration-ms D] [--threads T] [--metrics FILE]
 //! vrl sched <benchmark> [--rows N] [--banks B] [--duration-ms D]
-//!           [--policy P] [--no-parallel]
+//!           [--policy P] [--no-parallel] [--metrics FILE]
+//! vrl trace <benchmark> [--policy P] [--rows N] [--banks B]
+//!           [--duration-ms D] [--out FILE] [--metrics FILE] [--validate]
 //! vrl netlist <equalization|charge-sharing|sense-restore>
 //! ```
 //!
 //! `compare` fans the (benchmark × policy) matrix across the `vrl-exec`
 //! worker pool; `--threads` overrides the `VRL_THREADS` environment
 //! variable, which overrides the machine's available parallelism.
+//!
+//! `trace` records a structured event trace of one scheduler run and
+//! writes it as Chrome `trace_event` JSON — load the file in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing` to see per-bank
+//! activate/refresh/postpone/pull-in tracks. `--metrics` (here and on
+//! `compare`/`sched`) additionally writes a flat JSON metrics snapshot.
 
 use std::process::ExitCode;
 
 use vrl_circuit::model::AnalyticalModel;
 use vrl_circuit::tech::{BankGeometry, Technology};
 use vrl_circuit::trfc::{CycleBudget, RefreshKind};
-use vrl_dram::experiment::{Experiment, ExperimentConfig, PolicyKind};
+use vrl_dram::experiment::{sched_metrics, sim_metrics, Experiment, ExperimentConfig, PolicyKind};
 use vrl_dram::mprsf::{Mprsf, MprsfCalculator};
 use vrl_dram::plan::RefreshPlan;
+use vrl_obs::{chrome_trace_json, validate_chrome_trace, MetricsSnapshot};
 use vrl_retention::binning::RefreshBin;
 use vrl_retention::distribution::RetentionDistribution;
 use vrl_retention::profile::BankProfile;
@@ -38,6 +47,19 @@ fn flag_parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> 
     flag_value(args, flag)
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+fn write_metrics(path: &str, snapshot: &MetricsSnapshot) -> bool {
+    match std::fs::write(path, snapshot.to_json()) {
+        Ok(()) => {
+            println!("metrics snapshot written to {path}");
+            true
+        }
+        Err(err) => {
+            eprintln!("error: cannot write {path}: {err}");
+            false
+        }
+    }
 }
 
 fn cmd_model() -> ExitCode {
@@ -189,8 +211,12 @@ fn cmd_compare(args: &[String]) -> ExitCode {
         "bank: {rows} rows, {duration_ms} ms simulated, {} workers",
         exec.workers
     );
-    let comparison = match experiment.compare_all_with(&exec) {
-        Ok(rows) => rows,
+    // Run the matrix directly (rather than `compare_all_with`) so the
+    // per-run stats are on hand for an optional `--metrics` snapshot
+    // without simulating twice.
+    let policies = [PolicyKind::Raidr, PolicyKind::Vrl, PolicyKind::VrlAccess];
+    let (cells, _) = match experiment.run_matrix_with(&exec, &policies) {
+        Ok(out) => out,
         Err(err) => {
             eprintln!("{err}");
             return ExitCode::FAILURE;
@@ -200,11 +226,23 @@ fn cmd_compare(args: &[String]) -> ExitCode {
         "{:>14} {:>8} {:>8} {:>12}",
         "benchmark", "RAIDR", "VRL", "VRL-Access"
     );
-    for row in &comparison {
+    for group in cells.chunks_exact(policies.len()) {
+        let raidr = group[0].stats.refresh_busy_cycles as f64;
         println!(
             "{:>14} {:>8.3} {:>8.3} {:>12.3}",
-            row.benchmark, 1.0, row.vrl_normalized, row.vrl_access_normalized
+            group[0].benchmark,
+            1.0,
+            group[1].stats.refresh_busy_cycles as f64 / raidr,
+            group[2].stats.refresh_busy_cycles as f64 / raidr
         );
+    }
+    if let Some(path) = flag_value(args, "--metrics") {
+        let snapshots: Vec<MetricsSnapshot> = cells.iter().map(|c| sim_metrics(&c.stats)).collect();
+        let merged = MetricsSnapshot::merged(snapshots.iter())
+            .expect("sim metric snapshots share one shape");
+        if !write_metrics(&path, &merged) {
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }
@@ -265,23 +303,120 @@ fn cmd_sched(args: &[String]) -> ExitCode {
         "p50 lat",
         "p99 lat"
     );
+    let mut merged = MetricsSnapshot::default();
     for kind in kinds {
         match experiment.run_scheduled(kind, &benchmark, sched) {
-            Ok(stats) => println!(
-                "{:>10} {:>12} {:>12} {:>10} {:>10} {:>12} {:>8} {:>8}",
-                kind.name(),
-                stats.sim.refresh_busy_cycles,
-                stats.refresh_blocked_cycles,
-                stats.sim.postponed_refreshes,
-                stats.pulled_in_refreshes,
-                stats.sim.stall_cycles,
-                stats.read_latency.quantile(0.5),
-                stats.read_latency.quantile(0.99),
-            ),
+            Ok(stats) => {
+                println!(
+                    "{:>10} {:>12} {:>12} {:>10} {:>10} {:>12} {:>8} {:>8}",
+                    kind.name(),
+                    stats.sim.refresh_busy_cycles,
+                    stats.refresh_blocked_cycles,
+                    stats.sim.postponed_refreshes,
+                    stats.pulled_in_refreshes,
+                    stats.sim.stall_cycles,
+                    stats.read_latency.quantile(0.5),
+                    stats.read_latency.quantile(0.99),
+                );
+                merged
+                    .merge(&sched_metrics(&stats))
+                    .expect("sched metric snapshots share one shape");
+            }
             Err(err) => {
                 eprintln!("{err}");
                 return ExitCode::FAILURE;
             }
+        }
+    }
+    if let Some(path) = flag_value(args, "--metrics") {
+        if !write_metrics(&path, &merged) {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_trace(args: &[String]) -> ExitCode {
+    let Some(benchmark) = args.first().filter(|a| !a.starts_with("--")).cloned() else {
+        eprintln!(
+            "usage: vrl trace <benchmark> [--policy P] [--rows N] [--banks B] \
+             [--duration-ms D] [--out FILE] [--metrics FILE] [--validate]"
+        );
+        eprintln!(
+            "benchmarks: {}",
+            vrl_trace::WorkloadSpec::BENCHMARKS.join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+    let rows: u32 = flag_parse(args, "--rows", 8192);
+    let banks: u32 = flag_parse(args, "--banks", 8);
+    let duration_ms: f64 = flag_parse(args, "--duration-ms", 512.0);
+    let policy_name = flag_value(args, "--policy").unwrap_or_else(|| "vrl-access".to_owned());
+    let Some(kind) = PolicyKind::ALL
+        .iter()
+        .find(|k| k.name() == policy_name)
+        .copied()
+    else {
+        eprintln!("unknown policy '{policy_name}' (auto, raidr, vrl, vrl-access)");
+        return ExitCode::FAILURE;
+    };
+    let out = flag_value(args, "--out").unwrap_or_else(|| "trace.json".to_owned());
+    let experiment = Experiment::new(ExperimentConfig {
+        rows,
+        duration_ms,
+        ..Default::default()
+    });
+    let sched = match experiment.sched_config(banks) {
+        Ok(cfg) => cfg,
+        Err(err) => {
+            eprintln!("{err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (stats, stream) = match experiment.run_scheduled_traced(kind, &benchmark, sched) {
+        Ok(out) => out,
+        Err(err) => {
+            eprintln!("{err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let json = chrome_trace_json(
+        &stream.events,
+        &stream.label,
+        &stream.policy,
+        stream.dropped,
+    );
+    if let Err(err) = std::fs::write(&out, &json) {
+        eprintln!("error: cannot write {out}: {err}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{}: {} events ({} dropped) over {} cycles -> {out}",
+        benchmark,
+        stream.events.len(),
+        stream.dropped,
+        stats.sim.total_cycles
+    );
+    if args.iter().any(|a| a == "--validate") {
+        match validate_chrome_trace(&json) {
+            Ok(summary) => {
+                let kinds: Vec<&str> = summary.kinds.iter().map(String::as_str).collect();
+                println!(
+                    "valid Chrome trace: {} events across {} banks, kinds: {}",
+                    summary.events,
+                    summary.banks.len(),
+                    kinds.join(", ")
+                );
+            }
+            Err(err) => {
+                eprintln!("{err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = flag_value(args, "--metrics") {
+        if !write_metrics(&path, &sched_metrics(&stats)) {
+            return ExitCode::FAILURE;
         }
     }
     ExitCode::SUCCESS
@@ -326,6 +461,7 @@ fn main() -> ExitCode {
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("sched") => cmd_sched(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("netlist") => cmd_netlist(&args[1..]),
         _ => {
             eprintln!("vrl — the VRL-DRAM analytical model and simulator\n");
@@ -334,10 +470,14 @@ fn main() -> ExitCode {
             eprintln!("  vrl mprsf <retention_ms> [period_ms]");
             eprintln!("  vrl plan [--rows N] [--seed S] [--nbits B]");
             eprintln!("  vrl simulate <benchmark> [--rows N] [--duration-ms D] [--policy P]");
-            eprintln!("  vrl compare [--rows N] [--duration-ms D] [--threads T]");
+            eprintln!("  vrl compare [--rows N] [--duration-ms D] [--threads T] [--metrics FILE]");
             eprintln!(
                 "  vrl sched <benchmark> [--rows N] [--banks B] [--duration-ms D] \
-                 [--policy P] [--no-parallel]"
+                 [--policy P] [--no-parallel] [--metrics FILE]"
+            );
+            eprintln!(
+                "  vrl trace <benchmark> [--policy P] [--rows N] [--banks B] \
+                 [--duration-ms D] [--out FILE] [--metrics FILE] [--validate]"
             );
             eprintln!("  vrl netlist <equalization|charge-sharing|sense-restore>");
             ExitCode::FAILURE

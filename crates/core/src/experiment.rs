@@ -25,6 +25,7 @@ use vrl_dram_sim::integrity::IntegrityChecker;
 use vrl_dram_sim::policy::AdaptivePolicy;
 use vrl_dram_sim::sim::{NullObserver, SimConfig, SimObserver, Simulator};
 use vrl_dram_sim::{AutoRefresh, SimStats, TimingParams};
+use vrl_obs::{EventStream, MetricsRegistry, MetricsSnapshot, Recorder};
 use vrl_power::model::{PowerBreakdown, PowerModel};
 use vrl_retention::distribution::RetentionDistribution;
 use vrl_retention::profile::BankProfile;
@@ -231,6 +232,23 @@ impl Experiment {
                 Simulator::new(sim_config, self.plan.vrl_access()).run_observed(trace, d, observer)
             }
         }
+    }
+
+    /// Runs one policy against one benchmark on the single-bank front
+    /// end while recording a structured event trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownWorkload`] for an unknown benchmark name.
+    pub fn run_policy_traced(
+        &self,
+        kind: PolicyKind,
+        benchmark: &str,
+    ) -> Result<(SimStats, EventStream), Error> {
+        let trace = self.trace(benchmark)?;
+        let mut recorder = Recorder::single_bank(benchmark, kind.name());
+        let stats = self.run_policy_with(kind, trace, &mut recorder);
+        Ok((stats, recorder.finish()))
     }
 
     /// Runs a policy under the integrity checker; returns the stats and
@@ -491,6 +509,25 @@ impl Experiment {
         })
     }
 
+    /// Runs one policy against one benchmark on the scheduler front end
+    /// while recording a structured event trace (per-bank event tracks,
+    /// keyed by the scheduler's row→bank address map).
+    ///
+    /// # Errors
+    ///
+    /// See [`Experiment::run_scheduled`].
+    pub fn run_scheduled_traced(
+        &self,
+        kind: PolicyKind,
+        benchmark: &str,
+        sched: SchedConfig,
+    ) -> Result<(SchedStats, EventStream), Error> {
+        let trace = self.trace(benchmark)?;
+        let mut recorder = Recorder::new(benchmark, kind.name(), sched.rows_per_bank());
+        let stats = self.run_scheduled_with(kind, sched, trace, &mut recorder)?;
+        Ok((stats, recorder.finish()))
+    }
+
     /// Runs a policy on the scheduler front end under the integrity
     /// checker; returns the stats and the number of charge violations
     /// (must be 0 for a sound plan — postponement is bounded by the
@@ -643,6 +680,63 @@ impl Experiment {
             }
         }
     }
+}
+
+/// Routes one run's [`SimStats`] counters through a fresh metrics
+/// registry and snapshots it — the canonical stats→metrics mapping the
+/// CLI `--metrics` flags and the bench binaries share.
+pub fn sim_metrics(stats: &SimStats) -> MetricsSnapshot {
+    let mut reg = MetricsRegistry::new();
+    for (name, value) in [
+        ("sim.total_cycles", stats.total_cycles),
+        ("sim.refresh_busy_cycles", stats.refresh_busy_cycles),
+        ("sim.full_refreshes", stats.full_refreshes),
+        ("sim.partial_refreshes", stats.partial_refreshes),
+        ("sim.accesses", stats.accesses),
+        ("sim.row_hits", stats.row_hits),
+        ("sim.row_misses", stats.row_misses),
+        ("sim.stall_cycles", stats.stall_cycles),
+        ("sim.postponed_refreshes", stats.postponed_refreshes),
+        ("sim.dropped_refreshes", stats.dropped_refreshes),
+        ("sim.delayed_refreshes", stats.delayed_refreshes),
+        ("sim.scrub_accesses", stats.scrub_accesses),
+        ("sim.scrub_busy_cycles", stats.scrub_busy_cycles),
+        ("sim.corrected_errors", stats.corrected_errors),
+        ("sim.uncorrected_errors", stats.uncorrected_errors),
+    ] {
+        let c = reg.counter(name);
+        reg.add(c, value);
+    }
+    reg.snapshot()
+}
+
+/// Routes one scheduler run's [`SchedStats`] (base counters plus
+/// queueing/parallelization metrics and a latency summary) through a
+/// fresh metrics registry and snapshots it.
+pub fn sched_metrics(stats: &SchedStats) -> MetricsSnapshot {
+    let mut base = sim_metrics(&stats.sim);
+    let mut reg = MetricsRegistry::new();
+    for (name, value) in [
+        ("sched.reordered", stats.reordered),
+        ("sched.refresh_blocked_cycles", stats.refresh_blocked_cycles),
+        ("sched.pulled_in_refreshes", stats.pulled_in_refreshes),
+        ("sched.queue_stalls", stats.queue_stalls),
+    ] {
+        let c = reg.counter(name);
+        reg.add(c, value);
+    }
+    for (name, value) in [
+        ("sched.max_queue_depth", stats.max_queue_depth as u64),
+        ("sched.read_latency_p50", stats.read_latency.quantile(0.5)),
+        ("sched.read_latency_p99", stats.read_latency.quantile(0.99)),
+        ("sched.read_latency_max", stats.read_latency.max()),
+    ] {
+        let g = reg.gauge(name);
+        reg.set_max(g, value);
+    }
+    base.merge(&reg.snapshot())
+        .expect("disjoint metric names cannot conflict");
+    base
 }
 
 /// One cell of the (benchmark × policy) simulation matrix
@@ -905,6 +999,61 @@ mod tests {
         }
         let serial = e.run_matrix_serial(&policies).expect("serial matrix");
         assert_eq!(cells, serial);
+    }
+
+    #[test]
+    fn traced_runs_match_untraced_and_capture_events() {
+        use vrl_obs::EventKind;
+        let e = Experiment::new(ExperimentConfig {
+            rows: 256,
+            duration_ms: 128.0,
+            ..Default::default()
+        });
+        let sched = e.sched_config(4).expect("4 banks");
+        let plain = e
+            .run_scheduled(PolicyKind::VrlAccess, "bgsave", sched)
+            .expect("known");
+        let (traced, stream) = e
+            .run_scheduled_traced(PolicyKind::VrlAccess, "bgsave", sched)
+            .expect("known");
+        assert_eq!(plain, traced, "recording must not perturb the run");
+        assert_eq!(stream.policy, "vrl-access");
+        assert!(!stream.events.is_empty());
+        let activations = stream
+            .events
+            .iter()
+            .filter(|ev| ev.kind == EventKind::Activate)
+            .count() as u64;
+        assert_eq!(activations, traced.sim.row_misses);
+        // Banks are derived from the scheduler's address map.
+        assert!(stream.events.iter().any(|ev| ev.bank > 0));
+        assert!(stream.events.iter().all(|ev| ev.bank < sched.banks()));
+    }
+
+    #[test]
+    fn metrics_snapshots_mirror_the_stats() {
+        let e = Experiment::new(ExperimentConfig {
+            rows: 128,
+            duration_ms: 64.0,
+            ..Default::default()
+        });
+        let sched = e.sched_config(4).expect("4 banks");
+        let stats = e
+            .run_scheduled(PolicyKind::Vrl, "ferret", sched)
+            .expect("known");
+        let snap = sched_metrics(&stats);
+        assert_eq!(snap.counter("sim.accesses"), stats.sim.accesses);
+        assert_eq!(
+            snap.counter("sim.partial_refreshes"),
+            stats.sim.partial_refreshes
+        );
+        assert_eq!(
+            snap.gauge("sched.max_queue_depth"),
+            stats.max_queue_depth as u64
+        );
+        // Merging per-benchmark snapshots sums the counters.
+        let merged = MetricsSnapshot::merged([&snap, &snap]).expect("same shapes");
+        assert_eq!(merged.counter("sim.accesses"), 2 * stats.sim.accesses);
     }
 
     #[test]

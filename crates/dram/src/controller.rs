@@ -32,6 +32,9 @@ pub struct ControllerStats {
     pub reordered: u64,
     /// Maximum queue occupancy observed.
     pub max_queue_depth: usize,
+    /// Cycles at which the full queue held back a pending arrival
+    /// (each stalled cycle counted once).
+    pub queue_stalls: u64,
 }
 
 /// An FR-FCFS scheduling front end over one bank.
@@ -115,6 +118,7 @@ impl<P: RefreshPolicy> FrFcfsController<P> {
         let mut trace = trace.take_while(|r| r.cycle < end).peekable();
         let mut queue: VecDeque<TraceRecord> = VecDeque::new();
         let mut now = 0u64;
+        let mut last_stall = None;
 
         loop {
             now = now.max(self.bank.ready_at(now));
@@ -129,6 +133,16 @@ impl<P: RefreshPolicy> FrFcfsController<P> {
                 }
             }
             self.stats.max_queue_depth = self.stats.max_queue_depth.max(queue.len());
+            // A full queue with an arrival already waiting is back
+            // pressure; report each stalled cycle once.
+            if queue.len() == self.queue_depth
+                && trace.peek().is_some_and(|r| r.cycle <= now)
+                && last_stall != Some(now)
+            {
+                last_stall = Some(now);
+                self.stats.queue_stalls += 1;
+                observer.on_queue_stall(now, queue.len());
+            }
 
             // Refresh-first: a due refresh (due <= now, due < end) runs
             // before queued demand. The wheel's pop is strictly-before,

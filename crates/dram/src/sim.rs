@@ -12,7 +12,7 @@ use crate::bank::BankState;
 use crate::fault::{FaultInjector, RefreshDisposition};
 use crate::guard::Guard;
 use crate::integrity::ChargePhysics;
-use crate::policy::{AdaptivePolicy, RefreshPolicy};
+use crate::policy::{AdaptivePolicy, DegradeAction, RefreshPolicy};
 use crate::stats::SimStats;
 use crate::timing::{RefreshLatency, TimingParams};
 use crate::wheel::RefreshQueue;
@@ -101,7 +101,16 @@ impl SimConfig {
     }
 }
 
-/// Observer of simulation events (integrity checking, logging).
+/// Observer of simulation events (integrity checking, logging,
+/// structured tracing).
+///
+/// The two sensing hooks (`on_refresh`, `on_activate`) are required —
+/// the integrity machinery cannot work without them. Everything else
+/// defaults to a no-op so existing observers keep compiling and the
+/// default path ([`NullObserver`]) stays zero-cost: every hook is
+/// statically dispatched and empty, so observed-off runs are
+/// bit-identical to pre-observer builds (asserted in
+/// `tests/observability.rs`).
 pub trait SimObserver {
     /// A refresh of `row` with the given latency class completed at
     /// `cycle`.
@@ -113,6 +122,93 @@ pub trait SimObserver {
     /// [`FaultInjector`]). Defaults to a no-op.
     fn on_retention_change(&mut self, row: u32, retention_ms: f64, cycle: u64) {
         let _ = (row, retention_ms, cycle);
+    }
+    /// A due refresh of `row` yielded to imminent demand at `cycle` and
+    /// was re-queued within its slack window. Defaults to a no-op.
+    fn on_refresh_postponed(&mut self, row: u32, cycle: u64) {
+        let _ = (row, cycle);
+    }
+    /// An upcoming refresh of `row` was executed early on an idle bank
+    /// at `cycle` (scheduler pull-in). Defaults to a no-op.
+    fn on_refresh_pull_in(&mut self, row: u32, cycle: u64) {
+        let _ = (row, cycle);
+    }
+    /// The guard's background scrub read of `row` completed at `cycle`.
+    /// Defaults to a no-op.
+    fn on_scrub(&mut self, row: u32, cycle: u64) {
+        let _ = (row, cycle);
+    }
+    /// A detected error applied one step of the degradation ladder to
+    /// `row` at `cycle`; `action` is what the step changed. Defaults to
+    /// a no-op.
+    fn on_degrade(&mut self, row: u32, action: DegradeAction, cycle: u64) {
+        let _ = (row, action, cycle);
+    }
+    /// A fault injector perturbed the refresh command of `row` at
+    /// `cycle`: dropped it entirely (`dropped`) or delayed it. Defaults
+    /// to a no-op.
+    fn on_refresh_fault(&mut self, row: u32, dropped: bool, cycle: u64) {
+        let _ = (row, dropped, cycle);
+    }
+    /// The request queue was full at `cycle` while an arrival was
+    /// waiting (`depth` is the queue occupancy). Defaults to a no-op.
+    fn on_queue_stall(&mut self, cycle: u64, depth: usize) {
+        let _ = (cycle, depth);
+    }
+}
+
+/// Forwards every event to two observers — how
+/// [`Simulator::run_guarded_observed`] lets an external trace recorder
+/// see the same stream the guard senses.
+#[derive(Debug)]
+pub struct Fanout<'a, A: SimObserver, B: SimObserver> {
+    first: &'a mut A,
+    second: &'a mut B,
+}
+
+impl<'a, A: SimObserver, B: SimObserver> Fanout<'a, A, B> {
+    /// Pairs two observers.
+    pub fn new(first: &'a mut A, second: &'a mut B) -> Self {
+        Fanout { first, second }
+    }
+}
+
+impl<A: SimObserver, B: SimObserver> SimObserver for Fanout<'_, A, B> {
+    fn on_refresh(&mut self, row: u32, kind: RefreshLatency, cycle: u64) {
+        self.first.on_refresh(row, kind, cycle);
+        self.second.on_refresh(row, kind, cycle);
+    }
+    fn on_activate(&mut self, row: u32, cycle: u64) {
+        self.first.on_activate(row, cycle);
+        self.second.on_activate(row, cycle);
+    }
+    fn on_retention_change(&mut self, row: u32, retention_ms: f64, cycle: u64) {
+        self.first.on_retention_change(row, retention_ms, cycle);
+        self.second.on_retention_change(row, retention_ms, cycle);
+    }
+    fn on_refresh_postponed(&mut self, row: u32, cycle: u64) {
+        self.first.on_refresh_postponed(row, cycle);
+        self.second.on_refresh_postponed(row, cycle);
+    }
+    fn on_refresh_pull_in(&mut self, row: u32, cycle: u64) {
+        self.first.on_refresh_pull_in(row, cycle);
+        self.second.on_refresh_pull_in(row, cycle);
+    }
+    fn on_scrub(&mut self, row: u32, cycle: u64) {
+        self.first.on_scrub(row, cycle);
+        self.second.on_scrub(row, cycle);
+    }
+    fn on_degrade(&mut self, row: u32, action: DegradeAction, cycle: u64) {
+        self.first.on_degrade(row, action, cycle);
+        self.second.on_degrade(row, action, cycle);
+    }
+    fn on_refresh_fault(&mut self, row: u32, dropped: bool, cycle: u64) {
+        self.first.on_refresh_fault(row, dropped, cycle);
+        self.second.on_refresh_fault(row, dropped, cycle);
+    }
+    fn on_queue_stall(&mut self, cycle: u64, depth: usize) {
+        self.first.on_queue_stall(cycle, depth);
+        self.second.on_queue_stall(cycle, depth);
     }
 }
 
@@ -247,11 +343,13 @@ impl<P: RefreshPolicy> Simulator<P> {
                     RefreshDisposition::Execute => {}
                     RefreshDisposition::Delay(by) => {
                         self.stats.delayed_refreshes += 1;
+                        observer.on_refresh_fault(row, false, due);
                         self.refresh_queue.push(due + by.max(1), row, original_due);
                         continue;
                     }
                     RefreshDisposition::Drop => {
                         self.stats.dropped_refreshes += 1;
+                        observer.on_refresh_fault(row, true, due);
                         // The row simply waits for its next deadline.
                         let period = self.config.timing.ms_to_cycles(self.policy.period_ms(row));
                         let next = original_due + period.max(1);
@@ -271,6 +369,7 @@ impl<P: RefreshPolicy> Simulator<P> {
                     let within_slack = deferred_due <= original_due + self.config.postpone_slack;
                     if would_collide && within_slack && deferred_due > due {
                         self.stats.postponed_refreshes += 1;
+                        observer.on_refresh_postponed(row, due);
                         self.refresh_queue.push(deferred_due, row, original_due);
                         continue;
                     }
@@ -355,6 +454,26 @@ impl<P: AdaptivePolicy> Simulator<P> {
         I: Iterator<Item = TraceRecord>,
         C: ChargePhysics,
     {
+        self.run_guarded_observed(trace, duration_ms, guard, &mut NullObserver)
+    }
+
+    /// [`Simulator::run_guarded`] with an additional external observer:
+    /// the guard keeps sensing every event, and the observer receives
+    /// the same refresh/activate stream plus the guard-specific events
+    /// ([`SimObserver::on_scrub`], [`SimObserver::on_degrade`]) the
+    /// guard's counters would otherwise swallow.
+    pub fn run_guarded_observed<I, C, O>(
+        &mut self,
+        trace: I,
+        duration_ms: f64,
+        guard: &mut Guard<C>,
+        observer: &mut O,
+    ) -> SimStats
+    where
+        I: Iterator<Item = TraceRecord>,
+        C: ChargePhysics,
+        O: SimObserver,
+    {
         let end = self.config.timing.ms_to_cycles(duration_ms);
         let mut trace = trace.take_while(|r| r.cycle < end).peekable();
         loop {
@@ -362,20 +481,20 @@ impl<P: AdaptivePolicy> Simulator<P> {
             match trace.peek().copied() {
                 Some(record) if record.cycle < scrub_at || scrub_at >= end => {
                     trace.next();
-                    self.drain_refreshes_guarded(record.cycle, Some(record.cycle), guard);
-                    self.poll_faults(record.cycle, guard);
-                    self.service_access(record, guard);
+                    self.drain_refreshes_guarded(record.cycle, Some(record.cycle), guard, observer);
+                    self.poll_faults(record.cycle, &mut Fanout::new(guard, observer));
+                    self.service_access(record, &mut Fanout::new(guard, observer));
                 }
                 _ if scrub_at < end => {
                     let next = trace.peek().map(|r| r.cycle);
-                    self.drain_refreshes_guarded(scrub_at, next, guard);
-                    self.poll_faults(scrub_at, guard);
-                    self.execute_scrub(scrub_at, guard);
+                    self.drain_refreshes_guarded(scrub_at, next, guard, observer);
+                    self.poll_faults(scrub_at, &mut Fanout::new(guard, observer));
+                    self.execute_scrub(scrub_at, guard, observer);
                 }
                 _ => {
-                    self.drain_refreshes_guarded(end, None, guard);
-                    self.poll_faults(end, guard);
-                    self.apply_degrades(guard);
+                    self.drain_refreshes_guarded(end, None, guard, observer);
+                    self.poll_faults(end, &mut Fanout::new(guard, observer));
+                    self.apply_degrades(guard, end, observer);
                     break;
                 }
             }
@@ -385,7 +504,8 @@ impl<P: AdaptivePolicy> Simulator<P> {
             // *after* the already-queued deadline fires — like a real
             // controller that cannot recall an enqueued REF — so a row may
             // take one extra ladder step before the shorter period holds.
-            self.apply_degrades(guard);
+            let at = self.bank.busy_until();
+            self.apply_degrades(guard, at, observer);
         }
         self.stats.total_cycles = end.max(self.bank.busy_until());
         let gs = guard.stats();
@@ -399,25 +519,32 @@ impl<P: AdaptivePolicy> Simulator<P> {
     /// simultaneously-due commands — on an idle bank the whole horizon
     /// is one drain, and a corrected row must not keep its optimistic
     /// configuration for the remaining refreshes.
-    fn drain_refreshes_guarded<C: ChargePhysics>(
+    fn drain_refreshes_guarded<C: ChargePhysics, O: SimObserver>(
         &mut self,
         horizon: u64,
         next_access: Option<u64>,
         guard: &mut Guard<C>,
+        observer: &mut O,
     ) {
         while let Some(due) = self.refresh_queue.next_due() {
             if due >= horizon {
                 break;
             }
-            self.drain_refreshes((due + 1).min(horizon), next_access, guard);
-            self.apply_degrades(guard);
+            let cluster_end = (due + 1).min(horizon);
+            self.drain_refreshes(cluster_end, next_access, &mut Fanout::new(guard, observer));
+            self.apply_degrades(guard, cluster_end, observer);
         }
     }
 
     /// Issues the guard's scheduled scrub read: a closed-page access
     /// (activate, read, precharge) whose occupancy and count go to the
     /// dedicated scrub counters.
-    fn execute_scrub<C: ChargePhysics>(&mut self, at: u64, guard: &mut Guard<C>) {
+    fn execute_scrub<C: ChargePhysics, O: SimObserver>(
+        &mut self,
+        at: u64,
+        guard: &mut Guard<C>,
+        observer: &mut O,
+    ) {
         let start = self.bank.ready_at(at);
         let mut duration = 0;
         if self.bank.open_row().is_some() {
@@ -429,17 +556,24 @@ impl<P: AdaptivePolicy> Simulator<P> {
         self.stats.scrub_accesses += 1;
         self.stats.scrub_busy_cycles += duration;
         let row = guard.scrub_next(done);
+        observer.on_scrub(row, done);
         // The scrub read fully restores the row; the policy learns about
         // it like any other activation.
         self.policy.on_activate(row);
     }
 
     /// Applies one ladder step per detected error, reporting each
-    /// outcome back to the guard's counters.
-    fn apply_degrades<C: ChargePhysics>(&mut self, guard: &mut Guard<C>) {
+    /// outcome back to the guard's counters and to the observer.
+    fn apply_degrades<C: ChargePhysics, O: SimObserver>(
+        &mut self,
+        guard: &mut Guard<C>,
+        cycle: u64,
+        observer: &mut O,
+    ) {
         for row in guard.take_pending_degrades() {
             let action = self.policy.degrade(row);
             guard.record_degrade(action);
+            observer.on_degrade(row, action, cycle);
         }
     }
 }

@@ -151,6 +151,9 @@ pub struct PoolReport {
     pub wall: Duration,
     /// Busy (job-executing) time per worker, indexed by worker id.
     pub busy: Vec<Duration>,
+    /// Wall-clock time of each job, indexed by job id — the profiling
+    /// substrate the observability layer's per-phase breakdown reads.
+    pub job_wall: Vec<Duration>,
 }
 
 impl PoolReport {
@@ -171,6 +174,17 @@ impl PoolReport {
         } else {
             u.iter().sum::<f64>() / u.len() as f64
         }
+    }
+
+    /// The slowest job as `(job index, wall time)`, or `None` for an
+    /// empty batch — the straggler a load-balance investigation starts
+    /// from.
+    pub fn slowest_job(&self) -> Option<(usize, Duration)> {
+        self.job_wall
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|&(_, d)| d)
     }
 }
 
@@ -216,23 +230,28 @@ where
     let mut slots: Vec<Option<Result<T, ExecError<E>>>> = Vec::new();
     slots.resize_with(jobs, || None);
     let mut busy = vec![Duration::ZERO; workers];
+    let mut job_wall = vec![Duration::ZERO; jobs];
 
     if workers <= 1 {
         let t0 = Instant::now();
         for (idx, item) in items.iter().enumerate() {
+            let j0 = Instant::now();
             slots[idx] = Some(run_one(&f, idx, item));
+            job_wall[idx] = j0.elapsed();
         }
         busy[0] = t0.elapsed();
     } else {
         let cursor = AtomicUsize::new(0);
         let shared_slots = Mutex::new(&mut slots);
         let shared_busy = Mutex::new(&mut busy);
+        let shared_job_wall = Mutex::new(&mut job_wall);
         std::thread::scope(|scope| {
             for worker in 0..workers {
                 let f = &f;
                 let cursor = &cursor;
                 let shared_slots = &shared_slots;
                 let shared_busy = &shared_busy;
+                let shared_job_wall = &shared_job_wall;
                 scope.spawn(move || {
                     let t0 = Instant::now();
                     loop {
@@ -242,9 +261,14 @@ where
                         }
                         let end = (start + chunk).min(jobs);
                         for idx in start..end {
+                            let j0 = Instant::now();
                             let out = run_one(f, idx, &items[idx]);
+                            let elapsed = j0.elapsed();
                             let mut guard = shared_slots.lock().expect("result lock");
                             guard[idx] = Some(out);
+                            drop(guard);
+                            let mut guard = shared_job_wall.lock().expect("job-wall lock");
+                            guard[idx] = elapsed;
                         }
                     }
                     let elapsed = t0.elapsed();
@@ -260,6 +284,7 @@ where
         jobs,
         wall: started.elapsed(),
         busy,
+        job_wall,
     };
     let mut out = Vec::with_capacity(jobs);
     for (idx, slot) in slots.into_iter().enumerate() {
@@ -420,6 +445,31 @@ mod tests {
         let util = report.utilization();
         assert!(util.iter().all(|u| (0.0..=1.0).contains(u)));
         assert!(report.mean_utilization() > 0.0);
+        assert_eq!(report.job_wall.len(), 4);
+        assert!(report.job_wall.iter().all(|d| *d > Duration::ZERO));
+        let (_, slowest) = report.slowest_job().expect("non-empty batch");
+        assert!(slowest >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn job_wall_is_recorded_on_the_serial_path_too() {
+        let cfg = ExecConfig::new(1);
+        let items = [5u64, 6, 7];
+        let (out, report) = map_ordered_report(&cfg, &items, |_, &x| {
+            std::thread::sleep(Duration::from_micros(300));
+            Ok::<_, Boom>(x)
+        });
+        assert_eq!(out.expect("ok"), items.to_vec());
+        assert_eq!(report.job_wall.len(), 3);
+        assert!(report.job_wall.iter().all(|d| *d > Duration::ZERO));
+        assert_eq!(
+            PoolReport {
+                job_wall: vec![],
+                ..report
+            }
+            .slowest_job(),
+            None
+        );
     }
 
     #[test]

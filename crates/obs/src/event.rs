@@ -1,0 +1,187 @@
+//! The structured event model: typed simulation events with cycle
+//! timestamps, bank/row coordinates, and per-stream sequence numbers.
+
+use vrl_dram_sim::policy::DegradeAction;
+use vrl_dram_sim::timing::RefreshLatency;
+
+/// What one degradation-ladder step changed — [`DegradeAction`] with the
+/// retention-bin payload flattened to its period so events carry plain
+/// integers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradeStep {
+    /// The row's MPRSF was halved; carries the new value.
+    MprsfHalved(u8),
+    /// The row was re-binned; carries the new period in ms.
+    BinDemoted(u32),
+    /// The row was already at the most conservative configuration.
+    AtFloor,
+}
+
+impl From<DegradeAction> for DegradeStep {
+    fn from(action: DegradeAction) -> Self {
+        match action {
+            DegradeAction::MprsfHalved(m) => DegradeStep::MprsfHalved(m),
+            DegradeAction::BinDemoted(bin) => DegradeStep::BinDemoted(bin.period_ms() as u32),
+            DegradeAction::AtFloor => DegradeStep::AtFloor,
+        }
+    }
+}
+
+impl DegradeStep {
+    /// Severity rank on the degradation ladder: strictly increasing as a
+    /// row moves toward the floor (larger MPRSF → smaller rank; longer
+    /// demoted period → smaller rank; `AtFloor` is the top). A valid
+    /// ladder emits a non-decreasing rank sequence per row — the
+    /// monotonicity the fault-injection tests assert on the event
+    /// stream.
+    pub fn severity_rank(self) -> u64 {
+        match self {
+            // MPRSF is at most 2^nbits − 1 < 256.
+            DegradeStep::MprsfHalved(m) => 256 - u64::from(m),
+            // Periods shrink toward the 64 ms floor; 1_000_000 ms is far
+            // above any bin.
+            DegradeStep::BinDemoted(period_ms) => 256 + (1_000_000 - u64::from(period_ms)),
+            DegradeStep::AtFloor => u64::MAX,
+        }
+    }
+}
+
+/// The event vocabulary shared by every front end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A row activation (row-miss access).
+    Activate,
+    /// A completed full-latency refresh.
+    RefreshFull,
+    /// A completed partial-latency refresh.
+    RefreshPartial,
+    /// A due refresh yielded to demand and was re-queued.
+    RefreshPostponed,
+    /// A refresh executed early on an idle bank.
+    RefreshPullIn,
+    /// A guard background scrub read.
+    GuardScrub,
+    /// One degradation-ladder step applied by the guard.
+    GuardDegrade(DegradeStep),
+    /// A fault injector dropped (`true`) or delayed (`false`) a refresh
+    /// command.
+    FaultInjected {
+        /// Whether the command was dropped rather than delayed.
+        dropped: bool,
+    },
+    /// The request queue was full while an arrival waited; carries the
+    /// queue occupancy.
+    QueueStall {
+        /// Queue occupancy at the stalled cycle.
+        depth: u32,
+    },
+}
+
+impl EventKind {
+    /// The kind's display name — the Chrome trace event `name` field.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Activate => "Activate",
+            EventKind::RefreshFull => "RefreshFull",
+            EventKind::RefreshPartial => "RefreshPartial",
+            EventKind::RefreshPostponed => "RefreshPostponed",
+            EventKind::RefreshPullIn => "RefreshPullIn",
+            EventKind::GuardScrub => "GuardScrub",
+            EventKind::GuardDegrade(_) => "GuardDegrade",
+            EventKind::FaultInjected { .. } => "FaultInjected",
+            EventKind::QueueStall { .. } => "QueueStall",
+        }
+    }
+
+    /// The kind for a completed refresh of the given latency class.
+    pub fn refresh(kind: RefreshLatency) -> Self {
+        match kind {
+            RefreshLatency::Full => EventKind::RefreshFull,
+            RefreshLatency::Partial => EventKind::RefreshPartial,
+        }
+    }
+}
+
+/// One recorded simulation event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Position in the recording stream (0-based, gap-free until the
+    /// ring starts dropping).
+    pub seq: u64,
+    /// Simulation cycle the event completed (or was decided) at.
+    pub cycle: u64,
+    /// Bank the row belongs to (0 on single-bank front ends).
+    pub bank: u32,
+    /// Global row index (`u32::MAX` for row-less events such as queue
+    /// stalls).
+    pub row: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// The merge key events are ordered by across worker streams:
+    /// `(cycle, bank, seq)`. Sorting stably by this key makes merged
+    /// streams independent of pool shape (see
+    /// `tests/trace_determinism.rs`).
+    pub fn merge_key(&self) -> (u64, u32, u64) {
+        (self.cycle, self.bank, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrade_ranks_follow_the_ladder() {
+        let ladder = [
+            DegradeStep::MprsfHalved(3),
+            DegradeStep::MprsfHalved(1),
+            DegradeStep::MprsfHalved(0),
+            DegradeStep::BinDemoted(192),
+            DegradeStep::BinDemoted(128),
+            DegradeStep::BinDemoted(64),
+            DegradeStep::AtFloor,
+        ];
+        for pair in ladder.windows(2) {
+            assert!(
+                pair[0].severity_rank() < pair[1].severity_rank(),
+                "{pair:?} must be strictly increasing"
+            );
+        }
+    }
+
+    #[test]
+    fn kinds_have_stable_names() {
+        assert_eq!(
+            EventKind::refresh(RefreshLatency::Full).name(),
+            "RefreshFull"
+        );
+        assert_eq!(
+            EventKind::refresh(RefreshLatency::Partial).name(),
+            "RefreshPartial"
+        );
+        assert_eq!(
+            EventKind::GuardDegrade(DegradeStep::AtFloor).name(),
+            "GuardDegrade"
+        );
+    }
+
+    #[test]
+    fn degrade_steps_convert_from_actions() {
+        use vrl_retention::binning::RefreshBin;
+        assert_eq!(
+            DegradeStep::from(DegradeAction::MprsfHalved(2)),
+            DegradeStep::MprsfHalved(2)
+        );
+        assert_eq!(
+            DegradeStep::from(DegradeAction::BinDemoted(RefreshBin::Ms192)),
+            DegradeStep::BinDemoted(192)
+        );
+        assert_eq!(
+            DegradeStep::from(DegradeAction::AtFloor),
+            DegradeStep::AtFloor
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Phase profiling: span timers that accumulate wall time (and optional
+//! simulated-cycle spans) per named simulator phase.
+
+use std::time::{Duration, Instant};
+
+/// Accumulated totals for one phase.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseTotals {
+    /// Number of spans recorded.
+    pub spans: u64,
+    /// Total wall time spent in the phase.
+    pub wall: Duration,
+    /// Total simulated cycles attributed to the phase (0 unless the
+    /// caller reports them via [`PhaseProfiler::add_cycles`]).
+    pub cycles: u64,
+}
+
+/// Collects per-phase wall/cycle breakdowns via RAII span guards.
+///
+/// ```
+/// use vrl_obs::profile::PhaseProfiler;
+/// let mut prof = PhaseProfiler::new();
+/// {
+///     let _span = prof.span("drain_refreshes");
+///     // ... phase work ...
+/// }
+/// assert_eq!(prof.totals("drain_refreshes").unwrap().spans, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct PhaseProfiler {
+    phases: Vec<(String, PhaseTotals)>,
+}
+
+impl PhaseProfiler {
+    /// An empty profiler.
+    pub fn new() -> Self {
+        PhaseProfiler::default()
+    }
+
+    fn slot(&mut self, phase: &str) -> usize {
+        if let Some(i) = self.phases.iter().position(|(n, _)| n == phase) {
+            return i;
+        }
+        self.phases
+            .push((phase.to_string(), PhaseTotals::default()));
+        self.phases.len() - 1
+    }
+
+    /// Start a span for `phase`; the elapsed wall time is added when the
+    /// returned guard drops.
+    pub fn span(&mut self, phase: &str) -> SpanGuard<'_> {
+        let slot = self.slot(phase);
+        SpanGuard {
+            profiler: self,
+            slot,
+            start: Instant::now(),
+        }
+    }
+
+    /// Attribute `cycles` simulated cycles to `phase`.
+    pub fn add_cycles(&mut self, phase: &str, cycles: u64) {
+        let slot = self.slot(phase);
+        self.phases[slot].1.cycles += cycles;
+    }
+
+    /// Totals for one phase, if it was ever recorded.
+    pub fn totals(&self, phase: &str) -> Option<&PhaseTotals> {
+        self.phases.iter().find(|(n, _)| n == phase).map(|(_, t)| t)
+    }
+
+    /// All phases in first-recorded order.
+    pub fn phases(&self) -> impl Iterator<Item = (&str, &PhaseTotals)> {
+        self.phases.iter().map(|(n, t)| (n.as_str(), t))
+    }
+
+    /// Render the breakdown as a flat JSON object keyed by phase, with
+    /// wall time in microseconds.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"schema\":\"vrl-profile-v1\",\"phases\":{");
+        let mut first = true;
+        for (name, t) in &self.phases {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            serde::write_json_string(name, &mut out);
+            out.push_str(&format!(
+                ":{{\"spans\":{},\"wall_us\":{},\"cycles\":{}}}",
+                t.spans,
+                t.wall.as_micros(),
+                t.cycles
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// RAII guard returned by [`PhaseProfiler::span`].
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    profiler: &'a mut PhaseProfiler,
+    slot: usize,
+    start: Instant,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let totals = &mut self.profiler.phases[self.slot].1;
+        totals.spans += 1;
+        totals.wall += self.start.elapsed();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_accumulate_per_phase() {
+        let mut prof = PhaseProfiler::new();
+        for _ in 0..3 {
+            let _s = prof.span("access");
+        }
+        {
+            let _s = prof.span("refresh");
+        }
+        prof.add_cycles("refresh", 128);
+        assert_eq!(prof.totals("access").unwrap().spans, 3);
+        let refresh = prof.totals("refresh").unwrap();
+        assert_eq!(refresh.spans, 1);
+        assert_eq!(refresh.cycles, 128);
+        assert!(prof.totals("missing").is_none());
+        let json = prof.to_json();
+        assert!(json.contains("\"refresh\":{\"spans\":1"), "{json}");
+    }
+}

@@ -1,0 +1,115 @@
+//! A bounded event buffer with drop-newest overflow semantics.
+//!
+//! Recording must never perturb the simulation, so the ring refuses to
+//! grow past its configured capacity: once full, new events are counted
+//! in [`EventRing::dropped`] and discarded. Dropping the *newest* events
+//! (rather than overwriting the oldest) keeps the retained prefix
+//! gap-free in `seq`, which the merge rules rely on.
+
+use crate::event::{Event, EventKind};
+
+/// Default ring capacity — large enough for the workloads the repo
+/// ships, small enough that a recorder is cheap to allocate per worker.
+pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+/// Fixed-capacity event buffer. See the module docs for the overflow
+/// contract.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    events: Vec<Event>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventRing {
+            events: Vec::new(),
+            capacity: capacity.max(1),
+            next_seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Record one event, assigning it the next sequence number. Returns
+    /// `false` if the ring was full and the event was dropped (the drop
+    /// is still counted and consumes a sequence number, so `seq` remains
+    /// a faithful index into the *offered* stream).
+    pub fn push(&mut self, cycle: u64, bank: u32, row: u32, kind: EventKind) -> bool {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.events.len() >= self.capacity {
+            self.dropped += 1;
+            return false;
+        }
+        self.events.push(Event {
+            seq,
+            cycle,
+            bank,
+            row,
+            kind,
+        });
+        true
+    }
+
+    /// Events retained so far, in recording order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// How many events overflowed the ring.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events offered (retained + dropped).
+    pub fn offered(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Consume the ring, returning the retained events.
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+}
+
+impl Default for EventRing {
+    fn default() -> Self {
+        EventRing::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_drops_newest_past_capacity() {
+        let mut ring = EventRing::with_capacity(2);
+        assert!(ring.push(10, 0, 1, EventKind::Activate));
+        assert!(ring.push(20, 0, 2, EventKind::RefreshFull));
+        assert!(!ring.push(30, 0, 3, EventKind::RefreshPartial));
+        assert_eq!(ring.events().len(), 2);
+        assert_eq!(ring.dropped(), 1);
+        assert_eq!(ring.offered(), 3);
+        // The retained prefix is gap-free.
+        assert_eq!(ring.events()[0].seq, 0);
+        assert_eq!(ring.events()[1].seq, 1);
+        assert_eq!(ring.events()[1].row, 2);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let mut ring = EventRing::with_capacity(0);
+        assert_eq!(ring.capacity(), 1);
+        assert!(ring.push(0, 0, 0, EventKind::Activate));
+        assert!(!ring.push(1, 0, 0, EventKind::Activate));
+    }
+}

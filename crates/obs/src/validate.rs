@@ -1,0 +1,160 @@
+//! Schema validation for exported Chrome `trace_event` documents — used
+//! by `vrl trace --validate` and the CI perf-smoke job.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::json::{parse, JsonValue};
+
+/// Summary of a structurally valid Chrome trace document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Instant events in the document (metadata records excluded).
+    pub events: usize,
+    /// Distinct event names observed (metadata records excluded).
+    pub kinds: BTreeSet<String>,
+    /// Distinct bank tracks (`tid`s of instant events).
+    pub banks: BTreeSet<u64>,
+    /// Ring overflow count from `otherData.dropped` (0 if absent).
+    pub dropped: u64,
+}
+
+/// Why a document failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError(String);
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid Chrome trace: {}", self.0)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+fn err(message: impl Into<String>) -> ValidateError {
+    ValidateError(message.into())
+}
+
+/// Parse `json` and check the Chrome `trace_event` contract our exporter
+/// promises: a top-level `traceEvents` array whose entries all carry
+/// `name`/`ph`/`pid`/`tid`, with instant events (`ph == "i"`) also
+/// carrying a non-negative numeric `ts`. Returns a summary of the
+/// instant events.
+pub fn validate_chrome_trace(json: &str) -> Result<TraceSummary, ValidateError> {
+    let doc = parse(json).map_err(|e| err(e.to_string()))?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or_else(|| err("missing `traceEvents`"))?
+        .as_array()
+        .ok_or_else(|| err("`traceEvents` is not an array"))?;
+
+    let mut summary = TraceSummary {
+        events: 0,
+        kinds: BTreeSet::new(),
+        banks: BTreeSet::new(),
+        dropped: 0,
+    };
+    let mut last_ts_per_bank: std::collections::BTreeMap<u64, f64> = Default::default();
+
+    for (i, entry) in events.iter().enumerate() {
+        let name = entry
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| err(format!("event {i}: missing string `name`")))?;
+        let ph = entry
+            .get("ph")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| err(format!("event {i}: missing string `ph`")))?;
+        for field in ["pid", "tid"] {
+            entry
+                .get(field)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| err(format!("event {i}: missing numeric `{field}`")))?;
+        }
+        match ph {
+            "M" => continue,
+            "i" => {
+                let ts = entry
+                    .get("ts")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| err(format!("event {i}: instant without numeric `ts`")))?;
+                if ts < 0.0 {
+                    return Err(err(format!("event {i}: negative `ts`")));
+                }
+                let bank = entry.get("tid").and_then(JsonValue::as_f64).unwrap() as u64;
+                if let Some(&prev) = last_ts_per_bank.get(&bank) {
+                    if ts < prev {
+                        return Err(err(format!(
+                            "event {i}: `ts` {ts} goes backwards on bank {bank} (prev {prev})"
+                        )));
+                    }
+                }
+                last_ts_per_bank.insert(bank, ts);
+                summary.events += 1;
+                summary.kinds.insert(name.to_string());
+                summary.banks.insert(bank);
+            }
+            other => return Err(err(format!("event {i}: unsupported phase `{other}`"))),
+        }
+    }
+
+    if let Some(d) = doc
+        .get("otherData")
+        .and_then(|o| o.get("dropped"))
+        .and_then(JsonValue::as_f64)
+    {
+        summary.dropped = d as u64;
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventKind};
+    use crate::export::chrome_trace_json;
+
+    #[test]
+    fn accepts_the_exporter_output() {
+        let events = vec![
+            Event {
+                seq: 0,
+                cycle: 1,
+                bank: 0,
+                row: 2,
+                kind: EventKind::Activate,
+            },
+            Event {
+                seq: 1,
+                cycle: 4,
+                bank: 1,
+                row: 70,
+                kind: EventKind::RefreshPartial,
+            },
+        ];
+        let json = chrome_trace_json(&events, "t", "vrl", 0);
+        let summary = validate_chrome_trace(&json).unwrap();
+        assert_eq!(summary.events, 2);
+        assert_eq!(summary.banks.len(), 2);
+        assert!(summary.kinds.contains("Activate"));
+        assert!(summary.kinds.contains("RefreshPartial"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":{}}").is_err());
+        assert!(validate_chrome_trace(
+            "{\"traceEvents\":[{\"ph\":\"i\",\"pid\":0,\"tid\":0,\"ts\":1}]}"
+        )
+        .is_err());
+        // Out-of-order timestamps on one bank are a contract violation:
+        // merged streams are sorted by cycle.
+        assert!(validate_chrome_trace(
+            "{\"traceEvents\":[\
+             {\"name\":\"a\",\"ph\":\"i\",\"pid\":0,\"tid\":0,\"ts\":5},\
+             {\"name\":\"b\",\"ph\":\"i\",\"pid\":0,\"tid\":0,\"ts\":4}]}"
+        )
+        .is_err());
+    }
+}

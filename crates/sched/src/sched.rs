@@ -245,6 +245,7 @@ impl<P: RefreshPolicy> Scheduler<P> {
         let mut trace = trace.take_while(|r| r.cycle < end).peekable();
         let mut queue: VecDeque<Pending> = VecDeque::new();
         let mut now = 0u64;
+        let mut last_stall = None;
 
         loop {
             // Jump to the earliest cycle any bank accepts a command.
@@ -269,6 +270,16 @@ impl<P: RefreshPolicy> Scheduler<P> {
                 }
             }
             self.stats.max_queue_depth = self.stats.max_queue_depth.max(queue.len());
+            // A full queue with an arrival already waiting is back
+            // pressure; report each stalled cycle once.
+            if queue.len() == self.config.queue_depth
+                && trace.peek().is_some_and(|r| r.cycle <= now)
+                && last_stall != Some(now)
+            {
+                last_stall = Some(now);
+                self.stats.queue_stalls += 1;
+                observer.on_queue_stall(now, queue.len());
+            }
 
             // Refreshes due by `now` on free banks (postponed onto
             // contended banks when parallelization allows).
@@ -384,6 +395,7 @@ impl<P: RefreshPolicy> Scheduler<P> {
                     let retry = (now + step).min(deadline).max(now + 1);
                     self.lanes[bank].refreshes.push(retry, row, original_due);
                     self.stats.sim.postponed_refreshes += 1;
+                    observer.on_refresh_postponed(self.config.global_row(bank as u32, row), now);
                     continue;
                 }
             }
@@ -430,6 +442,7 @@ impl<P: RefreshPolicy> Scheduler<P> {
             if let Some((_, row, original_due)) = self.lanes[bank].refreshes.pop_due_before(horizon)
             {
                 self.stats.pulled_in_refreshes += 1;
+                observer.on_refresh_pull_in(self.config.global_row(bank as u32, row), now);
                 self.execute_refresh(bank, now, row, original_due, false, observer);
                 return true;
             }

@@ -123,6 +123,9 @@ pub struct SchedStats {
     pub refresh_blocked_cycles: u64,
     /// Refreshes executed ahead of their deadline on an idle bank.
     pub pulled_in_refreshes: u64,
+    /// Cycles at which the full request queue held back a pending
+    /// arrival (each stalled cycle counted once).
+    pub queue_stalls: u64,
     /// Queue-to-completion latency of every read request.
     pub read_latency: LatencyHistogram,
     /// Refreshes executed per bank.

@@ -15,6 +15,9 @@
 //!   parallelization,
 //! * [`exec`] — the parallel experiment execution engine (scoped worker
 //!   pool with deterministic job ordering),
+//! * [`obs`] — the unified observability layer: structured event
+//!   tracing, metrics registry, profiling hooks, and Chrome
+//!   `trace_event` / flat-JSON exporters,
 //! * [`power`] — IDD-based energy model,
 //! * [`area`] — 90 nm gate-level area model.
 //!
@@ -41,6 +44,7 @@ pub use vrl_circuit as circuit;
 pub use vrl_dram as core;
 pub use vrl_dram_sim as dram;
 pub use vrl_exec as exec;
+pub use vrl_obs as obs;
 pub use vrl_power as power;
 pub use vrl_retention as retention;
 pub use vrl_sched as sched;

@@ -219,6 +219,80 @@ fn saturated_mprsf_caps_the_partial_run_length() {
     assert_eq!(longest, cap);
 }
 
+/// Satellite: every degradation-ladder step surfaces as a `GuardDegrade`
+/// event on the observability stream, and the recorded per-row sequence
+/// is monotone (severity ranks never decrease) — the event-level twin of
+/// the state-level proptest below.
+#[test]
+fn guard_degrade_events_trace_a_monotone_ladder() {
+    use std::collections::BTreeMap;
+    use vrl::obs::{EventKind, Recorder};
+
+    let rows = 4;
+    let retention = 280.0;
+    let timing = TimingParams::paper_default();
+    let profile = BankProfile::from_rows(std::iter::repeat_n(retention, rows), 32);
+    let bins = BinningTable::from_profile(&profile);
+    let physics = LinearPhysics {
+        full: 0.95,
+        partial_gain: 0.4,
+        threshold: 0.62,
+    };
+    let config = GuardConfig {
+        margin: 0.12,
+        scrub_interval_ms: 0.0,
+    };
+    let mut guard = Guard::new(physics, timing, vec![retention; rows], config);
+    let mut sim = Simulator::new(
+        SimConfig::with_rows(rows as u32),
+        Vrl::new(bins.clone(), vec![3; rows]),
+    );
+    let mut recorder = Recorder::single_bank("reckless", "vrl");
+    let stats = sim.run_guarded_observed(std::iter::empty(), 4096.0, &mut guard, &mut recorder);
+    let gs = guard.stats();
+    let stream = recorder.finish();
+
+    // Recording must not perturb the guarded run.
+    let mut plain_guard = Guard::new(physics, timing, vec![retention; rows], config);
+    let mut plain_sim = Simulator::new(
+        SimConfig::with_rows(rows as u32),
+        Vrl::new(bins, vec![3; rows]),
+    );
+    let plain_stats = plain_sim.run_guarded(std::iter::empty(), 4096.0, &mut plain_guard);
+    assert_eq!(stats, plain_stats);
+
+    // One GuardDegrade event per applied ladder step, in cycle order.
+    let mut per_row: BTreeMap<u32, Vec<(u64, u64)>> = BTreeMap::new();
+    for ev in &stream.events {
+        if let EventKind::GuardDegrade(step) = ev.kind {
+            per_row
+                .entry(ev.row)
+                .or_default()
+                .push((ev.cycle, step.severity_rank()));
+        }
+    }
+    let total: usize = per_row.values().map(Vec::len).sum();
+    assert_eq!(
+        total as u64,
+        gs.mprsf_demotions + gs.bin_demotions,
+        "every ladder step must be traced: {gs:?}"
+    );
+    assert_eq!(per_row.len(), rows, "every row degrades in this scenario");
+    for (row, steps) in &per_row {
+        assert_eq!(steps.len(), 2, "row {row}: MPRSF 3 -> 1 -> 0");
+        for pair in steps.windows(2) {
+            assert!(
+                pair[0].0 <= pair[1].0,
+                "row {row}: events out of cycle order"
+            );
+            assert!(
+                pair[0].1 <= pair[1].1,
+                "row {row}: ladder went backwards: {steps:?}"
+            );
+        }
+    }
+}
+
 fn ladder_state(policy: &Vrl, row: u32) -> (f64, u8) {
     (policy.period_ms(row), policy.mprsf(row))
 }
