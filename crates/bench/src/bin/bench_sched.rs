@@ -52,6 +52,9 @@ struct BenchSched {
     determinism_workers: usize,
     determinism_bit_identical: bool,
     integrity_violations: usize,
+    supervised_retries: u64,
+    supervised_quarantined: u64,
+    supervised_degraded: bool,
 }
 
 fn main() {
@@ -170,9 +173,26 @@ fn main() {
         .unwrap_or_else(|e| fail(&e));
     println!("integrity violations under parallelized VRL-Access: {violations}");
 
+    // Supervised execution: the same matrix under the retry / deadline /
+    // degrade supervisor. A healthy run must quarantine nothing, and the
+    // exec.* counters ride along in the metrics artifact so CI can
+    // assert on them.
+    let supervised = experiment.run_matrix_supervised(
+        &ExecConfig::new(workers),
+        &vrl_exec::Supervisor::new(),
+        &policies,
+    );
+    println!(
+        "supervised matrix: {} retries, {} quarantined, degraded = {}",
+        supervised.counters.retries, supervised.counters.quarantined, supervised.degraded
+    );
+
     sched_merged
         .merge(&comparison)
         .expect("bench counters are disjoint from sched metrics");
+    sched_merged
+        .merge(&supervised.metrics)
+        .expect("exec counters are disjoint from sched metrics");
     vrl_bench::write_json_raw("BENCH_sched_metrics", &sched_merged.to_json());
     vrl_bench::write_json(
         "BENCH_sched",
@@ -188,6 +208,9 @@ fn main() {
             determinism_workers: workers,
             determinism_bit_identical: bit_identical,
             integrity_violations: violations,
+            supervised_retries: supervised.counters.retries,
+            supervised_quarantined: supervised.counters.quarantined,
+            supervised_degraded: supervised.degraded,
         },
     );
 
@@ -197,6 +220,10 @@ fn main() {
     }
     if violations != 0 {
         eprintln!("FAIL: refresh parallelization violated row integrity");
+        std::process::exit(1);
+    }
+    if supervised.counters.quarantined != 0 || supervised.degraded {
+        eprintln!("FAIL: supervisor quarantined jobs in a healthy matrix");
         std::process::exit(1);
     }
 }

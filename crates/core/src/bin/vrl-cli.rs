@@ -5,29 +5,49 @@
 //! vrl mprsf <retention_ms> [period_ms]
 //! vrl plan [--rows N] [--seed S] [--nbits B]
 //! vrl simulate <benchmark> [--rows N] [--duration-ms D] [--policy P]
+//!              [--checkpoint FILE --checkpoint-every N [--halt-after K]]
+//!              [--resume FILE]
 //! vrl compare [--rows N] [--duration-ms D] [--threads T] [--metrics FILE]
+//!             [--manifest FILE]
 //! vrl sched <benchmark> [--rows N] [--banks B] [--duration-ms D]
 //!           [--policy P] [--no-parallel] [--metrics FILE]
+//!           [--checkpoint FILE --checkpoint-every N [--halt-after K]]
+//!           [--resume FILE]
 //! vrl trace <benchmark> [--policy P] [--rows N] [--banks B]
 //!           [--duration-ms D] [--out FILE] [--metrics FILE] [--validate]
+//!           [--checkpoint FILE --checkpoint-every N [--halt-after K]]
+//!           [--resume FILE]
 //! vrl netlist <equalization|charge-sharing|sense-restore>
 //! ```
 //!
 //! `compare` fans the (benchmark × policy) matrix across the `vrl-exec`
 //! worker pool; `--threads` overrides the `VRL_THREADS` environment
 //! variable, which overrides the machine's available parallelism.
+//! `--manifest FILE` makes the sweep crash-consistent: completed cells
+//! are persisted atomically after every benchmark, and a re-run against
+//! the same manifest re-simulates only the missing ones.
 //!
 //! `trace` records a structured event trace of one scheduler run and
 //! writes it as Chrome `trace_event` JSON — load the file in Perfetto
 //! (<https://ui.perfetto.dev>) or `chrome://tracing` to see per-bank
 //! activate/refresh/postpone/pull-in tracks. `--metrics` (here and on
 //! `compare`/`sched`) additionally writes a flat JSON metrics snapshot.
+//!
+//! `--checkpoint FILE --checkpoint-every N` (single-policy runs only)
+//! atomically snapshots the engine's full state to FILE every N
+//! simulated cycles; `--halt-after K` stops the run after the K-th
+//! snapshot, simulating a crash. `--resume FILE` restores such a
+//! snapshot — the benchmark, policy, and configuration all come from the
+//! snapshot header — and continues to completion, bit-identical to an
+//! uninterrupted run.
 
+use std::path::Path;
 use std::process::ExitCode;
 
 use vrl_circuit::model::AnalyticalModel;
 use vrl_circuit::tech::{BankGeometry, Technology};
 use vrl_circuit::trfc::{CycleBudget, RefreshKind};
+use vrl_dram::checkpoint::{CheckpointConfig, CheckpointOutcome, ResumeReport, ResumedStats};
 use vrl_dram::experiment::{sched_metrics, sim_metrics, Experiment, ExperimentConfig, PolicyKind};
 use vrl_dram::mprsf::{Mprsf, MprsfCalculator};
 use vrl_dram::plan::RefreshPlan;
@@ -58,6 +78,64 @@ fn write_metrics(path: &str, snapshot: &MetricsSnapshot) -> bool {
         Err(err) => {
             eprintln!("error: cannot write {path}: {err}");
             false
+        }
+    }
+}
+
+/// Parses `--checkpoint FILE [--checkpoint-every N] [--halt-after K]`
+/// into a checkpoint policy, if requested.
+fn checkpoint_flags(args: &[String]) -> Option<CheckpointConfig> {
+    let path = flag_value(args, "--checkpoint")?;
+    let every: u64 = flag_parse(args, "--checkpoint-every", 1_000_000);
+    let mut cfg = CheckpointConfig::new(path, every);
+    if let Some(k) = flag_value(args, "--halt-after").and_then(|v| v.parse().ok()) {
+        cfg = cfg.with_halt_after(k);
+    }
+    Some(cfg)
+}
+
+fn print_sim_stats(policy: &str, stats: &vrl_dram::dram_sim::SimStats) {
+    println!(
+        "{policy:>10}: {:>10} refresh-busy cycles, {:>8} full, {:>8} partial, \
+         {:>10} stall cycles",
+        stats.refresh_busy_cycles,
+        stats.full_refreshes,
+        stats.partial_refreshes,
+        stats.stall_cycles
+    );
+}
+
+fn print_sched_stats(policy: &str, stats: &vrl_sched::SchedStats) {
+    println!(
+        "{policy:>10} {:>12} {:>12} {:>10} {:>10} {:>12} {:>8} {:>8}",
+        stats.sim.refresh_busy_cycles,
+        stats.refresh_blocked_cycles,
+        stats.sim.postponed_refreshes,
+        stats.pulled_in_refreshes,
+        stats.sim.stall_cycles,
+        stats.read_latency.quantile(0.5),
+        stats.read_latency.quantile(0.99),
+    );
+}
+
+/// Runs `vrl <cmd> --resume FILE`: restores the snapshot (everything
+/// else comes from its header) and continues to completion, printing
+/// the resumed run's statistics.
+fn run_resume(args: &[String], resume_path: &str) -> Result<ResumeReport, ExitCode> {
+    let cont = checkpoint_flags(args);
+    match vrl_dram::checkpoint::resume(Path::new(resume_path), cont.as_ref()) {
+        Ok(report) => {
+            println!(
+                "resumed {} run of {} / {} from {resume_path}",
+                report.front_end.name(),
+                report.benchmark,
+                report.policy.name()
+            );
+            Ok(report)
+        }
+        Err(err) => {
+            eprintln!("{err}");
+            Err(ExitCode::FAILURE)
         }
     }
 }
@@ -144,8 +222,31 @@ fn cmd_plan(args: &[String]) -> ExitCode {
 }
 
 fn cmd_simulate(args: &[String]) -> ExitCode {
+    if let Some(path) = flag_value(args, "--resume") {
+        let report = match run_resume(args, &path) {
+            Ok(report) => report,
+            Err(code) => return code,
+        };
+        return match report.outcome {
+            CheckpointOutcome::Completed(ResumedStats::Sim(stats)) => {
+                print_sim_stats(report.policy.name(), &stats);
+                ExitCode::SUCCESS
+            }
+            CheckpointOutcome::Completed(_) => {
+                eprintln!("error: {path} is not a simulator snapshot (try `vrl sched --resume`)");
+                ExitCode::FAILURE
+            }
+            CheckpointOutcome::Halted { checkpoints } => {
+                println!("halted again after {checkpoints} checkpoint(s)");
+                ExitCode::SUCCESS
+            }
+        };
+    }
     let Some(benchmark) = args.first().filter(|a| !a.starts_with("--")).cloned() else {
-        eprintln!("usage: vrl simulate <benchmark> [--rows N] [--duration-ms D] [--policy P]");
+        eprintln!(
+            "usage: vrl simulate <benchmark> [--rows N] [--duration-ms D] [--policy P] \
+             [--checkpoint FILE --checkpoint-every N [--halt-after K]] [--resume FILE]"
+        );
         eprintln!(
             "benchmarks: {}",
             vrl_trace::WorkloadSpec::BENCHMARKS.join(", ")
@@ -170,17 +271,33 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
             }
         },
     };
+    if let Some(ckpt) = checkpoint_flags(args) {
+        let [kind] = kinds[..] else {
+            eprintln!("error: --checkpoint needs a single --policy (not 'all')");
+            return ExitCode::FAILURE;
+        };
+        return match experiment.run_policy_checkpointed(kind, &benchmark, &ckpt) {
+            Ok(CheckpointOutcome::Completed(stats)) => {
+                print_sim_stats(kind.name(), &stats);
+                ExitCode::SUCCESS
+            }
+            Ok(CheckpointOutcome::Halted { checkpoints }) => {
+                println!(
+                    "halted after {checkpoints} checkpoint(s); resume with \
+                     `vrl simulate --resume {}`",
+                    ckpt.path.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("{err}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     for kind in kinds {
         match experiment.run_policy(kind, &benchmark) {
-            Ok(stats) => println!(
-                "{:>10}: {:>10} refresh-busy cycles, {:>8} full, {:>8} partial, \
-                 {:>10} stall cycles",
-                kind.name(),
-                stats.refresh_busy_cycles,
-                stats.full_refreshes,
-                stats.partial_refreshes,
-                stats.stall_cycles
-            ),
+            Ok(stats) => print_sim_stats(kind.name(), &stats),
             Err(err) => {
                 eprintln!("{err}");
                 return ExitCode::FAILURE;
@@ -213,10 +330,15 @@ fn cmd_compare(args: &[String]) -> ExitCode {
     );
     // Run the matrix directly (rather than `compare_all_with`) so the
     // per-run stats are on hand for an optional `--metrics` snapshot
-    // without simulating twice.
+    // without simulating twice. `--manifest` swaps in the
+    // crash-consistent sweep that persists completed cells.
     let policies = [PolicyKind::Raidr, PolicyKind::Vrl, PolicyKind::VrlAccess];
-    let (cells, _) = match experiment.run_matrix_with(&exec, &policies) {
-        Ok(out) => out,
+    let matrix = match flag_value(args, "--manifest") {
+        Some(path) => experiment.run_matrix_manifested(&exec, &policies, Path::new(&path)),
+        None => experiment.run_matrix_with(&exec, &policies).map(|(c, _)| c),
+    };
+    let cells = match matrix {
+        Ok(cells) => cells,
         Err(err) => {
             eprintln!("{err}");
             return ExitCode::FAILURE;
@@ -248,10 +370,38 @@ fn cmd_compare(args: &[String]) -> ExitCode {
 }
 
 fn cmd_sched(args: &[String]) -> ExitCode {
+    if let Some(path) = flag_value(args, "--resume") {
+        let report = match run_resume(args, &path) {
+            Ok(report) => report,
+            Err(code) => return code,
+        };
+        return match report.outcome {
+            CheckpointOutcome::Completed(ResumedStats::Sched(stats)) => {
+                print_sched_stats(report.policy.name(), &stats);
+                if let Some(path) = flag_value(args, "--metrics") {
+                    if !write_metrics(&path, &sched_metrics(&stats)) {
+                        return ExitCode::FAILURE;
+                    }
+                }
+                ExitCode::SUCCESS
+            }
+            CheckpointOutcome::Completed(_) => {
+                eprintln!(
+                    "error: {path} is not a scheduler snapshot (try `vrl simulate --resume`)"
+                );
+                ExitCode::FAILURE
+            }
+            CheckpointOutcome::Halted { checkpoints } => {
+                println!("halted again after {checkpoints} checkpoint(s)");
+                ExitCode::SUCCESS
+            }
+        };
+    }
     let Some(benchmark) = args.first().filter(|a| !a.starts_with("--")).cloned() else {
         eprintln!(
             "usage: vrl sched <benchmark> [--rows N] [--banks B] [--duration-ms D] \
-             [--policy P] [--no-parallel]"
+             [--policy P] [--no-parallel] \
+             [--checkpoint FILE --checkpoint-every N [--halt-after K]] [--resume FILE]"
         );
         eprintln!(
             "benchmarks: {}",
@@ -303,21 +453,40 @@ fn cmd_sched(args: &[String]) -> ExitCode {
         "p50 lat",
         "p99 lat"
     );
+    if let Some(ckpt) = checkpoint_flags(args) {
+        let [kind] = kinds[..] else {
+            eprintln!("error: --checkpoint needs a single --policy (not 'all')");
+            return ExitCode::FAILURE;
+        };
+        return match experiment.run_scheduled_checkpointed(kind, &benchmark, sched, &ckpt) {
+            Ok(CheckpointOutcome::Completed(stats)) => {
+                print_sched_stats(kind.name(), &stats);
+                if let Some(path) = flag_value(args, "--metrics") {
+                    if !write_metrics(&path, &sched_metrics(&stats)) {
+                        return ExitCode::FAILURE;
+                    }
+                }
+                ExitCode::SUCCESS
+            }
+            Ok(CheckpointOutcome::Halted { checkpoints }) => {
+                println!(
+                    "halted after {checkpoints} checkpoint(s); resume with \
+                     `vrl sched --resume {}`",
+                    ckpt.path.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("{err}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let mut merged = MetricsSnapshot::default();
     for kind in kinds {
         match experiment.run_scheduled(kind, &benchmark, sched) {
             Ok(stats) => {
-                println!(
-                    "{:>10} {:>12} {:>12} {:>10} {:>10} {:>12} {:>8} {:>8}",
-                    kind.name(),
-                    stats.sim.refresh_busy_cycles,
-                    stats.refresh_blocked_cycles,
-                    stats.sim.postponed_refreshes,
-                    stats.pulled_in_refreshes,
-                    stats.sim.stall_cycles,
-                    stats.read_latency.quantile(0.5),
-                    stats.read_latency.quantile(0.99),
-                );
+                print_sched_stats(kind.name(), &stats);
                 merged
                     .merge(&sched_metrics(&stats))
                     .expect("sched metric snapshots share one shape");
@@ -337,10 +506,48 @@ fn cmd_sched(args: &[String]) -> ExitCode {
 }
 
 fn cmd_trace(args: &[String]) -> ExitCode {
+    if let Some(path) = flag_value(args, "--resume") {
+        let report = match run_resume(args, &path) {
+            Ok(report) => report,
+            Err(code) => return code,
+        };
+        return match (report.outcome, report.events) {
+            (CheckpointOutcome::Completed(ResumedStats::Sched(stats)), Some(stream)) => {
+                let out = flag_value(args, "--out").unwrap_or_else(|| "trace.json".to_owned());
+                let json = chrome_trace_json(
+                    &stream.events,
+                    &stream.label,
+                    &stream.policy,
+                    stream.dropped,
+                );
+                if let Err(err) = std::fs::write(&out, &json) {
+                    eprintln!("error: cannot write {out}: {err}");
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "{}: {} events ({} dropped) over {} cycles -> {out}",
+                    report.benchmark,
+                    stream.events.len(),
+                    stream.dropped,
+                    stats.sim.total_cycles
+                );
+                ExitCode::SUCCESS
+            }
+            (CheckpointOutcome::Halted { checkpoints }, _) => {
+                println!("halted again after {checkpoints} checkpoint(s)");
+                ExitCode::SUCCESS
+            }
+            _ => {
+                eprintln!("error: {path} is not a traced scheduler snapshot");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let Some(benchmark) = args.first().filter(|a| !a.starts_with("--")).cloned() else {
         eprintln!(
             "usage: vrl trace <benchmark> [--policy P] [--rows N] [--banks B] \
-             [--duration-ms D] [--out FILE] [--metrics FILE] [--validate]"
+             [--duration-ms D] [--out FILE] [--metrics FILE] [--validate] \
+             [--checkpoint FILE --checkpoint-every N [--halt-after K]] [--resume FILE]"
         );
         eprintln!(
             "benchmarks: {}",
@@ -373,11 +580,29 @@ fn cmd_trace(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let (stats, stream) = match experiment.run_scheduled_traced(kind, &benchmark, sched) {
-        Ok(out) => out,
-        Err(err) => {
-            eprintln!("{err}");
-            return ExitCode::FAILURE;
+    let (stats, stream) = if let Some(ckpt) = checkpoint_flags(args) {
+        match experiment.run_scheduled_traced_checkpointed(kind, &benchmark, sched, &ckpt) {
+            Ok(CheckpointOutcome::Completed(out)) => out,
+            Ok(CheckpointOutcome::Halted { checkpoints }) => {
+                println!(
+                    "halted after {checkpoints} checkpoint(s); resume with \
+                     `vrl trace --resume {}`",
+                    ckpt.path.display()
+                );
+                return ExitCode::SUCCESS;
+            }
+            Err(err) => {
+                eprintln!("{err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match experiment.run_scheduled_traced(kind, &benchmark, sched) {
+            Ok(out) => out,
+            Err(err) => {
+                eprintln!("{err}");
+                return ExitCode::FAILURE;
+            }
         }
     };
     let json = chrome_trace_json(
@@ -470,7 +695,10 @@ fn main() -> ExitCode {
             eprintln!("  vrl mprsf <retention_ms> [period_ms]");
             eprintln!("  vrl plan [--rows N] [--seed S] [--nbits B]");
             eprintln!("  vrl simulate <benchmark> [--rows N] [--duration-ms D] [--policy P]");
-            eprintln!("  vrl compare [--rows N] [--duration-ms D] [--threads T] [--metrics FILE]");
+            eprintln!(
+                "  vrl compare [--rows N] [--duration-ms D] [--threads T] [--metrics FILE] \
+                 [--manifest FILE]"
+            );
             eprintln!(
                 "  vrl sched <benchmark> [--rows N] [--banks B] [--duration-ms D] \
                  [--policy P] [--no-parallel] [--metrics FILE]"
@@ -478,6 +706,10 @@ fn main() -> ExitCode {
             eprintln!(
                 "  vrl trace <benchmark> [--policy P] [--rows N] [--banks B] \
                  [--duration-ms D] [--out FILE] [--metrics FILE] [--validate]"
+            );
+            eprintln!(
+                "  (simulate/sched/trace also take --checkpoint FILE --checkpoint-every N \
+                 [--halt-after K] and --resume FILE)"
             );
             eprintln!("  vrl netlist <equalization|charge-sharing|sense-restore>");
             ExitCode::FAILURE

@@ -1,0 +1,1019 @@
+//! Crash-consistent checkpoint/resume for experiment runs.
+//!
+//! A checkpoint is a self-contained, versioned, checksummed snapshot of
+//! one run: a header binding it to the front end, benchmark, policy, and
+//! [`ExperimentConfig`] it came from, followed by the engine's full
+//! run-state (bank FSMs, timing-wheel refresh queues, RNG streams,
+//! policy degradation ladders, statistics, and — for traced runs — the
+//! event ring). Files are written with [`vrl_snap::write_atomic`]
+//! (temp file + `sync_all` + rename), so a crash mid-write never leaves
+//! a torn checkpoint: the previous complete one survives.
+//!
+//! Because every front end's span/pause machinery inserts *no* state
+//! change at a pause point, a run resumed from any checkpoint is
+//! bit-identical to the uninterrupted run — the property
+//! `tests/checkpoint_resume.rs` kills runs at arbitrary cycles to
+//! assert.
+//!
+//! Resume is **flag-free**: [`resume`] reads everything it needs from
+//! the header (the trace is regenerated deterministically from the
+//! embedded seed and skipped to the consumption point), so
+//! `vrl <cmd> --resume FILE` needs no other arguments. A snapshot is
+//! only readable by the [`vrl_snap::FORMAT_VERSION`] that wrote it, and
+//! the header config must reconstruct the identical experiment — both
+//! invariants surface as typed errors, never garbage state.
+//!
+//! Scheduler checkpoints record the rank geometry and scheduling knobs
+//! but assume the paper-default timing parameters (the only timing the
+//! harness constructs); resuming a run made with hand-built custom
+//! timings is out of scope (see DESIGN.md §12).
+
+use std::path::{Path, PathBuf};
+
+use vrl_dram_sim::controller::{ControllerStats, FrFcfsController};
+use vrl_dram_sim::policy::PolicyState;
+use vrl_dram_sim::sim::{NullObserver, SimConfig, SimObserver, Simulator};
+use vrl_dram_sim::stats::SimStats;
+use vrl_dram_sim::AutoRefresh;
+use vrl_obs::{EventStream, Recorder};
+use vrl_sched::{SchedConfig, SchedStats, Scheduler};
+use vrl_snap::{Decoder, Encoder, SnapError, Snapshot as _};
+use vrl_trace::TraceRecord;
+
+use crate::error::Error;
+use crate::experiment::{Experiment, ExperimentConfig, MatrixCell, PolicyKind};
+
+/// Checkpoint cadence and destination for one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Where snapshots are written (each overwrites the last,
+    /// atomically).
+    pub path: PathBuf,
+    /// Pause and snapshot roughly every this many simulated cycles.
+    pub every_cycles: u64,
+    /// Stop the run after this many snapshots (`None` = run to
+    /// completion). The kill-and-resume tests and the CI smoke job use
+    /// this to simulate a crash at a checkpoint boundary.
+    pub halt_after: Option<u32>,
+}
+
+impl CheckpointConfig {
+    /// Checkpoints to `path` every `every_cycles` simulated cycles.
+    pub fn new(path: impl Into<PathBuf>, every_cycles: u64) -> Self {
+        CheckpointConfig {
+            path: path.into(),
+            every_cycles,
+            halt_after: None,
+        }
+    }
+
+    /// Halt the run after `count` snapshots (simulating a crash there).
+    #[must_use]
+    pub fn with_halt_after(mut self, count: u32) -> Self {
+        self.halt_after = Some(count);
+        self
+    }
+
+    fn validated(&self) -> Result<(), Error> {
+        if self.every_cycles == 0 {
+            return Err(Error::Snapshot(SnapError::Malformed {
+                what: "checkpoint cadence must be positive".to_owned(),
+            }));
+        }
+        Ok(())
+    }
+}
+
+/// How a checkpointed run ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointOutcome<S> {
+    /// The run finished; the final statistics.
+    Completed(S),
+    /// The run halted at a checkpoint boundary
+    /// ([`CheckpointConfig::halt_after`]); resume from the snapshot to
+    /// continue.
+    Halted {
+        /// Snapshots written before halting.
+        checkpoints: u32,
+    },
+}
+
+impl<S> CheckpointOutcome<S> {
+    /// The final statistics, if the run completed.
+    pub fn completed(self) -> Option<S> {
+        match self {
+            CheckpointOutcome::Completed(s) => Some(s),
+            CheckpointOutcome::Halted { .. } => None,
+        }
+    }
+}
+
+/// Which engine a checkpoint belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontEndKind {
+    /// The single-bank [`Simulator`].
+    Sim,
+    /// The single-bank [`FrFcfsController`].
+    FrFcfs,
+    /// The multi-bank [`Scheduler`].
+    Sched,
+}
+
+impl FrontEndKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FrontEndKind::Sim => "sim",
+            FrontEndKind::FrFcfs => "frfcfs",
+            FrontEndKind::Sched => "sched",
+        }
+    }
+}
+
+impl vrl_snap::Snapshot for FrontEndKind {
+    fn save(&self, enc: &mut Encoder) {
+        enc.put_u8(match self {
+            FrontEndKind::Sim => 0,
+            FrontEndKind::FrFcfs => 1,
+            FrontEndKind::Sched => 2,
+        });
+    }
+
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, SnapError> {
+        match dec.take_u8()? {
+            0 => Ok(FrontEndKind::Sim),
+            1 => Ok(FrontEndKind::FrFcfs),
+            2 => Ok(FrontEndKind::Sched),
+            tag => Err(SnapError::Malformed {
+                what: format!("unknown front-end tag {tag}"),
+            }),
+        }
+    }
+}
+
+impl vrl_snap::Snapshot for PolicyKind {
+    fn save(&self, enc: &mut Encoder) {
+        enc.put_u8(match self {
+            PolicyKind::Auto => 0,
+            PolicyKind::Raidr => 1,
+            PolicyKind::Vrl => 2,
+            PolicyKind::VrlAccess => 3,
+        });
+    }
+
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, SnapError> {
+        match dec.take_u8()? {
+            0 => Ok(PolicyKind::Auto),
+            1 => Ok(PolicyKind::Raidr),
+            2 => Ok(PolicyKind::Vrl),
+            3 => Ok(PolicyKind::VrlAccess),
+            tag => Err(SnapError::Malformed {
+                what: format!("unknown policy tag {tag}"),
+            }),
+        }
+    }
+}
+
+impl vrl_snap::Snapshot for ExperimentConfig {
+    fn save(&self, enc: &mut Encoder) {
+        enc.put_u32(self.rows);
+        enc.put_u32(self.cells_per_row);
+        enc.put_u64(self.seed);
+        enc.put_f64(self.duration_ms);
+        enc.put_u32(self.nbits);
+        enc.put_f64(self.guard_band);
+    }
+
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, SnapError> {
+        Ok(ExperimentConfig {
+            rows: dec.take_u32()?,
+            cells_per_row: dec.take_u32()?,
+            seed: dec.take_u64()?,
+            duration_ms: dec.take_f64()?,
+            nbits: dec.take_u32()?,
+            guard_band: dec.take_f64()?,
+        })
+    }
+}
+
+/// The scheduler knobs a checkpoint must reproduce (geometry plus the
+/// refresh-elasticity configuration; timing is paper-default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SchedShape {
+    banks: u32,
+    rows_per_bank: u32,
+    queue_depth: usize,
+    slack: u64,
+    parallel_refresh: bool,
+    staggered: bool,
+}
+
+impl SchedShape {
+    fn of(config: &SchedConfig) -> Self {
+        SchedShape {
+            banks: config.banks(),
+            rows_per_bank: config.rows_per_bank(),
+            queue_depth: config.queue_depth,
+            slack: config.slack,
+            parallel_refresh: config.parallel_refresh,
+            staggered: config.staggered,
+        }
+    }
+
+    fn to_config(self) -> Result<SchedConfig, Error> {
+        let mut config = SchedConfig::with_geometry(self.banks, self.rows_per_bank)?
+            .with_queue_depth(self.queue_depth)
+            .with_slack(self.slack)
+            .with_parallelism(self.parallel_refresh);
+        if !self.staggered {
+            config = config.with_burst_refresh();
+        }
+        Ok(config)
+    }
+}
+
+impl vrl_snap::Snapshot for SchedShape {
+    fn save(&self, enc: &mut Encoder) {
+        enc.put_u32(self.banks);
+        enc.put_u32(self.rows_per_bank);
+        enc.put_usize(self.queue_depth);
+        enc.put_u64(self.slack);
+        enc.put_bool(self.parallel_refresh);
+        enc.put_bool(self.staggered);
+    }
+
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, SnapError> {
+        Ok(SchedShape {
+            banks: dec.take_u32()?,
+            rows_per_bank: dec.take_u32()?,
+            queue_depth: dec.take_usize()?,
+            slack: dec.take_u64()?,
+            parallel_refresh: dec.take_bool()?,
+            staggered: dec.take_bool()?,
+        })
+    }
+}
+
+/// Everything a snapshot needs to reconstruct its run from scratch.
+#[derive(Debug, Clone, PartialEq)]
+struct Header {
+    front_end: FrontEndKind,
+    benchmark: String,
+    policy: PolicyKind,
+    config: ExperimentConfig,
+    /// FR-FCFS request-queue depth ([`FrontEndKind::FrFcfs`] only).
+    queue_depth: usize,
+    /// Scheduler shape ([`FrontEndKind::Sched`] only).
+    sched: Option<SchedShape>,
+    /// Whether the run records a structured event trace (the observer's
+    /// ring is then part of the engine state).
+    traced: bool,
+}
+
+impl vrl_snap::Snapshot for Header {
+    fn save(&self, enc: &mut Encoder) {
+        self.front_end.save(enc);
+        self.benchmark.save(enc);
+        self.policy.save(enc);
+        self.config.save(enc);
+        enc.put_usize(self.queue_depth);
+        self.sched.save(enc);
+        enc.put_bool(self.traced);
+    }
+
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, SnapError> {
+        Ok(Header {
+            front_end: FrontEndKind::load(dec)?,
+            benchmark: String::load(dec)?,
+            policy: PolicyKind::load(dec)?,
+            config: ExperimentConfig::load(dec)?,
+            queue_depth: dec.take_usize()?,
+            sched: Option::<SchedShape>::load(dec)?,
+            traced: dec.take_bool()?,
+        })
+    }
+}
+
+/// Observers that can snapshot their recording state alongside the
+/// engine. [`NullObserver`] has none; a [`Recorder`] checkpoints its
+/// event ring so a resumed traced run regenerates the identical stream.
+trait ObserverState: SimObserver {
+    fn save_obs(&self, enc: &mut Encoder);
+    fn restore_obs(&mut self, dec: &mut Decoder<'_>) -> Result<(), SnapError>;
+}
+
+impl ObserverState for NullObserver {
+    fn save_obs(&self, _enc: &mut Encoder) {}
+    fn restore_obs(&mut self, _dec: &mut Decoder<'_>) -> Result<(), SnapError> {
+        Ok(())
+    }
+}
+
+impl ObserverState for Recorder {
+    fn save_obs(&self, enc: &mut Encoder) {
+        self.save_state(enc);
+    }
+    fn restore_obs(&mut self, dec: &mut Decoder<'_>) -> Result<(), SnapError> {
+        self.restore_state(dec)
+    }
+}
+
+fn write_checkpoint(path: &Path, sealed: &[u8]) -> Result<(), Error> {
+    vrl_snap::write_atomic(path, sealed).map_err(Error::Snapshot)
+}
+
+/// Dispatches over [`PolicyKind`] with the concrete policy bound in
+/// scope, so the generic drive functions monomorphize per policy.
+macro_rules! with_policy {
+    ($kind:expr, $plan:expr, |$p:ident| $body:expr) => {
+        match $kind {
+            PolicyKind::Auto => {
+                let $p = AutoRefresh::new(64.0);
+                $body
+            }
+            PolicyKind::Raidr => {
+                let $p = $plan.raidr();
+                $body
+            }
+            PolicyKind::Vrl => {
+                let $p = $plan.vrl();
+                $body
+            }
+            PolicyKind::VrlAccess => {
+                let $p = $plan.vrl_access();
+                $body
+            }
+        }
+    };
+}
+
+/// One checkpoint payload: header, resume point, engine state, observer
+/// state — sealed into the versioned, checksummed envelope.
+fn seal_payload(
+    header: &Header,
+    stop: u64,
+    consumed: u64,
+    engine: impl FnOnce(&mut Encoder),
+    observer: &impl ObserverState,
+) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    header.save(&mut enc);
+    enc.put_u64(stop);
+    enc.put_u64(consumed);
+    engine(&mut enc);
+    observer.save_obs(&mut enc);
+    vrl_snap::seal(&enc.into_bytes())
+}
+
+impl Experiment {
+    /// [`Experiment::run_policy`] with crash-consistent checkpoints: the
+    /// single-bank simulator pauses every
+    /// [`CheckpointConfig::every_cycles`] and atomically snapshots its
+    /// full state to [`CheckpointConfig::path`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownWorkload`] for an unknown benchmark and
+    /// [`Error::Snapshot`] for a zero cadence or a failed write.
+    pub fn run_policy_checkpointed(
+        &self,
+        kind: PolicyKind,
+        benchmark: &str,
+        ckpt: &CheckpointConfig,
+    ) -> Result<CheckpointOutcome<SimStats>, Error> {
+        ckpt.validated()?;
+        let header = Header {
+            front_end: FrontEndKind::Sim,
+            benchmark: benchmark.to_owned(),
+            policy: kind,
+            config: *self.config(),
+            queue_depth: 0,
+            sched: None,
+            traced: false,
+        };
+        let trace = self.trace(benchmark)?;
+        with_policy!(kind, self.plan(), |p| {
+            let mut sim = Simulator::new(SimConfig::with_rows(self.config().rows), p);
+            drive_sim(
+                &mut sim,
+                trace,
+                &header,
+                ckpt,
+                ckpt.every_cycles,
+                0,
+                0,
+                &mut NullObserver,
+            )
+        })
+    }
+
+    /// [`Experiment::run_frfcfs`] with crash-consistent checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// See [`Experiment::run_policy_checkpointed`]; additionally
+    /// [`Error::Sim`] for an invalid queue depth.
+    pub fn run_frfcfs_checkpointed(
+        &self,
+        kind: PolicyKind,
+        benchmark: &str,
+        queue_depth: usize,
+        ckpt: &CheckpointConfig,
+    ) -> Result<CheckpointOutcome<ControllerStats>, Error> {
+        ckpt.validated()?;
+        let header = Header {
+            front_end: FrontEndKind::FrFcfs,
+            benchmark: benchmark.to_owned(),
+            policy: kind,
+            config: *self.config(),
+            queue_depth,
+            sched: None,
+            traced: false,
+        };
+        let trace = self.trace(benchmark)?;
+        with_policy!(kind, self.plan(), |p| {
+            let mut ctl =
+                FrFcfsController::new(SimConfig::with_rows(self.config().rows), p, queue_depth)?;
+            drive_frfcfs(
+                &mut ctl,
+                trace,
+                &header,
+                ckpt,
+                ckpt.every_cycles,
+                0,
+                None,
+                &mut NullObserver,
+            )
+        })
+    }
+
+    /// [`Experiment::run_scheduled`] with crash-consistent checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// See [`Experiment::run_policy_checkpointed`]; additionally
+    /// [`Error::Sim`] for a scheduler configuration failure.
+    pub fn run_scheduled_checkpointed(
+        &self,
+        kind: PolicyKind,
+        benchmark: &str,
+        sched: SchedConfig,
+        ckpt: &CheckpointConfig,
+    ) -> Result<CheckpointOutcome<SchedStats>, Error> {
+        ckpt.validated()?;
+        let header = Header {
+            front_end: FrontEndKind::Sched,
+            benchmark: benchmark.to_owned(),
+            policy: kind,
+            config: *self.config(),
+            queue_depth: 0,
+            sched: Some(SchedShape::of(&sched)),
+            traced: false,
+        };
+        let trace = self.trace(benchmark)?;
+        with_policy!(kind, self.plan(), |p| {
+            let mut engine = Scheduler::new(sched, p)?;
+            drive_sched(
+                &mut engine,
+                trace,
+                &header,
+                ckpt,
+                ckpt.every_cycles,
+                0,
+                None,
+                &mut NullObserver,
+            )
+            .map(|out| out.map_stats())
+        })
+    }
+
+    /// [`Experiment::run_scheduled_traced`] with crash-consistent
+    /// checkpoints: the recorder's event ring is part of the snapshot,
+    /// so a resumed traced run produces the identical event stream.
+    ///
+    /// # Errors
+    ///
+    /// See [`Experiment::run_scheduled_checkpointed`].
+    pub fn run_scheduled_traced_checkpointed(
+        &self,
+        kind: PolicyKind,
+        benchmark: &str,
+        sched: SchedConfig,
+        ckpt: &CheckpointConfig,
+    ) -> Result<CheckpointOutcome<(SchedStats, EventStream)>, Error> {
+        ckpt.validated()?;
+        let header = Header {
+            front_end: FrontEndKind::Sched,
+            benchmark: benchmark.to_owned(),
+            policy: kind,
+            config: *self.config(),
+            queue_depth: 0,
+            sched: Some(SchedShape::of(&sched)),
+            traced: true,
+        };
+        let trace = self.trace(benchmark)?;
+        let mut recorder = Recorder::new(benchmark, kind.name(), sched.rows_per_bank());
+        let outcome = with_policy!(kind, self.plan(), |p| {
+            let mut engine = Scheduler::new(sched, p)?;
+            drive_sched(
+                &mut engine,
+                trace,
+                &header,
+                ckpt,
+                ckpt.every_cycles,
+                0,
+                None,
+                &mut recorder,
+            )?
+        });
+        Ok(match outcome {
+            SchedOutcome::Completed(stats) => {
+                CheckpointOutcome::Completed((stats, recorder.finish()))
+            }
+            SchedOutcome::Halted { checkpoints } => CheckpointOutcome::Halted { checkpoints },
+        })
+    }
+}
+
+/// Scheduler drive outcome before the traced/untraced split. A
+/// short-lived return value, so the stats stay unboxed despite the
+/// variant size gap.
+#[allow(clippy::large_enum_variant)]
+enum SchedOutcome {
+    Completed(SchedStats),
+    Halted { checkpoints: u32 },
+}
+
+impl SchedOutcome {
+    fn map_stats(self) -> CheckpointOutcome<SchedStats> {
+        match self {
+            SchedOutcome::Completed(s) => CheckpointOutcome::Completed(s),
+            SchedOutcome::Halted { checkpoints } => CheckpointOutcome::Halted { checkpoints },
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drive_sim<P, I, O>(
+    sim: &mut Simulator<P>,
+    trace: I,
+    header: &Header,
+    ckpt: &CheckpointConfig,
+    mut stop: u64,
+    mut consumed: u64,
+    mut written: u32,
+    observer: &mut O,
+) -> Result<CheckpointOutcome<SimStats>, Error>
+where
+    P: vrl_dram_sim::policy::RefreshPolicy + PolicyState,
+    I: Iterator<Item = TraceRecord>,
+    O: ObserverState,
+{
+    let end = vrl_dram_sim::TimingParams::paper_default().ms_to_cycles(header.config.duration_ms);
+    let mut trace = trace.peekable();
+    loop {
+        let span_end = stop.min(end);
+        consumed += sim.run_span_observed(&mut trace, span_end, observer);
+        if span_end >= end {
+            return Ok(CheckpointOutcome::Completed(
+                sim.finish_observed(end, observer),
+            ));
+        }
+        let payload = seal_payload(
+            header,
+            span_end,
+            consumed,
+            |enc| sim.save_state(enc),
+            observer,
+        );
+        write_checkpoint(&ckpt.path, &payload)?;
+        written += 1;
+        if ckpt.halt_after.is_some_and(|k| written >= k) {
+            return Ok(CheckpointOutcome::Halted {
+                checkpoints: written,
+            });
+        }
+        stop = stop.saturating_add(ckpt.every_cycles);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drive_frfcfs<P, I, O>(
+    ctl: &mut FrFcfsController<P>,
+    trace: I,
+    header: &Header,
+    ckpt: &CheckpointConfig,
+    mut stop: u64,
+    mut written: u32,
+    cursor: Option<vrl_dram_sim::controller::ControllerCursor>,
+    observer: &mut O,
+) -> Result<CheckpointOutcome<ControllerStats>, Error>
+where
+    P: vrl_dram_sim::policy::RefreshPolicy + PolicyState,
+    I: Iterator<Item = TraceRecord>,
+    O: ObserverState,
+{
+    let end = vrl_dram_sim::TimingParams::paper_default().ms_to_cycles(header.config.duration_ms);
+    let mut cursor = cursor.unwrap_or_default();
+    let skip = cursor.pulled() as usize;
+    let mut trace = trace.take_while(|r| r.cycle < end).skip(skip).peekable();
+    loop {
+        let paused = ctl.run_span_observed(&mut cursor, &mut trace, end, stop, observer)?;
+        if !paused {
+            return Ok(CheckpointOutcome::Completed(ctl.finish(end)));
+        }
+        let payload = seal_payload(
+            header,
+            stop,
+            cursor.pulled(),
+            |enc| ctl.save_state(enc, &cursor),
+            observer,
+        );
+        write_checkpoint(&ckpt.path, &payload)?;
+        written += 1;
+        if ckpt.halt_after.is_some_and(|k| written >= k) {
+            return Ok(CheckpointOutcome::Halted {
+                checkpoints: written,
+            });
+        }
+        stop = stop.saturating_add(ckpt.every_cycles);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drive_sched<P, I, O>(
+    engine: &mut Scheduler<P>,
+    trace: I,
+    header: &Header,
+    ckpt: &CheckpointConfig,
+    mut stop: u64,
+    mut written: u32,
+    cursor: Option<vrl_sched::SchedCursor>,
+    observer: &mut O,
+) -> Result<SchedOutcome, Error>
+where
+    P: vrl_dram_sim::policy::RefreshPolicy + PolicyState,
+    I: Iterator<Item = TraceRecord>,
+    O: ObserverState,
+{
+    let end = vrl_dram_sim::TimingParams::paper_default().ms_to_cycles(header.config.duration_ms);
+    let mut cursor = cursor.unwrap_or_default();
+    let skip = cursor.pulled() as usize;
+    let mut trace = trace.take_while(|r| r.cycle < end).skip(skip).peekable();
+    loop {
+        let paused = engine.run_span_observed(&mut cursor, &mut trace, end, stop, observer)?;
+        if !paused {
+            return Ok(SchedOutcome::Completed(engine.finish(end)));
+        }
+        let payload = seal_payload(
+            header,
+            stop,
+            cursor.pulled(),
+            |enc| engine.save_state(enc, &cursor),
+            observer,
+        );
+        write_checkpoint(&ckpt.path, &payload)?;
+        written += 1;
+        if ckpt.halt_after.is_some_and(|k| written >= k) {
+            return Ok(SchedOutcome::Halted {
+                checkpoints: written,
+            });
+        }
+        stop = stop.saturating_add(ckpt.every_cycles);
+    }
+}
+
+/// The engine-specific statistics a resumed run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResumedStats {
+    /// Single-bank simulator statistics.
+    Sim(SimStats),
+    /// FR-FCFS controller statistics.
+    FrFcfs(ControllerStats),
+    /// Multi-bank scheduler statistics.
+    Sched(SchedStats),
+}
+
+/// The outcome of [`resume`].
+#[derive(Debug)]
+pub struct ResumeReport {
+    /// Which engine the snapshot came from.
+    pub front_end: FrontEndKind,
+    /// The benchmark the run simulates.
+    pub benchmark: String,
+    /// The refresh policy under test.
+    pub policy: PolicyKind,
+    /// How the continued run ended.
+    pub outcome: CheckpointOutcome<ResumedStats>,
+    /// The recorded event stream, for traced snapshots that ran to
+    /// completion.
+    pub events: Option<EventStream>,
+}
+
+/// Resumes a checkpointed run from `path` and drives it to completion
+/// (or to the next halt, if `ckpt` keeps checkpointing with
+/// [`CheckpointConfig::halt_after`] set).
+///
+/// The snapshot is self-contained: the experiment, trace, and engine are
+/// reconstructed from the header, the deterministic trace is skipped to
+/// the consumption point, and the engine state is restored — the
+/// continued run is bit-identical to one that never paused. Pass `ckpt`
+/// to keep writing checkpoints on the continued run (the cadence
+/// restarts from the snapshot's pause point), or `None` to run straight
+/// through.
+///
+/// # Errors
+///
+/// Returns [`Error::Snapshot`] for an unreadable, corrupt,
+/// version-mismatched, or differently-shaped snapshot.
+pub fn resume(path: &Path, ckpt: Option<&CheckpointConfig>) -> Result<ResumeReport, Error> {
+    let bytes = vrl_snap::read_file(path)?;
+    let payload = vrl_snap::open(&bytes)?;
+    let mut dec = Decoder::new(payload);
+    let header = Header::load(&mut dec)?;
+    let stop = dec.take_u64()?;
+    let consumed = dec.take_u64()?;
+
+    let experiment = Experiment::new(header.config);
+    let trace = experiment.trace(&header.benchmark)?;
+    // Continue checkpointing on the caller's cadence, or run straight
+    // through (a cadence past the horizon never pauses again).
+    let fallback = CheckpointConfig::new(path, u64::MAX);
+    let cont = ckpt.unwrap_or(&fallback);
+    cont.validated()?;
+    let next_stop = stop.saturating_add(cont.every_cycles);
+
+    match header.front_end {
+        FrontEndKind::Sim => with_policy!(header.policy, experiment.plan(), |p| {
+            let mut sim = Simulator::new(SimConfig::with_rows(header.config.rows), p);
+            sim.restore_state(&mut dec)?;
+            let trace = trace.skip(consumed as usize);
+            let outcome = drive_sim(
+                &mut sim,
+                trace,
+                &header,
+                cont,
+                next_stop,
+                consumed,
+                0,
+                &mut NullObserver,
+            )?;
+            Ok(ResumeReport {
+                front_end: header.front_end,
+                benchmark: header.benchmark.clone(),
+                policy: header.policy,
+                outcome: match outcome {
+                    CheckpointOutcome::Completed(s) => {
+                        CheckpointOutcome::Completed(ResumedStats::Sim(s))
+                    }
+                    CheckpointOutcome::Halted { checkpoints } => {
+                        CheckpointOutcome::Halted { checkpoints }
+                    }
+                },
+                events: None,
+            })
+        }),
+        FrontEndKind::FrFcfs => with_policy!(header.policy, experiment.plan(), |p| {
+            let mut ctl = FrFcfsController::new(
+                SimConfig::with_rows(header.config.rows),
+                p,
+                header.queue_depth,
+            )?;
+            let cursor = ctl.restore_state(&mut dec)?;
+            let outcome = drive_frfcfs(
+                &mut ctl,
+                trace,
+                &header,
+                cont,
+                next_stop,
+                0,
+                Some(cursor),
+                &mut NullObserver,
+            )?;
+            Ok(ResumeReport {
+                front_end: header.front_end,
+                benchmark: header.benchmark.clone(),
+                policy: header.policy,
+                outcome: match outcome {
+                    CheckpointOutcome::Completed(s) => {
+                        CheckpointOutcome::Completed(ResumedStats::FrFcfs(s))
+                    }
+                    CheckpointOutcome::Halted { checkpoints } => {
+                        CheckpointOutcome::Halted { checkpoints }
+                    }
+                },
+                events: None,
+            })
+        }),
+        FrontEndKind::Sched => {
+            let shape = header.sched.ok_or(Error::Snapshot(SnapError::Malformed {
+                what: "scheduler snapshot lacks its geometry".to_owned(),
+            }))?;
+            let sched_config = shape.to_config()?;
+            with_policy!(header.policy, experiment.plan(), |p| {
+                let mut engine = Scheduler::new(sched_config, p)?;
+                let cursor = engine.restore_state(&mut dec)?;
+                if header.traced {
+                    let mut recorder = Recorder::new(
+                        &header.benchmark,
+                        header.policy.name(),
+                        sched_config.rows_per_bank(),
+                    );
+                    recorder.restore_obs(&mut dec)?;
+                    let outcome = drive_sched(
+                        &mut engine,
+                        trace,
+                        &header,
+                        cont,
+                        next_stop,
+                        0,
+                        Some(cursor),
+                        &mut recorder,
+                    )?;
+                    let (outcome, events) = match outcome {
+                        SchedOutcome::Completed(s) => (
+                            CheckpointOutcome::Completed(ResumedStats::Sched(s)),
+                            Some(recorder.finish()),
+                        ),
+                        SchedOutcome::Halted { checkpoints } => {
+                            (CheckpointOutcome::Halted { checkpoints }, None)
+                        }
+                    };
+                    Ok(ResumeReport {
+                        front_end: header.front_end,
+                        benchmark: header.benchmark.clone(),
+                        policy: header.policy,
+                        outcome,
+                        events,
+                    })
+                } else {
+                    let outcome = drive_sched(
+                        &mut engine,
+                        trace,
+                        &header,
+                        cont,
+                        next_stop,
+                        0,
+                        Some(cursor),
+                        &mut NullObserver,
+                    )?;
+                    Ok(ResumeReport {
+                        front_end: header.front_end,
+                        benchmark: header.benchmark.clone(),
+                        policy: header.policy,
+                        outcome: outcome.map_stats().map_resumed(),
+                        events: None,
+                    })
+                }
+            })
+        }
+    }
+}
+
+impl CheckpointOutcome<SchedStats> {
+    fn map_resumed(self) -> CheckpointOutcome<ResumedStats> {
+        match self {
+            CheckpointOutcome::Completed(s) => CheckpointOutcome::Completed(ResumedStats::Sched(s)),
+            CheckpointOutcome::Halted { checkpoints } => CheckpointOutcome::Halted { checkpoints },
+        }
+    }
+}
+
+/// A matrix-level manifest for [`Experiment::compare_all`]-style sweeps:
+/// completed (benchmark × policy) cells are persisted atomically after
+/// every benchmark group, so an interrupted sweep resumes by re-running
+/// only the missing cells. The coarse granularity deliberately sidesteps
+/// engine-state capture for guarded/faulted runs (see DESIGN.md §12).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixManifest {
+    config: ExperimentConfig,
+    policies: Vec<PolicyKind>,
+    cells: Vec<MatrixCell>,
+}
+
+impl vrl_snap::Snapshot for MatrixCell {
+    fn save(&self, enc: &mut Encoder) {
+        self.benchmark.save(enc);
+        self.policy.save(enc);
+        self.stats.save(enc);
+    }
+
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, SnapError> {
+        Ok(MatrixCell {
+            benchmark: String::load(dec)?,
+            policy: PolicyKind::load(dec)?,
+            stats: SimStats::load(dec)?,
+        })
+    }
+}
+
+impl vrl_snap::Snapshot for MatrixManifest {
+    fn save(&self, enc: &mut Encoder) {
+        self.config.save(enc);
+        self.policies.save(enc);
+        self.cells.save(enc);
+    }
+
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, SnapError> {
+        Ok(MatrixManifest {
+            config: ExperimentConfig::load(dec)?,
+            policies: Vec::<PolicyKind>::load(dec)?,
+            cells: Vec::<MatrixCell>::load(dec)?,
+        })
+    }
+}
+
+impl MatrixManifest {
+    /// Completed cells, in completion order (benchmark-major).
+    pub fn cells(&self) -> &[MatrixCell] {
+        &self.cells
+    }
+}
+
+impl Experiment {
+    /// Runs the (benchmark × policy) matrix with a crash-consistent
+    /// manifest at `path`: after each benchmark's group of cells the
+    /// manifest is atomically rewritten, and a re-run against an
+    /// existing manifest re-simulates only the missing cells. Returns
+    /// the full matrix in benchmark-major order, bit-identical to
+    /// [`Experiment::run_matrix_with`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ResumeMismatch`] if the manifest belongs to a
+    /// different configuration or policy list, [`Error::Snapshot`] for
+    /// a corrupt manifest, and propagates simulation errors.
+    pub fn run_matrix_manifested(
+        &self,
+        cfg: &vrl_exec::ExecConfig,
+        policies: &[PolicyKind],
+        path: &Path,
+    ) -> Result<Vec<MatrixCell>, Error> {
+        let mut manifest = if path.exists() {
+            let bytes = vrl_snap::read_file(path)?;
+            let payload = vrl_snap::open(&bytes)?;
+            let manifest = MatrixManifest::load(&mut Decoder::new(payload))?;
+            if manifest.config != *self.config() {
+                return Err(Error::ResumeMismatch {
+                    what: "manifest experiment configuration differs".to_owned(),
+                });
+            }
+            if manifest.policies != policies {
+                return Err(Error::ResumeMismatch {
+                    what: "manifest policy list differs".to_owned(),
+                });
+            }
+            manifest
+        } else {
+            MatrixManifest {
+                config: *self.config(),
+                policies: policies.to_vec(),
+                cells: Vec::new(),
+            }
+        };
+        let done: std::collections::HashSet<(String, PolicyKind)> = manifest
+            .cells
+            .iter()
+            .map(|c| (c.benchmark.clone(), c.policy))
+            .collect();
+        for benchmark in vrl_trace::WorkloadSpec::BENCHMARKS {
+            let missing: Vec<PolicyKind> = policies
+                .iter()
+                .copied()
+                .filter(|&k| !done.contains(&(benchmark.to_owned(), k)))
+                .collect();
+            if missing.is_empty() {
+                continue;
+            }
+            let jobs: Vec<(&str, PolicyKind)> = missing.iter().map(|&k| (benchmark, k)).collect();
+            let cells = vrl_exec::map_ordered(cfg, &jobs, |_, &(benchmark, kind)| {
+                self.run_policy(kind, benchmark).map(|stats| MatrixCell {
+                    benchmark: benchmark.to_owned(),
+                    policy: kind,
+                    stats,
+                })
+            })
+            .map_err(Error::from)?;
+            manifest.cells.extend(cells);
+            let mut enc = Encoder::new();
+            manifest.save(&mut enc);
+            let sealed = vrl_snap::seal(&enc.into_bytes());
+            vrl_snap::write_atomic(path, &sealed)?;
+        }
+        // Return benchmark-major regardless of completion order.
+        let mut ordered = Vec::with_capacity(manifest.cells.len());
+        for benchmark in vrl_trace::WorkloadSpec::BENCHMARKS {
+            for &kind in policies {
+                let cell = manifest
+                    .cells
+                    .iter()
+                    .find(|c| c.benchmark == benchmark && c.policy == kind)
+                    .ok_or_else(|| Error::ResumeMismatch {
+                        what: format!("manifest is missing {benchmark}/{}", kind.name()),
+                    })?;
+                ordered.push(cell.clone());
+            }
+        }
+        Ok(ordered)
+    }
+}

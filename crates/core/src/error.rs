@@ -23,6 +23,20 @@ pub enum Error {
         /// The rendered panic payload.
         message: String,
     },
+    /// The execution engine lost a job's result (a pool bug: the job
+    /// neither returned nor panicked).
+    JobLost {
+        /// Index of the lost job.
+        job: usize,
+    },
+    /// A checkpoint could not be written, read, or decoded.
+    Snapshot(vrl_snap::SnapError),
+    /// A checkpoint exists and decodes, but belongs to a different run
+    /// (front end, benchmark, policy, or configuration differs).
+    ResumeMismatch {
+        /// What differed between the checkpoint and this invocation.
+        what: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -39,6 +53,13 @@ impl fmt::Display for Error {
             Error::WorkerPanic { job, message } => {
                 write!(f, "parallel worker panicked on job {job}: {message}")
             }
+            Error::JobLost { job } => {
+                write!(f, "pool bug: job {job} never produced a result")
+            }
+            Error::Snapshot(e) => write!(f, "checkpoint failed: {e}"),
+            Error::ResumeMismatch { what } => {
+                write!(f, "checkpoint belongs to a different run: {what}")
+            }
         }
     }
 }
@@ -47,7 +68,11 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Sim(e) => Some(e),
-            Error::UnknownWorkload { .. } | Error::WorkerPanic { .. } => None,
+            Error::Snapshot(e) => Some(e),
+            Error::UnknownWorkload { .. }
+            | Error::WorkerPanic { .. }
+            | Error::JobLost { .. }
+            | Error::ResumeMismatch { .. } => None,
         }
     }
 }
@@ -58,11 +83,18 @@ impl From<vrl_dram_sim::Error> for Error {
     }
 }
 
+impl From<vrl_snap::SnapError> for Error {
+    fn from(e: vrl_snap::SnapError) -> Self {
+        Error::Snapshot(e)
+    }
+}
+
 impl From<vrl_exec::ExecError<Error>> for Error {
     fn from(e: vrl_exec::ExecError<Error>) -> Self {
         match e {
             vrl_exec::ExecError::Job { error, .. } => error,
             vrl_exec::ExecError::Panic { job, message } => Error::WorkerPanic { job, message },
+            vrl_exec::ExecError::Lost { job } => Error::JobLost { job },
         }
     }
 }

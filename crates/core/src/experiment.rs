@@ -185,7 +185,7 @@ impl Experiment {
         Arc::clone(&self.plan)
     }
 
-    fn trace(&self, benchmark: &str) -> Result<vrl_trace::gen::Records, Error> {
+    pub(crate) fn trace(&self, benchmark: &str) -> Result<vrl_trace::gen::Records, Error> {
         let spec = WorkloadSpec::parsec(benchmark).ok_or_else(|| Error::UnknownWorkload {
             requested: benchmark.to_owned(),
             known: WorkloadSpec::BENCHMARKS

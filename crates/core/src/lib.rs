@@ -20,6 +20,13 @@
 //!   fault-injected runs with the optional runtime guard; the full
 //!   (benchmark × policy) matrix fans across the `vrl-exec` worker pool
 //!   with bit-identical results to the serial path,
+//! * [`checkpoint`] — crash-consistent checkpoint/resume: versioned,
+//!   checksummed snapshots of a run's full engine state written
+//!   atomically on a cycle cadence, resumable bit-identically on every
+//!   front end, plus a matrix-level manifest for interrupted sweeps,
+//! * [`supervise`] — supervised matrix execution (retry, virtual
+//!   deadline, quarantine, graceful degradation) bridged to typed
+//!   observability events and `exec.*` metrics,
 //! * [`error`] — typed errors for the harness APIs.
 //!
 //! # Quickstart
@@ -38,21 +45,27 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod checkpoint;
 pub mod error;
 pub mod experiment;
 pub mod mprsf;
 pub mod overhead;
 pub mod physics;
 pub mod plan;
+pub mod supervise;
 pub mod tau;
 pub mod vrt_adapt;
 
+pub use checkpoint::{
+    resume, CheckpointConfig, CheckpointOutcome, FrontEndKind, ResumeReport, ResumedStats,
+};
 pub use error::Error;
 pub use experiment::{
     ComparisonRow, Experiment, ExperimentConfig, FaultedOutcome, MatrixCell, PolicyKind,
 };
 pub use mprsf::{Mprsf, MprsfCalculator};
 pub use plan::RefreshPlan;
+pub use supervise::{supervisor_events_to_obs, supervisor_metrics, SupervisedMatrix};
 
 // Re-export the substrate crates so downstream users need one dependency.
 pub use vrl_area as area;

@@ -69,6 +69,20 @@ impl Default for BankState {
     }
 }
 
+impl vrl_snap::Snapshot for BankState {
+    fn save(&self, enc: &mut vrl_snap::Encoder) {
+        self.open_row.save(enc);
+        enc.put_u64(self.busy_until);
+    }
+
+    fn load(dec: &mut vrl_snap::Decoder<'_>) -> Result<Self, vrl_snap::SnapError> {
+        Ok(BankState {
+            open_row: <Option<u32>>::load(dec)?,
+            busy_until: dec.take_u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -12,6 +12,7 @@
 
 use std::collections::VecDeque;
 
+use vrl_snap::Snapshot as _;
 use vrl_trace::TraceRecord;
 
 use crate::bank::BankState;
@@ -35,6 +36,73 @@ pub struct ControllerStats {
     /// Cycles at which the full queue held back a pending arrival
     /// (each stalled cycle counted once).
     pub queue_stalls: u64,
+}
+
+/// The resumable position of a controller run: everything the scheduling
+/// loop keeps outside the controller itself. Snapshotting a run means
+/// saving the controller state plus this cursor; resuming regenerates
+/// the deterministic trace, skips [`ControllerCursor::pulled`] records,
+/// and continues the loop bit-identically.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ControllerCursor {
+    /// Requests admitted but not yet serviced.
+    queue: VecDeque<TraceRecord>,
+    /// The scheduling clock.
+    now: u64,
+    /// Last cycle reported as a queue stall (each counted once).
+    last_stall: Option<u64>,
+    /// Records consumed from the source trace so far.
+    pulled: u64,
+}
+
+impl ControllerCursor {
+    /// A cursor at the start of a run.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records consumed from the source trace so far (what a resumed run
+    /// must skip when regenerating the trace).
+    pub fn pulled(&self) -> u64 {
+        self.pulled
+    }
+}
+
+impl vrl_snap::Snapshot for ControllerCursor {
+    fn save(&self, enc: &mut vrl_snap::Encoder) {
+        let queued: Vec<TraceRecord> = self.queue.iter().copied().collect();
+        queued.save(enc);
+        enc.put_u64(self.now);
+        self.last_stall.save(enc);
+        enc.put_u64(self.pulled);
+    }
+
+    fn load(dec: &mut vrl_snap::Decoder<'_>) -> Result<Self, vrl_snap::SnapError> {
+        Ok(ControllerCursor {
+            queue: Vec::<TraceRecord>::load(dec)?.into(),
+            now: dec.take_u64()?,
+            last_stall: <Option<u64>>::load(dec)?,
+            pulled: dec.take_u64()?,
+        })
+    }
+}
+
+impl vrl_snap::Snapshot for ControllerStats {
+    fn save(&self, enc: &mut vrl_snap::Encoder) {
+        self.sim.save(enc);
+        enc.put_u64(self.reordered);
+        enc.put_usize(self.max_queue_depth);
+        enc.put_u64(self.queue_stalls);
+    }
+
+    fn load(dec: &mut vrl_snap::Decoder<'_>) -> Result<Self, vrl_snap::SnapError> {
+        Ok(ControllerStats {
+            sim: SimStats::load(dec)?,
+            reordered: dec.take_u64()?,
+            max_queue_depth: dec.take_usize()?,
+            queue_stalls: dec.take_u64()?,
+        })
+    }
 }
 
 /// An FR-FCFS scheduling front end over one bank.
@@ -116,53 +184,82 @@ impl<P: RefreshPolicy> FrFcfsController<P> {
     {
         let end = self.config.timing.ms_to_cycles(duration_ms);
         let mut trace = trace.take_while(|r| r.cycle < end).peekable();
-        let mut queue: VecDeque<TraceRecord> = VecDeque::new();
-        let mut now = 0u64;
-        let mut last_stall = None;
+        let mut cursor = ControllerCursor::new();
+        self.run_span_observed(&mut cursor, &mut trace, end, u64::MAX, observer)?;
+        Ok(self.finish(end))
+    }
 
+    /// Runs the scheduling loop until the clock reaches `stop_at` or all
+    /// work before `end` is exhausted — the checkpointing building block.
+    /// The pause point inserts no state change, so composing spans (with
+    /// [`FrFcfsController::finish`] at the end) is bit-identical to
+    /// [`FrFcfsController::run_observed`] by construction.
+    ///
+    /// Returns `true` if the run paused at `stop_at` with work remaining.
+    ///
+    /// # Errors
+    ///
+    /// See [`FrFcfsController::run`].
+    pub fn run_span_observed<I, O>(
+        &mut self,
+        cursor: &mut ControllerCursor,
+        trace: &mut std::iter::Peekable<I>,
+        end: u64,
+        stop_at: u64,
+        observer: &mut O,
+    ) -> Result<bool, Error>
+    where
+        I: Iterator<Item = TraceRecord>,
+        O: SimObserver,
+    {
         loop {
-            now = now.max(self.bank.ready_at(now));
+            cursor.now = cursor.now.max(self.bank.ready_at(cursor.now));
+            if cursor.now >= stop_at {
+                return Ok(true);
+            }
             // Admit arrivals that have happened by `now`.
-            while queue.len() < self.queue_depth {
+            while cursor.queue.len() < self.queue_depth {
                 match trace.peek() {
-                    Some(&r) if r.cycle <= now => {
+                    Some(&r) if r.cycle <= cursor.now => {
                         trace.next();
-                        queue.push_back(r);
+                        cursor.pulled += 1;
+                        cursor.queue.push_back(r);
                     }
                     _ => break,
                 }
             }
-            self.stats.max_queue_depth = self.stats.max_queue_depth.max(queue.len());
+            self.stats.max_queue_depth = self.stats.max_queue_depth.max(cursor.queue.len());
             // A full queue with an arrival already waiting is back
             // pressure; report each stalled cycle once.
-            if queue.len() == self.queue_depth
-                && trace.peek().is_some_and(|r| r.cycle <= now)
-                && last_stall != Some(now)
+            if cursor.queue.len() == self.queue_depth
+                && trace.peek().is_some_and(|r| r.cycle <= cursor.now)
+                && cursor.last_stall != Some(cursor.now)
             {
-                last_stall = Some(now);
+                cursor.last_stall = Some(cursor.now);
                 self.stats.queue_stalls += 1;
-                observer.on_queue_stall(now, queue.len());
+                observer.on_queue_stall(cursor.now, cursor.queue.len());
             }
 
             // Refresh-first: a due refresh (due <= now, due < end) runs
             // before queued demand. The wheel's pop is strictly-before,
             // so the horizon is one past `now`, capped at `end`.
-            let refresh_horizon = now.saturating_add(1).min(end);
+            let refresh_horizon = cursor.now.saturating_add(1).min(end);
             if let Some((due, row, _)) = self.refresh_queue.pop_due_before(refresh_horizon) {
-                self.execute_refresh(due, row, now, observer);
+                self.execute_refresh(due, row, cursor.now, observer);
                 continue;
             }
 
             // FR-FCFS pick among the queued requests.
-            if let Some(idx) = self.pick(&queue) {
+            if let Some(idx) = self.pick(&cursor.queue) {
                 if idx != 0 {
                     self.stats.reordered += 1;
                 }
-                let len = queue.len();
-                let record = queue
+                let len = cursor.queue.len();
+                let record = cursor
+                    .queue
                     .remove(idx)
                     .ok_or(Error::QueueIndexInvalid { index: idx, len })?;
-                self.service(record, now, observer);
+                self.service(record, cursor.now, observer);
                 continue;
             }
 
@@ -170,16 +267,57 @@ impl<P: RefreshPolicy> FrFcfsController<P> {
             let next_arrival = trace.peek().map(|r| r.cycle);
             let next_refresh = self.refresh_queue.next_due().filter(|&d| d < end);
             match [next_arrival, next_refresh].into_iter().flatten().min() {
-                Some(t) if t > now => now = t,
+                Some(t) if t > cursor.now => cursor.now = t,
                 // An event at or before `now` should have been admitted or
                 // executed above; reaching here means no handler consumed
                 // it and the loop would spin forever.
-                Some(_) => return Err(Error::SchedulerStalled { cycle: now }),
-                None => break,
+                Some(_) => return Err(Error::SchedulerStalled { cycle: cursor.now }),
+                None => return Ok(false),
             }
         }
+    }
+
+    /// Finalizes the statistics after the last span (the tail of
+    /// [`FrFcfsController::run_observed`]).
+    pub fn finish(&mut self, end: u64) -> ControllerStats {
         self.stats.sim.total_cycles = end.max(self.bank.busy_until());
-        Ok(self.stats.clone())
+        self.stats.clone()
+    }
+
+    /// Appends the controller's full run-state — bank FSM, refresh
+    /// timing-wheel, statistics, policy counters, and the scheduling
+    /// cursor — to `enc`, where `P` supports state capture.
+    pub fn save_state(&self, enc: &mut vrl_snap::Encoder, cursor: &ControllerCursor)
+    where
+        P: crate::policy::PolicyState,
+    {
+        self.bank.save(enc);
+        self.refresh_queue.save(enc);
+        self.stats.save(enc);
+        self.policy.save_state(enc);
+        cursor.save(enc);
+    }
+
+    /// Restores run-state captured by [`FrFcfsController::save_state`]
+    /// into a freshly-constructed controller of the same configuration,
+    /// returning the scheduling cursor to resume from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`vrl_snap::SnapError`] on truncated input or a snapshot
+    /// from a differently-shaped controller.
+    pub fn restore_state(
+        &mut self,
+        dec: &mut vrl_snap::Decoder<'_>,
+    ) -> Result<ControllerCursor, vrl_snap::SnapError>
+    where
+        P: crate::policy::PolicyState,
+    {
+        self.bank = BankState::load(dec)?;
+        self.refresh_queue = RefreshQueue::load(dec)?;
+        self.stats = ControllerStats::load(dec)?;
+        self.policy.restore_state(dec)?;
+        ControllerCursor::load(dec)
     }
 
     /// FR-FCFS: the oldest request hitting the open row, else the oldest.
@@ -316,6 +454,60 @@ mod tests {
                 .expect("valid depth");
         let c = controller.run(trace.into_iter(), 1.0).expect("run");
         assert_eq!(c.sim.accesses, 500);
+    }
+
+    #[test]
+    fn controller_snapshot_resume_is_bit_identical() {
+        use crate::policy::VrlAccess;
+        use crate::sim::NullObserver;
+        use vrl_retention::binning::BinningTable;
+        use vrl_retention::profile::BankProfile;
+
+        let bins =
+            BinningTable::from_profile(&BankProfile::from_rows(std::iter::repeat_n(300.0, 16), 32));
+        let config = SimConfig::with_rows(16);
+        let mk = || {
+            FrFcfsController::new(config, VrlAccess::new(bins.clone(), vec![3; 16]), 8)
+                .expect("valid depth")
+        };
+        let trace = thrash_trace();
+        let end = config.timing.ms_to_cycles(1.0);
+
+        let mut whole = mk();
+        let expected = whole.run(trace.clone().into_iter(), 1.0).expect("run");
+
+        // Run to an arbitrary mid-run cycle, snapshot, and "crash".
+        let mut first = mk();
+        let mut cursor = ControllerCursor::new();
+        let mut records = trace
+            .clone()
+            .into_iter()
+            .take_while(|r| r.cycle < end)
+            .peekable();
+        // Pause mid-trace (arrivals run to ~8000 cycles).
+        let paused = first
+            .run_span_observed(&mut cursor, &mut records, end, 4000, &mut NullObserver)
+            .expect("span");
+        assert!(paused, "pausing mid-trace must leave work");
+        let mut enc = vrl_snap::Encoder::new();
+        first.save_state(&mut enc, &cursor);
+        let bytes = enc.into_bytes();
+        drop(first);
+
+        // Resume into a fresh controller, skipping the pulled records.
+        let mut resumed = mk();
+        let mut dec = vrl_snap::Decoder::new(&bytes);
+        let mut cursor = resumed.restore_state(&mut dec).expect("restore");
+        dec.finish().expect("no trailing bytes");
+        let mut rest = trace
+            .into_iter()
+            .skip(cursor.pulled() as usize)
+            .take_while(|r| r.cycle < end)
+            .peekable();
+        resumed
+            .run_span_observed(&mut cursor, &mut rest, end, u64::MAX, &mut NullObserver)
+            .expect("resume");
+        assert_eq!(resumed.finish(end), expected);
     }
 
     #[test]

@@ -409,6 +409,78 @@ impl FaultInjector {
         changes
     }
 
+    /// Appends the injector's mutable run-state to `enc`: the RNG
+    /// stream position, the shared step clock, the temperature factor,
+    /// every VRT process's state, and the fault counters. The static
+    /// setup (which rows are optimistic/VRT, base retention) is
+    /// reconstructed deterministically by [`FaultInjector::new`] from the
+    /// same config and profile, so it is not serialized.
+    pub fn save_state(&self, enc: &mut vrl_snap::Encoder) {
+        use vrl_snap::Snapshot as _;
+        enc.put_u64(self.rng.state());
+        enc.put_u64(self.next_step);
+        enc.put_f64(self.temp_factor);
+        let vrt_states: Vec<Option<(bool, u64)>> = self
+            .vrt
+            .iter()
+            .map(|p| p.as_ref().map(|p| p.run_state()))
+            .collect();
+        vrt_states.save(enc);
+        enc.put_u64(self.stats.optimistic_rows);
+        enc.put_u64(self.stats.vrt_rows);
+        enc.put_u64(self.stats.vrt_toggles);
+        enc.put_u64(self.stats.temperature_steps);
+    }
+
+    /// Restores run-state captured by [`FaultInjector::save_state`] into
+    /// an injector freshly built with the same config and profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`vrl_snap::SnapError`] on truncated input or a snapshot
+    /// whose VRT row pattern does not match this injector's.
+    pub fn restore_state(
+        &mut self,
+        dec: &mut vrl_snap::Decoder<'_>,
+    ) -> Result<(), vrl_snap::SnapError> {
+        use rand::SeedableRng;
+        use vrl_snap::Snapshot as _;
+        let rng_state = dec.take_u64()?;
+        let next_step = dec.take_u64()?;
+        let temp_factor = dec.take_f64()?;
+        let vrt_states = Vec::<Option<(bool, u64)>>::load(dec)?;
+        if vrt_states.len() != self.vrt.len() {
+            return Err(vrl_snap::SnapError::Malformed {
+                what: format!(
+                    "injector has {} rows, snapshot has {}",
+                    self.vrt.len(),
+                    vrt_states.len()
+                ),
+            });
+        }
+        for (row, (slot, saved)) in self.vrt.iter_mut().zip(&vrt_states).enumerate() {
+            match (slot, saved) {
+                (Some(p), Some((weak, rng))) => p.restore_run_state(*weak, *rng),
+                (None, None) => {}
+                _ => {
+                    return Err(vrl_snap::SnapError::Malformed {
+                        what: format!("VRT presence mismatch at row {row}"),
+                    })
+                }
+            }
+        }
+        self.rng = StdRng::seed_from_u64(rng_state);
+        self.next_step = next_step;
+        self.temp_factor = temp_factor;
+        self.stats = FaultStats {
+            optimistic_rows: dec.take_u64()?,
+            vrt_rows: dec.take_u64()?,
+            vrt_toggles: dec.take_u64()?,
+            temperature_steps: dec.take_u64()?,
+        };
+        Ok(())
+    }
+
     /// Decides the fate of one due refresh command (overflow faults).
     pub fn refresh_disposition(&mut self, _row: u32, _due: u64) -> RefreshDisposition {
         let Some(o) = self.config.overflow else {
@@ -561,6 +633,60 @@ mod tests {
         }
         assert!((100..320).contains(&drops), "~20%: {drops}");
         assert!((80..320).contains(&delays), "~20% of the rest: {delays}");
+    }
+
+    #[test]
+    fn injector_state_round_trips_mid_run() {
+        let profile: Vec<f64> = (0..256).map(|i| 64.0 + i as f64).collect();
+        let cfg = FaultConfig {
+            overflow: Some(OverflowFault::default()),
+            temperature: Some(TemperatureFault::default()),
+            ..FaultConfig::default_scenario(42)
+        };
+        let mut live = FaultInjector::new(cfg, &profile, timing());
+        let half = timing().ms_to_cycles(256.0);
+        live.poll(half);
+        for i in 0..100 {
+            live.refresh_disposition(i % 256, u64::from(i));
+        }
+
+        let mut enc = vrl_snap::Encoder::new();
+        live.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut resumed = FaultInjector::new(cfg, &profile, timing());
+        let mut dec = vrl_snap::Decoder::new(&bytes);
+        resumed.restore_state(&mut dec).unwrap();
+        dec.finish().unwrap();
+
+        assert_eq!(resumed.stats(), live.stats());
+        assert_eq!(resumed.true_retention(), live.true_retention());
+        // Both continue bit-identically from the checkpoint.
+        let full = timing().ms_to_cycles(512.0);
+        assert_eq!(resumed.poll(full), live.poll(full));
+        for i in 0..100 {
+            assert_eq!(
+                resumed.refresh_disposition(i % 256, u64::from(i)),
+                live.refresh_disposition(i % 256, u64::from(i))
+            );
+        }
+    }
+
+    #[test]
+    fn injector_restore_rejects_mismatched_shape() {
+        let profile = vec![100.0; 64];
+        let cfg = FaultConfig::default_scenario(42);
+        let mut enc = vrl_snap::Encoder::new();
+        FaultInjector::new(cfg, &profile, timing()).save_state(&mut enc);
+        let bytes = enc.into_bytes();
+        // Different seed → different VRT row pattern (or different count).
+        let mut other = FaultInjector::new(FaultConfig::default(), &[100.0; 32], timing());
+        let err = other
+            .restore_state(&mut vrl_snap::Decoder::new(&bytes))
+            .unwrap_err();
+        assert!(
+            matches!(err, vrl_snap::SnapError::Malformed { .. }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -54,11 +54,12 @@ pub mod stats;
 pub mod timing;
 pub mod wheel;
 
+pub use controller::{ControllerCursor, ControllerStats, FrFcfsController};
 pub use error::Error;
 pub use fault::{FaultConfig, FaultInjector};
 pub use guard::{Guard, GuardConfig, GuardStats};
 pub use policy::{
-    AdaptivePolicy, AutoRefresh, DegradeAction, Raidr, RefreshPolicy, Vrl, VrlAccess,
+    AdaptivePolicy, AutoRefresh, DegradeAction, PolicyState, Raidr, RefreshPolicy, Vrl, VrlAccess,
 };
 pub use sim::{SimConfig, Simulator};
 pub use stats::{SimStats, Throughput};

@@ -6,6 +6,7 @@
 //! what should happen when an access activates a row.
 
 use vrl_retention::binning::{BinningTable, RefreshBin};
+use vrl_snap::{Decoder, Encoder, SnapError, Snapshot as _};
 
 use crate::timing::RefreshLatency;
 
@@ -55,6 +56,67 @@ pub trait AdaptivePolicy: RefreshPolicy {
     fn degrade(&mut self, row: u32) -> DegradeAction;
 }
 
+/// A policy whose mutable run-state can be checkpointed and restored.
+///
+/// `save_state` captures only what a run mutates (partial-refresh
+/// counters, degradation-ladder positions); the static plan (the profile,
+/// the MPRSF assignment, the initial binning) is reconstructed
+/// deterministically from the experiment configuration on resume, then
+/// `restore_state` replays the mutable deltas on top. Restoration is
+/// monotone like the ladder itself: a snapshot that would *promote* a row
+/// (regain a cheaper configuration) is rejected as malformed.
+pub trait PolicyState {
+    /// Appends the policy's mutable run-state to `enc`.
+    fn save_state(&self, enc: &mut Encoder);
+
+    /// Restores run-state captured by [`PolicyState::save_state`] into a
+    /// freshly-constructed policy of the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] on truncated input or state that does not
+    /// fit this policy (wrong row count, promoted bins).
+    fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), SnapError>;
+}
+
+/// Encodes a binning table as one period code per row (`period / 64 ms`).
+fn save_bins(bins: &BinningTable, enc: &mut Encoder) {
+    let codes: Vec<u8> = (0..bins.total_rows())
+        .map(|r| (bins.bin_of(r).period_ms() / 64.0) as u8)
+        .collect();
+    codes.save(enc);
+}
+
+/// Restores per-row bins by demoting each row down to its saved code
+/// (bins only ever demote, so the saved code is reachable iff it is at
+/// or below the freshly-constructed one).
+fn restore_bins(bins: &mut BinningTable, dec: &mut Decoder<'_>) -> Result<(), SnapError> {
+    let codes = Vec::<u8>::load(dec)?;
+    if codes.len() != bins.total_rows() {
+        return Err(SnapError::Malformed {
+            what: format!(
+                "binning table has {} rows, snapshot has {}",
+                bins.total_rows(),
+                codes.len()
+            ),
+        });
+    }
+    for (row, &code) in codes.iter().enumerate() {
+        loop {
+            let current = (bins.bin_of(row).period_ms() / 64.0) as u8;
+            if current == code {
+                break;
+            }
+            if current < code || bins.demote(row).is_none() {
+                return Err(SnapError::Malformed {
+                    what: format!("row {row} bin code {code} unreachable from {current}"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Fixed-period refresh of every row (the JEDEC baseline): every row is
 /// fully refreshed every `period_ms` (typically 64 ms).
 #[derive(Debug, Clone, PartialEq)]
@@ -93,6 +155,15 @@ impl AdaptivePolicy for AutoRefresh {
     /// period; there is nothing left to give up.
     fn degrade(&mut self, _row: u32) -> DegradeAction {
         DegradeAction::AtFloor
+    }
+}
+
+impl PolicyState for AutoRefresh {
+    /// AutoRefresh mutates nothing at run time.
+    fn save_state(&self, _enc: &mut Encoder) {}
+
+    fn restore_state(&mut self, _dec: &mut Decoder<'_>) -> Result<(), SnapError> {
+        Ok(())
     }
 }
 
@@ -136,6 +207,16 @@ impl AdaptivePolicy for Raidr {
             Some(bin) => DegradeAction::BinDemoted(bin),
             None => DegradeAction::AtFloor,
         }
+    }
+}
+
+impl PolicyState for Raidr {
+    fn save_state(&self, enc: &mut Encoder) {
+        save_bins(&self.bins, enc);
+    }
+
+    fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), SnapError> {
+        restore_bins(&mut self.bins, dec)
     }
 }
 
@@ -225,6 +306,33 @@ impl AdaptivePolicy for Vrl {
     }
 }
 
+impl PolicyState for Vrl {
+    fn save_state(&self, enc: &mut Encoder) {
+        save_bins(&self.bins, enc);
+        self.mprsf.save(enc);
+        self.rcount.save(enc);
+    }
+
+    fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), SnapError> {
+        restore_bins(&mut self.bins, dec)?;
+        let mprsf = Vec::<u8>::load(dec)?;
+        let rcount = Vec::<u8>::load(dec)?;
+        if mprsf.len() != self.mprsf.len() || rcount.len() != self.rcount.len() {
+            return Err(SnapError::Malformed {
+                what: format!(
+                    "policy has {} rows, snapshot has {}/{}",
+                    self.mprsf.len(),
+                    mprsf.len(),
+                    rcount.len()
+                ),
+            });
+        }
+        self.mprsf = mprsf;
+        self.rcount = rcount;
+        Ok(())
+    }
+}
+
 /// VRL-Access: VRL plus the access optimization — a read/write activation
 /// fully restores the row, so `rcount` is reset to 0 (Section 3.2).
 #[derive(Debug, Clone, PartialEq)]
@@ -272,6 +380,16 @@ impl RefreshPolicy for VrlAccess {
 impl AdaptivePolicy for VrlAccess {
     fn degrade(&mut self, row: u32) -> DegradeAction {
         self.inner.degrade(row)
+    }
+}
+
+impl PolicyState for VrlAccess {
+    fn save_state(&self, enc: &mut Encoder) {
+        self.inner.save_state(enc);
+    }
+
+    fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), SnapError> {
+        self.inner.restore_state(dec)
     }
 }
 
@@ -374,6 +492,56 @@ mod tests {
         assert_eq!(p.rcount(0), 1);
         p.degrade(0);
         assert_eq!(p.rcount(0), 0);
+    }
+
+    #[test]
+    fn policy_state_round_trips_counters_and_demotions() {
+        let mut p = Vrl::new(bins(4), vec![3, 3, 3, 3]);
+        // Mutate everything a run can mutate: counters and the ladder.
+        p.refresh_kind(0);
+        p.refresh_kind(0);
+        p.refresh_kind(2);
+        p.degrade(3); // mprsf 3 → 1
+        p.degrade(3); // mprsf 1 → 0
+        p.degrade(3); // bin 256 → 192
+
+        let mut enc = Encoder::new();
+        p.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+
+        let mut fresh = Vrl::new(bins(4), vec![3, 3, 3, 3]);
+        let mut dec = Decoder::new(&bytes);
+        fresh.restore_state(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(fresh, p);
+        // And the restored policy schedules identically.
+        assert_eq!(fresh.refresh_kind(0), p.refresh_kind(0));
+        assert_eq!(fresh.refresh_kind(3), p.refresh_kind(3));
+    }
+
+    #[test]
+    fn policy_state_rejects_promotion() {
+        let mut demoted = Raidr::new(bins(4));
+        // Fresh bins for row 3 are the 256 ms bin; snapshot of the fresh
+        // table cannot restore into a table already demoted below it.
+        let mut enc = Encoder::new();
+        Raidr::new(bins(4)).save_state(&mut enc);
+        demoted.degrade(3);
+        let bytes = enc.into_bytes();
+        let err = demoted
+            .restore_state(&mut Decoder::new(&bytes))
+            .unwrap_err();
+        assert!(matches!(err, SnapError::Malformed { .. }), "{err}");
+    }
+
+    #[test]
+    fn policy_state_rejects_row_count_mismatch() {
+        let mut enc = Encoder::new();
+        Vrl::new(bins(2), vec![1, 1]).save_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut other = Vrl::new(bins(4), vec![1, 1, 1, 1]);
+        let err = other.restore_state(&mut Decoder::new(&bytes)).unwrap_err();
+        assert!(matches!(err, SnapError::Malformed { .. }), "{err}");
     }
 
     #[test]

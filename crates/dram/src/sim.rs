@@ -301,14 +301,47 @@ impl<P: RefreshPolicy> Simulator<P> {
         O: SimObserver,
     {
         let end = self.config.timing.ms_to_cycles(duration_ms);
-        for record in trace {
-            if record.cycle >= end {
+        let mut trace = trace.peekable();
+        self.run_span_observed(&mut trace, end, observer);
+        self.finish_observed(end, observer)
+    }
+
+    /// Services every trace record with `cycle < span_end`, then pauses
+    /// without finalizing — the checkpointing building block. Span
+    /// boundaries only decide where consumption pauses; the sequence of
+    /// simulated operations is identical to an unsegmented run, so
+    /// composing spans (with [`Simulator::finish_observed`] at the end)
+    /// is bit-identical to [`Simulator::run_observed`] by construction.
+    ///
+    /// Returns the number of records consumed (what a resumed run must
+    /// skip when regenerating a deterministic trace).
+    pub fn run_span_observed<I, O>(
+        &mut self,
+        trace: &mut std::iter::Peekable<I>,
+        span_end: u64,
+        observer: &mut O,
+    ) -> u64
+    where
+        I: Iterator<Item = TraceRecord>,
+        O: SimObserver,
+    {
+        let mut consumed = 0;
+        while let Some(&record) = trace.peek() {
+            if record.cycle >= span_end {
                 break;
             }
+            trace.next();
+            consumed += 1;
             self.drain_refreshes(record.cycle, Some(record.cycle), observer);
             self.poll_faults(record.cycle, observer);
             self.service_access(record, observer);
         }
+        consumed
+    }
+
+    /// Drains the remaining refresh work up to `end` and finalizes the
+    /// statistics (the tail of [`Simulator::run_observed`]).
+    pub fn finish_observed<O: SimObserver>(&mut self, end: u64, observer: &mut O) -> SimStats {
         self.drain_refreshes(end, None, observer);
         self.poll_faults(end, observer);
         self.stats.total_cycles = end.max(self.bank.busy_until());
@@ -431,6 +464,66 @@ impl<P: RefreshPolicy> Simulator<P> {
             // folded into the next operation's activate path).
             self.bank.precharge();
         }
+    }
+}
+
+impl<P: RefreshPolicy + crate::policy::PolicyState> Simulator<P> {
+    /// Appends the simulator's full run-state — bank FSM, refresh
+    /// timing-wheel, statistics, policy counters, and fault-injector
+    /// streams — to `enc`. Restoring into a freshly-constructed
+    /// simulator of the same configuration resumes the run
+    /// bit-identically (guard state is *not* included; guarded runs
+    /// resume at the experiment-matrix level).
+    pub fn save_state(&self, enc: &mut vrl_snap::Encoder) {
+        use vrl_snap::Snapshot as _;
+        self.bank.save(enc);
+        self.refresh_queue.save(enc);
+        self.stats.save(enc);
+        self.policy.save_state(enc);
+        match &self.injector {
+            Some(inj) => {
+                enc.put_bool(true);
+                inj.save_state(enc);
+            }
+            None => enc.put_bool(false),
+        }
+    }
+
+    /// Restores run-state captured by [`Simulator::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`vrl_snap::SnapError`] on truncated input or a snapshot
+    /// taken from a differently-shaped simulator (row count, fault
+    /// injector presence).
+    pub fn restore_state(
+        &mut self,
+        dec: &mut vrl_snap::Decoder<'_>,
+    ) -> Result<(), vrl_snap::SnapError> {
+        use vrl_snap::Snapshot as _;
+        self.bank = BankState::load(dec)?;
+        self.refresh_queue = RefreshQueue::load(dec)?;
+        self.stats = SimStats::load(dec)?;
+        self.policy.restore_state(dec)?;
+        let has_injector = dec.take_bool()?;
+        match (self.injector.as_mut(), has_injector) {
+            (Some(inj), true) => inj.restore_state(dec)?,
+            (None, false) => {}
+            (have, _) => {
+                return Err(vrl_snap::SnapError::Malformed {
+                    what: format!(
+                        "snapshot {} a fault injector, simulator {}",
+                        if has_injector { "has" } else { "lacks" },
+                        if have.is_some() {
+                            "has one"
+                        } else {
+                            "lacks one"
+                        },
+                    ),
+                })
+            }
+        }
+        Ok(())
     }
 }
 
@@ -824,6 +917,98 @@ mod tests {
         let mut sim = Simulator::new(cfg, AutoRefresh::new(64.0));
         let s = sim.run(trace.into_iter(), 64.0);
         assert_eq!(s.total_refreshes(), 8, "one refresh per row per 64 ms");
+    }
+
+    #[test]
+    fn span_segmentation_is_bit_identical_to_one_run() {
+        let trace: Vec<TraceRecord> = (0..50_000u64)
+            .map(|i| TraceRecord::new(i * 1000, Op::Read, (i % 64) as u32))
+            .collect();
+        let bins = bins_all(300.0, 64);
+        let mk = || {
+            Simulator::new(
+                small_config(64).with_postpone_slack(64_000),
+                VrlAccess::new(bins.clone(), vec![3; 64]),
+            )
+        };
+        let mut whole = mk();
+        let expected = whole.run(trace.clone().into_iter(), 64.0);
+
+        let mut split = mk();
+        let end = small_config(64).timing.ms_to_cycles(64.0);
+        let mut records = trace.into_iter().peekable();
+        // Pause at several arbitrary (even record-free) boundaries.
+        for boundary in [1_000_000, 17_000_003, 17_000_004, 40_000_000, end] {
+            split.run_span_observed(&mut records, boundary, &mut NullObserver);
+        }
+        let got = split.finish_observed(end, &mut NullObserver);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn snapshot_resume_is_bit_identical() {
+        let trace: Vec<TraceRecord> = (0..50_000u64)
+            .map(|i| TraceRecord::new(i * 1000, Op::Read, (i % 64) as u32))
+            .collect();
+        let bins = bins_all(300.0, 64);
+        let profile: Vec<f64> = vec![300.0; 64];
+        let cfg = small_config(64).with_postpone_slack(64_000);
+        let mk = || {
+            let mut sim = Simulator::new(cfg, Vrl::new(bins.clone(), vec![3; 64]));
+            sim.set_fault_injector(FaultInjector::new(
+                crate::fault::FaultConfig {
+                    overflow: Some(crate::fault::OverflowFault::default()),
+                    ..crate::fault::FaultConfig::default_scenario(42)
+                },
+                &profile,
+                cfg.timing,
+            ));
+            sim
+        };
+        let mut whole = mk();
+        let expected = whole.run(trace.clone().into_iter(), 64.0);
+
+        // Run half, snapshot, and "crash".
+        let end = cfg.timing.ms_to_cycles(64.0);
+        let checkpoint_at = end / 3;
+        let mut first = mk();
+        let mut records = trace.clone().into_iter().peekable();
+        let consumed = first.run_span_observed(&mut records, checkpoint_at, &mut NullObserver);
+        let mut enc = vrl_snap::Encoder::new();
+        first.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+        drop(first);
+
+        // Resume into a fresh simulator, skipping the consumed records.
+        let mut resumed = mk();
+        let mut dec = vrl_snap::Decoder::new(&bytes);
+        resumed.restore_state(&mut dec).unwrap();
+        dec.finish().unwrap();
+        let mut rest = trace.into_iter().skip(consumed as usize).peekable();
+        resumed.run_span_observed(&mut rest, end, &mut NullObserver);
+        let got = resumed.finish_observed(end, &mut NullObserver);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_shape_mismatch() {
+        let mut with_injector = Simulator::new(small_config(8), AutoRefresh::new(64.0));
+        with_injector.set_fault_injector(FaultInjector::new(
+            crate::fault::FaultConfig::default(),
+            &[100.0; 8],
+            small_config(8).timing,
+        ));
+        let mut enc = vrl_snap::Encoder::new();
+        with_injector.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut plain = Simulator::new(small_config(8), AutoRefresh::new(64.0));
+        let err = plain
+            .restore_state(&mut vrl_snap::Decoder::new(&bytes))
+            .unwrap_err();
+        assert!(
+            matches!(err, vrl_snap::SnapError::Malformed { .. }),
+            "{err}"
+        );
     }
 
     #[test]

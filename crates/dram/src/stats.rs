@@ -115,6 +115,50 @@ impl SimStats {
     }
 }
 
+impl vrl_snap::Snapshot for SimStats {
+    fn save(&self, enc: &mut vrl_snap::Encoder) {
+        for v in [
+            self.total_cycles,
+            self.refresh_busy_cycles,
+            self.full_refreshes,
+            self.partial_refreshes,
+            self.accesses,
+            self.row_hits,
+            self.row_misses,
+            self.stall_cycles,
+            self.postponed_refreshes,
+            self.dropped_refreshes,
+            self.delayed_refreshes,
+            self.scrub_accesses,
+            self.scrub_busy_cycles,
+            self.corrected_errors,
+            self.uncorrected_errors,
+        ] {
+            enc.put_u64(v);
+        }
+    }
+
+    fn load(dec: &mut vrl_snap::Decoder<'_>) -> Result<Self, vrl_snap::SnapError> {
+        Ok(SimStats {
+            total_cycles: dec.take_u64()?,
+            refresh_busy_cycles: dec.take_u64()?,
+            full_refreshes: dec.take_u64()?,
+            partial_refreshes: dec.take_u64()?,
+            accesses: dec.take_u64()?,
+            row_hits: dec.take_u64()?,
+            row_misses: dec.take_u64()?,
+            stall_cycles: dec.take_u64()?,
+            postponed_refreshes: dec.take_u64()?,
+            dropped_refreshes: dec.take_u64()?,
+            delayed_refreshes: dec.take_u64()?,
+            scrub_accesses: dec.take_u64()?,
+            scrub_busy_cycles: dec.take_u64()?,
+            corrected_errors: dec.take_u64()?,
+            uncorrected_errors: dec.take_u64()?,
+        })
+    }
+}
+
 /// Simulation throughput over host wall-clock time
 /// ([`SimStats::throughput`]): the perf trajectory `bench_throughput`
 /// records across PRs.

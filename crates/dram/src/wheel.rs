@@ -169,6 +169,22 @@ impl RefreshQueue {
         }
     }
 
+    /// Every queued event, in no particular order — the snapshot
+    /// substrate. Rebuilding a queue by [`RefreshQueue::push`]-ing these
+    /// into a fresh wheel reproduces the exact pop order: expiry is
+    /// canonically `(due, row, original_due)` ascending regardless of
+    /// which internal level (ring, current bucket, overflow) an event
+    /// sat in when it was saved.
+    pub fn events(&self) -> Vec<RefreshEvent> {
+        let mut out = Vec::with_capacity(self.len());
+        out.extend(self.current.iter().map(|Reverse(e)| *e));
+        for slot in &self.ring {
+            out.extend_from_slice(slot);
+        }
+        out.extend_from_slice(&self.overflow);
+        out
+    }
+
     /// Moves overflow events that now fit the window into the ring (or
     /// straight into `current` when they land at/behind the cursor).
     fn migrate_overflow(&mut self) {
@@ -194,6 +210,21 @@ impl RefreshQueue {
         }
         self.overflow = kept;
         self.overflow_min = kept_min;
+    }
+}
+
+impl vrl_snap::Snapshot for RefreshQueue {
+    fn save(&self, enc: &mut vrl_snap::Encoder) {
+        self.events().save(enc);
+    }
+
+    fn load(dec: &mut vrl_snap::Decoder<'_>) -> Result<Self, vrl_snap::SnapError> {
+        let events = Vec::<RefreshEvent>::load(dec)?;
+        let mut q = RefreshQueue::new();
+        for (due, row, original_due) in events {
+            q.push(due, row, original_due);
+        }
+        Ok(q)
     }
 }
 
@@ -287,6 +318,34 @@ mod tests {
         let dues: Vec<u64> = order.iter().map(|e| e.0).collect();
         assert!(dues.windows(2).all(|w| w[0] <= w[1]), "{dues:?}");
         assert_eq!(order.len(), 6);
+    }
+
+    #[test]
+    fn snapshot_mid_drain_reproduces_pop_order() {
+        use vrl_snap::{Decoder, Encoder, Snapshot};
+        let mut q = RefreshQueue::new();
+        let period = 64_000_000u64;
+        for row in 0..32u32 {
+            let offset = (row as u64).wrapping_mul(2654435761) % period;
+            q.push(offset, row, offset);
+        }
+        // Advance mid-stream (cursor moves, some events re-queued late,
+        // one pushed past the window).
+        for _ in 0..40 {
+            let (_, row, orig) = q.pop_due_before(u64::MAX).expect("non-empty");
+            q.push(orig + period, row, orig + period);
+        }
+        q.push(NUM_BUCKETS as u64 * BUCKET_CYCLES * 2 + 5, 99, 1);
+
+        let mut enc = Encoder::new();
+        q.save(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let mut restored = RefreshQueue::load(&mut dec).expect("loads");
+        dec.finish().expect("fully consumed");
+
+        assert_eq!(restored.len(), q.len());
+        assert_eq!(drain_all(&mut restored), drain_all(&mut q));
     }
 
     #[test]

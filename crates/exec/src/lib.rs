@@ -124,6 +124,13 @@ pub enum ExecError<E> {
         /// The job's own error.
         error: E,
     },
+    /// The pool finished without ever producing a result for `job` — a
+    /// pool-logic bug (a dropped claim or an unwritten slot), surfaced as
+    /// a typed error instead of panicking the caller.
+    Lost {
+        /// Index of the job whose result slot was empty.
+        job: usize,
+    },
 }
 
 impl<E: fmt::Display> fmt::Display for ExecError<E> {
@@ -133,6 +140,9 @@ impl<E: fmt::Display> fmt::Display for ExecError<E> {
                 write!(f, "worker panicked on job {job}: {message}")
             }
             ExecError::Job { job, error } => write!(f, "job {job} failed: {error}"),
+            ExecError::Lost { job } => {
+                write!(f, "pool bug: job {job} never produced a result")
+            }
         }
     }
 }
@@ -288,10 +298,12 @@ where
     };
     let mut out = Vec::with_capacity(jobs);
     for (idx, slot) in slots.into_iter().enumerate() {
-        match slot.unwrap_or_else(|| panic!("job {idx} never ran")) {
-            Ok(v) => out.push(v),
-            // The lowest failing index is reached first in this scan.
-            Err(e) => return (Err(e), report),
+        match slot {
+            // The lowest failing index is reached first in this scan; an
+            // empty slot is a pool-logic failure at that index.
+            None => return (Err(ExecError::Lost { job: idx }), report),
+            Some(Ok(v)) => out.push(v),
+            Some(Err(e)) => return (Err(e), report),
         }
     }
     (Ok(out), report)
@@ -321,6 +333,358 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         s.clone()
     } else {
         "<non-string panic payload>".to_owned()
+    }
+}
+
+/// Supervision policy for [`map_supervised`]: bounded retry with
+/// deterministic backoff, per-job virtual deadlines, panic quarantine,
+/// and graceful degradation to serial execution.
+///
+/// Everything is *virtual-time* deterministic: backoffs are seeded
+/// hashes that are **recorded, never slept**, and deadlines are budgets
+/// of virtual ticks, not wall-clock timers. Each job's supervision is a
+/// pure function of the job index and this policy, so the supervised
+/// outcome (results, events, counters) is bit-identical across pool
+/// shapes — the same contract [`map_ordered`] upholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Supervisor {
+    /// Retries granted after a job's first panicking attempt (so a job
+    /// runs at most `1 + max_retries` times). Typed job errors
+    /// ([`ExecError::Job`]) are deterministic domain failures and are
+    /// quarantined immediately, never retried.
+    pub max_retries: u32,
+    /// Per-job virtual-tick budget; each attempt costs one tick and each
+    /// backoff costs its tick count. A retry that would exceed the budget
+    /// quarantines the job with a deadline event instead. `0` disables
+    /// the deadline.
+    pub virtual_deadline: u64,
+    /// Base backoff in virtual ticks; attempt `k` backs off roughly
+    /// `base · 2^(k−1)` ticks, jittered deterministically.
+    pub backoff_base: u64,
+    /// Seed for the backoff jitter hash.
+    pub backoff_seed: u64,
+    /// Panicking jobs tolerated before the batch degrades to serial
+    /// execution (`0` disables degradation). Degradation is decided
+    /// *after* the batch from the per-job outcomes, so the decision — and
+    /// every emitted event — is identical on any pool shape.
+    pub degrade_after: u32,
+}
+
+impl Supervisor {
+    /// A forgiving default: 2 retries, exponential backoff from 16
+    /// ticks, no deadline, degrade after 2 panicking jobs.
+    pub fn new() -> Self {
+        Supervisor {
+            max_retries: 2,
+            virtual_deadline: 0,
+            backoff_base: 16,
+            backoff_seed: 0x5eed_0bac_c0ff_ee00,
+            degrade_after: 2,
+        }
+    }
+
+    /// The deterministic backoff (in virtual ticks) before retry number
+    /// `attempt` of `job`: exponential in the attempt with a seeded
+    /// jitter of up to the base, never zero.
+    pub fn backoff(&self, job: usize, attempt: u32) -> u64 {
+        let base = self.backoff_base.max(1);
+        let window = base.saturating_mul(1u64 << attempt.min(16));
+        let mut h = self.backoff_seed ^ 0x9E37_79B9_7F4A_7C15;
+        for word in [job as u64, attempt as u64] {
+            h ^= word.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h = h.rotate_left(27).wrapping_mul(0x94D0_49BB_1331_11EB);
+        }
+        window / 2 + h % (window / 2).max(1) + 1
+    }
+}
+
+impl Default for Supervisor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One supervision decision, in job order within the batch. The
+/// observability layer maps these 1:1 onto typed trace events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SupervisorEvent {
+    /// Attempt `attempt` of `job` panicked; the job will run again after
+    /// a recorded (not slept) backoff of `backoff` virtual ticks.
+    Retry {
+        /// Index of the retried job.
+        job: usize,
+        /// The attempt number that failed (1-based).
+        attempt: u32,
+        /// Backoff charged to the job's virtual clock, in ticks.
+        backoff: u64,
+    },
+    /// The job's virtual clock exhausted [`Supervisor::virtual_deadline`]
+    /// before it succeeded.
+    DeadlineExceeded {
+        /// Index of the job.
+        job: usize,
+        /// Virtual ticks spent when the budget ran out.
+        spent: u64,
+    },
+    /// The job was removed from the batch; its siblings keep running and
+    /// the batch completes.
+    Quarantined {
+        /// Index of the quarantined job.
+        job: usize,
+        /// Attempts the job was given.
+        attempts: u32,
+        /// Whether the final failure was a panic (vs a typed job error).
+        panicked: bool,
+    },
+    /// Repeated pool failures degraded the batch to serial execution.
+    Degraded {
+        /// Panicking jobs observed when the batch degraded.
+        failures: u32,
+    },
+}
+
+/// Aggregate supervision counters for one batch, exported by the
+/// observability layer as `exec.*` metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisorCounters {
+    /// Retries granted across all jobs.
+    pub retries: u64,
+    /// Jobs quarantined.
+    pub quarantined: u64,
+    /// Jobs that hit their virtual deadline.
+    pub deadline_exceeded: u64,
+    /// Panicking attempts observed.
+    pub panics: u64,
+    /// 1 if the batch degraded to serial execution.
+    pub degraded: u64,
+}
+
+/// A job removed from a supervised batch, with its final failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quarantined<E> {
+    /// Index of the job.
+    pub job: usize,
+    /// Attempts the job was given.
+    pub attempts: u32,
+    /// The failure that ended supervision (a panic or a typed error).
+    pub error: ExecError<E>,
+}
+
+impl<E: fmt::Display> fmt::Display for Quarantined<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "job {} quarantined after {} attempt(s): {}",
+            self.job, self.attempts, self.error
+        )
+    }
+}
+
+impl<E: fmt::Debug + fmt::Display> std::error::Error for Quarantined<E> {}
+
+/// The outcome of one supervised batch: per-job results (quarantined
+/// jobs carry their typed failure in place), the supervision events in
+/// job order, aggregate counters, and the pool timing report.
+#[derive(Debug)]
+pub struct SupervisedBatch<T, E> {
+    /// One entry per job, in job order.
+    pub results: Vec<Result<T, Quarantined<E>>>,
+    /// Supervision events, ordered by job index (then occurrence), with
+    /// a trailing [`SupervisorEvent::Degraded`] if the batch degraded.
+    pub events: Vec<SupervisorEvent>,
+    /// Aggregate counters over `events`.
+    pub counters: SupervisorCounters,
+    /// Whether the batch degraded to serial execution.
+    pub degraded: bool,
+    /// Pool timings of the (final) pass.
+    pub report: PoolReport,
+}
+
+/// Runs one job under the supervision policy: retry on panic with
+/// deterministic backoff, quarantine on exhaustion, deadline on the
+/// virtual clock. Pure in `(sup, idx)` for a deterministic `f`.
+fn supervise_one<I, T, E, F>(
+    sup: &Supervisor,
+    f: &F,
+    idx: usize,
+    item: &I,
+) -> (Result<T, Quarantined<E>>, Vec<SupervisorEvent>)
+where
+    F: Fn(usize, &I) -> Result<T, E>,
+{
+    let mut events = Vec::new();
+    let mut spent: u64 = 0;
+    let mut attempt: u32 = 1;
+    loop {
+        spent += 1;
+        match run_one(f, idx, item) {
+            Ok(v) => return (Ok(v), events),
+            Err(error) => {
+                let panicked = matches!(error, ExecError::Panic { .. });
+                if panicked && attempt <= sup.max_retries {
+                    let backoff = sup.backoff(idx, attempt);
+                    if sup.virtual_deadline > 0 && spent + backoff > sup.virtual_deadline {
+                        events.push(SupervisorEvent::DeadlineExceeded { job: idx, spent });
+                        events.push(SupervisorEvent::Quarantined {
+                            job: idx,
+                            attempts: attempt,
+                            panicked,
+                        });
+                        return (
+                            Err(Quarantined {
+                                job: idx,
+                                attempts: attempt,
+                                error,
+                            }),
+                            events,
+                        );
+                    }
+                    spent += backoff;
+                    events.push(SupervisorEvent::Retry {
+                        job: idx,
+                        attempt,
+                        backoff,
+                    });
+                    attempt += 1;
+                    continue;
+                }
+                events.push(SupervisorEvent::Quarantined {
+                    job: idx,
+                    attempts: attempt,
+                    panicked,
+                });
+                return (
+                    Err(Quarantined {
+                        job: idx,
+                        attempts: attempt,
+                        error,
+                    }),
+                    events,
+                );
+            }
+        }
+    }
+}
+
+/// Like [`map_ordered`], but failures no longer abort the batch: each
+/// job runs under the [`Supervisor`] policy (panic retry with recorded
+/// backoff, virtual deadline, quarantine) and the batch always returns
+/// one entry per job. After the batch, if `sup.degrade_after` panicking
+/// jobs were seen (or the pool itself failed), the whole batch is re-run
+/// serially — per-job supervision is pure, so the serial pass reproduces
+/// the parallel pass bit for bit, and a [`SupervisorEvent::Degraded`]
+/// marker is appended.
+pub fn map_supervised<I, T, E, F>(
+    cfg: &ExecConfig,
+    sup: &Supervisor,
+    items: &[I],
+    f: F,
+) -> SupervisedBatch<T, E>
+where
+    I: Sync,
+    T: Send,
+    E: Send,
+    F: Fn(usize, &I) -> Result<T, E> + Sync,
+{
+    type JobOut<T, E> = (Result<T, Quarantined<E>>, Vec<SupervisorEvent>);
+
+    let run = |pool: &ExecConfig| {
+        map_ordered_report(pool, items, |idx, item| {
+            Ok::<JobOut<T, E>, std::convert::Infallible>(supervise_one(sup, &f, idx, item))
+        })
+    };
+
+    let (outcome, mut report) = run(cfg);
+    let mut degraded = false;
+    let mut outcome = match outcome {
+        Ok(v) => v,
+        // The pool itself failed (a lost slot — supervise_one never
+        // returns Err and absorbs panics). Degrade to a serial pass.
+        Err(_) => {
+            degraded = true;
+            let serial = ExecConfig::new(1).with_chunk(cfg.chunk);
+            let (retried, serial_report) = run(&serial);
+            report = serial_report;
+            retried.unwrap_or_else(|_| {
+                (0..items.len())
+                    .map(|job| {
+                        (
+                            Err(Quarantined {
+                                job,
+                                attempts: 0,
+                                error: ExecError::Lost { job },
+                            }),
+                            Vec::new(),
+                        )
+                    })
+                    .collect()
+            })
+        }
+    };
+
+    let panicking_jobs = outcome
+        .iter()
+        .filter(|(r, _)| {
+            matches!(
+                r,
+                Err(Quarantined {
+                    error: ExecError::Panic { .. },
+                    ..
+                })
+            )
+        })
+        .count() as u32;
+    if sup.degrade_after > 0 && panicking_jobs >= sup.degrade_after {
+        degraded = true;
+        // Re-run serially only if the first pass actually used threads;
+        // the per-job outcomes are pure, so this changes nothing
+        // observable beyond exercising the degraded (thread-free) path.
+        if report.workers > 1 {
+            let serial = ExecConfig::new(1).with_chunk(cfg.chunk);
+            let (retried, serial_report) = run(&serial);
+            if let Ok(v) = retried {
+                outcome = v;
+                report = serial_report;
+            }
+        }
+    }
+
+    let mut results = Vec::with_capacity(outcome.len());
+    let mut events = Vec::new();
+    for (result, job_events) in outcome {
+        results.push(result);
+        events.extend(job_events);
+    }
+    if degraded {
+        events.push(SupervisorEvent::Degraded {
+            failures: panicking_jobs,
+        });
+    }
+
+    let mut counters = SupervisorCounters::default();
+    for e in &events {
+        match e {
+            SupervisorEvent::Retry { .. } => {
+                counters.retries += 1;
+                counters.panics += 1;
+            }
+            SupervisorEvent::DeadlineExceeded { .. } => counters.deadline_exceeded += 1,
+            SupervisorEvent::Quarantined { panicked, .. } => {
+                counters.quarantined += 1;
+                if *panicked {
+                    counters.panics += 1;
+                }
+            }
+            SupervisorEvent::Degraded { .. } => counters.degraded = 1,
+        }
+    }
+
+    SupervisedBatch {
+        results,
+        events,
+        counters,
+        degraded,
+        report,
     }
 }
 
@@ -478,6 +842,194 @@ mod tests {
         let (out, report) = map_ordered_report(&cfg, &[1u8, 2], |_, &x| Ok::<_, Boom>(x));
         assert_eq!(out.expect("ok"), vec![1, 2]);
         assert_eq!(report.workers, 2);
+    }
+
+    #[test]
+    fn empty_slot_is_a_typed_lost_error() {
+        let e: ExecError<Boom> = ExecError::Lost { job: 4 };
+        assert!(e.to_string().contains("job 4"));
+        assert_eq!(e, ExecError::Lost { job: 4 });
+    }
+
+    fn flaky_supervisor() -> Supervisor {
+        Supervisor {
+            max_retries: 3,
+            virtual_deadline: 0,
+            backoff_base: 8,
+            backoff_seed: 42,
+            degrade_after: 0,
+        }
+    }
+
+    #[test]
+    fn supervised_retry_recovers_a_flaky_job() {
+        use std::sync::atomic::AtomicU32;
+        let failures: Vec<AtomicU32> = (0..8).map(|_| AtomicU32::new(0)).collect();
+        let items: Vec<usize> = (0..8).collect();
+        let batch = map_supervised(
+            &ExecConfig::new(1),
+            &flaky_supervisor(),
+            &items,
+            |idx, &x| {
+                // Job 3 panics on its first two attempts, then succeeds.
+                if idx == 3 && failures[idx].fetch_add(1, Ordering::SeqCst) < 2 {
+                    panic!("transient fault");
+                }
+                Ok::<_, Boom>(x * 2)
+            },
+        );
+        assert!(batch.results.iter().all(|r| r.is_ok()));
+        assert_eq!(batch.counters.retries, 2);
+        assert_eq!(batch.counters.quarantined, 0);
+        assert!(!batch.degraded);
+        let retries: Vec<_> = batch
+            .events
+            .iter()
+            .filter(|e| matches!(e, SupervisorEvent::Retry { job: 3, .. }))
+            .collect();
+        assert_eq!(retries.len(), 2);
+    }
+
+    #[test]
+    fn supervised_quarantine_keeps_the_batch_alive() {
+        for workers in [1, 4] {
+            let items: Vec<usize> = (0..16).collect();
+            let batch = map_supervised(
+                &ExecConfig::new(workers),
+                &flaky_supervisor(),
+                &items,
+                |idx, &x| {
+                    if idx == 5 {
+                        panic!("always broken");
+                    }
+                    if idx == 9 {
+                        return Err(Boom(9));
+                    }
+                    Ok(x + 1)
+                },
+            );
+            assert_eq!(batch.results.len(), 16);
+            for (idx, r) in batch.results.iter().enumerate() {
+                match idx {
+                    5 => {
+                        let q = r.as_ref().unwrap_err();
+                        assert_eq!(q.attempts, 4, "1 try + 3 retries");
+                        assert!(matches!(q.error, ExecError::Panic { job: 5, .. }));
+                    }
+                    9 => {
+                        let q = r.as_ref().unwrap_err();
+                        assert_eq!(q.attempts, 1, "typed errors are not retried");
+                        assert!(matches!(
+                            q.error,
+                            ExecError::Job {
+                                job: 9,
+                                error: Boom(9)
+                            }
+                        ));
+                    }
+                    _ => assert_eq!(*r.as_ref().unwrap(), idx + 1),
+                }
+            }
+            assert_eq!(batch.counters.quarantined, 2);
+            assert_eq!(batch.counters.retries, 3);
+        }
+    }
+
+    #[test]
+    fn supervised_events_are_bit_identical_across_pool_shapes() {
+        let items: Vec<usize> = (0..24).collect();
+        let run = |workers| {
+            map_supervised(
+                &ExecConfig::new(workers),
+                &Supervisor::new(),
+                &items,
+                |idx, &x| {
+                    if idx % 7 == 3 {
+                        panic!("deterministic failure at {idx}");
+                    }
+                    Ok::<_, Boom>(x * x)
+                },
+            )
+        };
+        let serial = run(1);
+        for workers in [2, 4, 8] {
+            let parallel = run(workers);
+            assert_eq!(parallel.events, serial.events, "workers={workers}");
+            assert_eq!(parallel.counters, serial.counters);
+            assert_eq!(parallel.degraded, serial.degraded);
+            for (a, b) in parallel.results.iter().zip(serial.results.iter()) {
+                assert_eq!(a.as_ref().ok(), b.as_ref().ok());
+                assert_eq!(a.as_ref().err(), b.as_ref().err());
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_deadline_quarantines_before_retries_run_out() {
+        let sup = Supervisor {
+            max_retries: 10,
+            virtual_deadline: 3, // one attempt + any backoff blows it
+            backoff_base: 8,
+            backoff_seed: 1,
+            degrade_after: 0,
+        };
+        let batch = map_supervised(&ExecConfig::new(1), &sup, &[0usize], {
+            |_, _| -> Result<u32, Boom> { panic!("never succeeds") }
+        });
+        assert_eq!(batch.counters.deadline_exceeded, 1);
+        assert_eq!(batch.counters.retries, 0);
+        let q = batch.results[0].as_ref().unwrap_err();
+        assert_eq!(q.attempts, 1);
+        assert!(matches!(
+            batch.events[0],
+            SupervisorEvent::DeadlineExceeded { job: 0, spent: 1 }
+        ));
+    }
+
+    #[test]
+    fn repeated_panics_degrade_to_serial() {
+        let sup = Supervisor {
+            max_retries: 0,
+            virtual_deadline: 0,
+            backoff_base: 4,
+            backoff_seed: 7,
+            degrade_after: 2,
+        };
+        let items: Vec<usize> = (0..12).collect();
+        for workers in [1, 4] {
+            let batch = map_supervised(&ExecConfig::new(workers), &sup, &items, |idx, &x| {
+                if idx == 2 || idx == 8 {
+                    panic!("hard fault");
+                }
+                Ok::<_, Boom>(x)
+            });
+            assert!(batch.degraded, "workers={workers}");
+            assert_eq!(batch.counters.degraded, 1);
+            assert!(matches!(
+                batch.events.last(),
+                Some(SupervisorEvent::Degraded { failures: 2 })
+            ));
+            // Healthy jobs still completed.
+            assert_eq!(
+                batch.results.iter().filter(|r| r.is_ok()).count(),
+                items.len() - 2
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_positive() {
+        let sup = Supervisor::new();
+        for job in 0..20 {
+            for attempt in 1..6 {
+                let b = sup.backoff(job, attempt);
+                assert!(b > 0);
+                assert_eq!(b, sup.backoff(job, attempt));
+            }
+        }
+        // Different jobs/attempts de-correlate.
+        assert_ne!(sup.backoff(1, 1), sup.backoff(2, 1));
+        assert_ne!(sup.backoff(1, 1), sup.backoff(1, 2));
     }
 
     #[test]

@@ -75,6 +75,30 @@ pub enum EventKind {
         /// Queue occupancy at the stalled cycle.
         depth: u32,
     },
+    /// The supervisor re-ran a panicked matrix job after a deterministic
+    /// backoff. For exec events, `cycle` carries the job index and `row`
+    /// is the row-less sentinel.
+    ExecRetry {
+        /// Which attempt is about to run (1 = first retry).
+        attempt: u32,
+        /// The recorded (never slept) backoff, in virtual ticks.
+        backoff: u32,
+    },
+    /// The supervisor gave up on a matrix job and quarantined its typed
+    /// error, keeping the rest of the matrix alive.
+    ExecQuarantine {
+        /// Total attempts the job was given.
+        attempts: u32,
+        /// Whether the final failure was a panic (vs a typed job error).
+        panicked: bool,
+    },
+    /// A job's virtual deadline expired before its retry budget did.
+    ExecDeadline,
+    /// Repeated pool failures degraded the matrix to serial execution.
+    ExecDegraded {
+        /// Panicking jobs that triggered the degradation.
+        failures: u32,
+    },
 }
 
 impl EventKind {
@@ -90,6 +114,10 @@ impl EventKind {
             EventKind::GuardDegrade(_) => "GuardDegrade",
             EventKind::FaultInjected { .. } => "FaultInjected",
             EventKind::QueueStall { .. } => "QueueStall",
+            EventKind::ExecRetry { .. } => "ExecRetry",
+            EventKind::ExecQuarantine { .. } => "ExecQuarantine",
+            EventKind::ExecDeadline => "ExecDeadline",
+            EventKind::ExecDegraded { .. } => "ExecDegraded",
         }
     }
 
@@ -117,6 +145,128 @@ pub struct Event {
     pub row: u32,
     /// What happened.
     pub kind: EventKind,
+}
+
+impl vrl_snap::Snapshot for DegradeStep {
+    fn save(&self, enc: &mut vrl_snap::Encoder) {
+        match *self {
+            DegradeStep::MprsfHalved(m) => {
+                enc.put_u8(0);
+                enc.put_u8(m);
+            }
+            DegradeStep::BinDemoted(period_ms) => {
+                enc.put_u8(1);
+                enc.put_u32(period_ms);
+            }
+            DegradeStep::AtFloor => enc.put_u8(2),
+        }
+    }
+
+    fn load(dec: &mut vrl_snap::Decoder<'_>) -> Result<Self, vrl_snap::SnapError> {
+        match dec.take_u8()? {
+            0 => Ok(DegradeStep::MprsfHalved(dec.take_u8()?)),
+            1 => Ok(DegradeStep::BinDemoted(dec.take_u32()?)),
+            2 => Ok(DegradeStep::AtFloor),
+            tag => Err(vrl_snap::SnapError::Malformed {
+                what: format!("unknown DegradeStep tag {tag}"),
+            }),
+        }
+    }
+}
+
+impl vrl_snap::Snapshot for EventKind {
+    fn save(&self, enc: &mut vrl_snap::Encoder) {
+        match *self {
+            EventKind::Activate => enc.put_u8(0),
+            EventKind::RefreshFull => enc.put_u8(1),
+            EventKind::RefreshPartial => enc.put_u8(2),
+            EventKind::RefreshPostponed => enc.put_u8(3),
+            EventKind::RefreshPullIn => enc.put_u8(4),
+            EventKind::GuardScrub => enc.put_u8(5),
+            EventKind::GuardDegrade(step) => {
+                enc.put_u8(6);
+                step.save(enc);
+            }
+            EventKind::FaultInjected { dropped } => {
+                enc.put_u8(7);
+                dropped.save(enc);
+            }
+            EventKind::QueueStall { depth } => {
+                enc.put_u8(8);
+                enc.put_u32(depth);
+            }
+            EventKind::ExecRetry { attempt, backoff } => {
+                enc.put_u8(9);
+                enc.put_u32(attempt);
+                enc.put_u32(backoff);
+            }
+            EventKind::ExecQuarantine { attempts, panicked } => {
+                enc.put_u8(10);
+                enc.put_u32(attempts);
+                panicked.save(enc);
+            }
+            EventKind::ExecDeadline => enc.put_u8(11),
+            EventKind::ExecDegraded { failures } => {
+                enc.put_u8(12);
+                enc.put_u32(failures);
+            }
+        }
+    }
+
+    fn load(dec: &mut vrl_snap::Decoder<'_>) -> Result<Self, vrl_snap::SnapError> {
+        Ok(match dec.take_u8()? {
+            0 => EventKind::Activate,
+            1 => EventKind::RefreshFull,
+            2 => EventKind::RefreshPartial,
+            3 => EventKind::RefreshPostponed,
+            4 => EventKind::RefreshPullIn,
+            5 => EventKind::GuardScrub,
+            6 => EventKind::GuardDegrade(DegradeStep::load(dec)?),
+            7 => EventKind::FaultInjected {
+                dropped: bool::load(dec)?,
+            },
+            8 => EventKind::QueueStall {
+                depth: dec.take_u32()?,
+            },
+            9 => EventKind::ExecRetry {
+                attempt: dec.take_u32()?,
+                backoff: dec.take_u32()?,
+            },
+            10 => EventKind::ExecQuarantine {
+                attempts: dec.take_u32()?,
+                panicked: bool::load(dec)?,
+            },
+            11 => EventKind::ExecDeadline,
+            12 => EventKind::ExecDegraded {
+                failures: dec.take_u32()?,
+            },
+            tag => {
+                return Err(vrl_snap::SnapError::Malformed {
+                    what: format!("unknown EventKind tag {tag}"),
+                })
+            }
+        })
+    }
+}
+
+impl vrl_snap::Snapshot for Event {
+    fn save(&self, enc: &mut vrl_snap::Encoder) {
+        enc.put_u64(self.seq);
+        enc.put_u64(self.cycle);
+        enc.put_u32(self.bank);
+        enc.put_u32(self.row);
+        self.kind.save(enc);
+    }
+
+    fn load(dec: &mut vrl_snap::Decoder<'_>) -> Result<Self, vrl_snap::SnapError> {
+        Ok(Event {
+            seq: dec.take_u64()?,
+            cycle: dec.take_u64()?,
+            bank: dec.take_u32()?,
+            row: dec.take_u32()?,
+            kind: EventKind::load(dec)?,
+        })
+    }
 }
 
 impl Event {
@@ -166,6 +316,53 @@ mod tests {
             EventKind::GuardDegrade(DegradeStep::AtFloor).name(),
             "GuardDegrade"
         );
+    }
+
+    #[test]
+    fn event_kinds_round_trip_through_the_codec() {
+        use vrl_snap::{Decoder, Encoder, SnapError, Snapshot as _};
+        let kinds = [
+            EventKind::Activate,
+            EventKind::RefreshFull,
+            EventKind::RefreshPartial,
+            EventKind::RefreshPostponed,
+            EventKind::RefreshPullIn,
+            EventKind::GuardScrub,
+            EventKind::GuardDegrade(DegradeStep::MprsfHalved(3)),
+            EventKind::GuardDegrade(DegradeStep::BinDemoted(192)),
+            EventKind::GuardDegrade(DegradeStep::AtFloor),
+            EventKind::FaultInjected { dropped: true },
+            EventKind::QueueStall { depth: 9 },
+            EventKind::ExecRetry {
+                attempt: 2,
+                backoff: 17,
+            },
+            EventKind::ExecQuarantine {
+                attempts: 3,
+                panicked: true,
+            },
+            EventKind::ExecDeadline,
+            EventKind::ExecDegraded { failures: 4 },
+        ];
+        for kind in kinds {
+            let event = Event {
+                seq: 7,
+                cycle: 1234,
+                bank: 2,
+                row: 70,
+                kind,
+            };
+            let mut enc = Encoder::new();
+            event.save(&mut enc);
+            let bytes = enc.into_bytes();
+            let back = Event::load(&mut Decoder::new(&bytes)).unwrap();
+            assert_eq!(back, event, "{kind:?} must round-trip");
+        }
+        // An unknown tag is a typed error, not a panic.
+        assert!(matches!(
+            EventKind::load(&mut Decoder::new(&[200])),
+            Err(SnapError::Malformed { .. })
+        ));
     }
 
     #[test]

@@ -2,9 +2,12 @@
 //!
 //! The vendored `serde_json` subset can only *serialise*, so validating
 //! exported documents (CLI `--validate`, CI schema checks) needs a
-//! reader. This parser covers the whole JSON grammar but is tuned for
-//! trust-but-verify use on our own exporters, not adversarial input:
-//! recursion depth is bounded only by the document.
+//! reader. This parser covers the whole JSON grammar and is hardened
+//! against hostile input: malformed or truncated documents surface as
+//! typed [`ParseError`]s with byte offsets, and nesting is capped at
+//! [`MAX_DEPTH`] so a `[[[[…` bomb cannot overflow the parse stack (the
+//! property tests in this module feed it random garbage and assert it
+//! never panics).
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -81,11 +84,17 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Deepest container nesting [`parse`] accepts. The exporters emit
+/// documents a handful of levels deep, so 128 is generous headroom while
+/// keeping the recursive descent comfortably inside the thread stack.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parse a complete JSON document (rejects trailing garbage).
 pub fn parse(input: &str) -> Result<JsonValue, ParseError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let value = p.value()?;
@@ -99,6 +108,7 @@ pub fn parse(input: &str) -> Result<JsonValue, ParseError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -107,6 +117,14 @@ impl Parser<'_> {
             offset: self.pos,
             message: message.to_string(),
         }
+    }
+
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.error(&format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
     }
 
     fn peek(&self) -> Option<u8> {
@@ -151,6 +169,13 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<JsonValue, ParseError> {
+        self.enter()?;
+        let value = self.object_body();
+        self.depth -= 1;
+        value
+    }
+
+    fn object_body(&mut self) -> Result<JsonValue, ParseError> {
         self.expect(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
@@ -179,6 +204,13 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<JsonValue, ParseError> {
+        self.enter()?;
+        let value = self.array_body();
+        self.depth -= 1;
+        value
+    }
+
+    fn array_body(&mut self) -> Result<JsonValue, ParseError> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -368,5 +400,101 @@ mod tests {
         serde::write_json_string("quote \" slash \\ newline \n tab \t", &mut doc);
         let v = parse(&doc).unwrap();
         assert_eq!(v.as_str(), Some("quote \" slash \\ newline \n tab \t"));
+    }
+
+    #[test]
+    fn depth_limit_is_a_typed_error_not_a_stack_overflow() {
+        // Exactly at the limit: fine.
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(parse(&ok).is_ok());
+        // One past the limit: typed error mentioning the cap.
+        let deep = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "got: {err}");
+        // A million-deep bomb must not blow the stack either.
+        let bomb = "[".repeat(1_000_000);
+        assert!(parse(&bomb).is_err());
+        // Mixed nesting counts both container kinds.
+        let mixed: String = (0..MAX_DEPTH + 1)
+            .map(|i| if i % 2 == 0 { "[" } else { "{\"k\":" })
+            .collect();
+        assert!(parse(&mixed).unwrap_err().message.contains("nesting"));
+    }
+
+    mod properties {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        /// Render a random byte vector as mostly-JSON-ish text: map each
+        /// byte into a small alphabet heavy on structural characters so
+        /// the parser's recursive paths actually get exercised instead of
+        /// failing at byte 0.
+        fn jsonish(bytes: &[u8]) -> String {
+            const ALPHABET: &[u8] = b"{}[]\",:\\0123456789.eE+- \tutrfalsn\n\"u00";
+            bytes
+                .iter()
+                .map(|&b| ALPHABET[b as usize % ALPHABET.len()] as char)
+                .collect()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(512))]
+
+            #[test]
+            fn malformed_input_never_panics(bytes in prop::collection::vec(0u8..=255, 0..200)) {
+                // Raw (possibly invalid UTF-8 → lossy) garbage.
+                let raw = String::from_utf8_lossy(&bytes).into_owned();
+                let _ = parse(&raw);
+                // Structural-character-heavy garbage.
+                let _ = parse(&jsonish(&bytes));
+            }
+
+            #[test]
+            fn truncation_never_panics(cut in 0usize..120, n in 1usize..6) {
+                // Build a valid nested document, truncate anywhere: every
+                // prefix must yield Ok or a typed error, never a panic.
+                let mut doc = String::new();
+                for _ in 0..n {
+                    doc.push_str("{\"events\":[{\"name\":\"Activate\",\"args\":{\"row\":1}},");
+                }
+                doc.push_str("null");
+                let cut = cut.min(doc.len());
+                let mut prefix = &doc[..cut];
+                // Don't split a multi-byte char (all ASCII here, but keep
+                // the guard in case the corpus changes).
+                while !doc.is_char_boundary(prefix.len()) {
+                    prefix = &doc[..prefix.len() - 1];
+                }
+                prop_assert!(parse(prefix).is_err() || prefix == "null");
+            }
+
+            #[test]
+            fn deep_nesting_is_rejected_with_a_typed_error(
+                depth in (MAX_DEPTH + 1)..(MAX_DEPTH + 300),
+                kind in 0u8..2,
+            ) {
+                let doc: String = if kind == 0 {
+                    "[".repeat(depth)
+                } else {
+                    "{\"k\":".repeat(depth)
+                };
+                let err = parse(&doc).unwrap_err();
+                prop_assert!(
+                    err.message.contains("nesting"),
+                    "depth {} gave: {}", depth, err
+                );
+            }
+
+            #[test]
+            fn escapes_and_numbers_never_panic(bytes in prop::collection::vec(0u8..=255, 0..64)) {
+                // Exercise the string-escape and number scanners directly.
+                let mut s = String::from("\"\\u");
+                s.push_str(&jsonish(&bytes));
+                let _ = parse(&s);
+                let mut num = String::from("-");
+                num.push_str(&String::from_utf8_lossy(&bytes));
+                let _ = parse(&num);
+            }
+        }
     }
 }

@@ -85,6 +85,25 @@ impl Recorder {
         self.ring.dropped()
     }
 
+    /// Serialize the mutable recording state (the ring). The label,
+    /// policy, and bank geometry are construction parameters and are
+    /// expected to be rebuilt from the run configuration on resume.
+    pub fn save_state(&self, enc: &mut vrl_snap::Encoder) {
+        use vrl_snap::Snapshot as _;
+        self.ring.save(enc);
+    }
+
+    /// Restore the recording state captured by [`Recorder::save_state`]
+    /// into this (freshly constructed) recorder.
+    pub fn restore_state(
+        &mut self,
+        dec: &mut vrl_snap::Decoder<'_>,
+    ) -> Result<(), vrl_snap::SnapError> {
+        use vrl_snap::Snapshot as _;
+        self.ring = EventRing::load(dec)?;
+        Ok(())
+    }
+
     /// Finish recording and package the stream.
     pub fn finish(self) -> EventStream {
         let dropped = self.ring.dropped();

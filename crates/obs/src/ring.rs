@@ -86,6 +86,47 @@ impl Default for EventRing {
     }
 }
 
+impl vrl_snap::Snapshot for EventRing {
+    fn save(&self, enc: &mut vrl_snap::Encoder) {
+        self.events.save(enc);
+        enc.put_usize(self.capacity);
+        enc.put_u64(self.next_seq);
+        enc.put_u64(self.dropped);
+    }
+
+    fn load(dec: &mut vrl_snap::Decoder<'_>) -> Result<Self, vrl_snap::SnapError> {
+        let events = Vec::<Event>::load(dec)?;
+        let capacity = dec.take_usize()?;
+        let next_seq = dec.take_u64()?;
+        let dropped = dec.take_u64()?;
+        if events.len() > capacity {
+            return Err(vrl_snap::SnapError::Malformed {
+                what: format!(
+                    "ring holds {} events but claims capacity {}",
+                    events.len(),
+                    capacity
+                ),
+            });
+        }
+        if (events.len() as u64) + dropped != next_seq {
+            return Err(vrl_snap::SnapError::Malformed {
+                what: format!(
+                    "ring seq accounting broken: {} retained + {} dropped != {} offered",
+                    events.len(),
+                    dropped,
+                    next_seq
+                ),
+            });
+        }
+        Ok(EventRing {
+            events,
+            capacity,
+            next_seq,
+            dropped,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +144,28 @@ mod tests {
         assert_eq!(ring.events()[0].seq, 0);
         assert_eq!(ring.events()[1].seq, 1);
         assert_eq!(ring.events()[1].row, 2);
+    }
+
+    #[test]
+    fn ring_snapshot_round_trips_mid_stream() {
+        use vrl_snap::{Decoder, Encoder, SnapError, Snapshot as _};
+        let mut ring = EventRing::with_capacity(2);
+        ring.push(10, 0, 1, EventKind::Activate);
+        ring.push(20, 1, 70, EventKind::QueueStall { depth: 4 });
+        ring.push(30, 0, 3, EventKind::RefreshPartial); // dropped
+        let mut enc = Encoder::new();
+        ring.save(&mut enc);
+        let bytes = enc.into_bytes();
+        let restored = EventRing::load(&mut Decoder::new(&bytes)).unwrap();
+        assert_eq!(restored.events(), ring.events());
+        assert_eq!(restored.dropped(), 1);
+        assert_eq!(restored.offered(), 3);
+        assert_eq!(restored.capacity(), 2);
+        // A truncated payload is a typed error, not a panic.
+        assert!(matches!(
+            EventRing::load(&mut Decoder::new(&bytes[..bytes.len() - 1])),
+            Err(SnapError::UnexpectedEof { .. })
+        ));
     }
 
     #[test]

@@ -78,6 +78,19 @@ impl VrtProcess {
     pub fn worst_case_ms(&self) -> f64 {
         self.weak_ms
     }
+
+    /// The mutable run-state `(is_weak, rng_state)` — everything
+    /// [`VrtProcess::step`] changes. Used by checkpointing to capture a
+    /// process mid-run.
+    pub fn run_state(&self) -> (bool, u64) {
+        (self.state_weak, self.rng_state)
+    }
+
+    /// Restores run-state captured by [`VrtProcess::run_state`].
+    pub fn restore_run_state(&mut self, is_weak: bool, rng_state: u64) {
+        self.state_weak = is_weak;
+        self.rng_state = rng_state;
+    }
 }
 
 #[cfg(test)]
@@ -139,5 +152,21 @@ mod tests {
     #[should_panic(expected = "need 0 < weak < strong")]
     fn inverted_states_panic() {
         let _ = VrtProcess::new(200.0, 1000.0, 0.1, 7);
+    }
+
+    #[test]
+    fn run_state_round_trips_mid_stream() {
+        let mut p = VrtProcess::new(1000.0, 200.0, 0.3, 99);
+        for _ in 0..17 {
+            p.step();
+        }
+        let (weak, rng) = p.run_state();
+        let mut q = VrtProcess::new(1000.0, 200.0, 0.3, 0);
+        q.restore_run_state(weak, rng);
+        for _ in 0..50 {
+            p.step();
+            q.step();
+            assert_eq!(p.is_weak(), q.is_weak());
+        }
     }
 }

@@ -34,5 +34,5 @@ pub mod sched;
 pub mod stats;
 
 pub use config::SchedConfig;
-pub use sched::Scheduler;
+pub use sched::{SchedCursor, Scheduler};
 pub use stats::{LatencyHistogram, SchedStats};

@@ -41,12 +41,42 @@ struct BankLane {
     refreshes: RefreshQueue,
 }
 
+impl vrl_snap::Snapshot for BankLane {
+    fn save(&self, enc: &mut vrl_snap::Encoder) {
+        self.state.save(enc);
+        self.refreshes.save(enc);
+    }
+
+    fn load(dec: &mut vrl_snap::Decoder<'_>) -> Result<Self, vrl_snap::SnapError> {
+        Ok(BankLane {
+            state: BankState::load(dec)?,
+            refreshes: RefreshQueue::load(dec)?,
+        })
+    }
+}
+
 /// A queued request, steered to its bank on admission.
 #[derive(Debug, Clone, Copy)]
 struct Pending {
     record: TraceRecord,
     bank: u32,
     row: u32,
+}
+
+impl vrl_snap::Snapshot for Pending {
+    fn save(&self, enc: &mut vrl_snap::Encoder) {
+        self.record.save(enc);
+        enc.put_u32(self.bank);
+        enc.put_u32(self.row);
+    }
+
+    fn load(dec: &mut vrl_snap::Decoder<'_>) -> Result<Self, vrl_snap::SnapError> {
+        Ok(Pending {
+            record: TraceRecord::load(dec)?,
+            bank: dec.take_u32()?,
+            row: dec.take_u32()?,
+        })
+    }
 }
 
 /// Shared-bus arbitration state.
@@ -129,6 +159,72 @@ impl BusState {
 
     fn note_cas(&mut self, at: u64, bank: u32, is_write: bool) {
         self.last_cas = Some((at, bank, is_write));
+    }
+}
+
+impl vrl_snap::Snapshot for BusState {
+    fn save(&self, enc: &mut vrl_snap::Encoder) {
+        self.last_cmd.save(enc);
+        self.last_act.save(enc);
+        let acts: Vec<u64> = self.recent_acts.iter().copied().collect();
+        acts.save(enc);
+        self.last_cas.save(enc);
+    }
+
+    fn load(dec: &mut vrl_snap::Decoder<'_>) -> Result<Self, vrl_snap::SnapError> {
+        Ok(BusState {
+            last_cmd: <Option<u64>>::load(dec)?,
+            last_act: <Option<(u64, u32)>>::load(dec)?,
+            recent_acts: Vec::<u64>::load(dec)?.into(),
+            last_cas: <Option<(u64, u32, bool)>>::load(dec)?,
+        })
+    }
+}
+
+/// The resumable position of a scheduler run: everything the scheduling
+/// loop keeps outside the scheduler itself (mirrors
+/// [`ControllerCursor`](vrl_dram_sim::controller::ControllerCursor)).
+#[derive(Debug, Default)]
+pub struct SchedCursor {
+    /// Requests admitted but not yet serviced.
+    queue: VecDeque<Pending>,
+    /// The scheduling clock.
+    now: u64,
+    /// Last cycle reported as a queue stall (each counted once).
+    last_stall: Option<u64>,
+    /// Records consumed from the source trace so far.
+    pulled: u64,
+}
+
+impl SchedCursor {
+    /// A cursor at the start of a run.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records consumed from the source trace so far (what a resumed run
+    /// must skip when regenerating the trace).
+    pub fn pulled(&self) -> u64 {
+        self.pulled
+    }
+}
+
+impl vrl_snap::Snapshot for SchedCursor {
+    fn save(&self, enc: &mut vrl_snap::Encoder) {
+        let queued: Vec<Pending> = self.queue.iter().copied().collect();
+        queued.save(enc);
+        enc.put_u64(self.now);
+        self.last_stall.save(enc);
+        enc.put_u64(self.pulled);
+    }
+
+    fn load(dec: &mut vrl_snap::Decoder<'_>) -> Result<Self, vrl_snap::SnapError> {
+        Ok(SchedCursor {
+            queue: Vec::<Pending>::load(dec)?.into(),
+            now: dec.take_u64()?,
+            last_stall: <Option<u64>>::load(dec)?,
+            pulled: dec.take_u64()?,
+        })
     }
 }
 
@@ -243,72 +339,101 @@ impl<P: RefreshPolicy> Scheduler<P> {
     {
         let end = self.config.timing.ms_to_cycles(duration_ms);
         let mut trace = trace.take_while(|r| r.cycle < end).peekable();
-        let mut queue: VecDeque<Pending> = VecDeque::new();
-        let mut now = 0u64;
-        let mut last_stall = None;
+        let mut cursor = SchedCursor::new();
+        self.run_span_observed(&mut cursor, &mut trace, end, u64::MAX, observer)?;
+        Ok(self.finish(end))
+    }
 
+    /// Runs the scheduling loop until the clock reaches `stop_at` or all
+    /// work before `end` is exhausted — the checkpointing building block.
+    /// The pause point inserts no state change, so composing spans (with
+    /// [`Scheduler::finish`] at the end) is bit-identical to
+    /// [`Scheduler::run_observed`] by construction.
+    ///
+    /// Returns `true` if the run paused at `stop_at` with work remaining.
+    ///
+    /// # Errors
+    ///
+    /// See [`Scheduler::run`].
+    pub fn run_span_observed<I, O>(
+        &mut self,
+        cursor: &mut SchedCursor,
+        trace: &mut std::iter::Peekable<I>,
+        end: u64,
+        stop_at: u64,
+        observer: &mut O,
+    ) -> Result<bool, Error>
+    where
+        I: Iterator<Item = TraceRecord>,
+        O: SimObserver,
+    {
         loop {
             // Jump to the earliest cycle any bank accepts a command.
             let min_ready = self
                 .lanes
                 .iter()
-                .map(|l| l.state.ready_at(now))
+                .map(|l| l.state.ready_at(cursor.now))
                 .min()
-                .unwrap_or(now);
-            now = now.max(min_ready);
+                .unwrap_or(cursor.now);
+            cursor.now = cursor.now.max(min_ready);
+            if cursor.now >= stop_at {
+                return Ok(true);
+            }
 
             // Admit arrivals that have happened by `now`, steering each
             // to its bank.
-            while queue.len() < self.config.queue_depth {
+            while cursor.queue.len() < self.config.queue_depth {
                 match trace.peek() {
-                    Some(&record) if record.cycle <= now => {
+                    Some(&record) if record.cycle <= cursor.now => {
                         trace.next();
+                        cursor.pulled += 1;
                         let (bank, row) = self.config.steer(record.row);
-                        queue.push_back(Pending { record, bank, row });
+                        cursor.queue.push_back(Pending { record, bank, row });
                     }
                     _ => break,
                 }
             }
-            self.stats.max_queue_depth = self.stats.max_queue_depth.max(queue.len());
+            self.stats.max_queue_depth = self.stats.max_queue_depth.max(cursor.queue.len());
             // A full queue with an arrival already waiting is back
             // pressure; report each stalled cycle once.
-            if queue.len() == self.config.queue_depth
-                && trace.peek().is_some_and(|r| r.cycle <= now)
-                && last_stall != Some(now)
+            if cursor.queue.len() == self.config.queue_depth
+                && trace.peek().is_some_and(|r| r.cycle <= cursor.now)
+                && cursor.last_stall != Some(cursor.now)
             {
-                last_stall = Some(now);
+                cursor.last_stall = Some(cursor.now);
                 self.stats.queue_stalls += 1;
-                observer.on_queue_stall(now, queue.len());
+                observer.on_queue_stall(cursor.now, cursor.queue.len());
             }
 
             // Refreshes due by `now` on free banks (postponed onto
             // contended banks when parallelization allows).
-            if self.try_refresh(now, end, &queue, observer)? {
+            if self.try_refresh(cursor.now, end, &cursor.queue, observer)? {
                 continue;
             }
 
             // FR-FCFS demand on free banks.
-            if let Some(idx) = self.pick(&queue, now) {
+            if let Some(idx) = self.pick(&cursor.queue, cursor.now) {
                 if idx != 0 {
                     self.stats.reordered += 1;
                 }
-                let len = queue.len();
-                let pending = queue
+                let len = cursor.queue.len();
+                let pending = cursor
+                    .queue
                     .remove(idx)
                     .ok_or(Error::QueueIndexInvalid { index: idx, len })?;
-                self.service(pending, now, observer);
+                self.service(pending, cursor.now, observer);
                 continue;
             }
 
             // Idle banks pull upcoming refreshes in early.
             let upcoming = trace.peek().map(|r| r.cycle);
-            if self.try_pull_in(now, end, &queue, upcoming, observer) {
+            if self.try_pull_in(cursor.now, end, &cursor.queue, upcoming, observer) {
                 continue;
             }
 
             // Nothing issuable at `now`: advance to the next arrival (if
             // it can be admitted), refresh deadline, or bank release.
-            let next_arrival = upcoming.filter(|_| queue.len() < self.config.queue_depth);
+            let next_arrival = upcoming.filter(|_| cursor.queue.len() < self.config.queue_depth);
             // A due refresh on a still-busy bank becomes issuable only
             // when the bank frees, so its advance target is the later of
             // the two.
@@ -325,7 +450,8 @@ impl<P: RefreshPolicy> Scheduler<P> {
                 .iter()
                 .enumerate()
                 .filter(|(b, lane)| {
-                    lane.state.busy_until() > now && queue.iter().any(|p| p.bank == *b as u32)
+                    lane.state.busy_until() > cursor.now
+                        && cursor.queue.iter().any(|p| p.bank == *b as u32)
                 })
                 .map(|(_, lane)| lane.state.busy_until())
                 .min();
@@ -334,11 +460,16 @@ impl<P: RefreshPolicy> Scheduler<P> {
                 .flatten()
                 .min()
             {
-                Some(t) if t > now => now = t,
-                Some(_) => return Err(Error::SchedulerStalled { cycle: now }),
-                None => break,
+                Some(t) if t > cursor.now => cursor.now = t,
+                Some(_) => return Err(Error::SchedulerStalled { cycle: cursor.now }),
+                None => return Ok(false),
             }
         }
+    }
+
+    /// Finalizes the statistics after the last span (the tail of
+    /// [`Scheduler::run_observed`]).
+    pub fn finish(&mut self, end: u64) -> SchedStats {
         self.stats.sim.total_cycles = end.max(
             self.lanes
                 .iter()
@@ -346,7 +477,56 @@ impl<P: RefreshPolicy> Scheduler<P> {
                 .max()
                 .unwrap_or(0),
         );
-        Ok(self.stats.clone())
+        self.stats.clone()
+    }
+
+    /// Appends the scheduler's full run-state — every bank lane's FSM
+    /// and refresh wheel, the shared-bus arbitration state, statistics,
+    /// policy counters, and the scheduling cursor — to `enc`, where `P`
+    /// supports state capture.
+    pub fn save_state(&self, enc: &mut vrl_snap::Encoder, cursor: &SchedCursor)
+    where
+        P: vrl_dram_sim::policy::PolicyState,
+    {
+        use vrl_snap::Snapshot as _;
+        self.lanes.save(enc);
+        self.bus.save(enc);
+        self.stats.save(enc);
+        self.policy.save_state(enc);
+        cursor.save(enc);
+    }
+
+    /// Restores run-state captured by [`Scheduler::save_state`] into a
+    /// freshly-constructed scheduler of the same configuration,
+    /// returning the scheduling cursor to resume from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`vrl_snap::SnapError`] on truncated input or a snapshot
+    /// from a differently-shaped scheduler (bank count).
+    pub fn restore_state(
+        &mut self,
+        dec: &mut vrl_snap::Decoder<'_>,
+    ) -> Result<SchedCursor, vrl_snap::SnapError>
+    where
+        P: vrl_dram_sim::policy::PolicyState,
+    {
+        use vrl_snap::Snapshot as _;
+        let lanes = Vec::<BankLane>::load(dec)?;
+        if lanes.len() != self.lanes.len() {
+            return Err(vrl_snap::SnapError::Malformed {
+                what: format!(
+                    "scheduler has {} banks, snapshot has {}",
+                    self.lanes.len(),
+                    lanes.len()
+                ),
+            });
+        }
+        self.lanes = lanes;
+        self.bus = BusState::load(dec)?;
+        self.stats = SchedStats::load(dec)?;
+        self.policy.restore_state(dec)?;
+        SchedCursor::load(dec)
     }
 
     /// Issues at most one due refresh (due ≤ `now`, due < `end`) on a
@@ -671,6 +851,61 @@ mod tests {
             d.sim.stall_cycles,
             p.sim.stall_cycles
         );
+    }
+
+    #[test]
+    fn scheduler_snapshot_resume_is_bit_identical() {
+        use vrl_dram_sim::policy::VrlAccess;
+        use vrl_retention::binning::BinningTable;
+        use vrl_retention::profile::BankProfile;
+
+        let config = SchedConfig::with_geometry(4, 64)
+            .expect("geometry")
+            .with_parallelism(true);
+        let rows = (4 * 64) as usize;
+        let bins = BinningTable::from_profile(&BankProfile::from_rows(
+            std::iter::repeat_n(300.0, rows),
+            32,
+        ));
+        let mk =
+            || Scheduler::new(config, VrlAccess::new(bins.clone(), vec![3; rows])).expect("config");
+        let trace = bursty_trace(40, 100, 50_000, 256);
+        let end = config.timing.ms_to_cycles(64.0);
+
+        let mut whole = mk();
+        let expected = whole.run(trace.clone().into_iter(), 64.0).expect("run");
+
+        // Run to an arbitrary mid-run cycle, snapshot, and "crash".
+        let mut first = mk();
+        let mut cursor = SchedCursor::new();
+        let mut records = trace
+            .clone()
+            .into_iter()
+            .take_while(|r| r.cycle < end)
+            .peekable();
+        let paused = first
+            .run_span_observed(&mut cursor, &mut records, end, end / 2, &mut NullObserver)
+            .expect("span");
+        assert!(paused, "pausing mid-run must leave work");
+        let mut enc = vrl_snap::Encoder::new();
+        first.save_state(&mut enc, &cursor);
+        let bytes = enc.into_bytes();
+        drop(first);
+
+        // Resume into a fresh scheduler, skipping the pulled records.
+        let mut resumed = mk();
+        let mut dec = vrl_snap::Decoder::new(&bytes);
+        let mut cursor = resumed.restore_state(&mut dec).expect("restore");
+        dec.finish().expect("no trailing bytes");
+        let mut rest = trace
+            .into_iter()
+            .skip(cursor.pulled() as usize)
+            .take_while(|r| r.cycle < end)
+            .peekable();
+        resumed
+            .run_span_observed(&mut cursor, &mut rest, end, u64::MAX, &mut NullObserver)
+            .expect("resume");
+        assert_eq!(resumed.finish(end), expected);
     }
 
     #[test]

@@ -105,6 +105,34 @@ impl Default for LatencyHistogram {
     }
 }
 
+impl vrl_snap::Snapshot for LatencyHistogram {
+    fn save(&self, enc: &mut vrl_snap::Encoder) {
+        self.buckets.save(enc);
+        enc.put_u64(self.count);
+        enc.put_u64(self.total);
+        enc.put_u64(self.max);
+    }
+
+    fn load(dec: &mut vrl_snap::Decoder<'_>) -> Result<Self, vrl_snap::SnapError> {
+        let buckets = Vec::<u64>::load(dec)?;
+        if buckets.len() != Self::BUCKETS {
+            return Err(vrl_snap::SnapError::Malformed {
+                what: format!(
+                    "histogram needs {} buckets, got {}",
+                    Self::BUCKETS,
+                    buckets.len()
+                ),
+            });
+        }
+        Ok(LatencyHistogram {
+            buckets,
+            count: dec.take_u64()?,
+            total: dec.take_u64()?,
+            max: dec.take_u64()?,
+        })
+    }
+}
+
 /// Statistics of one scheduler run.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SchedStats {
@@ -132,6 +160,34 @@ pub struct SchedStats {
     pub per_bank_refreshes: Vec<u64>,
     /// Accesses serviced per bank.
     pub per_bank_accesses: Vec<u64>,
+}
+
+impl vrl_snap::Snapshot for SchedStats {
+    fn save(&self, enc: &mut vrl_snap::Encoder) {
+        self.sim.save(enc);
+        enc.put_u64(self.reordered);
+        enc.put_usize(self.max_queue_depth);
+        enc.put_u64(self.refresh_blocked_cycles);
+        enc.put_u64(self.pulled_in_refreshes);
+        enc.put_u64(self.queue_stalls);
+        self.read_latency.save(enc);
+        self.per_bank_refreshes.save(enc);
+        self.per_bank_accesses.save(enc);
+    }
+
+    fn load(dec: &mut vrl_snap::Decoder<'_>) -> Result<Self, vrl_snap::SnapError> {
+        Ok(SchedStats {
+            sim: SimStats::load(dec)?,
+            reordered: dec.take_u64()?,
+            max_queue_depth: dec.take_usize()?,
+            refresh_blocked_cycles: dec.take_u64()?,
+            pulled_in_refreshes: dec.take_u64()?,
+            queue_stalls: dec.take_u64()?,
+            read_latency: LatencyHistogram::load(dec)?,
+            per_bank_refreshes: Vec::<u64>::load(dec)?,
+            per_bank_accesses: Vec::<u64>::load(dec)?,
+        })
+    }
 }
 
 #[cfg(test)]

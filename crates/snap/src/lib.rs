@@ -1,0 +1,631 @@
+//! # vrl-snap — crash-consistent snapshot codec
+//!
+//! A dependency-free binary serialization layer for checkpoint/resume:
+//! the vendored `serde` subset is serialize-only (JSON out, no parsing
+//! back), so engine snapshots use this purpose-built codec instead.
+//!
+//! * [`Encoder`]/[`Decoder`] — little-endian primitive codec with typed
+//!   end-of-input errors,
+//! * [`Snapshot`] — the save/load trait engine types implement,
+//! * [`seal`]/[`open`] — the versioned envelope: magic, format version,
+//!   payload length, payload, and an FNV-1a 64 checksum over the whole
+//!   prefix, so truncation and corruption are both detected,
+//! * [`write_atomic`] — temp-file + `sync_all` + atomic rename, so a
+//!   crash mid-write never leaves a torn checkpoint behind (the previous
+//!   complete checkpoint survives).
+//!
+//! Invalidation rules: a snapshot is only readable by the exact
+//! [`FORMAT_VERSION`] that wrote it (no cross-version migration), and
+//! embedding layers additionally bind snapshots to their own engine tag
+//! and configuration (see DESIGN.md §12).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Magic bytes opening every snapshot envelope.
+pub const MAGIC: [u8; 8] = *b"VRLSNAP\0";
+
+/// Current snapshot format version. Bump on any layout change; older
+/// snapshots are rejected, never migrated.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// An error reading or writing a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SnapError {
+    /// The input ended before the requested field.
+    UnexpectedEof {
+        /// Byte offset at which more input was needed.
+        offset: usize,
+    },
+    /// The envelope does not start with [`MAGIC`].
+    BadMagic,
+    /// The envelope was written by a different format version.
+    VersionMismatch {
+        /// Version found in the envelope.
+        found: u32,
+        /// Version this build reads.
+        expected: u32,
+    },
+    /// The checksum does not match the envelope contents.
+    ChecksumMismatch {
+        /// Checksum stored in the envelope.
+        stored: u64,
+        /// Checksum computed over the received bytes.
+        computed: u64,
+    },
+    /// Bytes remained after the payload (or the declared payload length
+    /// disagrees with the envelope size).
+    TrailingBytes {
+        /// How many unexpected bytes remained.
+        extra: usize,
+    },
+    /// A decoded field failed validation.
+    Malformed {
+        /// What was wrong.
+        what: String,
+    },
+    /// An underlying filesystem operation failed.
+    Io {
+        /// The rendered I/O error.
+        message: String,
+    },
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::UnexpectedEof { offset } => {
+                write!(f, "snapshot truncated at byte {offset}")
+            }
+            SnapError::BadMagic => write!(f, "not a vrl snapshot (bad magic)"),
+            SnapError::VersionMismatch { found, expected } => {
+                write!(f, "snapshot format v{found}, this build reads v{expected}")
+            }
+            SnapError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "snapshot checksum mismatch (stored {stored:#018x}, computed {computed:#018x})"
+                )
+            }
+            SnapError::TrailingBytes { extra } => {
+                write!(f, "snapshot has {extra} trailing bytes")
+            }
+            SnapError::Malformed { what } => write!(f, "malformed snapshot: {what}"),
+            SnapError::Io { message } => write!(f, "snapshot io error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+impl From<std::io::Error> for SnapError {
+    fn from(e: std::io::Error) -> Self {
+        SnapError::Io {
+            message: e.to_string(),
+        }
+    }
+}
+
+/// FNV-1a 64-bit hash of `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Appends primitives to a snapshot payload (little-endian throughout).
+#[derive(Debug, Default, Clone)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Encoder { buf: Vec::new() }
+    }
+
+    /// The bytes encoded so far.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` (as `u64`).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an `f64` by bit pattern (exact round trip, NaN included).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a bool as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Appends a length-prefixed byte slice.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+}
+
+/// Reads primitives back out of a snapshot payload.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// A decoder over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(SnapError::UnexpectedEof { offset: self.pos });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn take_u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`.
+    pub fn take_u32(&mut self) -> Result<u32, SnapError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a `u64`.
+    pub fn take_u64(&mut self) -> Result<u64, SnapError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a `usize` (encoded as `u64`), rejecting values that do not
+    /// fit the platform's pointer width.
+    pub fn take_usize(&mut self) -> Result<usize, SnapError> {
+        let v = self.take_u64()?;
+        usize::try_from(v).map_err(|_| SnapError::Malformed {
+            what: format!("usize value {v} exceeds platform width"),
+        })
+    }
+
+    /// Reads an `f64` by bit pattern.
+    pub fn take_f64(&mut self) -> Result<f64, SnapError> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Reads a bool, rejecting bytes other than 0/1.
+    pub fn take_bool(&mut self) -> Result<bool, SnapError> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(SnapError::Malformed {
+                what: format!("bool byte {b}"),
+            }),
+        }
+    }
+
+    /// Reads a length-prefixed byte slice.
+    pub fn take_bytes(&mut self) -> Result<&'a [u8], SnapError> {
+        let len = self.take_usize()?;
+        if len > self.remaining() {
+            return Err(SnapError::UnexpectedEof { offset: self.pos });
+        }
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> Result<String, SnapError> {
+        let b = self.take_bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| SnapError::Malformed {
+            what: "non-UTF-8 string".into(),
+        })
+    }
+
+    /// Fails unless every byte has been consumed.
+    pub fn finish(self) -> Result<(), SnapError> {
+        if self.remaining() != 0 {
+            return Err(SnapError::TrailingBytes {
+                extra: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A type that can write itself into an [`Encoder`] and read itself back.
+///
+/// Loading must accept exactly what saving wrote; anything else is a
+/// [`SnapError`]. Implementations live next to the types they snapshot so
+/// private fields stay private.
+pub trait Snapshot: Sized {
+    /// Appends this value to `enc`.
+    fn save(&self, enc: &mut Encoder);
+    /// Reads one value from `dec`.
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, SnapError>;
+}
+
+impl Snapshot for u8 {
+    fn save(&self, enc: &mut Encoder) {
+        enc.put_u8(*self);
+    }
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, SnapError> {
+        dec.take_u8()
+    }
+}
+
+impl Snapshot for u32 {
+    fn save(&self, enc: &mut Encoder) {
+        enc.put_u32(*self);
+    }
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, SnapError> {
+        dec.take_u32()
+    }
+}
+
+impl Snapshot for u64 {
+    fn save(&self, enc: &mut Encoder) {
+        enc.put_u64(*self);
+    }
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, SnapError> {
+        dec.take_u64()
+    }
+}
+
+impl Snapshot for usize {
+    fn save(&self, enc: &mut Encoder) {
+        enc.put_usize(*self);
+    }
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, SnapError> {
+        dec.take_usize()
+    }
+}
+
+impl Snapshot for f64 {
+    fn save(&self, enc: &mut Encoder) {
+        enc.put_f64(*self);
+    }
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, SnapError> {
+        dec.take_f64()
+    }
+}
+
+impl Snapshot for bool {
+    fn save(&self, enc: &mut Encoder) {
+        enc.put_bool(*self);
+    }
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, SnapError> {
+        dec.take_bool()
+    }
+}
+
+impl Snapshot for String {
+    fn save(&self, enc: &mut Encoder) {
+        enc.put_str(self);
+    }
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, SnapError> {
+        dec.take_str()
+    }
+}
+
+impl<T: Snapshot> Snapshot for Option<T> {
+    fn save(&self, enc: &mut Encoder) {
+        match self {
+            None => enc.put_u8(0),
+            Some(v) => {
+                enc.put_u8(1);
+                v.save(enc);
+            }
+        }
+    }
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, SnapError> {
+        match dec.take_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::load(dec)?)),
+            b => Err(SnapError::Malformed {
+                what: format!("Option tag {b}"),
+            }),
+        }
+    }
+}
+
+impl<T: Snapshot> Snapshot for Vec<T> {
+    fn save(&self, enc: &mut Encoder) {
+        enc.put_usize(self.len());
+        for v in self {
+            v.save(enc);
+        }
+    }
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, SnapError> {
+        let len = dec.take_usize()?;
+        // Guard allocation against corrupt lengths: each element needs at
+        // least one byte of input.
+        if len > dec.remaining() {
+            return Err(SnapError::UnexpectedEof { offset: 0 });
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::load(dec)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Snapshot, B: Snapshot> Snapshot for (A, B) {
+    fn save(&self, enc: &mut Encoder) {
+        self.0.save(enc);
+        self.1.save(enc);
+    }
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, SnapError> {
+        Ok((A::load(dec)?, B::load(dec)?))
+    }
+}
+
+impl<A: Snapshot, B: Snapshot, C: Snapshot> Snapshot for (A, B, C) {
+    fn save(&self, enc: &mut Encoder) {
+        self.0.save(enc);
+        self.1.save(enc);
+        self.2.save(enc);
+    }
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, SnapError> {
+        Ok((A::load(dec)?, B::load(dec)?, C::load(dec)?))
+    }
+}
+
+/// Wraps `payload` in the versioned, checksummed envelope.
+pub fn seal(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(MAGIC.len() + 4 + 8 + payload.len() + 8);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let sum = fnv1a64(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Verifies an envelope and returns its payload.
+///
+/// # Errors
+///
+/// [`SnapError::BadMagic`], [`SnapError::VersionMismatch`],
+/// [`SnapError::UnexpectedEof`] (truncated envelope),
+/// [`SnapError::TrailingBytes`], or [`SnapError::ChecksumMismatch`].
+pub fn open(bytes: &[u8]) -> Result<&[u8], SnapError> {
+    let header = MAGIC.len() + 4 + 8;
+    if bytes.len() < MAGIC.len() {
+        return Err(SnapError::UnexpectedEof {
+            offset: bytes.len(),
+        });
+    }
+    if bytes[..MAGIC.len()] != MAGIC {
+        return Err(SnapError::BadMagic);
+    }
+    if bytes.len() < header {
+        return Err(SnapError::UnexpectedEof {
+            offset: bytes.len(),
+        });
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(SnapError::VersionMismatch {
+            found: version,
+            expected: FORMAT_VERSION,
+        });
+    }
+    let len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")) as usize;
+    let want = header + len + 8;
+    if bytes.len() < want {
+        return Err(SnapError::UnexpectedEof {
+            offset: bytes.len(),
+        });
+    }
+    if bytes.len() > want {
+        return Err(SnapError::TrailingBytes {
+            extra: bytes.len() - want,
+        });
+    }
+    let stored = u64::from_le_bytes(bytes[want - 8..].try_into().expect("8 bytes"));
+    let computed = fnv1a64(&bytes[..want - 8]);
+    if stored != computed {
+        return Err(SnapError::ChecksumMismatch { stored, computed });
+    }
+    Ok(&bytes[header..header + len])
+}
+
+/// Writes `payload` (sealed) to `path` crash-consistently: the bytes go
+/// to a sibling temp file, are fsynced, and are renamed over `path` in
+/// one atomic step. A crash at any point leaves either the old complete
+/// file or the new complete file, never a torn mix.
+///
+/// # Errors
+///
+/// [`SnapError::Io`] on any filesystem failure.
+pub fn write_atomic(path: &Path, payload: &[u8]) -> Result<(), SnapError> {
+    let sealed = seal(payload);
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&sealed)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads a sealed snapshot from `path` and returns its payload.
+///
+/// # Errors
+///
+/// [`SnapError::Io`] on filesystem failure, or any [`open`] error on a
+/// damaged envelope.
+pub fn read_file(path: &Path) -> Result<Vec<u8>, SnapError> {
+    let bytes = fs::read(path)?;
+    let payload = open(&bytes)?;
+    Ok(payload.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trip() {
+        let mut enc = Encoder::new();
+        enc.put_u8(7);
+        enc.put_u32(1234);
+        enc.put_u64(u64::MAX);
+        enc.put_f64(-0.5);
+        enc.put_bool(true);
+        enc.put_str("héllo");
+        enc.put_bytes(&[1, 2, 3]);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.take_u8().unwrap(), 7);
+        assert_eq!(dec.take_u32().unwrap(), 1234);
+        assert_eq!(dec.take_u64().unwrap(), u64::MAX);
+        assert_eq!(dec.take_f64().unwrap(), -0.5);
+        assert!(dec.take_bool().unwrap());
+        assert_eq!(dec.take_str().unwrap(), "héllo");
+        assert_eq!(dec.take_bytes().unwrap(), &[1, 2, 3]);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn snapshot_trait_round_trip() {
+        let v: (u64, Option<u32>, Vec<(u64, u32, u64)>) = (9, Some(3), vec![(1, 2, 3), (4, 5, 6)]);
+        let mut enc = Encoder::new();
+        v.save(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let back = <(u64, Option<u32>, Vec<(u64, u32, u64)>)>::load(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn truncated_input_is_typed_eof() {
+        let mut enc = Encoder::new();
+        enc.put_u64(1);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes[..4]);
+        assert!(matches!(
+            dec.take_u64(),
+            Err(SnapError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_vec_length_is_rejected_without_allocating() {
+        let mut enc = Encoder::new();
+        enc.put_u64(u64::MAX); // absurd element count
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert!(Vec::<u64>::load(&mut dec).is_err());
+    }
+
+    #[test]
+    fn envelope_round_trip() {
+        let payload = b"engine state".to_vec();
+        let sealed = seal(&payload);
+        assert_eq!(open(&sealed).unwrap(), payload.as_slice());
+    }
+
+    #[test]
+    fn envelope_detects_bad_magic_version_truncation_and_corruption() {
+        let sealed = seal(b"x");
+        let mut bad = sealed.clone();
+        bad[0] = b'X';
+        assert_eq!(open(&bad), Err(SnapError::BadMagic));
+
+        let mut bad = sealed.clone();
+        bad[8] = 99;
+        assert!(matches!(
+            open(&bad),
+            Err(SnapError::VersionMismatch { found: 99, .. })
+        ));
+
+        for cut in [3, 10, sealed.len() - 1] {
+            assert!(
+                matches!(open(&sealed[..cut]), Err(SnapError::UnexpectedEof { .. })),
+                "cut at {cut}"
+            );
+        }
+
+        let mut bad = sealed.clone();
+        let last = bad.len() - 9; // inside the payload
+        bad[last] ^= 0xFF;
+        assert!(matches!(
+            open(&bad),
+            Err(SnapError::ChecksumMismatch { .. })
+        ));
+
+        let mut bad = sealed;
+        bad.push(0);
+        assert!(matches!(open(&bad), Err(SnapError::TrailingBytes { .. })));
+    }
+
+    #[test]
+    fn atomic_write_and_read_back() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("vrl_snap_atomic_test.snap");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(read_file(&path).unwrap(), b"first");
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(read_file(&path).unwrap(), b"second");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_file(Path::new("/definitely/not/here.snap")).unwrap_err();
+        assert!(matches!(err, SnapError::Io { .. }));
+    }
+}

@@ -109,12 +109,76 @@ impl Default for ConvertConfig {
     }
 }
 
+/// A [`convert`] failure: either the configuration cannot produce
+/// meaningful cycle gaps, or the accumulated cycle counter left the
+/// `u64` range. Carries the 0-based request index so a corrupt trace is
+/// pinpointable.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConvertError {
+    /// `cycles_per_instruction` was NaN, infinite, or negative.
+    BadConfig {
+        /// The rejected value.
+        cycles_per_instruction: f64,
+    },
+    /// Accumulating a request's bubble overflowed the cycle counter.
+    CycleOverflow {
+        /// 0-based index of the overflowing request.
+        request: usize,
+    },
+}
+
+impl std::fmt::Display for ConvertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConvertError::BadConfig {
+                cycles_per_instruction,
+            } => write!(
+                f,
+                "cycles_per_instruction must be finite and non-negative, got {cycles_per_instruction}"
+            ),
+            ConvertError::CycleOverflow { request } => {
+                write!(f, "cycle counter overflowed u64 at request {request}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConvertError {}
+
 /// Converts parsed Ramulator requests into bank-local row records.
-pub fn convert(requests: &[RamulatorRequest], config: &ConvertConfig) -> Vec<TraceRecord> {
+///
+/// # Errors
+///
+/// Returns [`ConvertError::BadConfig`] for a NaN/infinite/negative
+/// `cycles_per_instruction`, and [`ConvertError::CycleOverflow`] (with
+/// the request index) if a bubble pushes the running cycle counter past
+/// `u64::MAX` — a corrupt trace, not a panic.
+pub fn convert(
+    requests: &[RamulatorRequest],
+    config: &ConvertConfig,
+) -> Result<Vec<TraceRecord>, ConvertError> {
+    let cpi = config.cycles_per_instruction;
+    if !cpi.is_finite() || cpi < 0.0 {
+        return Err(ConvertError::BadConfig {
+            cycles_per_instruction: cpi,
+        });
+    }
     let mut records = Vec::new();
     let mut cycle = 0u64;
-    for req in requests {
-        cycle += (req.bubble as f64 * config.cycles_per_instruction).ceil() as u64 + 1;
+    for (idx, req) in requests.iter().enumerate() {
+        let gap = (req.bubble as f64 * cpi).ceil();
+        // `gap` is non-negative by construction; anything at or past
+        // 2^64 (including +inf or NaN from the multiply) cannot fit the
+        // cycle counter. Strictly-less keeps the float→int cast
+        // exact-safe.
+        if gap >= u64::MAX as f64 || gap.is_nan() {
+            return Err(ConvertError::CycleOverflow { request: idx });
+        }
+        cycle = cycle
+            .checked_add(gap as u64)
+            .and_then(|c| c.checked_add(1))
+            .ok_or(ConvertError::CycleOverflow { request: idx })?;
         let loc = config.map.decode(req.read_addr);
         if loc.bank == config.bank {
             records.push(TraceRecord::new(cycle, Op::Read, loc.row));
@@ -126,7 +190,7 @@ pub fn convert(requests: &[RamulatorRequest], config: &ConvertConfig) -> Vec<Tra
             }
         }
     }
-    records
+    Ok(records)
 }
 
 #[cfg(test)]
@@ -192,7 +256,7 @@ mod tests {
                 write_addr: Some(in_bank0),
             },
         ];
-        let records = convert(&reqs, &ConvertConfig::default());
+        let records = convert(&reqs, &ConvertConfig::default()).expect("converts");
         assert_eq!(records.len(), 2);
         assert_eq!(records[0].op, Op::Read);
         assert_eq!(records[0].row, 10);
@@ -220,15 +284,77 @@ mod tests {
                 cycles_per_instruction: 0.25,
                 ..Default::default()
             },
-        );
+        )
+        .expect("converts");
         let slow = convert(
             &reqs,
             &ConvertConfig {
                 cycles_per_instruction: 2.0,
                 ..Default::default()
             },
-        );
+        )
+        .expect("converts");
         assert!(slow[0].cycle > fast[0].cycle);
+    }
+
+    #[test]
+    fn corrupt_traces_are_typed_errors_not_panics() {
+        // A bubble large enough to overflow the running cycle counter
+        // once used to overflow-panic in debug builds; it must now be a
+        // typed error naming the offending request.
+        let reqs = vec![
+            RamulatorRequest {
+                bubble: 1,
+                read_addr: 0,
+                write_addr: None,
+            },
+            RamulatorRequest {
+                bubble: u64::MAX,
+                read_addr: 0,
+                write_addr: None,
+            },
+        ];
+        let cfg = ConvertConfig {
+            cycles_per_instruction: 2.0,
+            ..Default::default()
+        };
+        assert_eq!(
+            convert(&reqs, &cfg),
+            Err(ConvertError::CycleOverflow { request: 1 })
+        );
+        // Repeated accumulation overflowing (each gap fits, the sum
+        // doesn't) is caught by the checked add.
+        let near_max = vec![
+            RamulatorRequest {
+                bubble: u64::MAX / 3,
+                read_addr: 0,
+                write_addr: None,
+            };
+            4
+        ];
+        let unit = ConvertConfig {
+            cycles_per_instruction: 1.0,
+            ..Default::default()
+        };
+        assert_eq!(
+            convert(&near_max, &unit),
+            Err(ConvertError::CycleOverflow { request: 3 })
+        );
+        // NaN / infinite / negative CPI configurations are rejected up
+        // front instead of silently corrupting every cycle gap.
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            let cfg = ConvertConfig {
+                cycles_per_instruction: bad,
+                ..Default::default()
+            };
+            assert!(matches!(
+                convert(&near_max, &cfg),
+                Err(ConvertError::BadConfig { .. })
+            ));
+        }
+        // Errors render with their location.
+        let msg = convert(&reqs, &cfg).unwrap_err().to_string();
+        assert!(msg.contains("request 1"), "got: {msg}");
     }
 
     #[test]
@@ -247,7 +373,7 @@ mod tests {
                 write_addr: None,
             })
             .collect();
-        let records = convert(&reqs, &ConvertConfig::default());
+        let records = convert(&reqs, &ConvertConfig::default()).expect("converts");
         let text = crate::format::write_trace(&records);
         assert_eq!(crate::format::parse_trace(&text).expect("parses"), records);
     }

@@ -30,6 +30,25 @@ impl Op {
     }
 }
 
+impl vrl_snap::Snapshot for Op {
+    fn save(&self, enc: &mut vrl_snap::Encoder) {
+        enc.put_u8(match self {
+            Op::Read => 0,
+            Op::Write => 1,
+        });
+    }
+
+    fn load(dec: &mut vrl_snap::Decoder<'_>) -> Result<Self, vrl_snap::SnapError> {
+        match dec.take_u8()? {
+            0 => Ok(Op::Read),
+            1 => Ok(Op::Write),
+            tag => Err(vrl_snap::SnapError::Malformed {
+                what: format!("unknown Op tag {tag}"),
+            }),
+        }
+    }
+}
+
 /// One memory access: a cycle timestamp, an operation, and the target
 /// row within the simulated bank.
 ///
@@ -50,6 +69,22 @@ impl TraceRecord {
     /// Creates a record.
     pub fn new(cycle: u64, op: Op, row: u32) -> Self {
         TraceRecord { cycle, op, row }
+    }
+}
+
+impl vrl_snap::Snapshot for TraceRecord {
+    fn save(&self, enc: &mut vrl_snap::Encoder) {
+        enc.put_u64(self.cycle);
+        self.op.save(enc);
+        enc.put_u32(self.row);
+    }
+
+    fn load(dec: &mut vrl_snap::Decoder<'_>) -> Result<Self, vrl_snap::SnapError> {
+        Ok(TraceRecord {
+            cycle: dec.take_u64()?,
+            op: Op::load(dec)?,
+            row: dec.take_u32()?,
+        })
     }
 }
 

@@ -1,0 +1,151 @@
+//! Supervised execution contract: injected worker panics are retried
+//! with recorded backoffs and quarantined with typed errors while their
+//! siblings complete; typed job errors quarantine immediately; the
+//! whole supervision record surfaces as typed observability events and
+//! `exec.*` counters, bit-identical across pool shapes.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use vrl_dram::experiment::{Experiment, ExperimentConfig, PolicyKind};
+use vrl_dram::supervise::{supervisor_events_to_obs, supervisor_metrics};
+use vrl_dram::Error;
+use vrl_exec::{map_supervised, ExecConfig, ExecError, Supervisor};
+use vrl_obs::EventKind;
+
+fn experiment() -> Experiment {
+    Experiment::new(ExperimentConfig {
+        rows: 256,
+        duration_ms: 32.0,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn injected_panics_are_quarantined_with_typed_events() {
+    // Job 2 panics on every attempt; job 4 panics once then succeeds.
+    let flaky_attempts = AtomicU32::new(0);
+    let sup = Supervisor {
+        max_retries: 2,
+        ..Supervisor::new()
+    };
+    let batch = map_supervised(
+        &ExecConfig::new(2),
+        &sup,
+        &[0u32, 1, 2, 3, 4, 5],
+        |_, &item| -> Result<u32, String> {
+            if item == 2 {
+                panic!("injected persistent fault");
+            }
+            if item == 4 && flaky_attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("injected transient fault");
+            }
+            Ok(item * 10)
+        },
+    );
+
+    // Siblings complete with real results.
+    for (idx, expected) in [(0usize, 0u32), (1, 10), (3, 30), (5, 50)] {
+        assert_eq!(
+            batch.results[idx].as_ref().expect("sibling completes"),
+            &expected
+        );
+    }
+    // The persistent fault exhausted its retries and was quarantined as
+    // a typed panic error.
+    let quarantined = batch.results[2].as_ref().expect_err("job 2 quarantined");
+    assert_eq!(quarantined.job, 2);
+    assert_eq!(quarantined.attempts, 1 + sup.max_retries);
+    assert!(matches!(quarantined.error, ExecError::Panic { job: 2, .. }));
+    // The transient fault recovered.
+    assert_eq!(batch.results[4].as_ref().expect("job 4 recovers"), &40);
+
+    assert_eq!(batch.counters.retries, u64::from(sup.max_retries) + 1);
+    assert_eq!(batch.counters.quarantined, 1);
+    assert!(batch.counters.panics >= 3);
+
+    // The supervision log maps 1:1 onto typed observability events,
+    // with the job index in the cycle slot.
+    let events = supervisor_events_to_obs(&batch.events);
+    assert_eq!(events.len(), batch.events.len());
+    let retries: Vec<u64> = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::ExecRetry { .. }))
+        .map(|e| e.cycle)
+        .collect();
+    assert_eq!(retries, [2, 2, 4], "retry events carry their job index");
+    assert!(events.iter().any(|e| matches!(
+        e.kind,
+        EventKind::ExecQuarantine {
+            attempts: 3,
+            panicked: true
+        }
+    ) && e.cycle == 2));
+
+    // Counters surface as exec.* metrics.
+    let metrics = supervisor_metrics(&batch.counters);
+    assert_eq!(metrics.counter("exec.retries"), batch.counters.retries);
+    assert_eq!(metrics.counter("exec.quarantined"), 1);
+    assert_eq!(metrics.counter("exec.degraded"), 0);
+}
+
+#[test]
+fn unknown_benchmark_is_quarantined_while_siblings_complete() {
+    let exp = experiment();
+    let jobs = vec![
+        ("swaptions".to_owned(), PolicyKind::Vrl),
+        ("no-such-benchmark".to_owned(), PolicyKind::Vrl),
+        ("ferret".to_owned(), PolicyKind::Raidr),
+    ];
+    let sup = Supervisor::new();
+    let matrix = exp.run_jobs_supervised(&ExecConfig::new(2), &sup, &jobs);
+
+    assert_eq!(matrix.cells.len(), 3);
+    let good = matrix.cells[0].as_ref().expect("swaptions completes");
+    assert_eq!(good.benchmark, "swaptions");
+    assert_eq!(good.policy, PolicyKind::Vrl);
+    assert!(matrix.cells[2].is_ok(), "ferret completes");
+
+    // The unknown benchmark is a deterministic typed error: quarantined
+    // on its first attempt, never retried.
+    let bad = matrix.cells[1].as_ref().expect_err("unknown benchmark");
+    assert_eq!(bad.job, 1);
+    assert_eq!(bad.attempts, 1);
+    assert!(matches!(
+        &bad.error,
+        ExecError::Job {
+            job: 1,
+            error: Error::UnknownWorkload { requested, .. },
+        } if requested == "no-such-benchmark"
+    ));
+
+    assert_eq!(matrix.counters.retries, 0);
+    assert_eq!(matrix.counters.quarantined, 1);
+    assert!(!matrix.degraded);
+    assert_eq!(matrix.metrics.counter("exec.quarantined"), 1);
+    assert!(matrix.events.iter().any(|e| matches!(
+        e.kind,
+        EventKind::ExecQuarantine {
+            attempts: 1,
+            panicked: false
+        }
+    ) && e.cycle == 1));
+}
+
+#[test]
+fn supervised_matrix_is_bit_identical_across_pool_shapes() {
+    let exp = experiment();
+    let sup = Supervisor::new();
+    let policies = [PolicyKind::Raidr, PolicyKind::Vrl];
+    let serial = exp.run_matrix_supervised(&ExecConfig::new(1), &sup, &policies);
+    let pooled = exp.run_matrix_supervised(&ExecConfig::new(4), &sup, &policies);
+
+    assert_eq!(serial.cells.len(), pooled.cells.len());
+    for (a, b) in serial.cells.iter().zip(&pooled.cells) {
+        let (a, b) = (a.as_ref().expect("healthy"), b.as_ref().expect("healthy"));
+        assert_eq!(a, b, "supervised cells diverged across pool shapes");
+    }
+    assert_eq!(serial.events, pooled.events);
+    assert_eq!(serial.counters, pooled.counters);
+    assert_eq!(serial.counters.quarantined, 0);
+    assert!(!serial.degraded && !pooled.degraded);
+}
