@@ -9,12 +9,13 @@
 //!              [--resume FILE]
 //! vrl compare [--rows N] [--duration-ms D] [--threads T] [--metrics FILE]
 //!             [--manifest FILE]
-//! vrl sched <benchmark> [--rows N] [--banks B] [--duration-ms D]
-//!           [--policy P] [--no-parallel] [--metrics FILE]
+//! vrl sched <benchmark> [--rows N] [--channels C] [--ranks R] [--banks B]
+//!           [--duration-ms D] [--policy P] [--no-parallel] [--metrics FILE]
 //!           [--checkpoint FILE --checkpoint-every N [--halt-after K]]
 //!           [--resume FILE]
-//! vrl trace <benchmark> [--policy P] [--rows N] [--banks B]
-//!           [--duration-ms D] [--out FILE] [--metrics FILE] [--validate]
+//! vrl trace <benchmark> [--policy P] [--rows N] [--channels C] [--ranks R]
+//!           [--banks B] [--duration-ms D] [--out FILE] [--metrics FILE]
+//!           [--validate]
 //!           [--checkpoint FILE --checkpoint-every N [--halt-after K]]
 //!           [--resume FILE]
 //! vrl netlist <equalization|charge-sharing|sense-restore>
@@ -399,8 +400,8 @@ fn cmd_sched(args: &[String]) -> ExitCode {
     }
     let Some(benchmark) = args.first().filter(|a| !a.starts_with("--")).cloned() else {
         eprintln!(
-            "usage: vrl sched <benchmark> [--rows N] [--banks B] [--duration-ms D] \
-             [--policy P] [--no-parallel] \
+            "usage: vrl sched <benchmark> [--rows N] [--channels C] [--ranks R] [--banks B] \
+             [--duration-ms D] [--policy P] [--no-parallel] \
              [--checkpoint FILE --checkpoint-every N [--halt-after K]] [--resume FILE]"
         );
         eprintln!(
@@ -410,6 +411,8 @@ fn cmd_sched(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     };
     let rows: u32 = flag_parse(args, "--rows", 8192);
+    let channels: u32 = flag_parse(args, "--channels", 1);
+    let ranks: u32 = flag_parse(args, "--ranks", 1);
     let banks: u32 = flag_parse(args, "--banks", 8);
     let duration_ms: f64 = flag_parse(args, "--duration-ms", 512.0);
     let parallel = !args.iter().any(|a| a == "--no-parallel");
@@ -429,7 +432,7 @@ fn cmd_sched(args: &[String]) -> ExitCode {
         duration_ms,
         ..Default::default()
     });
-    let sched = match experiment.sched_config(banks) {
+    let sched = match experiment.dimm_config(channels, ranks, banks) {
         Ok(cfg) => cfg.with_parallelism(parallel),
         Err(err) => {
             eprintln!("{err}");
@@ -437,8 +440,8 @@ fn cmd_sched(args: &[String]) -> ExitCode {
         }
     };
     println!(
-        "rank: {banks} banks × {} rows, {duration_ms} ms simulated, \
-         refresh parallelization {}",
+        "dimm: {channels} channels × {ranks} ranks × {banks} banks × {} rows, \
+         {duration_ms} ms simulated, refresh parallelization {}",
         sched.rows_per_bank(),
         if parallel { "on" } else { "off" }
     );
@@ -545,8 +548,8 @@ fn cmd_trace(args: &[String]) -> ExitCode {
     }
     let Some(benchmark) = args.first().filter(|a| !a.starts_with("--")).cloned() else {
         eprintln!(
-            "usage: vrl trace <benchmark> [--policy P] [--rows N] [--banks B] \
-             [--duration-ms D] [--out FILE] [--metrics FILE] [--validate] \
+            "usage: vrl trace <benchmark> [--policy P] [--rows N] [--channels C] [--ranks R] \
+             [--banks B] [--duration-ms D] [--out FILE] [--metrics FILE] [--validate] \
              [--checkpoint FILE --checkpoint-every N [--halt-after K]] [--resume FILE]"
         );
         eprintln!(
@@ -556,6 +559,8 @@ fn cmd_trace(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     };
     let rows: u32 = flag_parse(args, "--rows", 8192);
+    let channels: u32 = flag_parse(args, "--channels", 1);
+    let ranks: u32 = flag_parse(args, "--ranks", 1);
     let banks: u32 = flag_parse(args, "--banks", 8);
     let duration_ms: f64 = flag_parse(args, "--duration-ms", 512.0);
     let policy_name = flag_value(args, "--policy").unwrap_or_else(|| "vrl-access".to_owned());
@@ -573,7 +578,7 @@ fn cmd_trace(args: &[String]) -> ExitCode {
         duration_ms,
         ..Default::default()
     });
-    let sched = match experiment.sched_config(banks) {
+    let sched = match experiment.dimm_config(channels, ranks, banks) {
         Ok(cfg) => cfg,
         Err(err) => {
             eprintln!("{err}");
@@ -700,12 +705,12 @@ fn main() -> ExitCode {
                  [--manifest FILE]"
             );
             eprintln!(
-                "  vrl sched <benchmark> [--rows N] [--banks B] [--duration-ms D] \
-                 [--policy P] [--no-parallel] [--metrics FILE]"
+                "  vrl sched <benchmark> [--rows N] [--channels C] [--ranks R] [--banks B] \
+                 [--duration-ms D] [--policy P] [--no-parallel] [--metrics FILE]"
             );
             eprintln!(
-                "  vrl trace <benchmark> [--policy P] [--rows N] [--banks B] \
-                 [--duration-ms D] [--out FILE] [--metrics FILE] [--validate]"
+                "  vrl trace <benchmark> [--policy P] [--rows N] [--channels C] [--ranks R] \
+                 [--banks B] [--duration-ms D] [--out FILE] [--metrics FILE] [--validate]"
             );
             eprintln!(
                 "  (simulate/sched/trace also take --checkpoint FILE --checkpoint-every N \

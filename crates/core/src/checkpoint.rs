@@ -200,7 +200,9 @@ impl vrl_snap::Snapshot for ExperimentConfig {
 /// refresh-elasticity configuration; timing is paper-default).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct SchedShape {
-    banks: u32,
+    channels: u32,
+    ranks: u32,
+    banks_per_rank: u32,
     rows_per_bank: u32,
     queue_depth: usize,
     slack: u64,
@@ -211,7 +213,9 @@ struct SchedShape {
 impl SchedShape {
     fn of(config: &SchedConfig) -> Self {
         SchedShape {
-            banks: config.banks(),
+            channels: config.channels(),
+            ranks: config.ranks(),
+            banks_per_rank: config.banks_per_rank(),
             rows_per_bank: config.rows_per_bank(),
             queue_depth: config.queue_depth,
             slack: config.slack,
@@ -221,10 +225,15 @@ impl SchedShape {
     }
 
     fn to_config(self) -> Result<SchedConfig, Error> {
-        let mut config = SchedConfig::with_geometry(self.banks, self.rows_per_bank)?
-            .with_queue_depth(self.queue_depth)
-            .with_slack(self.slack)
-            .with_parallelism(self.parallel_refresh);
+        let mut config = SchedConfig::with_dimm_geometry(
+            self.channels,
+            self.ranks,
+            self.banks_per_rank,
+            self.rows_per_bank,
+        )?
+        .with_queue_depth(self.queue_depth)
+        .with_slack(self.slack)
+        .with_parallelism(self.parallel_refresh);
         if !self.staggered {
             config = config.with_burst_refresh();
         }
@@ -234,7 +243,9 @@ impl SchedShape {
 
 impl vrl_snap::Snapshot for SchedShape {
     fn save(&self, enc: &mut Encoder) {
-        enc.put_u32(self.banks);
+        enc.put_u32(self.channels);
+        enc.put_u32(self.ranks);
+        enc.put_u32(self.banks_per_rank);
         enc.put_u32(self.rows_per_bank);
         enc.put_usize(self.queue_depth);
         enc.put_u64(self.slack);
@@ -244,7 +255,9 @@ impl vrl_snap::Snapshot for SchedShape {
 
     fn load(dec: &mut Decoder<'_>) -> Result<Self, SnapError> {
         Ok(SchedShape {
-            banks: dec.take_u32()?,
+            channels: dec.take_u32()?,
+            ranks: dec.take_u32()?,
+            banks_per_rank: dec.take_u32()?,
             rows_per_bank: dec.take_u32()?,
             queue_depth: dec.take_usize()?,
             slack: dec.take_u64()?,

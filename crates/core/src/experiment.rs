@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use vrl_exec::{map_ordered_report, ExecConfig, PoolReport};
+use vrl_exec::{map_ordered, map_ordered_report, ExecConfig, PoolReport};
 
 use vrl_circuit::model::AnalyticalModel;
 use vrl_circuit::tech::Technology;
@@ -25,7 +25,7 @@ use vrl_dram_sim::integrity::IntegrityChecker;
 use vrl_dram_sim::policy::AdaptivePolicy;
 use vrl_dram_sim::sim::{NullObserver, SimConfig, SimObserver, Simulator};
 use vrl_dram_sim::{AutoRefresh, SimStats, TimingParams};
-use vrl_obs::{EventStream, MetricsRegistry, MetricsSnapshot, Recorder};
+use vrl_obs::{merge_streams, Event, EventStream, MetricsRegistry, MetricsSnapshot, Recorder};
 use vrl_power::model::{PowerBreakdown, PowerModel};
 use vrl_retention::distribution::RetentionDistribution;
 use vrl_retention::profile::BankProfile;
@@ -423,6 +423,124 @@ impl Experiment {
         Ok(SchedConfig::with_geometry(banks, self.config.rows / banks)?)
     }
 
+    /// A full-DIMM scheduler geometry for this experiment: the
+    /// configured row count split evenly across
+    /// `channels × ranks × banks_per_rank` banks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Sim`] if the geometry does not evenly split
+    /// [`ExperimentConfig::rows`] into power-of-two banks of
+    /// power-of-two rows (the address map needs whole bit fields).
+    pub fn dimm_config(
+        &self,
+        channels: u32,
+        ranks: u32,
+        banks_per_rank: u32,
+    ) -> Result<SchedConfig, Error> {
+        let banks = channels
+            .checked_mul(ranks)
+            .and_then(|n| n.checked_mul(banks_per_rank))
+            .unwrap_or(0);
+        if banks == 0 || !self.config.rows.is_multiple_of(banks) {
+            return Err(Error::Sim(vrl_dram_sim::Error::InvalidConfig {
+                reason: format!(
+                    "{channels} channels × {ranks} ranks × {banks_per_rank} banks \
+                     cannot evenly split {} rows",
+                    self.config.rows
+                ),
+            }));
+        }
+        Ok(SchedConfig::with_dimm_geometry(
+            channels,
+            ranks,
+            banks_per_rank,
+            self.config.rows / banks,
+        )?)
+    }
+
+    /// Runs one channel shard of a full-DIMM simulation: the whole
+    /// benchmark trace is regenerated deterministically, records
+    /// steered to other channels are dropped by the shard, and events
+    /// come back in a stream labeled `"{benchmark}/ch{channel}"` with
+    /// global bank indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownWorkload`] for an unknown benchmark name
+    /// and [`Error::Sim`] for an out-of-range channel or scheduler
+    /// invariant failure.
+    pub fn run_dimm_channel(
+        &self,
+        kind: PolicyKind,
+        benchmark: &str,
+        sched: SchedConfig,
+        channel: u32,
+    ) -> Result<(SchedStats, EventStream), Error> {
+        let trace = self.trace(benchmark)?;
+        let label = format!("{benchmark}/ch{channel}");
+        let mut recorder = Recorder::new(&label, kind.name(), sched.rows_per_bank());
+        let d = self.config.duration_ms;
+        let stats = match kind {
+            PolicyKind::Auto => Scheduler::for_channel(sched, AutoRefresh::new(64.0), channel)?
+                .run_observed(trace, d, &mut recorder)?,
+            PolicyKind::Raidr => Scheduler::for_channel(sched, self.plan.raidr(), channel)?
+                .run_observed(trace, d, &mut recorder)?,
+            PolicyKind::Vrl => Scheduler::for_channel(sched, self.plan.vrl(), channel)?
+                .run_observed(trace, d, &mut recorder)?,
+            PolicyKind::VrlAccess => Scheduler::for_channel(
+                sched,
+                self.plan.vrl_access(),
+                channel,
+            )?
+            .run_observed(trace, d, &mut recorder)?,
+        };
+        Ok((stats, recorder.finish()))
+    }
+
+    /// Runs every channel shard of a full-DIMM simulation serially and
+    /// merges the results — the bit-identity reference for
+    /// [`Experiment::run_dimm_with`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Experiment::run_dimm_channel`].
+    pub fn run_dimm_serial(
+        &self,
+        kind: PolicyKind,
+        benchmark: &str,
+        sched: SchedConfig,
+    ) -> Result<DimmRun, Error> {
+        (0..sched.channels())
+            .map(|c| self.run_dimm_channel(kind, benchmark, sched, c))
+            .collect::<Result<Vec<_>, _>>()
+            .map(DimmRun::assemble)
+    }
+
+    /// Runs a full-DIMM simulation with one independent scheduler shard
+    /// per channel fanned across the worker pool. Shards never share
+    /// state, so the result is bit-identical to
+    /// [`Experiment::run_dimm_serial`] for every pool shape.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the lowest-channel failure; worker panics surface as
+    /// [`Error::WorkerPanic`].
+    pub fn run_dimm_with(
+        &self,
+        cfg: &ExecConfig,
+        kind: PolicyKind,
+        benchmark: &str,
+        sched: SchedConfig,
+    ) -> Result<DimmRun, Error> {
+        let channels: Vec<u32> = (0..sched.channels()).collect();
+        let shards = map_ordered(cfg, &channels, |_, &c| {
+            self.run_dimm_channel(kind, benchmark, sched, c)
+        })
+        .map_err(Error::from)?;
+        Ok(DimmRun::assemble(shards))
+    }
+
     /// Runs one policy against one benchmark on the FR-FCFS controller
     /// front end.
     ///
@@ -764,6 +882,37 @@ pub struct SchedCell {
     pub stats: SchedStats,
 }
 
+/// One full-DIMM run assembled from per-channel scheduler shards
+/// ([`Experiment::run_dimm_serial`] / [`Experiment::run_dimm_with`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DimmRun {
+    /// Counters merged across every shard with
+    /// [`SchedStats::merge`] — identical to the stats of one
+    /// whole-DIMM [`Scheduler`] instance over the same trace.
+    pub stats: SchedStats,
+    /// One event stream per channel, in channel order.
+    pub streams: Vec<EventStream>,
+}
+
+impl DimmRun {
+    fn assemble(shards: Vec<(SchedStats, EventStream)>) -> DimmRun {
+        let mut stats = SchedStats::default();
+        let mut streams = Vec::with_capacity(shards.len());
+        for (shard_stats, stream) in shards {
+            stats = stats.merge(&shard_stats);
+            streams.push(stream);
+        }
+        DimmRun { stats, streams }
+    }
+
+    /// Every shard's events in the deterministic `(cycle, bank, seq)`
+    /// merge order — independent of how shards were packed onto
+    /// workers, because each bank's events come from exactly one shard.
+    pub fn merged_events(&self) -> Vec<Event> {
+        merge_streams(&self.streams)
+    }
+}
+
 /// The result of a fault-injected run ([`Experiment::run_faulted`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultedOutcome {
@@ -889,6 +1038,57 @@ mod tests {
             .expect("known");
         assert_eq!(violations, 0, "parallelized refreshes must stay sound");
         assert!(stats.sim.total_refreshes() > 0);
+    }
+
+    #[test]
+    fn dimm_config_requires_an_even_power_of_two_split() {
+        let e = small();
+        let cfg = e.dimm_config(2, 2, 4).expect("512 rows over 16 banks");
+        assert_eq!(cfg.channels(), 2);
+        assert_eq!(cfg.ranks(), 2);
+        assert_eq!(cfg.banks(), 16);
+        assert_eq!(cfg.total_rows(), 512);
+        assert!(e.dimm_config(0, 1, 4).is_err());
+        assert!(e.dimm_config(3, 1, 1).is_err());
+    }
+
+    #[test]
+    fn dimm_shards_match_the_whole_dimm_across_pool_shapes() {
+        let e = Experiment::new(ExperimentConfig {
+            rows: 512,
+            duration_ms: 128.0,
+            ..Default::default()
+        });
+        let sched = e.dimm_config(2, 2, 4).expect("16 banks");
+        let whole = e
+            .run_scheduled(PolicyKind::VrlAccess, "ferret", sched)
+            .expect("known");
+        let serial = e
+            .run_dimm_serial(PolicyKind::VrlAccess, "ferret", sched)
+            .expect("known");
+        assert_eq!(
+            serial.stats, whole,
+            "merged shard stats must equal the single whole-DIMM instance"
+        );
+        assert_eq!(serial.streams.len(), 2);
+        for workers in [1, 2, 5] {
+            let pooled = e
+                .run_dimm_with(
+                    &ExecConfig::new(workers),
+                    PolicyKind::VrlAccess,
+                    "ferret",
+                    sched,
+                )
+                .expect("known");
+            assert_eq!(pooled, serial, "{workers}-worker pool diverged");
+        }
+        let merged = serial.merged_events();
+        assert!(!merged.is_empty());
+        assert!(merged
+            .windows(2)
+            .all(|w| w[0].merge_key() <= w[1].merge_key()));
+        assert!(merged.iter().any(|ev| ev.bank >= sched.banks_per_channel()));
+        assert!(merged.iter().all(|ev| ev.bank < sched.banks()));
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub use checkpoint::{
 };
 pub use error::Error;
 pub use experiment::{
-    ComparisonRow, Experiment, ExperimentConfig, FaultedOutcome, MatrixCell, PolicyKind,
+    ComparisonRow, DimmRun, Experiment, ExperimentConfig, FaultedOutcome, MatrixCell, PolicyKind,
 };
 pub use mprsf::{Mprsf, MprsfCalculator};
 pub use plan::RefreshPlan;

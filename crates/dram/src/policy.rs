@@ -10,6 +10,29 @@ use vrl_snap::{Decoder, Encoder, SnapError, Snapshot as _};
 
 use crate::timing::RefreshLatency;
 
+/// What a policy's [`RefreshPolicy::on_activate`] hook actually does,
+/// advertised so the scheduler can batch or skip notifications.
+///
+/// A hot scheduler loop delivers millions of activations; when the hook
+/// is a no-op the calls are pure overhead, and when it is an idempotent
+/// reset the scheduler may coalesce repeated activations of a row into
+/// one deferred notification (a bitset flush) as long as every deferred
+/// reset is delivered before the next [`RefreshPolicy::refresh_kind`]
+/// decision that could observe it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActivationEffect {
+    /// `on_activate` is a no-op; the scheduler may skip it entirely.
+    Ignored,
+    /// `on_activate` has effects the scheduler may not defer or
+    /// coalesce; it must be called once per activation, in order.
+    Immediate,
+    /// `on_activate` is an idempotent per-row reset: calling it once is
+    /// equivalent to calling it many times, and only `refresh_kind` (of
+    /// the same row) observes the result. The scheduler may defer and
+    /// deduplicate notifications between refresh decisions.
+    IdempotentReset,
+}
+
 /// A refresh scheduling policy (the paper's Algorithm 1 generalized).
 pub trait RefreshPolicy {
     /// Human-readable policy name (used in experiment output).
@@ -26,6 +49,13 @@ pub trait RefreshPolicy {
     /// (an activation fully restores the row's charge).
     fn on_activate(&mut self, row: u32) {
         let _ = row;
+    }
+
+    /// How [`RefreshPolicy::on_activate`] behaves (see
+    /// [`ActivationEffect`]). The conservative default demands one
+    /// in-order call per activation.
+    fn activation_effect(&self) -> ActivationEffect {
+        ActivationEffect::Immediate
     }
 }
 
@@ -148,6 +178,10 @@ impl RefreshPolicy for AutoRefresh {
     fn refresh_kind(&mut self, _row: u32) -> RefreshLatency {
         RefreshLatency::Full
     }
+
+    fn activation_effect(&self) -> ActivationEffect {
+        ActivationEffect::Ignored
+    }
 }
 
 impl AdaptivePolicy for AutoRefresh {
@@ -197,6 +231,10 @@ impl RefreshPolicy for Raidr {
 
     fn refresh_kind(&mut self, _row: u32) -> RefreshLatency {
         RefreshLatency::Full
+    }
+
+    fn activation_effect(&self) -> ActivationEffect {
+        ActivationEffect::Ignored
     }
 }
 
@@ -282,6 +320,10 @@ impl RefreshPolicy for Vrl {
 
     fn refresh_kind(&mut self, row: u32) -> RefreshLatency {
         self.schedule(row)
+    }
+
+    fn activation_effect(&self) -> ActivationEffect {
+        ActivationEffect::Ignored
     }
 }
 
@@ -374,6 +416,13 @@ impl RefreshPolicy for VrlAccess {
 
     fn on_activate(&mut self, row: u32) {
         self.inner.rcount[row as usize] = 0;
+    }
+
+    /// The reset writes 0 regardless of how many activations precede
+    /// it, and only `refresh_kind` of the same row reads `rcount` — the
+    /// definition of a deferrable idempotent reset.
+    fn activation_effect(&self) -> ActivationEffect {
+        ActivationEffect::IdempotentReset
     }
 }
 

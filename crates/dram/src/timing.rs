@@ -45,6 +45,12 @@ pub struct TimingParams {
     /// Data-bus turnaround penalty when consecutive bursts come from
     /// different banks (driver hand-off on the shared DQ bus).
     pub bus_turnaround: u64,
+    /// Minimum spacing between refresh **starts** within one rank
+    /// `tRFC`: a rank's charge pumps recover between refreshes, so two
+    /// refreshes to the same rank (any bank) cannot start closer than
+    /// this. Zero in the paper's single-rank evaluation, where per-row
+    /// refresh latency already serializes the one shared bank.
+    pub trfc: u64,
 }
 
 impl TimingParams {
@@ -66,6 +72,7 @@ impl TimingParams {
             tfaw: 20,
             tccd: 4,
             bus_turnaround: 2,
+            trfc: 0,
         }
     }
 

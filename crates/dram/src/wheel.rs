@@ -66,6 +66,10 @@ pub struct RefreshQueue {
     overflow: Vec<RefreshEvent>,
     /// Cached minimum deadline in `overflow` (`u64::MAX` when empty).
     overflow_min: u64,
+    /// Drain staging buffer, swapped with ring slots in `settle` so a
+    /// drained slot inherits a previously-used allocation instead of
+    /// dropping its own — steady-state drains never allocate.
+    scratch: Vec<RefreshEvent>,
 }
 
 impl Default for RefreshQueue {
@@ -84,6 +88,7 @@ impl RefreshQueue {
             cursor: 0,
             overflow: Vec::new(),
             overflow_min: u64::MAX,
+            scratch: Vec::new(),
         }
     }
 
@@ -151,9 +156,9 @@ impl RefreshQueue {
                     let slot = ((self.cursor + step) % NUM_BUCKETS as u64) as usize;
                     if !self.ring[slot].is_empty() {
                         self.cursor += step;
-                        let drained = std::mem::take(&mut self.ring[slot]);
-                        self.ring_len -= drained.len();
-                        self.current.extend(drained.into_iter().map(Reverse));
+                        std::mem::swap(&mut self.ring[slot], &mut self.scratch);
+                        self.ring_len -= self.scratch.len();
+                        self.current.extend(self.scratch.drain(..).map(Reverse));
                         self.migrate_overflow();
                         break;
                     }

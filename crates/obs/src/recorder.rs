@@ -13,7 +13,7 @@ pub const NO_ROW: u32 = u32::MAX;
 
 /// One worker's finished recording: the retained events plus stream
 /// metadata.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EventStream {
     /// Free-form stream label (workload name, worker index, …).
     pub label: String,

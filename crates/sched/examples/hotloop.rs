@@ -1,0 +1,98 @@
+//! Scratch hot-loop meter: replays a materialized bursty trace through
+//! the SoA scheduler and the reference engine and prints wall time per
+//! event for each. Used to compare engine throughput without trace
+//! generation in the timed region.
+
+use vrl_dram_sim::policy::{RefreshPolicy, VrlAccess};
+use vrl_retention::binning::BinningTable;
+use vrl_retention::profile::BankProfile;
+use vrl_sched::{ReferenceScheduler, SchedConfig, Scheduler};
+use vrl_trace::{Op, TraceRecord, Workload, WorkloadSpec};
+
+fn bursts(until: u64, rows: u32) -> Vec<TraceRecord> {
+    const GAP: u64 = 1 << 18;
+    const BURST_LEN: u64 = 256;
+    let mut records = Vec::new();
+    let mut cycle = 0u64;
+    let mut row = 0u32;
+    while cycle < until {
+        for i in 0..BURST_LEN {
+            let op = if i % 3 == 0 { Op::Write } else { Op::Read };
+            records.push(TraceRecord::new(cycle + i * 4, op, row % rows));
+            row = row.wrapping_add(7);
+        }
+        cycle += GAP;
+    }
+    records
+}
+
+fn vrl_access(rows: usize) -> VrlAccess {
+    let retention = (0..rows).map(|r| match r % 4 {
+        0 => 64.0,
+        1 => 128.0,
+        _ => 256.0,
+    });
+    let bins = BinningTable::from_profile(&BankProfile::from_rows(retention, 32));
+    let mprsf = (0..rows).map(|r| (r % 4) as u8).collect();
+    VrlAccess::new(bins, mprsf)
+}
+
+fn measure<P: RefreshPolicy, F: Fn() -> P>(
+    label: &str,
+    config: SchedConfig,
+    trace: &[TraceRecord],
+    duration_ms: f64,
+    make_policy: F,
+) {
+    for _ in 0..3 {
+        let t0 = std::time::Instant::now();
+        let mut engine = Scheduler::new(config, make_policy()).expect("config");
+        let soa = engine
+            .run(trace.iter().copied(), duration_ms)
+            .expect("soa run");
+        let soa_wall = t0.elapsed().as_secs_f64();
+
+        let t0 = std::time::Instant::now();
+        let mut engine = ReferenceScheduler::new(config, make_policy()).expect("config");
+        let reference = engine
+            .run(trace.iter().copied(), duration_ms)
+            .expect("reference run");
+        let reference_wall = t0.elapsed().as_secs_f64();
+
+        assert_eq!(soa, reference, "engines diverged");
+        let events = soa.sim.events();
+        println!(
+            "{label}: {events} events, soa {:.3}s ({:.0} ns/ev), reference {:.3}s \
+             ({:.0} ns/ev), ratio {:.2}x",
+            soa_wall,
+            soa_wall * 1e9 / events as f64,
+            reference_wall,
+            reference_wall * 1e9 / events as f64,
+            reference_wall / soa_wall,
+        );
+    }
+}
+
+fn main() {
+    let duration_ms = 192.0;
+    let config = SchedConfig::with_dimm_geometry(2, 2, 16, 16)
+        .expect("geometry")
+        .with_parallelism(true);
+    let end = config.timing.ms_to_cycles(duration_ms);
+    let trace = bursts(end, config.total_rows());
+    let rows = config.total_rows() as usize;
+    measure("bursty/vrl-access", config, &trace, duration_ms, || {
+        vrl_access(rows)
+    });
+
+    let duration_ms = 128.0;
+    let rows = 1024u32;
+    let config = SchedConfig::with_dimm_geometry(2, 2, 16, rows / 64).expect("geometry");
+    for benchmark in ["canneal", "ferret", "streamcluster"] {
+        let spec = WorkloadSpec::parsec(benchmark).expect("benchmark");
+        let trace: Vec<TraceRecord> = Workload::new(spec, rows, 42).records(duration_ms).collect();
+        measure(benchmark, config, &trace, duration_ms, || {
+            vrl_access(rows as usize)
+        });
+    }
+}

@@ -1,12 +1,19 @@
-//! Cycle-accurate multi-bank DDR command scheduler.
+//! Cycle-accurate full-DIMM DDR command scheduler: channels × ranks ×
+//! banks.
 //!
 //! Sits between the trace front end ([`vrl_trace`]) and the bank/policy
 //! machinery of [`vrl_dram_sim`]: requests are steered through an
 //! [`vrl_trace::addr::AddressMap`] to per-bank command FSMs, arbitrated
-//! over a shared command/data bus under inter-bank timing constraints
-//! (`tRRD`, `tFAW`, `tCCD`, bus turnaround), and refreshed from per-bank
-//! timing-wheel queues with a JEDEC-style postpone/pull-in elasticity
-//! window (DSARP-style refresh-access parallelization).
+//! over per-channel command/data buses under rank-scoped (`tRRD`,
+//! `tFAW`, `tRFC`) and channel-scoped (`tCCD`, bus turnaround) timing
+//! constraints, and refreshed from per-bank timing-wheel queues with a
+//! JEDEC-style postpone/pull-in elasticity window (DSARP-style
+//! refresh-access parallelization). The hot loop keeps bank state in
+//! struct-of-arrays form and allocates nothing in steady state; whole
+//! DIMMs can also run as one independent [`Scheduler::for_channel`]
+//! shard per channel, bit-identical to the single-instance run (the
+//! [`reference`] module keeps the original per-bank-heap engine as the
+//! executable specification both are tested against).
 //!
 //! With one bank and parallelization disabled the scheduler is
 //! bit-identical to [`vrl_dram_sim::controller::FrFcfsController`] — the
@@ -30,9 +37,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod config;
+pub mod reference;
 pub mod sched;
 pub mod stats;
 
 pub use config::SchedConfig;
+pub use reference::ReferenceScheduler;
 pub use sched::{SchedCursor, Scheduler};
 pub use stats::{LatencyHistogram, SchedStats};

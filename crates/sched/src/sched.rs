@@ -1,12 +1,37 @@
-//! The multi-bank command scheduler.
+//! The multi-channel, multi-rank, multi-bank command scheduler.
 //!
-//! One global FR-FCFS request queue feeds per-bank state machines that
-//! share a command bus and a data bus. Each bank keeps its per-row
-//! refresh deadlines on its own timing wheel; with refresh-access
-//! parallelization enabled, due refreshes yield to queued demand on
-//! their bank (within the elasticity window) and idle banks pull
-//! upcoming refreshes in early, so refresh work hides behind demand
-//! service on other banks instead of blocking it.
+//! Per-channel FR-FCFS request queues feed per-bank state machines.
+//! Each channel owns a command bus and a data bus; each rank scopes the
+//! activate constraints (`tRRD`, `tFAW`) and the refresh-start spacing
+//! (`tRFC`). Each bank keeps its per-row refresh deadlines on its own
+//! timing wheel; with refresh-access parallelization enabled, due
+//! refreshes yield to queued demand on their bank (within the
+//! elasticity window) and idle banks pull upcoming refreshes in early,
+//! so refresh work hides behind demand service on other banks instead
+//! of blocking it.
+//!
+//! # Struct-of-arrays hot loop
+//!
+//! Bank state lives in parallel arrays (`open_row`, `busy_until`,
+//! `next_due`, `queued`) rather than one heap object per bank: the
+//! per-decision scans — earliest-ready bank, due-refresh election, the
+//! advance-target minimum — walk contiguous integers instead of
+//! chasing pointers, and the due-refresh scan reads a cached copy of
+//! each wheel's head deadline instead of settling the wheel. The
+//! four-activate window is a fixed ring (`ActWindow`), and the
+//! steady-state loop performs no heap allocation at all
+//! (`tests/zero_alloc.rs` holds it to that).
+//!
+//! # Channel sharding
+//!
+//! Channels share nothing, so a whole-DIMM run executes each channel's
+//! scheduling loop independently, interleaved in bounded spans
+//! ([`CHANNEL_SPAN`] cycles) only to keep trace admission in arrival
+//! order. [`Scheduler::for_channel`] builds a single-channel shard of
+//! the same DIMM; running one shard per channel (in parallel, via
+//! `vrl-exec`) produces bit-identical per-channel decision sequences —
+//! and, merged, bit-identical statistics — to the whole-DIMM run,
+//! because each lane's inputs are the same either way.
 //!
 //! With one bank and parallelization off, the scheduler's decision
 //! sequence is exactly [`FrFcfsController`]'s: refresh-first, then the
@@ -15,7 +40,9 @@
 //! [`TimingParams::paper_default`](vrl_dram_sim::timing::TimingParams::paper_default)),
 //! so the two engines produce bit-identical counters — the regression
 //! test in `tests/controller_equivalence.rs` holds the scheduler to
-//! that.
+//! that, and holds the SoA engine to the per-bank-heap
+//! [`ReferenceScheduler`](crate::reference::ReferenceScheduler) across
+//! full-DIMM geometries.
 //!
 //! [`FrFcfsController`]: vrl_dram_sim::controller::FrFcfsController
 
@@ -23,9 +50,8 @@ use std::collections::VecDeque;
 
 use vrl_trace::{Op, TraceRecord};
 
-use vrl_dram_sim::bank::BankState;
 use vrl_dram_sim::error::Error;
-use vrl_dram_sim::policy::RefreshPolicy;
+use vrl_dram_sim::policy::{ActivationEffect, RefreshPolicy};
 use vrl_dram_sim::sim::{NullObserver, SimObserver};
 use vrl_dram_sim::timing::RefreshLatency;
 use vrl_dram_sim::wheel::RefreshQueue;
@@ -33,29 +59,17 @@ use vrl_dram_sim::wheel::RefreshQueue;
 use crate::config::SchedConfig;
 use crate::stats::SchedStats;
 
-/// One bank's scheduling state: the bank machine plus its refresh
-/// wheel (deadlines keyed by bank-local row index).
-#[derive(Debug)]
-struct BankLane {
-    state: BankState,
-    refreshes: RefreshQueue,
-}
+/// Cycles each channel runs ahead before the whole-DIMM loop rotates to
+/// the next channel. Any value preserves bit-identity (channels share
+/// nothing; spans only bound trace-admission lookahead); this one keeps
+/// buffered arrivals small while amortizing the rotation.
+pub const CHANNEL_SPAN: u64 = 1 << 20;
 
-impl vrl_snap::Snapshot for BankLane {
-    fn save(&self, enc: &mut vrl_snap::Encoder) {
-        self.state.save(enc);
-        self.refreshes.save(enc);
-    }
+/// Sentinel for "no open row" in the `open_row` array (row indices are
+/// always `< rows_per_bank`).
+const NO_ROW: u32 = u32::MAX;
 
-    fn load(dec: &mut vrl_snap::Decoder<'_>) -> Result<Self, vrl_snap::SnapError> {
-        Ok(BankLane {
-            state: BankState::load(dec)?,
-            refreshes: RefreshQueue::load(dec)?,
-        })
-    }
-}
-
-/// A queued request, steered to its bank on admission.
+/// A queued request, steered to its **global** bank on admission.
 #[derive(Debug, Clone, Copy)]
 struct Pending {
     record: TraceRecord,
@@ -79,34 +93,117 @@ impl vrl_snap::Snapshot for Pending {
     }
 }
 
-/// Shared-bus arbitration state.
+/// The last four activate issue cycles of one rank, as a fixed ring —
+/// the `tFAW` window without a `VecDeque`'s heap storage.
+#[derive(Debug, Default, Clone, Copy)]
+struct ActWindow {
+    buf: [u64; 4],
+    len: u8,
+    head: u8,
+}
+
+impl ActWindow {
+    fn push(&mut self, at: u64) {
+        if self.len < 4 {
+            self.buf[(self.head + self.len) as usize % 4] = at;
+            self.len += 1;
+        } else {
+            self.buf[self.head as usize] = at;
+            self.head = (self.head + 1) % 4;
+        }
+    }
+
+    /// The window's oldest activate, once four have been seen — the
+    /// cycle `tFAW` is measured from.
+    fn oldest_if_full(&self) -> Option<u64> {
+        (self.len == 4).then(|| self.buf[self.head as usize])
+    }
+
+    /// Oldest-to-newest, for canonical serialization (reloading by
+    /// re-pushing yields `head == 0`, so save → load → save is
+    /// byte-stable).
+    fn ordered(&self) -> Vec<u64> {
+        (0..self.len)
+            .map(|i| self.buf[(self.head + i) as usize % 4])
+            .collect()
+    }
+
+    fn from_ordered(acts: &[u64]) -> Self {
+        let mut w = ActWindow::default();
+        for &at in acts {
+            w.push(at);
+        }
+        w
+    }
+}
+
+/// Per-rank arbitration state: `tRRD`, the `tFAW` window, and the
+/// `tRFC` refresh-start spacing all scope to one rank.
+#[derive(Debug, Default)]
+struct RankWindow {
+    last_act: Option<(u64, u32)>,
+    acts: ActWindow,
+    last_refresh: Option<u64>,
+}
+
+impl vrl_snap::Snapshot for RankWindow {
+    fn save(&self, enc: &mut vrl_snap::Encoder) {
+        self.last_act.save(enc);
+        self.acts.ordered().save(enc);
+        self.last_refresh.save(enc);
+    }
+
+    fn load(dec: &mut vrl_snap::Decoder<'_>) -> Result<Self, vrl_snap::SnapError> {
+        Ok(RankWindow {
+            last_act: <Option<(u64, u32)>>::load(dec)?,
+            acts: ActWindow::from_ordered(&Vec::<u64>::load(dec)?),
+            last_refresh: <Option<u64>>::load(dec)?,
+        })
+    }
+}
+
+/// One channel's shared-bus arbitration state.
 ///
 /// The command bus issues one command per cycle; the data bus spaces
 /// CAS bursts of *different* banks by `tCCD` (plus the turnaround
-/// penalty on a read/write direction change) and the rank limits
+/// penalty on a read/write direction change); each rank limits
 /// activates by `tRRD` (different banks) and the four-activate window
-/// `tFAW`. Same-bank spacing needs no arbitration: the bank occupancy
-/// model already holds a bank for the whole lumped operation.
-#[derive(Debug, Default)]
-struct BusState {
+/// `tFAW`, and spaces refresh starts by `tRFC`. Same-bank spacing
+/// needs no arbitration: the bank occupancy model already holds a bank
+/// for the whole lumped operation.
+#[derive(Debug)]
+struct ChannelBus {
     last_cmd: Option<u64>,
-    last_act: Option<(u64, u32)>,
-    /// Issue cycles of the last four activates, rank-wide.
-    recent_acts: VecDeque<u64>,
     last_cas: Option<(u64, u32, bool)>,
+    ranks: Vec<RankWindow>,
 }
 
-impl BusState {
+impl ChannelBus {
+    fn new(ranks: usize) -> Self {
+        ChannelBus {
+            last_cmd: None,
+            last_cas: None,
+            ranks: (0..ranks).map(|_| RankWindow::default()).collect(),
+        }
+    }
+
     /// Earliest issue cycle at or after `start` honoring the activate
-    /// constraints for `bank`.
-    fn act_bound(&self, mut start: u64, bank: u32, timing: &vrl_dram_sim::TimingParams) -> u64 {
-        if let Some((at, b)) = self.last_act {
+    /// constraints for `bank` (a global bank index) on `rank`.
+    fn act_bound(
+        &self,
+        mut start: u64,
+        rank: usize,
+        bank: u32,
+        timing: &vrl_dram_sim::TimingParams,
+    ) -> u64 {
+        let r = &self.ranks[rank];
+        if let Some((at, b)) = r.last_act {
             if b != bank {
                 start = start.max(at + timing.trrd);
             }
         }
-        if self.recent_acts.len() == 4 {
-            start = start.max(self.recent_acts[0] + timing.tfaw);
+        if let Some(oldest) = r.acts.oldest_if_full() {
+            start = start.max(oldest + timing.tfaw);
         }
         start
     }
@@ -149,12 +246,10 @@ impl BusState {
         at
     }
 
-    fn note_act(&mut self, at: u64, bank: u32) {
-        self.last_act = Some((at, bank));
-        self.recent_acts.push_back(at);
-        if self.recent_acts.len() > 4 {
-            self.recent_acts.pop_front();
-        }
+    fn note_act(&mut self, at: u64, rank: usize, bank: u32) {
+        let r = &mut self.ranks[rank];
+        r.last_act = Some((at, bank));
+        r.acts.push(at);
     }
 
     fn note_cas(&mut self, at: u64, bank: u32, is_write: bool) {
@@ -162,37 +257,74 @@ impl BusState {
     }
 }
 
-impl vrl_snap::Snapshot for BusState {
+impl vrl_snap::Snapshot for ChannelBus {
     fn save(&self, enc: &mut vrl_snap::Encoder) {
         self.last_cmd.save(enc);
-        self.last_act.save(enc);
-        let acts: Vec<u64> = self.recent_acts.iter().copied().collect();
-        acts.save(enc);
         self.last_cas.save(enc);
+        self.ranks.save(enc);
     }
 
     fn load(dec: &mut vrl_snap::Decoder<'_>) -> Result<Self, vrl_snap::SnapError> {
-        Ok(BusState {
+        Ok(ChannelBus {
             last_cmd: <Option<u64>>::load(dec)?,
-            last_act: <Option<(u64, u32)>>::load(dec)?,
-            recent_acts: Vec::<u64>::load(dec)?.into(),
             last_cas: <Option<(u64, u32, bool)>>::load(dec)?,
+            ranks: Vec::<RankWindow>::load(dec)?,
+        })
+    }
+}
+
+/// One channel's resumable loop state: its request queue, its buffered
+/// (pulled-but-not-admitted) arrivals, its clock, and its stall latch.
+#[derive(Debug, Default)]
+struct LaneCursor {
+    queue: VecDeque<Pending>,
+    buffer: VecDeque<Pending>,
+    now: u64,
+    last_stall: Option<u64>,
+    /// The last advance target overshot the span boundary, so `now`
+    /// was clamped to it: this clock value is a synthetic visit an
+    /// unsharded run never makes. Nothing can fire here (the state is
+    /// unchanged since the last genuine decision point), but the
+    /// pull-in scan — whose lookahead horizon is anchored at `now` —
+    /// must not run until the clock reaches a genuine event again, or
+    /// it would pull refreshes in earlier than an independent run of
+    /// this channel would.
+    coasting: bool,
+}
+
+impl vrl_snap::Snapshot for LaneCursor {
+    fn save(&self, enc: &mut vrl_snap::Encoder) {
+        let queued: Vec<Pending> = self.queue.iter().copied().collect();
+        queued.save(enc);
+        let buffered: Vec<Pending> = self.buffer.iter().copied().collect();
+        buffered.save(enc);
+        enc.put_u64(self.now);
+        self.last_stall.save(enc);
+        enc.put_bool(self.coasting);
+    }
+
+    fn load(dec: &mut vrl_snap::Decoder<'_>) -> Result<Self, vrl_snap::SnapError> {
+        Ok(LaneCursor {
+            queue: Vec::<Pending>::load(dec)?.into(),
+            buffer: Vec::<Pending>::load(dec)?.into(),
+            now: dec.take_u64()?,
+            last_stall: <Option<u64>>::load(dec)?,
+            coasting: dec.take_bool()?,
         })
     }
 }
 
 /// The resumable position of a scheduler run: everything the scheduling
 /// loop keeps outside the scheduler itself (mirrors
-/// [`ControllerCursor`](vrl_dram_sim::controller::ControllerCursor)).
+/// [`ControllerCursor`](vrl_dram_sim::controller::ControllerCursor)) —
+/// one lane per active channel plus the count of records consumed from
+/// the source trace.
 #[derive(Debug, Default)]
 pub struct SchedCursor {
-    /// Requests admitted but not yet serviced.
-    queue: VecDeque<Pending>,
-    /// The scheduling clock.
-    now: u64,
-    /// Last cycle reported as a queue stall (each counted once).
-    last_stall: Option<u64>,
-    /// Records consumed from the source trace so far.
+    /// Per-channel loop state; sized lazily on first use.
+    lanes: Vec<LaneCursor>,
+    /// Records consumed from the source trace so far (admitted or
+    /// buffered).
     pulled: u64,
 }
 
@@ -211,24 +343,20 @@ impl SchedCursor {
 
 impl vrl_snap::Snapshot for SchedCursor {
     fn save(&self, enc: &mut vrl_snap::Encoder) {
-        let queued: Vec<Pending> = self.queue.iter().copied().collect();
-        queued.save(enc);
-        enc.put_u64(self.now);
-        self.last_stall.save(enc);
+        self.lanes.save(enc);
         enc.put_u64(self.pulled);
     }
 
     fn load(dec: &mut vrl_snap::Decoder<'_>) -> Result<Self, vrl_snap::SnapError> {
         Ok(SchedCursor {
-            queue: Vec::<Pending>::load(dec)?.into(),
-            now: dec.take_u64()?,
-            last_stall: <Option<u64>>::load(dec)?,
+            lanes: Vec::<LaneCursor>::load(dec)?,
             pulled: dec.take_u64()?,
         })
     }
 }
 
-/// The cycle-accurate multi-bank scheduler.
+/// The cycle-accurate DIMM scheduler (see the module docs for the
+/// struct-of-arrays layout and the channel-sharding contract).
 ///
 /// # Example
 ///
@@ -246,27 +374,102 @@ impl vrl_snap::Snapshot for SchedCursor {
 pub struct Scheduler<P: RefreshPolicy> {
     config: SchedConfig,
     policy: P,
-    lanes: Vec<BankLane>,
-    bus: BusState,
+    /// What [`RefreshPolicy::on_activate`] needs, cached: lazily
+    /// deferrable policies skip the call in the hot loop entirely.
+    effect: ActivationEffect,
+    /// First channel this instance drives (0 for a whole-DIMM run).
+    first_channel: u32,
+    /// Number of channels this instance drives.
+    active_channels: u32,
+    /// Global index of the first bank this instance drives.
+    bank_offset: usize,
+    /// Open row per local bank (`NO_ROW` when closed).
+    open_row: Vec<u32>,
+    /// First free cycle per local bank.
+    busy_until: Vec<u64>,
+    /// Cached head deadline of each bank's wheel (`u64::MAX` = empty);
+    /// recomputed after every wheel pop/push.
+    next_due: Vec<u64>,
+    /// Per-channel lower bound on `min(next_due)` over the channel's
+    /// banks. Lets the per-iteration refresh election and pull-in scan
+    /// bail in O(1) when no deadline is near: lowered whenever a bank's
+    /// `next_due` drops, tightened to the exact minimum on each full
+    /// election scan. Derived state — rebuilt on restore, never
+    /// serialized.
+    due_bound: Vec<u64>,
+    /// Per-row refresh deadlines, per local bank.
+    wheels: Vec<RefreshQueue>,
+    /// Queued-request count per local bank — O(1) contention checks.
+    /// Rebuilt from the cursor on restore, never serialized.
+    queued: Vec<u32>,
+    /// Rows activated since their last refresh, one bit per local
+    /// `(bank, row)` — the deferred-`on_activate` set for
+    /// [`ActivationEffect::IdempotentReset`] policies.
+    touched: Vec<u64>,
+    /// Per-channel bus arbitration state.
+    buses: Vec<ChannelBus>,
+    /// Per-bank stats vectors are full-DIMM sized and indexed by
+    /// **global** bank, so shard stats merge elementwise.
     stats: SchedStats,
 }
 
 impl<P: RefreshPolicy> Scheduler<P> {
-    /// Creates a scheduler; each bank's initial deadlines are staggered
-    /// across the row's period by the same hash the single-bank engines
-    /// use, keyed by the global row index.
+    /// Creates a whole-DIMM scheduler; each bank's initial deadlines
+    /// are staggered across the row's period by the same hash the
+    /// single-bank engines use, keyed by the global row index.
     ///
     /// # Errors
     ///
     /// Returns [`Error::InvalidConfig`] if the queue depth is zero.
     pub fn new(config: SchedConfig, policy: P) -> Result<Self, Error> {
+        Self::build(config, policy, 0, config.channels())
+    }
+
+    /// Creates a shard driving only `channel` of the configured DIMM.
+    ///
+    /// The shard steers with the full DIMM geometry and silently drops
+    /// records owned by other channels, so every shard can consume the
+    /// same unfiltered trace; running one shard per channel yields
+    /// per-channel results bit-identical to [`Scheduler::new`]'s
+    /// whole-DIMM run (merge shard stats with
+    /// [`SchedStats::merge`](crate::stats::SchedStats::merge)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if the queue depth is zero or
+    /// `channel` is out of range.
+    pub fn for_channel(config: SchedConfig, policy: P, channel: u32) -> Result<Self, Error> {
+        if channel >= config.channels() {
+            return Err(Error::InvalidConfig {
+                reason: format!(
+                    "channel {channel} out of range: the DIMM has {} channels",
+                    config.channels()
+                ),
+            });
+        }
+        Self::build(config, policy, channel, 1)
+    }
+
+    fn build(
+        config: SchedConfig,
+        policy: P,
+        first_channel: u32,
+        active_channels: u32,
+    ) -> Result<Self, Error> {
         if config.queue_depth == 0 {
             return Err(Error::InvalidConfig {
                 reason: "scheduler queue must hold at least one request".into(),
             });
         }
-        let mut lanes = Vec::with_capacity(config.banks() as usize);
-        for bank in 0..config.banks() {
+        let banks_per_channel = config.banks_per_channel() as usize;
+        let bank_offset = first_channel as usize * banks_per_channel;
+        let active_banks = active_channels as usize * banks_per_channel;
+        let rows = config.rows_per_bank() as usize;
+
+        let mut wheels = Vec::with_capacity(active_banks);
+        let mut next_due = Vec::with_capacity(active_banks);
+        for local in 0..active_banks {
+            let bank = (bank_offset + local) as u32;
             let mut refreshes = RefreshQueue::new();
             for row in 0..config.rows_per_bank() {
                 let global = config.global_row(bank, row);
@@ -278,17 +481,32 @@ impl<P: RefreshPolicy> Scheduler<P> {
                 };
                 refreshes.push(offset, row, offset);
             }
-            lanes.push(BankLane {
-                state: BankState::new(),
-                refreshes,
-            });
+            next_due.push(refreshes.next_due().unwrap_or(u64::MAX));
+            wheels.push(refreshes);
         }
+        let due_bound = next_due
+            .chunks(banks_per_channel)
+            .map(|chunk| chunk.iter().copied().min().unwrap_or(u64::MAX))
+            .collect();
+        let effect = policy.activation_effect();
         let banks = config.banks() as usize;
         Ok(Scheduler {
             config,
+            effect,
             policy,
-            lanes,
-            bus: BusState::default(),
+            first_channel,
+            active_channels,
+            bank_offset,
+            open_row: vec![NO_ROW; active_banks],
+            busy_until: vec![0; active_banks],
+            next_due,
+            due_bound,
+            wheels,
+            queued: vec![0; active_banks],
+            touched: vec![0; (active_banks * rows).div_ceil(64)],
+            buses: (0..active_channels)
+                .map(|_| ChannelBus::new(config.ranks() as usize))
+                .collect(),
             stats: SchedStats {
                 per_bank_refreshes: vec![0; banks],
                 per_bank_accesses: vec![0; banks],
@@ -324,6 +542,11 @@ impl<P: RefreshPolicy> Scheduler<P> {
     /// Runs with an observer receiving refresh/activate events, keyed
     /// by global row index (`bank * rows_per_bank + row`).
     ///
+    /// In a whole-DIMM run the observer sees channels interleaved in
+    /// [`CHANNEL_SPAN`] blocks; per-channel event streams (and their
+    /// deterministic merge) come from running one
+    /// [`Scheduler::for_channel`] shard per channel instead.
+    ///
     /// # Errors
     ///
     /// See [`Scheduler::run`].
@@ -344,17 +567,20 @@ impl<P: RefreshPolicy> Scheduler<P> {
         Ok(self.finish(end))
     }
 
-    /// Runs the scheduling loop until the clock reaches `stop_at` or all
-    /// work before `end` is exhausted — the checkpointing building block.
-    /// The pause point inserts no state change, so composing spans (with
-    /// [`Scheduler::finish`] at the end) is bit-identical to
-    /// [`Scheduler::run_observed`] by construction.
+    /// Runs the scheduling loop until every channel's clock reaches
+    /// `stop_at` or all work before `end` is exhausted — the
+    /// checkpointing building block. The pause point inserts no state
+    /// change, so composing spans (with [`Scheduler::finish`] at the
+    /// end) is bit-identical to [`Scheduler::run_observed`] by
+    /// construction.
     ///
-    /// Returns `true` if the run paused at `stop_at` with work remaining.
+    /// Returns `true` if the run paused at `stop_at` with work
+    /// remaining.
     ///
     /// # Errors
     ///
-    /// See [`Scheduler::run`].
+    /// See [`Scheduler::run`]; also rejects a cursor whose lane count
+    /// does not match this scheduler's channel count.
     pub fn run_span_observed<I, O>(
         &mut self,
         cursor: &mut SchedCursor,
@@ -367,130 +593,260 @@ impl<P: RefreshPolicy> Scheduler<P> {
         I: Iterator<Item = TraceRecord>,
         O: SimObserver,
     {
+        let active = self.active_channels as usize;
+        if cursor.lanes.is_empty() {
+            cursor.lanes = std::iter::repeat_with(LaneCursor::default)
+                .take(active)
+                .collect();
+        } else if cursor.lanes.len() != active {
+            return Err(Error::InvalidConfig {
+                reason: format!(
+                    "cursor has {} channel lanes, scheduler drives {active}",
+                    cursor.lanes.len()
+                ),
+            });
+        }
+        if active == 1 {
+            return self.run_channel_span(cursor, trace, 0, end, stop_at, u64::MAX, observer);
+        }
         loop {
-            // Jump to the earliest cycle any bank accepts a command.
-            let min_ready = self
-                .lanes
-                .iter()
-                .map(|l| l.state.ready_at(cursor.now))
-                .min()
-                .unwrap_or(cursor.now);
-            cursor.now = cursor.now.max(min_ready);
-            if cursor.now >= stop_at {
+            let base = cursor.lanes.iter().map(|l| l.now).min().unwrap_or(0);
+            let span_end = base.saturating_add(CHANNEL_SPAN).min(stop_at);
+            if span_end <= base {
+                return Ok(true);
+            }
+            // Records arriving within the span are admissible; the
+            // pull-in gate additionally looks `τ_full` ahead.
+            let fill_horizon = span_end.saturating_add(self.config.timing.tau_full);
+            let mut any_pending = false;
+            for c in 0..active {
+                let paused =
+                    self.run_channel_span(cursor, trace, c, end, span_end, fill_horizon, observer)?;
+                if paused {
+                    any_pending = true;
+                } else {
+                    // A drained lane (empty queue and buffer, no
+                    // deadlines before `end`) makes no decision during
+                    // the jump, so stepping its clock is free — and
+                    // keeps `base` advancing every rotation.
+                    let lane = &mut cursor.lanes[c];
+                    lane.now = lane.now.max(span_end);
+                }
+            }
+            let source_dry =
+                trace.peek().is_none() && cursor.lanes.iter().all(|l| l.buffer.is_empty());
+            if !any_pending && source_dry {
+                return Ok(false);
+            }
+            if span_end >= stop_at {
+                return Ok(true);
+            }
+        }
+    }
+
+    /// Pulls source records into per-channel buffers until lane `c`'s
+    /// buffer is non-empty, the source head is at or past
+    /// `fill_horizon`, or the source is dry. Records steered to
+    /// channels outside this instance's range are dropped (shards
+    /// consume unfiltered traces); every pulled record counts toward
+    /// `cursor.pulled`.
+    fn fill<I: Iterator<Item = TraceRecord>>(
+        &self,
+        cursor: &mut SchedCursor,
+        trace: &mut std::iter::Peekable<I>,
+        c: usize,
+        fill_horizon: u64,
+    ) {
+        let banks_per_channel = self.config.banks_per_channel() as usize;
+        while cursor.lanes[c].buffer.is_empty() {
+            match trace.peek() {
+                Some(&record) if record.cycle < fill_horizon => {
+                    trace.next();
+                    cursor.pulled += 1;
+                    let (bank, row) = self.config.steer(record.row);
+                    let channel = bank as usize / banks_per_channel;
+                    let Some(lane) = channel
+                        .checked_sub(self.first_channel as usize)
+                        .filter(|&l| l < cursor.lanes.len())
+                    else {
+                        continue;
+                    };
+                    cursor.lanes[lane]
+                        .buffer
+                        .push_back(Pending { record, bank, row });
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Runs channel `c`'s scheduling loop until its clock reaches
+    /// `span_end` (returning `true`) or its work before `end` is
+    /// exhausted (returning `false`).
+    #[allow(clippy::too_many_arguments)]
+    fn run_channel_span<I, O>(
+        &mut self,
+        cursor: &mut SchedCursor,
+        trace: &mut std::iter::Peekable<I>,
+        c: usize,
+        end: u64,
+        span_end: u64,
+        fill_horizon: u64,
+        observer: &mut O,
+    ) -> Result<bool, Error>
+    where
+        I: Iterator<Item = TraceRecord>,
+        O: SimObserver,
+    {
+        let banks_per_channel = self.config.banks_per_channel() as usize;
+        let lo = c * banks_per_channel;
+        let hi = lo + banks_per_channel;
+        loop {
+            // Jump to the earliest cycle any bank accepts a command
+            // (min over `max(busy, now)` = `max(min busy, now)`).
+            let now = cursor.lanes[c].now;
+            let min_busy = self.busy_until[lo..hi].iter().copied().min().unwrap_or(now);
+            let now = now.max(min_busy);
+            cursor.lanes[c].now = now;
+            if now >= span_end {
                 return Ok(true);
             }
 
-            // Admit arrivals that have happened by `now`, steering each
-            // to its bank.
-            while cursor.queue.len() < self.config.queue_depth {
-                match trace.peek() {
-                    Some(&record) if record.cycle <= cursor.now => {
-                        trace.next();
-                        cursor.pulled += 1;
-                        let (bank, row) = self.config.steer(record.row);
-                        cursor.queue.push_back(Pending { record, bank, row });
+            // Admit arrivals that have happened by `now`.
+            loop {
+                if cursor.lanes[c].queue.len() >= self.config.queue_depth {
+                    break;
+                }
+                self.fill(cursor, trace, c, fill_horizon);
+                let lane = &mut cursor.lanes[c];
+                match lane.buffer.front() {
+                    Some(p) if p.record.cycle <= now => {
+                        let pending = *p;
+                        lane.buffer.pop_front();
+                        lane.queue.push_back(pending);
+                        lane.coasting = false;
+                        self.queued[pending.bank as usize - self.bank_offset] += 1;
                     }
                     _ => break,
                 }
             }
-            self.stats.max_queue_depth = self.stats.max_queue_depth.max(cursor.queue.len());
+            self.fill(cursor, trace, c, fill_horizon);
+            let lane = &mut cursor.lanes[c];
+            self.stats.max_queue_depth = self.stats.max_queue_depth.max(lane.queue.len());
             // A full queue with an arrival already waiting is back
             // pressure; report each stalled cycle once.
-            if cursor.queue.len() == self.config.queue_depth
-                && trace.peek().is_some_and(|r| r.cycle <= cursor.now)
-                && cursor.last_stall != Some(cursor.now)
+            if lane.queue.len() == self.config.queue_depth
+                && lane.buffer.front().is_some_and(|p| p.record.cycle <= now)
+                && lane.last_stall != Some(now)
             {
-                cursor.last_stall = Some(cursor.now);
+                lane.last_stall = Some(now);
                 self.stats.queue_stalls += 1;
-                observer.on_queue_stall(cursor.now, cursor.queue.len());
+                observer.on_queue_stall(now, lane.queue.len());
             }
 
             // Refreshes due by `now` on free banks (postponed onto
             // contended banks when parallelization allows).
-            if self.try_refresh(cursor.now, end, &cursor.queue, observer)? {
+            if self.try_refresh(c, now, end, observer)? {
+                cursor.lanes[c].coasting = false;
                 continue;
             }
 
             // FR-FCFS demand on free banks.
-            if let Some(idx) = self.pick(&cursor.queue, cursor.now) {
+            if let Some(idx) = self.pick(&cursor.lanes[c].queue, now) {
                 if idx != 0 {
                     self.stats.reordered += 1;
                 }
-                let len = cursor.queue.len();
-                let pending = cursor
+                let lane = &mut cursor.lanes[c];
+                let len = lane.queue.len();
+                let pending = lane
                     .queue
                     .remove(idx)
                     .ok_or(Error::QueueIndexInvalid { index: idx, len })?;
-                self.service(pending, cursor.now, observer);
+                self.queued[pending.bank as usize - self.bank_offset] -= 1;
+                cursor.lanes[c].coasting = false;
+                self.service(c, pending, now, observer);
                 continue;
             }
 
-            // Idle banks pull upcoming refreshes in early.
-            let upcoming = trace.peek().map(|r| r.cycle);
-            if self.try_pull_in(cursor.now, end, &cursor.queue, upcoming, observer) {
+            // Idle banks pull upcoming refreshes in early — but never
+            // from a coasting clock (see [`LaneCursor::coasting`]).
+            let upcoming = cursor.lanes[c].buffer.front().map(|p| p.record.cycle);
+            if !cursor.lanes[c].coasting && self.try_pull_in(c, now, end, upcoming, observer) {
                 continue;
             }
 
             // Nothing issuable at `now`: advance to the next arrival (if
             // it can be admitted), refresh deadline, or bank release.
-            let next_arrival = upcoming.filter(|_| cursor.queue.len() < self.config.queue_depth);
+            let next_arrival =
+                upcoming.filter(|_| cursor.lanes[c].queue.len() < self.config.queue_depth);
             // A due refresh on a still-busy bank becomes issuable only
             // when the bank frees, so its advance target is the later of
             // the two.
-            let next_refresh = self
-                .lanes
-                .iter_mut()
-                .filter_map(|l| {
-                    let due = l.refreshes.next_due()?;
-                    (due < end).then(|| due.max(l.state.busy_until()))
-                })
-                .min();
-            let next_release = self
-                .lanes
+            let next_refresh = self.next_due[lo..hi]
                 .iter()
-                .enumerate()
-                .filter(|(b, lane)| {
-                    lane.state.busy_until() > cursor.now
-                        && cursor.queue.iter().any(|p| p.bank == *b as u32)
-                })
-                .map(|(_, lane)| lane.state.busy_until())
+                .zip(&self.busy_until[lo..hi])
+                .filter(|&(&due, _)| due < end)
+                .map(|(&due, &busy)| due.max(busy))
+                .min();
+            let next_release = self.busy_until[lo..hi]
+                .iter()
+                .zip(&self.queued[lo..hi])
+                .filter(|&(&busy, &queued)| busy > now && queued > 0)
+                .map(|(&busy, _)| busy)
                 .min();
             match [next_arrival, next_refresh, next_release]
                 .into_iter()
                 .flatten()
                 .min()
             {
-                Some(t) if t > cursor.now => cursor.now = t,
-                Some(_) => return Err(Error::SchedulerStalled { cycle: cursor.now }),
+                // A target past the span boundary is clamped to it: the
+                // lane pauses there, and later rounds (with a longer
+                // admission horizon) may discover an earlier arrival to
+                // wake for instead. The clamped clock is synthetic —
+                // mark the lane coasting until a genuine event.
+                Some(t) if t > now => {
+                    let lane = &mut cursor.lanes[c];
+                    lane.coasting = t > span_end;
+                    lane.now = t.min(span_end);
+                }
+                Some(_) => return Err(Error::SchedulerStalled { cycle: now }),
                 None => return Ok(false),
             }
         }
     }
 
     /// Finalizes the statistics after the last span (the tail of
-    /// [`Scheduler::run_observed`]).
+    /// [`Scheduler::run_observed`]), delivering any deferred policy
+    /// activations first (ascending global-row order).
     pub fn finish(&mut self, end: u64) -> SchedStats {
-        self.stats.sim.total_cycles = end.max(
-            self.lanes
-                .iter()
-                .map(|l| l.state.busy_until())
-                .max()
-                .unwrap_or(0),
-        );
+        let rows = self.config.rows_per_bank() as usize;
+        for word in 0..self.touched.len() {
+            while self.touched[word] != 0 {
+                let bit = word * 64 + self.touched[word].trailing_zeros() as usize;
+                self.touched[word] &= self.touched[word] - 1;
+                let bank = (self.bank_offset + bit / rows) as u32;
+                self.policy
+                    .on_activate(self.config.global_row(bank, (bit % rows) as u32));
+            }
+        }
+        self.stats.sim.total_cycles = end.max(self.busy_until.iter().copied().max().unwrap_or(0));
         self.stats.clone()
     }
 
-    /// Appends the scheduler's full run-state — every bank lane's FSM
-    /// and refresh wheel, the shared-bus arbitration state, statistics,
-    /// policy counters, and the scheduling cursor — to `enc`, where `P`
-    /// supports state capture.
+    /// Appends the scheduler's full run-state — the bank arrays, every
+    /// refresh wheel, the deferred-activation set, per-channel bus
+    /// state, statistics, policy counters, and the scheduling cursor —
+    /// to `enc`, where `P` supports state capture.
     pub fn save_state(&self, enc: &mut vrl_snap::Encoder, cursor: &SchedCursor)
     where
         P: vrl_dram_sim::policy::PolicyState,
     {
         use vrl_snap::Snapshot as _;
-        self.lanes.save(enc);
-        self.bus.save(enc);
+        self.open_row.save(enc);
+        self.busy_until.save(enc);
+        self.wheels.save(enc);
+        self.touched.save(enc);
+        self.buses.save(enc);
         self.stats.save(enc);
         self.policy.save_state(enc);
         cursor.save(enc);
@@ -498,12 +854,15 @@ impl<P: RefreshPolicy> Scheduler<P> {
 
     /// Restores run-state captured by [`Scheduler::save_state`] into a
     /// freshly-constructed scheduler of the same configuration,
-    /// returning the scheduling cursor to resume from.
+    /// returning the scheduling cursor to resume from. The cached
+    /// wheel heads and per-bank queued counts are derived state,
+    /// rebuilt here rather than loaded.
     ///
     /// # Errors
     ///
     /// Returns [`vrl_snap::SnapError`] on truncated input or a snapshot
-    /// from a differently-shaped scheduler (bank count).
+    /// from a differently-shaped scheduler (bank, channel, or rank
+    /// count).
     pub fn restore_state(
         &mut self,
         dec: &mut vrl_snap::Decoder<'_>,
@@ -512,56 +871,108 @@ impl<P: RefreshPolicy> Scheduler<P> {
         P: vrl_dram_sim::policy::PolicyState,
     {
         use vrl_snap::Snapshot as _;
-        let lanes = Vec::<BankLane>::load(dec)?;
-        if lanes.len() != self.lanes.len() {
+        let open_row = Vec::<u32>::load(dec)?;
+        if open_row.len() != self.open_row.len() {
             return Err(vrl_snap::SnapError::Malformed {
                 what: format!(
                     "scheduler has {} banks, snapshot has {}",
-                    self.lanes.len(),
-                    lanes.len()
+                    self.open_row.len(),
+                    open_row.len()
                 ),
             });
         }
-        self.lanes = lanes;
-        self.bus = BusState::load(dec)?;
+        let busy_until = Vec::<u64>::load(dec)?;
+        let wheels = Vec::<RefreshQueue>::load(dec)?;
+        let touched = Vec::<u64>::load(dec)?;
+        let buses = Vec::<ChannelBus>::load(dec)?;
+        if busy_until.len() != self.busy_until.len()
+            || wheels.len() != self.wheels.len()
+            || touched.len() != self.touched.len()
+            || buses.len() != self.buses.len()
+            || buses
+                .iter()
+                .any(|b| b.ranks.len() != self.config.ranks() as usize)
+        {
+            return Err(vrl_snap::SnapError::Malformed {
+                what: "snapshot from a differently-shaped scheduler".into(),
+            });
+        }
+        self.open_row = open_row;
+        self.busy_until = busy_until;
+        self.wheels = wheels;
+        self.touched = touched;
+        self.buses = buses;
         self.stats = SchedStats::load(dec)?;
         self.policy.restore_state(dec)?;
-        SchedCursor::load(dec)
+        let cursor = SchedCursor::load(dec)?;
+        if cursor.lanes.len() != self.active_channels as usize {
+            return Err(vrl_snap::SnapError::Malformed {
+                what: format!(
+                    "cursor has {} channel lanes, scheduler drives {}",
+                    cursor.lanes.len(),
+                    self.active_channels
+                ),
+            });
+        }
+        for (b, wheel) in self.wheels.iter_mut().enumerate() {
+            self.next_due[b] = wheel.next_due().unwrap_or(u64::MAX);
+        }
+        let banks_per_channel = self.config.banks_per_channel() as usize;
+        for (c, chunk) in self.next_due.chunks(banks_per_channel).enumerate() {
+            self.due_bound[c] = chunk.iter().copied().min().unwrap_or(u64::MAX);
+        }
+        self.queued.iter_mut().for_each(|q| *q = 0);
+        for lane in &cursor.lanes {
+            for p in &lane.queue {
+                self.queued[p.bank as usize - self.bank_offset] += 1;
+            }
+        }
+        Ok(cursor)
     }
 
     /// Issues at most one due refresh (due ≤ `now`, due < `end`) on a
-    /// bank that is free at `now`. With parallelization on, a due
-    /// refresh whose bank has queued demand is postponed while the
-    /// elasticity window allows, and executes regardless once the
-    /// window is exhausted (bounding staleness).
+    /// bank of channel `c` that is free at `now`. With parallelization
+    /// on, a due refresh whose bank has queued demand is postponed
+    /// while the elasticity window allows, and executes regardless once
+    /// the window is exhausted (bounding staleness).
     fn try_refresh<O: SimObserver>(
         &mut self,
+        c: usize,
         now: u64,
         end: u64,
-        queue: &VecDeque<Pending>,
         observer: &mut O,
     ) -> Result<bool, Error> {
+        let banks_per_channel = self.config.banks_per_channel() as usize;
+        let lo = c * banks_per_channel;
+        let hi = lo + banks_per_channel;
         let horizon = now.saturating_add(1).min(end);
+        // `due_bound[c] ≤ min(next_due)` over the channel, so a bound
+        // at or past the horizon proves the election below would come
+        // up empty — the common case, decided in O(1).
+        if self.due_bound[c] >= horizon {
+            return Ok(false);
+        }
         loop {
             let mut best: Option<(u64, usize)> = None;
-            for (b, lane) in self.lanes.iter_mut().enumerate() {
-                if lane.state.ready_at(now) != now {
+            let mut min_due = u64::MAX;
+            for b in lo..hi {
+                let due = self.next_due[b];
+                min_due = min_due.min(due);
+                if self.busy_until[b] > now {
                     continue;
                 }
-                if let Some(due) = lane.refreshes.next_due() {
-                    if due < horizon && best.is_none_or(|(d, _)| due < d) {
-                        best = Some((due, b));
-                    }
+                if due < horizon && best.is_none_or(|(d, _)| due < d) {
+                    best = Some((due, b));
                 }
             }
+            self.due_bound[c] = min_due;
             let Some((_, bank)) = best else {
                 return Ok(false);
             };
-            let (due, row, original_due) = self.lanes[bank]
-                .refreshes
+            let (due, row, original_due) = self.wheels[bank]
                 .pop_due_before(horizon)
                 .ok_or(Error::SchedulerStalled { cycle: now })?;
-            let contended = queue.iter().any(|p| p.bank == bank as u32);
+            let contended = self.queued[bank] > 0;
             if self.config.parallel_refresh && contended {
                 let deadline = original_due.saturating_add(self.config.slack);
                 if now < deadline {
@@ -573,21 +984,34 @@ impl<P: RefreshPolicy> Scheduler<P> {
                         .max(self.config.timing.tau_full)
                         .max(1);
                     let retry = (now + step).min(deadline).max(now + 1);
-                    self.lanes[bank].refreshes.push(retry, row, original_due);
+                    self.wheels[bank].push(retry, row, original_due);
+                    self.next_due[bank] = self.wheels[bank].next_due().unwrap_or(u64::MAX);
+                    self.due_bound[c] = self.due_bound[c].min(self.next_due[bank]);
                     self.stats.sim.postponed_refreshes += 1;
-                    observer.on_refresh_postponed(self.config.global_row(bank as u32, row), now);
+                    let global = (self.bank_offset + bank) as u32;
+                    observer.on_refresh_postponed(self.config.global_row(global, row), now);
                     continue;
                 }
             }
-            self.execute_refresh(bank, now.max(due), row, original_due, contended, observer);
+            self.next_due[bank] = self.wheels[bank].next_due().unwrap_or(u64::MAX);
+            self.execute_refresh(
+                c,
+                bank,
+                now.max(due),
+                row,
+                original_due,
+                contended,
+                observer,
+            );
             return Ok(true);
         }
     }
 
     /// With parallelization on, executes the next upcoming refresh of a
-    /// free, demand-less bank up to `slack` cycles early. Early
-    /// refreshes are always retention-safe; the next deadline still
-    /// advances from the original one, so the schedule never drifts.
+    /// free, demand-less bank of channel `c` up to `slack` cycles
+    /// early. Early refreshes are always retention-safe; the next
+    /// deadline still advances from the original one, so the schedule
+    /// never drifts.
     ///
     /// Only fires when the next un-admitted arrival (if any) is at least
     /// a full refresh away: pulling in during a traffic burst's tail
@@ -596,9 +1020,9 @@ impl<P: RefreshPolicy> Scheduler<P> {
     /// deferred refresh would ever have cost.
     fn try_pull_in<O: SimObserver>(
         &mut self,
+        c: usize,
         now: u64,
         end: u64,
-        queue: &VecDeque<Pending>,
         next_arrival: Option<u64>,
         observer: &mut O,
     ) -> bool {
@@ -608,22 +1032,34 @@ impl<P: RefreshPolicy> Scheduler<P> {
         if next_arrival.is_some_and(|a| a < now + self.config.timing.tau_full) {
             return false;
         }
+        let banks_per_channel = self.config.banks_per_channel() as usize;
+        let lo = c * banks_per_channel;
+        let hi = lo + banks_per_channel;
         let horizon = now
             .saturating_add(self.config.slack)
             .saturating_add(1)
             .min(end);
-        for bank in 0..self.lanes.len() {
-            if self.lanes[bank].state.ready_at(now) != now {
+        // Same O(1) bail as the refresh election: nothing due within
+        // the pull-in window anywhere on the channel.
+        if self.due_bound[c] >= horizon {
+            return false;
+        }
+        for bank in lo..hi {
+            if self.busy_until[bank] > now || self.queued[bank] > 0 {
                 continue;
             }
-            if queue.iter().any(|p| p.bank == bank as u32) {
+            // The cached head deadline decides without settling the
+            // wheel: the pop below succeeds exactly when it is within
+            // the horizon.
+            if self.next_due[bank] >= horizon {
                 continue;
             }
-            if let Some((_, row, original_due)) = self.lanes[bank].refreshes.pop_due_before(horizon)
-            {
+            if let Some((_, row, original_due)) = self.wheels[bank].pop_due_before(horizon) {
+                self.next_due[bank] = self.wheels[bank].next_due().unwrap_or(u64::MAX);
                 self.stats.pulled_in_refreshes += 1;
-                observer.on_refresh_pull_in(self.config.global_row(bank as u32, row), now);
-                self.execute_refresh(bank, now, row, original_due, false, observer);
+                let global = (self.bank_offset + bank) as u32;
+                observer.on_refresh_pull_in(self.config.global_row(global, row), now);
+                self.execute_refresh(c, bank, now, row, original_due, false, observer);
                 return true;
             }
         }
@@ -633,20 +1069,36 @@ impl<P: RefreshPolicy> Scheduler<P> {
     /// FR-FCFS over requests whose bank is free at `now`: the oldest
     /// hitting its bank's open row, else the oldest.
     fn pick(&self, queue: &VecDeque<Pending>, now: u64) -> Option<usize> {
-        let free = |p: &Pending| self.lanes[p.bank as usize].state.ready_at(now) == now;
+        let local = |p: &Pending| p.bank as usize - self.bank_offset;
+        let free = |p: &Pending| self.busy_until[local(p)] <= now;
         if let Some(idx) = queue
             .iter()
-            .position(|p| free(p) && self.lanes[p.bank as usize].state.open_row() == Some(p.row))
+            .position(|p| free(p) && self.open_row[local(p)] == p.row)
         {
             return Some(idx);
         }
         queue.iter().position(free)
     }
 
-    /// Executes one refresh on `bank` issuing at (or just after)
-    /// `issue_at`.
+    fn mark_touched(&mut self, local_bank: usize, row: u32) {
+        let bit = local_bank * self.config.rows_per_bank() as usize + row as usize;
+        self.touched[bit / 64] |= 1 << (bit % 64);
+    }
+
+    fn clear_touched(&mut self, local_bank: usize, row: u32) -> bool {
+        let bit = local_bank * self.config.rows_per_bank() as usize + row as usize;
+        let mask = 1u64 << (bit % 64);
+        let was = self.touched[bit / 64] & mask != 0;
+        self.touched[bit / 64] &= !mask;
+        was
+    }
+
+    /// Executes one refresh on local `bank` (of channel `c`) issuing at
+    /// (or just after) `issue_at`.
+    #[allow(clippy::too_many_arguments)]
     fn execute_refresh<O: SimObserver>(
         &mut self,
+        c: usize,
         bank: usize,
         issue_at: u64,
         row: u32,
@@ -655,19 +1107,34 @@ impl<P: RefreshPolicy> Scheduler<P> {
         observer: &mut O,
     ) {
         let timing = self.config.timing;
-        let lane = &mut self.lanes[bank];
-        let mut start = lane.state.ready_at(issue_at);
-        start = self.bus.claim_cmd(start);
+        let global_bank = (self.bank_offset + bank) as u32;
+        let rank = self.config.rank_of_bank(global_bank) as usize;
+        let mut start = issue_at.max(self.busy_until[bank]);
+        // tRFC: refresh starts within one rank keep their distance. At
+        // the paper's trfc = 0 this is a no-op (the command bus already
+        // spaces same-cycle commands), preserving single-rank results.
+        if let Some(last) = self.buses[c].ranks[rank].last_refresh {
+            start = start.max(last + timing.trfc);
+        }
+        start = self.buses[c].claim_cmd(start);
+        self.buses[c].ranks[rank].last_refresh = Some(start);
         let mut duration = 0;
-        if lane.state.open_row().is_some() {
-            lane.state.precharge();
+        if self.open_row[bank] != NO_ROW {
+            self.open_row[bank] = NO_ROW;
             duration += timing.trp;
         }
-        let global = self.config.global_row(bank as u32, row);
+        let global = self.config.global_row(global_bank, row);
+        // Deliver this row's deferred activation (if any) before the
+        // policy reads its per-row counters.
+        if self.effect == ActivationEffect::IdempotentReset && self.clear_touched(bank, row) {
+            self.policy.on_activate(global);
+        }
         let kind = self.policy.refresh_kind(global);
         let refresh_cycles = timing.refresh_cycles(kind);
         duration += refresh_cycles;
-        let done = lane.state.occupy(start, duration);
+        debug_assert!(start >= self.busy_until[bank]);
+        let done = start + duration;
+        self.busy_until[bank] = done;
         self.stats.sim.refresh_busy_cycles += refresh_cycles;
         if contended {
             self.stats.refresh_blocked_cycles += refresh_cycles;
@@ -676,22 +1143,25 @@ impl<P: RefreshPolicy> Scheduler<P> {
             RefreshLatency::Full => self.stats.sim.full_refreshes += 1,
             RefreshLatency::Partial => self.stats.sim.partial_refreshes += 1,
         }
-        self.stats.per_bank_refreshes[bank] += 1;
+        self.stats.per_bank_refreshes[global_bank as usize] += 1;
         observer.on_refresh(global, kind, done);
         let period = timing.ms_to_cycles(self.policy.period_ms(global)).max(1);
         let next = original_due + period;
-        self.lanes[bank].refreshes.push(next, row, next);
+        self.wheels[bank].push(next, row, next);
+        self.next_due[bank] = self.next_due[bank].min(next);
+        self.due_bound[c] = self.due_bound[c].min(self.next_due[bank]);
     }
 
     /// Services one queued request on its (free) bank, honoring the
     /// inter-bank activate and data-bus constraints.
-    fn service<O: SimObserver>(&mut self, pending: Pending, now: u64, observer: &mut O) {
+    fn service<O: SimObserver>(&mut self, c: usize, pending: Pending, now: u64, observer: &mut O) {
         let timing = self.config.timing;
-        let bank = pending.bank as usize;
-        let hit = self.lanes[bank].state.open_row() == Some(pending.row);
+        let bank = pending.bank as usize - self.bank_offset;
+        let rank = self.config.rank_of_bank(pending.bank) as usize;
+        let hit = self.open_row[bank] == pending.row;
         let latency = if hit {
             timing.hit_latency()
-        } else if self.lanes[bank].state.open_row().is_some() {
+        } else if self.open_row[bank] != NO_ROW {
             timing.miss_latency()
         } else {
             timing.trcd + timing.tcl
@@ -699,33 +1169,36 @@ impl<P: RefreshPolicy> Scheduler<P> {
         let cas_offset = latency - timing.tcl;
         let is_write = pending.record.op == Op::Write;
 
-        let mut start = self.lanes[bank].state.ready_at(now);
+        let mut start = now.max(self.busy_until[bank]);
         if !hit {
-            start = self.bus.act_bound(start, pending.bank, &timing);
+            start = self.buses[c].act_bound(start, rank, pending.bank, &timing);
         }
-        start = self
-            .bus
-            .cas_bound(start, cas_offset, pending.bank, is_write, &timing);
-        start = self.bus.claim_cmd(start);
+        start = self.buses[c].cas_bound(start, cas_offset, pending.bank, is_write, &timing);
+        start = self.buses[c].claim_cmd(start);
 
         self.stats.sim.stall_cycles += start - pending.record.cycle;
         self.stats.sim.accesses += 1;
-        self.stats.per_bank_accesses[bank] += 1;
+        self.stats.per_bank_accesses[pending.bank as usize] += 1;
         if hit {
             self.stats.sim.row_hits += 1;
         } else {
             self.stats.sim.row_misses += 1;
         }
-        let done = self.lanes[bank].state.occupy(start, latency);
+        debug_assert!(start >= self.busy_until[bank]);
+        let done = start + latency;
+        self.busy_until[bank] = done;
         if !hit {
-            self.lanes[bank].state.set_open_row(pending.row);
+            self.open_row[bank] = pending.row;
             let global = self.config.global_row(pending.bank, pending.row);
-            self.policy.on_activate(global);
+            match self.effect {
+                ActivationEffect::Immediate => self.policy.on_activate(global),
+                ActivationEffect::IdempotentReset => self.mark_touched(bank, pending.row),
+                ActivationEffect::Ignored => {}
+            }
             observer.on_activate(global, start);
-            self.bus.note_act(start, pending.bank);
+            self.buses[c].note_act(start, rank, pending.bank);
         }
-        self.bus
-            .note_cas(start + cas_offset, pending.bank, is_write);
+        self.buses[c].note_cas(start + cas_offset, pending.bank, is_write);
         if pending.record.op == Op::Read {
             self.stats.read_latency.record(done - pending.record.cycle);
         }
@@ -749,6 +1222,13 @@ mod tests {
             .expect("geometry")
             .with_queue_depth(0);
         let err = Scheduler::new(config, AutoRefresh::new(64.0)).expect_err("zero depth");
+        assert!(matches!(err, Error::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn out_of_range_channel_is_rejected() {
+        let config = SchedConfig::with_dimm_geometry(2, 1, 4, 16).expect("geometry");
+        let err = Scheduler::for_channel(config, AutoRefresh::new(64.0), 2).expect_err("channel");
         assert!(matches!(err, Error::InvalidConfig { .. }));
     }
 
@@ -906,6 +1386,72 @@ mod tests {
             .run_span_observed(&mut cursor, &mut rest, end, u64::MAX, &mut NullObserver)
             .expect("resume");
         assert_eq!(resumed.finish(end), expected);
+    }
+
+    #[test]
+    fn dimm_snapshot_resume_is_bit_identical() {
+        let config = SchedConfig::with_dimm_geometry(2, 2, 4, 64)
+            .expect("geometry")
+            .with_parallelism(true);
+        let mk = || Scheduler::new(config, AutoRefresh::new(64.0)).expect("config");
+        let trace = bursty_trace(40, 200, 50_000, 1024);
+        let end = config.timing.ms_to_cycles(64.0);
+
+        let mut whole = mk();
+        let expected = whole.run(trace.clone().into_iter(), 64.0).expect("run");
+
+        let mut first = mk();
+        let mut cursor = SchedCursor::new();
+        let mut records = trace
+            .clone()
+            .into_iter()
+            .take_while(|r| r.cycle < end)
+            .peekable();
+        let paused = first
+            .run_span_observed(&mut cursor, &mut records, end, end / 3, &mut NullObserver)
+            .expect("span");
+        assert!(paused, "pausing mid-run must leave work");
+        let mut enc = vrl_snap::Encoder::new();
+        first.save_state(&mut enc, &cursor);
+        let bytes = enc.into_bytes();
+        drop(first);
+
+        let mut resumed = mk();
+        let mut dec = vrl_snap::Decoder::new(&bytes);
+        let mut cursor = resumed.restore_state(&mut dec).expect("restore");
+        dec.finish().expect("no trailing bytes");
+        let mut rest = trace
+            .into_iter()
+            .skip(cursor.pulled() as usize)
+            .take_while(|r| r.cycle < end)
+            .peekable();
+        resumed
+            .run_span_observed(&mut cursor, &mut rest, end, u64::MAX, &mut NullObserver)
+            .expect("resume");
+        assert_eq!(resumed.finish(end), expected);
+    }
+
+    #[test]
+    fn sharded_channels_match_the_whole_dimm() {
+        let config = SchedConfig::with_dimm_geometry(2, 2, 4, 32)
+            .expect("geometry")
+            .with_parallelism(true);
+        let trace = bursty_trace(30, 150, 40_000, 512);
+
+        let mut whole = Scheduler::new(config, AutoRefresh::new(64.0)).expect("config");
+        let expected = whole.run(trace.clone().into_iter(), 64.0).expect("run");
+
+        let mut merged: Option<SchedStats> = None;
+        for channel in 0..config.channels() {
+            let mut shard =
+                Scheduler::for_channel(config, AutoRefresh::new(64.0), channel).expect("shard");
+            let stats = shard.run(trace.clone().into_iter(), 64.0).expect("run");
+            merged = Some(match merged {
+                None => stats,
+                Some(acc) => acc.merge(&stats),
+            });
+        }
+        assert_eq!(merged.expect("channels"), expected);
     }
 
     #[test]

@@ -97,6 +97,18 @@ impl LatencyHistogram {
             (1u64 << (i - 1)).saturating_mul(2)
         }
     }
+
+    /// Folds another histogram's samples into this one. Bucketed
+    /// histograms merge exactly: the result equals recording both
+    /// sample sets into one histogram, in any order.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.total = self.total.saturating_add(other.total);
+        self.max = self.max.max(other.max);
+    }
 }
 
 impl Default for LatencyHistogram {
@@ -160,6 +172,43 @@ pub struct SchedStats {
     pub per_bank_refreshes: Vec<u64>,
     /// Accesses serviced per bank.
     pub per_bank_accesses: Vec<u64>,
+}
+
+impl SchedStats {
+    /// Combines the statistics of channel shards that simulated the
+    /// same wall of cycles concurrently (see
+    /// [`Scheduler::for_channel`](crate::sched::Scheduler::for_channel)).
+    ///
+    /// Every event counter sums; the per-bank vectors (full-DIMM sized
+    /// in every shard, indexed by global bank) add elementwise; the
+    /// occupancy high-water mark takes the max. `total_cycles` also
+    /// takes the **max** — shards cover the same simulated interval,
+    /// so summing (what [`SimStats::accumulate`] does for sequential
+    /// runs) would double-count time.
+    #[must_use]
+    pub fn merge(mut self, other: &SchedStats) -> SchedStats {
+        let total_cycles = self.sim.total_cycles.max(other.sim.total_cycles);
+        self.sim.accumulate(&other.sim);
+        self.sim.total_cycles = total_cycles;
+        self.reordered += other.reordered;
+        self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
+        self.refresh_blocked_cycles += other.refresh_blocked_cycles;
+        self.pulled_in_refreshes += other.pulled_in_refreshes;
+        self.queue_stalls += other.queue_stalls;
+        self.read_latency.merge(&other.read_latency);
+        for (vec, theirs) in [
+            (&mut self.per_bank_refreshes, &other.per_bank_refreshes),
+            (&mut self.per_bank_accesses, &other.per_bank_accesses),
+        ] {
+            if vec.len() < theirs.len() {
+                vec.resize(theirs.len(), 0);
+            }
+            for (mine, n) in vec.iter_mut().zip(theirs) {
+                *mine += n;
+            }
+        }
+        self
+    }
 }
 
 impl vrl_snap::Snapshot for SchedStats {

@@ -1,4 +1,4 @@
-//! The scheduler's two contract tests against the single-bank engines.
+//! The scheduler's three contract tests against its sibling engines.
 //!
 //! 1. **Degeneracy**: with one bank and parallelization disabled, the
 //!    scheduler's decision loop is structurally the controller's —
@@ -9,6 +9,10 @@
 //!    demand-visible refresh time collapses for VRL and VRL-Access
 //!    (and VRL-Access converts deferred refreshes to partials, cutting
 //!    raw refresh-busy time too), with zero integrity violations.
+//! 3. **Struct-of-arrays rewrite**: the SoA hot loop must reproduce the
+//!    per-bank-heap [`ReferenceScheduler`] bit-for-bit across all four
+//!    policies, every traffic shape, and full-DIMM geometries
+//!    (channels × ranks × banks).
 
 use vrl_dram_sim::controller::FrFcfsController;
 use vrl_dram_sim::integrity::{IntegrityChecker, LinearPhysics};
@@ -17,7 +21,7 @@ use vrl_dram_sim::sim::SimConfig;
 use vrl_dram_sim::timing::TimingParams;
 use vrl_retention::binning::BinningTable;
 use vrl_retention::profile::BankProfile;
-use vrl_sched::{SchedConfig, Scheduler};
+use vrl_sched::{ReferenceScheduler, SchedConfig, Scheduler};
 use vrl_trace::{Op, TraceRecord};
 
 const ROWS: u32 = 64;
@@ -177,6 +181,107 @@ fn parallelism_converts_vrl_access_refreshes_to_partials() {
         "deferral must not add full refreshes: {} vs {}",
         d.sim.full_refreshes,
         p.sim.full_refreshes
+    );
+}
+
+/// Runs the same policy through the SoA scheduler and the reference
+/// per-bank-heap engine and demands bit-identical statistics.
+fn assert_matches_reference<P, F>(
+    make_policy: F,
+    config: SchedConfig,
+    trace: &[TraceRecord],
+    what: &str,
+) where
+    P: RefreshPolicy,
+    F: Fn() -> P,
+{
+    let mut soa = Scheduler::new(config, make_policy()).expect("config");
+    let s = soa
+        .run(trace.iter().copied(), 64.0)
+        .unwrap_or_else(|e| panic!("SoA run ({what}): {e}"));
+    let mut reference = ReferenceScheduler::new(config, make_policy()).expect("config");
+    let r = reference
+        .run(trace.iter().copied(), 64.0)
+        .unwrap_or_else(|e| panic!("reference run ({what}): {e}"));
+    assert_eq!(s, r, "SoA diverged from the reference ({what})");
+}
+
+#[test]
+fn soa_scheduler_matches_the_reference_on_one_channel() {
+    // The pre-rewrite geometry: one channel, one rank, N banks — every
+    // policy, every traffic shape, parallelization on and off.
+    let rows = (4 * ROWS) as usize;
+    let traces: [(&str, Vec<TraceRecord>); 4] = [
+        ("empty", Vec::new()),
+        ("thrash", thrash_trace()),
+        ("sparse", sparse_trace()),
+        ("bursty", bursty_trace(40, 100, 500_000, 4 * ROWS)),
+    ];
+    for parallel in [false, true] {
+        let config = SchedConfig::with_geometry(4, ROWS)
+            .expect("geometry")
+            .with_parallelism(parallel);
+        for (name, trace) in &traces {
+            let what = |p: &str| format!("{p}/{name}/parallel={parallel}");
+            assert_matches_reference(|| AutoRefresh::new(64.0), config, trace, &what("auto"));
+            assert_matches_reference(
+                || Raidr::new(bins_all(300.0, rows)),
+                config,
+                trace,
+                &what("raidr"),
+            );
+            assert_matches_reference(
+                || Vrl::new(bins_all(300.0, rows), vec![3; rows]),
+                config,
+                trace,
+                &what("vrl"),
+            );
+            assert_matches_reference(
+                || VrlAccess::new(bins_all(300.0, rows), vec![3; rows]),
+                config,
+                trace,
+                &what("vrl-access"),
+            );
+        }
+    }
+}
+
+#[test]
+fn soa_scheduler_matches_the_reference_across_dimm_geometries() {
+    for (channels, ranks, banks) in [(2, 1, 4), (1, 2, 4), (2, 2, 4), (4, 1, 2)] {
+        let config = SchedConfig::with_dimm_geometry(channels, ranks, banks, ROWS)
+            .expect("geometry")
+            .with_parallelism(true);
+        let rows = config.total_rows() as usize;
+        let trace = bursty_trace(40, 150, 300_000, config.banks() * ROWS);
+        let what = |p: &str| format!("{p}/{channels}ch x {ranks}rk x {banks}bk");
+        assert_matches_reference(|| AutoRefresh::new(64.0), config, &trace, &what("auto"));
+        assert_matches_reference(
+            || VrlAccess::new(bins_all(300.0, rows), vec![3; rows]),
+            config,
+            &trace,
+            &what("vrl-access"),
+        );
+    }
+}
+
+#[test]
+fn rank_refresh_spacing_binds_only_with_trfc() {
+    // With tRFC wide enough to matter, same-rank refreshes spread out
+    // (more total busy-spanned time); the SoA and reference engines
+    // must still agree bit-for-bit.
+    let config = SchedConfig::with_dimm_geometry(1, 2, 4, ROWS)
+        .expect("geometry")
+        .with_trfc(64);
+    let trace = bursty_trace(20, 100, 400_000, config.banks() * ROWS);
+    assert_matches_reference(|| AutoRefresh::new(64.0), config, &trace, "auto/trfc=64");
+
+    let rows = config.total_rows() as usize;
+    assert_matches_reference(
+        || Vrl::new(bins_all(300.0, rows), vec![3; rows]),
+        config,
+        &trace,
+        "vrl/trfc=64",
     );
 }
 

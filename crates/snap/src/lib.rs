@@ -31,8 +31,10 @@ use std::path::Path;
 pub const MAGIC: [u8; 8] = *b"VRLSNAP\0";
 
 /// Current snapshot format version. Bump on any layout change; older
-/// snapshots are rejected, never migrated.
-pub const FORMAT_VERSION: u32 = 1;
+/// snapshots are rejected, never migrated. Version 2: full-DIMM
+/// scheduler state (channel lane cursors, per-rank bus state, DIMM
+/// geometry in the scheduler shape).
+pub const FORMAT_VERSION: u32 = 2;
 
 /// An error reading or writing a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,8 +1,16 @@
-//! Physical-address ↔ (bank, row, column) mapping.
+//! Physical-address ↔ (channel, rank, bank, row, column) mapping.
 //!
 //! Raw traces (Ramulator-style) carry byte addresses; the bank simulator
-//! works in row indices. The mapping here is the common
-//! row-interleaved layout: `| row | bank | column | offset |`.
+//! works in row indices. The mapping here is the common row-interleaved
+//! layout generalized to a full DIMM:
+//! `| row | rank | bank | channel | column | offset |`.
+//!
+//! Channel bits sit just above the column bits so consecutive cache
+//! lines stripe across channels first (maximizing channel-level
+//! parallelism), then banks, then ranks — the layout DDR4 controllers
+//! default to. The single-channel single-rank special case
+//! (`channel_bits == rank_bits == 0`) reproduces the historical
+//! `| row | bank | column | offset |` layout bit-for-bit.
 
 use std::fmt;
 
@@ -29,6 +37,62 @@ impl fmt::Display for AddressOutOfRange {
 
 impl std::error::Error for AddressOutOfRange {}
 
+/// A [`Location`] with at least one field wider than its configured bit
+/// width, carrying the full geometry so the offending field is nameable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocationOutOfRange {
+    /// The rejected location.
+    pub loc: Location,
+    /// The map whose field widths were exceeded.
+    pub map: AddressMap,
+}
+
+impl LocationOutOfRange {
+    /// `(name, value, limit)` for every field that exceeds its width.
+    pub fn offending_fields(&self) -> Vec<(&'static str, u32, u64)> {
+        let m = &self.map;
+        let checks = [
+            ("channel", self.loc.channel, 1u64 << m.channel_bits),
+            ("rank", self.loc.rank, 1u64 << m.rank_bits),
+            ("bank", self.loc.bank, 1u64 << m.bank_bits),
+            ("row", self.loc.row, 1u64 << m.row_bits),
+            ("column", self.loc.column, 1u64 << m.column_bits),
+        ];
+        checks
+            .into_iter()
+            .filter(|&(_, v, limit)| v as u64 >= limit)
+            .collect()
+    }
+}
+
+impl fmt::Display for LocationOutOfRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = &self.map;
+        write!(
+            f,
+            "location (channel {}, rank {}, bank {}, row {}, column {}) \
+             exceeds the mapped geometry of {} channels × {} ranks × {} \
+             banks × {} rows × {} columns:",
+            self.loc.channel,
+            self.loc.rank,
+            self.loc.bank,
+            self.loc.row,
+            self.loc.column,
+            1u64 << m.channel_bits,
+            1u64 << m.rank_bits,
+            1u64 << m.bank_bits,
+            1u64 << m.row_bits,
+            1u64 << m.column_bits,
+        )?;
+        for (name, value, limit) in self.offending_fields() {
+            write!(f, " {name} {value} >= {limit};")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for LocationOutOfRange {}
+
 /// DRAM address-mapping parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AddressMap {
@@ -36,8 +100,12 @@ pub struct AddressMap {
     pub offset_bits: u32,
     /// log2 of the number of columns per row.
     pub column_bits: u32,
-    /// log2 of the number of banks.
+    /// log2 of the number of channels.
+    pub channel_bits: u32,
+    /// log2 of the number of banks per rank.
     pub bank_bits: u32,
+    /// log2 of the number of ranks per channel.
+    pub rank_bits: u32,
     /// log2 of the number of rows per bank.
     pub row_bits: u32,
 }
@@ -45,7 +113,11 @@ pub struct AddressMap {
 /// A decoded DRAM location.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Location {
-    /// Bank index.
+    /// Channel index.
+    pub channel: u32,
+    /// Rank index within the channel.
+    pub rank: u32,
+    /// Bank index within the rank.
     pub bank: u32,
     /// Row index within the bank.
     pub row: u32,
@@ -53,21 +125,41 @@ pub struct Location {
     pub column: u32,
 }
 
+impl Location {
+    /// A single-channel single-rank location — the historical shape.
+    pub fn rank_local(bank: u32, row: u32, column: u32) -> Self {
+        Location {
+            channel: 0,
+            rank: 0,
+            bank,
+            row,
+            column,
+        }
+    }
+}
+
 impl AddressMap {
-    /// The evaluation configuration: 64 B lines, 32 columns, 8 banks,
-    /// 8192 rows.
+    /// The evaluation configuration: 64 B lines, 32 columns, 1 channel,
+    /// 1 rank, 8 banks, 8192 rows.
     pub fn paper_default() -> Self {
         AddressMap {
             offset_bits: 6,
             column_bits: 5,
+            channel_bits: 0,
             bank_bits: 3,
+            rank_bits: 0,
             row_bits: 13,
         }
     }
 
     /// Total addressable bytes.
     pub fn capacity_bytes(&self) -> u64 {
-        1u64 << (self.offset_bits + self.column_bits + self.bank_bits + self.row_bits)
+        1u64 << (self.offset_bits
+            + self.column_bits
+            + self.channel_bits
+            + self.bank_bits
+            + self.rank_bits
+            + self.row_bits)
     }
 
     /// Decodes a physical byte address.
@@ -82,10 +174,20 @@ impl AddressMap {
         let a = addr >> self.offset_bits;
         let column = (a & ((1 << self.column_bits) - 1)) as u32;
         let a = a >> self.column_bits;
+        let channel = (a & ((1 << self.channel_bits) - 1)) as u32;
+        let a = a >> self.channel_bits;
         let bank = (a & ((1 << self.bank_bits) - 1)) as u32;
         let a = a >> self.bank_bits;
+        let rank = (a & ((1 << self.rank_bits) - 1)) as u32;
+        let a = a >> self.rank_bits;
         let row = (a & ((1 << self.row_bits) - 1)) as u32;
-        Location { bank, row, column }
+        Location {
+            channel,
+            rank,
+            bank,
+            row,
+            column,
+        }
     }
 
     /// Decodes a physical byte address, rejecting addresses beyond the
@@ -108,12 +210,14 @@ impl AddressMap {
     /// Encodes a location back to the base byte address of its line.
     ///
     /// Like [`AddressMap::decode`], fields wider than their configured
-    /// bit widths wrap: only the low `row_bits`/`bank_bits`/`column_bits`
-    /// of each field survive the round trip. Use
-    /// [`AddressMap::checked_encode`] to reject such locations.
+    /// bit widths wrap: only the low bits of each field survive the
+    /// round trip. Use [`AddressMap::checked_encode`] to reject such
+    /// locations.
     pub fn encode(&self, loc: Location) -> u64 {
         let mut a = (loc.row as u64) & ((1 << self.row_bits) - 1);
+        a = (a << self.rank_bits) | (loc.rank as u64 & ((1 << self.rank_bits) - 1));
         a = (a << self.bank_bits) | (loc.bank as u64 & ((1 << self.bank_bits) - 1));
+        a = (a << self.channel_bits) | (loc.channel as u64 & ((1 << self.channel_bits) - 1));
         a = (a << self.column_bits) | (loc.column as u64 & ((1 << self.column_bits) - 1));
         a << self.offset_bits
     }
@@ -123,20 +227,17 @@ impl AddressMap {
     ///
     /// # Errors
     ///
-    /// Returns [`AddressOutOfRange`] (carrying the un-truncated encoded
-    /// address) if the bank, row, or column does not fit its field.
-    pub fn checked_encode(&self, loc: Location) -> Result<u64, AddressOutOfRange> {
-        let fits = (loc.row as u64) < (1 << self.row_bits)
+    /// Returns [`LocationOutOfRange`] naming every field (channel, rank,
+    /// bank, row, column) that does not fit, together with the full
+    /// mapped geometry.
+    pub fn checked_encode(&self, loc: Location) -> Result<u64, LocationOutOfRange> {
+        let fits = (loc.channel as u64) < (1 << self.channel_bits)
+            && (loc.rank as u64) < (1 << self.rank_bits)
             && (loc.bank as u64) < (1 << self.bank_bits)
+            && (loc.row as u64) < (1 << self.row_bits)
             && (loc.column as u64) < (1 << self.column_bits);
         if !fits {
-            let mut a = loc.row as u64;
-            a = (a << self.bank_bits) | loc.bank as u64;
-            a = (a << self.column_bits) | loc.column as u64;
-            return Err(AddressOutOfRange {
-                addr: a << self.offset_bits,
-                capacity_bytes: self.capacity_bytes(),
-            });
+            return Err(LocationOutOfRange { loc, map: *self });
         }
         Ok(self.encode(loc))
     }
@@ -156,7 +257,7 @@ mod tests {
     fn encode_decode_round_trips() {
         let m = AddressMap::paper_default();
         for (bank, row, column) in [(0, 0, 0), (7, 8191, 31), (3, 4096, 17)] {
-            let loc = Location { bank, row, column };
+            let loc = Location::rank_local(bank, row, column);
             assert_eq!(m.decode(m.encode(loc)), loc);
         }
     }
@@ -165,6 +266,12 @@ mod tests {
     fn capacity_matches_bits() {
         let m = AddressMap::paper_default();
         assert_eq!(m.capacity_bytes(), 1u64 << 27); // 128 MiB
+        let dimm = AddressMap {
+            channel_bits: 1,
+            rank_bits: 1,
+            ..m
+        };
+        assert_eq!(dimm.capacity_bytes(), 1u64 << 29);
     }
 
     #[test]
@@ -175,6 +282,46 @@ mod tests {
         assert_eq!(a.row, b.row);
         assert_eq!(a.bank, b.bank);
         assert_eq!(b.column, a.column + 1);
+    }
+
+    #[test]
+    fn channels_stripe_above_columns_then_banks_then_ranks() {
+        let m = AddressMap {
+            channel_bits: 1,
+            rank_bits: 1,
+            ..AddressMap::paper_default()
+        };
+        let lines_per_row = 1u64 << m.column_bits;
+        let line = 1u64 << m.offset_bits;
+        // Crossing the column field flips the channel first...
+        let a = m.decode(0);
+        let b = m.decode(lines_per_row * line);
+        assert_eq!((a.channel, a.bank, a.rank), (0, 0, 0));
+        assert_eq!((b.channel, b.bank, b.rank), (1, 0, 0));
+        // ...then the bank field...
+        let c = m.decode(2 * lines_per_row * line);
+        assert_eq!((c.channel, c.bank, c.rank), (0, 1, 0));
+        // ...then, above all banks, the rank field.
+        let banks = 1u64 << m.bank_bits;
+        let d = m.decode(2 * banks * lines_per_row * line);
+        assert_eq!((d.channel, d.bank, d.rank), (0, 0, 1));
+        assert_eq!(d.row, 0);
+    }
+
+    #[test]
+    fn zero_extra_bits_matches_the_historical_layout() {
+        // With channel_bits == rank_bits == 0 the map must decode
+        // exactly as the old `| row | bank | column | offset |` layout.
+        let m = AddressMap::paper_default();
+        for addr in [0u64, 64, 4096, 123_456, (1 << 27) - 64] {
+            let loc = m.decode(addr);
+            let a = addr >> m.offset_bits;
+            let column = (a & ((1 << m.column_bits) - 1)) as u32;
+            let a = a >> m.column_bits;
+            let bank = (a & ((1 << m.bank_bits) - 1)) as u32;
+            let row = ((a >> m.bank_bits) & ((1 << m.row_bits) - 1)) as u32;
+            assert_eq!(loc, Location::rank_local(bank, row, column));
+        }
     }
 
     #[test]
@@ -200,28 +347,43 @@ mod tests {
     #[test]
     fn checked_encode_rejects_overwide_fields() {
         let m = AddressMap::paper_default();
-        let ok = Location {
-            bank: 7,
-            row: 8191,
-            column: 31,
-        };
+        let ok = Location::rank_local(7, 8191, 31);
         assert_eq!(m.checked_encode(ok).expect("fits"), m.encode(ok));
-        let wide = Location {
-            bank: 8, // needs 4 bits, map has 3
-            row: 0,
-            column: 0,
-        };
-        assert!(m.checked_encode(wide).is_err());
+        let wide = Location::rank_local(8, 0, 0); // needs 4 bits, map has 3
+        let err = m.checked_encode(wide).expect_err("bank too wide");
+        assert_eq!(err.offending_fields(), vec![("bank", 8, 8)]);
         // The unchecked encode wraps the field instead of bleeding it
         // into the row bits.
-        assert_eq!(
-            m.encode(wide),
-            m.encode(Location {
-                bank: 0,
-                row: 0,
-                column: 0
-            })
-        );
+        assert_eq!(m.encode(wide), m.encode(Location::rank_local(0, 0, 0)));
+    }
+
+    #[test]
+    fn encode_errors_name_the_full_geometry() {
+        let m = AddressMap {
+            channel_bits: 1,
+            rank_bits: 1,
+            ..AddressMap::paper_default()
+        };
+        let bad = Location {
+            channel: 2,
+            rank: 3,
+            bank: 9,
+            row: 10_000,
+            column: 0,
+        };
+        let err = m.checked_encode(bad).expect_err("every field too wide");
+        let fields: Vec<&str> = err.offending_fields().iter().map(|f| f.0).collect();
+        assert_eq!(fields, vec!["channel", "rank", "bank", "row"]);
+        let msg = err.to_string();
+        for needle in [
+            "channel 2 >= 2",
+            "rank 3 >= 2",
+            "bank 9 >= 8",
+            "row 10000 >= 8192",
+            "2 channels × 2 ranks × 8 banks × 8192 rows",
+        ] {
+            assert!(msg.contains(needle), "missing {needle:?} in: {msg}");
+        }
     }
 
     mod props {
@@ -229,31 +391,48 @@ mod tests {
         use proptest::prelude::*;
 
         /// Builds a map from sampled field widths: the paper's geometry
-        /// plus smaller and larger ones.
-        fn map(offset_bits: u32, column_bits: u32, bank_bits: u32, row_bits: u32) -> AddressMap {
+        /// plus smaller and larger ones, now spanning multi-channel
+        /// multi-rank DIMMs.
+        fn map(
+            offset_bits: u32,
+            column_bits: u32,
+            channel_bits: u32,
+            bank_bits: u32,
+            rank_bits: u32,
+            row_bits: u32,
+        ) -> AddressMap {
             AddressMap {
                 offset_bits,
                 column_bits,
+                channel_bits,
                 bank_bits,
+                rank_bits,
                 row_bits,
             }
         }
 
         proptest! {
             /// `decode ∘ encode` is the identity for every in-range
-            /// location, on every geometry.
+            /// location, on every geometry including multi-channel and
+            /// multi-rank ones.
             #[test]
             fn encode_decode_round_trips_everywhere(
                 offset_bits in 1u32..8,
                 column_bits in 1u32..8,
+                channel_bits in 0u32..3,
                 bank_bits in 0u32..5,
+                rank_bits in 0u32..3,
                 row_bits in 4u32..16,
+                channel_raw in 0u32..u32::MAX,
+                rank_raw in 0u32..u32::MAX,
                 bank_raw in 0u32..u32::MAX,
                 row_raw in 0u32..u32::MAX,
                 column_raw in 0u32..u32::MAX,
             ) {
-                let m = map(offset_bits, column_bits, bank_bits, row_bits);
+                let m = map(offset_bits, column_bits, channel_bits, bank_bits, rank_bits, row_bits);
                 let loc = Location {
+                    channel: channel_raw % (1 << m.channel_bits),
+                    rank: rank_raw % (1 << m.rank_bits),
                     bank: bank_raw % (1 << m.bank_bits),
                     row: row_raw % (1 << m.row_bits),
                     column: column_raw % (1 << m.column_bits),
@@ -273,11 +452,13 @@ mod tests {
             fn decode_wraps_and_checked_decode_rejects(
                 offset_bits in 1u32..8,
                 column_bits in 1u32..8,
+                channel_bits in 0u32..3,
                 bank_bits in 0u32..5,
+                rank_bits in 0u32..3,
                 row_bits in 4u32..16,
                 addr in 0u64..u64::MAX,
             ) {
-                let m = map(offset_bits, column_bits, bank_bits, row_bits);
+                let m = map(offset_bits, column_bits, channel_bits, bank_bits, rank_bits, row_bits);
                 let wrapped = addr % m.capacity_bytes();
                 let line_base = wrapped & !((1u64 << m.offset_bits) - 1);
                 prop_assert_eq!(m.encode(m.decode(addr)), line_base);
@@ -286,6 +467,45 @@ mod tests {
                     prop_assert!(m.checked_decode(addr).is_err());
                 } else {
                     prop_assert!(m.checked_decode(addr).is_ok());
+                }
+            }
+
+            /// Any over-wide field is rejected by `checked_encode` with
+            /// an error naming exactly the offending fields.
+            #[test]
+            fn checked_encode_names_every_overwide_field(
+                channel_bits in 0u32..3,
+                bank_bits in 0u32..5,
+                rank_bits in 0u32..3,
+                row_bits in 4u32..16,
+                channel in 0u32..16,
+                rank in 0u32..16,
+                bank in 0u32..64,
+                row in 0u32..131072,
+            ) {
+                let m = map(3, 3, channel_bits, bank_bits, rank_bits, row_bits);
+                let loc = Location { channel, rank, bank, row, column: 0 };
+                let wide = [
+                    ("channel", channel as u64 >= 1 << channel_bits),
+                    ("rank", rank as u64 >= 1 << rank_bits),
+                    ("bank", bank as u64 >= 1 << bank_bits),
+                    ("row", row as u64 >= 1 << row_bits),
+                ];
+                match m.checked_encode(loc) {
+                    Ok(addr) => {
+                        prop_assert!(wide.iter().all(|&(_, w)| !w));
+                        prop_assert_eq!(m.decode(addr), loc);
+                    }
+                    Err(err) => {
+                        let named: Vec<&str> =
+                            err.offending_fields().iter().map(|f| f.0).collect();
+                        let expected: Vec<&str> = wide
+                            .iter()
+                            .filter(|&&(_, w)| w)
+                            .map(|&(n, _)| n)
+                            .collect();
+                        prop_assert_eq!(named, expected);
+                    }
                 }
             }
         }

@@ -234,16 +234,8 @@ mod tests {
     fn convert_filters_by_bank_and_accumulates_cycles() {
         let map = AddressMap::paper_default();
         // Build addresses in bank 0 and bank 1 explicitly.
-        let in_bank0 = map.encode(crate::addr::Location {
-            bank: 0,
-            row: 10,
-            column: 0,
-        });
-        let in_bank1 = map.encode(crate::addr::Location {
-            bank: 1,
-            row: 20,
-            column: 0,
-        });
+        let in_bank0 = map.encode(crate::addr::Location::rank_local(0, 10, 0));
+        let in_bank1 = map.encode(crate::addr::Location::rank_local(1, 20, 0));
         let reqs = vec![
             RamulatorRequest {
                 bubble: 100,
@@ -268,11 +260,7 @@ mod tests {
     #[test]
     fn bubbles_scale_with_cpi() {
         let map = AddressMap::paper_default();
-        let addr = map.encode(crate::addr::Location {
-            bank: 0,
-            row: 1,
-            column: 0,
-        });
+        let addr = map.encode(crate::addr::Location::rank_local(0, 1, 0));
         let reqs = vec![RamulatorRequest {
             bubble: 1000,
             read_addr: addr,
@@ -361,11 +349,7 @@ mod tests {
     fn round_trip_through_bank_simulator_format() {
         // Converted records satisfy the text format's sorting invariant.
         let map = AddressMap::paper_default();
-        let addr = map.encode(crate::addr::Location {
-            bank: 0,
-            row: 5,
-            column: 3,
-        });
+        let addr = map.encode(crate::addr::Location::rank_local(0, 5, 3));
         let reqs: Vec<RamulatorRequest> = (0..10)
             .map(|_| RamulatorRequest {
                 bubble: 10,

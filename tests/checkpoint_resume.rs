@@ -123,6 +123,34 @@ fn sched_resume_is_bit_identical_at_arbitrary_kill_cycles() {
 }
 
 #[test]
+fn dimm_sched_resume_is_bit_identical_at_arbitrary_kill_cycles() {
+    // The full-DIMM geometry exercises the multi-channel lane cursors,
+    // per-rank bus state, and the struct-of-arrays bank state in the
+    // snapshot path.
+    let exp = experiment();
+    let sched = exp.dimm_config(2, 2, 4).expect("dimm config");
+    let reference = exp
+        .run_scheduled(PolicyKind::VrlAccess, "bgsave", sched)
+        .expect("reference run");
+    for (i, cadence) in KILL_CADENCES.into_iter().enumerate() {
+        let scratch = Scratch::new(&format!("dimm-{i}"));
+        let ckpt = CheckpointConfig::new(&scratch.0, cadence).with_halt_after(1);
+        let halted = exp
+            .run_scheduled_checkpointed(PolicyKind::VrlAccess, "bgsave", sched, &ckpt)
+            .expect("checkpointed run");
+        assert_eq!(halted, CheckpointOutcome::Halted { checkpoints: 1 });
+        let report = vrl_dram::checkpoint::resume(&scratch.0, None).expect("resume");
+        assert_eq!(report.front_end, FrontEndKind::Sched);
+        match report.outcome {
+            CheckpointOutcome::Completed(ResumedStats::Sched(stats)) => {
+                assert_eq!(stats, reference, "DIMM kill at cycle {cadence} diverged");
+            }
+            other => panic!("expected completed scheduler stats, got {other:?}"),
+        }
+    }
+}
+
+#[test]
 fn resume_survives_multiple_kills_in_one_run() {
     // Kill at the first checkpoint, resume with checkpointing still on,
     // kill again at the next, and resume to completion — the final
