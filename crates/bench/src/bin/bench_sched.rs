@@ -41,7 +41,6 @@ struct FrontEndRow {
 
 #[derive(Serialize)]
 struct BenchSched {
-    schema_version: u32,
     benchmark: String,
     rows: u32,
     banks: u32,
@@ -193,11 +192,9 @@ fn main() {
     sched_merged
         .merge(&supervised.metrics)
         .expect("exec counters are disjoint from sched metrics");
-    vrl_bench::write_json_raw("BENCH_sched_metrics", &sched_merged.to_json());
-    vrl_bench::write_json(
-        "BENCH_sched",
+    vrl_bench::write_bench_report(
+        "sched",
         &BenchSched {
-            schema_version: vrl_bench::SCHEMA_VERSION,
             benchmark,
             rows,
             banks,
@@ -212,6 +209,7 @@ fn main() {
             supervised_quarantined: supervised.counters.quarantined,
             supervised_degraded: supervised.degraded,
         },
+        &sched_merged.to_json(),
     );
 
     if !bit_identical {

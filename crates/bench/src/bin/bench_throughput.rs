@@ -86,7 +86,6 @@ struct DimmLeg {
 
 #[derive(Serialize)]
 struct BenchThroughput {
-    schema_version: u32,
     rows: u32,
     duration_ms: f64,
     benchmarks: usize,
@@ -347,11 +346,9 @@ fn main() {
         bit_identical: dimm_bit_identical,
     };
 
-    vrl_bench::write_json_raw("BENCH_throughput_metrics", &metrics.to_json());
-    vrl_bench::write_json(
-        "BENCH_throughput",
+    vrl_bench::write_bench_report(
+        "throughput",
         &BenchThroughput {
-            schema_version: vrl_bench::SCHEMA_VERSION,
             rows,
             duration_ms,
             benchmarks: vrl_trace::WorkloadSpec::BENCHMARKS.len(),
@@ -366,6 +363,7 @@ fn main() {
             front_ends,
             full_dimm,
         },
+        &metrics.to_json(),
     );
 
     if !bit_identical {

@@ -62,6 +62,37 @@ pub fn write_json_raw(name: &str, json: &str) {
     println!("[artifact] {}", path.display());
 }
 
+/// Wraps a report so its JSON object leads with
+/// `"schema_version": SCHEMA_VERSION` — report structs no longer carry
+/// (and can no longer forget or typo) the stamp themselves.
+#[derive(Debug)]
+pub struct Stamped<'a, T>(pub &'a T);
+
+impl<T: Serialize> Serialize for Stamped<'_, T> {
+    fn serialize_json(&self, out: &mut String) {
+        let mut body = String::new();
+        self.0.serialize_json(&mut body);
+        let inner = body
+            .strip_prefix('{')
+            .and_then(|b| b.strip_suffix('}'))
+            .expect("a bench report serializes as a JSON object");
+        out.push_str(&format!("{{\"schema_version\":{SCHEMA_VERSION}"));
+        if !inner.is_empty() {
+            out.push(',');
+            out.push_str(inner);
+        }
+        out.push('}');
+    }
+}
+
+/// Writes the canonical artifact pair of one bench binary: the metrics
+/// snapshot as `BENCH_{name}_metrics.json`, then the schema-stamped
+/// report as `BENCH_{name}.json`.
+pub fn write_bench_report<T: Serialize>(name: &str, report: &T, metrics_json: &str) {
+    write_json_raw(&format!("BENCH_{name}_metrics"), metrics_json);
+    write_json(&format!("BENCH_{name}"), &Stamped(report));
+}
+
 /// Prints a separator-framed section header.
 pub fn section(title: &str) {
     println!("\n{}", "=".repeat(72));
@@ -104,5 +135,28 @@ mod tests {
     #[test]
     fn arg_f64_falls_back() {
         assert_eq!(arg_f64("--nonexistent-flag", 7.5), 7.5);
+    }
+
+    #[test]
+    fn stamped_reports_lead_with_the_schema_version() {
+        #[derive(Serialize)]
+        struct Report {
+            rows: u32,
+            ok: bool,
+        }
+        // Byte-identical to a report that declared
+        // `schema_version: SCHEMA_VERSION` as its own first field.
+        let mut stamped = String::new();
+        Stamped(&Report { rows: 8, ok: true }).serialize_json(&mut stamped);
+        assert_eq!(
+            stamped,
+            format!("{{\"schema_version\":{SCHEMA_VERSION},\"rows\":8,\"ok\":true}}")
+        );
+
+        #[derive(Serialize)]
+        struct Empty {}
+        let mut empty = String::new();
+        Stamped(&Empty {}).serialize_json(&mut empty);
+        assert_eq!(empty, format!("{{\"schema_version\":{SCHEMA_VERSION}}}"));
     }
 }

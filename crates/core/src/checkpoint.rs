@@ -359,6 +359,7 @@ macro_rules! with_policy {
         }
     };
 }
+pub(crate) use with_policy;
 
 /// One checkpoint payload: header, resume point, engine state, observer
 /// state — sealed into the versioned, checksummed envelope.

@@ -52,6 +52,7 @@ pub mod mprsf;
 pub mod overhead;
 pub mod physics;
 pub mod plan;
+pub mod spans;
 pub mod supervise;
 pub mod tau;
 pub mod vrt_adapt;

@@ -1,0 +1,342 @@
+//! Span-segmented runs with progress callbacks.
+//!
+//! The checkpointing layer proved that pausing an engine at an
+//! arbitrary cycle boundary inserts no state change: composing
+//! `run_span_observed` spans is bit-identical to one unsegmented run.
+//! This module reuses that property for *streaming progress* instead of
+//! snapshots — `vrl-serve` drives every job through the
+//! `run_*_spanned_with` family so clients receive per-span cycle counts
+//! while the final statistics stay byte-identical to the plain
+//! `run_policy` / `run_frfcfs` / `run_scheduled` paths (asserted by the
+//! tests below and by the serve bit-identity suite).
+
+use vrl_dram_sim::controller::{ControllerCursor, ControllerStats, FrFcfsController};
+use vrl_dram_sim::sim::{NullObserver, SimConfig, Simulator};
+use vrl_dram_sim::{AutoRefresh, SimStats, TimingParams};
+use vrl_sched::{SchedConfig, SchedCursor, SchedStats, Scheduler};
+use vrl_trace::TraceRecord;
+
+use crate::checkpoint::with_policy;
+use crate::error::Error;
+use crate::experiment::{Experiment, PolicyKind};
+
+/// Progress from one completed span of a spanned run: the run paused at
+/// `cycle` with simulation still ahead of it. Emitted only at pauses —
+/// a run shorter than one span completes without progress callbacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanProgress {
+    /// 1-based index of the span that just completed.
+    pub span: u32,
+    /// The cycle the engine paused at.
+    pub cycle: u64,
+    /// The run's final cycle (`duration_ms` in cycles).
+    pub end: u64,
+}
+
+/// Clamps a span cadence: `0` means "never pause" (one giant span).
+fn cadence(span_cycles: u64) -> u64 {
+    if span_cycles == 0 {
+        u64::MAX
+    } else {
+        span_cycles
+    }
+}
+
+impl Experiment {
+    /// The run's final cycle for this experiment's duration.
+    fn end_cycle(&self) -> u64 {
+        TimingParams::paper_default().ms_to_cycles(self.config().duration_ms)
+    }
+
+    /// [`Experiment::run_policy_with`] segmented into spans of
+    /// `span_cycles` cycles, invoking `on_span` at every pause.
+    /// Bit-identical to the unsegmented run.
+    pub fn run_policy_spanned_with<I, F>(
+        &self,
+        kind: PolicyKind,
+        trace: I,
+        span_cycles: u64,
+        mut on_span: F,
+    ) -> SimStats
+    where
+        I: Iterator<Item = TraceRecord>,
+        F: FnMut(SpanProgress),
+    {
+        let end = self.end_cycle();
+        let every = cadence(span_cycles);
+        let mut trace = trace.peekable();
+        with_policy!(kind, self.plan(), |p| {
+            let mut sim = Simulator::new(SimConfig::with_rows(self.config().rows), p);
+            let mut stop = every.min(end);
+            let mut span = 0u32;
+            loop {
+                sim.run_span_observed(&mut trace, stop, &mut NullObserver);
+                if stop >= end {
+                    return sim.finish_observed(end, &mut NullObserver);
+                }
+                span += 1;
+                on_span(SpanProgress {
+                    span,
+                    cycle: stop,
+                    end,
+                });
+                stop = stop.saturating_add(every);
+            }
+        })
+    }
+
+    /// [`Experiment::run_frfcfs_with`] segmented into spans of
+    /// `span_cycles` cycles, invoking `on_span` at every pause.
+    /// Bit-identical to the unsegmented run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Sim`] for an invalid queue depth.
+    pub fn run_frfcfs_spanned_with<I, F>(
+        &self,
+        kind: PolicyKind,
+        trace: I,
+        queue_depth: usize,
+        span_cycles: u64,
+        mut on_span: F,
+    ) -> Result<ControllerStats, Error>
+    where
+        I: Iterator<Item = TraceRecord>,
+        F: FnMut(SpanProgress),
+    {
+        let end = self.end_cycle();
+        let every = cadence(span_cycles);
+        let mut trace = trace.take_while(|r| r.cycle < end).peekable();
+        with_policy!(kind, self.plan(), |p| {
+            let mut ctl =
+                FrFcfsController::new(SimConfig::with_rows(self.config().rows), p, queue_depth)?;
+            let mut cursor = ControllerCursor::default();
+            let mut stop = every.min(end);
+            let mut span = 0u32;
+            loop {
+                let paused =
+                    ctl.run_span_observed(&mut cursor, &mut trace, end, stop, &mut NullObserver)?;
+                if !paused {
+                    return Ok(ctl.finish(end));
+                }
+                span += 1;
+                on_span(SpanProgress {
+                    span,
+                    cycle: stop,
+                    end,
+                });
+                stop = stop.saturating_add(every);
+            }
+        })
+    }
+
+    /// [`Experiment::run_scheduled_with`] segmented into spans of
+    /// `span_cycles` cycles, invoking `on_span` at every pause.
+    /// Bit-identical to the unsegmented run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Sim`] for a scheduler configuration or
+    /// invariant failure.
+    pub fn run_scheduled_spanned_with<I, F>(
+        &self,
+        kind: PolicyKind,
+        sched: SchedConfig,
+        trace: I,
+        span_cycles: u64,
+        on_span: F,
+    ) -> Result<SchedStats, Error>
+    where
+        I: Iterator<Item = TraceRecord>,
+        F: FnMut(SpanProgress),
+    {
+        with_policy!(kind, self.plan(), |p| {
+            let engine = Scheduler::new(sched, p)?;
+            self.drive_sched_spanned(engine, trace, span_cycles, on_span)
+        })
+    }
+
+    /// One channel shard of a full-DIMM run, segmented into spans —
+    /// the spanned analogue of [`Experiment::run_dimm_channel`] minus
+    /// the event recorder. Merging every channel's stats with
+    /// [`SchedStats::merge`] is bit-identical to
+    /// [`Experiment::run_dimm_serial`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Sim`] for an out-of-range channel or scheduler
+    /// invariant failure.
+    pub fn run_dimm_channel_spanned_with<I, F>(
+        &self,
+        kind: PolicyKind,
+        sched: SchedConfig,
+        channel: u32,
+        trace: I,
+        span_cycles: u64,
+        on_span: F,
+    ) -> Result<SchedStats, Error>
+    where
+        I: Iterator<Item = TraceRecord>,
+        F: FnMut(SpanProgress),
+    {
+        with_policy!(kind, self.plan(), |p| {
+            let engine = Scheduler::for_channel(sched, p, channel)?;
+            self.drive_sched_spanned(engine, trace, span_cycles, on_span)
+        })
+    }
+
+    /// The shared scheduler span loop behind the spanned sched/DIMM
+    /// entry points.
+    fn drive_sched_spanned<P, I, F>(
+        &self,
+        mut engine: Scheduler<P>,
+        trace: I,
+        span_cycles: u64,
+        mut on_span: F,
+    ) -> Result<SchedStats, Error>
+    where
+        P: vrl_dram_sim::policy::RefreshPolicy,
+        I: Iterator<Item = TraceRecord>,
+        F: FnMut(SpanProgress),
+    {
+        let end = self.end_cycle();
+        let every = cadence(span_cycles);
+        let mut trace = trace.take_while(|r| r.cycle < end).peekable();
+        let mut cursor = SchedCursor::default();
+        let mut stop = every.min(end);
+        let mut span = 0u32;
+        loop {
+            let paused =
+                engine.run_span_observed(&mut cursor, &mut trace, end, stop, &mut NullObserver)?;
+            if !paused {
+                return Ok(engine.finish(end));
+            }
+            span += 1;
+            on_span(SpanProgress {
+                span,
+                cycle: stop,
+                end,
+            });
+            stop = stop.saturating_add(every);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::ExperimentConfig;
+
+    fn small() -> Experiment {
+        Experiment::new(ExperimentConfig {
+            rows: 256,
+            duration_ms: 192.0,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn spanned_sim_is_bit_identical_and_reports_progress() {
+        let e = small();
+        for kind in PolicyKind::ALL {
+            let plain = e.run_policy(kind, "swaptions").unwrap();
+            let trace = e.materialize_trace("swaptions").unwrap();
+            let mut spans = Vec::new();
+            let spanned =
+                e.run_policy_spanned_with(kind, trace.iter().copied(), 500_000, |p| spans.push(p));
+            assert_eq!(spanned, plain, "{kind:?} spanned run must be bit-identical");
+            assert!(!spans.is_empty(), "a multi-span run reports progress");
+            assert!(spans.windows(2).all(|w| w[0].cycle < w[1].cycle));
+            assert!(spans.iter().all(|p| p.cycle < p.end));
+        }
+    }
+
+    #[test]
+    fn spanned_frfcfs_is_bit_identical() {
+        let e = small();
+        let plain = e.run_frfcfs(PolicyKind::Vrl, "canneal", 8).unwrap();
+        let trace = e.materialize_trace("canneal").unwrap();
+        let mut spans = 0;
+        let spanned = e
+            .run_frfcfs_spanned_with(PolicyKind::Vrl, trace.iter().copied(), 8, 400_000, |_| {
+                spans += 1;
+            })
+            .unwrap();
+        assert_eq!(spanned, plain);
+        assert!(spans > 0);
+    }
+
+    #[test]
+    fn spanned_sched_is_bit_identical() {
+        let e = small();
+        let sched = e.sched_config(4).unwrap();
+        let plain = e
+            .run_scheduled(PolicyKind::VrlAccess, "bgsave", sched)
+            .unwrap();
+        let trace = e.materialize_trace("bgsave").unwrap();
+        let spanned = e
+            .run_scheduled_spanned_with(
+                PolicyKind::VrlAccess,
+                sched,
+                trace.iter().copied(),
+                300_000,
+                |_| {},
+            )
+            .unwrap();
+        assert_eq!(spanned, plain);
+    }
+
+    #[test]
+    fn spanned_dimm_channels_merge_to_the_serial_dimm_run() {
+        let e = small();
+        let sched = e.dimm_config(2, 1, 2).unwrap();
+        let direct = e.run_dimm_serial(PolicyKind::Vrl, "ferret", sched).unwrap();
+        let trace = e.materialize_trace("ferret").unwrap();
+        let mut merged = SchedStats::default();
+        for channel in 0..sched.channels() {
+            let shard = e
+                .run_dimm_channel_spanned_with(
+                    PolicyKind::Vrl,
+                    sched,
+                    channel,
+                    trace.iter().copied(),
+                    250_000,
+                    |_| {},
+                )
+                .unwrap();
+            merged = merged.merge(&shard);
+        }
+        assert_eq!(merged, direct.stats);
+    }
+
+    #[test]
+    fn zero_cadence_means_one_span_and_no_callbacks() {
+        let e = small();
+        let plain = e.run_policy(PolicyKind::Raidr, "swaptions").unwrap();
+        let trace = e.materialize_trace("swaptions").unwrap();
+        let spanned =
+            e.run_policy_spanned_with(PolicyKind::Raidr, trace.iter().copied(), 0, |_| {
+                panic!("no pauses expected")
+            });
+        assert_eq!(spanned, plain);
+    }
+
+    #[test]
+    fn from_artifacts_shares_and_matches_fresh_builds() {
+        let config = ExperimentConfig {
+            rows: 256,
+            duration_ms: 128.0,
+            ..Default::default()
+        };
+        let fresh = Experiment::new(config);
+        let shared =
+            Experiment::from_artifacts(config, fresh.profile_shared(), fresh.plan_shared());
+        assert!(std::sync::Arc::ptr_eq(
+            &fresh.plan_shared(),
+            &shared.plan_shared()
+        ));
+        let a = fresh.run_policy(PolicyKind::Vrl, "swaptions").unwrap();
+        let b = shared.run_policy(PolicyKind::Vrl, "swaptions").unwrap();
+        assert_eq!(a, b);
+    }
+}

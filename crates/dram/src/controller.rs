@@ -24,7 +24,7 @@ use crate::timing::RefreshLatency;
 use crate::wheel::RefreshQueue;
 
 /// Statistics of a controller run: the base counters plus queue metrics.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ControllerStats {
     /// The base simulator counters.
     pub sim: SimStats,

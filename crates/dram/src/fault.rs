@@ -162,7 +162,7 @@ pub enum RefreshDisposition {
 }
 
 /// Counters describing what the injector actually did.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct FaultStats {
     /// Rows whose true retention was degraded by profiler optimism.
     pub optimistic_rows: u64,

@@ -69,7 +69,7 @@ impl Default for GuardConfig {
 }
 
 /// Counters describing what the guard saw and did.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct GuardStats {
     /// Errors detected inside the correctable band and repaired.
     pub corrected: u64,

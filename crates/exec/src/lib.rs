@@ -688,6 +688,175 @@ where
     }
 }
 
+/// A queued task: boxed so heterogeneous closures share one queue.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between the [`TaskPool`] handle and its workers.
+struct TaskShared {
+    /// Pending tasks plus the intake/occupancy bookkeeping, all under
+    /// one lock so `queue_depth` reads a consistent view.
+    queue: Mutex<TaskQueue>,
+    /// Signals workers that a task arrived or intake closed.
+    available: std::sync::Condvar,
+    /// Signals `shutdown` that a task finished.
+    drained: std::sync::Condvar,
+    /// Tasks whose closure panicked (the worker survives; the panic is
+    /// contained and counted).
+    panics: AtomicUsize,
+}
+
+#[derive(Default)]
+struct TaskQueue {
+    tasks: std::collections::VecDeque<Task>,
+    /// Accepting new submissions. Cleared by `shutdown`.
+    open: bool,
+    /// Tasks currently executing on a worker.
+    running: usize,
+}
+
+/// A long-lived worker pool: `workers` threads pull queued closures
+/// until [`TaskPool::shutdown`]. Where [`map_ordered`] spins up a
+/// scoped pool per batch, this handle is created once and reused across
+/// many independent submissions — the execution engine behind
+/// `vrl serve`, where requests arrive over time rather than as one
+/// batch.
+///
+/// Tasks are opaque `FnOnce()` closures: ordering guarantees and result
+/// plumbing are the submitter's concern (each task owns its own reply
+/// channel). A panicking task is contained — the worker survives, the
+/// panic is tallied in [`TaskPool::panics`].
+pub struct TaskPool {
+    shared: std::sync::Arc<TaskShared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    worker_count: usize,
+}
+
+impl fmt::Debug for TaskPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TaskPool")
+            .field("workers", &self.worker_count)
+            .field("queue_depth", &self.queue_depth())
+            .finish()
+    }
+}
+
+impl TaskPool {
+    /// Spawns a pool of `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> TaskPool {
+        let worker_count = workers.max(1);
+        let shared = std::sync::Arc::new(TaskShared {
+            queue: Mutex::new(TaskQueue {
+                tasks: std::collections::VecDeque::new(),
+                open: true,
+                running: 0,
+            }),
+            available: std::sync::Condvar::new(),
+            drained: std::sync::Condvar::new(),
+            panics: AtomicUsize::new(0),
+        });
+        let handles = (0..worker_count)
+            .map(|i| {
+                let shared = std::sync::Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("vrl-task-{i}"))
+                    .spawn(move || task_worker(&shared))
+                    .expect("spawn task worker")
+            })
+            .collect();
+        TaskPool {
+            shared,
+            workers: Mutex::new(handles),
+            worker_count,
+        }
+    }
+
+    /// The number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.worker_count
+    }
+
+    /// Enqueues a task. Returns `false` (dropping the task) if the pool
+    /// has shut down.
+    pub fn submit(&self, task: impl FnOnce() + Send + 'static) -> bool {
+        let mut queue = self.shared.queue.lock().expect("task queue poisoned");
+        if !queue.open {
+            return false;
+        }
+        queue.tasks.push_back(Box::new(task));
+        drop(queue);
+        self.shared.available.notify_one();
+        true
+    }
+
+    /// Tasks submitted but not yet finished (queued + running).
+    pub fn queue_depth(&self) -> usize {
+        let queue = self.shared.queue.lock().expect("task queue poisoned");
+        queue.tasks.len() + queue.running
+    }
+
+    /// Tasks whose closure panicked (contained; workers survive).
+    pub fn panics(&self) -> usize {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+
+    /// Closes intake, waits for every queued and running task to
+    /// finish, and joins the workers. Idempotent; called by `Drop`.
+    pub fn shutdown(&self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("task queue poisoned");
+            queue.open = false;
+            while !queue.tasks.is_empty() || queue.running > 0 {
+                queue = self
+                    .shared
+                    .drained
+                    .wait(queue)
+                    .expect("task queue poisoned");
+            }
+        }
+        self.shared.available.notify_all();
+        let handles = std::mem::take(&mut *self.workers.lock().expect("worker list poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TaskPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One worker's loop: claim a task, run it under `catch_unwind`, repeat
+/// until intake is closed and the queue is empty.
+fn task_worker(shared: &TaskShared) {
+    loop {
+        let task = {
+            let mut queue = shared.queue.lock().expect("task queue poisoned");
+            loop {
+                if let Some(task) = queue.tasks.pop_front() {
+                    queue.running += 1;
+                    break task;
+                }
+                if !queue.open {
+                    return;
+                }
+                queue = shared.available.wait(queue).expect("task queue poisoned");
+            }
+        };
+        if catch_unwind(AssertUnwindSafe(task)).is_err() {
+            shared.panics.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut queue = shared.queue.lock().expect("task queue poisoned");
+        queue.running -= 1;
+        let idle = queue.tasks.is_empty() && queue.running == 0;
+        drop(queue);
+        if idle {
+            shared.drained.notify_all();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1030,6 +1199,51 @@ mod tests {
         // Different jobs/attempts de-correlate.
         assert_ne!(sup.backoff(1, 1), sup.backoff(2, 1));
         assert_ne!(sup.backoff(1, 1), sup.backoff(1, 2));
+    }
+
+    #[test]
+    fn task_pool_runs_every_submission_and_drains_on_shutdown() {
+        use std::sync::atomic::AtomicU64;
+        let pool = TaskPool::new(4);
+        let sum = std::sync::Arc::new(AtomicU64::new(0));
+        for i in 1..=100u64 {
+            let sum = std::sync::Arc::clone(&sum);
+            assert!(pool.submit(move || {
+                sum.fetch_add(i, Ordering::Relaxed);
+            }));
+        }
+        pool.shutdown();
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+        assert_eq!(pool.queue_depth(), 0);
+        // Intake is closed after shutdown; the task is dropped.
+        assert!(!pool.submit(|| {}));
+    }
+
+    #[test]
+    fn task_pool_contains_panics_and_workers_survive() {
+        use std::sync::atomic::AtomicU64;
+        let pool = TaskPool::new(2);
+        let ran = std::sync::Arc::new(AtomicU64::new(0));
+        for i in 0..10u64 {
+            let ran = std::sync::Arc::clone(&ran);
+            pool.submit(move || {
+                if i % 2 == 0 {
+                    panic!("task {i} panics");
+                }
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::Relaxed), 5);
+        assert_eq!(pool.panics(), 5);
+    }
+
+    #[test]
+    fn task_pool_shutdown_is_idempotent() {
+        let pool = TaskPool::new(1);
+        pool.submit(|| {});
+        pool.shutdown();
+        pool.shutdown(); // second call (and the eventual Drop) are no-ops
     }
 
     #[test]

@@ -99,6 +99,24 @@ pub enum EventKind {
         /// Panicking jobs that triggered the degradation.
         failures: u32,
     },
+    /// A served experiment job was validated and enqueued. For serve
+    /// events, `cycle` carries the job id and `row` is the row-less
+    /// sentinel.
+    JobQueued {
+        /// Queue depth (queued + running) right after the enqueue.
+        depth: u32,
+    },
+    /// A served job started executing on a pool worker.
+    JobStarted,
+    /// A served job finished and its result frame was delivered.
+    JobCompleted {
+        /// Whether the result came from the content-addressed result
+        /// cache rather than a fresh simulation.
+        cached: bool,
+    },
+    /// A served job panicked; the worker survived and the job was
+    /// quarantined with an error frame.
+    JobQuarantined,
 }
 
 impl EventKind {
@@ -118,6 +136,10 @@ impl EventKind {
             EventKind::ExecQuarantine { .. } => "ExecQuarantine",
             EventKind::ExecDeadline => "ExecDeadline",
             EventKind::ExecDegraded { .. } => "ExecDegraded",
+            EventKind::JobQueued { .. } => "JobQueued",
+            EventKind::JobStarted => "JobStarted",
+            EventKind::JobCompleted { .. } => "JobCompleted",
+            EventKind::JobQuarantined => "JobQuarantined",
         }
     }
 
@@ -210,6 +232,16 @@ impl vrl_snap::Snapshot for EventKind {
                 enc.put_u8(12);
                 enc.put_u32(failures);
             }
+            EventKind::JobQueued { depth } => {
+                enc.put_u8(13);
+                enc.put_u32(depth);
+            }
+            EventKind::JobStarted => enc.put_u8(14),
+            EventKind::JobCompleted { cached } => {
+                enc.put_u8(15);
+                cached.save(enc);
+            }
+            EventKind::JobQuarantined => enc.put_u8(16),
         }
     }
 
@@ -240,6 +272,14 @@ impl vrl_snap::Snapshot for EventKind {
             12 => EventKind::ExecDegraded {
                 failures: dec.take_u32()?,
             },
+            13 => EventKind::JobQueued {
+                depth: dec.take_u32()?,
+            },
+            14 => EventKind::JobStarted,
+            15 => EventKind::JobCompleted {
+                cached: bool::load(dec)?,
+            },
+            16 => EventKind::JobQuarantined,
             tag => {
                 return Err(vrl_snap::SnapError::Malformed {
                     what: format!("unknown EventKind tag {tag}"),
@@ -343,6 +383,10 @@ mod tests {
             },
             EventKind::ExecDeadline,
             EventKind::ExecDegraded { failures: 4 },
+            EventKind::JobQueued { depth: 3 },
+            EventKind::JobStarted,
+            EventKind::JobCompleted { cached: true },
+            EventKind::JobQuarantined,
         ];
         for kind in kinds {
             let event = Event {

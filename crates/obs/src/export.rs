@@ -80,6 +80,12 @@ fn push_event(out: &mut String, event: &Event, policy: &str) {
         EventKind::ExecDegraded { failures } => {
             out.push_str(&format!(",\"failures\":{failures}"));
         }
+        EventKind::JobQueued { depth } => {
+            out.push_str(&format!(",\"depth\":{depth}"));
+        }
+        EventKind::JobCompleted { cached } => {
+            out.push_str(&format!(",\"cached\":{cached}"));
+        }
         _ => {}
     }
     out.push_str("}}");

@@ -1,0 +1,168 @@
+//! Typed command-line argument handling for `vrl-cli`.
+//!
+//! The original CLI helpers silently fell back to defaults when a flag
+//! value failed to parse (`--checkpoint-every banana` ran with the
+//! default cadence). These helpers make every malformed or missing
+//! value a typed [`UsageError`] that the binary turns into a usage
+//! message and exit code 2 — never a panic, never a silent default.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A command-line usage mistake: the message to print before the usage
+/// text. The binary exits with code 2 for these, distinguishing
+/// operator mistakes from runtime failures (exit code 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError {
+    /// Human-readable description of the mistake.
+    pub message: String,
+}
+
+impl UsageError {
+    /// A usage error with the given message.
+    pub fn new(message: impl Into<String>) -> UsageError {
+        UsageError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// The value following `--name`, if the flag is present.
+///
+/// # Errors
+///
+/// Returns a [`UsageError`] when the flag is present but its value is
+/// missing (end of argv or another `--flag` follows).
+pub fn flag_value(args: &[String], name: &str) -> Result<Option<String>, UsageError> {
+    let Some(pos) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    match args.get(pos + 1) {
+        Some(value) if !value.starts_with("--") => Ok(Some(value.clone())),
+        _ => Err(UsageError::new(format!("{name} requires a value"))),
+    }
+}
+
+/// Parses `--name VALUE` as `T`, using `default` when the flag is
+/// absent.
+///
+/// # Errors
+///
+/// Returns a [`UsageError`] when the value is missing or fails to
+/// parse — it never silently falls back to the default.
+pub fn flag_parse<T>(args: &[String], name: &str, default: T) -> Result<T, UsageError>
+where
+    T: FromStr,
+    T::Err: fmt::Display,
+{
+    match flag_value(args, name)? {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|e| UsageError::new(format!("{name} got an invalid value {raw:?}: {e}"))),
+    }
+}
+
+/// Parses a required `--name VALUE` as `T`.
+///
+/// # Errors
+///
+/// Returns a [`UsageError`] when the flag is absent, its value is
+/// missing, or the value fails to parse.
+pub fn flag_require<T>(args: &[String], name: &str) -> Result<T, UsageError>
+where
+    T: FromStr,
+    T::Err: fmt::Display,
+{
+    match flag_value(args, name)? {
+        None => Err(UsageError::new(format!("{name} is required"))),
+        Some(raw) => raw
+            .parse()
+            .map_err(|e| UsageError::new(format!("{name} got an invalid value {raw:?}: {e}"))),
+    }
+}
+
+/// Whether the bare switch `--name` (no value) is present.
+pub fn flag_present(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// Rejects any `--flag` not in `known` — a typo like `--checkpont`
+/// must fail, not be ignored.
+///
+/// # Errors
+///
+/// Returns a [`UsageError`] naming the first unknown flag.
+pub fn reject_unknown_flags(args: &[String], known: &[&str]) -> Result<(), UsageError> {
+    for arg in args {
+        if arg.starts_with("--") && !known.contains(&arg.as_str()) {
+            return Err(UsageError::new(format!(
+                "unknown flag {arg} (known: {})",
+                known.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn present_flags_parse_and_absent_flags_default() {
+        let args = argv(&["--rows", "512", "--policy", "vrl"]);
+        assert_eq!(flag_parse(&args, "--rows", 8192u32), Ok(512));
+        assert_eq!(flag_parse(&args, "--banks", 8u32), Ok(8));
+        assert_eq!(flag_value(&args, "--policy"), Ok(Some("vrl".to_owned())));
+        assert_eq!(flag_value(&args, "--absent"), Ok(None));
+    }
+
+    #[test]
+    fn malformed_values_error_instead_of_defaulting() {
+        let args = argv(&["--checkpoint-every", "banana"]);
+        let err = flag_parse(&args, "--checkpoint-every", 1000u64).unwrap_err();
+        assert!(err.message.contains("--checkpoint-every"));
+        assert!(err.message.contains("banana"));
+    }
+
+    #[test]
+    fn missing_values_are_reported() {
+        for args in [argv(&["--rows"]), argv(&["--rows", "--banks", "4"])] {
+            let err = flag_parse(&args, "--rows", 8192u32).unwrap_err();
+            assert!(err.message.contains("requires a value"), "{err}");
+        }
+    }
+
+    #[test]
+    fn required_flags_must_be_present_and_valid() {
+        assert!(flag_require::<u32>(&argv(&[]), "--rows")
+            .unwrap_err()
+            .message
+            .contains("required"));
+        assert_eq!(
+            flag_require::<u32>(&argv(&["--rows", "9"]), "--rows"),
+            Ok(9)
+        );
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_by_name() {
+        let args = argv(&["--rows", "512", "--checkpont", "x.snap"]);
+        let err = reject_unknown_flags(&args, &["--rows", "--checkpoint"]).unwrap_err();
+        assert!(err.message.contains("--checkpont"));
+        assert!(reject_unknown_flags(&args, &["--rows", "--checkpont"]).is_ok());
+    }
+}

@@ -19,6 +19,12 @@
 //!           [--checkpoint FILE --checkpoint-every N [--halt-after K]]
 //!           [--resume FILE]
 //! vrl netlist <equalization|charge-sharing|sense-restore>
+//! vrl serve --addr HOST:PORT [--workers N] [--span-cycles N] [--state FILE]
+//! vrl submit --addr HOST:PORT --spec JSON [--quiet] [--expect-error]
+//! vrl submit --direct --spec JSON
+//! vrl submit --addr HOST:PORT --raw LINE [--quiet] [--expect-error]
+//! vrl submit --addr HOST:PORT [--ping | --stats]
+//! vrl submit --addr HOST:PORT --shutdown <drain|now>
 //! ```
 //!
 //! `compare` fans the (benchmark × policy) matrix across the `vrl-exec`
@@ -41,6 +47,15 @@
 //! snapshot — the benchmark, policy, and configuration all come from the
 //! snapshot header — and continues to completion, bit-identical to an
 //! uninterrupted run.
+//!
+//! `serve` starts the simulation-as-a-service daemon (DESIGN.md §14);
+//! `submit` is its thin client. `vrl submit --direct` runs the spec
+//! in-process through a fresh `Experiment` and prints the same result
+//! frame the daemon would serve — byte-identical, which is how CI
+//! compares the two paths.
+//!
+//! Exit codes: 0 success, 1 runtime failure, 2 usage error (unknown
+//! flag, missing or malformed value — never a silent default).
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -56,19 +71,18 @@ use vrl_obs::{chrome_trace_json, validate_chrome_trace, MetricsSnapshot};
 use vrl_retention::binning::RefreshBin;
 use vrl_retention::distribution::RetentionDistribution;
 use vrl_retention::profile::BankProfile;
+use vrl_serve::args::{
+    flag_parse, flag_present, flag_require, flag_value, reject_unknown_flags, UsageError,
+};
+use vrl_serve::protocol::is_terminal;
+use vrl_serve::{Client, Server, ServerConfig};
 
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
+/// A subcommand outcome: exit code, or a usage mistake (exit code 2).
+type CmdResult = Result<ExitCode, UsageError>;
 
-fn flag_parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
-    flag_value(args, flag)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
+/// Exit code for usage errors, following the `sysexits`/getopt
+/// convention of 2 for bad invocations.
+const USAGE_EXIT: u8 = 2;
 
 fn write_metrics(path: &str, snapshot: &MetricsSnapshot) -> bool {
     match std::fs::write(path, snapshot.to_json()) {
@@ -85,14 +99,36 @@ fn write_metrics(path: &str, snapshot: &MetricsSnapshot) -> bool {
 
 /// Parses `--checkpoint FILE [--checkpoint-every N] [--halt-after K]`
 /// into a checkpoint policy, if requested.
-fn checkpoint_flags(args: &[String]) -> Option<CheckpointConfig> {
-    let path = flag_value(args, "--checkpoint")?;
-    let every: u64 = flag_parse(args, "--checkpoint-every", 1_000_000);
+fn checkpoint_flags(args: &[String]) -> Result<Option<CheckpointConfig>, UsageError> {
+    let Some(path) = flag_value(args, "--checkpoint")? else {
+        return Ok(None);
+    };
+    let every: u64 = flag_parse(args, "--checkpoint-every", 1_000_000)?;
     let mut cfg = CheckpointConfig::new(path, every);
-    if let Some(k) = flag_value(args, "--halt-after").and_then(|v| v.parse().ok()) {
+    if let Some(raw) = flag_value(args, "--halt-after")? {
+        let k: u32 = raw.parse().map_err(|e| {
+            UsageError::new(format!("--halt-after got an invalid value {raw:?}: {e}"))
+        })?;
         cfg = cfg.with_halt_after(k);
     }
-    Some(cfg)
+    Ok(Some(cfg))
+}
+
+/// Resolves `--policy NAME` (or the default) to the policies to run.
+fn policy_flag(args: &[String], default: &str) -> Result<Vec<PolicyKind>, UsageError> {
+    let name = flag_value(args, "--policy")?.unwrap_or_else(|| default.to_owned());
+    match name.as_str() {
+        "all" => Ok(PolicyKind::ALL.to_vec()),
+        name => PolicyKind::ALL
+            .iter()
+            .find(|k| k.name() == name)
+            .map(|k| vec![*k])
+            .ok_or_else(|| {
+                UsageError::new(format!(
+                    "unknown policy '{name}' (auto, raidr, vrl, vrl-access, all)"
+                ))
+            }),
+    }
 }
 
 fn print_sim_stats(policy: &str, stats: &vrl_dram::dram_sim::SimStats) {
@@ -122,26 +158,31 @@ fn print_sched_stats(policy: &str, stats: &vrl_sched::SchedStats) {
 /// Runs `vrl <cmd> --resume FILE`: restores the snapshot (everything
 /// else comes from its header) and continues to completion, printing
 /// the resumed run's statistics.
-fn run_resume(args: &[String], resume_path: &str) -> Result<ResumeReport, ExitCode> {
-    let cont = checkpoint_flags(args);
-    match vrl_dram::checkpoint::resume(Path::new(resume_path), cont.as_ref()) {
-        Ok(report) => {
-            println!(
-                "resumed {} run of {} / {} from {resume_path}",
-                report.front_end.name(),
-                report.benchmark,
-                report.policy.name()
-            );
-            Ok(report)
-        }
-        Err(err) => {
-            eprintln!("{err}");
-            Err(ExitCode::FAILURE)
-        }
-    }
+fn run_resume(
+    args: &[String],
+    resume_path: &str,
+) -> Result<Result<ResumeReport, ExitCode>, UsageError> {
+    let cont = checkpoint_flags(args)?;
+    Ok(
+        match vrl_dram::checkpoint::resume(Path::new(resume_path), cont.as_ref()) {
+            Ok(report) => {
+                println!(
+                    "resumed {} run of {} / {} from {resume_path}",
+                    report.front_end.name(),
+                    report.benchmark,
+                    report.policy.name()
+                );
+                Ok(report)
+            }
+            Err(err) => {
+                eprintln!("{err}");
+                Err(ExitCode::FAILURE)
+            }
+        },
+    )
 }
 
-fn cmd_model() -> ExitCode {
+fn cmd_model() -> CmdResult {
     let tech = Technology::n90();
     let model = AnalyticalModel::new(tech);
     println!("technology: 90 nm (Vdd = {} V)", model.technology().vdd);
@@ -164,23 +205,29 @@ fn cmd_model() -> ExitCode {
         "95% of charge restored by {:.1}% of tRFC",
         model.time_fraction_to_charge_fraction(0.95) * 100.0
     );
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_mprsf(args: &[String]) -> ExitCode {
-    let Some(retention): Option<f64> = args.first().and_then(|v| v.parse().ok()) else {
-        eprintln!("usage: vrl mprsf <retention_ms> [period_ms]");
-        return ExitCode::FAILURE;
+fn cmd_mprsf(args: &[String]) -> CmdResult {
+    let Some(first) = args.first() else {
+        return Err(UsageError::new(
+            "usage: vrl mprsf <retention_ms> [period_ms]",
+        ));
     };
+    let retention: f64 = first.parse().map_err(|e| {
+        UsageError::new(format!("retention_ms got an invalid value {first:?}: {e}"))
+    })?;
     let model = AnalyticalModel::new(Technology::n90());
     let calc = MprsfCalculator::new(&model, 0.0);
-    let period = args
-        .get(1)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(|| RefreshBin::for_retention(retention).period_ms());
+    let period = match args.get(1) {
+        Some(raw) => raw
+            .parse()
+            .map_err(|e| UsageError::new(format!("period_ms got an invalid value {raw:?}: {e}")))?,
+        None => RefreshBin::for_retention(retention).period_ms(),
+    };
     if period > retention {
         eprintln!("error: refresh period {period} ms exceeds retention {retention} ms");
-        return ExitCode::FAILURE;
+        return Ok(ExitCode::FAILURE);
     }
     match calc.mprsf(retention, period) {
         Mprsf::Finite(m) => println!(
@@ -192,13 +239,14 @@ fn cmd_mprsf(args: &[String]) -> ExitCode {
              (saturates at the counter width)"
         ),
     }
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_plan(args: &[String]) -> ExitCode {
-    let rows: usize = flag_parse(args, "--rows", 8192);
-    let seed: u64 = flag_parse(args, "--seed", 42);
-    let nbits: u32 = flag_parse(args, "--nbits", 2);
+fn cmd_plan(args: &[String]) -> CmdResult {
+    reject_unknown_flags(args, &["--rows", "--seed", "--nbits"])?;
+    let rows: usize = flag_parse(args, "--rows", 8192)?;
+    let seed: u64 = flag_parse(args, "--seed", 42)?;
+    let nbits: u32 = flag_parse(args, "--nbits", 2)?;
     let model = AnalyticalModel::new(Technology::n90());
     let profile = BankProfile::generate(&RetentionDistribution::liu_et_al(), rows, 32, seed);
     let plan = RefreshPlan::build(&model, &profile, nbits, 0.0);
@@ -219,16 +267,27 @@ fn cmd_plan(args: &[String]) -> ExitCode {
         "analytic VRL overhead vs RAIDR: {:.1}%",
         (vrl_dram::overhead::vrl_normalized(&plan, 19, 11) - 1.0) * 100.0
     );
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_simulate(args: &[String]) -> ExitCode {
-    if let Some(path) = flag_value(args, "--resume") {
-        let report = match run_resume(args, &path) {
+const SIMULATE_FLAGS: [&str; 7] = [
+    "--rows",
+    "--duration-ms",
+    "--policy",
+    "--checkpoint",
+    "--checkpoint-every",
+    "--halt-after",
+    "--resume",
+];
+
+fn cmd_simulate(args: &[String]) -> CmdResult {
+    reject_unknown_flags(args, &SIMULATE_FLAGS)?;
+    if let Some(path) = flag_value(args, "--resume")? {
+        let report = match run_resume(args, &path)? {
             Ok(report) => report,
-            Err(code) => return code,
+            Err(code) => return Ok(code),
         };
-        return match report.outcome {
+        return Ok(match report.outcome {
             CheckpointOutcome::Completed(ResumedStats::Sim(stats)) => {
                 print_sim_stats(report.policy.name(), &stats);
                 ExitCode::SUCCESS
@@ -241,88 +300,87 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
                 println!("halted again after {checkpoints} checkpoint(s)");
                 ExitCode::SUCCESS
             }
-        };
+        });
     }
     let Some(benchmark) = args.first().filter(|a| !a.starts_with("--")).cloned() else {
-        eprintln!(
+        return Err(UsageError::new(format!(
             "usage: vrl simulate <benchmark> [--rows N] [--duration-ms D] [--policy P] \
-             [--checkpoint FILE --checkpoint-every N [--halt-after K]] [--resume FILE]"
-        );
-        eprintln!(
-            "benchmarks: {}",
+             [--checkpoint FILE --checkpoint-every N [--halt-after K]] [--resume FILE]\n\
+             benchmarks: {}",
             vrl_trace::WorkloadSpec::BENCHMARKS.join(", ")
-        );
-        return ExitCode::FAILURE;
+        )));
     };
-    let rows: u32 = flag_parse(args, "--rows", 8192);
-    let duration_ms: f64 = flag_parse(args, "--duration-ms", 512.0);
-    let policy_name = flag_value(args, "--policy").unwrap_or_else(|| "all".to_owned());
+    let rows: u32 = flag_parse(args, "--rows", 8192)?;
+    let duration_ms: f64 = flag_parse(args, "--duration-ms", 512.0)?;
+    let kinds = policy_flag(args, "all")?;
     let experiment = Experiment::new(ExperimentConfig {
         rows,
         duration_ms,
         ..Default::default()
     });
-    let kinds: Vec<PolicyKind> = match policy_name.as_str() {
-        "all" => PolicyKind::ALL.to_vec(),
-        name => match PolicyKind::ALL.iter().find(|k| k.name() == name) {
-            Some(k) => vec![*k],
-            None => {
-                eprintln!("unknown policy '{name}' (auto, raidr, vrl, vrl-access, all)");
-                return ExitCode::FAILURE;
-            }
-        },
-    };
-    if let Some(ckpt) = checkpoint_flags(args) {
+    if let Some(ckpt) = checkpoint_flags(args)? {
         let [kind] = kinds[..] else {
-            eprintln!("error: --checkpoint needs a single --policy (not 'all')");
-            return ExitCode::FAILURE;
+            return Err(UsageError::new(
+                "--checkpoint needs a single --policy (not 'all')",
+            ));
         };
-        return match experiment.run_policy_checkpointed(kind, &benchmark, &ckpt) {
-            Ok(CheckpointOutcome::Completed(stats)) => {
-                print_sim_stats(kind.name(), &stats);
-                ExitCode::SUCCESS
-            }
-            Ok(CheckpointOutcome::Halted { checkpoints }) => {
-                println!(
-                    "halted after {checkpoints} checkpoint(s); resume with \
+        return Ok(
+            match experiment.run_policy_checkpointed(kind, &benchmark, &ckpt) {
+                Ok(CheckpointOutcome::Completed(stats)) => {
+                    print_sim_stats(kind.name(), &stats);
+                    ExitCode::SUCCESS
+                }
+                Ok(CheckpointOutcome::Halted { checkpoints }) => {
+                    println!(
+                        "halted after {checkpoints} checkpoint(s); resume with \
                      `vrl simulate --resume {}`",
-                    ckpt.path.display()
-                );
-                ExitCode::SUCCESS
-            }
-            Err(err) => {
-                eprintln!("{err}");
-                ExitCode::FAILURE
-            }
-        };
+                        ckpt.path.display()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(err) => {
+                    eprintln!("{err}");
+                    ExitCode::FAILURE
+                }
+            },
+        );
     }
     for kind in kinds {
         match experiment.run_policy(kind, &benchmark) {
             Ok(stats) => print_sim_stats(kind.name(), &stats),
             Err(err) => {
                 eprintln!("{err}");
-                return ExitCode::FAILURE;
+                return Ok(ExitCode::FAILURE);
             }
         }
     }
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_compare(args: &[String]) -> ExitCode {
-    let rows: u32 = flag_parse(args, "--rows", 8192);
-    let duration_ms: f64 = flag_parse(args, "--duration-ms", 512.0);
+fn cmd_compare(args: &[String]) -> CmdResult {
+    reject_unknown_flags(
+        args,
+        &[
+            "--rows",
+            "--duration-ms",
+            "--threads",
+            "--metrics",
+            "--manifest",
+        ],
+    )?;
+    let rows: u32 = flag_parse(args, "--rows", 8192)?;
+    let duration_ms: f64 = flag_parse(args, "--duration-ms", 512.0)?;
     let experiment = Experiment::new(ExperimentConfig {
         rows,
         duration_ms,
         ..Default::default()
     });
     // --threads beats VRL_THREADS beats available parallelism.
-    let exec = match flag_value(args, "--threads").map(|v| v.parse::<usize>()) {
-        Some(Ok(n)) if n > 0 => vrl_exec::ExecConfig::new(n),
-        Some(_) => {
-            eprintln!("error: --threads takes a positive integer");
-            return ExitCode::FAILURE;
-        }
+    let exec = match flag_value(args, "--threads")? {
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) if n > 0 => vrl_exec::ExecConfig::new(n),
+            _ => return Err(UsageError::new("--threads takes a positive integer")),
+        },
         None => vrl_exec::ExecConfig::from_env(),
     };
     println!(
@@ -334,7 +392,7 @@ fn cmd_compare(args: &[String]) -> ExitCode {
     // without simulating twice. `--manifest` swaps in the
     // crash-consistent sweep that persists completed cells.
     let policies = [PolicyKind::Raidr, PolicyKind::Vrl, PolicyKind::VrlAccess];
-    let matrix = match flag_value(args, "--manifest") {
+    let matrix = match flag_value(args, "--manifest")? {
         Some(path) => experiment.run_matrix_manifested(&exec, &policies, Path::new(&path)),
         None => experiment.run_matrix_with(&exec, &policies).map(|(c, _)| c),
     };
@@ -342,7 +400,7 @@ fn cmd_compare(args: &[String]) -> ExitCode {
         Ok(cells) => cells,
         Err(err) => {
             eprintln!("{err}");
-            return ExitCode::FAILURE;
+            return Ok(ExitCode::FAILURE);
         }
     };
     println!(
@@ -359,29 +417,45 @@ fn cmd_compare(args: &[String]) -> ExitCode {
             group[2].stats.refresh_busy_cycles as f64 / raidr
         );
     }
-    if let Some(path) = flag_value(args, "--metrics") {
+    if let Some(path) = flag_value(args, "--metrics")? {
         let snapshots: Vec<MetricsSnapshot> = cells.iter().map(|c| sim_metrics(&c.stats)).collect();
         let merged = MetricsSnapshot::merged(snapshots.iter())
             .expect("sim metric snapshots share one shape");
         if !write_metrics(&path, &merged) {
-            return ExitCode::FAILURE;
+            return Ok(ExitCode::FAILURE);
         }
     }
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_sched(args: &[String]) -> ExitCode {
-    if let Some(path) = flag_value(args, "--resume") {
-        let report = match run_resume(args, &path) {
+const SCHED_FLAGS: [&str; 12] = [
+    "--rows",
+    "--channels",
+    "--ranks",
+    "--banks",
+    "--duration-ms",
+    "--policy",
+    "--no-parallel",
+    "--metrics",
+    "--checkpoint",
+    "--checkpoint-every",
+    "--halt-after",
+    "--resume",
+];
+
+fn cmd_sched(args: &[String]) -> CmdResult {
+    reject_unknown_flags(args, &SCHED_FLAGS)?;
+    if let Some(path) = flag_value(args, "--resume")? {
+        let report = match run_resume(args, &path)? {
             Ok(report) => report,
-            Err(code) => return code,
+            Err(code) => return Ok(code),
         };
-        return match report.outcome {
+        return Ok(match report.outcome {
             CheckpointOutcome::Completed(ResumedStats::Sched(stats)) => {
                 print_sched_stats(report.policy.name(), &stats);
-                if let Some(path) = flag_value(args, "--metrics") {
+                if let Some(path) = flag_value(args, "--metrics")? {
                     if !write_metrics(&path, &sched_metrics(&stats)) {
-                        return ExitCode::FAILURE;
+                        return Ok(ExitCode::FAILURE);
                     }
                 }
                 ExitCode::SUCCESS
@@ -396,37 +470,24 @@ fn cmd_sched(args: &[String]) -> ExitCode {
                 println!("halted again after {checkpoints} checkpoint(s)");
                 ExitCode::SUCCESS
             }
-        };
+        });
     }
     let Some(benchmark) = args.first().filter(|a| !a.starts_with("--")).cloned() else {
-        eprintln!(
+        return Err(UsageError::new(format!(
             "usage: vrl sched <benchmark> [--rows N] [--channels C] [--ranks R] [--banks B] \
              [--duration-ms D] [--policy P] [--no-parallel] \
-             [--checkpoint FILE --checkpoint-every N [--halt-after K]] [--resume FILE]"
-        );
-        eprintln!(
-            "benchmarks: {}",
+             [--checkpoint FILE --checkpoint-every N [--halt-after K]] [--resume FILE]\n\
+             benchmarks: {}",
             vrl_trace::WorkloadSpec::BENCHMARKS.join(", ")
-        );
-        return ExitCode::FAILURE;
+        )));
     };
-    let rows: u32 = flag_parse(args, "--rows", 8192);
-    let channels: u32 = flag_parse(args, "--channels", 1);
-    let ranks: u32 = flag_parse(args, "--ranks", 1);
-    let banks: u32 = flag_parse(args, "--banks", 8);
-    let duration_ms: f64 = flag_parse(args, "--duration-ms", 512.0);
-    let parallel = !args.iter().any(|a| a == "--no-parallel");
-    let policy_name = flag_value(args, "--policy").unwrap_or_else(|| "all".to_owned());
-    let kinds: Vec<PolicyKind> = match policy_name.as_str() {
-        "all" => PolicyKind::ALL.to_vec(),
-        name => match PolicyKind::ALL.iter().find(|k| k.name() == name) {
-            Some(k) => vec![*k],
-            None => {
-                eprintln!("unknown policy '{name}' (auto, raidr, vrl, vrl-access, all)");
-                return ExitCode::FAILURE;
-            }
-        },
-    };
+    let rows: u32 = flag_parse(args, "--rows", 8192)?;
+    let channels: u32 = flag_parse(args, "--channels", 1)?;
+    let ranks: u32 = flag_parse(args, "--ranks", 1)?;
+    let banks: u32 = flag_parse(args, "--banks", 8)?;
+    let duration_ms: f64 = flag_parse(args, "--duration-ms", 512.0)?;
+    let parallel = !flag_present(args, "--no-parallel");
+    let kinds = policy_flag(args, "all")?;
     let experiment = Experiment::new(ExperimentConfig {
         rows,
         duration_ms,
@@ -436,7 +497,7 @@ fn cmd_sched(args: &[String]) -> ExitCode {
         Ok(cfg) => cfg.with_parallelism(parallel),
         Err(err) => {
             eprintln!("{err}");
-            return ExitCode::FAILURE;
+            return Ok(ExitCode::FAILURE);
         }
     };
     println!(
@@ -456,34 +517,37 @@ fn cmd_sched(args: &[String]) -> ExitCode {
         "p50 lat",
         "p99 lat"
     );
-    if let Some(ckpt) = checkpoint_flags(args) {
+    if let Some(ckpt) = checkpoint_flags(args)? {
         let [kind] = kinds[..] else {
-            eprintln!("error: --checkpoint needs a single --policy (not 'all')");
-            return ExitCode::FAILURE;
+            return Err(UsageError::new(
+                "--checkpoint needs a single --policy (not 'all')",
+            ));
         };
-        return match experiment.run_scheduled_checkpointed(kind, &benchmark, sched, &ckpt) {
-            Ok(CheckpointOutcome::Completed(stats)) => {
-                print_sched_stats(kind.name(), &stats);
-                if let Some(path) = flag_value(args, "--metrics") {
-                    if !write_metrics(&path, &sched_metrics(&stats)) {
-                        return ExitCode::FAILURE;
+        return Ok(
+            match experiment.run_scheduled_checkpointed(kind, &benchmark, sched, &ckpt) {
+                Ok(CheckpointOutcome::Completed(stats)) => {
+                    print_sched_stats(kind.name(), &stats);
+                    if let Some(path) = flag_value(args, "--metrics")? {
+                        if !write_metrics(&path, &sched_metrics(&stats)) {
+                            return Ok(ExitCode::FAILURE);
+                        }
                     }
+                    ExitCode::SUCCESS
                 }
-                ExitCode::SUCCESS
-            }
-            Ok(CheckpointOutcome::Halted { checkpoints }) => {
-                println!(
-                    "halted after {checkpoints} checkpoint(s); resume with \
+                Ok(CheckpointOutcome::Halted { checkpoints }) => {
+                    println!(
+                        "halted after {checkpoints} checkpoint(s); resume with \
                      `vrl sched --resume {}`",
-                    ckpt.path.display()
-                );
-                ExitCode::SUCCESS
-            }
-            Err(err) => {
-                eprintln!("{err}");
-                ExitCode::FAILURE
-            }
-        };
+                        ckpt.path.display()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(err) => {
+                    eprintln!("{err}");
+                    ExitCode::FAILURE
+                }
+            },
+        );
     }
     let mut merged = MetricsSnapshot::default();
     for kind in kinds {
@@ -496,27 +560,44 @@ fn cmd_sched(args: &[String]) -> ExitCode {
             }
             Err(err) => {
                 eprintln!("{err}");
-                return ExitCode::FAILURE;
+                return Ok(ExitCode::FAILURE);
             }
         }
     }
-    if let Some(path) = flag_value(args, "--metrics") {
+    if let Some(path) = flag_value(args, "--metrics")? {
         if !write_metrics(&path, &merged) {
-            return ExitCode::FAILURE;
+            return Ok(ExitCode::FAILURE);
         }
     }
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_trace(args: &[String]) -> ExitCode {
-    if let Some(path) = flag_value(args, "--resume") {
-        let report = match run_resume(args, &path) {
+const TRACE_FLAGS: [&str; 13] = [
+    "--policy",
+    "--rows",
+    "--channels",
+    "--ranks",
+    "--banks",
+    "--duration-ms",
+    "--out",
+    "--metrics",
+    "--validate",
+    "--checkpoint",
+    "--checkpoint-every",
+    "--halt-after",
+    "--resume",
+];
+
+fn cmd_trace(args: &[String]) -> CmdResult {
+    reject_unknown_flags(args, &TRACE_FLAGS)?;
+    if let Some(path) = flag_value(args, "--resume")? {
+        let report = match run_resume(args, &path)? {
             Ok(report) => report,
-            Err(code) => return code,
+            Err(code) => return Ok(code),
         };
-        return match (report.outcome, report.events) {
+        return Ok(match (report.outcome, report.events) {
             (CheckpointOutcome::Completed(ResumedStats::Sched(stats)), Some(stream)) => {
-                let out = flag_value(args, "--out").unwrap_or_else(|| "trace.json".to_owned());
+                let out = flag_value(args, "--out")?.unwrap_or_else(|| "trace.json".to_owned());
                 let json = chrome_trace_json(
                     &stream.events,
                     &stream.label,
@@ -525,7 +606,7 @@ fn cmd_trace(args: &[String]) -> ExitCode {
                 );
                 if let Err(err) = std::fs::write(&out, &json) {
                     eprintln!("error: cannot write {out}: {err}");
-                    return ExitCode::FAILURE;
+                    return Ok(ExitCode::FAILURE);
                 }
                 println!(
                     "{}: {} events ({} dropped) over {} cycles -> {out}",
@@ -544,35 +625,28 @@ fn cmd_trace(args: &[String]) -> ExitCode {
                 eprintln!("error: {path} is not a traced scheduler snapshot");
                 ExitCode::FAILURE
             }
-        };
+        });
     }
     let Some(benchmark) = args.first().filter(|a| !a.starts_with("--")).cloned() else {
-        eprintln!(
+        return Err(UsageError::new(format!(
             "usage: vrl trace <benchmark> [--policy P] [--rows N] [--channels C] [--ranks R] \
              [--banks B] [--duration-ms D] [--out FILE] [--metrics FILE] [--validate] \
-             [--checkpoint FILE --checkpoint-every N [--halt-after K]] [--resume FILE]"
-        );
-        eprintln!(
-            "benchmarks: {}",
+             [--checkpoint FILE --checkpoint-every N [--halt-after K]] [--resume FILE]\n\
+             benchmarks: {}",
             vrl_trace::WorkloadSpec::BENCHMARKS.join(", ")
-        );
-        return ExitCode::FAILURE;
+        )));
     };
-    let rows: u32 = flag_parse(args, "--rows", 8192);
-    let channels: u32 = flag_parse(args, "--channels", 1);
-    let ranks: u32 = flag_parse(args, "--ranks", 1);
-    let banks: u32 = flag_parse(args, "--banks", 8);
-    let duration_ms: f64 = flag_parse(args, "--duration-ms", 512.0);
-    let policy_name = flag_value(args, "--policy").unwrap_or_else(|| "vrl-access".to_owned());
-    let Some(kind) = PolicyKind::ALL
-        .iter()
-        .find(|k| k.name() == policy_name)
-        .copied()
-    else {
-        eprintln!("unknown policy '{policy_name}' (auto, raidr, vrl, vrl-access)");
-        return ExitCode::FAILURE;
+    let rows: u32 = flag_parse(args, "--rows", 8192)?;
+    let channels: u32 = flag_parse(args, "--channels", 1)?;
+    let ranks: u32 = flag_parse(args, "--ranks", 1)?;
+    let banks: u32 = flag_parse(args, "--banks", 8)?;
+    let duration_ms: f64 = flag_parse(args, "--duration-ms", 512.0)?;
+    let [kind] = policy_flag(args, "vrl-access")?[..] else {
+        return Err(UsageError::new(
+            "trace records a single policy (auto, raidr, vrl, vrl-access)",
+        ));
     };
-    let out = flag_value(args, "--out").unwrap_or_else(|| "trace.json".to_owned());
+    let out = flag_value(args, "--out")?.unwrap_or_else(|| "trace.json".to_owned());
     let experiment = Experiment::new(ExperimentConfig {
         rows,
         duration_ms,
@@ -582,10 +656,10 @@ fn cmd_trace(args: &[String]) -> ExitCode {
         Ok(cfg) => cfg,
         Err(err) => {
             eprintln!("{err}");
-            return ExitCode::FAILURE;
+            return Ok(ExitCode::FAILURE);
         }
     };
-    let (stats, stream) = if let Some(ckpt) = checkpoint_flags(args) {
+    let (stats, stream) = if let Some(ckpt) = checkpoint_flags(args)? {
         match experiment.run_scheduled_traced_checkpointed(kind, &benchmark, sched, &ckpt) {
             Ok(CheckpointOutcome::Completed(out)) => out,
             Ok(CheckpointOutcome::Halted { checkpoints }) => {
@@ -594,11 +668,11 @@ fn cmd_trace(args: &[String]) -> ExitCode {
                      `vrl trace --resume {}`",
                     ckpt.path.display()
                 );
-                return ExitCode::SUCCESS;
+                return Ok(ExitCode::SUCCESS);
             }
             Err(err) => {
                 eprintln!("{err}");
-                return ExitCode::FAILURE;
+                return Ok(ExitCode::FAILURE);
             }
         }
     } else {
@@ -606,7 +680,7 @@ fn cmd_trace(args: &[String]) -> ExitCode {
             Ok(out) => out,
             Err(err) => {
                 eprintln!("{err}");
-                return ExitCode::FAILURE;
+                return Ok(ExitCode::FAILURE);
             }
         }
     };
@@ -618,7 +692,7 @@ fn cmd_trace(args: &[String]) -> ExitCode {
     );
     if let Err(err) = std::fs::write(&out, &json) {
         eprintln!("error: cannot write {out}: {err}");
-        return ExitCode::FAILURE;
+        return Ok(ExitCode::FAILURE);
     }
     println!(
         "{}: {} events ({} dropped) over {} cycles -> {out}",
@@ -627,7 +701,7 @@ fn cmd_trace(args: &[String]) -> ExitCode {
         stream.dropped,
         stats.sim.total_cycles
     );
-    if args.iter().any(|a| a == "--validate") {
+    if flag_present(args, "--validate") {
         match validate_chrome_trace(&json) {
             Ok(summary) => {
                 let kinds: Vec<&str> = summary.kinds.iter().map(String::as_str).collect();
@@ -640,19 +714,19 @@ fn cmd_trace(args: &[String]) -> ExitCode {
             }
             Err(err) => {
                 eprintln!("{err}");
-                return ExitCode::FAILURE;
+                return Ok(ExitCode::FAILURE);
             }
         }
     }
-    if let Some(path) = flag_value(args, "--metrics") {
+    if let Some(path) = flag_value(args, "--metrics")? {
         if !write_metrics(&path, &sched_metrics(&stats)) {
-            return ExitCode::FAILURE;
+            return Ok(ExitCode::FAILURE);
         }
     }
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_netlist(args: &[String]) -> ExitCode {
+fn cmd_netlist(args: &[String]) -> CmdResult {
     let which = args.first().map(String::as_str).unwrap_or("equalization");
     let params = Technology::n90().to_spice_params(BankGeometry::operational_segment());
     let deck = match which {
@@ -674,17 +748,174 @@ fn cmd_netlist(args: &[String]) -> ExitCode {
             vrl_spice::netlist_io::to_netlist_string(&ckt, "Figure 2d — sense and restore")
         }
         other => {
-            eprintln!("unknown circuit '{other}' (equalization, charge-sharing, sense-restore)");
-            return ExitCode::FAILURE;
+            return Err(UsageError::new(format!(
+                "unknown circuit '{other}' (equalization, charge-sharing, sense-restore)"
+            )));
         }
     };
     print!("{deck}");
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_serve(args: &[String]) -> CmdResult {
+    reject_unknown_flags(args, &["--addr", "--workers", "--span-cycles", "--state"])?;
+    let addr: String = flag_require(args, "--addr")?;
+    let defaults = ServerConfig::default();
+    let config = ServerConfig {
+        workers: flag_parse(args, "--workers", defaults.workers)?,
+        span_cycles: flag_parse(args, "--span-cycles", defaults.span_cycles)?,
+        state_path: flag_value(args, "--state")?.map(Into::into),
+        ring_capacity: defaults.ring_capacity,
+    };
+    let server = match Server::bind(&addr, config) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("error: cannot bind {addr}: {err}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    println!("vrl-serve listening on {}", server.addr());
+    server.wait();
+    println!("vrl-serve stopped");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_submit(args: &[String]) -> CmdResult {
+    reject_unknown_flags(
+        args,
+        &[
+            "--addr",
+            "--spec",
+            "--raw",
+            "--direct",
+            "--quiet",
+            "--expect-error",
+            "--shutdown",
+            "--ping",
+            "--stats",
+        ],
+    )?;
+    let quiet = flag_present(args, "--quiet");
+    let expect_error = flag_present(args, "--expect-error");
+
+    // --direct: run in-process and print the reference result frame.
+    if flag_present(args, "--direct") {
+        let spec_json: String = flag_require(args, "--spec")?;
+        let value = vrl_obs::json::parse(&spec_json)
+            .map_err(|e| UsageError::new(format!("--spec is not valid JSON: {e}")))?;
+        let spec = vrl_serve::spec::parse_spec(&value)
+            .map_err(|e| UsageError::new(format!("--spec is invalid: {e}")))?;
+        return Ok(match vrl_serve::runner::direct_result(&spec) {
+            Ok(frame) => {
+                println!("{frame}");
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("{err}");
+                ExitCode::FAILURE
+            }
+        });
+    }
+
+    let addr: String = flag_require(args, "--addr")?;
+    let mut client = match Client::connect(&addr) {
+        Ok(client) => client,
+        Err(err) => {
+            eprintln!("error: cannot connect to {addr}: {err}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+
+    // Single-frame probes: liveness and the server metrics snapshot.
+    if flag_present(args, "--ping") || flag_present(args, "--stats") {
+        let response = if flag_present(args, "--ping") {
+            client.ping()
+        } else {
+            client.stats()
+        };
+        return Ok(match response {
+            Ok(frame) => {
+                println!("{frame}");
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("error: probe failed: {err}");
+                ExitCode::FAILURE
+            }
+        });
+    }
+
+    if let Some(mode) = flag_value(args, "--shutdown")? {
+        let drain = match mode.as_str() {
+            "drain" => true,
+            "now" => false,
+            other => {
+                return Err(UsageError::new(format!(
+                    "--shutdown got an invalid mode {other:?} (drain, now)"
+                )))
+            }
+        };
+        return Ok(match client.shutdown(drain) {
+            Ok(frame) => {
+                println!("{frame}");
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("error: shutdown request failed: {err}");
+                ExitCode::FAILURE
+            }
+        });
+    }
+
+    let line = match (flag_value(args, "--spec")?, flag_value(args, "--raw")?) {
+        (Some(_), Some(_)) => {
+            return Err(UsageError::new("--spec and --raw are mutually exclusive"))
+        }
+        (Some(spec_json), None) => {
+            let value = vrl_obs::json::parse(&spec_json)
+                .map_err(|e| UsageError::new(format!("--spec is not valid JSON: {e}")))?;
+            drop(value);
+            let compact: String = spec_json.chars().filter(|c| *c != '\n').collect();
+            format!("{{\"type\":\"submit\",\"spec\":{compact}}}")
+        }
+        (None, Some(raw)) => raw.chars().filter(|c| *c != '\n').collect(),
+        (None, None) => {
+            return Err(UsageError::new(
+                "submit needs --spec JSON, --raw LINE, --shutdown MODE, --ping, or --stats",
+            ))
+        }
+    };
+
+    let frames = match client.submit_raw(&line) {
+        Ok(frames) => frames,
+        Err(err) => {
+            eprintln!("error: submission failed: {err}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    let terminal = frames
+        .last()
+        .expect("submit_raw returns at least one frame");
+    let errored = terminal.starts_with("{\"type\":\"error\"");
+    debug_assert!(is_terminal(terminal));
+    if quiet {
+        println!("{terminal}");
+    } else {
+        for frame in &frames {
+            println!("{frame}");
+        }
+    }
+    let ok = if expect_error { errored } else { !errored };
+    Ok(if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
+    let result = match args.first().map(String::as_str) {
         Some("model") => cmd_model(),
         Some("mprsf") => cmd_mprsf(&args[1..]),
         Some("plan") => cmd_plan(&args[1..]),
@@ -693,6 +924,11 @@ fn main() -> ExitCode {
         Some("sched") => cmd_sched(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("netlist") => cmd_netlist(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
+        Some(other) if !other.starts_with("--") => {
+            Err(UsageError::new(format!("unknown subcommand '{other}'")))
+        }
         _ => {
             eprintln!("vrl — the VRL-DRAM analytical model and simulator\n");
             eprintln!("usage:");
@@ -717,7 +953,23 @@ fn main() -> ExitCode {
                  [--halt-after K] and --resume FILE)"
             );
             eprintln!("  vrl netlist <equalization|charge-sharing|sense-restore>");
-            ExitCode::FAILURE
+            eprintln!(
+                "  vrl serve --addr HOST:PORT [--workers N] [--span-cycles N] [--state FILE]"
+            );
+            eprintln!("  vrl submit --addr HOST:PORT --spec JSON [--quiet] [--expect-error]");
+            eprintln!("  vrl submit --direct --spec JSON");
+            eprintln!("  vrl submit --addr HOST:PORT --raw LINE [--quiet] [--expect-error]");
+            eprintln!("  vrl submit --addr HOST:PORT [--ping | --stats]");
+            eprintln!("  vrl submit --addr HOST:PORT --shutdown <drain|now>");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(code) => code,
+        Err(usage) => {
+            eprintln!("usage error: {usage}");
+            eprintln!("run `vrl` with no arguments for usage");
+            ExitCode::from(USAGE_EXIT)
         }
     }
 }

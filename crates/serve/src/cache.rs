@@ -1,0 +1,264 @@
+//! Content-addressed artifact cache.
+//!
+//! Four shards, one per artifact kind, each keyed by the canonical
+//! FNV-1a hash of the *generating* configuration (never of the artifact
+//! itself — artifacts are derived deterministically, so the generating
+//! key is the identity):
+//!
+//! | shard      | key                                          | artifact                         |
+//! |------------|----------------------------------------------|----------------------------------|
+//! | `profiles` | rows, cells_per_row, seed                    | generated [`BankProfile`]        |
+//! | `plans`    | profile key + nbits + guard_band             | [`RefreshPlan`] (MPRSF memo)     |
+//! | `traces`   | benchmark, rows, seed, duration_ms           | materialized [`TraceRecord`] vec |
+//! | `results`  | full [`JobSpec`](crate::spec::JobSpec) hash  | finished result frame            |
+//!
+//! Each entry is built **exactly once**, even under concurrent
+//! requests: a per-key slot mutex serializes same-key builders while
+//! leaving different keys fully parallel. Hit/miss counters feed the
+//! `serve.cache.*` metrics and the warm-cache tests.
+
+use std::collections::HashMap;
+use std::convert::Infallible;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use vrl_dram::experiment::{Experiment, ExperimentConfig};
+use vrl_dram::plan::RefreshPlan;
+use vrl_retention::profile::BankProfile;
+use vrl_snap::Encoder;
+use vrl_trace::TraceRecord;
+
+/// One cache shard: build-once storage plus hit/miss counters.
+#[derive(Debug)]
+pub struct Shard<T> {
+    slots: Mutex<HashMap<u64, Arc<Mutex<Option<T>>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+// Manual impl: the derive would demand `T: Default`, but an empty shard
+// needs no values of `T` at all.
+impl<T> Default for Shard<T> {
+    fn default() -> Shard<T> {
+        Shard {
+            slots: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<T: Clone> Shard<T> {
+    /// Returns the cached value for `key`, building (and caching) it
+    /// with `build` on first use. Concurrent callers with the same key
+    /// serialize on the key's slot, so `build` runs exactly once per
+    /// key that ever succeeds; a failed build leaves the slot empty for
+    /// the next caller to retry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error from `build` without caching anything.
+    pub fn try_get_or_build<E>(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> Result<T, E>,
+    ) -> Result<T, E> {
+        let slot = {
+            let mut slots = self.slots.lock().expect("cache shard poisoned");
+            Arc::clone(slots.entry(key).or_default())
+        };
+        let mut guard = slot.lock().expect("cache slot poisoned");
+        if let Some(value) = guard.as_ref() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(value.clone());
+        }
+        let value = build()?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        *guard = Some(value.clone());
+        Ok(value)
+    }
+
+    /// Infallible [`Shard::try_get_or_build`].
+    pub fn get_or_build(&self, key: u64, build: impl FnOnce() -> T) -> T {
+        self.try_get_or_build::<Infallible>(key, || Ok(build()))
+            .unwrap_or_else(|e| match e {})
+    }
+
+    /// The value for `key`, if already built.
+    pub fn peek(&self, key: u64) -> Option<T> {
+        let slot = self
+            .slots
+            .lock()
+            .expect("cache shard poisoned")
+            .get(&key)
+            .cloned()?;
+        let value = slot.lock().expect("cache slot poisoned").clone();
+        value
+    }
+
+    /// Lookups served from cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that built the artifact.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// The daemon-wide artifact cache. See the module docs for the shard
+/// layout and keying scheme.
+#[derive(Debug, Default)]
+pub struct ArtifactCache {
+    /// Generated retention profiles.
+    pub profiles: Shard<Arc<BankProfile>>,
+    /// Refresh plans (binning + MPRSF memo tables).
+    pub plans: Shard<Arc<RefreshPlan>>,
+    /// Materialized benchmark traces.
+    pub traces: Shard<Arc<Vec<TraceRecord>>>,
+    /// Finished result frames, keyed by full spec hash.
+    pub results: Shard<Arc<String>>,
+}
+
+/// Canonical key of the retention profile a config generates.
+pub fn profile_key(config: &ExperimentConfig) -> u64 {
+    let mut enc = Encoder::new();
+    enc.put_u32(config.rows);
+    enc.put_u32(config.cells_per_row);
+    enc.put_u64(config.seed);
+    vrl_snap::fnv1a64(&enc.into_bytes())
+}
+
+/// Canonical key of the refresh plan a config builds on its profile.
+pub fn plan_key(config: &ExperimentConfig) -> u64 {
+    let mut enc = Encoder::new();
+    enc.put_u64(profile_key(config));
+    enc.put_u32(config.nbits);
+    enc.put_f64(config.guard_band);
+    vrl_snap::fnv1a64(&enc.into_bytes())
+}
+
+/// Canonical key of one benchmark's materialized trace under a config.
+pub fn trace_key(config: &ExperimentConfig, benchmark: &str) -> u64 {
+    let mut enc = Encoder::new();
+    enc.put_str(benchmark);
+    enc.put_u32(config.rows);
+    enc.put_u64(config.seed);
+    enc.put_f64(config.duration_ms);
+    vrl_snap::fnv1a64(&enc.into_bytes())
+}
+
+impl ArtifactCache {
+    /// An empty cache.
+    pub fn new() -> ArtifactCache {
+        ArtifactCache::default()
+    }
+
+    /// An [`Experiment`] for `config` whose profile and plan come from
+    /// (or populate) the cache. The result is bit-identical to
+    /// [`Experiment::new`] — same generators, shared storage.
+    pub fn experiment(&self, config: ExperimentConfig) -> Experiment {
+        let profile = self
+            .profiles
+            .get_or_build(profile_key(&config), || Arc::new(config.build_profile()));
+        let plan = self
+            .plans
+            .get_or_build(plan_key(&config), || Arc::new(config.build_plan(&profile)));
+        Experiment::from_artifacts(config, profile, plan)
+    }
+
+    /// One benchmark's materialized trace under `experiment`'s config,
+    /// from (or into) the cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`vrl_dram::Error::UnknownWorkload`] for a benchmark
+    /// name the workload generator does not know (spec validation
+    /// normally rejects these before they get here).
+    pub fn trace(
+        &self,
+        experiment: &Experiment,
+        benchmark: &str,
+    ) -> Result<Arc<Vec<TraceRecord>>, vrl_dram::Error> {
+        self.traces
+            .try_get_or_build(trace_key(experiment.config(), benchmark), || {
+                experiment.materialize_trace(benchmark).map(Arc::new)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(rows: u32) -> ExperimentConfig {
+        ExperimentConfig {
+            rows,
+            duration_ms: 64.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn same_config_shares_artifacts_and_counts_hits() {
+        let cache = ArtifactCache::new();
+        let a = cache.experiment(config(128));
+        let b = cache.experiment(config(128));
+        assert!(Arc::ptr_eq(&a.profile_shared(), &b.profile_shared()));
+        assert!(Arc::ptr_eq(&a.plan_shared(), &b.plan_shared()));
+        assert_eq!(cache.profiles.misses(), 1);
+        assert_eq!(cache.profiles.hits(), 1);
+        assert_eq!(cache.plans.misses(), 1);
+        assert_eq!(cache.plans.hits(), 1);
+
+        let t1 = cache.trace(&a, "swaptions").unwrap();
+        let t2 = cache.trace(&b, "swaptions").unwrap();
+        assert!(Arc::ptr_eq(&t1, &t2));
+        assert_eq!(cache.traces.misses(), 1);
+        assert_eq!(cache.traces.hits(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_build_distinct_artifacts() {
+        let cache = ArtifactCache::new();
+        let a = cache.experiment(config(128));
+        let b = cache.experiment(config(256));
+        assert!(!Arc::ptr_eq(&a.profile_shared(), &b.profile_shared()));
+        assert_eq!(cache.profiles.misses(), 2);
+        assert_eq!(cache.profiles.hits(), 0);
+        // nbits changes the plan but not the profile.
+        let c = cache.experiment(ExperimentConfig {
+            nbits: 3,
+            ..config(128)
+        });
+        assert!(Arc::ptr_eq(&a.profile_shared(), &c.profile_shared()));
+        assert!(!Arc::ptr_eq(&a.plan_shared(), &c.plan_shared()));
+    }
+
+    #[test]
+    fn failed_builds_are_not_cached() {
+        let cache = ArtifactCache::new();
+        let e = cache.experiment(config(128));
+        assert!(cache.trace(&e, "not-a-benchmark").is_err());
+        assert_eq!(cache.traces.misses(), 0);
+        assert!(cache
+            .traces
+            .peek(trace_key(e.config(), "not-a-benchmark"))
+            .is_none());
+    }
+
+    #[test]
+    fn concurrent_same_key_builds_exactly_once() {
+        let cache = Arc::new(ArtifactCache::new());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || cache.experiment(config(128)));
+            }
+        });
+        assert_eq!(cache.profiles.misses(), 1);
+        assert_eq!(cache.profiles.hits(), 7);
+        assert_eq!(cache.plans.misses(), 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! A minimal blocking client for the wire protocol — the engine behind
+//! `vrl submit` and the serve test suite.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use crate::protocol::is_terminal;
+
+/// One connection to a `vrl serve` daemon.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (`HOST:PORT`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect error.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    fn send_line(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    fn read_frame(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// Sends a request expecting exactly one response frame
+    /// (ping/stats/shutdown), returning that frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns socket errors, including EOF before the response.
+    pub fn request_one(&mut self, line: &str) -> io::Result<String> {
+        self.send_line(line)?;
+        self.read_frame()
+    }
+
+    /// Liveness probe → the `pong` frame.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_one`].
+    pub fn ping(&mut self) -> io::Result<String> {
+        self.request_one("{\"type\":\"ping\"}")
+    }
+
+    /// Metrics snapshot → the `stats` frame.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_one`].
+    pub fn stats(&mut self) -> io::Result<String> {
+        self.request_one("{\"type\":\"stats\"}")
+    }
+
+    /// Sends one raw request line and collects frames until the
+    /// terminal `result` or `error` frame (inclusive). Works for any
+    /// line — including malformed ones, which come back as a single
+    /// error frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns socket errors, including EOF before a terminal frame.
+    pub fn submit_raw(&mut self, line: &str) -> io::Result<Vec<String>> {
+        self.send_line(line)?;
+        let mut frames = Vec::new();
+        loop {
+            let frame = self.read_frame()?;
+            let terminal = is_terminal(&frame);
+            frames.push(frame);
+            if terminal {
+                return Ok(frames);
+            }
+        }
+    }
+
+    /// Requests shutdown → the `shutdown` ack frame.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_one`].
+    pub fn shutdown(&mut self, drain: bool) -> io::Result<String> {
+        let mode = if drain { "drain" } else { "now" };
+        self.request_one(&format!("{{\"type\":\"shutdown\",\"mode\":\"{mode}\"}}"))
+    }
+}
+
+/// The terminal frame of a submission — the `result` frame on success,
+/// the `error` frame otherwise. Helper for callers that only care about
+/// the outcome.
+pub fn terminal_frame(frames: &[String]) -> Option<&String> {
+    frames.last().filter(|f| is_terminal(f))
+}

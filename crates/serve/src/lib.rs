@@ -1,0 +1,46 @@
+//! # vrl-serve — simulation-as-a-service for the VRL-DRAM reproduction
+//!
+//! A long-lived, dependency-free TCP daemon (`vrl serve`) that accepts
+//! experiment specifications, executes them on a shared worker pool, and
+//! streams results back over a newline-delimited JSON protocol. The
+//! design goals, in order:
+//!
+//! 1. **Bit-identity.** The final result frame for a spec is a pure
+//!    function of the spec: running the same spec through a fresh
+//!    [`Experiment`](vrl_dram::experiment::Experiment) directly
+//!    ([`runner::direct_result`]) yields the exact same bytes as the
+//!    served, cached, span-segmented path ([`runner::run_with_cache`]).
+//!    Tests assert this for every front end.
+//! 2. **Artifact sharing.** Expensive artifacts — generated retention
+//!    profiles, refresh plans (MPRSF memo tables), materialized traces,
+//!    and finished results — live in a content-addressed
+//!    [`cache::ArtifactCache`] keyed by a canonical hash of the
+//!    generating configuration, built exactly once even under
+//!    concurrent submissions.
+//! 3. **Crash consistency.** Shutdown writes the pending job queue as a
+//!    tagged `vrl-snap` manifest; a restarted server re-enqueues those
+//!    jobs and re-derives their results deterministically.
+//!
+//! The wire protocol is specified in `DESIGN.md` §14; [`protocol`]
+//! implements it, [`server`] hosts it, and [`client`] speaks it (used by
+//! `vrl submit` and the test suite). Requests are parsed with the
+//! in-tree recursive-descent JSON parser ([`vrl_obs::json`]); responses
+//! are rendered with the vendored serialize-only `serde_json`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod args;
+pub mod cache;
+pub mod client;
+pub mod manifest;
+pub mod protocol;
+pub mod runner;
+pub mod server;
+pub mod spec;
+
+pub use cache::ArtifactCache;
+pub use client::Client;
+pub use protocol::Request;
+pub use server::{Server, ServerConfig};
+pub use spec::{FrontEnd, JobSpec, SpecError};

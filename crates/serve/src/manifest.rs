@@ -1,0 +1,97 @@
+//! Crash-consistent job queue manifests.
+//!
+//! On shutdown the server writes its pending [`JobSpec`]s as a
+//! `vrl-snap` envelope tagged [`QUEUE_TAG`] (`"SRVQ"`); on startup it
+//! loads the manifest, re-enqueues every job, and deletes the file.
+//! Because results are a pure function of the spec, "resuming" a job is
+//! simply re-running it — the restarted server re-derives the same
+//! artifacts, result frames, and caches, byte-for-byte.
+//!
+//! Writes go through the same temp-file + rename discipline as
+//! [`vrl_snap::write_atomic`], so a crash mid-write leaves either the
+//! old manifest or the new one, never a torn file.
+
+use std::fs;
+use std::path::Path;
+
+use vrl_snap::{Decoder, Encoder, SnapError, Snapshot};
+
+use crate::spec::JobSpec;
+
+/// Subsystem tag of serve queue manifests inside the snap envelope.
+pub const QUEUE_TAG: [u8; 4] = *b"SRVQ";
+
+/// Atomically writes `jobs` as a tagged manifest at `path`.
+///
+/// # Errors
+///
+/// Returns [`SnapError::Io`] if the temp write or rename fails.
+pub fn save(path: &Path, jobs: &[JobSpec]) -> Result<(), SnapError> {
+    let mut enc = Encoder::new();
+    jobs.to_vec().save(&mut enc);
+    let sealed = vrl_snap::seal_tagged(QUEUE_TAG, &enc.into_bytes());
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = Path::new(&tmp);
+    fs::write(tmp, &sealed)?;
+    fs::rename(tmp, path)?;
+    Ok(())
+}
+
+/// Loads a manifest written by [`save`].
+///
+/// # Errors
+///
+/// Returns [`SnapError::Io`] for filesystem failures and the usual
+/// envelope errors (bad magic, checksum, wrong tag, malformed specs)
+/// for corrupt or foreign files.
+pub fn load(path: &Path) -> Result<Vec<JobSpec>, SnapError> {
+    let bytes = fs::read(path)?;
+    let payload = vrl_snap::open_tagged(QUEUE_TAG, &bytes)?;
+    let mut dec = Decoder::new(payload);
+    let jobs = Vec::<JobSpec>::load(&mut dec)?;
+    dec.finish()?;
+    Ok(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::parse_spec;
+
+    fn sample_jobs() -> Vec<JobSpec> {
+        [
+            r#"{"benchmark":"x264","policy":"vrl","rows":256,"duration_ms":64}"#,
+            r#"{"benchmark":"ferret","policy":"raidr","front_end":"frfcfs","queue_depth":4}"#,
+            r#"{"benchmark":"canneal","policy":"vrl-access","front_end":"dimm","channels":2,"ranks":1,"banks_per_rank":2}"#,
+        ]
+        .iter()
+        .map(|s| parse_spec(&vrl_obs::json::parse(s).unwrap()).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn manifests_round_trip_atomically() {
+        let dir = std::env::temp_dir().join("vrl-serve-manifest-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("queue.snap");
+        let jobs = sample_jobs();
+        save(&path, &jobs).unwrap();
+        assert_eq!(load(&path).unwrap(), jobs);
+        // Overwrite with an empty queue — the rename replaces in place.
+        save(&path, &[]).unwrap();
+        assert_eq!(load(&path).unwrap(), Vec::new());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_envelopes_are_rejected() {
+        let dir = std::env::temp_dir().join("vrl-serve-manifest-reject");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("queue.snap");
+        // A validly sealed envelope with the wrong subsystem tag.
+        fs::write(&path, vrl_snap::seal_tagged(*b"XXXX", b"payload")).unwrap();
+        assert!(matches!(load(&path), Err(SnapError::Malformed { .. })));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

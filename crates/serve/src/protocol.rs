@@ -1,0 +1,194 @@
+//! The newline-delimited JSON wire protocol (DESIGN.md §14).
+//!
+//! Every request and every response frame is one line of compact JSON.
+//! Requests are parsed with the in-tree recursive-descent parser
+//! ([`vrl_obs::json`]); frames are rendered here with the vendored
+//! serialize-only `serde_json` conventions (compact, `"` escaping via
+//! [`serde::write_json_string`]).
+//!
+//! Frame ordering per submission: `ack`, `state: queued`,
+//! `state: running`, zero or more `progress`, then exactly one terminal
+//! frame — `result` (preceded by `state: done`) or `error`.
+
+use vrl_dram::spans::SpanProgress;
+use vrl_obs::json::JsonValue;
+
+use crate::spec::{self, JobSpec};
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe → one `pong` frame.
+    Ping,
+    /// Server metrics snapshot → one `stats` frame.
+    Stats,
+    /// Run one experiment → ack/state/progress stream + terminal frame.
+    Submit(JobSpec),
+    /// Stop the server → one `shutdown` frame after the queue settles.
+    Shutdown {
+        /// `true`: finish every queued job first ("drain"). `false`:
+        /// checkpoint the queue to the state manifest immediately
+        /// ("now") so a restarted server resumes it.
+        drain: bool,
+    },
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a human-readable message suitable for an [`error_frame`].
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value = vrl_obs::json::parse(line).map_err(|e| e.to_string())?;
+    let kind = value
+        .get("type")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| "request needs a string \"type\" field".to_owned())?;
+    match kind {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "submit" => {
+            let spec_value = value
+                .get("spec")
+                .ok_or_else(|| "submit request needs a \"spec\" object".to_owned())?;
+            let spec = spec::parse_spec(spec_value).map_err(|e| e.to_string())?;
+            Ok(Request::Submit(spec))
+        }
+        "shutdown" => match value.get("mode").and_then(JsonValue::as_str) {
+            None | Some("drain") => Ok(Request::Shutdown { drain: true }),
+            Some("now") => Ok(Request::Shutdown { drain: false }),
+            Some(other) => Err(format!(
+                "unknown shutdown mode {other:?} (known: drain, now)"
+            )),
+        },
+        other => Err(format!(
+            "unknown request type {other:?} (known: ping, stats, submit, shutdown)"
+        )),
+    }
+}
+
+/// `{"type":"error","message":...}` — the terminal frame for any
+/// request that cannot proceed.
+pub fn error_frame(message: &str) -> String {
+    let mut out = String::from("{\"type\":\"error\",\"message\":");
+    serde::write_json_string(message, &mut out);
+    out.push('}');
+    out
+}
+
+/// `{"type":"ack","job":N,"spec_hash":"..."}` — the submission was
+/// validated and assigned a job id.
+pub fn ack_frame(job: u64, spec_hash: u64) -> String {
+    format!("{{\"type\":\"ack\",\"job\":{job},\"spec_hash\":\"{spec_hash:016x}\"}}")
+}
+
+/// `{"type":"state",...}` — a job lifecycle transition.
+pub fn state_frame(job: u64, state: &str) -> String {
+    format!("{{\"type\":\"state\",\"job\":{job},\"state\":\"{state}\"}}")
+}
+
+/// `{"type":"state","state":"queued","depth":D}` — queued, with the
+/// queue depth observed at enqueue time.
+pub fn queued_frame(job: u64, depth: u32) -> String {
+    format!("{{\"type\":\"state\",\"job\":{job},\"state\":\"queued\",\"depth\":{depth}}}")
+}
+
+/// `{"type":"progress",...}` — the engine paused at a span boundary.
+pub fn progress_frame(job: u64, progress: SpanProgress) -> String {
+    format!(
+        "{{\"type\":\"progress\",\"job\":{job},\"span\":{},\"cycle\":{},\"end\":{}}}",
+        progress.span, progress.cycle, progress.end
+    )
+}
+
+/// `{"type":"pong"}`.
+pub fn pong_frame() -> String {
+    "{\"type\":\"pong\"}".to_owned()
+}
+
+/// `{"type":"stats","metrics":...}` with a rendered metrics snapshot.
+pub fn stats_frame(metrics_json: &str) -> String {
+    format!("{{\"type\":\"stats\",\"metrics\":{metrics_json}}}")
+}
+
+/// `{"type":"shutdown","mode":...,"saved":N}` — acknowledges shutdown,
+/// reporting how many pending jobs were checkpointed to the manifest.
+pub fn shutdown_frame(drain: bool, saved: usize) -> String {
+    let mode = if drain { "drain" } else { "now" };
+    format!("{{\"type\":\"shutdown\",\"mode\":\"{mode}\",\"saved\":{saved}}}")
+}
+
+/// Whether a frame terminates a submission's stream.
+pub fn is_terminal(frame: &str) -> bool {
+    frame.starts_with("{\"type\":\"result\"") || frame.starts_with("{\"type\":\"error\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_parse_and_bad_ones_name_the_problem() {
+        assert_eq!(parse_request(r#"{"type":"ping"}"#), Ok(Request::Ping));
+        assert_eq!(parse_request(r#"{"type":"stats"}"#), Ok(Request::Stats));
+        assert_eq!(
+            parse_request(r#"{"type":"shutdown"}"#),
+            Ok(Request::Shutdown { drain: true })
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"shutdown","mode":"now"}"#),
+            Ok(Request::Shutdown { drain: false })
+        );
+        let submit =
+            parse_request(r#"{"type":"submit","spec":{"benchmark":"x264","policy":"vrl"}}"#);
+        assert!(matches!(submit, Ok(Request::Submit(_))));
+
+        assert!(parse_request("not json").unwrap_err().contains("JSON"));
+        assert!(parse_request(r#"{"spec":{}}"#)
+            .unwrap_err()
+            .contains("type"));
+        assert!(parse_request(r#"{"type":"submit"}"#)
+            .unwrap_err()
+            .contains("spec"));
+        assert!(
+            parse_request(r#"{"type":"submit","spec":{"benchmark":"x264"}}"#)
+                .unwrap_err()
+                .contains("policy")
+        );
+        assert!(parse_request(r#"{"type":"warp"}"#)
+            .unwrap_err()
+            .contains("warp"));
+    }
+
+    #[test]
+    fn frames_are_single_line_compact_json() {
+        for frame in [
+            error_frame("bad \"quote\" and\nnewline"),
+            ack_frame(3, 0xdead_beef),
+            queued_frame(3, 2),
+            state_frame(3, "running"),
+            progress_frame(
+                3,
+                SpanProgress {
+                    span: 1,
+                    cycle: 100,
+                    end: 200,
+                },
+            ),
+            pong_frame(),
+            stats_frame("{}"),
+            shutdown_frame(false, 4),
+        ] {
+            assert!(!frame.contains('\n'), "frame must be one line: {frame}");
+            vrl_obs::json::parse(&frame).expect("every frame is valid JSON");
+        }
+    }
+
+    #[test]
+    fn terminal_detection_matches_the_frame_set() {
+        assert!(is_terminal(&error_frame("x")));
+        assert!(is_terminal("{\"type\":\"result\",\"spec_hash\":\"0\"}"));
+        assert!(!is_terminal(&ack_frame(1, 2)));
+        assert!(!is_terminal(&state_frame(1, "done")));
+    }
+}

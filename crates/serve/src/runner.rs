@@ -1,0 +1,189 @@
+//! Executes a [`JobSpec`] and assembles its result frame.
+//!
+//! The result frame is a **pure function of the spec**: no job ids, no
+//! timestamps, no cache provenance. That is what makes the served path
+//! byte-comparable to a direct run — [`run_with_cache`] (shared
+//! artifacts, span-segmented engines, progress callbacks) and
+//! [`direct_result`] (fresh [`Experiment`], plain unsegmented runs)
+//! must return identical strings for every spec, and the crate's tests
+//! assert exactly that per front end.
+
+use vrl_dram::experiment::{sched_metrics, sim_metrics, Experiment, FaultedOutcome};
+use vrl_dram::spans::SpanProgress;
+use vrl_dram::Error;
+use vrl_dram_sim::controller::ControllerStats;
+use vrl_dram_sim::fault::FaultConfig;
+use vrl_dram_sim::guard::GuardConfig;
+use vrl_dram_sim::SimStats;
+use vrl_sched::SchedStats;
+
+use crate::cache::ArtifactCache;
+use crate::spec::{FrontEnd, JobSpec};
+
+/// The statistics one front end produces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Single-bank simulator counters.
+    Sim(SimStats),
+    /// FR-FCFS controller counters.
+    FrFcfs(ControllerStats),
+    /// Scheduler counters (single channel or merged DIMM shards).
+    Sched(SchedStats),
+    /// Fault-injected run outcome.
+    Faulted(FaultedOutcome),
+}
+
+/// Renders the deterministic result frame for a spec and its outcome:
+/// `{"type":"result","spec_hash":...,"front_end":...,"stats":...,"metrics":...}`.
+pub fn result_frame(spec: &JobSpec, outcome: &Outcome) -> String {
+    let stats = match outcome {
+        Outcome::Sim(s) => serde_json::to_string(s),
+        Outcome::FrFcfs(s) => serde_json::to_string(s),
+        Outcome::Sched(s) => serde_json::to_string(s),
+        Outcome::Faulted(o) => serde_json::to_string(o),
+    }
+    .expect("stats structs serialize infallibly");
+    let metrics = match outcome {
+        Outcome::Sim(s) => sim_metrics(s).to_json(),
+        Outcome::FrFcfs(s) => sim_metrics(&s.sim).to_json(),
+        Outcome::Sched(s) => sched_metrics(s).to_json(),
+        Outcome::Faulted(o) => sim_metrics(&o.stats).to_json(),
+    };
+    format!(
+        "{{\"type\":\"result\",\"spec_hash\":\"{:016x}\",\"front_end\":\"{}\",\"stats\":{stats},\"metrics\":{metrics}}}",
+        spec.canonical_hash(),
+        spec.front_end.name()
+    )
+}
+
+/// Runs a spec through cache-shared artifacts and the span-segmented
+/// engines, reporting progress at every `span_cycles` boundary.
+/// Returns the result frame — byte-identical to [`direct_result`].
+///
+/// # Errors
+///
+/// Returns [`Error`] for engine configuration failures (the spec layer
+/// rejects everything it can before this point).
+pub fn run_with_cache<F>(
+    cache: &ArtifactCache,
+    spec: &JobSpec,
+    span_cycles: u64,
+    mut on_span: F,
+) -> Result<String, Error>
+where
+    F: FnMut(SpanProgress),
+{
+    let experiment = cache.experiment(spec.config);
+    let outcome = match spec.front_end {
+        FrontEnd::Sim => {
+            let trace = cache.trace(&experiment, &spec.benchmark)?;
+            Outcome::Sim(experiment.run_policy_spanned_with(
+                spec.policy,
+                trace.iter().copied(),
+                span_cycles,
+                &mut on_span,
+            ))
+        }
+        FrontEnd::FrFcfs { queue_depth } => {
+            let trace = cache.trace(&experiment, &spec.benchmark)?;
+            Outcome::FrFcfs(experiment.run_frfcfs_spanned_with(
+                spec.policy,
+                trace.iter().copied(),
+                queue_depth,
+                span_cycles,
+                &mut on_span,
+            )?)
+        }
+        FrontEnd::Sched { banks } => {
+            let trace = cache.trace(&experiment, &spec.benchmark)?;
+            let sched = experiment.sched_config(banks)?;
+            Outcome::Sched(experiment.run_scheduled_spanned_with(
+                spec.policy,
+                sched,
+                trace.iter().copied(),
+                span_cycles,
+                &mut on_span,
+            )?)
+        }
+        FrontEnd::Dimm {
+            channels,
+            ranks,
+            banks_per_rank,
+        } => {
+            let trace = cache.trace(&experiment, &spec.benchmark)?;
+            let sched = experiment.dimm_config(channels, ranks, banks_per_rank)?;
+            let mut merged = SchedStats::default();
+            for channel in 0..channels {
+                let shard = experiment.run_dimm_channel_spanned_with(
+                    spec.policy,
+                    sched,
+                    channel,
+                    trace.iter().copied(),
+                    span_cycles,
+                    &mut on_span,
+                )?;
+                merged = merged.merge(&shard);
+            }
+            Outcome::Sched(merged)
+        }
+        FrontEnd::Faulted { fault_seed, guard } => {
+            // The fault injector owns its trace walk and has no span
+            // seam; faulted jobs run unsegmented (no progress frames)
+            // and bypass the trace cache.
+            let faults = FaultConfig::default_scenario(fault_seed);
+            let guard_config = guard.then(GuardConfig::default);
+            Outcome::Faulted(experiment.run_faulted(
+                spec.policy,
+                &spec.benchmark,
+                &faults,
+                guard_config.as_ref(),
+            )?)
+        }
+    };
+    Ok(result_frame(spec, &outcome))
+}
+
+/// Runs a spec directly: fresh [`Experiment`], plain unsegmented
+/// engines, no caching, no progress. The reference the served path is
+/// byte-compared against (`vrl submit --direct` and the bit-identity
+/// tests).
+///
+/// # Errors
+///
+/// Returns [`Error`] exactly when [`run_with_cache`] would.
+pub fn direct_result(spec: &JobSpec) -> Result<String, Error> {
+    let experiment = Experiment::new(spec.config);
+    let outcome = match spec.front_end {
+        FrontEnd::Sim => Outcome::Sim(experiment.run_policy(spec.policy, &spec.benchmark)?),
+        FrontEnd::FrFcfs { queue_depth } => {
+            Outcome::FrFcfs(experiment.run_frfcfs(spec.policy, &spec.benchmark, queue_depth)?)
+        }
+        FrontEnd::Sched { banks } => {
+            let sched = experiment.sched_config(banks)?;
+            Outcome::Sched(experiment.run_scheduled(spec.policy, &spec.benchmark, sched)?)
+        }
+        FrontEnd::Dimm {
+            channels,
+            ranks,
+            banks_per_rank,
+        } => {
+            let sched = experiment.dimm_config(channels, ranks, banks_per_rank)?;
+            Outcome::Sched(
+                experiment
+                    .run_dimm_serial(spec.policy, &spec.benchmark, sched)?
+                    .stats,
+            )
+        }
+        FrontEnd::Faulted { fault_seed, guard } => {
+            let faults = FaultConfig::default_scenario(fault_seed);
+            let guard_config = guard.then(GuardConfig::default);
+            Outcome::Faulted(experiment.run_faulted(
+                spec.policy,
+                &spec.benchmark,
+                &faults,
+                guard_config.as_ref(),
+            )?)
+        }
+    };
+    Ok(result_frame(spec, &outcome))
+}

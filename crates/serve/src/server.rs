@@ -1,0 +1,448 @@
+//! The TCP daemon: accept loop, connection handling, job execution.
+//!
+//! One thread accepts connections; each connection gets a handler
+//! thread that parses request lines and forwards response frames. Jobs
+//! run on a shared [`TaskPool`] — the connection thread never simulates
+//! anything itself; it enqueues a closure and relays the frames the
+//! worker sends back over an in-process channel. Everything observable
+//! (`serve.*` metrics, job lifecycle events, the artifact cache) hangs
+//! off one [`ServerInner`] shared by every thread.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use vrl_exec::TaskPool;
+use vrl_obs::event::EventKind;
+use vrl_obs::{EventRing, MetricsRegistry, MetricsSnapshot};
+
+use crate::cache::ArtifactCache;
+use crate::protocol::{self, Request};
+use crate::runner;
+use crate::spec::JobSpec;
+use crate::{manifest, protocol::is_terminal};
+
+/// `row` value for job lifecycle events — jobs have no DRAM row.
+const NO_ROW: u32 = u32::MAX;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads in the job pool (≥ 1).
+    pub workers: usize,
+    /// Progress-frame cadence in cycles (0 = no progress frames).
+    pub span_cycles: u64,
+    /// Queue manifest path for crash-consistent shutdown/resume.
+    pub state_path: Option<PathBuf>,
+    /// Capacity of the job lifecycle event ring.
+    pub ring_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            span_cycles: 2_000_000,
+            state_path: None,
+            ring_capacity: 4096,
+        }
+    }
+}
+
+/// State shared by the accept loop, connection threads, and workers.
+#[derive(Debug)]
+struct ServerInner {
+    cache: ArtifactCache,
+    pool: TaskPool,
+    span_cycles: u64,
+    state_path: Option<PathBuf>,
+    addr: SocketAddr,
+    next_job: AtomicU64,
+    /// Jobs accepted but not yet completed (or quarantined) — exactly
+    /// what a "now" shutdown checkpoints to the manifest.
+    pending: Mutex<BTreeMap<u64, JobSpec>>,
+    completed: AtomicU64,
+    quarantined: AtomicU64,
+    ring: Mutex<EventRing>,
+    accepting: AtomicBool,
+}
+
+impl ServerInner {
+    fn push_event(&self, job: u64, kind: EventKind) {
+        self.ring
+            .lock()
+            .expect("event ring poisoned")
+            .push(job, 0, NO_ROW, kind);
+    }
+
+    /// Validated spec → job id; the job runs on the pool, reporting
+    /// frames into `sink` (when a client is attached).
+    fn enqueue(self: &Arc<Self>, spec: JobSpec, sink: Option<mpsc::Sender<String>>) -> u64 {
+        let job = self.next_job.fetch_add(1, Ordering::SeqCst) + 1;
+        self.pending
+            .lock()
+            .expect("pending registry poisoned")
+            .insert(job, spec.clone());
+        let depth = self.pool.queue_depth() as u32 + 1;
+        self.push_event(job, EventKind::JobQueued { depth });
+        if let Some(sink) = &sink {
+            let _ = sink.send(protocol::queued_frame(job, depth));
+        }
+        let inner = Arc::clone(self);
+        let accepted = self
+            .pool
+            .submit(Box::new(move || inner.run_job(job, spec, sink.as_ref())));
+        if !accepted {
+            // Shutdown raced the submission; the job stays pending and
+            // lands in the manifest for the next start.
+            self.push_event(job, EventKind::JobQuarantined);
+        }
+        job
+    }
+
+    fn run_job(&self, job: u64, spec: JobSpec, sink: Option<&mpsc::Sender<String>>) {
+        let send = |frame: String| {
+            if let Some(sink) = sink {
+                let _ = sink.send(frame);
+            }
+        };
+        self.push_event(job, EventKind::JobStarted);
+        send(protocol::state_frame(job, "running"));
+
+        let mut built_here = false;
+        let result = self
+            .cache
+            .results
+            .try_get_or_build(spec.canonical_hash(), || {
+                built_here = true;
+                runner::run_with_cache(&self.cache, &spec, self.span_cycles, |progress| {
+                    send(protocol::progress_frame(job, progress));
+                })
+                .map(Arc::new)
+            });
+        match result {
+            Ok(frame) => {
+                self.push_event(
+                    job,
+                    EventKind::JobCompleted {
+                        cached: !built_here,
+                    },
+                );
+                self.completed.fetch_add(1, Ordering::Relaxed);
+                send(protocol::state_frame(job, "done"));
+                send((*frame).clone());
+            }
+            Err(e) => {
+                self.push_event(job, EventKind::JobQuarantined);
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                send(protocol::error_frame(&format!("job {job} failed: {e}")));
+            }
+        }
+        // Success or deterministic failure: either way the job must not
+        // be re-run by a restarted server. Only a panic (which skips
+        // this line) leaves the spec pending for the manifest.
+        self.pending
+            .lock()
+            .expect("pending registry poisoned")
+            .remove(&job);
+    }
+
+    /// Stops intake and settles the queue. `drain`: finish everything,
+    /// then write an empty manifest. `!drain` ("now"): checkpoint the
+    /// queue as observed *at the shutdown request*, so a restarted
+    /// server re-runs those jobs (in-flight work still completes — the
+    /// engines have no preemption — but re-running is free of
+    /// side effects because results are deterministic).
+    fn finish(&self, drain: bool) -> usize {
+        let saved = self.settle(drain);
+        self.wake_accept();
+        saved
+    }
+
+    /// [`finish`](Self::finish) without the accept-loop wake — the
+    /// shutdown request handler settles first, writes its ack frame,
+    /// and only then wakes the accept loop; waking earlier races the
+    /// process exit against the ack write and the client can see EOF
+    /// instead of the frame.
+    fn settle(&self, drain: bool) -> usize {
+        self.accepting.store(false, Ordering::SeqCst);
+        if drain {
+            self.pool.shutdown();
+            self.save_manifest()
+        } else {
+            let saved = self.save_manifest();
+            self.pool.shutdown();
+            saved
+        }
+    }
+
+    /// Wakes the accept loop so it observes the cleared `accepting`
+    /// flag and exits.
+    fn wake_accept(&self) {
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn save_manifest(&self) -> usize {
+        let jobs: Vec<JobSpec> = self
+            .pending
+            .lock()
+            .expect("pending registry poisoned")
+            .values()
+            .cloned()
+            .collect();
+        if let Some(path) = &self.state_path {
+            if let Err(e) = manifest::save(path, &jobs) {
+                eprintln!("vrl-serve: failed to write queue manifest: {e}");
+                return 0;
+            }
+        }
+        jobs.len()
+    }
+
+    /// Current metrics, assembled from the live counters.
+    fn metrics(&self) -> MetricsSnapshot {
+        let mut reg = MetricsRegistry::new();
+        let counter = |reg: &mut MetricsRegistry, name: &str, value: u64| {
+            let id = reg.counter(name);
+            reg.add(id, value);
+        };
+        counter(
+            &mut reg,
+            "serve.cache.profile_hits",
+            self.cache.profiles.hits(),
+        );
+        counter(
+            &mut reg,
+            "serve.cache.profile_misses",
+            self.cache.profiles.misses(),
+        );
+        counter(&mut reg, "serve.cache.plan_hits", self.cache.plans.hits());
+        counter(
+            &mut reg,
+            "serve.cache.plan_misses",
+            self.cache.plans.misses(),
+        );
+        counter(&mut reg, "serve.cache.trace_hits", self.cache.traces.hits());
+        counter(
+            &mut reg,
+            "serve.cache.trace_misses",
+            self.cache.traces.misses(),
+        );
+        counter(
+            &mut reg,
+            "serve.cache.result_hits",
+            self.cache.results.hits(),
+        );
+        counter(
+            &mut reg,
+            "serve.cache.result_misses",
+            self.cache.results.misses(),
+        );
+        counter(
+            &mut reg,
+            "serve.jobs.completed",
+            self.completed.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut reg,
+            "serve.jobs.quarantined",
+            self.quarantined.load(Ordering::Relaxed),
+        );
+        let depth = reg.gauge("serve.queue.depth");
+        reg.set(depth, self.pool.queue_depth() as u64);
+        reg.snapshot()
+    }
+
+    fn handle_connection(self: &Arc<Self>, stream: TcpStream) {
+        let Ok(read_half) = stream.try_clone() else {
+            return;
+        };
+        let mut writer = stream;
+        let mut write_frame = |frame: &str| -> bool {
+            writer
+                .write_all(frame.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .is_ok()
+        };
+        for line in BufReader::new(read_half).lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            if !self.accepting.load(Ordering::SeqCst) {
+                write_frame(&protocol::error_frame("server is shutting down"));
+                break;
+            }
+            match protocol::parse_request(&line) {
+                Err(message) => {
+                    if !write_frame(&protocol::error_frame(&message)) {
+                        break;
+                    }
+                }
+                Ok(Request::Ping) => {
+                    if !write_frame(&protocol::pong_frame()) {
+                        break;
+                    }
+                }
+                Ok(Request::Stats) => {
+                    if !write_frame(&protocol::stats_frame(&self.metrics().to_json())) {
+                        break;
+                    }
+                }
+                Ok(Request::Shutdown { drain }) => {
+                    let saved = self.settle(drain);
+                    write_frame(&protocol::shutdown_frame(drain, saved));
+                    self.wake_accept();
+                    break;
+                }
+                Ok(Request::Submit(spec)) => {
+                    let hash = spec.canonical_hash();
+                    let (tx, rx) = mpsc::channel();
+                    let job = self.enqueue(spec, Some(tx));
+                    if !write_frame(&protocol::ack_frame(job, hash)) {
+                        break;
+                    }
+                    let mut terminated = false;
+                    while let Ok(frame) = rx.recv() {
+                        let terminal = is_terminal(&frame);
+                        if !write_frame(&frame) {
+                            return;
+                        }
+                        if terminal {
+                            terminated = true;
+                            break;
+                        }
+                    }
+                    if !terminated {
+                        // The worker dropped the channel without a
+                        // terminal frame: it panicked mid-job. The spec
+                        // is still pending, so a restart resumes it.
+                        self.push_event(job, EventKind::JobQuarantined);
+                        self.quarantined.fetch_add(1, Ordering::Relaxed);
+                        if !write_frame(&protocol::error_frame(&format!(
+                            "job {job} was lost to a worker panic; it will be resumed on restart"
+                        ))) {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A running daemon. Dropping the handle does **not** stop the server;
+/// call [`Server::shutdown`] (or send a `shutdown` request) first, or
+/// [`Server::wait`] to block until a client shuts it down.
+#[derive(Debug)]
+pub struct Server {
+    inner: Arc<ServerInner>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`), resumes any queue manifest
+    /// at the configured state path, and starts accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind/listen error.
+    pub fn bind(addr: &str, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let inner = Arc::new(ServerInner {
+            cache: ArtifactCache::new(),
+            pool: TaskPool::new(config.workers),
+            span_cycles: config.span_cycles,
+            state_path: config.state_path,
+            addr: local,
+            next_job: AtomicU64::new(0),
+            pending: Mutex::new(BTreeMap::new()),
+            completed: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            ring: Mutex::new(EventRing::with_capacity(config.ring_capacity)),
+            accepting: AtomicBool::new(true),
+        });
+
+        // Crash-consistent resume: re-enqueue every manifest job. The
+        // jobs run detached (no client is attached), warming the
+        // artifact and result caches with their deterministic outputs.
+        if let Some(path) = inner.state_path.clone() {
+            if path.exists() {
+                match manifest::load(&path) {
+                    Ok(jobs) => {
+                        for spec in jobs {
+                            inner.enqueue(spec, None);
+                        }
+                        let _ = std::fs::remove_file(&path);
+                    }
+                    Err(e) => eprintln!("vrl-serve: ignoring unreadable queue manifest: {e}"),
+                }
+            }
+        }
+
+        let accept_inner = Arc::clone(&inner);
+        let accept = std::thread::Builder::new()
+            .name("vrl-serve-accept".to_owned())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if !accept_inner.accepting.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let conn_inner = Arc::clone(&accept_inner);
+                    let _ = std::thread::Builder::new()
+                        .name("vrl-serve-conn".to_owned())
+                        .spawn(move || conn_inner.handle_connection(stream));
+                }
+            })?;
+
+        Ok(Server {
+            inner,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Current `serve.*` metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics()
+    }
+
+    /// Job lifecycle events recorded so far.
+    pub fn events(&self) -> Vec<vrl_obs::Event> {
+        self.inner
+            .ring
+            .lock()
+            .expect("event ring poisoned")
+            .events()
+            .to_vec()
+    }
+
+    /// Programmatic shutdown; see
+    /// [`Request::Shutdown`](crate::protocol::Request::Shutdown) for
+    /// the drain/now semantics. Returns the number of jobs saved to the
+    /// manifest.
+    pub fn shutdown(mut self, drain: bool) -> usize {
+        let saved = self.inner.finish(drain);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        saved
+    }
+
+    /// Blocks until a client's `shutdown` request stops the server.
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}

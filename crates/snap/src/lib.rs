@@ -480,6 +480,45 @@ pub fn open(bytes: &[u8]) -> Result<&[u8], SnapError> {
     Ok(&bytes[header..header + len])
 }
 
+/// [`seal`] with a 4-byte subsystem tag prepended to the payload,
+/// binding the envelope to one embedding format. Checkpoints, job
+/// manifests, and any future sealed artifact share the outer envelope
+/// (magic, version, checksum); the tag is what stops a valid file of
+/// one kind from being parsed as another — `vrl-serve` seals its job
+/// manifests under `*b"SRVQ"`, for example.
+pub fn seal_tagged(tag: [u8; 4], payload: &[u8]) -> Vec<u8> {
+    let mut tagged = Vec::with_capacity(4 + payload.len());
+    tagged.extend_from_slice(&tag);
+    tagged.extend_from_slice(payload);
+    seal(&tagged)
+}
+
+/// Verifies an envelope sealed by [`seal_tagged`] and returns the
+/// payload behind the tag.
+///
+/// # Errors
+///
+/// Any [`open`] error, or [`SnapError::Malformed`] when the envelope is
+/// valid but carries a different subsystem tag.
+pub fn open_tagged(tag: [u8; 4], bytes: &[u8]) -> Result<&[u8], SnapError> {
+    let payload = open(bytes)?;
+    if payload.len() < 4 {
+        return Err(SnapError::UnexpectedEof {
+            offset: payload.len(),
+        });
+    }
+    if payload[..4] != tag {
+        return Err(SnapError::Malformed {
+            what: format!(
+                "subsystem tag mismatch: found {:?}, expected {:?}",
+                &payload[..4],
+                tag
+            ),
+        });
+    }
+    Ok(&payload[4..])
+}
+
 /// Writes `payload` (sealed) to `path` crash-consistently: the bytes go
 /// to a sibling temp file, are fsynced, and are renamed over `path` in
 /// one atomic step. A crash at any point leaves either the old complete
@@ -517,6 +556,21 @@ pub fn read_file(path: &Path) -> Result<Vec<u8>, SnapError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tagged_envelopes_round_trip_and_reject_other_tags() {
+        let sealed = seal_tagged(*b"SRVQ", b"manifest bytes");
+        assert_eq!(open_tagged(*b"SRVQ", &sealed).unwrap(), b"manifest bytes");
+        // A valid envelope of another subsystem is a typed error.
+        assert!(matches!(
+            open_tagged(*b"CKPT", &sealed),
+            Err(SnapError::Malformed { .. })
+        ));
+        // An untagged envelope is too short to carry a tag or carries
+        // whatever its first four payload bytes happen to be — never a
+        // silent success for an empty payload.
+        assert!(open_tagged(*b"SRVQ", &seal(b"")).is_err());
+    }
 
     #[test]
     fn primitive_round_trip() {

@@ -15,6 +15,9 @@
 //!   parallelization,
 //! * [`exec`] — the parallel experiment execution engine (scoped worker
 //!   pool with deterministic job ordering),
+//! * [`serve`] — the simulation-as-a-service daemon: `vrl serve` /
+//!   `vrl submit`, newline-delimited JSON wire protocol, content-
+//!   addressed artifact caching, and crash-consistent job queues,
 //! * [`obs`] — the unified observability layer: structured event
 //!   tracing, metrics registry, profiling hooks, and Chrome
 //!   `trace_event` / flat-JSON exporters,
@@ -48,5 +51,6 @@ pub use vrl_obs as obs;
 pub use vrl_power as power;
 pub use vrl_retention as retention;
 pub use vrl_sched as sched;
+pub use vrl_serve as serve;
 pub use vrl_spice as spice;
 pub use vrl_trace as trace;
