@@ -799,6 +799,19 @@ impl TaskPool {
         self.shared.panics.load(Ordering::Relaxed)
     }
 
+    /// Worker threads still alive. Equal to [`TaskPool::workers`] for a
+    /// healthy pool (panicking tasks are contained, so workers never
+    /// die early) and `0` after [`TaskPool::shutdown`] joins them — the
+    /// leak check the serve chaos harness asserts between schedules.
+    pub fn live_workers(&self) -> usize {
+        self.workers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .filter(|handle| !handle.is_finished())
+            .count()
+    }
+
     /// Closes intake, waits for every queued and running task to
     /// finish, and joins the workers. Idempotent; called by `Drop`.
     pub fn shutdown(&self) {

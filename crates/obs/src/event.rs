@@ -117,6 +117,42 @@ pub enum EventKind {
     /// A served job panicked; the worker survived and the job was
     /// quarantined with an error frame.
     JobQuarantined,
+    /// The server shed a request at admission: the connection or job
+    /// queue was full, a request line overran the byte limit, or a
+    /// connection idled past its read timeout. The request was rejected
+    /// with a typed frame instead of being buffered unboundedly.
+    JobShed {
+        /// Why the request was shed (see
+        /// [`ShedReason`] for the reject-frame vocabulary).
+        reason: ShedReason,
+    },
+    /// A disk-tier artifact failed its checksum (or was truncated) on
+    /// load; the file was renamed `*.quar` and the artifact rebuilt —
+    /// corrupt bytes are never served.
+    ArtifactQuarantined,
+}
+
+/// Why the server shed a request at admission. Mirrors the `reject`
+/// field of the wire protocol's typed reject frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Connection or job-queue capacity was exhausted.
+    Busy,
+    /// A request line exceeded the configured byte limit.
+    LineTooLong,
+    /// The connection idled past its read timeout.
+    Timeout,
+}
+
+impl ShedReason {
+    /// The wire name — the `reject` field of the reject frame.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedReason::Busy => "busy",
+            ShedReason::LineTooLong => "line_too_long",
+            ShedReason::Timeout => "timeout",
+        }
+    }
 }
 
 impl EventKind {
@@ -140,6 +176,8 @@ impl EventKind {
             EventKind::JobStarted => "JobStarted",
             EventKind::JobCompleted { .. } => "JobCompleted",
             EventKind::JobQuarantined => "JobQuarantined",
+            EventKind::JobShed { .. } => "JobShed",
+            EventKind::ArtifactQuarantined => "ArtifactQuarantined",
         }
     }
 
@@ -242,6 +280,15 @@ impl vrl_snap::Snapshot for EventKind {
                 cached.save(enc);
             }
             EventKind::JobQuarantined => enc.put_u8(16),
+            EventKind::JobShed { reason } => {
+                enc.put_u8(17);
+                enc.put_u8(match reason {
+                    ShedReason::Busy => 0,
+                    ShedReason::LineTooLong => 1,
+                    ShedReason::Timeout => 2,
+                });
+            }
+            EventKind::ArtifactQuarantined => enc.put_u8(18),
         }
     }
 
@@ -280,6 +327,19 @@ impl vrl_snap::Snapshot for EventKind {
                 cached: bool::load(dec)?,
             },
             16 => EventKind::JobQuarantined,
+            17 => EventKind::JobShed {
+                reason: match dec.take_u8()? {
+                    0 => ShedReason::Busy,
+                    1 => ShedReason::LineTooLong,
+                    2 => ShedReason::Timeout,
+                    tag => {
+                        return Err(vrl_snap::SnapError::Malformed {
+                            what: format!("unknown ShedReason tag {tag}"),
+                        })
+                    }
+                },
+            },
+            18 => EventKind::ArtifactQuarantined,
             tag => {
                 return Err(vrl_snap::SnapError::Malformed {
                     what: format!("unknown EventKind tag {tag}"),
@@ -387,6 +447,16 @@ mod tests {
             EventKind::JobStarted,
             EventKind::JobCompleted { cached: true },
             EventKind::JobQuarantined,
+            EventKind::JobShed {
+                reason: ShedReason::Busy,
+            },
+            EventKind::JobShed {
+                reason: ShedReason::LineTooLong,
+            },
+            EventKind::JobShed {
+                reason: ShedReason::Timeout,
+            },
+            EventKind::ArtifactQuarantined,
         ];
         for kind in kinds {
             let event = Event {

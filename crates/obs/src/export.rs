@@ -86,6 +86,9 @@ fn push_event(out: &mut String, event: &Event, policy: &str) {
         EventKind::JobCompleted { cached } => {
             out.push_str(&format!(",\"cached\":{cached}"));
         }
+        EventKind::JobShed { reason } => {
+            out.push_str(&format!(",\"reason\":\"{}\"", reason.name()));
+        }
         _ => {}
     }
     out.push_str("}}");

@@ -55,7 +55,7 @@ pub use vrl_dram_sim::sim::NullObserver as NopObserver;
 /// plus a `Recorder`).
 pub use vrl_dram_sim::sim::Fanout;
 
-pub use event::{DegradeStep, Event, EventKind};
+pub use event::{DegradeStep, Event, EventKind, ShedReason};
 pub use export::chrome_trace_json;
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use profile::PhaseProfiler;

@@ -758,14 +758,38 @@ fn cmd_netlist(args: &[String]) -> CmdResult {
 }
 
 fn cmd_serve(args: &[String]) -> CmdResult {
-    reject_unknown_flags(args, &["--addr", "--workers", "--span-cycles", "--state"])?;
+    reject_unknown_flags(
+        args,
+        &[
+            "--addr",
+            "--workers",
+            "--span-cycles",
+            "--state",
+            "--max-conns",
+            "--max-queued",
+            "--max-line-bytes",
+            "--read-timeout-ms",
+            "--artifacts",
+            "--result-cache-bytes",
+        ],
+    )?;
     let addr: String = flag_require(args, "--addr")?;
     let defaults = ServerConfig::default();
+    let mut limits = defaults.limits;
+    limits.max_connections = flag_parse(args, "--max-conns", limits.max_connections)?;
+    limits.max_queued_jobs = flag_parse(args, "--max-queued", limits.max_queued_jobs)?;
+    limits.max_line_bytes = flag_parse(args, "--max-line-bytes", limits.max_line_bytes)?;
+    limits.read_timeout_ms = flag_parse(args, "--read-timeout-ms", limits.read_timeout_ms)?;
+    let mut cache = defaults.cache;
+    cache.result_bytes = flag_parse(args, "--result-cache-bytes", cache.result_bytes)?;
     let config = ServerConfig {
         workers: flag_parse(args, "--workers", defaults.workers)?,
         span_cycles: flag_parse(args, "--span-cycles", defaults.span_cycles)?,
         state_path: flag_value(args, "--state")?.map(Into::into),
         ring_capacity: defaults.ring_capacity,
+        limits,
+        cache,
+        artifact_dir: flag_value(args, "--artifacts")?.map(Into::into),
     };
     let server = match Server::bind(&addr, config) {
         Ok(server) => server,
@@ -793,10 +817,15 @@ fn cmd_submit(args: &[String]) -> CmdResult {
             "--shutdown",
             "--ping",
             "--stats",
+            "--retries",
+            "--timeout-ms",
         ],
     )?;
     let quiet = flag_present(args, "--quiet");
     let expect_error = flag_present(args, "--expect-error");
+    let retries: u32 = flag_parse(args, "--retries", 0)?;
+    let timeout_ms: u64 = flag_parse(args, "--timeout-ms", 0)?;
+    let timeout = (timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms));
 
     // --direct: run in-process and print the reference result frame.
     if flag_present(args, "--direct") {
@@ -818,7 +847,7 @@ fn cmd_submit(args: &[String]) -> CmdResult {
     }
 
     let addr: String = flag_require(args, "--addr")?;
-    let mut client = match Client::connect(&addr) {
+    let mut client = match Client::connect_with_timeout(&addr, timeout) {
         Ok(client) => client,
         Err(err) => {
             eprintln!("error: cannot connect to {addr}: {err}");
@@ -886,7 +915,12 @@ fn cmd_submit(args: &[String]) -> CmdResult {
         }
     };
 
-    let frames = match client.submit_raw(&line) {
+    let policy = vrl_serve::RetryPolicy {
+        retries,
+        timeout,
+        ..vrl_serve::RetryPolicy::default()
+    };
+    let frames = match client.submit_with_retry(&line, &policy) {
         Ok(frames) => frames,
         Err(err) => {
             eprintln!("error: submission failed: {err}");
@@ -954,9 +988,14 @@ fn main() -> ExitCode {
             );
             eprintln!("  vrl netlist <equalization|charge-sharing|sense-restore>");
             eprintln!(
-                "  vrl serve --addr HOST:PORT [--workers N] [--span-cycles N] [--state FILE]"
+                "  vrl serve --addr HOST:PORT [--workers N] [--span-cycles N] [--state FILE] \
+                 [--max-conns N] [--max-queued N] [--max-line-bytes N] [--read-timeout-ms MS] \
+                 [--artifacts DIR] [--result-cache-bytes N]"
             );
-            eprintln!("  vrl submit --addr HOST:PORT --spec JSON [--quiet] [--expect-error]");
+            eprintln!(
+                "  vrl submit --addr HOST:PORT --spec JSON [--quiet] [--expect-error] \
+                 [--retries N] [--timeout-ms MS]"
+            );
             eprintln!("  vrl submit --direct --spec JSON");
             eprintln!("  vrl submit --addr HOST:PORT --raw LINE [--quiet] [--expect-error]");
             eprintln!("  vrl submit --addr HOST:PORT [--ping | --stats]");

@@ -1,0 +1,234 @@
+//! A deterministic fault-injecting TCP proxy for the chaos harness.
+//!
+//! [`ChaosProxy`] sits between a client and a `vrl serve` daemon and
+//! applies a **seeded schedule** of network faults: which fault hits
+//! which connection is a pure function of `(seed, connection_index)`
+//! (splitmix64), so a failing chaos run reproduces from its seed alone.
+//! The faults model the ways real networks break a framed protocol:
+//! mid-frame disconnects, garbage bytes ahead of a valid request,
+//! blackholed responses (half-open sockets), and connections dropped
+//! before the request ever reaches the server.
+//!
+//! This lives in the library (not `tests/`) so integration tests, the
+//! CI chaos-smoke job, and future soak tooling share one
+//! implementation. It has no unsafe code and no dependencies beyond
+//! `std`.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One scheduled network fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Forward both directions faithfully.
+    Clean,
+    /// Forward the first `n` response bytes, then sever the connection
+    /// — the client sees a mid-frame disconnect.
+    CloseAfterResponseBytes(usize),
+    /// Inject seeded garbage lines ahead of the client's real bytes —
+    /// the server must reject them as parse errors, not panic, and
+    /// still serve the real request.
+    GarbageThenForward,
+    /// Forward the request but drop every response byte — the client
+    /// sees a half-open socket (read timeout territory).
+    BlackholeResponses,
+    /// Accept the client, then sever before forwarding anything — the
+    /// server never sees the request.
+    CloseBeforeForward,
+}
+
+/// splitmix64 — the standard 64-bit finalizing mixer; deterministic and
+/// well distributed for consecutive inputs.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The fault scheduled for `index`-th connection under `seed` — pure,
+/// so tests can both drive and predict the schedule.
+pub fn fault_for(seed: u64, index: u64) -> Fault {
+    let r = mix(seed ^ mix(index));
+    match r % 8 {
+        // Half the schedule is clean so every run interleaves healthy
+        // and faulty traffic — chaos on an otherwise-dead server finds
+        // fewer bugs.
+        0..=3 => Fault::Clean,
+        4 => Fault::CloseAfterResponseBytes(1 + (r >> 8) as usize % 64),
+        5 => Fault::GarbageThenForward,
+        6 => Fault::BlackholeResponses,
+        _ => Fault::CloseBeforeForward,
+    }
+}
+
+/// Seeded garbage for [`Fault::GarbageThenForward`]: a few
+/// newline-terminated lines of non-JSON bytes (including non-UTF-8).
+fn garbage_lines(seed: u64, index: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut state = mix(seed ^ index ^ 0x6761_7262);
+    let lines = 1 + (state % 3) as usize;
+    for _ in 0..lines {
+        let len = 1 + (state % 48) as usize;
+        for _ in 0..len {
+            state = mix(state);
+            // Anything but '\n'; deliberately includes invalid UTF-8.
+            let byte = (state % 255) as u8;
+            out.push(if byte == b'\n' { 0xfe } else { byte });
+        }
+        out.push(b'\n');
+    }
+    out
+}
+
+/// Copies bytes from `src` to `dst` until EOF or error, optionally
+/// stopping (and severing both ends) after `limit` bytes.
+fn pump(mut src: TcpStream, mut dst: TcpStream, limit: Option<usize>) {
+    let mut forwarded = 0usize;
+    let mut chunk = [0u8; 4096];
+    loop {
+        let n = match src.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let take = match limit {
+            Some(limit) => (limit - forwarded).min(n),
+            None => n,
+        };
+        if dst.write_all(&chunk[..take]).is_err() {
+            break;
+        }
+        forwarded += take;
+        if limit.is_some_and(|l| forwarded >= l) {
+            let _ = src.shutdown(Shutdown::Both);
+            let _ = dst.shutdown(Shutdown::Both);
+            return;
+        }
+    }
+    let _ = dst.shutdown(Shutdown::Write);
+}
+
+/// A running fault-injecting proxy in front of one upstream address.
+#[derive(Debug)]
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    running: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Starts a proxy on an ephemeral local port forwarding to
+    /// `upstream`, applying [`fault_for`]`(seed, i)` to the `i`-th
+    /// accepted connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind/listen error.
+    pub fn start(upstream: SocketAddr, seed: u64) -> io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let running = Arc::new(AtomicBool::new(true));
+        let flag = Arc::clone(&running);
+        let index = AtomicUsize::new(0);
+        let accept = std::thread::Builder::new()
+            .name("vrl-chaos-proxy".to_owned())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if !flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(client) = stream else { continue };
+                    let i = index.fetch_add(1, Ordering::SeqCst) as u64;
+                    let fault = fault_for(seed, i);
+                    std::thread::spawn(move || handle(client, upstream, fault, seed, i));
+                }
+            })?;
+        Ok(ChaosProxy {
+            addr,
+            running,
+            accept: Some(accept),
+        })
+    }
+
+    /// The proxy's listen address — point clients here.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting new connections (in-flight pumps drain on their
+    /// own as their sockets close).
+    pub fn stop(mut self) {
+        self.running.store(false, Ordering::SeqCst);
+        // Wake the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+fn handle(client: TcpStream, upstream: SocketAddr, fault: Fault, seed: u64, index: u64) {
+    if fault == Fault::CloseBeforeForward {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    }
+    let Ok(mut server) = TcpStream::connect(upstream) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    if fault == Fault::GarbageThenForward && server.write_all(&garbage_lines(seed, index)).is_err()
+    {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    }
+    let (Ok(client_rd), Ok(server_rd)) = (client.try_clone(), server.try_clone()) else {
+        return;
+    };
+    // Client → server always forwards faithfully (requests commit);
+    // the scheduled damage happens on the response path.
+    let up = std::thread::spawn(move || pump(client_rd, server, None));
+    match fault {
+        Fault::BlackholeResponses => {
+            // Drain and drop the responses; the client-facing socket
+            // stays open and silent (half-open from its view).
+            let mut sink = server_rd;
+            let mut chunk = [0u8; 4096];
+            while let Ok(n) = sink.read(&mut chunk) {
+                if n == 0 {
+                    break;
+                }
+            }
+        }
+        Fault::CloseAfterResponseBytes(limit) => pump(server_rd, client, Some(limit)),
+        _ => pump(server_rd, client, None),
+    }
+    let _ = up.join();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic_and_mix_faults() {
+        let a: Vec<Fault> = (0..64).map(|i| fault_for(42, i)).collect();
+        let b: Vec<Fault> = (0..64).map(|i| fault_for(42, i)).collect();
+        assert_eq!(a, b, "same seed, same schedule");
+        let c: Vec<Fault> = (0..64).map(|i| fault_for(43, i)).collect();
+        assert_ne!(a, c, "different seeds diverge");
+        assert!(a.contains(&Fault::Clean));
+        assert!(a.iter().any(|f| *f != Fault::Clean));
+    }
+
+    #[test]
+    fn garbage_is_newline_terminated_and_newline_free_inside() {
+        let bytes = garbage_lines(7, 3);
+        assert_eq!(bytes, garbage_lines(7, 3));
+        assert_eq!(*bytes.last().unwrap(), b'\n');
+        let lines = bytes.split(|&b| b == b'\n').count();
+        assert!((2..=4).contains(&lines), "1-3 lines plus trailing empty");
+    }
+}

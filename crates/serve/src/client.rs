@@ -1,16 +1,107 @@
-//! A minimal blocking client for the wire protocol — the engine behind
+//! A blocking client for the wire protocol — the engine behind
 //! `vrl submit` and the serve test suite.
+//!
+//! The client mirrors the server's own input discipline: frames are
+//! read through the bounded [`LineReader`](crate::wire::LineReader)
+//! (a misbehaving server cannot balloon client memory), and the socket
+//! outcomes a caller must react to — disconnect, over-long frame,
+//! timeout — are typed [`ClientError`] variants instead of raw
+//! `io::Error`s or EOF-as-empty-string.
+//!
+//! [`Client::submit_with_retry`] layers bounded, deterministic
+//! retry/backoff with reconnection on top: because served results are a
+//! pure function of the spec, resubmitting after a mid-stream
+//! disconnect is idempotent — a completed job replays its cached result
+//! frame byte-identically.
 
-use std::io::{self, BufRead, BufReader, Write};
+use std::fmt;
+use std::io::{self, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
-use crate::protocol::is_terminal;
+use crate::protocol::{self, is_terminal};
+use crate::wire::{LineOutcome, LineReader};
+
+/// Frames larger than this are a protocol violation, not data.
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// A typed client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The server closed the connection before the expected frame.
+    Disconnected,
+    /// A response frame exceeded [`MAX_FRAME_BYTES`].
+    FrameTooLong {
+        /// The byte limit that was exceeded.
+        limit: usize,
+    },
+    /// The socket's read timeout expired while waiting for a frame.
+    TimedOut,
+    /// Any other socket error (connect refused, reset, …).
+    Io(io::Error),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Disconnected => {
+                write!(f, "server closed the connection before a terminal frame")
+            }
+            ClientError::FrameTooLong { limit } => {
+                write!(f, "response frame exceeds {limit} bytes")
+            }
+            ClientError::TimedOut => write!(f, "timed out waiting for a response frame"),
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ClientError::TimedOut,
+            io::ErrorKind::UnexpectedEof => ClientError::Disconnected,
+            _ => ClientError::Io(e),
+        }
+    }
+}
+
+/// Bounded, deterministic retry for [`Client::submit_with_retry`].
+///
+/// Backoff is a fixed arithmetic ramp (`base_delay * attempt`) rather
+/// than randomized exponential jitter: the workloads are test suites
+/// and scripted sweeps where reproducible timing matters more than
+/// thundering-herd avoidance.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Resubmission attempts after the first try (0 = fail fast).
+    pub retries: u32,
+    /// Delay before retry `n` (1-based) is `base_delay * n`.
+    pub base_delay: Duration,
+    /// Per-frame read timeout applied to the socket (None = wait
+    /// forever).
+    pub timeout: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            retries: 3,
+            base_delay: Duration::from_millis(50),
+            timeout: None,
+        }
+    }
+}
 
 /// One connection to a `vrl serve` daemon.
 #[derive(Debug)]
 pub struct Client {
-    reader: BufReader<TcpStream>,
+    reader: LineReader<TcpStream>,
     writer: TcpStream,
+    addr: String,
+    timeout: Option<Duration>,
 }
 
 impl Client {
@@ -19,29 +110,70 @@ impl Client {
     /// # Errors
     ///
     /// Returns the connect error.
-    pub fn connect(addr: &str) -> io::Result<Client> {
-        let writer = TcpStream::connect(addr)?;
-        let reader = BufReader::new(writer.try_clone()?);
-        Ok(Client { reader, writer })
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        Client::connect_with_timeout(addr, None)
     }
 
-    fn send_line(&mut self, line: &str) -> io::Result<()> {
+    /// Connects with a per-frame read timeout (None = wait forever).
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect error.
+    pub fn connect_with_timeout(
+        addr: &str,
+        timeout: Option<Duration>,
+    ) -> Result<Client, ClientError> {
+        let writer = TcpStream::connect(addr).map_err(ClientError::Io)?;
+        if let Some(timeout) = timeout {
+            writer
+                .set_read_timeout(Some(timeout))
+                .map_err(ClientError::Io)?;
+        }
+        let reader = LineReader::new(
+            writer.try_clone().map_err(ClientError::Io)?,
+            MAX_FRAME_BYTES,
+        );
+        Ok(Client {
+            reader,
+            writer,
+            addr: addr.to_owned(),
+            timeout,
+        })
+    }
+
+    /// Drops the current socket and dials the same address again.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect error.
+    pub fn reconnect(&mut self) -> Result<(), ClientError> {
+        *self = Client::connect_with_timeout(&self.addr, self.timeout)?;
+        Ok(())
+    }
+
+    fn send_line(&mut self, line: &str) -> Result<(), ClientError> {
         self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")
+        self.writer.write_all(b"\n")?;
+        Ok(())
     }
 
-    fn read_frame(&mut self) -> io::Result<String> {
-        let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
+    /// Reads one frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Disconnected`] on EOF, [`ClientError::TimedOut`]
+    /// when the read timeout expires, [`ClientError::FrameTooLong`] for
+    /// a frame over [`MAX_FRAME_BYTES`].
+    pub fn recv(&mut self) -> Result<String, ClientError> {
+        match self.reader.next_line() {
+            LineOutcome::Line(line) => Ok(line),
+            LineOutcome::Eof => Err(ClientError::Disconnected),
+            LineOutcome::TooLong => Err(ClientError::FrameTooLong {
+                limit: MAX_FRAME_BYTES,
+            }),
+            LineOutcome::TimedOut => Err(ClientError::TimedOut),
+            LineOutcome::Err(e) => Err(ClientError::Io(e)),
         }
-        while line.ends_with('\n') || line.ends_with('\r') {
-            line.pop();
-        }
-        Ok(line)
     }
 
     /// Sends a request expecting exactly one response frame
@@ -49,10 +181,10 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Returns socket errors, including EOF before the response.
-    pub fn request_one(&mut self, line: &str) -> io::Result<String> {
+    /// See [`Client::recv`].
+    pub fn request_one(&mut self, line: &str) -> Result<String, ClientError> {
         self.send_line(line)?;
-        self.read_frame()
+        self.recv()
     }
 
     /// Liveness probe → the `pong` frame.
@@ -60,7 +192,7 @@ impl Client {
     /// # Errors
     ///
     /// See [`Client::request_one`].
-    pub fn ping(&mut self) -> io::Result<String> {
+    pub fn ping(&mut self) -> Result<String, ClientError> {
         self.request_one("{\"type\":\"ping\"}")
     }
 
@@ -69,7 +201,7 @@ impl Client {
     /// # Errors
     ///
     /// See [`Client::request_one`].
-    pub fn stats(&mut self) -> io::Result<String> {
+    pub fn stats(&mut self) -> Result<String, ClientError> {
         self.request_one("{\"type\":\"stats\"}")
     }
 
@@ -80,12 +212,13 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Returns socket errors, including EOF before a terminal frame.
-    pub fn submit_raw(&mut self, line: &str) -> io::Result<Vec<String>> {
+    /// See [`Client::recv`] — including disconnect before a terminal
+    /// frame.
+    pub fn submit_raw(&mut self, line: &str) -> Result<Vec<String>, ClientError> {
         self.send_line(line)?;
         let mut frames = Vec::new();
         loop {
-            let frame = self.read_frame()?;
+            let frame = self.recv()?;
             let terminal = is_terminal(&frame);
             frames.push(frame);
             if terminal {
@@ -94,12 +227,60 @@ impl Client {
         }
     }
 
+    /// [`submit_raw`](Client::submit_raw) with bounded retry: on
+    /// disconnect, timeout, or a `busy` reject, sleeps
+    /// `base_delay * attempt`, reconnects, and resubmits — up to
+    /// `policy.retries` times. Safe because results are deterministic:
+    /// a resubmission of a completed spec replays the cached result
+    /// frame byte-identically. Non-`busy` error frames (bad spec, job
+    /// failure) are terminal and returned without retry.
+    ///
+    /// # Errors
+    ///
+    /// The last attempt's error once retries are exhausted.
+    pub fn submit_with_retry(
+        &mut self,
+        line: &str,
+        policy: &RetryPolicy,
+    ) -> Result<Vec<String>, ClientError> {
+        let mut last_err = None;
+        for attempt in 0..=policy.retries {
+            if attempt > 0 {
+                std::thread::sleep(policy.base_delay * attempt);
+                if let Err(e) = self.reconnect() {
+                    last_err = Some(e);
+                    continue;
+                }
+            }
+            match self.submit_raw(line) {
+                Ok(frames) => {
+                    let busy = frames
+                        .last()
+                        .and_then(|f| protocol::reject_reason(f))
+                        .is_some_and(|r| r == vrl_obs::ShedReason::Busy);
+                    if busy && attempt < policy.retries {
+                        last_err = Some(ClientError::Io(io::Error::other("server busy")));
+                        continue;
+                    }
+                    return Ok(frames);
+                }
+                Err(e @ (ClientError::Disconnected | ClientError::TimedOut)) => {
+                    last_err = Some(e);
+                }
+                // Protocol violations and hard socket errors don't
+                // improve with retries.
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or(ClientError::Disconnected))
+    }
+
     /// Requests shutdown → the `shutdown` ack frame.
     ///
     /// # Errors
     ///
     /// See [`Client::request_one`].
-    pub fn shutdown(&mut self, drain: bool) -> io::Result<String> {
+    pub fn shutdown(&mut self, drain: bool) -> Result<String, ClientError> {
         let mode = if drain { "drain" } else { "now" };
         self.request_one(&format!("{{\"type\":\"shutdown\",\"mode\":\"{mode}\"}}"))
     }

@@ -32,15 +32,20 @@
 
 pub mod args;
 pub mod cache;
+pub mod chaos;
 pub mod client;
+pub mod disk;
+pub mod limits;
 pub mod manifest;
 pub mod protocol;
 pub mod runner;
 pub mod server;
 pub mod spec;
+pub mod wire;
 
-pub use cache::ArtifactCache;
-pub use client::Client;
+pub use cache::{ArtifactCache, CacheLimits};
+pub use client::{Client, ClientError, RetryPolicy};
+pub use limits::ServeLimits;
 pub use protocol::Request;
 pub use server::{Server, ServerConfig};
 pub use spec::{FrontEnd, JobSpec, SpecError};

@@ -1,0 +1,66 @@
+//! Admission-control and resource-limit configuration.
+//!
+//! Every limit here bounds something that was previously unbounded:
+//! connection handler threads, queued jobs, request-line buffers, and
+//! how long a silent connection may pin a handler thread. Over-limit
+//! traffic is *shed* — rejected with a typed frame
+//! ([`crate::protocol::reject_frame`]) and a clean close, counted in
+//! the `serve.shed.*` metrics and
+//! [`EventKind::JobShed`](vrl_obs::event::EventKind::JobShed) events —
+//! instead of buffered, blocked on, or silently dropped.
+
+use std::time::Duration;
+
+/// Admission-control limits enforced by the accept loop and connection
+/// handlers. See the module docs for the shedding discipline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeLimits {
+    /// Maximum concurrently open client connections (≥ 1). The accept
+    /// loop sheds connection `max_connections + 1` with a `busy` reject
+    /// frame before any bytes are read from it.
+    pub max_connections: usize,
+    /// Maximum submitted-but-unfinished jobs (queued + running, ≥ 1).
+    /// A `submit` arriving over this bound is shed with a `busy` reject
+    /// frame; nothing is enqueued.
+    pub max_queued_jobs: usize,
+    /// Maximum bytes in one request line (≥ 1). A longer line gets a
+    /// `line_too_long` reject frame and the connection is closed —
+    /// after an overrun the stream cannot be re-synchronized safely.
+    pub max_line_bytes: usize,
+    /// Per-connection read/idle timeout in milliseconds (`0` disables).
+    /// Applied via `TcpStream::set_read_timeout`; a connection that
+    /// sends nothing for this long gets a `timeout` reject frame and a
+    /// clean close, freeing its handler thread.
+    pub read_timeout_ms: u64,
+}
+
+impl Default for ServeLimits {
+    fn default() -> Self {
+        ServeLimits {
+            max_connections: 256,
+            max_queued_jobs: 1024,
+            max_line_bytes: 1 << 20,
+            read_timeout_ms: 30_000,
+        }
+    }
+}
+
+impl ServeLimits {
+    /// The read timeout as a `Duration`, or `None` when disabled.
+    pub fn read_timeout(&self) -> Option<Duration> {
+        (self.read_timeout_ms > 0).then(|| Duration::from_millis(self.read_timeout_ms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_timeout_disables_the_deadline() {
+        let mut limits = ServeLimits::default();
+        assert_eq!(limits.read_timeout(), Some(Duration::from_millis(30_000)));
+        limits.read_timeout_ms = 0;
+        assert_eq!(limits.read_timeout(), None);
+    }
+}

@@ -76,6 +76,32 @@ pub fn error_frame(message: &str) -> String {
     out
 }
 
+/// `{"type":"error","reject":"busy"|"line_too_long"|"timeout",...}` —
+/// a typed admission-control reject. Still an `error` frame (terminal
+/// for [`is_terminal`]), but machine-distinguishable so clients can
+/// back off on `busy` without string-matching the human message.
+pub fn reject_frame(reason: vrl_obs::ShedReason, message: &str) -> String {
+    let mut out = format!(
+        "{{\"type\":\"error\",\"reject\":\"{}\",\"message\":",
+        reason.name()
+    );
+    serde::write_json_string(message, &mut out);
+    out.push('}');
+    out
+}
+
+/// The shed reason of a typed reject frame, if `frame` is one.
+pub fn reject_reason(frame: &str) -> Option<vrl_obs::ShedReason> {
+    let frame = frame.strip_prefix("{\"type\":\"error\",\"reject\":\"")?;
+    [
+        vrl_obs::ShedReason::Busy,
+        vrl_obs::ShedReason::LineTooLong,
+        vrl_obs::ShedReason::Timeout,
+    ]
+    .into_iter()
+    .find(|reason| frame.starts_with(reason.name()))
+}
+
 /// `{"type":"ack","job":N,"spec_hash":"..."}` — the submission was
 /// validated and assigned a job id.
 pub fn ack_frame(job: u64, spec_hash: u64) -> String {
@@ -161,9 +187,27 @@ mod tests {
     }
 
     #[test]
+    fn reject_frames_are_typed_terminal_errors() {
+        use vrl_obs::ShedReason;
+        for reason in [
+            ShedReason::Busy,
+            ShedReason::LineTooLong,
+            ShedReason::Timeout,
+        ] {
+            let frame = reject_frame(reason, "queue full");
+            assert!(is_terminal(&frame), "{frame}");
+            assert_eq!(reject_reason(&frame), Some(reason), "{frame}");
+            vrl_obs::json::parse(&frame).expect("reject frames are valid JSON");
+        }
+        assert_eq!(reject_reason(&error_frame("plain error")), None);
+        assert_eq!(reject_reason(&pong_frame()), None);
+    }
+
+    #[test]
     fn frames_are_single_line_compact_json() {
         for frame in [
             error_frame("bad \"quote\" and\nnewline"),
+            reject_frame(vrl_obs::ShedReason::Busy, "queue full"),
             ack_frame(3, 0xdead_beef),
             queued_frame(3, 2),
             state_frame(3, "running"),

@@ -7,27 +7,52 @@
 //! worker sends back over an in-process channel. Everything observable
 //! (`serve.*` metrics, job lifecycle events, the artifact cache) hangs
 //! off one [`ServerInner`] shared by every thread.
+//!
+//! Hostile or unlucky traffic is *shed at admission*, never buffered:
+//! the accept loop bounds concurrent connections, the handler bounds
+//! request-line bytes and idle time ([`crate::wire::LineReader`] +
+//! `set_read_timeout`), and `submit` bounds the job queue — each
+//! over-limit request gets one typed reject frame
+//! ([`protocol::reject_frame`]) and a clean close or a healthy
+//! connection, counted in `serve.shed.*` and surfaced as
+//! [`EventKind::JobShed`]. No lock in this module propagates poison: a
+//! panicked connection thread cannot wedge the daemon (the registries
+//! it guards are consistent at every panic point).
 
 use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
 use vrl_exec::TaskPool;
 use vrl_obs::event::EventKind;
-use vrl_obs::{EventRing, MetricsRegistry, MetricsSnapshot};
+use vrl_obs::{EventRing, MetricsRegistry, MetricsSnapshot, ShedReason};
 
-use crate::cache::ArtifactCache;
+use crate::cache::{ArtifactCache, CacheLimits};
+use crate::disk::{DiskLoad, DiskTier};
+use crate::limits::ServeLimits;
 use crate::protocol::{self, Request};
 use crate::runner;
 use crate::spec::JobSpec;
+use crate::wire::{LineOutcome, LineReader};
 use crate::{manifest, protocol::is_terminal};
 
 /// `row` value for job lifecycle events — jobs have no DRAM row.
 const NO_ROW: u32 = u32::MAX;
+
+/// `job` value for shed events — the request was rejected before a job
+/// id was assigned.
+const NO_JOB: u64 = 0;
+
+/// Locks with poisoned-lock recovery: every mutex in this module guards
+/// state that is consistent at any panic point (plain maps, rings), so
+/// a panicked thread must not convert into a daemon-wide wedge.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -40,6 +65,14 @@ pub struct ServerConfig {
     pub state_path: Option<PathBuf>,
     /// Capacity of the job lifecycle event ring.
     pub ring_capacity: usize,
+    /// Admission-control limits (connections, queue, line bytes, idle).
+    pub limits: ServeLimits,
+    /// Per-shard artifact-cache byte budgets.
+    pub cache: CacheLimits,
+    /// Directory for the persistent result-frame tier; `None` keeps
+    /// results memory-only. Corrupt files here are quarantined on load,
+    /// never served.
+    pub artifact_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -49,6 +82,9 @@ impl Default for ServerConfig {
             span_cycles: 2_000_000,
             state_path: None,
             ring_capacity: 4096,
+            limits: ServeLimits::default(),
+            cache: CacheLimits::default(),
+            artifact_dir: None,
         }
     }
 }
@@ -57,8 +93,10 @@ impl Default for ServerConfig {
 #[derive(Debug)]
 struct ServerInner {
     cache: ArtifactCache,
+    disk: Option<DiskTier>,
     pool: TaskPool,
     span_cycles: u64,
+    limits: ServeLimits,
     state_path: Option<PathBuf>,
     addr: SocketAddr,
     next_job: AtomicU64,
@@ -67,26 +105,32 @@ struct ServerInner {
     pending: Mutex<BTreeMap<u64, JobSpec>>,
     completed: AtomicU64,
     quarantined: AtomicU64,
+    /// Connections currently open (admission-control gauge).
+    open_conns: AtomicUsize,
+    shed_conns: AtomicU64,
+    shed_jobs: AtomicU64,
+    shed_long_lines: AtomicU64,
+    shed_timeouts: AtomicU64,
     ring: Mutex<EventRing>,
     accepting: AtomicBool,
 }
 
 impl ServerInner {
     fn push_event(&self, job: u64, kind: EventKind) {
-        self.ring
-            .lock()
-            .expect("event ring poisoned")
-            .push(job, 0, NO_ROW, kind);
+        lock_recover(&self.ring).push(job, 0, NO_ROW, kind);
+    }
+
+    /// Counts one shed request and emits its [`EventKind::JobShed`].
+    fn shed(&self, reason: ShedReason, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.push_event(NO_JOB, EventKind::JobShed { reason });
     }
 
     /// Validated spec → job id; the job runs on the pool, reporting
     /// frames into `sink` (when a client is attached).
     fn enqueue(self: &Arc<Self>, spec: JobSpec, sink: Option<mpsc::Sender<String>>) -> u64 {
         let job = self.next_job.fetch_add(1, Ordering::SeqCst) + 1;
-        self.pending
-            .lock()
-            .expect("pending registry poisoned")
-            .insert(job, spec.clone());
+        lock_recover(&self.pending).insert(job, spec.clone());
         let depth = self.pool.queue_depth() as u32 + 1;
         self.push_event(job, EventKind::JobQueued { depth });
         if let Some(sink) = &sink {
@@ -114,15 +158,38 @@ impl ServerInner {
         send(protocol::state_frame(job, "running"));
 
         let mut built_here = false;
+        let hash = spec.canonical_hash();
         let result = self
             .cache
             .results
-            .try_get_or_build(spec.canonical_hash(), || {
+            .try_get_or_build::<vrl_dram::Error>(hash, || {
+                // Memory miss: the disk tier (when configured) is the next
+                // rung. A damaged file is quarantined and falls through to
+                // a deterministic rebuild — corrupt bytes are never served.
+                if let Some(disk) = &self.disk {
+                    match disk.load(hash) {
+                        DiskLoad::Hit(frame) => return Ok(Arc::new(frame)),
+                        DiskLoad::Quarantined(why) => {
+                            self.push_event(job, EventKind::ArtifactQuarantined);
+                            eprintln!("vrl-serve: quarantined artifact {hash:016x}: {why}");
+                        }
+                        DiskLoad::Miss => {}
+                    }
+                }
                 built_here = true;
-                runner::run_with_cache(&self.cache, &spec, self.span_cycles, |progress| {
-                    send(protocol::progress_frame(job, progress));
-                })
-                .map(Arc::new)
+                let frame =
+                    runner::run_with_cache(&self.cache, &spec, self.span_cycles, |progress| {
+                        send(protocol::progress_frame(job, progress));
+                    })?;
+                if let Some(disk) = &self.disk {
+                    if let Err(e) = disk.store(hash, &frame) {
+                        // The disk tier is an accelerator, not a
+                        // correctness dependency; a failed store only
+                        // costs a rebuild after the next eviction.
+                        eprintln!("vrl-serve: failed to persist artifact {hash:016x}: {e}");
+                    }
+                }
+                Ok(Arc::new(frame))
             });
         match result {
             Ok(frame) => {
@@ -145,10 +212,7 @@ impl ServerInner {
         // Success or deterministic failure: either way the job must not
         // be re-run by a restarted server. Only a panic (which skips
         // this line) leaves the spec pending for the manifest.
-        self.pending
-            .lock()
-            .expect("pending registry poisoned")
-            .remove(&job);
+        lock_recover(&self.pending).remove(&job);
     }
 
     /// Stops intake and settles the queue. `drain`: finish everything,
@@ -187,13 +251,7 @@ impl ServerInner {
     }
 
     fn save_manifest(&self) -> usize {
-        let jobs: Vec<JobSpec> = self
-            .pending
-            .lock()
-            .expect("pending registry poisoned")
-            .values()
-            .cloned()
-            .collect();
+        let jobs: Vec<JobSpec> = lock_recover(&self.pending).values().cloned().collect();
         if let Some(path) = &self.state_path {
             if let Err(e) = manifest::save(path, &jobs) {
                 eprintln!("vrl-serve: failed to write queue manifest: {e}");
@@ -210,38 +268,58 @@ impl ServerInner {
             let id = reg.counter(name);
             reg.add(id, value);
         };
-        counter(
-            &mut reg,
-            "serve.cache.profile_hits",
-            self.cache.profiles.hits(),
-        );
-        counter(
-            &mut reg,
-            "serve.cache.profile_misses",
-            self.cache.profiles.misses(),
-        );
-        counter(&mut reg, "serve.cache.plan_hits", self.cache.plans.hits());
-        counter(
-            &mut reg,
-            "serve.cache.plan_misses",
-            self.cache.plans.misses(),
-        );
-        counter(&mut reg, "serve.cache.trace_hits", self.cache.traces.hits());
-        counter(
-            &mut reg,
-            "serve.cache.trace_misses",
-            self.cache.traces.misses(),
-        );
-        counter(
-            &mut reg,
-            "serve.cache.result_hits",
-            self.cache.results.hits(),
-        );
-        counter(
-            &mut reg,
-            "serve.cache.result_misses",
-            self.cache.results.misses(),
-        );
+        let gauge = |reg: &mut MetricsRegistry, name: &str, value: u64| {
+            let id = reg.gauge(name);
+            reg.set(id, value);
+        };
+        for (name, shard_hits, shard_misses, shard_evictions, shard_bytes) in [
+            (
+                "profile",
+                self.cache.profiles.hits(),
+                self.cache.profiles.misses(),
+                self.cache.profiles.evictions(),
+                self.cache.profiles.occupied_bytes(),
+            ),
+            (
+                "plan",
+                self.cache.plans.hits(),
+                self.cache.plans.misses(),
+                self.cache.plans.evictions(),
+                self.cache.plans.occupied_bytes(),
+            ),
+            (
+                "trace",
+                self.cache.traces.hits(),
+                self.cache.traces.misses(),
+                self.cache.traces.evictions(),
+                self.cache.traces.occupied_bytes(),
+            ),
+            (
+                "result",
+                self.cache.results.hits(),
+                self.cache.results.misses(),
+                self.cache.results.evictions(),
+                self.cache.results.occupied_bytes(),
+            ),
+        ] {
+            counter(&mut reg, &format!("serve.cache.{name}_hits"), shard_hits);
+            counter(
+                &mut reg,
+                &format!("serve.cache.{name}_misses"),
+                shard_misses,
+            );
+            counter(
+                &mut reg,
+                &format!("serve.cache.{name}_evictions"),
+                shard_evictions,
+            );
+            gauge(&mut reg, &format!("serve.cache.{name}_bytes"), shard_bytes);
+        }
+        if let Some(disk) = &self.disk {
+            counter(&mut reg, "serve.cache.disk_stores", disk.stores());
+            counter(&mut reg, "serve.cache.disk_hits", disk.hits());
+            counter(&mut reg, "serve.cache.quarantined", disk.quarantined());
+        }
         counter(
             &mut reg,
             "serve.jobs.completed",
@@ -252,8 +330,33 @@ impl ServerInner {
             "serve.jobs.quarantined",
             self.quarantined.load(Ordering::Relaxed),
         );
+        counter(
+            &mut reg,
+            "serve.shed.connections",
+            self.shed_conns.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut reg,
+            "serve.shed.jobs",
+            self.shed_jobs.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut reg,
+            "serve.shed.line_too_long",
+            self.shed_long_lines.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut reg,
+            "serve.shed.timeout",
+            self.shed_timeouts.load(Ordering::Relaxed),
+        );
         let depth = reg.gauge("serve.queue.depth");
         reg.set(depth, self.pool.queue_depth() as u64);
+        gauge(
+            &mut reg,
+            "serve.conns.open",
+            self.open_conns.load(Ordering::Relaxed) as u64,
+        );
         reg.snapshot()
     }
 
@@ -261,6 +364,10 @@ impl ServerInner {
         let Ok(read_half) = stream.try_clone() else {
             return;
         };
+        if let Some(timeout) = self.limits.read_timeout() {
+            let _ = read_half.set_read_timeout(Some(timeout));
+        }
+        let mut reader = LineReader::new(read_half, self.limits.max_line_bytes);
         let mut writer = stream;
         let mut write_frame = |frame: &str| -> bool {
             writer
@@ -268,8 +375,34 @@ impl ServerInner {
                 .and_then(|()| writer.write_all(b"\n"))
                 .is_ok()
         };
-        for line in BufReader::new(read_half).lines() {
-            let Ok(line) = line else { break };
+        loop {
+            let line = match reader.next_line() {
+                LineOutcome::Line(line) => line,
+                LineOutcome::Eof | LineOutcome::Err(_) => break,
+                LineOutcome::TooLong => {
+                    // The stream cannot be re-synchronized after an
+                    // overrun; reject and close.
+                    self.shed(ShedReason::LineTooLong, &self.shed_long_lines);
+                    write_frame(&protocol::reject_frame(
+                        ShedReason::LineTooLong,
+                        &format!("request line exceeds {} bytes", self.limits.max_line_bytes),
+                    ));
+                    break;
+                }
+                LineOutcome::TimedOut => {
+                    // A silent connection stops pinning a handler
+                    // thread: one typed frame, then a clean close.
+                    self.shed(ShedReason::Timeout, &self.shed_timeouts);
+                    write_frame(&protocol::reject_frame(
+                        ShedReason::Timeout,
+                        &format!(
+                            "connection idle longer than {} ms",
+                            self.limits.read_timeout_ms
+                        ),
+                    ));
+                    break;
+                }
+            };
             if line.trim().is_empty() {
                 continue;
             }
@@ -300,6 +433,20 @@ impl ServerInner {
                     break;
                 }
                 Ok(Request::Submit(spec)) => {
+                    let queue_depth = self.pool.queue_depth();
+                    if queue_depth >= self.limits.max_queued_jobs {
+                        // Admission control: reject instead of growing
+                        // the queue without bound. The connection stays
+                        // healthy — a backing-off client can retry.
+                        self.shed(ShedReason::Busy, &self.shed_jobs);
+                        if !write_frame(&protocol::reject_frame(
+                            ShedReason::Busy,
+                            &format!("job queue is full ({queue_depth} pending)"),
+                        )) {
+                            break;
+                        }
+                        continue;
+                    }
                     let hash = spec.canonical_hash();
                     let (tx, rx) = mpsc::channel();
                     let job = self.enqueue(spec, Some(tx));
@@ -335,6 +482,15 @@ impl ServerInner {
     }
 }
 
+/// Decrements the open-connection gauge even if the handler panics.
+struct ConnGuard(Arc<ServerInner>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.open_conns.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 /// A running daemon. Dropping the handle does **not** stop the server;
 /// call [`Server::shutdown`] (or send a `shutdown` request) first, or
 /// [`Server::wait`] to block until a client shuts it down.
@@ -350,20 +506,35 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Returns the bind/listen error.
+    /// Returns the bind/listen error, or a failure creating the
+    /// artifact directory.
     pub fn bind(addr: &str, config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        let disk = match config.artifact_dir {
+            Some(dir) => Some(
+                DiskTier::open(dir)
+                    .map_err(|e| std::io::Error::other(format!("cannot open artifact dir: {e}")))?,
+            ),
+            None => None,
+        };
         let inner = Arc::new(ServerInner {
-            cache: ArtifactCache::new(),
+            cache: ArtifactCache::with_limits(config.cache),
+            disk,
             pool: TaskPool::new(config.workers),
             span_cycles: config.span_cycles,
+            limits: config.limits,
             state_path: config.state_path,
             addr: local,
             next_job: AtomicU64::new(0),
             pending: Mutex::new(BTreeMap::new()),
             completed: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
+            open_conns: AtomicUsize::new(0),
+            shed_conns: AtomicU64::new(0),
+            shed_jobs: AtomicU64::new(0),
+            shed_long_lines: AtomicU64::new(0),
+            shed_timeouts: AtomicU64::new(0),
             ring: Mutex::new(EventRing::with_capacity(config.ring_capacity)),
             accepting: AtomicBool::new(true),
         });
@@ -393,11 +564,33 @@ impl Server {
                     if !accept_inner.accepting.load(Ordering::SeqCst) {
                         break;
                     }
-                    let Ok(stream) = stream else { continue };
+                    let Ok(mut stream) = stream else { continue };
+                    // Connection admission: over the cap, the stream
+                    // gets one typed `busy` frame and a clean close —
+                    // no handler thread, no buffering.
+                    let open = accept_inner.open_conns.load(Ordering::SeqCst);
+                    if open >= accept_inner.limits.max_connections {
+                        accept_inner.shed(ShedReason::Busy, &accept_inner.shed_conns);
+                        let frame = protocol::reject_frame(
+                            ShedReason::Busy,
+                            &format!("connection limit reached ({open} open)"),
+                        );
+                        let _ = stream
+                            .write_all(frame.as_bytes())
+                            .and_then(|()| stream.write_all(b"\n"));
+                        continue;
+                    }
+                    accept_inner.open_conns.fetch_add(1, Ordering::SeqCst);
                     let conn_inner = Arc::clone(&accept_inner);
-                    let _ = std::thread::Builder::new()
+                    let spawned = std::thread::Builder::new()
                         .name("vrl-serve-conn".to_owned())
-                        .spawn(move || conn_inner.handle_connection(stream));
+                        .spawn(move || {
+                            let _guard = ConnGuard(Arc::clone(&conn_inner));
+                            conn_inner.handle_connection(stream);
+                        });
+                    if spawned.is_err() {
+                        accept_inner.open_conns.fetch_sub(1, Ordering::SeqCst);
+                    }
                 }
             })?;
 
@@ -419,12 +612,31 @@ impl Server {
 
     /// Job lifecycle events recorded so far.
     pub fn events(&self) -> Vec<vrl_obs::Event> {
-        self.inner
-            .ring
-            .lock()
-            .expect("event ring poisoned")
-            .events()
-            .to_vec()
+        lock_recover(&self.inner.ring).events().to_vec()
+    }
+
+    /// Jobs accepted but not yet completed or quarantined — the leak
+    /// check: after a drain shutdown this must be 0.
+    pub fn pending_jobs(&self) -> usize {
+        lock_recover(&self.inner.pending).len()
+    }
+
+    /// Jobs whose worker closure panicked (contained by the pool).
+    pub fn pool_panics(&self) -> usize {
+        self.inner.pool.panics()
+    }
+
+    /// Pool worker threads still alive (see
+    /// [`TaskPool::live_workers`]).
+    pub fn live_workers(&self) -> usize {
+        self.inner.pool.live_workers()
+    }
+
+    /// Result-shard occupancy in cost-bytes — the memory-bound check
+    /// the chaos harness asserts against
+    /// [`CacheLimits::result_bytes`].
+    pub fn result_cache_bytes(&self) -> u64 {
+        self.inner.cache.results.occupied_bytes()
     }
 
     /// Programmatic shutdown; see

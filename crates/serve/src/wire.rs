@@ -1,0 +1,111 @@
+//! Bounded line reading over a socket — shared by the server's
+//! connection handlers and the [`Client`](crate::client::Client).
+//!
+//! `BufReader::lines` buffers an arbitrarily long line before returning
+//! it, so a client (or a hostile peer) streaming bytes with no newline
+//! grows the buffer without bound. [`LineReader`] caps the buffered
+//! bytes and turns the three socket outcomes the protocol cares about —
+//! end of stream, over-long line, read timeout — into typed variants
+//! instead of buried `io::Error`s or EOF-as-empty-string.
+
+use std::io::{self, Read};
+
+/// The outcome of one bounded line read.
+#[derive(Debug)]
+pub enum LineOutcome {
+    /// One complete line, newline stripped. Bytes are decoded lossily —
+    /// garbage on the wire becomes a parse error upstream, never a
+    /// panic.
+    Line(String),
+    /// The peer closed the stream at a line boundary (clean EOF).
+    Eof,
+    /// The line exceeded the byte limit before a newline arrived.
+    TooLong,
+    /// The socket's read timeout expired while waiting for bytes.
+    TimedOut,
+    /// Any other socket error (reset, broken pipe, …).
+    Err(io::Error),
+}
+
+/// A line reader with a hard cap on buffered bytes.
+#[derive(Debug)]
+pub struct LineReader<R> {
+    source: R,
+    buf: Vec<u8>,
+    max_bytes: usize,
+}
+
+impl<R: Read> LineReader<R> {
+    /// Wraps `source`, buffering at most `max_bytes` per line.
+    pub fn new(source: R, max_bytes: usize) -> LineReader<R> {
+        LineReader {
+            source,
+            buf: Vec::new(),
+            max_bytes: max_bytes.max(1),
+        }
+    }
+
+    /// Reads until the next newline (or EOF / limit / timeout). Partial
+    /// bytes after the last newline are kept for the next call; a
+    /// stream ending mid-line is treated as EOF — an unterminated
+    /// request was never committed.
+    pub fn next_line(&mut self) -> LineOutcome {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let rest = self.buf.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.buf, rest);
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return LineOutcome::Line(String::from_utf8_lossy(&line).into_owned());
+            }
+            if self.buf.len() >= self.max_bytes {
+                return LineOutcome::TooLong;
+            }
+            let mut chunk = [0u8; 4096];
+            match self.source.read(&mut chunk) {
+                Ok(0) => return LineOutcome::Eof,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return LineOutcome::TimedOut
+                }
+                Err(e) => return LineOutcome::Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_split_on_newlines_and_strip_carriage_returns() {
+        let mut reader = LineReader::new(&b"ping\r\npong\nlast"[..], 64);
+        assert!(matches!(reader.next_line(), LineOutcome::Line(l) if l == "ping"));
+        assert!(matches!(reader.next_line(), LineOutcome::Line(l) if l == "pong"));
+        // Unterminated trailing bytes are EOF, not a phantom request.
+        assert!(matches!(reader.next_line(), LineOutcome::Eof));
+    }
+
+    #[test]
+    fn over_long_lines_are_bounded_not_buffered() {
+        let endless = vec![b'x'; 1 << 16];
+        let mut reader = LineReader::new(&endless[..], 1024);
+        assert!(matches!(reader.next_line(), LineOutcome::TooLong));
+    }
+
+    #[test]
+    fn garbage_bytes_become_a_string_not_a_panic() {
+        let mut reader = LineReader::new(&b"\xff\xfe\x00garbage\n"[..], 64);
+        match reader.next_line() {
+            LineOutcome::Line(line) => assert!(line.contains("garbage")),
+            other => panic!("expected a line, got {other:?}"),
+        }
+    }
+}

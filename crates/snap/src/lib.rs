@@ -528,17 +528,51 @@ pub fn open_tagged(tag: [u8; 4], bytes: &[u8]) -> Result<&[u8], SnapError> {
 ///
 /// [`SnapError::Io`] on any filesystem failure.
 pub fn write_atomic(path: &Path, payload: &[u8]) -> Result<(), SnapError> {
-    let sealed = seal(payload);
+    write_atomic_raw(path, &seal(payload))
+}
+
+/// [`write_atomic`] for a subsystem-tagged envelope: the payload is
+/// sealed under `tag` (see [`seal_tagged`]) and written with the same
+/// temp-file + fsync + rename discipline. The on-disk artifact tier of
+/// `vrl-serve` uses this so a crash mid-store leaves either the old
+/// complete artifact or the new one, never torn bytes.
+///
+/// # Errors
+///
+/// [`SnapError::Io`] on any filesystem failure.
+pub fn write_atomic_tagged(path: &Path, tag: [u8; 4], payload: &[u8]) -> Result<(), SnapError> {
+    write_atomic_raw(path, &seal_tagged(tag, payload))
+}
+
+/// The temp-file + fsync + atomic-rename discipline on pre-sealed
+/// bytes.
+fn write_atomic_raw(path: &Path, sealed: &[u8]) -> Result<(), SnapError> {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = std::path::PathBuf::from(tmp);
     {
         let mut f = fs::File::create(&tmp)?;
-        f.write_all(&sealed)?;
+        f.write_all(sealed)?;
         f.sync_all()?;
     }
     fs::rename(&tmp, path)?;
     Ok(())
+}
+
+/// Moves a damaged file out of the way by renaming it to
+/// `<path>.quar`, returning the quarantine path. The original name is
+/// freed so a rebuilt artifact can take its place, while the corrupt
+/// bytes are preserved for post-mortem instead of deleted.
+///
+/// # Errors
+///
+/// [`SnapError::Io`] if the rename fails (e.g. the file vanished).
+pub fn quarantine(path: &Path) -> Result<std::path::PathBuf, SnapError> {
+    let mut quar = path.as_os_str().to_owned();
+    quar.push(".quar");
+    let quar = std::path::PathBuf::from(quar);
+    fs::rename(path, &quar)?;
+    Ok(quar)
 }
 
 /// Reads a sealed snapshot from `path` and returns its payload.
@@ -556,6 +590,26 @@ pub fn read_file(path: &Path) -> Result<Vec<u8>, SnapError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tagged_atomic_writes_round_trip_and_quarantine_frees_the_name() {
+        let dir = std::env::temp_dir().join("vrl-snap-quarantine-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.art");
+        write_atomic_tagged(&path, *b"SRVA", b"payload bytes").unwrap();
+        let bytes = fs::read(&path).unwrap();
+        assert_eq!(open_tagged(*b"SRVA", &bytes).unwrap(), b"payload bytes");
+
+        let quar = quarantine(&path).unwrap();
+        assert!(!path.exists(), "quarantine must free the original name");
+        assert!(quar.exists());
+        assert_eq!(quar.extension().unwrap(), "quar");
+        // The damaged bytes are preserved, not deleted.
+        assert_eq!(fs::read(&quar).unwrap(), bytes);
+        // Quarantining a missing file is a typed error, not a panic.
+        assert!(matches!(quarantine(&path), Err(SnapError::Io { .. })));
+        fs::remove_dir_all(&dir).unwrap();
+    }
 
     #[test]
     fn tagged_envelopes_round_trip_and_reject_other_tags() {
