@@ -1,0 +1,315 @@
+//! Prometheus-style text exposition for [`MetricsSnapshot`]s.
+//!
+//! The renderer is **deterministic**: metrics are emitted in sorted
+//! order of their sanitized names, histograms expand to cumulative
+//! `_bucket{le="..."}` series ending in `+Inf` plus a `_count` total,
+//! and two renders of the same snapshot are byte-identical. That makes
+//! the output both scrapeable by real collectors and `cmp`-able in
+//! tests and CI.
+//!
+//! A minimal [`parse_exposition`] reader round-trips the format so the
+//! test suite (and CI smoke jobs) can validate rendered output without
+//! external tools — the same philosophy as [`crate::validate`] for
+//! Chrome traces.
+
+use std::collections::BTreeMap;
+
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+
+/// Maps a dotted metric name (`serve.cache.result_hits`) to the
+/// exposition charset (`serve_cache_result_hits`): every character
+/// outside `[a-zA-Z0-9_:]` becomes `_`, and a leading digit gains a
+/// `_` prefix.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Renders the full snapshot; see [`render_exposition_filtered`].
+pub fn render_exposition(snapshot: &MetricsSnapshot) -> String {
+    render_exposition_filtered(snapshot, None)
+}
+
+/// Renders `snapshot` as Prometheus-style text exposition, keeping only
+/// metrics whose *original* (dotted) name starts with `prefix` when one
+/// is given.
+///
+/// Output contract (pinned by `tests/exposition.rs`):
+/// - metrics appear in ascending sanitized-name order, each introduced
+///   by exactly one `# TYPE <name> <kind>` line;
+/// - counters and gauges are a single `<name> <value>` sample;
+/// - histograms expand to one cumulative `<name>_bucket{le="<bound>"}`
+///   sample per finite bound, a final `le="+Inf"` sample, and a
+///   `<name>_count` total (no `_sum`: the registry tracks bucket counts
+///   only);
+/// - every render of the same snapshot is byte-identical.
+pub fn render_exposition_filtered(snapshot: &MetricsSnapshot, prefix: Option<&str>) -> String {
+    let keep = |name: &str| prefix.is_none_or(|p| name.starts_with(p));
+    // (sanitized name, block) pairs, sorted by sanitized name so the
+    // output order is stable regardless of metric kind.
+    let mut blocks: Vec<(String, String)> = Vec::new();
+    for (name, value) in &snapshot.counters {
+        if !keep(name) {
+            continue;
+        }
+        let n = sanitize_name(name);
+        blocks.push((n.clone(), format!("# TYPE {n} counter\n{n} {value}\n")));
+    }
+    for (name, value) in &snapshot.gauges {
+        if !keep(name) {
+            continue;
+        }
+        let n = sanitize_name(name);
+        blocks.push((n.clone(), format!("# TYPE {n} gauge\n{n} {value}\n")));
+    }
+    for (name, hist) in &snapshot.histograms {
+        if !keep(name) {
+            continue;
+        }
+        let n = sanitize_name(name);
+        let mut block = format!("# TYPE {n} histogram\n");
+        let mut cumulative = 0u64;
+        for (bound, count) in hist.bounds.iter().zip(&hist.counts) {
+            cumulative += count;
+            block.push_str(&format!("{n}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+        }
+        cumulative += hist.counts.last().copied().unwrap_or(0);
+        block.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        block.push_str(&format!("{n}_count {cumulative}\n"));
+        blocks.push((n, block));
+    }
+    blocks.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::new();
+    for (_, block) in blocks {
+        out.push_str(&block);
+    }
+    out
+}
+
+/// The metric kind declared by a `# TYPE` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpoKind {
+    /// Monotonic counter.
+    Counter,
+    /// Point-in-time gauge.
+    Gauge,
+    /// Cumulative-bucket histogram.
+    Histogram,
+}
+
+/// One metric family parsed back out of exposition text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpoFamily {
+    /// The sanitized metric name from the `# TYPE` line.
+    pub name: String,
+    /// Declared kind.
+    pub kind: ExpoKind,
+    /// Scalar samples: `(suffixed name, label or empty, value)`. For a
+    /// histogram the `le` label value rides in the middle slot.
+    pub samples: Vec<(String, String, u64)>,
+}
+
+/// Parses text produced by [`render_exposition`] back into families.
+///
+/// Strict by design: unknown kinds, samples before any `# TYPE` line,
+/// malformed values, and samples whose name does not extend their
+/// family's are all errors — CI uses this to prove rendered output is
+/// well-formed, so leniency would hide bugs.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line.
+pub fn parse_exposition(text: &str) -> Result<Vec<ExpoFamily>, String> {
+    let mut families: Vec<ExpoFamily> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let (Some(name), Some(kind), None) = (parts.next(), parts.next(), parts.next()) else {
+                return Err(format!("line {n}: malformed TYPE line {line:?}"));
+            };
+            let kind = match kind {
+                "counter" => ExpoKind::Counter,
+                "gauge" => ExpoKind::Gauge,
+                "histogram" => ExpoKind::Histogram,
+                other => return Err(format!("line {n}: unknown metric kind {other:?}")),
+            };
+            families.push(ExpoFamily {
+                name: name.to_owned(),
+                kind,
+                samples: Vec::new(),
+            });
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment lines are legal noise.
+        }
+        let Some((name_part, value_part)) = line.rsplit_once(' ') else {
+            return Err(format!("line {n}: sample without a value: {line:?}"));
+        };
+        let value: u64 = value_part
+            .parse()
+            .map_err(|e| format!("line {n}: bad sample value {value_part:?}: {e}"))?;
+        let (name, label) = match name_part.split_once('{') {
+            None => (name_part.to_owned(), String::new()),
+            Some((base, labels)) => {
+                let labels = labels
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {n}: unterminated label set: {line:?}"))?;
+                let le = labels
+                    .strip_prefix("le=\"")
+                    .and_then(|l| l.strip_suffix('"'))
+                    .ok_or_else(|| {
+                        format!("line {n}: only le=\"...\" labels are known: {line:?}")
+                    })?;
+                (base.to_owned(), le.to_owned())
+            }
+        };
+        let family = families
+            .last_mut()
+            .ok_or_else(|| format!("line {n}: sample before any TYPE line: {line:?}"))?;
+        if name != family.name
+            && name != format!("{}_bucket", family.name)
+            && name != format!("{}_count", family.name)
+        {
+            return Err(format!(
+                "line {n}: sample {name:?} does not belong to family {:?}",
+                family.name
+            ));
+        }
+        family.samples.push((name, label, value));
+    }
+    Ok(families)
+}
+
+/// Whether families appear in ascending name order — the renderer's
+/// ordering contract, asserted by the property tests.
+pub fn is_name_sorted(families: &[ExpoFamily]) -> bool {
+    families.windows(2).all(|w| w[0].name < w[1].name)
+}
+
+/// Re-assembles the scalar metrics of parsed families into maps, for
+/// tests that compare a round-trip against the source snapshot.
+pub fn scalar_values(families: &[ExpoFamily]) -> BTreeMap<String, u64> {
+    families
+        .iter()
+        .filter(|f| f.kind != ExpoKind::Histogram)
+        .filter_map(|f| f.samples.first().map(|(n, _, v)| (n.clone(), *v)))
+        .collect()
+}
+
+/// The cumulative `+Inf` total of a parsed histogram family, if `name`
+/// is one.
+pub fn histogram_total(families: &[ExpoFamily], name: &str) -> Option<u64> {
+    families
+        .iter()
+        .find(|f| f.kind == ExpoKind::Histogram && f.name == name)
+        .and_then(|f| {
+            f.samples
+                .iter()
+                .find(|(n, le, _)| n.ends_with("_bucket") && le == "+Inf")
+                .map(|(_, _, v)| *v)
+        })
+}
+
+/// Reconstructs a [`HistogramSnapshot`] from a parsed histogram family
+/// (de-cumulating the bucket series). `None` if `name` is not a
+/// histogram family or its series is not monotone.
+pub fn histogram_snapshot(families: &[ExpoFamily], name: &str) -> Option<HistogramSnapshot> {
+    let family = families
+        .iter()
+        .find(|f| f.kind == ExpoKind::Histogram && f.name == name)?;
+    let mut bounds = Vec::new();
+    let mut counts = Vec::new();
+    let mut prev = 0u64;
+    for (sample, le, cumulative) in &family.samples {
+        if !sample.ends_with("_bucket") {
+            continue;
+        }
+        let count = cumulative.checked_sub(prev)?;
+        prev = *cumulative;
+        if le == "+Inf" {
+            counts.push(count);
+            return Some(HistogramSnapshot { bounds, counts });
+        }
+        bounds.push(le.parse().ok()?);
+        counts.push(count);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn sanitized_names_use_the_exposition_charset() {
+        assert_eq!(
+            sanitize_name("serve.cache.result_hits"),
+            "serve_cache_result_hits"
+        );
+        assert_eq!(sanitize_name("weird name-1"), "weird_name_1");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn rendering_round_trips_through_the_parser() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("serve.jobs.completed");
+        reg.add(c, 7);
+        let g = reg.gauge("serve.queue.depth");
+        reg.set(g, 3);
+        let h = reg.histogram("serve.job.run_us", &[10, 100]).unwrap();
+        reg.observe(h, 5);
+        reg.observe(h, 50);
+        reg.observe(h, 5_000);
+        let text = render_exposition(&reg.snapshot());
+        let families = parse_exposition(&text).expect("rendered output parses");
+        assert!(is_name_sorted(&families), "{text}");
+        assert_eq!(scalar_values(&families)["serve_jobs_completed"], 7);
+        assert_eq!(scalar_values(&families)["serve_queue_depth"], 3);
+        assert_eq!(histogram_total(&families, "serve_job_run_us"), Some(3));
+        let back = histogram_snapshot(&families, "serve_job_run_us").expect("histogram");
+        assert_eq!(back.bounds, vec![10, 100]);
+        assert_eq!(back.counts, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn prefix_filter_keeps_matching_dotted_names_only() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("serve.jobs.completed");
+        reg.counter("exec.retries");
+        reg.gauge("serve.queue.depth");
+        let text = render_exposition_filtered(&reg.snapshot(), Some("serve."));
+        assert!(text.contains("serve_jobs_completed"), "{text}");
+        assert!(text.contains("serve_queue_depth"), "{text}");
+        assert!(!text.contains("exec_retries"), "{text}");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(parse_exposition("orphan 3").is_err());
+        assert!(parse_exposition("# TYPE x widget\nx 1").is_err());
+        assert!(parse_exposition("# TYPE x counter\nx banana").is_err());
+        assert!(parse_exposition("# TYPE x counter\ny 1").is_err());
+        assert!(parse_exposition("# TYPE x histogram\nx_bucket{le=\"5\" 1").is_err());
+    }
+}

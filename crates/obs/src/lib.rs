@@ -36,11 +36,13 @@
 
 pub mod event;
 pub mod export;
+pub mod expose;
 pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod recorder;
 pub mod ring;
+pub mod series;
 pub mod validate;
 
 /// The observer trait every front end accepts — re-exported so callers
@@ -57,8 +59,13 @@ pub use vrl_dram_sim::sim::Fanout;
 
 pub use event::{DegradeStep, Event, EventKind, ShedReason};
 pub use export::chrome_trace_json;
-pub use metrics::{MetricsRegistry, MetricsSnapshot};
+pub use expose::{
+    histogram_snapshot, histogram_total, is_name_sorted, parse_exposition, render_exposition,
+    render_exposition_filtered, sanitize_name, scalar_values, ExpoFamily, ExpoKind,
+};
+pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use profile::PhaseProfiler;
 pub use recorder::{merge_streams, EventStream, Recorder};
 pub use ring::EventRing;
+pub use series::{SnapshotDelta, SnapshotRing, TimedSnapshot};
 pub use validate::{validate_chrome_trace, TraceSummary};

@@ -173,6 +173,32 @@ impl HistogramSnapshot {
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
     }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`): the inclusive upper
+    /// bound of the bucket holding the rank-`⌈q·total⌉` observation, or
+    /// 0 for an empty histogram. Like
+    /// `vrl_sched::LatencyHistogram::quantile`, the answer is exact
+    /// only up to the bucket width; samples landing in the overflow
+    /// bucket report the last finite bound (the tightest lower bound
+    /// the snapshot can justify).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.total();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return match self.bounds.get(i) {
+                    Some(&bound) => bound,
+                    None => self.bounds.last().copied().unwrap_or(0),
+                };
+            }
+        }
+        self.bounds.last().copied().unwrap_or(0)
+    }
 }
 
 /// A point-in-time copy of every metric, keyed by name.

@@ -1,0 +1,246 @@
+//! A bounded time series of timestamped metric snapshots.
+//!
+//! Where [`EventRing`](crate::ring::EventRing) keeps the *oldest*
+//! prefix of an event stream (its merge rules need gap-free `seq`), a
+//! [`SnapshotRing`] serves the opposite question — "what happened
+//! recently?" — so it keeps the **newest** window: pushing past
+//! capacity evicts the oldest entry and counts it. Consecutive entries
+//! yield [`SnapshotDelta`]s (counters and histogram buckets subtract,
+//! gauges report the newer value) that replay as NDJSON for the serve
+//! `history` request.
+
+use std::collections::VecDeque;
+
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+
+/// One ring entry: a snapshot and the capture timestamp, in
+/// milliseconds on whatever clock the producer uses (the serve daemon
+/// uses milliseconds since process start).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedSnapshot {
+    /// Capture time in milliseconds (producer-defined epoch).
+    pub at_ms: u64,
+    /// The captured metrics.
+    pub snapshot: MetricsSnapshot,
+}
+
+/// The change between two consecutive [`TimedSnapshot`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotDelta {
+    /// Older entry's timestamp.
+    pub from_ms: u64,
+    /// Newer entry's timestamp.
+    pub to_ms: u64,
+    /// Counters: newer − older (saturating, so a counter reset reads as
+    /// zero progress rather than wrapping). Gauges: the newer value.
+    /// Histograms: bucket-wise newer − older.
+    pub delta: MetricsSnapshot,
+}
+
+impl SnapshotDelta {
+    /// One NDJSON line: `{"schema_version":2,"from_ms":...,"to_ms":...,
+    /// "delta":<flat metrics JSON>}`. Deterministic for fixed inputs —
+    /// the embedded metrics JSON orders names via `BTreeMap`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"schema_version\":2,\"from_ms\":{},\"to_ms\":{},\"delta\":{}}}",
+            self.from_ms,
+            self.to_ms,
+            self.delta.to_json()
+        )
+    }
+}
+
+/// Computes the delta between two snapshots (see [`SnapshotDelta`] for
+/// the per-kind rules). Metrics present only in `newer` are kept whole;
+/// metrics that vanished are dropped — a delta describes what the newer
+/// snapshot can still account for.
+pub fn snapshot_delta(older: &MetricsSnapshot, newer: &MetricsSnapshot) -> MetricsSnapshot {
+    let mut out = MetricsSnapshot::default();
+    for (name, v) in &newer.counters {
+        let before = older.counters.get(name).copied().unwrap_or(0);
+        out.counters.insert(name.clone(), v.saturating_sub(before));
+    }
+    for (name, v) in &newer.gauges {
+        out.gauges.insert(name.clone(), *v);
+    }
+    for (name, h) in &newer.histograms {
+        let counts = match older.histograms.get(name) {
+            Some(prev) if prev.bounds == h.bounds => h
+                .counts
+                .iter()
+                .zip(&prev.counts)
+                .map(|(n, p)| n.saturating_sub(*p))
+                .collect(),
+            // Unknown before (or re-registered with new bounds): the
+            // whole newer histogram is the delta.
+            _ => h.counts.clone(),
+        };
+        out.histograms.insert(
+            name.clone(),
+            HistogramSnapshot {
+                bounds: h.bounds.clone(),
+                counts,
+            },
+        );
+    }
+    out
+}
+
+/// Bounded drop-oldest buffer of [`TimedSnapshot`]s.
+#[derive(Debug, Clone)]
+pub struct SnapshotRing {
+    entries: VecDeque<TimedSnapshot>,
+    capacity: usize,
+    evicted: u64,
+}
+
+impl SnapshotRing {
+    /// A ring holding at most `capacity` snapshots (minimum 2, so at
+    /// least one delta is always derivable once two pushes land).
+    pub fn with_capacity(capacity: usize) -> Self {
+        SnapshotRing {
+            entries: VecDeque::new(),
+            capacity: capacity.max(2),
+            evicted: 0,
+        }
+    }
+
+    /// Appends a snapshot, evicting the oldest entry when full.
+    /// Timestamps must be non-decreasing; a regressing clock is clamped
+    /// to the previous entry's timestamp so deltas never run backwards.
+    pub fn push(&mut self, at_ms: u64, snapshot: MetricsSnapshot) {
+        let at_ms = match self.entries.back() {
+            Some(last) => at_ms.max(last.at_ms),
+            None => at_ms,
+        };
+        if self.entries.len() >= self.capacity {
+            self.entries.pop_front();
+            self.evicted += 1;
+        }
+        self.entries.push_back(TimedSnapshot { at_ms, snapshot });
+    }
+
+    /// Entries currently retained, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TimedSnapshot> {
+        self.entries.iter()
+    }
+
+    /// The newest entry, if any.
+    pub fn latest(&self) -> Option<&TimedSnapshot> {
+        self.entries.back()
+    }
+
+    /// Retained entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries evicted so far to stay under capacity.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Deltas between consecutive retained entries, oldest first:
+    /// `len() - 1` of them (empty when fewer than two entries).
+    pub fn deltas(&self) -> Vec<SnapshotDelta> {
+        self.entries
+            .iter()
+            .zip(self.entries.iter().skip(1))
+            .map(|(older, newer)| SnapshotDelta {
+                from_ms: older.at_ms,
+                to_ms: newer.at_ms,
+                delta: snapshot_delta(&older.snapshot, &newer.snapshot),
+            })
+            .collect()
+    }
+
+    /// The most recent `limit` deltas (all of them when `limit` is
+    /// `None` or exceeds the retained window).
+    pub fn recent_deltas(&self, limit: Option<usize>) -> Vec<SnapshotDelta> {
+        let mut deltas = self.deltas();
+        if let Some(limit) = limit {
+            let skip = deltas.len().saturating_sub(limit);
+            deltas.drain(..skip);
+        }
+        deltas
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn snap(completed: u64, depth: u64, hist: &[u64]) -> MetricsSnapshot {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("jobs.completed");
+        reg.add(c, completed);
+        let g = reg.gauge("queue.depth");
+        reg.set(g, depth);
+        let h = reg.histogram("lat", &[10, 100]).unwrap();
+        for &v in hist {
+            reg.observe(h, v);
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn deltas_subtract_counters_and_buckets_and_carry_gauges() {
+        let mut ring = SnapshotRing::with_capacity(8);
+        ring.push(100, snap(2, 5, &[3]));
+        ring.push(250, snap(7, 1, &[3, 50, 5000]));
+        let deltas = ring.deltas();
+        assert_eq!(deltas.len(), 1);
+        let d = &deltas[0];
+        assert_eq!((d.from_ms, d.to_ms), (100, 250));
+        assert_eq!(d.delta.counter("jobs.completed"), 5);
+        assert_eq!(d.delta.gauge("queue.depth"), 1);
+        assert_eq!(d.delta.histograms["lat"].counts, vec![0, 1, 1]);
+        let json = d.to_json();
+        assert!(
+            json.starts_with("{\"schema_version\":2,\"from_ms\":100"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts_evictions() {
+        let mut ring = SnapshotRing::with_capacity(2);
+        for i in 0..5u64 {
+            ring.push(i * 10, snap(i, 0, &[]));
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.evicted(), 3);
+        assert_eq!(ring.latest().unwrap().at_ms, 40);
+        // Window keeps the newest entries.
+        let at: Vec<u64> = ring.entries().map(|e| e.at_ms).collect();
+        assert_eq!(at, vec![30, 40]);
+        assert_eq!(ring.recent_deltas(Some(1)).len(), 1);
+    }
+
+    #[test]
+    fn regressing_clocks_are_clamped() {
+        let mut ring = SnapshotRing::with_capacity(4);
+        ring.push(100, snap(1, 0, &[]));
+        ring.push(50, snap(2, 0, &[]));
+        let deltas = ring.deltas();
+        assert_eq!((deltas[0].from_ms, deltas[0].to_ms), (100, 100));
+    }
+
+    #[test]
+    fn counter_resets_read_as_zero_progress() {
+        let d = snapshot_delta(&snap(9, 0, &[]), &snap(4, 0, &[]));
+        assert_eq!(d.counter("jobs.completed"), 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Exposition-format contract tests: the renderer's byte-level output
+//! is pinned against a fixed snapshot, property-tested for
+//! parseability and ordering on arbitrary snapshots, and the quantile
+//! estimator is checked against hand-computed ranks.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use vrl_obs::{
+    histogram_snapshot, histogram_total, is_name_sorted, parse_exposition, render_exposition,
+    scalar_values, HistogramSnapshot, MetricsSnapshot,
+};
+
+/// Builds the fixed snapshot the byte-exact test pins: one counter,
+/// one gauge, one histogram, with names that exercise sanitization.
+fn fixed_snapshot() -> MetricsSnapshot {
+    let mut counters = BTreeMap::new();
+    counters.insert("serve.jobs.completed".to_string(), 7u64);
+    let mut gauges = BTreeMap::new();
+    gauges.insert("serve.queue.depth".to_string(), 3u64);
+    let mut histograms = BTreeMap::new();
+    histograms.insert(
+        "serve.job.run_us".to_string(),
+        HistogramSnapshot {
+            bounds: vec![10, 100, 1_000],
+            counts: vec![2, 1, 0, 4],
+        },
+    );
+    MetricsSnapshot {
+        counters,
+        gauges,
+        histograms,
+    }
+}
+
+#[test]
+fn fixed_snapshot_renders_byte_exactly() {
+    // Families in sanitized-name order (job < jobs < queue), histogram
+    // buckets cumulative with a final +Inf and _count, no _sum.
+    let expected = "\
+# TYPE serve_job_run_us histogram
+serve_job_run_us_bucket{le=\"10\"} 2
+serve_job_run_us_bucket{le=\"100\"} 3
+serve_job_run_us_bucket{le=\"1000\"} 3
+serve_job_run_us_bucket{le=\"+Inf\"} 7
+serve_job_run_us_count 7
+# TYPE serve_jobs_completed counter
+serve_jobs_completed 7
+# TYPE serve_queue_depth gauge
+serve_queue_depth 3
+";
+    assert_eq!(render_exposition(&fixed_snapshot()), expected);
+}
+
+#[test]
+fn rendering_is_deterministic_across_scrapes() {
+    let snapshot = fixed_snapshot();
+    assert_eq!(render_exposition(&snapshot), render_exposition(&snapshot));
+}
+
+#[test]
+fn quantiles_match_hand_computed_ranks() {
+    // 10 observations: ranks 1-2 in le=10, rank 3 in le=100, ranks
+    // 4-8 in le=1000, ranks 9-10 in overflow (reported as the last
+    // finite bound, 1000).
+    let hist = HistogramSnapshot {
+        bounds: vec![10, 100, 1_000],
+        counts: vec![2, 1, 5, 2],
+    };
+    assert_eq!(hist.total(), 10);
+    assert_eq!(hist.quantile(0.0), 10); // rank clamps to 1
+    assert_eq!(hist.quantile(0.2), 10); // rank 2
+    assert_eq!(hist.quantile(0.3), 100); // rank 3
+    assert_eq!(hist.quantile(0.5), 1_000); // rank 5
+    assert_eq!(hist.quantile(0.8), 1_000); // rank 8
+    assert_eq!(hist.quantile(0.9), 1_000); // rank 9: overflow bucket
+    assert_eq!(hist.quantile(1.0), 1_000); // rank 10: overflow bucket
+    let empty = HistogramSnapshot {
+        bounds: vec![10],
+        counts: vec![0, 0],
+    };
+    assert_eq!(empty.quantile(0.5), 0);
+}
+
+/// Builds a histogram from 7 raw words: the first 3 become strictly
+/// increasing bounds (running sum of `word + 1`), the last 4 the
+/// per-bucket counts.
+fn build_histogram(chunk: &[u64]) -> HistogramSnapshot {
+    let mut bounds = Vec::with_capacity(3);
+    let mut acc = 0u64;
+    for b in &chunk[..3] {
+        acc += b + 1;
+        bounds.push(acc);
+    }
+    HistogramSnapshot {
+        bounds,
+        counts: chunk[3..7].to_vec(),
+    }
+}
+
+/// Builds a snapshot from primitive samples (the vendored proptest
+/// subset has no map/string strategies). Generated names survive
+/// sanitization unchanged and cannot collide across kinds (distinct
+/// `c_`/`g_`/`h_` prefixes), so the strict ordering contract is
+/// checkable.
+fn build_snapshot(counter_vals: &[u64], gauge_vals: &[u64], hist_words: &[u64]) -> MetricsSnapshot {
+    let mut snapshot = MetricsSnapshot::default();
+    for (i, v) in counter_vals.iter().enumerate() {
+        snapshot.counters.insert(format!("c_metric{i:02}"), *v);
+    }
+    for (i, v) in gauge_vals.iter().enumerate() {
+        snapshot.gauges.insert(format!("g_metric{i:02}"), *v);
+    }
+    for (i, chunk) in hist_words.chunks_exact(7).enumerate() {
+        snapshot
+            .histograms
+            .insert(format!("h_metric{i:02}"), build_histogram(chunk));
+    }
+    snapshot
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn rendered_output_parses_and_is_name_sorted(
+        counter_vals in prop::collection::vec(0u64..u64::MAX / 2, 0..8),
+        gauge_vals in prop::collection::vec(0u64..u64::MAX / 2, 0..8),
+        hist_words in prop::collection::vec(0u64..1_000, 0..29),
+    ) {
+        let snapshot = build_snapshot(&counter_vals, &gauge_vals, &hist_words);
+        let text = render_exposition(&snapshot);
+        let families = parse_exposition(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n---\n{text}")))?;
+        prop_assert!(is_name_sorted(&families), "unsorted families:\n{text}");
+        prop_assert_eq!(
+            families.len(),
+            snapshot.counters.len() + snapshot.gauges.len() + snapshot.histograms.len()
+        );
+
+        // Scalars round-trip exactly (names are already sanitized).
+        let scalars = scalar_values(&families);
+        for (name, value) in snapshot.counters.iter().chain(&snapshot.gauges) {
+            prop_assert_eq!(scalars.get(name).copied(), Some(*value), "scalar {}", name);
+        }
+        // Histograms de-cumulate back to the source buckets.
+        for (name, hist) in &snapshot.histograms {
+            prop_assert_eq!(histogram_total(&families, name), Some(hist.total()));
+            let back = histogram_snapshot(&families, name);
+            prop_assert_eq!(back.as_ref(), Some(hist), "histogram {}", name);
+        }
+    }
+
+    #[test]
+    fn double_render_is_byte_identical(
+        counter_vals in prop::collection::vec(0u64..u64::MAX / 2, 0..8),
+        gauge_vals in prop::collection::vec(0u64..u64::MAX / 2, 0..8),
+        hist_words in prop::collection::vec(0u64..1_000, 0..29),
+    ) {
+        let snapshot = build_snapshot(&counter_vals, &gauge_vals, &hist_words);
+        prop_assert_eq!(render_exposition(&snapshot), render_exposition(&snapshot));
+    }
+
+    #[test]
+    fn quantile_never_exceeds_the_last_finite_bound(
+        hist_words in prop::collection::vec(0u64..1_000, 7..8),
+        q in 0.0f64..1.0
+    ) {
+        let hist = build_histogram(&hist_words);
+        let value = hist.quantile(q);
+        let last = hist.bounds.last().copied().unwrap_or(0);
+        prop_assert!(value <= last, "quantile {value} above last bound {last}");
+        if hist.total() > 0 {
+            // The estimate is always one of the bucket bounds.
+            prop_assert!(hist.bounds.contains(&value));
+        }
+    }
+}

@@ -23,8 +23,12 @@
 //! vrl submit --addr HOST:PORT --spec JSON [--quiet] [--expect-error]
 //! vrl submit --direct --spec JSON
 //! vrl submit --addr HOST:PORT --raw LINE [--quiet] [--expect-error]
-//! vrl submit --addr HOST:PORT [--ping | --stats]
+//! vrl submit --addr HOST:PORT [--ping | --health | --stats [--raw]]
+//! vrl submit --addr HOST:PORT --metrics [--format text|json] [--prefix P]
+//! vrl submit --addr HOST:PORT --history [--limit N]
+//! vrl submit --addr HOST:PORT --subscribe [--count N]
 //! vrl submit --addr HOST:PORT --shutdown <drain|now>
+//! vrl top <addr> [--interval-ms MS] [--count N] [--plain]
 //! ```
 //!
 //! `compare` fans the (benchmark × policy) matrix across the `vrl-exec`
@@ -53,6 +57,15 @@
 //! in-process through a fresh `Experiment` and prints the same result
 //! frame the daemon would serve — byte-identical, which is how CI
 //! compares the two paths.
+//!
+//! The telemetry plane (DESIGN.md §15) rides the same socket:
+//! `--health` prints the readiness report, `--metrics` the
+//! Prometheus-style exposition (or the JSON frame with
+//! `--format json`), `--history` replays the snapshot-delta ring, and
+//! `--subscribe` tails the live job-lifecycle event stream. `--stats`
+//! pretty-prints the counter snapshot as aligned `name value` lines;
+//! `--stats --raw` keeps the original one-line JSON blob. `vrl top`
+//! polls health + metrics into a refreshing terminal dashboard.
 //!
 //! Exit codes: 0 success, 1 runtime failure, 2 usage error (unknown
 //! flag, missing or malformed value — never a silent default).
@@ -771,6 +784,10 @@ fn cmd_serve(args: &[String]) -> CmdResult {
             "--read-timeout-ms",
             "--artifacts",
             "--result-cache-bytes",
+            "--max-subscribers",
+            "--sub-buffer",
+            "--snapshot-ring",
+            "--sample-ms",
         ],
     )?;
     let addr: String = flag_require(args, "--addr")?;
@@ -780,6 +797,7 @@ fn cmd_serve(args: &[String]) -> CmdResult {
     limits.max_queued_jobs = flag_parse(args, "--max-queued", limits.max_queued_jobs)?;
     limits.max_line_bytes = flag_parse(args, "--max-line-bytes", limits.max_line_bytes)?;
     limits.read_timeout_ms = flag_parse(args, "--read-timeout-ms", limits.read_timeout_ms)?;
+    limits.max_subscribers = flag_parse(args, "--max-subscribers", limits.max_subscribers)?;
     let mut cache = defaults.cache;
     cache.result_bytes = flag_parse(args, "--result-cache-bytes", cache.result_bytes)?;
     let config = ServerConfig {
@@ -790,6 +808,12 @@ fn cmd_serve(args: &[String]) -> CmdResult {
         limits,
         cache,
         artifact_dir: flag_value(args, "--artifacts")?.map(Into::into),
+        snapshot_ring: flag_parse(args, "--snapshot-ring", defaults.snapshot_ring)?,
+        // The library default (0) keeps tests deterministic; the
+        // operator-facing daemon samples every second unless told not
+        // to, so `history` has data even on an idle node.
+        sample_interval_ms: flag_parse(args, "--sample-ms", 1_000)?,
+        subscriber_buffer: flag_parse(args, "--sub-buffer", defaults.subscriber_buffer)?,
     };
     let server = match Server::bind(&addr, config) {
         Ok(server) => server,
@@ -817,6 +841,14 @@ fn cmd_submit(args: &[String]) -> CmdResult {
             "--shutdown",
             "--ping",
             "--stats",
+            "--health",
+            "--metrics",
+            "--format",
+            "--prefix",
+            "--history",
+            "--limit",
+            "--subscribe",
+            "--count",
             "--retries",
             "--timeout-ms",
         ],
@@ -855,12 +887,13 @@ fn cmd_submit(args: &[String]) -> CmdResult {
         }
     };
 
-    // Single-frame probes: liveness and the server metrics snapshot.
-    if flag_present(args, "--ping") || flag_present(args, "--stats") {
+    // Single-frame probes: liveness, readiness, and the server metrics
+    // snapshot.
+    if flag_present(args, "--ping") || flag_present(args, "--health") {
         let response = if flag_present(args, "--ping") {
             client.ping()
         } else {
-            client.stats()
+            client.health()
         };
         return Ok(match response {
             Ok(frame) => {
@@ -872,6 +905,131 @@ fn cmd_submit(args: &[String]) -> CmdResult {
                 ExitCode::FAILURE
             }
         });
+    }
+    if flag_present(args, "--stats") {
+        return Ok(match client.stats() {
+            Ok(frame) => {
+                if flag_present(args, "--raw") {
+                    println!("{frame}");
+                    ExitCode::SUCCESS
+                } else {
+                    match vrl_obs::json::parse(&frame)
+                        .ok()
+                        .and_then(|v| v.get("metrics").map(parse_metrics_object))
+                    {
+                        Some(snapshot) => {
+                            print_stats_pretty(&snapshot);
+                            ExitCode::SUCCESS
+                        }
+                        None => {
+                            eprintln!("error: stats frame has no metrics object: {frame}");
+                            ExitCode::FAILURE
+                        }
+                    }
+                }
+            }
+            Err(err) => {
+                eprintln!("error: probe failed: {err}");
+                ExitCode::FAILURE
+            }
+        });
+    }
+
+    // Metrics exposition: text (Prometheus-style, printed decoded) or
+    // the raw JSON frame.
+    if flag_present(args, "--metrics") {
+        let format = match flag_value(args, "--format")?.as_deref() {
+            None | Some("text") => vrl_serve::MetricsFormat::Text,
+            Some("json") => vrl_serve::MetricsFormat::Json,
+            Some(other) => {
+                return Err(UsageError::new(format!(
+                    "--format got an invalid value {other:?} (text, json)"
+                )))
+            }
+        };
+        let prefix = flag_value(args, "--prefix")?;
+        return Ok(match format {
+            vrl_serve::MetricsFormat::Text => match client.metrics_text(prefix.as_deref()) {
+                Ok(body) => {
+                    print!("{body}");
+                    ExitCode::SUCCESS
+                }
+                Err(err) => {
+                    eprintln!("error: metrics request failed: {err}");
+                    ExitCode::FAILURE
+                }
+            },
+            vrl_serve::MetricsFormat::Json => {
+                match client.metrics_frame(format, prefix.as_deref()) {
+                    Ok(frame) => {
+                        println!("{frame}");
+                        ExitCode::SUCCESS
+                    }
+                    Err(err) => {
+                        eprintln!("error: metrics request failed: {err}");
+                        ExitCode::FAILURE
+                    }
+                }
+            }
+        });
+    }
+
+    // Snapshot-delta history replay (one frame per line, NDJSON).
+    if flag_present(args, "--history") {
+        let limit =
+            match flag_value(args, "--limit")? {
+                Some(raw) => Some(raw.parse::<usize>().map_err(|_| {
+                    UsageError::new(format!("--limit got an invalid value {raw:?}"))
+                })?),
+                None => None,
+            };
+        return Ok(match client.history(limit) {
+            Ok(frames) => {
+                for frame in &frames {
+                    println!("{frame}");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("error: history request failed: {err}");
+                ExitCode::FAILURE
+            }
+        });
+    }
+
+    // Live event stream: print frames until --count events were seen
+    // (0 = until the server closes the stream).
+    if flag_present(args, "--subscribe") {
+        let count: u64 = flag_parse(args, "--count", 0)?;
+        let ack = match client.subscribe() {
+            Ok(ack) => ack,
+            Err(err) => {
+                eprintln!("error: subscribe failed: {err}");
+                return Ok(ExitCode::FAILURE);
+            }
+        };
+        println!("{ack}");
+        if !ack.starts_with("{\"type\":\"subscribed\"") {
+            return Ok(ExitCode::FAILURE);
+        }
+        let mut seen: u64 = 0;
+        loop {
+            match client.recv() {
+                Ok(frame) => {
+                    println!("{frame}");
+                    seen += 1;
+                    if count > 0 && seen >= count {
+                        break;
+                    }
+                }
+                Err(vrl_serve::ClientError::Disconnected) => break,
+                Err(err) => {
+                    eprintln!("error: subscription stream failed: {err}");
+                    return Ok(ExitCode::FAILURE);
+                }
+            }
+        }
+        return Ok(ExitCode::SUCCESS);
     }
 
     if let Some(mode) = flag_value(args, "--shutdown")? {
@@ -910,7 +1068,8 @@ fn cmd_submit(args: &[String]) -> CmdResult {
         (None, Some(raw)) => raw.chars().filter(|c| *c != '\n').collect(),
         (None, None) => {
             return Err(UsageError::new(
-                "submit needs --spec JSON, --raw LINE, --shutdown MODE, --ping, or --stats",
+                "submit needs --spec JSON, --raw LINE, --shutdown MODE, --ping, --health, \
+                 --stats, --metrics, --history, or --subscribe",
             ))
         }
     };
@@ -947,7 +1106,215 @@ fn cmd_submit(args: &[String]) -> CmdResult {
     })
 }
 
+/// Rebuilds a [`MetricsSnapshot`] from the JSON object the server
+/// renders (`MetricsSnapshot::to_json` shape: `counters`/`gauges` as
+/// name→number maps, `histograms` as name→`{bounds,counts}`). Skips
+/// anything malformed rather than failing — telemetry display is
+/// best-effort.
+fn parse_metrics_object(value: &vrl_obs::json::JsonValue) -> MetricsSnapshot {
+    use vrl_obs::json::JsonValue;
+    let mut snapshot = MetricsSnapshot::default();
+    if let Some(JsonValue::Object(map)) = value.get("counters") {
+        for (name, v) in map {
+            if let Some(n) = v.as_f64() {
+                snapshot.counters.insert(name.clone(), n as u64);
+            }
+        }
+    }
+    if let Some(JsonValue::Object(map)) = value.get("gauges") {
+        for (name, v) in map {
+            if let Some(n) = v.as_f64() {
+                snapshot.gauges.insert(name.clone(), n as u64);
+            }
+        }
+    }
+    if let Some(JsonValue::Object(map)) = value.get("histograms") {
+        for (name, hist) in map {
+            let nums = |key: &str| -> Option<Vec<u64>> {
+                hist.get(key)?
+                    .as_array()?
+                    .iter()
+                    .map(|n| n.as_f64().map(|f| f as u64))
+                    .collect()
+            };
+            if let (Some(bounds), Some(counts)) = (nums("bounds"), nums("counts")) {
+                if counts.len() == bounds.len() + 1 {
+                    snapshot
+                        .histograms
+                        .insert(name.clone(), vrl_obs::HistogramSnapshot { bounds, counts });
+                }
+            }
+        }
+    }
+    snapshot
+}
+
+/// Prints a snapshot as aligned `name value` lines: counters and
+/// gauges verbatim, histograms as derived `.count`/`.p50`/`.p99`
+/// lines, all sorted by name.
+fn print_stats_pretty(snapshot: &MetricsSnapshot) {
+    let mut lines: Vec<(String, u64)> = Vec::new();
+    for (name, value) in &snapshot.counters {
+        lines.push((name.clone(), *value));
+    }
+    for (name, value) in &snapshot.gauges {
+        lines.push((name.clone(), *value));
+    }
+    for (name, hist) in &snapshot.histograms {
+        lines.push((format!("{name}.count"), hist.total()));
+        lines.push((format!("{name}.p50"), hist.quantile(0.5)));
+        lines.push((format!("{name}.p99"), hist.quantile(0.99)));
+    }
+    lines.sort();
+    let width = lines.iter().map(|(name, _)| name.len()).max().unwrap_or(0);
+    for (name, value) in &lines {
+        println!("{name:<width$} {value}");
+    }
+}
+
+/// One `vrl top` refresh: connect, fetch health + metrics, render a
+/// dashboard. Returns the completed-jobs counter so the caller can
+/// derive throughput between polls.
+fn top_tick(addr: &str, prev_completed: Option<u64>, interval_ms: u64) -> Result<u64, String> {
+    use vrl_obs::json::JsonValue;
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let health_frame = client.health().map_err(|e| format!("health probe: {e}"))?;
+    let health = vrl_obs::json::parse(&health_frame).map_err(|e| format!("health frame: {e}"))?;
+    let metrics_frame = client
+        .metrics_frame(vrl_serve::MetricsFormat::Json, None)
+        .map_err(|e| format!("metrics probe: {e}"))?;
+    let metrics_value =
+        vrl_obs::json::parse(&metrics_frame).map_err(|e| format!("metrics frame: {e}"))?;
+    let snapshot = metrics_value
+        .get("metrics")
+        .map(parse_metrics_object)
+        .ok_or_else(|| "metrics frame has no metrics object".to_string())?;
+
+    let counter = |name: &str| snapshot.counters.get(name).copied().unwrap_or(0);
+    let gauge = |name: &str| snapshot.gauges.get(name).copied().unwrap_or(0);
+    let hnum = |v: Option<&JsonValue>| v.and_then(JsonValue::as_f64).unwrap_or(0.0) as u64;
+
+    let ready = matches!(health.get("ready"), Some(JsonValue::Bool(true)));
+    let uptime_ms = hnum(health.get("uptime_ms"));
+    let completed = counter("serve.jobs.completed");
+    let rate = prev_completed.map(|prev| {
+        let delta = completed.saturating_sub(prev) as f64;
+        delta * 1000.0 / interval_ms.max(1) as f64
+    });
+
+    println!(
+        "vrl top — {addr}   up {:.1}s   {}",
+        uptime_ms as f64 / 1000.0,
+        if ready { "READY" } else { "NOT READY" }
+    );
+    let rate_str = match rate {
+        Some(r) => format!("{r:+.1}/s"),
+        None => "—".to_string(),
+    };
+    println!(
+        "jobs     completed {completed} ({rate_str})   failed {}   queue {}/{}   workers {}/{}",
+        counter("serve.jobs.failed"),
+        hnum(health.get("queue_depth")),
+        hnum(health.get("queue_limit")),
+        hnum(health.get("workers_live")),
+        hnum(health.get("workers_total")),
+    );
+    println!(
+        "shed     conns {}  jobs {}  long-lines {}  timeouts {}",
+        counter("serve.shed.connections"),
+        counter("serve.shed.jobs"),
+        counter("serve.shed.long_lines"),
+        counter("serve.shed.timeouts"),
+    );
+    println!(
+        "cache    result hits {}  misses {}  bytes {}/{}  evictions {}",
+        counter("serve.cache.result_hits"),
+        counter("serve.cache.result_misses"),
+        gauge("serve.cache.result_bytes"),
+        gauge("serve.cache.result_capacity_bytes"),
+        counter("serve.cache.result_evictions"),
+    );
+    println!(
+        "streams  subscribers {} (dropped {})   events offered {} (dropped {})",
+        hnum(health.get("subscribers")),
+        counter("serve.subs.dropped"),
+        counter("serve.events.offered"),
+        counter("serve.events.dropped"),
+    );
+    println!(
+        "{:<28} {:>10} {:>10} {:>8}",
+        "phase", "p50_us", "p99_us", "count"
+    );
+    for (name, hist) in &snapshot.histograms {
+        if let Some(phase) = name.strip_prefix("serve.job.") {
+            println!(
+                "  {:<26} {:>10} {:>10} {:>8}",
+                phase,
+                hist.quantile(0.5),
+                hist.quantile(0.99),
+                hist.total()
+            );
+        }
+    }
+    Ok(completed)
+}
+
+/// `vrl top ADDR` — a polling terminal dashboard over the health and
+/// metrics endpoints.
+fn cmd_top(args: &[String]) -> CmdResult {
+    let Some(addr) = args.first().filter(|a| !a.starts_with("--")).cloned() else {
+        return Err(UsageError::new(
+            "usage: vrl top <addr> [--interval-ms MS] [--count N] [--plain]",
+        ));
+    };
+    reject_unknown_flags(&args[1..], &["--interval-ms", "--count", "--plain"])?;
+    let interval_ms: u64 = flag_parse(args, "--interval-ms", 1_000)?;
+    let count: u64 = flag_parse(args, "--count", 0)?;
+    let plain = flag_present(args, "--plain");
+    let mut prev_completed: Option<u64> = None;
+    let mut ticks: u64 = 0;
+    loop {
+        if !plain {
+            // Clear the screen and home the cursor between refreshes.
+            print!("\x1b[2J\x1b[H");
+        }
+        match top_tick(&addr, prev_completed, interval_ms) {
+            Ok(completed) => prev_completed = Some(completed),
+            Err(err) => {
+                eprintln!("error: {err}");
+                return Ok(ExitCode::FAILURE);
+            }
+        }
+        ticks += 1;
+        if count > 0 && ticks >= count {
+            return Ok(ExitCode::SUCCESS);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(1)));
+    }
+}
+
+/// Restores the default SIGPIPE disposition so piping output into
+/// `head`/`grep -q` terminates the process quietly instead of
+/// panicking on a broken-pipe write error (Rust installs SIG_IGN
+/// before `main`). Declared directly to keep the workspace
+/// dependency-free; libc is already linked by std.
+#[cfg(unix)]
+fn restore_default_sigpipe() {
+    const SIGPIPE: i32 = 13;
+    const SIG_DFL: usize = 0;
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(SIGPIPE, SIG_DFL);
+    }
+}
+
+#[cfg(not(unix))]
+fn restore_default_sigpipe() {}
+
 fn main() -> ExitCode {
+    restore_default_sigpipe();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("model") => cmd_model(),
@@ -960,6 +1327,7 @@ fn main() -> ExitCode {
         Some("netlist") => cmd_netlist(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         Some(other) if !other.starts_with("--") => {
             Err(UsageError::new(format!("unknown subcommand '{other}'")))
         }
@@ -990,7 +1358,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "  vrl serve --addr HOST:PORT [--workers N] [--span-cycles N] [--state FILE] \
                  [--max-conns N] [--max-queued N] [--max-line-bytes N] [--read-timeout-ms MS] \
-                 [--artifacts DIR] [--result-cache-bytes N]"
+                 [--artifacts DIR] [--result-cache-bytes N] [--max-subscribers N] \
+                 [--sub-buffer N] [--snapshot-ring N] [--sample-ms MS]"
             );
             eprintln!(
                 "  vrl submit --addr HOST:PORT --spec JSON [--quiet] [--expect-error] \
@@ -998,8 +1367,12 @@ fn main() -> ExitCode {
             );
             eprintln!("  vrl submit --direct --spec JSON");
             eprintln!("  vrl submit --addr HOST:PORT --raw LINE [--quiet] [--expect-error]");
-            eprintln!("  vrl submit --addr HOST:PORT [--ping | --stats]");
+            eprintln!("  vrl submit --addr HOST:PORT [--ping | --health | --stats [--raw]]");
+            eprintln!("  vrl submit --addr HOST:PORT --metrics [--format text|json] [--prefix P]");
+            eprintln!("  vrl submit --addr HOST:PORT --history [--limit N]");
+            eprintln!("  vrl submit --addr HOST:PORT --subscribe [--count N]");
             eprintln!("  vrl submit --addr HOST:PORT --shutdown <drain|now>");
+            eprintln!("  vrl top <addr> [--interval-ms MS] [--count N] [--plain]");
             return ExitCode::FAILURE;
         }
     };

@@ -124,6 +124,11 @@ impl Client {
         timeout: Option<Duration>,
     ) -> Result<Client, ClientError> {
         let writer = TcpStream::connect(addr).map_err(ClientError::Io)?;
+        // One-line frames must not sit in Nagle's buffer waiting for a
+        // delayed ACK — that turns a sub-millisecond request into a
+        // ~40-80ms one. Best-effort: a socket that rejects the option
+        // still works, just slower.
+        let _ = writer.set_nodelay(true);
         if let Some(timeout) = timeout {
             writer
                 .set_read_timeout(Some(timeout))
@@ -203,6 +208,98 @@ impl Client {
     /// See [`Client::request_one`].
     pub fn stats(&mut self) -> Result<String, ClientError> {
         self.request_one("{\"type\":\"stats\"}")
+    }
+
+    /// Liveness + readiness report → the `health` frame.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_one`].
+    pub fn health(&mut self) -> Result<String, ClientError> {
+        self.request_one("{\"type\":\"health\"}")
+    }
+
+    /// One `metrics` frame in the requested format, optionally filtered
+    /// to names starting with `prefix`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_one`].
+    pub fn metrics_frame(
+        &mut self,
+        format: crate::protocol::MetricsFormat,
+        prefix: Option<&str>,
+    ) -> Result<String, ClientError> {
+        let mut line = String::from("{\"type\":\"metrics\",\"format\":\"");
+        line.push_str(match format {
+            crate::protocol::MetricsFormat::Text => "text",
+            crate::protocol::MetricsFormat::Json => "json",
+        });
+        line.push('"');
+        if let Some(prefix) = prefix {
+            line.push_str(",\"prefix\":");
+            serde::write_json_string(prefix, &mut line);
+        }
+        line.push('}');
+        self.request_one(&line)
+    }
+
+    /// The decoded Prometheus-style exposition text (the `body` of a
+    /// text-format `metrics` frame).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_one`]; additionally an [`ClientError::Io`]
+    /// when the frame is not a well-formed text `metrics` frame.
+    pub fn metrics_text(&mut self, prefix: Option<&str>) -> Result<String, ClientError> {
+        let frame = self.metrics_frame(crate::protocol::MetricsFormat::Text, prefix)?;
+        let value = vrl_obs::json::parse(&frame)
+            .map_err(|e| ClientError::Io(io::Error::other(format!("bad metrics frame: {e}"))))?;
+        value
+            .get("body")
+            .and_then(|b| b.as_str().map(str::to_owned))
+            .ok_or_else(|| {
+                ClientError::Io(io::Error::other(format!(
+                    "metrics frame has no text body: {frame}"
+                )))
+            })
+    }
+
+    /// Replays the server's snapshot history: the `history` header, the
+    /// `history_delta` frames, and the `history_end` terminator, in
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::recv`].
+    pub fn history(&mut self, limit: Option<usize>) -> Result<Vec<String>, ClientError> {
+        let line = match limit {
+            Some(limit) => format!("{{\"type\":\"history\",\"limit\":{limit}}}"),
+            None => "{\"type\":\"history\"}".to_owned(),
+        };
+        self.send_line(&line)?;
+        let mut frames = Vec::new();
+        loop {
+            let frame = self.recv()?;
+            let done = frame.starts_with("{\"type\":\"history_end\"")
+                || frame.starts_with("{\"type\":\"error\"");
+            frames.push(frame);
+            if done {
+                return Ok(frames);
+            }
+        }
+    }
+
+    /// Opens an event stream, returning the `subscribed` ack (or reject
+    /// `error`) frame. Stream events by calling [`Client::recv`]
+    /// afterwards; the connection is dedicated to the stream from here
+    /// on.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_one`].
+    pub fn subscribe(&mut self) -> Result<String, ClientError> {
+        self.request_one("{\"type\":\"subscribe\"}")
     }
 
     /// Sends one raw request line and collects frames until the

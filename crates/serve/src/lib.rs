@@ -41,11 +41,13 @@ pub mod protocol;
 pub mod runner;
 pub mod server;
 pub mod spec;
+pub mod subs;
 pub mod wire;
 
 pub use cache::{ArtifactCache, CacheLimits};
 pub use client::{Client, ClientError, RetryPolicy};
 pub use limits::ServeLimits;
-pub use protocol::Request;
+pub use protocol::{HealthReport, MetricsFormat, Request, SCHEMA_VERSION};
 pub use server::{Server, ServerConfig};
 pub use spec::{FrontEnd, JobSpec, SpecError};
+pub use subs::{SubNext, SubscriberQueue};

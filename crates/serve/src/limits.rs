@@ -32,6 +32,11 @@ pub struct ServeLimits {
     /// sends nothing for this long gets a `timeout` reject frame and a
     /// clean close, freeing its handler thread.
     pub read_timeout_ms: u64,
+    /// Maximum concurrently live `subscribe` event streams (≥ 0). A
+    /// `subscribe` arriving over this bound is shed with a `busy`
+    /// reject frame — each stream pins a connection and a bounded frame
+    /// queue, so they are admission-controlled like everything else.
+    pub max_subscribers: usize,
 }
 
 impl Default for ServeLimits {
@@ -41,6 +46,7 @@ impl Default for ServeLimits {
             max_queued_jobs: 1024,
             max_line_bytes: 1 << 20,
             read_timeout_ms: 30_000,
+            max_subscribers: 64,
         }
     }
 }

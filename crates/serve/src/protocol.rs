@@ -11,9 +11,27 @@
 //! frame — `result` (preceded by `state: done`) or `error`.
 
 use vrl_dram::spans::SpanProgress;
+use vrl_obs::event::EventKind;
 use vrl_obs::json::JsonValue;
+use vrl_obs::SnapshotDelta;
 
 use crate::spec::{self, JobSpec};
+
+/// Version stamped into every machine-consumed telemetry frame
+/// (`stats`, `health`, `metrics`, `history*`, `subscribed`, `event*`)
+/// so router-side consumers can version-gate. Mirrors the bench JSON
+/// `schema_version: 2`.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// How a `metrics` request wants its snapshot rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Prometheus-style text exposition (the default), carried as an
+    /// escaped string in the frame's `body` field.
+    Text,
+    /// The flat metrics JSON object, embedded directly.
+    Json,
+}
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,6 +40,24 @@ pub enum Request {
     Ping,
     /// Server metrics snapshot → one `stats` frame.
     Stats,
+    /// Liveness + readiness report → one `health` frame.
+    Health,
+    /// Metrics in exposition text or JSON → one `metrics` frame.
+    Metrics {
+        /// Requested rendering.
+        format: MetricsFormat,
+        /// Keep only metrics whose dotted name starts with this prefix.
+        prefix: Option<String>,
+    },
+    /// Replay the snapshot ring as NDJSON deltas → `history` header,
+    /// `history_delta` frames, `history_end`.
+    History {
+        /// At most this many (most recent) deltas; `None` = all.
+        limit: Option<usize>,
+    },
+    /// Long-lived event stream → `subscribed` ack, then `event` /
+    /// `event_gap` frames until either side closes.
+    Subscribe,
     /// Run one experiment → ack/state/progress stream + terminal frame.
     Submit(JobSpec),
     /// Stop the server → one `shutdown` frame after the queue settles.
@@ -47,6 +83,34 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     match kind {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
+        "health" => Ok(Request::Health),
+        "metrics" => {
+            let format = match value.get("format").and_then(JsonValue::as_str) {
+                None | Some("text") => MetricsFormat::Text,
+                Some("json") => MetricsFormat::Json,
+                Some(other) => {
+                    return Err(format!(
+                        "unknown metrics format {other:?} (known: text, json)"
+                    ))
+                }
+            };
+            let prefix = value
+                .get("prefix")
+                .and_then(JsonValue::as_str)
+                .map(str::to_owned);
+            Ok(Request::Metrics { format, prefix })
+        }
+        "history" => {
+            let limit = match value.get("limit") {
+                None => None,
+                Some(v) => match v.as_f64() {
+                    Some(n) if n >= 0.0 => Some(n as usize),
+                    _ => return Err("history limit must be a non-negative number".to_owned()),
+                },
+            };
+            Ok(Request::History { limit })
+        }
+        "subscribe" => Ok(Request::Subscribe),
         "submit" => {
             let spec_value = value
                 .get("spec")
@@ -62,7 +126,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             )),
         },
         other => Err(format!(
-            "unknown request type {other:?} (known: ping, stats, submit, shutdown)"
+            "unknown request type {other:?} (known: ping, stats, health, metrics, history, subscribe, submit, shutdown)"
         )),
     }
 }
@@ -132,9 +196,154 @@ pub fn pong_frame() -> String {
     "{\"type\":\"pong\"}".to_owned()
 }
 
-/// `{"type":"stats","metrics":...}` with a rendered metrics snapshot.
+/// `{"type":"stats","schema_version":2,"metrics":...}` with a rendered
+/// metrics snapshot.
 pub fn stats_frame(metrics_json: &str) -> String {
-    format!("{{\"type\":\"stats\",\"metrics\":{metrics_json}}}")
+    format!("{{\"type\":\"stats\",\"schema_version\":{SCHEMA_VERSION},\"metrics\":{metrics_json}}}")
+}
+
+/// The liveness + readiness report behind the `health` frame — the
+/// signal a router polls before sending traffic to this node.
+///
+/// `live` means the process answers at all (a connected client already
+/// proved that); `ready` means it should receive new work: it is
+/// accepting, has live pool workers, and its job queue sits under the
+/// configured [`ServeLimits`](crate::limits::ServeLimits) bound. Every
+/// failed condition is named in `reasons`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Whether the daemon should receive new submissions.
+    pub ready: bool,
+    /// Why not, when `!ready` (`shutting_down`, `no_live_workers`,
+    /// `queue_saturated`). Empty when ready.
+    pub reasons: Vec<&'static str>,
+    /// Jobs queued + running right now.
+    pub queue_depth: u64,
+    /// The `max_queued_jobs` admission bound.
+    pub queue_limit: u64,
+    /// Pool worker threads still alive.
+    pub workers_live: u64,
+    /// Pool worker threads configured.
+    pub workers_total: u64,
+    /// Client connections currently open.
+    pub conns_open: u64,
+    /// The `max_connections` admission bound.
+    pub conns_limit: u64,
+    /// Live `subscribe` streams.
+    pub subscribers: u64,
+    /// Milliseconds since the daemon started.
+    pub uptime_ms: u64,
+}
+
+impl HealthReport {
+    /// Renders the one-line `health` frame.
+    pub fn to_frame(&self) -> String {
+        let mut reasons = String::from("[");
+        for (i, reason) in self.reasons.iter().enumerate() {
+            if i > 0 {
+                reasons.push(',');
+            }
+            reasons.push('"');
+            reasons.push_str(reason);
+            reasons.push('"');
+        }
+        reasons.push(']');
+        format!(
+            "{{\"type\":\"health\",\"schema_version\":{SCHEMA_VERSION},\"live\":true,\
+             \"ready\":{},\"reasons\":{reasons},\"queue_depth\":{},\"queue_limit\":{},\
+             \"workers_live\":{},\"workers_total\":{},\"conns_open\":{},\"conns_limit\":{},\
+             \"subscribers\":{},\"uptime_ms\":{}}}",
+            self.ready,
+            self.queue_depth,
+            self.queue_limit,
+            self.workers_live,
+            self.workers_total,
+            self.conns_open,
+            self.conns_limit,
+            self.subscribers,
+            self.uptime_ms,
+        )
+    }
+}
+
+/// `{"type":"metrics","schema_version":2,"format":"text","body":"..."}`
+/// — the exposition text rides as one escaped JSON string so the frame
+/// stays a single protocol line.
+pub fn metrics_text_frame(body: &str) -> String {
+    let mut out = format!(
+        "{{\"type\":\"metrics\",\"schema_version\":{SCHEMA_VERSION},\"format\":\"text\",\"body\":"
+    );
+    serde::write_json_string(body, &mut out);
+    out.push('}');
+    out
+}
+
+/// `{"type":"metrics","schema_version":2,"format":"json","metrics":...}`.
+pub fn metrics_json_frame(metrics_json: &str) -> String {
+    format!(
+        "{{\"type\":\"metrics\",\"schema_version\":{SCHEMA_VERSION},\"format\":\"json\",\"metrics\":{metrics_json}}}"
+    )
+}
+
+/// `{"type":"history",...}` — the header announcing a snapshot-ring
+/// replay of `deltas` delta frames (from `entries` retained snapshots,
+/// `evicted` aged out of the ring so far).
+pub fn history_frame(entries: usize, deltas: usize, evicted: u64) -> String {
+    format!(
+        "{{\"type\":\"history\",\"schema_version\":{SCHEMA_VERSION},\"entries\":{entries},\"deltas\":{deltas},\"evicted\":{evicted}}}"
+    )
+}
+
+/// One replayed snapshot delta:
+/// `{"type":"history_delta","schema_version":2,"from_ms":...,"to_ms":...,"delta":...}`.
+pub fn history_delta_frame(delta: &SnapshotDelta) -> String {
+    format!(
+        "{{\"type\":\"history_delta\",\"schema_version\":{SCHEMA_VERSION},\"from_ms\":{},\"to_ms\":{},\"delta\":{}}}",
+        delta.from_ms,
+        delta.to_ms,
+        delta.delta.to_json()
+    )
+}
+
+/// `{"type":"history_end","schema_version":2}` — terminates a replay.
+pub fn history_end_frame() -> String {
+    format!("{{\"type\":\"history_end\",\"schema_version\":{SCHEMA_VERSION}}}")
+}
+
+/// `{"type":"subscribed","schema_version":2,"capacity":N}` — the ack
+/// opening an event stream; `capacity` is the per-subscriber frame
+/// bound past which events are dropped (and gap-reported).
+pub fn subscribed_frame(capacity: usize) -> String {
+    format!(
+        "{{\"type\":\"subscribed\",\"schema_version\":{SCHEMA_VERSION},\"capacity\":{capacity}}}"
+    )
+}
+
+/// One streamed job-lifecycle / shed event:
+/// `{"type":"event","schema_version":2,"at_ms":T,"job":N,"kind":"...",...}`
+/// with kind-specific detail fields (`depth`, `cached`, `reason`).
+pub fn event_frame(at_ms: u64, job: u64, kind: &EventKind) -> String {
+    let mut out = format!(
+        "{{\"type\":\"event\",\"schema_version\":{SCHEMA_VERSION},\"at_ms\":{at_ms},\"job\":{job},\"kind\":\"{}\"",
+        kind.name()
+    );
+    match kind {
+        EventKind::JobQueued { depth } => out.push_str(&format!(",\"depth\":{depth}")),
+        EventKind::JobCompleted { cached } => out.push_str(&format!(",\"cached\":{cached}")),
+        EventKind::JobShed { reason } => {
+            out.push_str(&format!(",\"reason\":\"{}\"", reason.name()));
+        }
+        _ => {}
+    }
+    out.push('}');
+    out
+}
+
+/// `{"type":"event_gap","schema_version":2,"dropped":N}` — the
+/// subscriber's queue overflowed; `dropped` is its cumulative drop
+/// count. The stream resumes with the next live event.
+pub fn event_gap_frame(dropped: u64) -> String {
+    format!("{{\"type\":\"event_gap\",\"schema_version\":{SCHEMA_VERSION},\"dropped\":{dropped}}}")
 }
 
 /// `{"type":"shutdown","mode":...,"saved":N}` — acknowledges shutdown,
@@ -187,6 +396,41 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_requests_parse() {
+        assert_eq!(parse_request(r#"{"type":"health"}"#), Ok(Request::Health));
+        assert_eq!(
+            parse_request(r#"{"type":"metrics"}"#),
+            Ok(Request::Metrics {
+                format: MetricsFormat::Text,
+                prefix: None
+            })
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"metrics","format":"json","prefix":"serve."}"#),
+            Ok(Request::Metrics {
+                format: MetricsFormat::Json,
+                prefix: Some("serve.".to_owned())
+            })
+        );
+        assert!(parse_request(r#"{"type":"metrics","format":"xml"}"#)
+            .unwrap_err()
+            .contains("xml"));
+        assert_eq!(
+            parse_request(r#"{"type":"history"}"#),
+            Ok(Request::History { limit: None })
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"history","limit":5}"#),
+            Ok(Request::History { limit: Some(5) })
+        );
+        assert!(parse_request(r#"{"type":"history","limit":-1}"#).is_err());
+        assert_eq!(
+            parse_request(r#"{"type":"subscribe"}"#),
+            Ok(Request::Subscribe)
+        );
+    }
+
+    #[test]
     fn reject_frames_are_typed_terminal_errors() {
         use vrl_obs::ShedReason;
         for reason in [
@@ -222,6 +466,40 @@ mod tests {
             pong_frame(),
             stats_frame("{}"),
             shutdown_frame(false, 4),
+            HealthReport {
+                ready: false,
+                reasons: vec!["queue_saturated", "no_live_workers"],
+                queue_depth: 9,
+                queue_limit: 8,
+                workers_live: 0,
+                workers_total: 2,
+                conns_open: 1,
+                conns_limit: 256,
+                subscribers: 1,
+                uptime_ms: 1234,
+            }
+            .to_frame(),
+            metrics_text_frame("# TYPE a counter\na 1\n"),
+            metrics_json_frame("{}"),
+            history_frame(3, 2, 1),
+            history_delta_frame(&SnapshotDelta {
+                from_ms: 10,
+                to_ms: 20,
+                delta: Default::default(),
+            }),
+            history_end_frame(),
+            subscribed_frame(1024),
+            event_frame(5, 1, &EventKind::JobQueued { depth: 2 }),
+            event_frame(6, 1, &EventKind::JobCompleted { cached: true }),
+            event_frame(
+                7,
+                0,
+                &EventKind::JobShed {
+                    reason: vrl_obs::ShedReason::Busy,
+                },
+            ),
+            event_frame(8, 1, &EventKind::JobStarted),
+            event_gap_frame(42),
         ] {
             assert!(!frame.contains('\n'), "frame must be one line: {frame}");
             vrl_obs::json::parse(&frame).expect("every frame is valid JSON");

@@ -15,10 +15,19 @@ use vrl_dram_sim::controller::ControllerStats;
 use vrl_dram_sim::fault::FaultConfig;
 use vrl_dram_sim::guard::GuardConfig;
 use vrl_dram_sim::SimStats;
+use vrl_obs::PhaseProfiler;
 use vrl_sched::SchedStats;
 
 use crate::cache::ArtifactCache;
 use crate::spec::{FrontEnd, JobSpec};
+
+/// Profiler phase: fetching/building cached artifacts (experiment
+/// config, refresh plans, benchmark traces).
+pub const PHASE_ARTIFACT_BUILD: &str = "artifact_build";
+/// Profiler phase: the simulation itself.
+pub const PHASE_RUN: &str = "run";
+/// Profiler phase: rendering the result frame.
+pub const PHASE_SERIALIZE: &str = "serialize";
 
 /// The statistics one front end produces.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,15 +77,46 @@ pub fn run_with_cache<F>(
     cache: &ArtifactCache,
     spec: &JobSpec,
     span_cycles: u64,
-    mut on_span: F,
+    on_span: F,
 ) -> Result<String, Error>
 where
     F: FnMut(SpanProgress),
 {
-    let experiment = cache.experiment(spec.config);
+    let mut profiler = PhaseProfiler::new();
+    run_with_cache_profiled(cache, spec, span_cycles, on_span, &mut profiler)
+}
+
+/// [`run_with_cache`] with phase attribution: artifact fetch/build, the
+/// simulation itself, and result-frame rendering each land in a
+/// [`PhaseProfiler`] span ([`PHASE_ARTIFACT_BUILD`], [`PHASE_RUN`],
+/// [`PHASE_SERIALIZE`]) so the daemon can feed per-phase latency
+/// histograms. Profiling never touches the result bytes — the frame
+/// stays a pure function of the spec.
+///
+/// # Errors
+///
+/// Exactly as [`run_with_cache`].
+pub fn run_with_cache_profiled<F>(
+    cache: &ArtifactCache,
+    spec: &JobSpec,
+    span_cycles: u64,
+    mut on_span: F,
+    profiler: &mut PhaseProfiler,
+) -> Result<String, Error>
+where
+    F: FnMut(SpanProgress),
+{
+    let experiment = {
+        let _span = profiler.span(PHASE_ARTIFACT_BUILD);
+        cache.experiment(spec.config)
+    };
     let outcome = match spec.front_end {
         FrontEnd::Sim => {
-            let trace = cache.trace(&experiment, &spec.benchmark)?;
+            let trace = {
+                let _span = profiler.span(PHASE_ARTIFACT_BUILD);
+                cache.trace(&experiment, &spec.benchmark)?
+            };
+            let _span = profiler.span(PHASE_RUN);
             Outcome::Sim(experiment.run_policy_spanned_with(
                 spec.policy,
                 trace.iter().copied(),
@@ -85,7 +125,11 @@ where
             ))
         }
         FrontEnd::FrFcfs { queue_depth } => {
-            let trace = cache.trace(&experiment, &spec.benchmark)?;
+            let trace = {
+                let _span = profiler.span(PHASE_ARTIFACT_BUILD);
+                cache.trace(&experiment, &spec.benchmark)?
+            };
+            let _span = profiler.span(PHASE_RUN);
             Outcome::FrFcfs(experiment.run_frfcfs_spanned_with(
                 spec.policy,
                 trace.iter().copied(),
@@ -95,8 +139,14 @@ where
             )?)
         }
         FrontEnd::Sched { banks } => {
-            let trace = cache.trace(&experiment, &spec.benchmark)?;
-            let sched = experiment.sched_config(banks)?;
+            let (trace, sched) = {
+                let _span = profiler.span(PHASE_ARTIFACT_BUILD);
+                (
+                    cache.trace(&experiment, &spec.benchmark)?,
+                    experiment.sched_config(banks)?,
+                )
+            };
+            let _span = profiler.span(PHASE_RUN);
             Outcome::Sched(experiment.run_scheduled_spanned_with(
                 spec.policy,
                 sched,
@@ -110,8 +160,14 @@ where
             ranks,
             banks_per_rank,
         } => {
-            let trace = cache.trace(&experiment, &spec.benchmark)?;
-            let sched = experiment.dimm_config(channels, ranks, banks_per_rank)?;
+            let (trace, sched) = {
+                let _span = profiler.span(PHASE_ARTIFACT_BUILD);
+                (
+                    cache.trace(&experiment, &spec.benchmark)?,
+                    experiment.dimm_config(channels, ranks, banks_per_rank)?,
+                )
+            };
+            let _span = profiler.span(PHASE_RUN);
             let mut merged = SchedStats::default();
             for channel in 0..channels {
                 let shard = experiment.run_dimm_channel_spanned_with(
@@ -132,6 +188,7 @@ where
             // and bypass the trace cache.
             let faults = FaultConfig::default_scenario(fault_seed);
             let guard_config = guard.then(GuardConfig::default);
+            let _span = profiler.span(PHASE_RUN);
             Outcome::Faulted(experiment.run_faulted(
                 spec.policy,
                 &spec.benchmark,
@@ -140,6 +197,7 @@ where
             )?)
         }
     };
+    let _span = profiler.span(PHASE_SERIALIZE);
     Ok(result_frame(spec, &outcome))
 }
 

@@ -26,17 +26,23 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use vrl_exec::TaskPool;
 use vrl_obs::event::EventKind;
-use vrl_obs::{EventRing, MetricsRegistry, MetricsSnapshot, ShedReason};
+use vrl_obs::metrics::HistogramId;
+use vrl_obs::{
+    EventRing, MetricsRegistry, MetricsSnapshot, PhaseProfiler, ShedReason, SnapshotDelta,
+    SnapshotRing,
+};
 
 use crate::cache::{ArtifactCache, CacheLimits};
 use crate::disk::{DiskLoad, DiskTier};
 use crate::limits::ServeLimits;
-use crate::protocol::{self, Request};
+use crate::protocol::{self, HealthReport, MetricsFormat, Request};
 use crate::runner;
 use crate::spec::JobSpec;
+use crate::subs::{SubNext, SubscriberQueue};
 use crate::wire::{LineOutcome, LineReader};
 use crate::{manifest, protocol::is_terminal};
 
@@ -46,6 +52,17 @@ const NO_ROW: u32 = u32::MAX;
 /// `job` value for shed events — the request was rejected before a job
 /// id was assigned.
 const NO_JOB: u64 = 0;
+
+/// Bucket bounds (microseconds) for the per-phase job latency
+/// histograms — exponential-ish from 50 µs to 10 s, covering everything
+/// from a result-cache replay to a full-DIMM sweep.
+const PHASE_BOUNDS_US: [u64; 14] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 1_000_000,
+    10_000_000,
+];
+
+/// How long a subscriber drain loop parks before re-checking liveness.
+const SUBSCRIBE_POLL: Duration = Duration::from_millis(100);
 
 /// Locks with poisoned-lock recovery: every mutex in this module guards
 /// state that is consistent at any panic point (plain maps, rings), so
@@ -73,6 +90,18 @@ pub struct ServerConfig {
     /// results memory-only. Corrupt files here are quarantined on load,
     /// never served.
     pub artifact_dir: Option<PathBuf>,
+    /// Capacity of the metrics snapshot ring behind the `history`
+    /// request (entries, not bytes; min 2).
+    pub snapshot_ring: usize,
+    /// Period of the background metrics sampler feeding the snapshot
+    /// ring, in milliseconds. `0` disables the sampler — snapshots are
+    /// then recorded only at job completion, which keeps tests
+    /// deterministic.
+    pub sample_interval_ms: u64,
+    /// Per-subscriber event-frame queue capacity. A subscriber that
+    /// falls further behind than this loses frames (drop-newest,
+    /// gap-reported) instead of growing server memory.
+    pub subscriber_buffer: usize,
 }
 
 impl Default for ServerConfig {
@@ -85,8 +114,52 @@ impl Default for ServerConfig {
             limits: ServeLimits::default(),
             cache: CacheLimits::default(),
             artifact_dir: None,
+            snapshot_ring: 240,
+            sample_interval_ms: 0,
+            subscriber_buffer: 1024,
         }
     }
+}
+
+/// Per-phase latency histograms, guarded by one mutex: workers observe
+/// into them after each job; `metrics()` merges their snapshot into the
+/// assembled registry.
+#[derive(Debug)]
+struct PhaseHists {
+    reg: MetricsRegistry,
+    queue_wait: HistogramId,
+    artifact_build: HistogramId,
+    run: HistogramId,
+    serialize: HistogramId,
+}
+
+impl PhaseHists {
+    fn new() -> PhaseHists {
+        let mut reg = MetricsRegistry::new();
+        let hist = |reg: &mut MetricsRegistry, name: &str| {
+            reg.histogram(name, &PHASE_BOUNDS_US)
+                .expect("fresh registry accepts the phase histogram bounds")
+        };
+        let queue_wait = hist(&mut reg, "serve.job.queue_wait_us");
+        let artifact_build = hist(&mut reg, "serve.job.artifact_build_us");
+        let run = hist(&mut reg, "serve.job.run_us");
+        let serialize = hist(&mut reg, "serve.job.serialize_us");
+        PhaseHists {
+            reg,
+            queue_wait,
+            artifact_build,
+            run,
+            serialize,
+        }
+    }
+}
+
+/// A job accepted but not yet completed: the spec (what a "now"
+/// shutdown checkpoints) plus its enqueue instant (queue-wait latency).
+#[derive(Debug, Clone)]
+struct PendingJob {
+    spec: JobSpec,
+    enqueued: Instant,
 }
 
 /// State shared by the accept loop, connection threads, and workers.
@@ -102,7 +175,7 @@ struct ServerInner {
     next_job: AtomicU64,
     /// Jobs accepted but not yet completed (or quarantined) — exactly
     /// what a "now" shutdown checkpoints to the manifest.
-    pending: Mutex<BTreeMap<u64, JobSpec>>,
+    pending: Mutex<BTreeMap<u64, PendingJob>>,
     completed: AtomicU64,
     quarantined: AtomicU64,
     /// Connections currently open (admission-control gauge).
@@ -113,11 +186,107 @@ struct ServerInner {
     shed_timeouts: AtomicU64,
     ring: Mutex<EventRing>,
     accepting: AtomicBool,
+    /// Daemon start instant — the epoch for `at_ms` timestamps and the
+    /// health frame's uptime.
+    started: Instant,
+    /// Worker threads configured at bind (the health frame's
+    /// `workers_total`; `pool.live_workers()` may be lower).
+    workers_total: usize,
+    /// Per-phase job latency histograms (see [`PhaseHists`]).
+    phase: Mutex<PhaseHists>,
+    /// Timestamped metrics snapshots behind the `history` request.
+    snapshots: Mutex<SnapshotRing>,
+    /// Live `subscribe` streams; producers fan event frames out to each
+    /// bounded queue.
+    subscribers: Mutex<Vec<Arc<SubscriberQueue>>>,
+    /// Frames dropped by subscribers that have since disconnected (live
+    /// drops are summed from the queues themselves).
+    subs_dropped_retired: AtomicU64,
+    /// Per-subscriber queue capacity (from the config).
+    subscriber_buffer: usize,
 }
 
 impl ServerInner {
+    /// Milliseconds since the daemon started — the timestamp on event
+    /// frames and snapshot-ring entries.
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
     fn push_event(&self, job: u64, kind: EventKind) {
         lock_recover(&self.ring).push(job, 0, NO_ROW, kind);
+        let subs = lock_recover(&self.subscribers);
+        if subs.is_empty() {
+            return;
+        }
+        // One render, fanned out; `offer` never blocks on a socket, so
+        // a stalled subscriber costs its own frames, not server time.
+        let frame = protocol::event_frame(self.now_ms(), job, &kind);
+        for sub in subs.iter() {
+            sub.offer(&frame);
+        }
+    }
+
+    /// Registers a subscriber queue if the admission bound allows one
+    /// more.
+    fn add_subscriber(&self) -> Option<Arc<SubscriberQueue>> {
+        let mut subs = lock_recover(&self.subscribers);
+        if subs.len() >= self.limits.max_subscribers {
+            return None;
+        }
+        let sub = Arc::new(SubscriberQueue::bounded(self.subscriber_buffer));
+        subs.push(Arc::clone(&sub));
+        Some(sub)
+    }
+
+    /// Deregisters a subscriber, folding its drop count into the
+    /// retired total so `serve.subs.dropped` stays monotonic.
+    fn drop_subscriber(&self, sub: &Arc<SubscriberQueue>) {
+        let mut subs = lock_recover(&self.subscribers);
+        if let Some(i) = subs.iter().position(|s| Arc::ptr_eq(s, sub)) {
+            subs.remove(i);
+        }
+        drop(subs);
+        self.subs_dropped_retired
+            .fetch_add(sub.dropped(), Ordering::Relaxed);
+    }
+
+    /// Closes every live subscriber queue so their drain loops exit.
+    fn close_subscribers(&self) {
+        for sub in lock_recover(&self.subscribers).iter() {
+            sub.close();
+        }
+    }
+
+    /// Records the current metrics into the snapshot ring.
+    fn record_snapshot(&self) {
+        let snapshot = self.metrics();
+        lock_recover(&self.snapshots).push(self.now_ms(), snapshot);
+    }
+
+    /// Feeds one job's measured phases into the latency histograms.
+    /// Phases the profiler never recorded (e.g. `run` on a result-cache
+    /// replay) are simply absent.
+    fn observe_phases(&self, queue_wait: Option<Duration>, profiler: &PhaseProfiler) {
+        let mut hists = lock_recover(&self.phase);
+        let (qw, ab, run, ser) = (
+            hists.queue_wait,
+            hists.artifact_build,
+            hists.run,
+            hists.serialize,
+        );
+        if let Some(wait) = queue_wait {
+            hists.reg.observe(qw, wait.as_micros() as u64);
+        }
+        for (phase, id) in [
+            (runner::PHASE_ARTIFACT_BUILD, ab),
+            (runner::PHASE_RUN, run),
+            (runner::PHASE_SERIALIZE, ser),
+        ] {
+            if let Some(totals) = profiler.totals(phase) {
+                hists.reg.observe(id, totals.wall.as_micros() as u64);
+            }
+        }
     }
 
     /// Counts one shed request and emits its [`EventKind::JobShed`].
@@ -130,7 +299,13 @@ impl ServerInner {
     /// frames into `sink` (when a client is attached).
     fn enqueue(self: &Arc<Self>, spec: JobSpec, sink: Option<mpsc::Sender<String>>) -> u64 {
         let job = self.next_job.fetch_add(1, Ordering::SeqCst) + 1;
-        lock_recover(&self.pending).insert(job, spec.clone());
+        lock_recover(&self.pending).insert(
+            job,
+            PendingJob {
+                spec: spec.clone(),
+                enqueued: Instant::now(),
+            },
+        );
         let depth = self.pool.queue_depth() as u32 + 1;
         self.push_event(job, EventKind::JobQueued { depth });
         if let Some(sink) = &sink {
@@ -157,6 +332,10 @@ impl ServerInner {
         self.push_event(job, EventKind::JobStarted);
         send(protocol::state_frame(job, "running"));
 
+        let queue_wait = lock_recover(&self.pending)
+            .get(&job)
+            .map(|p| p.enqueued.elapsed());
+        let mut profiler = PhaseProfiler::new();
         let mut built_here = false;
         let hash = spec.canonical_hash();
         let result = self
@@ -177,10 +356,15 @@ impl ServerInner {
                     }
                 }
                 built_here = true;
-                let frame =
-                    runner::run_with_cache(&self.cache, &spec, self.span_cycles, |progress| {
+                let frame = runner::run_with_cache_profiled(
+                    &self.cache,
+                    &spec,
+                    self.span_cycles,
+                    |progress| {
                         send(protocol::progress_frame(job, progress));
-                    })?;
+                    },
+                    &mut profiler,
+                )?;
                 if let Some(disk) = &self.disk {
                     if let Err(e) = disk.store(hash, &frame) {
                         // The disk tier is an accelerator, not a
@@ -191,7 +375,11 @@ impl ServerInner {
                 }
                 Ok(Arc::new(frame))
             });
-        match result {
+        // All telemetry bookkeeping lands BEFORE the terminal frame is
+        // sent: the moment a client sees its result, counters, phase
+        // histograms, and the history ring already reflect the job —
+        // the ordering the exposition tests and CI smoke rely on.
+        let terminal = match result {
             Ok(frame) => {
                 self.push_event(
                     job,
@@ -200,19 +388,30 @@ impl ServerInner {
                     },
                 );
                 self.completed.fetch_add(1, Ordering::Relaxed);
-                send(protocol::state_frame(job, "done"));
-                send((*frame).clone());
+                Ok(frame)
             }
             Err(e) => {
                 self.push_event(job, EventKind::JobQuarantined);
                 self.quarantined.fetch_add(1, Ordering::Relaxed);
-                send(protocol::error_frame(&format!("job {job} failed: {e}")));
+                Err(e)
             }
-        }
+        };
+        self.observe_phases(queue_wait, &profiler);
         // Success or deterministic failure: either way the job must not
         // be re-run by a restarted server. Only a panic (which skips
         // this line) leaves the spec pending for the manifest.
         lock_recover(&self.pending).remove(&job);
+        // Every terminal state lands one snapshot in the history ring,
+        // so the `history` replay is deterministic even with the
+        // background sampler disabled.
+        self.record_snapshot();
+        match terminal {
+            Ok(frame) => {
+                send(protocol::state_frame(job, "done"));
+                send((*frame).clone());
+            }
+            Err(e) => send(protocol::error_frame(&format!("job {job} failed: {e}"))),
+        }
     }
 
     /// Stops intake and settles the queue. `drain`: finish everything,
@@ -234,14 +433,17 @@ impl ServerInner {
     /// instead of the frame.
     fn settle(&self, drain: bool) -> usize {
         self.accepting.store(false, Ordering::SeqCst);
-        if drain {
+        let saved = if drain {
             self.pool.shutdown();
             self.save_manifest()
         } else {
             let saved = self.save_manifest();
             self.pool.shutdown();
             saved
-        }
+        };
+        // Wake subscriber drain loops so their connections close.
+        self.close_subscribers();
+        saved
     }
 
     /// Wakes the accept loop so it observes the cleared `accepting`
@@ -251,7 +453,10 @@ impl ServerInner {
     }
 
     fn save_manifest(&self) -> usize {
-        let jobs: Vec<JobSpec> = lock_recover(&self.pending).values().cloned().collect();
+        let jobs: Vec<JobSpec> = lock_recover(&self.pending)
+            .values()
+            .map(|p| p.spec.clone())
+            .collect();
         if let Some(path) = &self.state_path {
             if let Err(e) = manifest::save(path, &jobs) {
                 eprintln!("vrl-serve: failed to write queue manifest: {e}");
@@ -272,13 +477,14 @@ impl ServerInner {
             let id = reg.gauge(name);
             reg.set(id, value);
         };
-        for (name, shard_hits, shard_misses, shard_evictions, shard_bytes) in [
+        for (name, shard_hits, shard_misses, shard_evictions, shard_bytes, shard_capacity) in [
             (
                 "profile",
                 self.cache.profiles.hits(),
                 self.cache.profiles.misses(),
                 self.cache.profiles.evictions(),
                 self.cache.profiles.occupied_bytes(),
+                self.cache.profiles.capacity_bytes(),
             ),
             (
                 "plan",
@@ -286,6 +492,7 @@ impl ServerInner {
                 self.cache.plans.misses(),
                 self.cache.plans.evictions(),
                 self.cache.plans.occupied_bytes(),
+                self.cache.plans.capacity_bytes(),
             ),
             (
                 "trace",
@@ -293,6 +500,7 @@ impl ServerInner {
                 self.cache.traces.misses(),
                 self.cache.traces.evictions(),
                 self.cache.traces.occupied_bytes(),
+                self.cache.traces.capacity_bytes(),
             ),
             (
                 "result",
@@ -300,6 +508,7 @@ impl ServerInner {
                 self.cache.results.misses(),
                 self.cache.results.evictions(),
                 self.cache.results.occupied_bytes(),
+                self.cache.results.capacity_bytes(),
             ),
         ] {
             counter(&mut reg, &format!("serve.cache.{name}_hits"), shard_hits);
@@ -314,6 +523,11 @@ impl ServerInner {
                 shard_evictions,
             );
             gauge(&mut reg, &format!("serve.cache.{name}_bytes"), shard_bytes);
+            gauge(
+                &mut reg,
+                &format!("serve.cache.{name}_capacity_bytes"),
+                shard_capacity,
+            );
         }
         if let Some(disk) = &self.disk {
             counter(&mut reg, "serve.cache.disk_stores", disk.stores());
@@ -357,7 +571,64 @@ impl ServerInner {
             "serve.conns.open",
             self.open_conns.load(Ordering::Relaxed) as u64,
         );
-        reg.snapshot()
+        {
+            let ring = lock_recover(&self.ring);
+            counter(&mut reg, "serve.events.dropped", ring.dropped());
+            counter(&mut reg, "serve.events.offered", ring.offered());
+            gauge(&mut reg, "serve.events.capacity", ring.capacity() as u64);
+        }
+        {
+            let subs = lock_recover(&self.subscribers);
+            gauge(&mut reg, "serve.subs.open", subs.len() as u64);
+            let live_drops: u64 = subs.iter().map(|s| s.dropped()).sum();
+            counter(
+                &mut reg,
+                "serve.subs.dropped",
+                self.subs_dropped_retired.load(Ordering::Relaxed) + live_drops,
+            );
+        }
+        {
+            let snaps = lock_recover(&self.snapshots);
+            gauge(&mut reg, "serve.history.entries", snaps.len() as u64);
+            counter(&mut reg, "serve.history.evicted", snaps.evicted());
+        }
+        let mut snapshot = reg.snapshot();
+        let phases = lock_recover(&self.phase).reg.snapshot();
+        snapshot
+            .merge(&phases)
+            .expect("phase histogram names never collide with assembled metrics");
+        snapshot
+    }
+
+    /// The health report behind the `health` frame. Readiness is a pure
+    /// function of observable state: accepting, at least one live pool
+    /// worker, and queue depth under the admission bound.
+    fn health(&self) -> HealthReport {
+        let queue_depth = self.pool.queue_depth() as u64;
+        let queue_limit = self.limits.max_queued_jobs as u64;
+        let workers_live = self.pool.live_workers() as u64;
+        let mut reasons = Vec::new();
+        if !self.accepting.load(Ordering::SeqCst) {
+            reasons.push("shutting_down");
+        }
+        if workers_live == 0 {
+            reasons.push("no_live_workers");
+        }
+        if queue_depth >= queue_limit {
+            reasons.push("queue_saturated");
+        }
+        HealthReport {
+            ready: reasons.is_empty(),
+            reasons,
+            queue_depth,
+            queue_limit,
+            workers_live,
+            workers_total: self.workers_total as u64,
+            conns_open: self.open_conns.load(Ordering::Relaxed) as u64,
+            conns_limit: self.limits.max_connections as u64,
+            subscribers: lock_recover(&self.subscribers).len() as u64,
+            uptime_ms: self.now_ms(),
+        }
     }
 
     fn handle_connection(self: &Arc<Self>, stream: TcpStream) {
@@ -369,12 +640,12 @@ impl ServerInner {
         }
         let mut reader = LineReader::new(read_half, self.limits.max_line_bytes);
         let mut writer = stream;
-        let mut write_frame = |frame: &str| -> bool {
+        fn write_frame(writer: &mut TcpStream, frame: &str) -> bool {
             writer
                 .write_all(frame.as_bytes())
                 .and_then(|()| writer.write_all(b"\n"))
                 .is_ok()
-        };
+        }
         loop {
             let line = match reader.next_line() {
                 LineOutcome::Line(line) => line,
@@ -383,23 +654,29 @@ impl ServerInner {
                     // The stream cannot be re-synchronized after an
                     // overrun; reject and close.
                     self.shed(ShedReason::LineTooLong, &self.shed_long_lines);
-                    write_frame(&protocol::reject_frame(
-                        ShedReason::LineTooLong,
-                        &format!("request line exceeds {} bytes", self.limits.max_line_bytes),
-                    ));
+                    write_frame(
+                        &mut writer,
+                        &protocol::reject_frame(
+                            ShedReason::LineTooLong,
+                            &format!("request line exceeds {} bytes", self.limits.max_line_bytes),
+                        ),
+                    );
                     break;
                 }
                 LineOutcome::TimedOut => {
                     // A silent connection stops pinning a handler
                     // thread: one typed frame, then a clean close.
                     self.shed(ShedReason::Timeout, &self.shed_timeouts);
-                    write_frame(&protocol::reject_frame(
-                        ShedReason::Timeout,
-                        &format!(
-                            "connection idle longer than {} ms",
-                            self.limits.read_timeout_ms
+                    write_frame(
+                        &mut writer,
+                        &protocol::reject_frame(
+                            ShedReason::Timeout,
+                            &format!(
+                                "connection idle longer than {} ms",
+                                self.limits.read_timeout_ms
+                            ),
                         ),
-                    ));
+                    );
                     break;
                 }
             };
@@ -407,28 +684,128 @@ impl ServerInner {
                 continue;
             }
             if !self.accepting.load(Ordering::SeqCst) {
-                write_frame(&protocol::error_frame("server is shutting down"));
+                write_frame(
+                    &mut writer,
+                    &protocol::error_frame("server is shutting down"),
+                );
                 break;
             }
             match protocol::parse_request(&line) {
                 Err(message) => {
-                    if !write_frame(&protocol::error_frame(&message)) {
+                    if !write_frame(&mut writer, &protocol::error_frame(&message)) {
                         break;
                     }
                 }
                 Ok(Request::Ping) => {
-                    if !write_frame(&protocol::pong_frame()) {
+                    if !write_frame(&mut writer, &protocol::pong_frame()) {
                         break;
                     }
                 }
                 Ok(Request::Stats) => {
-                    if !write_frame(&protocol::stats_frame(&self.metrics().to_json())) {
+                    if !write_frame(
+                        &mut writer,
+                        &protocol::stats_frame(&self.metrics().to_json()),
+                    ) {
                         break;
                     }
                 }
+                Ok(Request::Health) => {
+                    if !write_frame(&mut writer, &self.health().to_frame()) {
+                        break;
+                    }
+                }
+                Ok(Request::Metrics { format, prefix }) => {
+                    let snapshot = self.metrics();
+                    let frame = match format {
+                        MetricsFormat::Text => protocol::metrics_text_frame(
+                            &vrl_obs::render_exposition_filtered(&snapshot, prefix.as_deref()),
+                        ),
+                        MetricsFormat::Json => {
+                            let mut snapshot = snapshot;
+                            if let Some(prefix) = &prefix {
+                                snapshot
+                                    .counters
+                                    .retain(|k, _| k.starts_with(prefix.as_str()));
+                                snapshot
+                                    .gauges
+                                    .retain(|k, _| k.starts_with(prefix.as_str()));
+                                snapshot
+                                    .histograms
+                                    .retain(|k, _| k.starts_with(prefix.as_str()));
+                            }
+                            protocol::metrics_json_frame(&snapshot.to_json())
+                        }
+                    };
+                    if !write_frame(&mut writer, &frame) {
+                        break;
+                    }
+                }
+                Ok(Request::History { limit }) => {
+                    let (entries, evicted, deltas) = {
+                        let ring = lock_recover(&self.snapshots);
+                        (ring.len(), ring.evicted(), ring.recent_deltas(limit))
+                    };
+                    let mut ok = write_frame(
+                        &mut writer,
+                        &protocol::history_frame(entries, deltas.len(), evicted),
+                    );
+                    for delta in &deltas {
+                        if !ok {
+                            break;
+                        }
+                        ok = write_frame(&mut writer, &protocol::history_delta_frame(delta));
+                    }
+                    if !ok || !write_frame(&mut writer, &protocol::history_end_frame()) {
+                        break;
+                    }
+                }
+                Ok(Request::Subscribe) => {
+                    let Some(sub) = self.add_subscriber() else {
+                        self.shed(ShedReason::Busy, &self.shed_conns);
+                        if !write_frame(
+                            &mut writer,
+                            &protocol::reject_frame(
+                                ShedReason::Busy,
+                                &format!(
+                                    "subscriber limit reached ({} live)",
+                                    self.limits.max_subscribers
+                                ),
+                            ),
+                        ) {
+                            break;
+                        }
+                        continue;
+                    };
+                    // From here the connection is dedicated to the
+                    // stream. A consumer that stops reading blocks only
+                    // this thread's socket writes — bounded by the
+                    // write timeout — while producers keep dropping
+                    // into the queue's fixed window.
+                    let _ = writer.set_write_timeout(self.limits.read_timeout());
+                    let mut ok =
+                        write_frame(&mut writer, &protocol::subscribed_frame(sub.capacity()));
+                    while ok {
+                        match sub.next(SUBSCRIBE_POLL) {
+                            SubNext::Frame(frame) => {
+                                ok = write_frame(&mut writer, &frame);
+                            }
+                            SubNext::Gap(dropped) => {
+                                ok = write_frame(&mut writer, &protocol::event_gap_frame(dropped));
+                            }
+                            SubNext::Idle => {
+                                if !self.accepting.load(Ordering::SeqCst) {
+                                    break;
+                                }
+                            }
+                            SubNext::Closed => break,
+                        }
+                    }
+                    self.drop_subscriber(&sub);
+                    break;
+                }
                 Ok(Request::Shutdown { drain }) => {
                     let saved = self.settle(drain);
-                    write_frame(&protocol::shutdown_frame(drain, saved));
+                    write_frame(&mut writer, &protocol::shutdown_frame(drain, saved));
                     self.wake_accept();
                     break;
                 }
@@ -439,10 +816,13 @@ impl ServerInner {
                         // the queue without bound. The connection stays
                         // healthy — a backing-off client can retry.
                         self.shed(ShedReason::Busy, &self.shed_jobs);
-                        if !write_frame(&protocol::reject_frame(
-                            ShedReason::Busy,
-                            &format!("job queue is full ({queue_depth} pending)"),
-                        )) {
+                        if !write_frame(
+                            &mut writer,
+                            &protocol::reject_frame(
+                                ShedReason::Busy,
+                                &format!("job queue is full ({queue_depth} pending)"),
+                            ),
+                        ) {
                             break;
                         }
                         continue;
@@ -450,13 +830,13 @@ impl ServerInner {
                     let hash = spec.canonical_hash();
                     let (tx, rx) = mpsc::channel();
                     let job = self.enqueue(spec, Some(tx));
-                    if !write_frame(&protocol::ack_frame(job, hash)) {
+                    if !write_frame(&mut writer, &protocol::ack_frame(job, hash)) {
                         break;
                     }
                     let mut terminated = false;
                     while let Ok(frame) = rx.recv() {
                         let terminal = is_terminal(&frame);
-                        if !write_frame(&frame) {
+                        if !write_frame(&mut writer, &frame) {
                             return;
                         }
                         if terminal {
@@ -470,9 +850,12 @@ impl ServerInner {
                         // is still pending, so a restart resumes it.
                         self.push_event(job, EventKind::JobQuarantined);
                         self.quarantined.fetch_add(1, Ordering::Relaxed);
-                        if !write_frame(&protocol::error_frame(&format!(
+                        if !write_frame(
+                            &mut writer,
+                            &protocol::error_frame(&format!(
                             "job {job} was lost to a worker panic; it will be resumed on restart"
-                        ))) {
+                        )),
+                        ) {
                             break;
                         }
                     }
@@ -537,7 +920,32 @@ impl Server {
             shed_timeouts: AtomicU64::new(0),
             ring: Mutex::new(EventRing::with_capacity(config.ring_capacity)),
             accepting: AtomicBool::new(true),
+            started: Instant::now(),
+            workers_total: config.workers,
+            phase: Mutex::new(PhaseHists::new()),
+            snapshots: Mutex::new(SnapshotRing::with_capacity(config.snapshot_ring)),
+            subscribers: Mutex::new(Vec::new()),
+            subs_dropped_retired: AtomicU64::new(0),
+            subscriber_buffer: config.subscriber_buffer,
         });
+        // Baseline entry: the first job completion then yields a delta
+        // relative to the fresh-start state.
+        inner.record_snapshot();
+
+        // Optional wall-clock sampler feeding the history ring. The
+        // thread runs detached and exits once `accepting` clears.
+        if config.sample_interval_ms > 0 {
+            let sampler = Arc::clone(&inner);
+            let interval = Duration::from_millis(config.sample_interval_ms);
+            std::thread::Builder::new()
+                .name("vrl-serve-sample".to_owned())
+                .spawn(move || {
+                    while sampler.accepting.load(Ordering::SeqCst) {
+                        std::thread::sleep(interval);
+                        sampler.record_snapshot();
+                    }
+                })?;
+        }
 
         // Crash-consistent resume: re-enqueue every manifest job. The
         // jobs run detached (no client is attached), warming the
@@ -565,6 +973,9 @@ impl Server {
                         break;
                     }
                     let Ok(mut stream) = stream else { continue };
+                    // One-line frames + Nagle + delayed ACK = ~40ms
+                    // per round trip; disable batching (best-effort).
+                    let _ = stream.set_nodelay(true);
                     // Connection admission: over the cap, the stream
                     // gets one typed `busy` frame and a clean close —
                     // no handler thread, no buffering.
@@ -608,6 +1019,32 @@ impl Server {
     /// Current `serve.*` metrics.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.inner.metrics()
+    }
+
+    /// Current liveness/readiness report — the same data the `health`
+    /// frame carries.
+    pub fn health(&self) -> crate::protocol::HealthReport {
+        self.inner.health()
+    }
+
+    /// Live `subscribe` streams.
+    pub fn subscriber_count(&self) -> usize {
+        lock_recover(&self.inner.subscribers).len()
+    }
+
+    /// Event frames dropped by subscriber queues so far (live + already
+    /// disconnected) — the bounded-slow-consumer check.
+    pub fn subscriber_frames_dropped(&self) -> u64 {
+        let live: u64 = lock_recover(&self.inner.subscribers)
+            .iter()
+            .map(|s| s.dropped())
+            .sum();
+        self.inner.subs_dropped_retired.load(Ordering::Relaxed) + live
+    }
+
+    /// Deltas currently derivable from the history snapshot ring.
+    pub fn history_deltas(&self) -> Vec<SnapshotDelta> {
+        lock_recover(&self.inner.snapshots).recent_deltas(None)
     }
 
     /// Job lifecycle events recorded so far.
